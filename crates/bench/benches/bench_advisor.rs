@@ -1,0 +1,51 @@
+//! Rental-advisor benchmarks (the compute behind Figs. 14–15): end-to-end
+//! advisor evaluation under both criteria.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stencilmart::advisor::{evaluate_advisor, Criterion as RankBy};
+use stencilmart::dataset::RegressionDataset;
+use stencilmart::models::RegressorKind;
+use stencilmart::{PipelineConfig, ProfiledCorpus};
+use stencilmart_stencil::pattern::Dim;
+
+fn bench_advisor(c: &mut Criterion) {
+    let cfg = PipelineConfig {
+        stencils_per_dim: 12,
+        samples_per_oc: 2,
+        max_regression_rows: 1200,
+        ..PipelineConfig::default()
+    };
+    let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+    let ds = RegressionDataset::build(&corpus, &cfg);
+    let mut group = c.benchmark_group("advisor");
+    group.sample_size(10);
+    group.bench_function("pure_performance", |b| {
+        b.iter(|| {
+            evaluate_advisor(
+                &corpus,
+                &ds,
+                &cfg,
+                RegressorKind::GbRegressor,
+                RankBy::PurePerformance,
+                black_box(0),
+            )
+        })
+    });
+    group.bench_function("cost_efficiency", |b| {
+        b.iter(|| {
+            evaluate_advisor(
+                &corpus,
+                &ds,
+                &cfg,
+                RegressorKind::GbRegressor,
+                RankBy::CostEfficiency,
+                black_box(0),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_advisor);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Classification-mechanism benchmarks (the compute behind Figs. 9–11):
+//! training and inference cost of ConvNet, FcNet, and GBDT, plus the
+//! representation ablation (Table II features vs binary tensor) called
+//! out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stencilmart::dataset::ClassificationDataset;
+use stencilmart::models::{ClassifierKind, TrainedClassifier};
+use stencilmart::{PipelineConfig, ProfiledCorpus};
+use stencilmart_gpusim::GpuId;
+use stencilmart_stencil::pattern::Dim;
+
+fn dataset(dim: Dim) -> ClassificationDataset {
+    let cfg = PipelineConfig {
+        stencils_per_dim: 32,
+        samples_per_oc: 3,
+        gpus: vec![GpuId::V100],
+        ..PipelineConfig::default()
+    };
+    let corpus = ProfiledCorpus::build(&cfg, dim);
+    let merging = corpus.derive_merging(5);
+    ClassificationDataset::build(&corpus, &merging, GpuId::V100)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let ds2 = dataset(Dim::D2);
+    let idx: Vec<usize> = (0..ds2.len()).collect();
+    let mut group = c.benchmark_group("classifier_train_2d");
+    group.sample_size(10);
+    for kind in ClassifierKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                TrainedClassifier::train(
+                    kind,
+                    Dim::D2,
+                    ds2.classes,
+                    &ds2.features,
+                    &ds2.tensors,
+                    &ds2.labels,
+                    black_box(&idx),
+                    1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let ds = dataset(Dim::D2);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let mut group = c.benchmark_group("classifier_predict_2d");
+    for kind in ClassifierKind::ALL {
+        let mut model = TrainedClassifier::train(
+            kind,
+            Dim::D2,
+            ds.classes,
+            &ds.features,
+            &ds.tensors,
+            &ds.labels,
+            &idx,
+            1,
+        );
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| model.predict(&ds.features, &ds.tensors, black_box(&idx)))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: how much slower is the tensor representation (81 columns)
+/// than the Table II features (11 columns) for the same tree model?
+fn bench_ablation_repr(c: &mut Criterion) {
+    let ds = dataset(Dim::D2);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let mut group = c.benchmark_group("ablation_repr_gbdt_input");
+    group.sample_size(10);
+    group.bench_function("table2_features", |b| {
+        b.iter(|| {
+            TrainedClassifier::train(
+                ClassifierKind::Gbdt,
+                Dim::D2,
+                ds.classes,
+                &ds.features,
+                &ds.tensors,
+                &ds.labels,
+                black_box(&idx),
+                1,
+            )
+        })
+    });
+    group.bench_function("tensor_columns", |b| {
+        b.iter(|| {
+            // Feed the raw 81-column tensor to the tree model instead of
+            // the engineered features.
+            TrainedClassifier::train(
+                ClassifierKind::Gbdt,
+                Dim::D2,
+                ds.classes,
+                &ds.tensors,
+                &ds.tensors,
+                &ds.labels,
+                black_box(&idx),
+                1,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_inference, bench_ablation_repr);
+criterion_main!(benches);

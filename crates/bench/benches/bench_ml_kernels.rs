@@ -1,0 +1,83 @@
+//! ML-substrate kernel benchmarks: matmul, convolution forward/backward,
+//! GBDT split search (exact vs histogram), and Adam steps — the inner
+//! loops every figure's training cost reduces to.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use stencilmart_ml::data::FeatureMatrix;
+use stencilmart_ml::gbdt::{GbdtConfig, GbdtRegressor};
+use stencilmart_ml::nn::{Adam, Conv2d, Dense, Layer, Net, Relu, Sequential};
+use stencilmart_ml::tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Tensor::from_vec(&[64, 128], (0..8192).map(|i| (i % 7) as f32).collect());
+    let b = Tensor::from_vec(&[128, 64], (0..8192).map(|i| (i % 5) as f32).collect());
+    c.bench_function("matmul_64x128x64", |bch| {
+        bch.iter(|| Tensor::matmul(black_box(&a), black_box(&b)))
+    });
+}
+
+fn bench_conv_forward_backward(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut conv = Conv2d::new(1, 8, 3, &mut rng);
+    let x = Tensor::from_vec(&[32, 1, 9, 9], vec![0.5; 32 * 81]);
+    c.bench_function("conv2d_forward_batch32_9x9", |b| {
+        b.iter(|| conv.forward(black_box(&x), false))
+    });
+    c.bench_function("conv2d_fwd_bwd_batch32_9x9", |b| {
+        b.iter(|| {
+            let y = conv.forward(black_box(&x), true);
+            conv.backward(&y)
+        })
+    });
+}
+
+fn bench_gbdt_split_strategies(c: &mut Criterion) {
+    let n = 2000;
+    let cols = 23;
+    let data: Vec<f32> = (0..n * cols).map(|i| ((i * 2654435761) % 1000) as f32).collect();
+    let x = FeatureMatrix::new(n, cols, data);
+    let y: Vec<f32> = (0..n).map(|i| (i % 13) as f32).collect();
+    let mut group = c.benchmark_group("gbdt_fit_2000x23_20rounds");
+    group.sample_size(10);
+    let base = GbdtConfig {
+        rounds: 20,
+        ..GbdtConfig::default()
+    };
+    group.bench_function("hist_32_bins", |b| {
+        b.iter(|| GbdtRegressor::fit(black_box(&x), &y, &base))
+    });
+    group.bench_function("exact_greedy", |b| {
+        b.iter(|| GbdtRegressor::fit(black_box(&x), &y, &base.exact()))
+    });
+    group.finish();
+}
+
+fn bench_adam_step(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut net = Sequential::new()
+        .push(Dense::new(64, 64, &mut rng))
+        .push(Relu::new())
+        .push(Dense::new(64, 1, &mut rng));
+    let x = Tensor::from_vec(&[32, 64], vec![0.1; 2048]);
+    let mut opt = Adam::new(1e-3);
+    c.bench_function("adam_step_2layer_mlp", |b| {
+        b.iter(|| {
+            let y = net.forward(black_box(&x), true);
+            net.zero_grads();
+            net.backward(&y);
+            opt.step(&mut net);
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_conv_forward_backward,
+    bench_gbdt_split_strategies,
+    bench_adam_step
+);
+criterion_main!(benches);

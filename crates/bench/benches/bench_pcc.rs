@@ -1,0 +1,42 @@
+//! Correlation-analysis benchmarks: the pairwise-PCC matrix, top-pair
+//! extraction, and the OC merging that back Fig. 3 and the class
+//! construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stencilmart::pcc;
+use stencilmart::{PipelineConfig, ProfiledCorpus};
+use stencilmart_gpusim::GpuId;
+use stencilmart_stencil::pattern::Dim;
+
+fn small_corpus() -> ProfiledCorpus {
+    let cfg = PipelineConfig {
+        stencils_per_dim: 24,
+        samples_per_oc: 3,
+        gpus: vec![GpuId::V100, GpuId::P100],
+        ..PipelineConfig::default()
+    };
+    ProfiledCorpus::build(&cfg, Dim::D2)
+}
+
+fn bench_pcc_matrix(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let matrix = pcc::oc_time_matrix(corpus.profiles_for(GpuId::V100));
+    c.bench_function("pairwise_pcc_30oc_24stencils", |b| {
+        b.iter(|| pcc::pairwise_pcc(black_box(&matrix)))
+    });
+    let mat = pcc::pairwise_pcc(&matrix);
+    c.bench_function("top_pairs_100", |b| {
+        b.iter(|| pcc::top_pairs(black_box(&mat), 100))
+    });
+}
+
+fn bench_merging(c: &mut Criterion) {
+    let corpus = small_corpus();
+    c.bench_function("derive_merging_5_classes", |b| {
+        b.iter(|| corpus.derive_merging(black_box(5)))
+    });
+}
+
+criterion_group!(benches, bench_pcc_matrix, bench_merging);
+criterion_main!(benches);

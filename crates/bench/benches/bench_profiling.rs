@@ -1,0 +1,43 @@
+//! Profiling-stage benchmarks: the per-stencil random parameter search
+//! that generates Figs. 1, 2, and 4, and the full-corpus parallel sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stencilmart_gpusim::{
+    profile_corpus, profile_stencil, GpuArch, GpuId, NoiseModel, ProfileConfig,
+};
+use stencilmart_stencil::generator::StencilGenerator;
+use stencilmart_stencil::pattern::Dim;
+use stencilmart_stencil::shapes;
+
+fn cfg() -> ProfileConfig {
+    ProfileConfig {
+        samples_per_oc: 4,
+        noise: NoiseModel::default(),
+        seed: 7,
+    }
+}
+
+fn bench_profile_single(c: &mut Criterion) {
+    let arch = GpuArch::preset(GpuId::V100);
+    let star = shapes::star(Dim::D2, 1);
+    let boxx = shapes::box_(Dim::D3, 4);
+    c.bench_function("profile_star2d1r_all_ocs", |b| {
+        b.iter(|| profile_stencil(black_box(&star), 8192, &arch, &cfg(), 0))
+    });
+    c.bench_function("profile_box3d4r_all_ocs", |b| {
+        b.iter(|| profile_stencil(black_box(&boxx), 512, &arch, &cfg(), 0))
+    });
+}
+
+fn bench_profile_corpus(c: &mut Criterion) {
+    let arch = GpuArch::preset(GpuId::A100);
+    let mut gen = StencilGenerator::new(3);
+    let corpus = gen.generate_corpus(Dim::D2, 4, 16);
+    c.bench_function("profile_corpus_16x2d_parallel", |b| {
+        b.iter(|| profile_corpus(black_box(&corpus), 8192, &arch, &cfg()))
+    });
+}
+
+criterion_group!(benches, bench_profile_single, bench_profile_corpus);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Regression-mechanism benchmarks (the compute behind Figs. 12–13):
+//! training and inference cost of MLP, ConvMLP, and GBRegressor, plus the
+//! MLP-topology scaling that Fig. 13 sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stencilmart::dataset::RegressionDataset;
+use stencilmart::models::{MlpShape, RegressorKind, TrainedRegressor};
+use stencilmart::{PipelineConfig, ProfiledCorpus};
+use stencilmart_gpusim::GpuId;
+use stencilmart_stencil::pattern::Dim;
+
+fn dataset() -> RegressionDataset {
+    let cfg = PipelineConfig {
+        stencils_per_dim: 12,
+        samples_per_oc: 2,
+        gpus: vec![GpuId::V100, GpuId::A100],
+        max_regression_rows: 800,
+        ..PipelineConfig::default()
+    };
+    let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+    RegressionDataset::build(&corpus, &cfg)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let ds = dataset();
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let shape = MlpShape {
+        hidden_layers: 4,
+        width: 32,
+    };
+    let mut group = c.benchmark_group("regressor_train_800rows");
+    group.sample_size(10);
+    for kind in RegressorKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                TrainedRegressor::train(
+                    kind,
+                    Dim::D2,
+                    shape,
+                    &ds.features,
+                    &ds.tensors,
+                    &ds.target_ln_ms,
+                    black_box(&idx),
+                    1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let ds = dataset();
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let shape = MlpShape {
+        hidden_layers: 4,
+        width: 32,
+    };
+    let mut group = c.benchmark_group("regressor_predict_800rows");
+    for kind in RegressorKind::ALL {
+        let mut model = TrainedRegressor::train(
+            kind,
+            Dim::D2,
+            shape,
+            &ds.features,
+            &ds.tensors,
+            &ds.target_ln_ms,
+            &idx,
+            1,
+        );
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| model.predict_ln(&ds.features, &ds.tensors, black_box(&idx)))
+        });
+    }
+    group.finish();
+}
+
+/// The Fig. 13 axis: training cost as MLP width grows.
+fn bench_mlp_width_scaling(c: &mut Criterion) {
+    let ds = dataset();
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let mut group = c.benchmark_group("mlp_train_width");
+    group.sample_size(10);
+    for width in [16usize, 64, 256] {
+        group.bench_function(format!("w{width}"), |b| {
+            b.iter(|| {
+                TrainedRegressor::train(
+                    RegressorKind::Mlp,
+                    Dim::D2,
+                    MlpShape {
+                        hidden_layers: 4,
+                        width,
+                    },
+                    &ds.features,
+                    &ds.tensors,
+                    &ds.target_ln_ms,
+                    black_box(&idx),
+                    1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_training,
+    bench_inference,
+    bench_mlp_width_scaling
+);
+criterion_main!(benches);

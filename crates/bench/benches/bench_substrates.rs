@@ -1,0 +1,80 @@
+//! Substrate microbenchmarks: stencil representation, random generation,
+//! kernel characterization, and the execution-time model. These are the
+//! inner loops behind Figs. 1, 2, and 4.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use stencilmart_gpusim::{
+    characterize, simulate, GpuArch, GpuId, OptCombo, ParamSetting,
+};
+use stencilmart_stencil::codegen::{emit, KernelFlavor};
+use stencilmart_stencil::features::{extract, FeatureConfig};
+use stencilmart_stencil::generator::{GeneratorConfig, StencilGenerator};
+use stencilmart_stencil::pattern::Dim;
+use stencilmart_stencil::shapes;
+use stencilmart_stencil::tensor::BinaryTensor;
+
+fn bench_tensor_assignment(c: &mut Criterion) {
+    let p2 = shapes::box_(Dim::D2, 4);
+    let p3 = shapes::box_(Dim::D3, 4);
+    c.bench_function("tensor_assign_2d_box4", |b| {
+        b.iter(|| BinaryTensor::canvas(black_box(&p2)))
+    });
+    c.bench_function("tensor_assign_3d_box4", |b| {
+        b.iter(|| BinaryTensor::canvas(black_box(&p3)))
+    });
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let p = shapes::cross(Dim::D3, 4);
+    let table2 = FeatureConfig::table2();
+    let extended = FeatureConfig::extended();
+    c.bench_function("features_table2_3d", |b| {
+        b.iter(|| extract(black_box(&p), &table2))
+    });
+    c.bench_function("features_extended_3d", |b| {
+        b.iter(|| extract(black_box(&p), &extended))
+    });
+}
+
+fn bench_generator(c: &mut Criterion) {
+    c.bench_function("generate_stencil_3d_order4", |b| {
+        b.iter_batched(
+            || StencilGenerator::new(42),
+            |mut g| g.generate(&GeneratorConfig::new(Dim::D3, 4)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let arch = GpuArch::preset(GpuId::V100);
+    let p = shapes::box_(Dim::D3, 2);
+    let oc = OptCombo::parse("ST_RT_PR").unwrap();
+    let mut params = ParamSetting::default_for(&oc);
+    params.block_x = 32;
+    params.block_y = 8;
+    c.bench_function("characterize_box3d2r", |b| {
+        b.iter(|| characterize(black_box(&p), 512, &oc, &params, &arch))
+    });
+    c.bench_function("simulate_box3d2r", |b| {
+        b.iter(|| simulate(black_box(&p), 512, &oc, &params, &arch))
+    });
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let p = shapes::box_(Dim::D3, 2);
+    c.bench_function("codegen_streaming_box3d2r", |b| {
+        b.iter(|| emit(black_box(&p), 512, KernelFlavor::Streaming { prefetch: true }))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tensor_assignment,
+    bench_feature_extraction,
+    bench_generator,
+    bench_simulator,
+    bench_codegen
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Diagnostic tool: inspect the OC merging and per-GPU class-label
+//! distribution for a freshly built corpus. Not part of the paper's
+//! figures — used to sanity-check that the classification task is
+//! neither trivial nor degenerate.
+
+use stencilmart::dataset::{ClassificationDataset, ProfiledCorpus};
+use stencilmart::PipelineConfig;
+use stencilmart_bench::Scale;
+use stencilmart_gpusim::OptCombo;
+use stencilmart_stencil::pattern::Dim;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick);
+    let cfg: PipelineConfig = scale.config();
+    let ocs = OptCombo::enumerate();
+    for dim in [Dim::D2, Dim::D3] {
+        println!("=== {dim} ===");
+        let corpus = ProfiledCorpus::build(&cfg, dim);
+        let merging = corpus.derive_merging(cfg.oc_classes);
+        for (gi, group) in merging.groups.iter().enumerate() {
+            let names: Vec<String> = group.iter().map(|&i| ocs[i].name()).collect();
+            println!(
+                "group {gi} (rep {}): {}",
+                ocs[merging.representatives[gi]].name(),
+                names.join(" ")
+            );
+        }
+        for &gpu in &cfg.gpus {
+            let ds = ClassificationDataset::build(&corpus, &merging, gpu);
+            let mut counts = vec![0usize; merging.classes()];
+            for &l in &ds.labels {
+                counts[l] += 1;
+            }
+            println!("{gpu}: label distribution {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Diagnostic: train/test MAPE of GBRegressor variants on one regression
+//! dataset, to separate underfitting from irreducible noise.
+
+use stencilmart::dataset::{ProfiledCorpus, RegressionDataset};
+use stencilmart::PipelineConfig;
+use stencilmart_ml::gbdt::tree::TreeConfig;
+use stencilmart_ml::gbdt::{GbdtConfig, GbdtRegressor};
+use stencilmart_ml::metrics::mape;
+use stencilmart_stencil::pattern::Dim;
+
+fn main() {
+    let rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20000);
+    let cfg = PipelineConfig {
+        max_regression_rows: rows,
+        ..PipelineConfig::default()
+    };
+    let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+    let ds = RegressionDataset::build(&corpus, &cfg);
+    println!("rows: {}, cols: {}", ds.len(), ds.features.cols());
+    let n = ds.len();
+    let split = n * 4 / 5;
+    let train_idx: Vec<usize> = (0..split).collect();
+    let test_idx: Vec<usize> = (split..n).collect();
+    let x_train = ds.features.select(&train_idx);
+    let y_train: Vec<f32> = train_idx.iter().map(|&i| ds.target_ln_ms[i]).collect();
+
+    for (label, rounds, depth, eta, bins) in [
+        ("r250 d7 e0.08 b64", 250usize, 7usize, 0.08f32, 64usize),
+        ("r500 d8 e0.06 b128", 500, 8, 0.06, 128),
+        ("r800 d9 e0.05 b128", 800, 9, 0.05, 128),
+    ] {
+        let gcfg = GbdtConfig {
+            rounds,
+            eta,
+            subsample: 0.8,
+            tree: TreeConfig {
+                max_depth: depth,
+                min_child_weight: 2.0,
+                lambda: 1.0,
+                gamma: 0.0,
+            },
+            bins,
+            seed: 0,
+        };
+        let t0 = std::time::Instant::now();
+        let model = GbdtRegressor::fit(&x_train, &y_train, &gcfg);
+        let eval = |idx: &[usize]| {
+            let pred: Vec<f64> = idx
+                .iter()
+                .map(|&i| (model.predict_row(ds.features.row(i)) as f64).exp())
+                .collect();
+            let truth: Vec<f64> = idx
+                .iter()
+                .map(|&i| (ds.target_ln_ms[i] as f64).exp())
+                .collect();
+            mape(&pred, &truth)
+        };
+        println!(
+            "{label}: train MAPE {:.1}%, test MAPE {:.1}% ({:.1}s)",
+            eval(&train_idx),
+            eval(&test_idx),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

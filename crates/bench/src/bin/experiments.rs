@@ -1,0 +1,157 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--scale quick|default|paper] [TARGET...]
+//! ```
+//!
+//! Targets: `table1 table2 table3 fig1 fig2 fig3 fig4 fig9 fig10 fig11
+//! fig12 fig13 fig14 fig15 all` (default: `all`).
+
+use stencilmart::advisor::Criterion;
+use stencilmart::baselines::BaselinePolicy;
+use stencilmart::experiments as exp;
+use stencilmart_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Default;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?}; use quick|default|paper");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--scale quick|default|paper] [TARGET...]\n\
+                     targets: table1 table2 table3 fig1 fig2 fig3 fig4 fig9 fig10 \
+                     fig11 fig12 fig13 fig14 fig15 all"
+                );
+                return;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    let want = |t: &str| targets.iter().any(|x| x == t || x == "all");
+
+    let cfg = scale.config();
+    let profile_cfg = cfg.profile_config();
+
+    if want("table1") {
+        println!("{}", exp::table1());
+    }
+    if want("table2") {
+        println!("{}", exp::table2());
+    }
+    if want("table3") || want("table4") {
+        println!("{}", exp::table3_and_4());
+    }
+    if want("fig1") {
+        eprintln!("[fig1] profiling canonical suite on V100...");
+        println!("{}", exp::fig1(&profile_cfg).render());
+    }
+    if want("fig4") {
+        eprintln!("[fig4] profiling canonical suite on all GPUs...");
+        println!("{}", exp::fig4(&profile_cfg).render());
+    }
+
+    // The ablations build their own corpora but still use the scale's
+    // configuration, so they ride along with the context-based targets.
+    let ctx_targets = [
+        "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        "ablations",
+    ];
+    let needs_ctx = ctx_targets.iter().any(|t| want(t));
+    if !needs_ctx {
+        return;
+    }
+    eprintln!(
+        "[context] generating + profiling {} stencils/dim on {} GPUs...",
+        cfg.stencils_per_dim,
+        cfg.gpus.len()
+    );
+    let t0 = std::time::Instant::now();
+    let ctx = exp::ExperimentContext::build(cfg);
+    eprintln!("[context] built in {:.1}s", t0.elapsed().as_secs_f64());
+
+    if want("fig2") {
+        println!("{}", exp::fig2(&ctx).render());
+    }
+    if want("fig3") {
+        println!("{}", exp::fig3(&ctx, 100).render());
+    }
+    if want("fig9") || want("fig10") || want("fig11") {
+        eprintln!("[fig9-11] cross-validating classifiers...");
+        let t = std::time::Instant::now();
+        let suite = exp::classification_suite(&ctx);
+        eprintln!("[fig9-11] trained in {:.1}s", t.elapsed().as_secs_f64());
+        if want("fig9") {
+            println!("{}", suite.render_fig9(&ctx));
+        }
+        if want("fig10") {
+            println!(
+                "{}",
+                exp::speedup_over(&ctx, &suite, BaselinePolicy::ArtemisLike).render(10, &ctx)
+            );
+        }
+        if want("fig11") {
+            println!(
+                "{}",
+                exp::speedup_over(&ctx, &suite, BaselinePolicy::An5dLike).render(11, &ctx)
+            );
+        }
+    }
+    if want("fig12") {
+        eprintln!("[fig12] cross-validating regressors...");
+        let t = std::time::Instant::now();
+        let suite = exp::regression_suite(&ctx);
+        eprintln!("[fig12] trained in {:.1}s", t.elapsed().as_secs_f64());
+        println!("{}", suite.render_fig12(&ctx));
+    }
+    if want("fig13") {
+        eprintln!("[fig13] sweeping MLP designs...");
+        let layers = [4usize, 7, 10];
+        let widths = [16usize, 64, 256];
+        println!("{}", exp::fig13(&ctx, &layers, &widths).render());
+    }
+    if want("fig14") {
+        eprintln!("[fig14] evaluating rental advisor (pure performance)...");
+        let res = exp::fig14_15(&ctx, Criterion::PurePerformance);
+        println!("{}", exp::render_advisor(&res, 14));
+    }
+    if want("fig15") {
+        eprintln!("[fig15] evaluating rental advisor (cost efficiency)...");
+        let res = exp::fig14_15(&ctx, Criterion::CostEfficiency);
+        println!("{}", exp::render_advisor(&res, 15));
+    }
+    if want("ablations") {
+        use stencilmart::ablations;
+        use stencilmart_gpusim::GpuId;
+        use stencilmart_stencil::pattern::Dim;
+        eprintln!("[ablations] representation...");
+        println!(
+            "{}",
+            ablations::ablation_repr(&ctx.cfg, Dim::D2, GpuId::V100).render()
+        );
+        eprintln!("[ablations] OC merging...");
+        println!(
+            "{}",
+            ablations::ablation_merge(&ctx.cfg, Dim::D2, GpuId::V100).render()
+        );
+        eprintln!("[ablations] noise...");
+        println!("{}", ablations::ablation_noise(&ctx.cfg, Dim::D2).render());
+        eprintln!("[ablations] tuning budget...");
+        println!(
+            "{}",
+            ablations::ablation_budget(&ctx.cfg, Dim::D3, GpuId::V100).render()
+        );
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness for StencilMART: the `experiments` binary (in
+//! `src/bin/`) regenerates every table and figure of the paper, and the
+//! Criterion benches (in `benches/`) measure the compute kernels behind
+//! each experiment plus the ablations called out in DESIGN.md.
+
+use stencilmart::config::PipelineConfig;
+
+/// Scale presets accepted by the `experiments` binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny smoke-test sizes (seconds).
+    Quick,
+    /// Laptop-scale defaults (minutes; used for EXPERIMENTS.md).
+    Default,
+    /// Paper-scale sizes (hours).
+    Paper,
+}
+
+impl Scale {
+    /// Parse from a CLI flag value.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "default" => Some(Scale::Default),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The pipeline configuration for this scale.
+    pub fn config(self) -> PipelineConfig {
+        match self {
+            Scale::Quick => PipelineConfig::quick(),
+            Scale::Default => PipelineConfig::default(),
+            Scale::Paper => PipelineConfig::paper(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+        assert!(Scale::Quick.config().stencils_per_dim < Scale::Paper.config().stencils_per_dim);
+    }
+}

@@ -1,0 +1,266 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * **Representation** — Table II features vs extended features vs the
+//!   binary tensor, for OC selection (paper §IV-C discusses when each
+//!   representation is preferable).
+//! * **OC merging** — prediction quality as the number of merged classes
+//!   varies (paper §IV-D motivates merging with convergence quality).
+//! * **Measurement noise** — regression error as the simulated testbed
+//!   gets noisier.
+//! * **Tuning budget** — how close the per-OC random search gets to the
+//!   best found setting as the sample budget grows.
+
+use crate::classify::evaluate_classifier;
+use crate::config::PipelineConfig;
+use crate::dataset::{ClassificationDataset, ProfiledCorpus, RegressionDataset};
+use crate::models::{ClassifierKind, MlpShape, RegressorKind};
+use crate::regress::evaluate_regressor;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use stencilmart_gpusim::GpuId;
+use stencilmart_ml::data::FeatureMatrix;
+use stencilmart_stencil::features::{extract, FeatureConfig};
+use stencilmart_stencil::pattern::Dim;
+
+/// Result of the representation ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReprAblation {
+    /// `(label, accuracy)` per representation.
+    pub rows: Vec<(String, f64)>,
+}
+
+/// Compare input representations for OC selection on one (GPU, dim).
+pub fn ablation_repr(cfg: &PipelineConfig, dim: Dim, gpu: GpuId) -> ReprAblation {
+    let corpus = ProfiledCorpus::build(cfg, dim);
+    let merging = corpus.derive_merging(cfg.oc_classes);
+    let base = ClassificationDataset::build(&corpus, &merging, gpu);
+    let mut rows = Vec::new();
+
+    // Table II features → GBDT.
+    let eval = evaluate_classifier(ClassifierKind::Gbdt, &base, cfg.folds, cfg.seed);
+    rows.push(("GBDT / Table II features".to_string(), eval.accuracy));
+
+    // Extended features → GBDT.
+    let ext = FeatureConfig::extended();
+    let ext_rows: Vec<Vec<f32>> = base
+        .stencil_of_row
+        .iter()
+        .map(|&i| extract(&corpus.patterns[i], &ext).as_f32())
+        .collect();
+    let mut ds_ext = base.clone();
+    ds_ext.features = FeatureMatrix::from_rows(ext_rows.iter().map(Vec::as_slice));
+    let eval = evaluate_classifier(ClassifierKind::Gbdt, &ds_ext, cfg.folds, cfg.seed);
+    rows.push(("GBDT / extended features".to_string(), eval.accuracy));
+
+    // Binary tensor → ConvNet.
+    let eval = evaluate_classifier(ClassifierKind::ConvNet, &base, cfg.folds, cfg.seed);
+    rows.push(("ConvNet / binary tensor".to_string(), eval.accuracy));
+
+    ReprAblation { rows }
+}
+
+impl ReprAblation {
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        let mut s = String::from("Ablation: stencil representation (OC-selection accuracy)\n");
+        for (label, acc) in &self.rows {
+            let _ = writeln!(s, "  {label:<28} {:>5.1}%", acc * 100.0);
+        }
+        s
+    }
+}
+
+/// Result of the OC-merging ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MergeAblation {
+    /// `(classes, accuracy, mean speedup of oracle class over global
+    /// best)` per class count.
+    pub rows: Vec<(usize, f64, f64)>,
+}
+
+/// Vary the number of merged classes and measure selection accuracy plus
+/// the cost of committing to each class's representative.
+pub fn ablation_merge(cfg: &PipelineConfig, dim: Dim, gpu: GpuId) -> MergeAblation {
+    let corpus = ProfiledCorpus::build(cfg, dim);
+    let mut rows = Vec::new();
+    for classes in [3usize, 5, 10, 30] {
+        let merging = corpus.derive_merging(classes);
+        let ds = ClassificationDataset::build(&corpus, &merging, gpu);
+        let eval = evaluate_classifier(ClassifierKind::Gbdt, &ds, cfg.folds, cfg.seed);
+        // Representative cost under oracle labels: how much slower is the
+        // class target than the global best?
+        let mut ratios = Vec::new();
+        for (&si, &label) in ds.stencil_of_row.iter().zip(&ds.labels) {
+            let profile = &corpus.profiles_for(gpu)[si];
+            let best = profile.best_time_ms().expect("runs");
+            if let Some(rep) =
+                crate::baselines::predicted_time(profile, &merging, label)
+            {
+                ratios.push(rep / best);
+            }
+        }
+        let mean_ratio = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+        rows.push((classes, eval.accuracy, mean_ratio));
+    }
+    MergeAblation { rows }
+}
+
+impl MergeAblation {
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "Ablation: OC merging (classes vs accuracy vs oracle-class cost)\n",
+        );
+        let _ = writeln!(
+            s,
+            "  {:>7} {:>10} {:>22}",
+            "classes", "accuracy", "rep time / best time"
+        );
+        for (classes, acc, ratio) in &self.rows {
+            let _ = writeln!(
+                s,
+                "  {classes:>7} {:>9.1}% {ratio:>21.2}x",
+                acc * 100.0
+            );
+        }
+        s
+    }
+}
+
+/// Result of the noise ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NoiseAblation {
+    /// `(sigma, regression MAPE %)` per noise level.
+    pub rows: Vec<(f64, f64)>,
+}
+
+/// Vary the measurement-noise level and measure regression MAPE.
+pub fn ablation_noise(cfg: &PipelineConfig, dim: Dim) -> NoiseAblation {
+    let mut rows = Vec::new();
+    for sigma in [0.0, 0.03, 0.06, 0.12] {
+        let mut c = cfg.clone();
+        c.noise = stencilmart_gpusim::NoiseModel::with_sigma(sigma);
+        let corpus = ProfiledCorpus::build(&c, dim);
+        let ds = RegressionDataset::build(&corpus, &c);
+        let eval = evaluate_regressor(
+            RegressorKind::GbRegressor,
+            &ds,
+            MlpShape::default(),
+            c.folds,
+            c.seed,
+        );
+        rows.push((sigma, eval.mape_overall));
+    }
+    NoiseAblation { rows }
+}
+
+impl NoiseAblation {
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        let mut s =
+            String::from("Ablation: measurement noise vs GBRegressor MAPE\n");
+        for (sigma, mape) in &self.rows {
+            let _ = writeln!(s, "  sigma {sigma:>5.2}  MAPE {mape:>6.1}%");
+        }
+        s
+    }
+}
+
+/// Result of the tuning-budget ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BudgetAblation {
+    /// `(budget k, mean best-time ratio vs full budget)` per budget.
+    pub rows: Vec<(usize, f64)>,
+}
+
+/// How much of the tuned performance does a budget of `k` random settings
+/// per OC capture, relative to the largest budget profiled?
+pub fn ablation_budget(cfg: &PipelineConfig, dim: Dim, gpu: GpuId) -> BudgetAblation {
+    let mut c = cfg.clone();
+    let full = 16usize;
+    c.samples_per_oc = full;
+    let corpus = ProfiledCorpus::build(&c, dim);
+    let profiles = corpus.profiles_for(gpu);
+    let mut rows = Vec::new();
+    for k in [1usize, 2, 4, 8, full] {
+        let mut ratios = Vec::new();
+        for p in profiles {
+            // Best across OCs with the first k samples of each OC.
+            let best_k = p
+                .per_oc
+                .iter()
+                .filter_map(|o| {
+                    o.instances
+                        .iter()
+                        .take(k)
+                        .map(|i| i.time_ms)
+                        .min_by(f64::total_cmp)
+                })
+                .min_by(f64::total_cmp);
+            if let (Some(bk), Some(bf)) = (best_k, p.best_time_ms()) {
+                ratios.push(bk / bf);
+            }
+        }
+        rows.push((k, ratios.iter().sum::<f64>() / ratios.len().max(1) as f64));
+    }
+    BudgetAblation { rows }
+}
+
+impl BudgetAblation {
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "Ablation: random-search budget vs achieved time (ratio to full budget)\n",
+        );
+        for (k, ratio) in &self.rows {
+            let _ = writeln!(s, "  k = {k:>2}  best-time ratio {ratio:>5.2}x");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig {
+            stencils_per_dim: 16,
+            samples_per_oc: 3,
+            folds: 2,
+            max_regression_rows: 800,
+            gpus: vec![GpuId::V100],
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn repr_ablation_produces_three_rows() {
+        let r = ablation_repr(&cfg(), Dim::D2, GpuId::V100);
+        assert_eq!(r.rows.len(), 3);
+        assert!(r.rows.iter().all(|(_, a)| (0.0..=1.0).contains(a)));
+        assert!(r.render().contains("ConvNet"));
+    }
+
+    #[test]
+    fn merge_ablation_tracks_class_count() {
+        let r = ablation_merge(&cfg(), Dim::D2, GpuId::V100);
+        assert_eq!(r.rows.len(), 4);
+        // With 30 classes the representative IS the best OC: ratio ~1.
+        let full = r.rows.last().unwrap();
+        assert_eq!(full.0, 30);
+        assert!(full.2 < 1.05, "30-class rep cost {}", full.2);
+        // Coarser classes can only be as good or worse.
+        assert!(r.rows[0].2 >= full.2 - 1e-9);
+    }
+
+    #[test]
+    fn budget_ablation_is_monotone() {
+        let r = ablation_budget(&cfg(), Dim::D2, GpuId::V100);
+        // Ratios decrease toward 1 as the budget grows.
+        for w in r.rows.windows(2) {
+            assert!(w[0].1 >= w[1].1 - 1e-9, "{:?}", r.rows);
+        }
+        assert!((r.rows.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}

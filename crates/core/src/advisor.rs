@@ -1,0 +1,332 @@
+//! The "to rent or not to rent" case study (paper §V-D, Fig. 14–15):
+//! use the cross-architecture regressor to predict which GPU is best for
+//! each stencil instance — by pure performance, and by cost efficiency
+//! (time × rental price).
+
+use crate::config::PipelineConfig;
+use crate::dataset::{ProfiledCorpus, RegressionDataset};
+use crate::models::{MlpShape, RegressorKind, TrainedRegressor};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use stencilmart_gpusim::{GpuArch, GpuId, ParamSetting};
+use stencilmart_ml::data::FeatureMatrix;
+
+/// The ranking criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Criterion {
+    /// Fastest execution (Fig. 14; all four GPUs).
+    PurePerformance,
+    /// Lowest time × rental price (Fig. 15; rentable GPUs only — the
+    /// 2080 Ti is not offered by Google Cloud).
+    CostEfficiency,
+}
+
+impl Criterion {
+    /// GPUs participating under this criterion.
+    pub fn gpus(self) -> Vec<GpuId> {
+        match self {
+            Criterion::PurePerformance => GpuId::ALL.to_vec(),
+            Criterion::CostEfficiency => GpuId::ALL
+                .iter()
+                .copied()
+                .filter(|g| GpuArch::preset(*g).rental_per_hr.is_some())
+                .collect(),
+        }
+    }
+
+    /// The score to minimize for a GPU given a time in ms.
+    pub fn score(self, gpu: GpuId, time_ms: f64) -> f64 {
+        match self {
+            Criterion::PurePerformance => time_ms,
+            Criterion::CostEfficiency => {
+                let price = GpuArch::preset(gpu)
+                    .rental_per_hr
+                    .expect("cost criterion only ranks rentable GPUs");
+                time_ms * price
+            }
+        }
+    }
+}
+
+/// Result of the advisor evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdvisorResult {
+    /// The criterion evaluated.
+    pub criterion: Criterion,
+    /// Ground truth: fraction of instances for which each GPU is best.
+    pub share: Vec<(GpuId, f64)>,
+    /// Prediction accuracy per ground-truth-best GPU.
+    pub accuracy: Vec<(GpuId, f64)>,
+    /// Overall accuracy over all evaluated instances.
+    pub overall_accuracy: f64,
+    /// Number of evaluated instances.
+    pub instances: usize,
+}
+
+/// Per-GPU times for one (stencil, OC, params) instance.
+type InstanceTimes = HashMap<(usize, usize, ParamSetting), HashMap<GpuId, f64>>;
+
+fn collect_instance_times(corpus: &ProfiledCorpus) -> InstanceTimes {
+    let mut map: InstanceTimes = HashMap::new();
+    for (gpu, profiles) in &corpus.profiles {
+        for (si, profile) in profiles.iter().enumerate() {
+            for (oi, outcome) in profile.per_oc.iter().enumerate() {
+                for inst in &outcome.instances {
+                    map.entry((si, oi, inst.params))
+                        .or_default()
+                        .insert(*gpu, inst.time_ms);
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Evaluate the rental advisor: train the regressor on instances of the
+/// training stencils, then for each instance of the held-out stencils,
+/// predict each GPU's time (by swapping the hardware features) and pick
+/// the best GPU under the criterion.
+///
+/// Splitting by *stencil* (20% held out) keeps the evaluation honest: the
+/// model never sees any measurement of a test stencil.
+pub fn evaluate_advisor(
+    corpus: &ProfiledCorpus,
+    ds: &RegressionDataset,
+    cfg: &PipelineConfig,
+    kind: RegressorKind,
+    criterion: Criterion,
+    seed: u64,
+) -> AdvisorResult {
+    let gpus = criterion.gpus();
+    let n_stencils = corpus.patterns.len();
+    assert!(n_stencils >= 5, "advisor needs at least 5 stencils");
+    // Deterministic stencil split: every 5th stencil is held out.
+    let test_stencils: Vec<bool> = (0..n_stencils)
+        .map(|i| (i + seed as usize).is_multiple_of(5))
+        .collect();
+    let train_idx: Vec<usize> = (0..ds.len())
+        .filter(|&r| !test_stencils[ds.keys[r].stencil])
+        .collect();
+    let mut model = TrainedRegressor::train(
+        kind,
+        ds.dim,
+        MlpShape::default(),
+        &ds.features,
+        &ds.tensors,
+        &ds.target_ln_ms,
+        &train_idx,
+        seed,
+    );
+
+    // Gather held-out instances with a ground-truth time on every
+    // participating GPU.
+    let times = collect_instance_times(corpus);
+    let mut eval_rows: Vec<usize> = Vec::new(); // representative ds row per instance
+    let mut truth_best: Vec<GpuId> = Vec::new();
+    let mut seen: std::collections::HashSet<(usize, usize, ParamSetting)> =
+        std::collections::HashSet::new();
+    for (r, key) in ds.keys.iter().enumerate() {
+        if !test_stencils[key.stencil] {
+            continue;
+        }
+        let params = instance_params(corpus, key.gpu, key.stencil, key.oc, key.param);
+        let ik = (key.stencil, key.oc, params);
+        if !seen.insert(ik) {
+            continue;
+        }
+        let Some(per_gpu) = times.get(&ik) else {
+            continue;
+        };
+        if !gpus.iter().all(|g| per_gpu.contains_key(g)) {
+            continue; // crashed on some GPU: no fair ground truth
+        }
+        let best = gpus
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                criterion
+                    .score(a, per_gpu[&a])
+                    .total_cmp(&criterion.score(b, per_gpu[&b]))
+            })
+            .expect("non-empty GPU list");
+        eval_rows.push(r);
+        truth_best.push(best);
+    }
+
+    // Predict per-GPU times by swapping hardware features.
+    let mut predicted_best = Vec::with_capacity(eval_rows.len());
+    for chunk in eval_rows.chunks(512) {
+        // Batch: rows × gpus.
+        let mut what_if_rows: Vec<Vec<f32>> = Vec::with_capacity(chunk.len() * gpus.len());
+        let mut tensor_rows: Vec<&[f32]> = Vec::with_capacity(chunk.len() * gpus.len());
+        for &r in chunk {
+            for &g in &gpus {
+                what_if_rows.push(ds.row_with_gpu(r, g, cfg));
+                tensor_rows.push(ds.tensors.row(r));
+            }
+        }
+        let fm = FeatureMatrix::from_rows(what_if_rows.iter().map(Vec::as_slice));
+        let tm = FeatureMatrix::from_rows(tensor_rows.iter().copied());
+        let preds = model.predict_ln_rows(&fm, &tm);
+        for (ci, _) in chunk.iter().enumerate() {
+            let base = ci * gpus.len();
+            let best = (0..gpus.len())
+                .min_by(|&a, &b| {
+                    let ta = (preds[base + a] as f64).exp();
+                    let tb = (preds[base + b] as f64).exp();
+                    criterion
+                        .score(gpus[a], ta)
+                        .total_cmp(&criterion.score(gpus[b], tb))
+                })
+                .expect("non-empty");
+            predicted_best.push(gpus[best]);
+        }
+    }
+
+    // Aggregate.
+    let n = truth_best.len().max(1);
+    let share = gpus
+        .iter()
+        .map(|&g| {
+            (
+                g,
+                truth_best.iter().filter(|&&b| b == g).count() as f64 / n as f64,
+            )
+        })
+        .collect();
+    let accuracy = gpus
+        .iter()
+        .map(|&g| {
+            let idx: Vec<usize> = truth_best
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b == g)
+                .map(|(i, _)| i)
+                .collect();
+            let acc = if idx.is_empty() {
+                f64::NAN
+            } else {
+                idx.iter().filter(|&&i| predicted_best[i] == g).count() as f64
+                    / idx.len() as f64
+            };
+            (g, acc)
+        })
+        .collect();
+    let overall = truth_best
+        .iter()
+        .zip(&predicted_best)
+        .filter(|(a, b)| a == b)
+        .count() as f64
+        / n as f64;
+    AdvisorResult {
+        criterion,
+        share,
+        accuracy,
+        overall_accuracy: overall,
+        instances: truth_best.len(),
+    }
+}
+
+fn instance_params(
+    corpus: &ProfiledCorpus,
+    gpu: GpuId,
+    stencil: usize,
+    oc: usize,
+    param: usize,
+) -> ParamSetting {
+    corpus.profiles_for(gpu)[stencil].per_oc[oc].instances[param].params
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilmart_stencil::pattern::Dim;
+
+    fn setup() -> (ProfiledCorpus, RegressionDataset, PipelineConfig) {
+        let cfg = PipelineConfig {
+            stencils_per_dim: 15,
+            samples_per_oc: 2,
+            max_regression_rows: 3000,
+            ..PipelineConfig::default()
+        };
+        let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+        let ds = RegressionDataset::build(&corpus, &cfg);
+        (corpus, ds, cfg)
+    }
+
+    #[test]
+    fn criterion_gpu_sets() {
+        assert_eq!(Criterion::PurePerformance.gpus().len(), 4);
+        let cost = Criterion::CostEfficiency.gpus();
+        assert_eq!(cost.len(), 3);
+        assert!(!cost.contains(&GpuId::Rtx2080Ti));
+    }
+
+    #[test]
+    fn cost_score_multiplies_price() {
+        let t = Criterion::CostEfficiency.score(GpuId::P100, 10.0);
+        assert!((t - 14.6).abs() < 1e-9);
+        assert_eq!(Criterion::PurePerformance.score(GpuId::A100, 5.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rentable")]
+    fn cost_score_rejects_2080ti() {
+        Criterion::CostEfficiency.score(GpuId::Rtx2080Ti, 1.0);
+    }
+
+    #[test]
+    fn advisor_shares_sum_to_one_and_accuracy_bounded() {
+        let (corpus, ds, cfg) = setup();
+        let res = evaluate_advisor(
+            &corpus,
+            &ds,
+            &cfg,
+            RegressorKind::GbRegressor,
+            Criterion::PurePerformance,
+            0,
+        );
+        assert!(res.instances > 0);
+        let total: f64 = res.share.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(res.overall_accuracy >= 0.0 && res.overall_accuracy <= 1.0);
+        for (_, a) in &res.accuracy {
+            assert!(a.is_nan() || (0.0..=1.0).contains(a));
+        }
+    }
+
+    #[test]
+    fn advisor_beats_uniform_guessing() {
+        let (corpus, ds, cfg) = setup();
+        let res = evaluate_advisor(
+            &corpus,
+            &ds,
+            &cfg,
+            RegressorKind::GbRegressor,
+            Criterion::PurePerformance,
+            1,
+        );
+        // Four GPUs → 25% by chance; even a weak regressor should do
+        // far better because architecture gaps are large.
+        assert!(
+            res.overall_accuracy > 0.4,
+            "accuracy {}",
+            res.overall_accuracy
+        );
+    }
+
+    #[test]
+    fn cost_efficiency_runs_on_rentable_gpus() {
+        let (corpus, ds, cfg) = setup();
+        let res = evaluate_advisor(
+            &corpus,
+            &ds,
+            &cfg,
+            RegressorKind::GbRegressor,
+            Criterion::CostEfficiency,
+            0,
+        );
+        assert_eq!(res.share.len(), 3);
+        assert!(res.instances > 0);
+    }
+}

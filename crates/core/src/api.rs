@@ -1,0 +1,191 @@
+//! The user-facing StencilMART API: train once, then ask for the best
+//! optimization combination for a new stencil, or predict its execution
+//! time on a GPU you do not own.
+
+use crate::config::PipelineConfig;
+use crate::dataset::{ClassificationDataset, ProfiledCorpus, RegressionDataset};
+use crate::models::{
+    ClassifierKind, MlpShape, RegressorKind, TrainedClassifier, TrainedRegressor,
+};
+use crate::pcc::OcMerging;
+use stencilmart_gpusim::{GpuArch, GpuId, OptCombo, ParamSetting};
+use stencilmart_ml::data::FeatureMatrix;
+use stencilmart_stencil::features::{extract, FeatureConfig};
+use stencilmart_stencil::pattern::{Dim, StencilPattern};
+use stencilmart_stencil::tensor::BinaryTensor;
+
+/// A trained StencilMART instance for one stencil dimensionality.
+///
+/// Construction runs the full pipeline: generate a random training
+/// corpus, profile it on the simulated GPUs, merge OCs by Pearson
+/// correlation, and train one classifier per GPU plus one
+/// cross-architecture regressor.
+pub struct StencilMart {
+    cfg: PipelineConfig,
+    dim: Dim,
+    merging: OcMerging,
+    classifiers: Vec<(GpuId, TrainedClassifier)>,
+    regressor: TrainedRegressor,
+    regression_cols: usize,
+}
+
+impl StencilMart {
+    /// Train the framework for one dimensionality with the chosen
+    /// mechanisms.
+    pub fn train(
+        cfg: PipelineConfig,
+        dim: Dim,
+        classifier: ClassifierKind,
+        regressor: RegressorKind,
+    ) -> StencilMart {
+        let corpus = ProfiledCorpus::build(&cfg, dim);
+        let merging = corpus.derive_merging(cfg.oc_classes);
+        let mut classifiers = Vec::new();
+        for &gpu in &cfg.gpus {
+            let ds = ClassificationDataset::build(&corpus, &merging, gpu);
+            let all: Vec<usize> = (0..ds.len()).collect();
+            let model = TrainedClassifier::train(
+                classifier,
+                dim,
+                ds.classes,
+                &ds.features,
+                &ds.tensors,
+                &ds.labels,
+                &all,
+                cfg.seed,
+            );
+            classifiers.push((gpu, model));
+        }
+        let rds = RegressionDataset::build(&corpus, &cfg);
+        let all: Vec<usize> = (0..rds.len()).collect();
+        let regressor = TrainedRegressor::train(
+            regressor,
+            dim,
+            MlpShape::default(),
+            &rds.features,
+            &rds.tensors,
+            &rds.target_ln_ms,
+            &all,
+            cfg.seed,
+        );
+        StencilMart {
+            cfg,
+            dim,
+            merging,
+            classifiers,
+            regressor,
+            regression_cols: rds.features.cols(),
+        }
+    }
+
+    /// Dimensionality this instance was trained for.
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// The OC merging derived during training.
+    pub fn merging(&self) -> &OcMerging {
+        &self.merging
+    }
+
+    /// Predict the best optimization combination for a stencil on a GPU.
+    ///
+    /// # Panics
+    /// Panics if the stencil's dimensionality differs from the trained
+    /// one or the GPU was not part of training.
+    pub fn predict_best_oc(&mut self, pattern: &StencilPattern, gpu: GpuId) -> OptCombo {
+        assert_eq!(pattern.dim(), self.dim, "dimensionality mismatch");
+        let fc = FeatureConfig::table2();
+        let features =
+            FeatureMatrix::from_rows([extract(pattern, &fc).as_f32().as_slice()]);
+        let tensor_row = BinaryTensor::canvas(pattern).data().to_vec();
+        let tensors = FeatureMatrix::from_rows([tensor_row.as_slice()]);
+        let merging = &self.merging;
+        let model = &mut self
+            .classifiers
+            .iter_mut()
+            .find(|(g, _)| *g == gpu)
+            .expect("GPU was part of training")
+            .1;
+        let class = model.predict(&features, &tensors, &[0])[0];
+        merging.representative(class)
+    }
+
+    /// Predict the execution time (ms) of a configured stencil kernel on
+    /// a GPU — without "running" on it (cross-architecture prediction).
+    pub fn predict_time_ms(
+        &mut self,
+        pattern: &StencilPattern,
+        oc: &OptCombo,
+        params: &ParamSetting,
+        gpu: GpuId,
+    ) -> f64 {
+        assert_eq!(pattern.dim(), self.dim, "dimensionality mismatch");
+        // Regression rows use the extended feature set (see
+        // `RegressionDataset::build`).
+        let fc = FeatureConfig::extended();
+        let mut row = extract(pattern, &fc).as_f32();
+        row.extend(oc.feature_vector().iter().map(|&v| v as f32));
+        row.extend(params.feature_vector(oc).iter().map(|&v| v as f32));
+        row.extend(
+            GpuArch::preset(gpu)
+                .feature_vector()
+                .iter()
+                .map(|&v| v as f32),
+        );
+        if self.cfg.include_grid_size {
+            row.push((self.cfg.grid_for(self.dim) as f32).log2());
+        }
+        assert_eq!(row.len(), self.regression_cols, "feature layout mismatch");
+        let features = FeatureMatrix::from_rows([row.as_slice()]);
+        let tensor_row = BinaryTensor::canvas(pattern).data().to_vec();
+        let tensors = FeatureMatrix::from_rows([tensor_row.as_slice()]);
+        let ln = self.regressor.predict_ln_rows(&features, &tensors)[0];
+        (ln as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilmart_gpusim::ParamSpace;
+    use stencilmart_stencil::shapes;
+
+    fn tiny() -> StencilMart {
+        let cfg = PipelineConfig {
+            stencils_per_dim: 12,
+            samples_per_oc: 2,
+            max_regression_rows: 800,
+            gpus: vec![GpuId::V100, GpuId::P100],
+            ..PipelineConfig::default()
+        };
+        StencilMart::train(cfg, Dim::D2, ClassifierKind::Gbdt, RegressorKind::GbRegressor)
+    }
+
+    #[test]
+    fn predicts_a_valid_oc() {
+        let mut mart = tiny();
+        let p = shapes::star(Dim::D2, 2);
+        let oc = mart.predict_best_oc(&p, GpuId::V100);
+        assert!(oc.is_valid());
+    }
+
+    #[test]
+    fn predicts_positive_time() {
+        let mut mart = tiny();
+        let p = shapes::box_(Dim::D2, 1);
+        let oc = OptCombo::parse("ST").unwrap();
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(0);
+        let params = ParamSpace::new(oc, Dim::D2).sample(&mut rng);
+        let t = mart.predict_time_ms(&p, &oc, &params, GpuId::P100);
+        assert!(t > 0.0 && t.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn rejects_wrong_dim() {
+        let mut mart = tiny();
+        let p = shapes::star(Dim::D3, 1);
+        mart.predict_best_oc(&p, GpuId::V100);
+    }
+}

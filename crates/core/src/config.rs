@@ -1,0 +1,139 @@
+//! Pipeline configuration: corpus sizes, profiling budgets, and
+//! cross-validation settings.
+//!
+//! The paper profiles 500 2-D + 500 3-D stencils into ~65k/76k instances
+//! per GPU on a real testbed. The defaults here are scaled so that every
+//! experiment regenerates in minutes on a laptop; `PipelineConfig::paper`
+//! restores the paper-scale settings for long runs.
+
+use serde::{Deserialize, Serialize};
+use stencilmart_gpusim::{GpuId, NoiseModel, ProfileConfig};
+use stencilmart_stencil::pattern::Dim;
+
+/// End-to-end pipeline configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Random stencils generated per dimensionality.
+    pub stencils_per_dim: usize,
+    /// Maximum stencil order (paper: 4).
+    pub max_order: u8,
+    /// 2-D grid points per axis (paper: 8192).
+    pub grid_2d: usize,
+    /// 3-D grid points per axis (paper: 512).
+    pub grid_3d: usize,
+    /// Random parameter settings sampled per OC during profiling.
+    pub samples_per_oc: usize,
+    /// Measurement noise.
+    pub noise: NoiseModel,
+    /// GPUs to profile on (paper: all four of Table III).
+    pub gpus: Vec<GpuId>,
+    /// Merged OC classes for classification (paper: 5).
+    pub oc_classes: usize,
+    /// Cross-validation folds (paper: 5).
+    pub folds: usize,
+    /// Cap on regression-dataset rows (random subsample; the paper uses
+    /// every instance).
+    pub max_regression_rows: usize,
+    /// Include the grid size as a model input (paper future work).
+    pub include_grid_size: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            stencils_per_dim: 120,
+            max_order: 4,
+            grid_2d: 8192,
+            grid_3d: 512,
+            samples_per_oc: 8,
+            noise: NoiseModel::default(),
+            gpus: GpuId::ALL.to_vec(),
+            oc_classes: 5,
+            folds: 5,
+            max_regression_rows: 20_000,
+            include_grid_size: false,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A fast configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        PipelineConfig {
+            stencils_per_dim: 40,
+            samples_per_oc: 4,
+            folds: 3,
+            max_regression_rows: 1500,
+            ..Self::default()
+        }
+    }
+
+    /// The paper-scale configuration (long-running).
+    pub fn paper() -> Self {
+        PipelineConfig {
+            stencils_per_dim: 500,
+            samples_per_oc: 12,
+            max_regression_rows: 60_000,
+            ..Self::default()
+        }
+    }
+
+    /// Grid points per axis for a dimensionality.
+    pub fn grid_for(&self, dim: Dim) -> usize {
+        match dim {
+            Dim::D1 => 1 << 26,
+            Dim::D2 => self.grid_2d,
+            Dim::D3 => self.grid_3d,
+        }
+    }
+
+    /// The profiler configuration derived from this pipeline
+    /// configuration.
+    pub fn profile_config(&self) -> ProfileConfig {
+        ProfileConfig {
+            samples_per_oc: self.samples_per_oc,
+            noise: self.noise,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.max_order, 4);
+        assert_eq!(c.grid_2d, 8192);
+        assert_eq!(c.grid_3d, 512);
+        assert_eq!(c.oc_classes, 5);
+        assert_eq!(c.folds, 5);
+        assert_eq!(c.gpus.len(), 4);
+    }
+
+    #[test]
+    fn grid_lookup() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.grid_for(Dim::D2), 8192);
+        assert_eq!(c.grid_for(Dim::D3), 512);
+    }
+
+    #[test]
+    fn quick_is_smaller_than_default() {
+        let q = PipelineConfig::quick();
+        let d = PipelineConfig::default();
+        assert!(q.stencils_per_dim < d.stencils_per_dim);
+        assert!(q.samples_per_oc < d.samples_per_oc);
+    }
+
+    #[test]
+    fn profile_config_inherits_budget() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.profile_config().samples_per_oc, c.samples_per_oc);
+    }
+}

@@ -1,0 +1,419 @@
+//! The data-collection stage of StencilMART (paper §IV-A, §V-A2):
+//! generate a random stencil corpus, profile every (stencil, OC) pair on
+//! every GPU, and assemble the classification and regression datasets.
+
+use crate::config::PipelineConfig;
+use crate::pcc::{self, OcMerging};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use stencilmart_gpusim::{profile_corpus, GpuArch, GpuId, OptCombo, StencilProfile};
+use stencilmart_ml::data::FeatureMatrix;
+use stencilmart_stencil::features::{extract, FeatureConfig};
+use stencilmart_stencil::generator::StencilGenerator;
+use stencilmart_stencil::pattern::{Dim, StencilPattern};
+use stencilmart_stencil::tensor::BinaryTensor;
+
+/// A profiled corpus: patterns plus per-GPU profiling results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfiledCorpus {
+    /// Dimensionality of every stencil in this corpus.
+    pub dim: Dim,
+    /// Grid points per axis.
+    pub grid: usize,
+    /// The generated stencils.
+    pub patterns: Vec<StencilPattern>,
+    /// `(gpu, profiles aligned with patterns)` in configuration order.
+    pub profiles: Vec<(GpuId, Vec<StencilProfile>)>,
+}
+
+impl ProfiledCorpus {
+    /// Generate and profile a corpus for one dimensionality.
+    pub fn build(cfg: &PipelineConfig, dim: Dim) -> ProfiledCorpus {
+        let mut gen = StencilGenerator::new(cfg.seed ^ dim.rank() as u64);
+        let patterns = gen.generate_corpus(dim, cfg.max_order, cfg.stencils_per_dim);
+        let grid = cfg.grid_for(dim);
+        let pc = cfg.profile_config();
+        let profiles = cfg
+            .gpus
+            .iter()
+            .map(|&g| {
+                let arch = GpuArch::preset(g);
+                (g, profile_corpus(&patterns, grid, &arch, &pc))
+            })
+            .collect();
+        ProfiledCorpus {
+            dim,
+            grid,
+            patterns,
+            profiles,
+        }
+    }
+
+    /// Profiles for one GPU.
+    pub fn profiles_for(&self, gpu: GpuId) -> &[StencilProfile] {
+        &self
+            .profiles
+            .iter()
+            .find(|(g, _)| *g == gpu)
+            .expect("GPU was profiled")
+            .1
+    }
+
+    /// Derive the OC merging for this corpus (pooling correlation and
+    /// performance-gap statistics over all profiled GPUs).
+    pub fn derive_merging(&self, classes: usize) -> OcMerging {
+        let per_gpu_times: Vec<_> = self
+            .profiles
+            .iter()
+            .map(|(_, profiles)| pcc::oc_time_matrix(profiles))
+            .collect();
+        let per_gpu_pcc: Vec<_> = per_gpu_times.iter().map(|m| pcc::pairwise_pcc(m)).collect();
+        let all_profiles: Vec<Vec<StencilProfile>> = self
+            .profiles
+            .iter()
+            .map(|(_, p)| p.clone())
+            .collect();
+        let wins = pcc::win_counts(&all_profiles);
+        pcc::merge_ocs(&per_gpu_pcc, &per_gpu_times, &wins, classes)
+    }
+}
+
+/// Classification dataset for one (GPU, dimensionality): one row per
+/// stencil, labelled with the merged class of its best OC.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassificationDataset {
+    /// Target GPU.
+    pub gpu: GpuId,
+    /// Stencil dimensionality.
+    pub dim: Dim,
+    /// Table II feature rows (GBDT / FcNet input).
+    pub features: FeatureMatrix,
+    /// Flattened fixed-canvas binary tensors (ConvNet input).
+    pub tensors: FeatureMatrix,
+    /// Merged-class labels.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+    /// Row → index into the corpus patterns.
+    pub stencil_of_row: Vec<usize>,
+}
+
+impl ClassificationDataset {
+    /// Assemble from a profiled corpus and an OC merging.
+    pub fn build(corpus: &ProfiledCorpus, merging: &OcMerging, gpu: GpuId) -> Self {
+        let fc = FeatureConfig::table2();
+        let mut feat_rows: Vec<Vec<f32>> = Vec::new();
+        let mut tensor_rows: Vec<Vec<f32>> = Vec::new();
+        let mut labels = Vec::new();
+        let mut stencil_of_row = Vec::new();
+        for (i, (pattern, profile)) in corpus
+            .patterns
+            .iter()
+            .zip(corpus.profiles_for(gpu))
+            .enumerate()
+        {
+            let Some(best) = profile.best_oc() else {
+                continue; // every OC crashed (does not happen in practice)
+            };
+            labels.push(merging.class_of(best.oc.index()));
+            feat_rows.push(extract(pattern, &fc).as_f32());
+            tensor_rows.push(BinaryTensor::canvas(pattern).data().to_vec());
+            stencil_of_row.push(i);
+        }
+        ClassificationDataset {
+            gpu,
+            dim: corpus.dim,
+            features: FeatureMatrix::from_rows(feat_rows.iter().map(Vec::as_slice)),
+            tensors: FeatureMatrix::from_rows(tensor_rows.iter().map(Vec::as_slice)),
+            labels,
+            classes: merging.classes(),
+            stencil_of_row,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// One regression instance key: which (stencil, OC, parameter setting,
+/// GPU) a row describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceKey {
+    /// Index into the corpus patterns.
+    pub stencil: usize,
+    /// OC index into [`OptCombo::enumerate`].
+    pub oc: usize,
+    /// Index of the parameter setting within the (stencil, OC) sample
+    /// list (identical across GPUs by construction).
+    pub param: usize,
+    /// The measured GPU.
+    pub gpu: GpuId,
+}
+
+/// Regression dataset for one dimensionality: one row per measured
+/// instance across all GPUs (paper §IV-E).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressionDataset {
+    /// Stencil dimensionality.
+    pub dim: Dim,
+    /// Input rows: stencil features ++ OC flags ++ parameter features ++
+    /// hardware features (++ log2 grid when configured).
+    pub features: FeatureMatrix,
+    /// Flattened canvas tensors aligned with `features` (ConvMLP branch).
+    pub tensors: FeatureMatrix,
+    /// Regression target: `ln(time_ms)`.
+    pub target_ln_ms: Vec<f32>,
+    /// Instance keys aligned with rows.
+    pub keys: Vec<InstanceKey>,
+}
+
+impl RegressionDataset {
+    /// Assemble from a profiled corpus, optionally subsampled to
+    /// `cfg.max_regression_rows` rows.
+    ///
+    /// Regression rows use the *extended* stencil feature set (Table II
+    /// plus distance/row-structure features): cross-architecture time
+    /// prediction needs the row count and axis structure that drive
+    /// coalescing and register allocation, which the classification
+    /// features alone do not expose.
+    pub fn build(corpus: &ProfiledCorpus, cfg: &PipelineConfig) -> Self {
+        let fc = FeatureConfig::extended();
+        let ocs = OptCombo::enumerate();
+        let stencil_feats: Vec<Vec<f32>> = corpus
+            .patterns
+            .iter()
+            .map(|p| extract(p, &fc).as_f32())
+            .collect();
+        let stencil_tensors: Vec<Vec<f32>> = corpus
+            .patterns
+            .iter()
+            .map(|p| BinaryTensor::canvas(p).data().to_vec())
+            .collect();
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        let mut tensor_rows: Vec<usize> = Vec::new(); // index into stencil_tensors
+        let mut targets = Vec::new();
+        let mut keys = Vec::new();
+        for (gpu, profiles) in &corpus.profiles {
+            let hw: Vec<f32> = GpuArch::preset(*gpu)
+                .feature_vector()
+                .iter()
+                .map(|&v| v as f32)
+                .collect();
+            for (si, profile) in profiles.iter().enumerate() {
+                for (oi, outcome) in profile.per_oc.iter().enumerate() {
+                    for (pi, inst) in outcome.instances.iter().enumerate() {
+                        let mut row = stencil_feats[si].clone();
+                        row.extend(ocs[oi].feature_vector().iter().map(|&v| v as f32));
+                        row.extend(
+                            inst.params
+                                .feature_vector(&ocs[oi])
+                                .iter()
+                                .map(|&v| v as f32),
+                        );
+                        row.extend_from_slice(&hw);
+                        if cfg.include_grid_size {
+                            row.push((corpus.grid as f32).log2());
+                        }
+                        rows.push(row);
+                        tensor_rows.push(si);
+                        targets.push(inst.time_ms.ln() as f32);
+                        keys.push(InstanceKey {
+                            stencil: si,
+                            oc: oi,
+                            param: pi,
+                            gpu: *gpu,
+                        });
+                    }
+                }
+            }
+        }
+        // Subsample to the configured cap, preserving determinism.
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        if rows.len() > cfg.max_regression_rows {
+            order.shuffle(&mut ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xDA7A));
+            order.truncate(cfg.max_regression_rows);
+            order.sort_unstable();
+        }
+        let features =
+            FeatureMatrix::from_rows(order.iter().map(|&i| rows[i].as_slice()));
+        let tensors = FeatureMatrix::from_rows(
+            order.iter().map(|&i| stencil_tensors[tensor_rows[i]].as_slice()),
+        );
+        RegressionDataset {
+            dim: corpus.dim,
+            features,
+            tensors,
+            target_ln_ms: order.iter().map(|&i| targets[i]).collect(),
+            keys: order.iter().map(|&i| keys[i]).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.target_ln_ms.len()
+    }
+
+    /// A deterministic random row-subset of this dataset (used by sweeps
+    /// like Fig. 13 that train many models and cannot afford full-size
+    /// training sets per configuration).
+    pub fn subsample(&self, n: usize, seed: u64) -> RegressionDataset {
+        if n >= self.len() {
+            return self.clone();
+        }
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+        order.truncate(n);
+        order.sort_unstable();
+        RegressionDataset {
+            dim: self.dim,
+            features: self.features.select(&order),
+            tensors: self.tensors.select(&order),
+            target_ln_ms: order.iter().map(|&i| self.target_ln_ms[i]).collect(),
+            keys: order.iter().map(|&i| self.keys[i]).collect(),
+        }
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.target_ln_ms.is_empty()
+    }
+
+    /// Number of hardware-feature columns at the tail of each row
+    /// (before the optional grid column).
+    pub fn hw_cols() -> usize {
+        GpuArch::feature_names().len()
+    }
+
+    /// Rebuild one row's features with a *different* GPU's hardware
+    /// characteristics (cross-architecture what-if, used by the rental
+    /// advisor).
+    pub fn row_with_gpu(&self, row: usize, gpu: GpuId, cfg: &PipelineConfig) -> Vec<f32> {
+        let mut r = self.features.row(row).to_vec();
+        let hw: Vec<f32> = GpuArch::preset(gpu)
+            .feature_vector()
+            .iter()
+            .map(|&v| v as f32)
+            .collect();
+        let tail = if cfg.include_grid_size { 1 } else { 0 };
+        let hw_start = r.len() - Self::hw_cols() - tail;
+        r[hw_start..hw_start + Self::hw_cols()].copy_from_slice(&hw);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> PipelineConfig {
+        PipelineConfig {
+            stencils_per_dim: 8,
+            samples_per_oc: 2,
+            gpus: vec![GpuId::V100, GpuId::P100],
+            max_regression_rows: 300,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn corpus_builds_and_profiles() {
+        let cfg = tiny_cfg();
+        let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+        assert_eq!(corpus.patterns.len(), 8);
+        assert_eq!(corpus.profiles.len(), 2);
+        assert_eq!(corpus.profiles_for(GpuId::V100).len(), 8);
+    }
+
+    #[test]
+    fn merging_reduces_to_requested_classes() {
+        let cfg = tiny_cfg();
+        let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+        let merging = corpus.derive_merging(5);
+        assert_eq!(merging.classes(), 5);
+        // Every one of the 30 OCs belongs to a class.
+        let total: usize = merging.groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn classification_dataset_is_aligned() {
+        let cfg = tiny_cfg();
+        let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+        let merging = corpus.derive_merging(5);
+        let ds = ClassificationDataset::build(&corpus, &merging, GpuId::V100);
+        assert_eq!(ds.len(), 8);
+        assert_eq!(ds.features.rows(), 8);
+        assert_eq!(ds.features.cols(), 11);
+        assert_eq!(ds.tensors.cols(), 81); // 9×9 canvas
+        assert!(ds.labels.iter().all(|&l| l < 5));
+    }
+
+    #[test]
+    fn regression_dataset_rows_and_columns() {
+        let cfg = tiny_cfg();
+        let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+        let ds = RegressionDataset::build(&corpus, &cfg);
+        assert!(ds.len() <= 300);
+        assert!(ds.len() > 50);
+        // 18 extended stencil + 6 OC + 8 param + 4 hw columns.
+        assert_eq!(ds.features.cols(), 18 + 6 + 8 + 4);
+        assert_eq!(ds.tensors.rows(), ds.len());
+        assert!(ds.target_ln_ms.iter().all(|t| t.is_finite()));
+    }
+
+    #[test]
+    fn grid_size_column_is_optional() {
+        let mut cfg = tiny_cfg();
+        cfg.include_grid_size = true;
+        let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+        let ds = RegressionDataset::build(&corpus, &cfg);
+        assert_eq!(ds.features.cols(), 18 + 6 + 8 + 4 + 1);
+        assert_eq!(ds.features.at(0, ds.features.cols() - 1), 13.0); // log2(8192)
+    }
+
+    #[test]
+    fn row_with_gpu_swaps_hw_tail() {
+        let cfg = tiny_cfg();
+        let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+        let ds = RegressionDataset::build(&corpus, &cfg);
+        let swapped = ds.row_with_gpu(0, GpuId::A100, &cfg);
+        let hw = GpuArch::preset(GpuId::A100).feature_vector();
+        let tail = &swapped[swapped.len() - 4..];
+        for (a, b) in tail.iter().zip(&hw) {
+            assert!((*a as f64 - b).abs() < 1e-6);
+        }
+        // Leading stencil features untouched.
+        assert_eq!(&swapped[..18], &ds.features.row(0)[..18]);
+    }
+
+    #[test]
+    fn params_are_shared_across_gpus() {
+        // The advisor depends on (stencil, oc, param_idx) identifying the
+        // same setting on every GPU.
+        let cfg = tiny_cfg();
+        let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+        let v = corpus.profiles_for(GpuId::V100);
+        let p = corpus.profiles_for(GpuId::P100);
+        for (pv, pp) in v.iter().zip(p) {
+            for (ov, op) in pv.per_oc.iter().zip(&pp.per_oc) {
+                // Instances may differ in *count* (crashes differ per
+                // arch), but the sampled settings come from the same
+                // stream, so shared prefixes agree.
+                let sv: Vec<_> = ov.instances.iter().map(|i| i.params).collect();
+                let sp: Vec<_> = op.instances.iter().map(|i| i.params).collect();
+                if ov.crashes.is_empty() && op.crashes.is_empty() {
+                    assert_eq!(sv, sp, "same sampling stream per (stencil, OC)");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,883 @@
+//! Drivers that regenerate every table and figure of the paper's
+//! evaluation. Each driver returns a structured result with a `render()`
+//! method producing the text table the `experiments` binary prints.
+
+use crate::advisor::{evaluate_advisor, AdvisorResult, Criterion};
+use crate::baselines::{speedups_over_baseline, BaselinePolicy};
+use crate::classify::{evaluate_classifier, ClassifierEval};
+use crate::config::PipelineConfig;
+use crate::dataset::{ClassificationDataset, ProfiledCorpus, RegressionDataset};
+use crate::models::{ClassifierKind, MlpShape, RegressorKind};
+use crate::pcc;
+use crate::regress::{evaluate_regressor, RegressorEval};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use stencilmart_gpusim::{
+    host_machines, profile_stencil, GpuArch, GpuId, OptCombo, ProfileConfig,
+};
+use stencilmart_stencil::canonical::{suite, CanonicalStencil};
+use stencilmart_stencil::features::FeatureConfig;
+use stencilmart_stencil::pattern::Dim;
+
+/// Shared experiment state: the profiled corpora and OC mergings, built
+/// once and reused across figures.
+pub struct ExperimentContext {
+    /// The pipeline configuration.
+    pub cfg: PipelineConfig,
+    /// One corpus per dimensionality (2-D, 3-D).
+    pub corpora: Vec<ProfiledCorpus>,
+    /// Matching OC mergings.
+    pub mergings: Vec<pcc::OcMerging>,
+}
+
+impl ExperimentContext {
+    /// Build the corpora and mergings for 2-D and 3-D stencils.
+    pub fn build(cfg: PipelineConfig) -> ExperimentContext {
+        let mut corpora = Vec::new();
+        let mut mergings = Vec::new();
+        for dim in [Dim::D2, Dim::D3] {
+            let corpus = ProfiledCorpus::build(&cfg, dim);
+            let merging = corpus.derive_merging(cfg.oc_classes);
+            corpora.push(corpus);
+            mergings.push(merging);
+        }
+        ExperimentContext {
+            cfg,
+            corpora,
+            mergings,
+        }
+    }
+
+    /// The corpus for a dimensionality.
+    pub fn corpus(&self, dim: Dim) -> &ProfiledCorpus {
+        self.corpora
+            .iter()
+            .find(|c| c.dim == dim)
+            .expect("dimensionality was built")
+    }
+
+    /// The OC merging for a dimensionality.
+    pub fn merging(&self, dim: Dim) -> &pcc::OcMerging {
+        let idx = self
+            .corpora
+            .iter()
+            .position(|c| c.dim == dim)
+            .expect("dimensionality was built");
+        &self.mergings[idx]
+    }
+
+    /// Dimensionalities in evaluation order.
+    pub fn dims(&self) -> Vec<Dim> {
+        self.corpora.iter().map(|c| c.dim).collect()
+    }
+}
+
+fn fmt_row(cells: &[String], widths: &[usize]) -> String {
+    let mut s = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        let _ = write!(s, "{c:>w$}  ", w = w);
+    }
+    s.trim_end().to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Tables I–IV
+// ---------------------------------------------------------------------------
+
+/// Render Table I: the optimizations, their abbreviations, constraints,
+/// and the enumerated valid OCs.
+pub fn table1() -> String {
+    let mut s = String::from(
+        "Table I: optimizations of stencil computation on GPUs\n\
+         No.  Optimization        Abbrev  Constraint\n\
+         1    Streaming           ST      -\n\
+         2    Block Merging       BM      not valid when CM enabled\n\
+         3    Cyclic Merging      CM      not valid when BM enabled\n\
+         4    Retiming            RT      only valid when ST enabled\n\
+         5    Prefetching         PR      only valid when ST enabled\n\
+         6    Temporal Blocking   TB      -\n\n",
+    );
+    let ocs = OptCombo::enumerate();
+    let _ = writeln!(s, "Valid optimization combinations ({}):", ocs.len());
+    for (i, oc) in ocs.iter().enumerate() {
+        let _ = writeln!(s, "  {:>2}  {}", i, oc.name());
+    }
+    s
+}
+
+/// Render Table II: the candidate feature set.
+pub fn table2() -> String {
+    let cfg = FeatureConfig::table2();
+    let mut s = String::from("Table II: the candidate feature set of a stencil\n");
+    for (i, name) in cfg.names().iter().enumerate() {
+        let _ = writeln!(s, "  {:>2}  {name}", i + 1);
+    }
+    s
+}
+
+/// Render Tables III and IV: GPUs and host machines.
+pub fn table3_and_4() -> String {
+    let mut s = String::from(
+        "Table III: the GPUs used for evaluation\n\
+         GPU      Gen      Mem     Mem BW      SMs  FP64 TFLOPS  Rental\n",
+    );
+    for arch in GpuArch::all() {
+        let rental = arch
+            .rental_per_hr
+            .map_or("-".to_string(), |r| format!("${r:.2}/hr"));
+        let _ = writeln!(
+            s,
+            "{:<8} {:<8} {:>3.0} GB  {:>5.0} GB/s  {:>3}  {:>11.2}  {rental}",
+            arch.id.name(),
+            arch.generation,
+            arch.mem_gib,
+            arch.mem_bw_gbs,
+            arch.sms,
+            arch.fp64_tflops,
+        );
+    }
+    s.push_str("\nTable IV: the machines used for evaluation\n");
+    for h in host_machines() {
+        let gpus: Vec<&str> = h.gpus.iter().map(|g| g.name()).collect();
+        let _ = writeln!(
+            s,
+            "{:<18} {:.1} GHz  {:>2} cores  {:>3} GB  {}",
+            h.cpu,
+            h.freq_ghz,
+            h.cores,
+            h.main_mem_gib,
+            gpus.join(", ")
+        );
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1 — best-vs-worst OC gap per canonical stencil on V100
+// ---------------------------------------------------------------------------
+
+/// Result of the Fig. 1 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Result {
+    /// `(stencil name, worst/best speedup)` per canonical stencil.
+    pub gaps: Vec<(String, f64)>,
+    /// Arithmetic mean gap (paper: ≈9.95×).
+    pub average: f64,
+}
+
+/// Run Fig. 1: profile the canonical suite on V100 and report the
+/// best-OC speedup over the worst surviving OC.
+pub fn fig1(profile_cfg: &ProfileConfig) -> Fig1Result {
+    let arch = GpuArch::preset(GpuId::V100);
+    let mut gaps = Vec::new();
+    for (i, c) in suite().iter().enumerate() {
+        let p = profile_stencil(&c.pattern, c.grid, &arch, profile_cfg, 1000 + i as u64);
+        let best = p.best_time_ms().expect("canonical stencils run");
+        let worst = p.worst_best_time_ms().expect("canonical stencils run");
+        gaps.push((c.name.clone(), worst / best));
+    }
+    let average = gaps.iter().map(|(_, g)| g).sum::<f64>() / gaps.len() as f64;
+    Fig1Result { gaps, average }
+}
+
+impl Fig1Result {
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "Fig. 1: performance of the best OC normalized to the worst OC (V100)\n",
+        );
+        for (name, gap) in &self.gaps {
+            let _ = writeln!(s, "  {name:<12} {gap:>8.2}x");
+        }
+        let _ = writeln!(s, "  {:<12} {:>8.2}x", "AVERAGE", self.average);
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2 — distribution of best OCs per GPU
+// ---------------------------------------------------------------------------
+
+/// Result of the Fig. 2 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Result {
+    /// Per GPU: `(oc name, number of stencils where it is best)` for OCs
+    /// with at least one win.
+    pub wins: Vec<(GpuId, Vec<(String, usize)>)>,
+    /// Fraction of stencils whose best OC enables streaming, per GPU.
+    pub streaming_share: Vec<(GpuId, f64)>,
+}
+
+/// Run Fig. 2 over the context's corpora (both dimensionalities pooled).
+pub fn fig2(ctx: &ExperimentContext) -> Fig2Result {
+    let ocs = OptCombo::enumerate();
+    let mut wins = Vec::new();
+    let mut streaming_share = Vec::new();
+    for &gpu in &ctx.cfg.gpus {
+        let mut counts = vec![0usize; ocs.len()];
+        let mut st_wins = 0usize;
+        let mut total = 0usize;
+        for corpus in &ctx.corpora {
+            for p in corpus.profiles_for(gpu) {
+                if let Some(best) = p.best_oc() {
+                    counts[best.oc.index()] += 1;
+                    if best.oc.st {
+                        st_wins += 1;
+                    }
+                    total += 1;
+                }
+            }
+        }
+        let list = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (ocs[i].name(), c))
+            .collect();
+        wins.push((gpu, list));
+        streaming_share.push((gpu, st_wins as f64 / total.max(1) as f64));
+    }
+    Fig2Result {
+        wins,
+        streaming_share,
+    }
+}
+
+impl Fig2Result {
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "Fig. 2: number of stencils for which each OC achieves the best performance\n",
+        );
+        for (gpu, list) in &self.wins {
+            let _ = writeln!(s, "  {gpu}:");
+            let mut sorted = list.clone();
+            sorted.sort_by_key(|x| std::cmp::Reverse(x.1));
+            for (name, count) in sorted {
+                let _ = writeln!(s, "    {name:<16} {count:>4}");
+            }
+        }
+        s.push_str("  share of stencils won by streaming OCs:\n");
+        for (gpu, share) in &self.streaming_share {
+            let _ = writeln!(s, "    {gpu:<8} {:>5.1}%", share * 100.0);
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 — top-100 pairwise-OC PCC distribution
+// ---------------------------------------------------------------------------
+
+/// Result of the Fig. 3 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Result {
+    /// Per GPU: summary of its top-k PCC values (min, median, max).
+    pub per_gpu: Vec<(GpuId, PccSummary)>,
+    /// Fraction of top-k pairs common to all GPUs (paper: ≈28%).
+    pub intersection: f64,
+    /// The k used (paper: 100).
+    pub k: usize,
+}
+
+/// Five-number-ish summary of a PCC value list.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PccSummary {
+    /// Smallest value in the top-k list.
+    pub min: f64,
+    /// Median value.
+    pub median: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+/// Run Fig. 3 over the context's corpora (pooling dimensionalities).
+pub fn fig3(ctx: &ExperimentContext, k: usize) -> Fig3Result {
+    let mut per_gpu = Vec::new();
+    let mut pcc_mats = Vec::new();
+    for &gpu in &ctx.cfg.gpus {
+        // Pool both dims' stencils into one time matrix.
+        let mut matrix = Vec::new();
+        for corpus in &ctx.corpora {
+            matrix.extend(pcc::oc_time_matrix(corpus.profiles_for(gpu)));
+        }
+        let mat = pcc::pairwise_pcc(&matrix);
+        let mut values: Vec<f64> = pcc::top_pairs(&mat, k)
+            .into_iter()
+            .map(|(_, _, v)| v)
+            .collect();
+        values.sort_by(f64::total_cmp);
+        per_gpu.push((
+            gpu,
+            PccSummary {
+                min: *values.first().unwrap_or(&0.0),
+                median: values.get(values.len() / 2).copied().unwrap_or(0.0),
+                max: *values.last().unwrap_or(&0.0),
+            },
+        ));
+        pcc_mats.push(mat);
+    }
+    let intersection = pcc::top_pair_intersection(&pcc_mats, k);
+    Fig3Result {
+        per_gpu,
+        intersection,
+        k,
+    }
+}
+
+impl Fig3Result {
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "Fig. 3: value distribution of top-{} PCCs achieved by pairwise OCs\n",
+            self.k
+        );
+        let _ = writeln!(s, "  {:<8} {:>8} {:>8} {:>8}", "GPU", "min", "median", "max");
+        for (gpu, v) in &self.per_gpu {
+            let _ = writeln!(
+                s,
+                "  {:<8} {:>8.3} {:>8.3} {:>8.3}",
+                gpu.name(),
+                v.min,
+                v.median,
+                v.max
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  intersection of top-{} pairs across GPUs: {:.1}%",
+            self.k,
+            self.intersection * 100.0
+        );
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4 — best performance across GPUs normalized to 2080 Ti
+// ---------------------------------------------------------------------------
+
+/// Result of the Fig. 4 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// GPUs in column order.
+    pub gpus: Vec<GpuId>,
+    /// `(stencil name, speedup over 2080 Ti per GPU)` rows.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+/// Run Fig. 4: best OC time per canonical stencil per GPU, normalized to
+/// the 2080 Ti.
+pub fn fig4(profile_cfg: &ProfileConfig) -> Fig4Result {
+    let gpus = GpuId::ALL.to_vec();
+    let canon: Vec<CanonicalStencil> = suite();
+    let mut rows = Vec::new();
+    for (i, c) in canon.iter().enumerate() {
+        let times: Vec<f64> = gpus
+            .iter()
+            .map(|&g| {
+                profile_stencil(
+                    &c.pattern,
+                    c.grid,
+                    &GpuArch::preset(g),
+                    profile_cfg,
+                    2000 + i as u64,
+                )
+                .best_time_ms()
+                .expect("canonical stencils run")
+            })
+            .collect();
+        let ti = times[gpus.iter().position(|&g| g == GpuId::Rtx2080Ti).unwrap()];
+        rows.push((c.name.clone(), times.iter().map(|t| ti / t).collect()));
+    }
+    Fig4Result { gpus, rows }
+}
+
+impl Fig4Result {
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "Fig. 4: best performance under each GPU normalized to 2080 Ti\n",
+        );
+        let header: Vec<String> = std::iter::once("stencil".to_string())
+            .chain(self.gpus.iter().map(|g| g.name().to_string()))
+            .collect();
+        let widths = vec![12, 8, 8, 8, 8];
+        let _ = writeln!(s, "  {}", fmt_row(&header, &widths));
+        for (name, speedups) in &self.rows {
+            let cells: Vec<String> = std::iter::once(name.clone())
+                .chain(speedups.iter().map(|v| format!("{v:.2}")))
+                .collect();
+            let _ = writeln!(s, "  {}", fmt_row(&cells, &widths));
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9–11 — OC selection: accuracy and speedup over baselines
+// ---------------------------------------------------------------------------
+
+/// All classification evaluations, keyed by (mechanism, GPU, dim).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassificationSuite {
+    /// `(kind, gpu, dim, eval)` entries.
+    pub evals: Vec<(ClassifierKind, GpuId, Dim, ClassifierEval)>,
+}
+
+/// Train and cross-validate every classification mechanism on every
+/// (GPU, dimensionality) dataset.
+pub fn classification_suite(ctx: &ExperimentContext) -> ClassificationSuite {
+    let mut evals = Vec::new();
+    for dim in ctx.dims() {
+        let corpus = ctx.corpus(dim);
+        let merging = ctx.merging(dim);
+        for &gpu in &ctx.cfg.gpus {
+            let ds = ClassificationDataset::build(corpus, merging, gpu);
+            for kind in ClassifierKind::ALL {
+                let eval = evaluate_classifier(kind, &ds, ctx.cfg.folds, ctx.cfg.seed);
+                evals.push((kind, gpu, dim, eval));
+            }
+        }
+    }
+    ClassificationSuite { evals }
+}
+
+impl ClassificationSuite {
+    /// Look up one evaluation.
+    pub fn get(&self, kind: ClassifierKind, gpu: GpuId, dim: Dim) -> &ClassifierEval {
+        &self
+            .evals
+            .iter()
+            .find(|(k, g, d, _)| *k == kind && *g == gpu && *d == dim)
+            .expect("evaluation exists")
+            .3
+    }
+
+    /// Render the Fig. 9 accuracy table.
+    pub fn render_fig9(&self, ctx: &ExperimentContext) -> String {
+        let mut s = String::from(
+            "Fig. 9: prediction accuracy of classification mechanisms (%)\n",
+        );
+        for dim in ctx.dims() {
+            let _ = writeln!(s, "  {dim} stencils:");
+            let _ = writeln!(
+                s,
+                "    {:<8} {:>8} {:>8} {:>8}",
+                "GPU", "ConvNet", "FcNet", "GBDT"
+            );
+            let mut sums = [0.0f64; 3];
+            for &gpu in &ctx.cfg.gpus {
+                let accs: Vec<f64> = ClassifierKind::ALL
+                    .iter()
+                    .map(|&k| self.get(k, gpu, dim).accuracy * 100.0)
+                    .collect();
+                for (i, a) in accs.iter().enumerate() {
+                    sums[i] += a;
+                }
+                let _ = writeln!(
+                    s,
+                    "    {:<8} {:>8.1} {:>8.1} {:>8.1}",
+                    gpu.name(),
+                    accs[0],
+                    accs[1],
+                    accs[2]
+                );
+            }
+            let n = ctx.cfg.gpus.len() as f64;
+            let _ = writeln!(
+                s,
+                "    {:<8} {:>8.1} {:>8.1} {:>8.1}",
+                "AVG",
+                sums[0] / n,
+                sums[1] / n,
+                sums[2] / n
+            );
+        }
+        s
+    }
+}
+
+/// Result of the Fig. 10 / Fig. 11 speedup experiments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpeedupResult {
+    /// The baseline policy.
+    pub policy: BaselinePolicy,
+    /// `(kind, gpu, dim, mean speedup)` entries (ConvNet and GBDT, per
+    /// the paper).
+    pub entries: Vec<(ClassifierKind, GpuId, Dim, f64)>,
+}
+
+/// Compute speedups of the predicted OCs over a baseline policy.
+pub fn speedup_over(
+    ctx: &ExperimentContext,
+    suite: &ClassificationSuite,
+    policy: BaselinePolicy,
+) -> SpeedupResult {
+    let kinds = [ClassifierKind::ConvNet, ClassifierKind::Gbdt];
+    let mut entries = Vec::new();
+    for dim in ctx.dims() {
+        let corpus = ctx.corpus(dim);
+        let merging = ctx.merging(dim);
+        for &gpu in &ctx.cfg.gpus {
+            // Dataset rows align with corpus patterns (crash-free corpora
+            // keep them 1:1; assert to be safe).
+            let ds = ClassificationDataset::build(corpus, merging, gpu);
+            let profiles: Vec<_> = ds
+                .stencil_of_row
+                .iter()
+                .map(|&i| corpus.profiles_for(gpu)[i].clone())
+                .collect();
+            for kind in kinds {
+                let eval = suite.get(kind, gpu, dim);
+                let sp =
+                    speedups_over_baseline(&profiles, &eval.predictions, merging, policy, ctx.cfg.samples_per_oc);
+                let mean = sp.iter().sum::<f64>() / sp.len().max(1) as f64;
+                entries.push((kind, gpu, dim, mean));
+            }
+        }
+    }
+    SpeedupResult { policy, entries }
+}
+
+impl SpeedupResult {
+    /// Mean speedup for one mechanism and dimensionality across GPUs.
+    pub fn average(&self, kind: ClassifierKind, dim: Dim) -> f64 {
+        let vals: Vec<f64> = self
+            .entries
+            .iter()
+            .filter(|(k, _, d, _)| *k == kind && *d == dim)
+            .map(|(_, _, _, v)| *v)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+
+    /// Render the figure table.
+    pub fn render(&self, fig_no: usize, ctx: &ExperimentContext) -> String {
+        let mut s = format!(
+            "Fig. {fig_no}: speedup of ConvNet and GBDT over {}\n",
+            self.policy.name()
+        );
+        for dim in ctx.dims() {
+            let _ = writeln!(s, "  {dim} stencils:");
+            let _ = writeln!(s, "    {:<8} {:>8} {:>8}", "GPU", "ConvNet", "GBDT");
+            for &gpu in &ctx.cfg.gpus {
+                let get = |k: ClassifierKind| {
+                    self.entries
+                        .iter()
+                        .find(|(kk, g, d, _)| *kk == k && *g == gpu && *d == dim)
+                        .map(|(_, _, _, v)| *v)
+                        .unwrap_or(f64::NAN)
+                };
+                let _ = writeln!(
+                    s,
+                    "    {:<8} {:>7.2}x {:>7.2}x",
+                    gpu.name(),
+                    get(ClassifierKind::ConvNet),
+                    get(ClassifierKind::Gbdt)
+                );
+            }
+            let _ = writeln!(
+                s,
+                "    {:<8} {:>7.2}x {:>7.2}x",
+                "AVG",
+                self.average(ClassifierKind::ConvNet, dim),
+                self.average(ClassifierKind::Gbdt, dim)
+            );
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 12–13 — regression error
+// ---------------------------------------------------------------------------
+
+/// All regression evaluations (Fig. 12).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressionSuite {
+    /// `(dim, eval)` entries for each mechanism.
+    pub evals: Vec<(Dim, RegressorEval)>,
+}
+
+/// Train and cross-validate every regression mechanism per
+/// dimensionality.
+pub fn regression_suite(ctx: &ExperimentContext) -> RegressionSuite {
+    let mut evals = Vec::new();
+    for dim in ctx.dims() {
+        let ds = RegressionDataset::build(ctx.corpus(dim), &ctx.cfg);
+        for kind in RegressorKind::ALL {
+            let eval =
+                evaluate_regressor(kind, &ds, MlpShape::default(), ctx.cfg.folds, ctx.cfg.seed);
+            evals.push((dim, eval));
+        }
+    }
+    RegressionSuite { evals }
+}
+
+impl RegressionSuite {
+    /// Look up one evaluation.
+    pub fn get(&self, kind: RegressorKind, dim: Dim) -> &RegressorEval {
+        self.evals
+            .iter()
+            .find(|(d, e)| *d == dim && e.kind == kind)
+            .map(|(_, e)| e)
+            .expect("evaluation exists")
+    }
+
+    /// Render the Fig. 12 MAPE table.
+    pub fn render_fig12(&self, ctx: &ExperimentContext) -> String {
+        let mut s = String::from(
+            "Fig. 12: test error (MAPE %) of regression mechanisms\n",
+        );
+        for dim in ctx.dims() {
+            let _ = writeln!(s, "  {dim} stencils:");
+            let _ = writeln!(
+                s,
+                "    {:<8} {:>8} {:>8} {:>12}",
+                "GPU", "ConvMLP", "MLP", "GBRegressor"
+            );
+            for &gpu in &ctx.cfg.gpus {
+                let get = |k: RegressorKind| {
+                    self.get(k, dim)
+                        .mape_per_gpu
+                        .iter()
+                        .find(|(g, _)| *g == gpu)
+                        .map(|(_, m)| *m)
+                        .unwrap_or(f64::NAN)
+                };
+                let _ = writeln!(
+                    s,
+                    "    {:<8} {:>8.1} {:>8.1} {:>12.1}",
+                    gpu.name(),
+                    get(RegressorKind::ConvMlp),
+                    get(RegressorKind::Mlp),
+                    get(RegressorKind::GbRegressor)
+                );
+            }
+            let _ = writeln!(
+                s,
+                "    {:<8} {:>8.1} {:>8.1} {:>12.1}",
+                "AVG",
+                self.get(RegressorKind::ConvMlp, dim).mape_overall,
+                self.get(RegressorKind::Mlp, dim).mape_overall,
+                self.get(RegressorKind::GbRegressor, dim).mape_overall
+            );
+        }
+        s
+    }
+}
+
+/// Result of the Fig. 13 MLP design sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig13Result {
+    /// Layer counts swept.
+    pub layers: Vec<usize>,
+    /// Widths swept.
+    pub widths: Vec<usize>,
+    /// `grid[dim_index][layer_index][width_index]` = MAPE (%).
+    pub grid: Vec<Vec<Vec<f64>>>,
+    /// The dims in row order.
+    pub dims: Vec<Dim>,
+}
+
+/// Run Fig. 13: sweep MLP hidden-layer counts and widths, reporting MAPE
+/// per configuration (averaged across GPUs by construction, as the model
+/// is cross-architecture).
+pub fn fig13(ctx: &ExperimentContext, layers: &[usize], widths: &[usize]) -> Fig13Result {
+    let mut grid = Vec::new();
+    for dim in ctx.dims() {
+        // The sweep trains layers × widths models; cap the training-set
+        // size so wide configurations stay tractable.
+        let ds = RegressionDataset::build(ctx.corpus(dim), &ctx.cfg)
+            .subsample(3000, ctx.cfg.seed ^ 0xF13);
+        let mut rows = Vec::new();
+        for &l in layers {
+            let mut row = Vec::new();
+            for &w in widths {
+                let eval = evaluate_regressor(
+                    RegressorKind::Mlp,
+                    &ds,
+                    MlpShape {
+                        hidden_layers: l,
+                        width: w,
+                    },
+                    // Single split keeps the sweep tractable; the paper
+                    // fixes the training protocol and varies topology.
+                    2,
+                    ctx.cfg.seed,
+                );
+                row.push(eval.mape_overall);
+            }
+            rows.push(row);
+        }
+        grid.push(rows);
+    }
+    Fig13Result {
+        layers: layers.to_vec(),
+        widths: widths.to_vec(),
+        grid,
+        dims: ctx.dims(),
+    }
+}
+
+impl Fig13Result {
+    /// Render the sweep table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "Fig. 13: MLP test error (MAPE %) vs hidden layers and layer size\n",
+        );
+        for (di, dim) in self.dims.iter().enumerate() {
+            let _ = writeln!(s, "  {dim} stencils:");
+            let header: Vec<String> = std::iter::once("layers\\width".to_string())
+                .chain(self.widths.iter().map(|w| w.to_string()))
+                .collect();
+            let widths_fmt = vec![12; header.len()];
+            let _ = writeln!(s, "    {}", fmt_row(&header, &widths_fmt));
+            for (li, &l) in self.layers.iter().enumerate() {
+                let cells: Vec<String> = std::iter::once(l.to_string())
+                    .chain(self.grid[di][li].iter().map(|v| format!("{v:.1}")))
+                    .collect();
+                let _ = writeln!(s, "    {}", fmt_row(&cells, &widths_fmt));
+            }
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 14–15 — rental advisor
+// ---------------------------------------------------------------------------
+
+/// Run Fig. 14 (pure performance) or Fig. 15 (cost efficiency) for every
+/// dimensionality.
+pub fn fig14_15(ctx: &ExperimentContext, criterion: Criterion) -> Vec<(Dim, AdvisorResult)> {
+    ctx.dims()
+        .into_iter()
+        .map(|dim| {
+            let corpus = ctx.corpus(dim);
+            let ds = RegressionDataset::build(corpus, &ctx.cfg);
+            let res = evaluate_advisor(
+                corpus,
+                &ds,
+                &ctx.cfg,
+                RegressorKind::Mlp,
+                criterion,
+                ctx.cfg.seed,
+            );
+            (dim, res)
+        })
+        .collect()
+}
+
+/// Render the advisor result table.
+pub fn render_advisor(results: &[(Dim, AdvisorResult)], fig_no: usize) -> String {
+    let label = match results.first().map(|(_, r)| r.criterion) {
+        Some(Criterion::CostEfficiency) => "cost efficiency",
+        _ => "pure performance",
+    };
+    let mut s = format!("Fig. {fig_no}: ground truth and prediction accuracy ({label})\n");
+    for (dim, r) in results {
+        let _ = writeln!(s, "  {dim} stencil instances ({}):", r.instances);
+        let _ = writeln!(s, "    {:<8} {:>10} {:>10}", "GPU", "share", "accuracy");
+        for ((g, share), (_, acc)) in r.share.iter().zip(&r.accuracy) {
+            let acc_s = if acc.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", acc * 100.0)
+            };
+            let _ = writeln!(
+                s,
+                "    {:<8} {:>9.1}% {:>10}",
+                g.name(),
+                share * 100.0,
+                acc_s
+            );
+        }
+        let _ = writeln!(s, "    overall accuracy: {:.1}%", r.overall_accuracy * 100.0);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_ctx() -> ExperimentContext {
+        let cfg = PipelineConfig {
+            stencils_per_dim: 12,
+            samples_per_oc: 2,
+            folds: 2,
+            max_regression_rows: 800,
+            gpus: vec![GpuId::V100, GpuId::Rtx2080Ti],
+            ..PipelineConfig::default()
+        };
+        ExperimentContext::build(cfg)
+    }
+
+    #[test]
+    fn tables_render() {
+        let t1 = table1();
+        assert!(t1.contains("ST_BM_RT_PR_TB"));
+        assert!(table2().contains("nnz_ratio_order_4"));
+        let t34 = table3_and_4();
+        assert!(t34.contains("1555 GB/s") || t34.contains("1555"));
+        assert!(t34.contains("Xeon E5-2680 v4"));
+    }
+
+    #[test]
+    fn fig1_reports_large_gaps() {
+        let pc = ProfileConfig {
+            samples_per_oc: 3,
+            ..ProfileConfig::default()
+        };
+        let r = fig1(&pc);
+        assert_eq!(r.gaps.len(), 24);
+        assert!(r.average > 2.0, "average gap {}", r.average);
+        assert!(r.render().contains("AVERAGE"));
+    }
+
+    #[test]
+    fn fig2_and_3_run_on_context() {
+        let ctx = quick_ctx();
+        let f2 = fig2(&ctx);
+        assert_eq!(f2.wins.len(), 2);
+        for (_, share) in &f2.streaming_share {
+            assert!(*share > 0.3, "streaming share {share}");
+        }
+        let f3 = fig3(&ctx, 50);
+        assert_eq!(f3.per_gpu.len(), 2);
+        assert!(f3.intersection >= 0.0 && f3.intersection <= 1.0);
+        assert!(f3.render().contains("intersection"));
+    }
+
+    #[test]
+    fn fig4_normalizes_to_2080ti() {
+        let pc = ProfileConfig {
+            samples_per_oc: 2,
+            ..ProfileConfig::default()
+        };
+        let r = fig4(&pc);
+        let ti_col = r.gpus.iter().position(|&g| g == GpuId::Rtx2080Ti).unwrap();
+        for (_, speedups) in &r.rows {
+            assert!((speedups[ti_col] - 1.0).abs() < 1e-9);
+        }
+        assert!(r.render().contains("star2d1r"));
+    }
+
+    #[test]
+    fn classification_and_speedup_suites_run() {
+        let ctx = quick_ctx();
+        let suite = classification_suite(&ctx);
+        // 3 mechanisms × 2 GPUs × 2 dims.
+        assert_eq!(suite.evals.len(), 12);
+        let fig9 = suite.render_fig9(&ctx);
+        assert!(fig9.contains("ConvNet"));
+        let sp = speedup_over(&ctx, &suite, BaselinePolicy::ArtemisLike);
+        assert_eq!(sp.entries.len(), 8);
+        assert!(sp.render(10, &ctx).contains("Artemis"));
+        for (_, _, _, v) in &sp.entries {
+            assert!(*v > 0.3 && *v < 30.0, "speedup {v} out of plausible range");
+        }
+    }
+}

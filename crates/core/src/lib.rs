@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! # StencilMART
+//!
+//! A Rust reproduction of *"StencilMART: Predicting Optimization Selection
+//! for Stencil Computations across GPUs"* (Sun et al., IPDPS 2022).
+//!
+//! StencilMART predicts, for a stencil access pattern:
+//!
+//! 1. the best **optimization combination** (streaming, merging, retiming,
+//!    prefetching, temporal blocking) on a target GPU — a classification
+//!    task over PCC-merged OC classes, and
+//! 2. the **execution time** of a configured kernel on a GPU the user may
+//!    not own — a cross-architecture regression task over stencil,
+//!    parameter, and hardware features.
+//!
+//! The real paper measures kernels on four NVIDIA GPUs; this reproduction
+//! substitutes the analytical simulator in [`stencilmart_gpusim`] (see
+//! DESIGN.md for the substitution argument) and re-implements the ML stack
+//! in [`stencilmart_ml`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use stencilmart::api::StencilMart;
+//! use stencilmart::config::PipelineConfig;
+//! use stencilmart::models::{ClassifierKind, RegressorKind};
+//! use stencilmart_gpusim::GpuId;
+//! use stencilmart_stencil::{pattern::Dim, shapes};
+//!
+//! let cfg = PipelineConfig {
+//!     stencils_per_dim: 12,
+//!     samples_per_oc: 2,
+//!     max_regression_rows: 500,
+//!     gpus: vec![GpuId::V100],
+//!     ..PipelineConfig::default()
+//! };
+//! let mut mart = StencilMart::train(
+//!     cfg,
+//!     Dim::D2,
+//!     ClassifierKind::Gbdt,
+//!     RegressorKind::GbRegressor,
+//! );
+//! let oc = mart.predict_best_oc(&shapes::star(Dim::D2, 2), GpuId::V100);
+//! assert!(oc.is_valid());
+//! ```
+
+pub mod ablations;
+pub mod advisor;
+pub mod api;
+pub mod baselines;
+pub mod classify;
+pub mod config;
+pub mod dataset;
+pub mod experiments;
+pub mod models;
+pub mod pcc;
+pub mod persist;
+pub mod ranking;
+pub mod regress;
+
+pub use api::StencilMart;
+pub use config::PipelineConfig;
+pub use dataset::{ClassificationDataset, ProfiledCorpus, RegressionDataset};
+pub use models::{ClassifierKind, MlpShape, RegressorKind};
+pub use pcc::OcMerging;

@@ -1,0 +1,558 @@
+//! The six prediction mechanisms of StencilMART.
+//!
+//! Classifiers for OC selection (paper §IV-D): **ConvNet** (CNN over the
+//! binary stencil tensor), **FcNet** (dense layers over the tensor), and
+//! **GBDT** (boosted trees over the Table II features).
+//!
+//! Regressors for cross-architecture performance prediction (paper §IV-E):
+//! **MLP** (dense net over stencil + parameter + hardware features),
+//! **ConvMLP** (CNN branch over the tensor joined with an MLP branch over
+//! parameter + hardware features, Fig. 8), and **GBRegressor** (boosted
+//! trees over the full feature vector).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use stencilmart_ml::data::{FeatureMatrix, MaxNormalizer};
+use stencilmart_ml::gbdt::tree::TreeConfig;
+use stencilmart_ml::nn::{
+    predict_classes, predict_scalars, train_classifier, train_regressor, Conv2d, Conv3d,
+    Dense, Flatten, Net, Relu, Reshape, Sequential, TrainConfig, TwoBranch,
+};
+use stencilmart_ml::tensor::Tensor;
+use stencilmart_ml::{GbdtClassifier, GbdtConfig, GbdtRegressor};
+use stencilmart_stencil::pattern::Dim;
+
+/// Classification mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClassifierKind {
+    /// CNN over the binary stencil tensor.
+    ConvNet,
+    /// Dense net over the (flattened) tensor.
+    FcNet,
+    /// Gradient-boosted trees over Table II features.
+    Gbdt,
+}
+
+impl ClassifierKind {
+    /// All classifiers in the paper's Fig. 9 order.
+    pub const ALL: [ClassifierKind; 3] =
+        [ClassifierKind::ConvNet, ClassifierKind::FcNet, ClassifierKind::Gbdt];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClassifierKind::ConvNet => "ConvNet",
+            ClassifierKind::FcNet => "FcNet",
+            ClassifierKind::Gbdt => "GBDT",
+        }
+    }
+}
+
+/// Regression mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegressorKind {
+    /// Dense net over feature vectors.
+    Mlp,
+    /// Two-branch CNN + MLP (Fig. 8).
+    ConvMlp,
+    /// Gradient-boosted regression trees.
+    GbRegressor,
+}
+
+impl RegressorKind {
+    /// All regressors in the paper's Fig. 12 order.
+    pub const ALL: [RegressorKind; 3] = [
+        RegressorKind::ConvMlp,
+        RegressorKind::Mlp,
+        RegressorKind::GbRegressor,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RegressorKind::Mlp => "MLP",
+            RegressorKind::ConvMlp => "ConvMLP",
+            RegressorKind::GbRegressor => "GBRegressor",
+        }
+    }
+}
+
+/// MLP topology (swept in the paper's Fig. 13 sensitivity study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlpShape {
+    /// Number of hidden layers (paper sweeps 4–10; 7 is the paper's
+    /// recommendation).
+    pub hidden_layers: usize,
+    /// Units per hidden layer (paper sweeps 2⁴–2¹⁰).
+    pub width: usize,
+}
+
+impl Default for MlpShape {
+    fn default() -> Self {
+        MlpShape {
+            hidden_layers: 7,
+            width: 64,
+        }
+    }
+}
+
+/// Canvas side for the fixed-size tensor inputs (order 4 → 9).
+fn canvas_side() -> usize {
+    2 * stencilmart_stencil::MAX_ORDER as usize + 1
+}
+
+/// Flattened canvas length for a dimensionality.
+pub fn canvas_len(dim: Dim) -> usize {
+    canvas_side().pow(dim.rank() as u32)
+}
+
+/// Build the ConvNet classifier for a dimensionality (Fig. 7): conv →
+/// ReLU → conv → ReLU → flatten → dense → softmax head.
+pub fn build_convnet(dim: Dim, classes: usize, seed: u64) -> Sequential {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let s = canvas_side();
+    match dim {
+        Dim::D2 => {
+            let c1 = Conv2d::new(1, 8, 3, &mut rng);
+            let c2 = Conv2d::new(8, 8, 3, &mut rng);
+            let flat = 8 * (s - 4) * (s - 4);
+            Sequential::new()
+                .push(Reshape::new(vec![1, s, s]))
+                .push(c1)
+                .push(Relu::new())
+                .push(c2)
+                .push(Relu::new())
+                .push(Flatten::new())
+                .push(Dense::new(flat, 64, &mut rng))
+                .push(Relu::new())
+                .push(Dense::new(64, classes, &mut rng))
+        }
+        Dim::D3 => {
+            let c1 = Conv3d::new(1, 4, 3, &mut rng);
+            let c2 = Conv3d::new(4, 4, 3, &mut rng);
+            let flat = 4 * (s - 4).pow(3);
+            Sequential::new()
+                .push(Reshape::new(vec![1, s, s, s]))
+                .push(c1)
+                .push(Relu::new())
+                .push(c2)
+                .push(Relu::new())
+                .push(Flatten::new())
+                .push(Dense::new(flat, 64, &mut rng))
+                .push(Relu::new())
+                .push(Dense::new(64, classes, &mut rng))
+        }
+        Dim::D1 => unimplemented!("1-D stencils are not part of the evaluation"),
+    }
+}
+
+/// Build the FcNet classifier: dense layers over the flattened tensor
+/// (no convolution — the paper's weaker alternative).
+pub fn build_fcnet(dim: Dim, classes: usize, seed: u64) -> Sequential {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let input = canvas_len(dim);
+    Sequential::new()
+        .push(Dense::new(input, 64, &mut rng))
+        .push(Relu::new())
+        .push(Dense::new(64, 64, &mut rng))
+        .push(Relu::new())
+        .push(Dense::new(64, classes, &mut rng))
+}
+
+/// Build the MLP regressor with the given shape.
+pub fn build_mlp(in_dim: usize, shape: MlpShape, seed: u64) -> Sequential {
+    assert!(shape.hidden_layers >= 1, "need at least one hidden layer");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut net = Sequential::new()
+        .push(Dense::new(in_dim, shape.width, &mut rng))
+        .push(Relu::new());
+    for _ in 1..shape.hidden_layers {
+        net = net
+            .push(Dense::new(shape.width, shape.width, &mut rng))
+            .push(Relu::new());
+    }
+    net.push(Dense::new(shape.width, 1, &mut rng))
+}
+
+/// Build the ConvMLP regressor (Fig. 8): a conv branch over the stencil
+/// tensor merged with an MLP branch over parameter + hardware features.
+pub fn build_convmlp(dim: Dim, feat_dim: usize, seed: u64) -> TwoBranch {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let s = canvas_side();
+    let (conv, conv_out, conv_shape): (Sequential, usize, Vec<usize>) = match dim {
+        Dim::D2 => {
+            let c = Conv2d::new(1, 8, 3, &mut rng);
+            (
+                Sequential::new().push(c).push(Relu::new()),
+                8 * (s - 2) * (s - 2),
+                vec![1, s, s],
+            )
+        }
+        Dim::D3 => {
+            let c = Conv3d::new(1, 4, 3, &mut rng);
+            (
+                Sequential::new().push(c).push(Relu::new()),
+                4 * (s - 2).pow(3),
+                vec![1, s, s, s],
+            )
+        }
+        Dim::D1 => unimplemented!("1-D stencils are not part of the evaluation"),
+    };
+    let mlp = Sequential::new()
+        .push(Dense::new(feat_dim, 64, &mut rng))
+        .push(Relu::new());
+    let head = Sequential::new()
+        .push(Dense::new(conv_out + 64, 64, &mut rng))
+        .push(Relu::new())
+        .push(Dense::new(64, 1, &mut rng));
+    TwoBranch::new(canvas_len(dim), conv_shape, conv, mlp, head)
+}
+
+/// Default GBDT configuration for OC classification.
+pub fn gbdt_classifier_config(seed: u64) -> GbdtConfig {
+    GbdtConfig {
+        rounds: 60,
+        eta: 0.15,
+        subsample: 0.9,
+        tree: TreeConfig {
+            max_depth: 4,
+            min_child_weight: 1.0,
+            lambda: 1.0,
+            gamma: 0.0,
+        },
+        bins: 16,
+        seed,
+    }
+}
+
+/// Default GBDT configuration for performance regression.
+pub fn gbdt_regressor_config(seed: u64) -> GbdtConfig {
+    GbdtConfig {
+        rounds: 250,
+        eta: 0.08,
+        subsample: 0.8,
+        tree: TreeConfig {
+            max_depth: 7,
+            min_child_weight: 2.0,
+            lambda: 1.0,
+            gamma: 0.0,
+        },
+        bins: 64,
+        seed,
+    }
+}
+
+/// Default network training configuration for classifiers.
+pub fn classifier_train_config(seed: u64) -> TrainConfig {
+    TrainConfig {
+        epochs: 60,
+        batch_size: 32,
+        lr: 2e-3,
+        seed,
+    }
+}
+
+/// Default network training configuration for regressors.
+pub fn regressor_train_config(seed: u64) -> TrainConfig {
+    TrainConfig {
+        epochs: 40,
+        batch_size: 128,
+        lr: 1.5e-3,
+        seed,
+    }
+}
+
+/// A trained OC-selection classifier.
+pub enum TrainedClassifier {
+    /// Tensor-input network (ConvNet or FcNet).
+    Network(Box<dyn Net>),
+    /// Feature-input boosted trees.
+    Trees(GbdtClassifier),
+}
+
+impl TrainedClassifier {
+    /// Train the given mechanism on the selected rows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train(
+        kind: ClassifierKind,
+        dim: Dim,
+        classes: usize,
+        features: &FeatureMatrix,
+        tensors: &FeatureMatrix,
+        labels: &[usize],
+        train_idx: &[usize],
+        seed: u64,
+    ) -> TrainedClassifier {
+        let train_labels: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
+        match kind {
+            ClassifierKind::Gbdt => {
+                let x = features.select(train_idx);
+                let model =
+                    GbdtClassifier::fit(&x, &train_labels, classes, &gbdt_classifier_config(seed));
+                TrainedClassifier::Trees(model)
+            }
+            ClassifierKind::ConvNet | ClassifierKind::FcNet => {
+                let x = matrix_to_tensor(&tensors.select(train_idx));
+                let mut net: Box<dyn Net> = match kind {
+                    ClassifierKind::ConvNet => Box::new(build_convnet(dim, classes, seed)),
+                    _ => Box::new(build_fcnet(dim, classes, seed)),
+                };
+                train_classifier(
+                    net.as_mut(),
+                    &x,
+                    &train_labels,
+                    &classifier_train_config(seed),
+                );
+                TrainedClassifier::Network(net)
+            }
+        }
+    }
+
+    /// Predict classes for the selected rows.
+    pub fn predict(
+        &mut self,
+        features: &FeatureMatrix,
+        tensors: &FeatureMatrix,
+        idx: &[usize],
+    ) -> Vec<usize> {
+        match self {
+            TrainedClassifier::Trees(m) => m.predict(&features.select(idx)),
+            TrainedClassifier::Network(net) => {
+                let x = matrix_to_tensor(&tensors.select(idx));
+                predict_classes(net.as_mut(), &x)
+            }
+        }
+    }
+}
+
+/// A trained performance regressor (predicts `ln(time_ms)`).
+pub enum TrainedRegressor {
+    /// Feature-input MLP with its input normalizer.
+    Mlp {
+        /// The trained network.
+        net: Sequential,
+        /// Fitted on the training features.
+        norm: MaxNormalizer,
+    },
+    /// Two-branch ConvMLP: tensor branch raw, feature branch normalized.
+    ConvMlp {
+        /// The trained network.
+        net: TwoBranch,
+        /// Fitted on the training features.
+        norm: MaxNormalizer,
+    },
+    /// Boosted trees over raw features.
+    Trees(GbdtRegressor),
+}
+
+impl TrainedRegressor {
+    /// Train the given mechanism on the selected rows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train(
+        kind: RegressorKind,
+        dim: Dim,
+        shape: MlpShape,
+        features: &FeatureMatrix,
+        tensors: &FeatureMatrix,
+        targets_ln: &[f32],
+        train_idx: &[usize],
+        seed: u64,
+    ) -> TrainedRegressor {
+        let y: Vec<f32> = train_idx.iter().map(|&i| targets_ln[i]).collect();
+        match kind {
+            RegressorKind::GbRegressor => {
+                let x = features.select(train_idx);
+                TrainedRegressor::Trees(GbdtRegressor::fit(
+                    &x,
+                    &y,
+                    &gbdt_regressor_config(seed),
+                ))
+            }
+            RegressorKind::Mlp => {
+                let x_raw = features.select(train_idx);
+                let norm = MaxNormalizer::fit(&x_raw);
+                let x = matrix_to_tensor(&norm.transform(&x_raw));
+                let mut net = build_mlp(features.cols(), shape, seed);
+                train_regressor(&mut net, &x, &y, &regressor_train_config(seed));
+                TrainedRegressor::Mlp { net, norm }
+            }
+            RegressorKind::ConvMlp => {
+                let f_raw = features.select(train_idx);
+                let norm = MaxNormalizer::fit(&f_raw);
+                let f = norm.transform(&f_raw);
+                let t = tensors.select(train_idx);
+                let x = concat_tensor(&t, &f);
+                let mut net = build_convmlp(dim, features.cols(), seed);
+                train_regressor(&mut net, &x, &y, &regressor_train_config(seed));
+                TrainedRegressor::ConvMlp { net, norm }
+            }
+        }
+    }
+
+    /// Predict `ln(time_ms)` for the selected rows.
+    pub fn predict_ln(
+        &mut self,
+        features: &FeatureMatrix,
+        tensors: &FeatureMatrix,
+        idx: &[usize],
+    ) -> Vec<f32> {
+        match self {
+            TrainedRegressor::Trees(m) => m.predict(&features.select(idx)),
+            TrainedRegressor::Mlp { net, norm } => {
+                let x = matrix_to_tensor(&norm.transform(&features.select(idx)));
+                predict_scalars(net, &x)
+            }
+            TrainedRegressor::ConvMlp { net, norm } => {
+                let f = norm.transform(&features.select(idx));
+                let t = tensors.select(idx);
+                predict_scalars(net, &concat_tensor(&t, &f))
+            }
+        }
+    }
+
+    /// Predict `ln(time_ms)` for ad-hoc rows (e.g. hardware-swapped
+    /// what-if rows from the rental advisor).
+    pub fn predict_ln_rows(
+        &mut self,
+        feature_rows: &FeatureMatrix,
+        tensor_rows: &FeatureMatrix,
+    ) -> Vec<f32> {
+        let idx: Vec<usize> = (0..feature_rows.rows()).collect();
+        self.predict_ln(feature_rows, tensor_rows, &idx)
+    }
+}
+
+/// Convert a feature matrix into a 2-D training tensor.
+pub fn matrix_to_tensor(m: &FeatureMatrix) -> Tensor {
+    Tensor::from_vec(&[m.rows(), m.cols()], m.data().to_vec())
+}
+
+/// Concatenate tensor columns before feature columns (TwoBranch layout).
+fn concat_tensor(tensors: &FeatureMatrix, features: &FeatureMatrix) -> Tensor {
+    let a = matrix_to_tensor(tensors);
+    let b = matrix_to_tensor(features);
+    Tensor::concat_cols(&a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilmart_ml::nn::Net;
+
+    #[test]
+    fn convnet_shapes_for_both_dims() {
+        for dim in [Dim::D2, Dim::D3] {
+            let mut net = build_convnet(dim, 5, 0);
+            let n = canvas_len(dim);
+            let x = Tensor::from_vec(&[2, n], vec![0.5; 2 * n]);
+            let y = net.forward(&x, true);
+            assert_eq!(y.shape(), &[2, 5], "{dim}");
+            net.backward(&y);
+        }
+    }
+
+    #[test]
+    fn fcnet_and_mlp_shapes() {
+        let mut fc = build_fcnet(Dim::D2, 5, 0);
+        let x = Tensor::from_vec(&[1, 81], vec![0.0; 81]);
+        assert_eq!(fc.forward(&x, false).shape(), &[1, 5]);
+
+        let mut mlp = build_mlp(23, MlpShape::default(), 0);
+        let x = Tensor::from_vec(&[3, 23], vec![0.1; 69]);
+        assert_eq!(mlp.forward(&x, false).shape(), &[3, 1]);
+        // 7 hidden layers → 8 dense layers → 8 ReLU-less head: count
+        // layers = 7×(dense+relu) + final dense = 15.
+        assert_eq!(mlp.len(), 15);
+    }
+
+    #[test]
+    fn convmlp_accepts_joint_input() {
+        for dim in [Dim::D2, Dim::D3] {
+            let mut net = build_convmlp(dim, 23, 0);
+            let n = canvas_len(dim) + 23;
+            let x = Tensor::from_vec(&[2, n], vec![0.25; 2 * n]);
+            let y = net.forward(&x, true);
+            assert_eq!(y.shape(), &[2, 1], "{dim}");
+            net.backward(&y);
+        }
+    }
+
+    #[test]
+    fn trained_classifier_learns_feature_rule() {
+        // Label = 1 when feature 0 > 0.5: all three mechanisms must beat
+        // chance easily.
+        let n = 120;
+        let mut feat_rows = Vec::new();
+        let mut tensor_rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let v = i as f32 / n as f32;
+            feat_rows.push(vec![v; 11]);
+            // Put the signal in the tensor too (count of ones).
+            let mut t = vec![0.0f32; 81];
+            let ones = (v * 80.0) as usize;
+            t[..ones].fill(1.0);
+            tensor_rows.push(t);
+            labels.push(usize::from(v > 0.5));
+        }
+        let features = FeatureMatrix::from_rows(feat_rows.iter().map(Vec::as_slice));
+        let tensors = FeatureMatrix::from_rows(tensor_rows.iter().map(Vec::as_slice));
+        let idx: Vec<usize> = (0..n).collect();
+        for kind in ClassifierKind::ALL {
+            let mut model = TrainedClassifier::train(
+                kind, Dim::D2, 2, &features, &tensors, &labels, &idx, 1,
+            );
+            let preds = model.predict(&features, &tensors, &idx);
+            let acc = preds.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64
+                / n as f64;
+            assert!(acc > 0.9, "{} accuracy {acc}", kind.name());
+        }
+    }
+
+    #[test]
+    fn trained_regressor_fits_simple_target() {
+        let n = 200;
+        let mut feat_rows = Vec::new();
+        let mut tensor_rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let v = i as f32 / n as f32;
+            feat_rows.push(vec![v, 1.0 - v, 0.5]);
+            tensor_rows.push(vec![v; 81]);
+            y.push(2.0 * v - 1.0);
+        }
+        let features = FeatureMatrix::from_rows(feat_rows.iter().map(Vec::as_slice));
+        let tensors = FeatureMatrix::from_rows(tensor_rows.iter().map(Vec::as_slice));
+        let idx: Vec<usize> = (0..n).collect();
+        for kind in RegressorKind::ALL {
+            let mut model = TrainedRegressor::train(
+                kind,
+                Dim::D2,
+                MlpShape {
+                    hidden_layers: 3,
+                    width: 32,
+                },
+                &features,
+                &tensors,
+                &y,
+                &idx,
+                2,
+            );
+            let preds = model.predict_ln(&features, &tensors, &idx);
+            let mse: f32 = preds
+                .iter()
+                .zip(&y)
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f32>()
+                / n as f32;
+            assert!(mse < 0.1, "{} mse {mse}", kind.name());
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ClassifierKind::ConvNet.name(), "ConvNet");
+        assert_eq!(RegressorKind::GbRegressor.name(), "GBRegressor");
+    }
+}

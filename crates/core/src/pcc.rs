@@ -1,0 +1,343 @@
+//! Pearson-correlation analysis of OC pairs (paper §III-C) and the
+//! PCC-driven merging of OCs into prediction classes (paper §IV-D).
+//!
+//! OCs whose best-found execution times correlate strongly across stencils
+//! behave interchangeably, so predicting between them wastes classifier
+//! capacity. StencilMART groups the 30 valid OCs into (by default) 5
+//! classes by agglomerative clustering on correlation distance and uses
+//! the group member that wins most often as each class's prediction
+//! target.
+
+use serde::{Deserialize, Serialize};
+use stencilmart_gpusim::{OptCombo, StencilProfile};
+use stencilmart_ml::metrics::pearson;
+
+/// Per-stencil best time for every OC: `matrix[stencil][oc]`, `None`
+/// where every sampled setting crashed.
+pub fn oc_time_matrix(profiles: &[StencilProfile]) -> Vec<Vec<Option<f64>>> {
+    profiles
+        .iter()
+        .map(|p| {
+            p.per_oc
+                .iter()
+                .map(|o| o.best().map(|b| b.time_ms))
+                .collect()
+        })
+        .collect()
+}
+
+/// Pairwise PCC between OC columns of a time matrix, computed over the
+/// stencils where both OCs executed, in log-time space (times span orders
+/// of magnitude). Entries with fewer than 3 common stencils are 0.
+pub fn pairwise_pcc(matrix: &[Vec<Option<f64>>]) -> Vec<Vec<f64>> {
+    let n_oc = matrix.first().map_or(0, Vec::len);
+    let mut out = vec![vec![0.0; n_oc]; n_oc];
+    for a in 0..n_oc {
+        out[a][a] = 1.0;
+        for b in (a + 1)..n_oc {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for row in matrix {
+                if let (Some(x), Some(y)) = (row[a], row[b]) {
+                    xs.push(x.ln());
+                    ys.push(y.ln());
+                }
+            }
+            let r = if xs.len() >= 3 { pearson(&xs, &ys) } else { 0.0 };
+            out[a][b] = r;
+            out[b][a] = r;
+        }
+    }
+    out
+}
+
+/// The `k` most correlated OC pairs `(a, b, pcc)` with `a < b`, sorted by
+/// descending |PCC|.
+#[allow(clippy::needless_range_loop)] // symmetric-matrix upper-triangle walk
+pub fn top_pairs(pcc: &[Vec<f64>], k: usize) -> Vec<(usize, usize, f64)> {
+    let n = pcc.len();
+    let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            pairs.push((a, b, pcc[a][b]));
+        }
+    }
+    pairs.sort_by(|x, y| y.2.abs().total_cmp(&x.2.abs()));
+    pairs.truncate(k);
+    pairs
+}
+
+/// Fraction of pairs common to every GPU's top-`k` list (paper §III-C
+/// reports ≈28% for k = 100).
+pub fn top_pair_intersection(per_gpu_pcc: &[Vec<Vec<f64>>], k: usize) -> f64 {
+    if per_gpu_pcc.is_empty() {
+        return 0.0;
+    }
+    let mut sets: Vec<std::collections::HashSet<(usize, usize)>> = per_gpu_pcc
+        .iter()
+        .map(|p| top_pairs(p, k).into_iter().map(|(a, b, _)| (a, b)).collect())
+        .collect();
+    let first = sets.remove(0);
+    let inter = first
+        .iter()
+        .filter(|pair| sets.iter().all(|s| s.contains(pair)))
+        .count();
+    inter as f64 / k as f64
+}
+
+/// The result of merging OCs into prediction classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OcMerging {
+    /// OC indices (into [`OptCombo::enumerate`]) per group.
+    pub groups: Vec<Vec<usize>>,
+    /// Representative OC index per group: the member that achieves the
+    /// best performance for the most stencils (paper §III-C).
+    pub representatives: Vec<usize>,
+}
+
+impl OcMerging {
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Group (class label) of an OC index.
+    pub fn class_of(&self, oc_index: usize) -> usize {
+        self.groups
+            .iter()
+            .position(|g| g.contains(&oc_index))
+            .expect("every OC belongs to a group")
+    }
+
+    /// The representative OC of a class.
+    pub fn representative(&self, class: usize) -> OptCombo {
+        OptCombo::enumerate()[self.representatives[class]]
+    }
+}
+
+/// Mean absolute log-time ratio between OC columns, over the (stencil,
+/// GPU) cases where both executed. Two OCs with a small value are
+/// *performance-interchangeable*: picking either costs little.
+pub fn pairwise_log_gap(matrices: &[Vec<Vec<Option<f64>>>]) -> Vec<Vec<f64>> {
+    let n_oc = matrices
+        .first()
+        .and_then(|m| m.first())
+        .map_or(0, Vec::len);
+    let mut out = vec![vec![0.0; n_oc]; n_oc];
+    for a in 0..n_oc {
+        for b in (a + 1)..n_oc {
+            let mut sum = 0.0;
+            let mut cnt = 0usize;
+            for matrix in matrices {
+                for row in matrix {
+                    if let (Some(x), Some(y)) = (row[a], row[b]) {
+                        sum += (x.ln() - y.ln()).abs();
+                        cnt += 1;
+                    }
+                }
+            }
+            // No common case → maximally distant.
+            let gap = if cnt > 0 { sum / cnt as f64 } else { f64::MAX };
+            out[a][b] = gap;
+            out[b][a] = gap;
+        }
+    }
+    out
+}
+
+/// Merge OCs into `target` classes around *anchor* OCs.
+///
+/// Following the paper's construction (§III-C / §IV-D): the prediction
+/// target of each class is "the OC that obtains the best performance
+/// under more cases" — so the `target` most frequently winning OCs become
+/// class anchors, and every remaining OC joins the anchor it is most
+/// similar to. Similarity combines correlation with performance
+/// closeness: `sim(a, b) = PCC̄(a, b) − w · gap(a, b)`, where `gap` is the
+/// mean |log time ratio| — pure correlation would happily attach an OC to
+/// an anchor that tracks it at a constant 5× distance, making the class
+/// representative a poor stand-in.
+///
+/// `win_counts[oc]` — how many (stencil, GPU) cases each OC wins.
+#[allow(clippy::needless_range_loop)] // dense similarity-matrix updates
+pub fn merge_ocs(
+    per_gpu_pcc: &[Vec<Vec<f64>>],
+    per_gpu_times: &[Vec<Vec<Option<f64>>>],
+    win_counts: &[usize],
+    target: usize,
+) -> OcMerging {
+    let n = win_counts.len();
+    assert!(target >= 1 && target <= n, "target classes out of range");
+    assert!(
+        per_gpu_pcc.iter().all(|m| m.len() == n),
+        "PCC matrix size mismatch"
+    );
+    let gap = pairwise_log_gap(per_gpu_times);
+    // Similarity: mean PCC across GPUs, penalized by the performance gap.
+    const GAP_WEIGHT: f64 = 1.5;
+    let mut sim = vec![vec![0.0f64; n]; n];
+    for m in per_gpu_pcc {
+        for i in 0..n {
+            for j in 0..n {
+                sim[i][j] += m[i][j] / per_gpu_pcc.len() as f64;
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                sim[i][j] -= GAP_WEIGHT * gap[i][j].min(1e6);
+            }
+        }
+    }
+    // Anchors: the biggest winners, greedily skipping candidates that are
+    // performance-interchangeable with an already-chosen anchor (two
+    // anchors separated by less than the measurement noise would make the
+    // class label a coin flip). Ties broken by index for determinism.
+    const ANCHOR_SEPARATION: f64 = 0.5;
+    let mut by_wins: Vec<usize> = (0..n).collect();
+    by_wins.sort_by_key(|&i| (std::cmp::Reverse(win_counts[i]), i));
+    let mut anchors: Vec<usize> = Vec::with_capacity(target);
+    for &cand in &by_wins {
+        if anchors.len() == target {
+            break;
+        }
+        if anchors.iter().all(|&a| sim[cand][a] < ANCHOR_SEPARATION) {
+            anchors.push(cand);
+        }
+    }
+    // Not enough well-separated winners: fill with the next-best winners.
+    for &cand in &by_wins {
+        if anchors.len() == target {
+            break;
+        }
+        if !anchors.contains(&cand) {
+            anchors.push(cand);
+        }
+    }
+    anchors.sort_unstable();
+    // Assign every OC to its most similar anchor.
+    let mut groups: Vec<Vec<usize>> = anchors.iter().map(|&a| vec![a]).collect();
+    for i in 0..n {
+        if anchors.contains(&i) {
+            continue;
+        }
+        let best = (0..anchors.len())
+            .max_by(|&a, &b| sim[i][anchors[a]].total_cmp(&sim[i][anchors[b]]))
+            .expect("at least one anchor");
+        groups[best].push(i);
+    }
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+    // Stable ordering: by smallest member index; keep anchors aligned.
+    let mut paired: Vec<(Vec<usize>, usize)> =
+        groups.into_iter().zip(anchors).collect();
+    paired.sort_by_key(|(g, _)| g[0]);
+    let (groups, representatives): (Vec<_>, Vec<_>) = paired.into_iter().unzip();
+    OcMerging {
+        groups,
+        representatives,
+    }
+}
+
+/// Count how many (stencil, GPU) cases each OC achieves the best time
+/// (feeds Fig. 2 and the representative selection).
+pub fn win_counts(per_gpu_profiles: &[Vec<StencilProfile>]) -> Vec<usize> {
+    let n_oc = OptCombo::enumerate().len();
+    let mut wins = vec![0usize; n_oc];
+    for profiles in per_gpu_profiles {
+        for p in profiles {
+            if let Some(best) = p.best_oc() {
+                wins[best.oc.index()] += 1;
+            }
+        }
+    }
+    wins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_matrix() -> Vec<Vec<Option<f64>>> {
+        // 6 stencils × 4 OCs. OCs 0 and 1 perfectly correlated; OC 2
+        // anti-correlated; OC 3 has crashes.
+        let base = [1.0f64, 2.0, 4.0, 8.0, 16.0, 32.0];
+        base.iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                vec![
+                    Some(t),
+                    Some(2.0 * t),
+                    Some(64.0 / t),
+                    if i < 3 { Some(t * 1.5) } else { None },
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn pcc_matrix_diagonal_and_symmetry() {
+        let pcc = pairwise_pcc(&toy_matrix());
+        for i in 0..4 {
+            assert_eq!(pcc[i][i], 1.0);
+            for j in 0..4 {
+                assert_eq!(pcc[i][j], pcc[j][i]);
+            }
+        }
+        assert!((pcc[0][1] - 1.0).abs() < 1e-9, "scaled copy correlates 1");
+        assert!((pcc[0][2] + 1.0).abs() < 1e-9, "reciprocal anti-correlates");
+        assert!((pcc[0][3] - 1.0).abs() < 1e-9, "computed over common rows");
+    }
+
+    #[test]
+    fn top_pairs_sorted_by_abs() {
+        let pcc = pairwise_pcc(&toy_matrix());
+        let pairs = top_pairs(&pcc, 3);
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs[0].2.abs() >= pairs[1].2.abs());
+    }
+
+    #[test]
+    fn intersection_of_identical_lists_is_one() {
+        let pcc = pairwise_pcc(&toy_matrix());
+        let frac = top_pair_intersection(&[pcc.clone(), pcc], 3);
+        assert_eq!(frac, 1.0);
+    }
+
+    #[test]
+    fn merge_groups_correlated_ocs() {
+        let pcc = pairwise_pcc(&toy_matrix());
+        let wins = vec![5, 1, 3, 0];
+        let merging = merge_ocs(&[pcc], &[toy_matrix()], &wins, 2);
+        assert_eq!(merging.classes(), 2);
+        // OCs 0, 1 (and 3, which tracks them) group together; OC 2 stands
+        // apart as the anti-correlated one.
+        let class0 = merging.class_of(0);
+        assert_eq!(merging.class_of(1), class0);
+        assert_ne!(merging.class_of(2), class0);
+        // Representative of OC 0's group is OC 0 (most wins).
+        assert_eq!(merging.representatives[class0], 0);
+    }
+
+    #[test]
+    fn merge_to_n_classes_is_identity_partition() {
+        let pcc = pairwise_pcc(&toy_matrix());
+        let merging = merge_ocs(&[pcc], &[toy_matrix()], &[1, 1, 1, 1], 4);
+        assert_eq!(merging.classes(), 4);
+        for i in 0..4 {
+            assert_eq!(merging.class_of(i), i);
+        }
+    }
+
+    #[test]
+    fn class_of_covers_all_ocs() {
+        let pcc = pairwise_pcc(&toy_matrix());
+        let merging = merge_ocs(&[pcc], &[toy_matrix()], &[0, 0, 0, 0], 2);
+        for i in 0..4 {
+            let c = merging.class_of(i);
+            assert!(c < 2);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Dataset persistence: the profiled stencil dataset is expensive to
+//! collect (the paper measures ~140k instances across four GPUs), so the
+//! pipeline stores it as JSON and reloads it for later model training —
+//! OC selection and performance prediction both read from the same stored
+//! corpus (paper §IV-A).
+
+use crate::dataset::ProfiledCorpus;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors from saving/loading a corpus.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// (De)serialization failure.
+    Serde(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::Serde(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Serde(e)
+    }
+}
+
+/// Save a profiled corpus as JSON.
+pub fn save_corpus(corpus: &ProfiledCorpus, path: &Path) -> Result<(), PersistError> {
+    let json = serde_json::to_string(corpus)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Load a profiled corpus from JSON.
+pub fn load_corpus(path: &Path) -> Result<ProfiledCorpus, PersistError> {
+    let json = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use stencilmart_gpusim::GpuId;
+    use stencilmart_stencil::pattern::Dim;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("stencilmart_test_{name}_{}.json", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn corpus_roundtrips_through_json() {
+        let cfg = PipelineConfig {
+            stencils_per_dim: 6,
+            samples_per_oc: 2,
+            gpus: vec![GpuId::V100],
+            ..PipelineConfig::default()
+        };
+        let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+        let path = tmp_path("roundtrip");
+        save_corpus(&corpus, &path).expect("save");
+        let loaded = load_corpus(&path).expect("load");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(loaded.patterns, corpus.patterns);
+        assert_eq!(loaded.grid, corpus.grid);
+        assert_eq!(loaded.profiles.len(), corpus.profiles.len());
+        // Derived artifacts agree.
+        assert_eq!(loaded.derive_merging(5), corpus.derive_merging(5));
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load_corpus(Path::new("/nonexistent/corpus.json")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let path = tmp_path("garbage");
+        std::fs::write(&path, "not json at all").unwrap();
+        let err = load_corpus(&path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(err, PersistError::Serde(_)));
+    }
+}

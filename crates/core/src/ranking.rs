@@ -1,0 +1,126 @@
+//! Ranking-quality evaluation: beyond pointwise MAPE, how well does the
+//! regressor order the OCs of a stencil? The paper's related work
+//! (Cosenza et al., IPDPS 2017) evaluates stencil performance models by
+//! the Kendall coefficient of the predicted ranking; this module provides
+//! the same lens on StencilMART's regressors.
+
+use crate::dataset::{ProfiledCorpus, RegressionDataset};
+use crate::models::{MlpShape, RegressorKind, TrainedRegressor};
+use serde::{Deserialize, Serialize};
+use stencilmart_gpusim::GpuId;
+use stencilmart_ml::metrics::kendall_tau;
+
+/// Ranking quality of one regressor on held-out stencils.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankingEval {
+    /// Mechanism evaluated.
+    pub kind: RegressorKind,
+    /// Mean Kendall tau between predicted and true instance orderings,
+    /// per stencil (1 = perfect ranking).
+    pub mean_tau: f64,
+    /// Fraction of held-out stencils whose true fastest instance is
+    /// ranked first by the model (top-1 hit rate).
+    pub top1_rate: f64,
+    /// Number of held-out stencils evaluated.
+    pub stencils: usize,
+}
+
+/// Evaluate ranking quality: hold out 20% of stencils, train on the rest,
+/// and rank each held-out stencil's measured instances on one GPU by
+/// predicted time.
+pub fn evaluate_ranking(
+    corpus: &ProfiledCorpus,
+    ds: &RegressionDataset,
+    kind: RegressorKind,
+    gpu: GpuId,
+    seed: u64,
+) -> RankingEval {
+    let n_stencils = corpus.patterns.len();
+    let test_stencils: Vec<bool> = (0..n_stencils)
+        .map(|i| (i + seed as usize) % 5 == 0)
+        .collect();
+    let train_idx: Vec<usize> = (0..ds.len())
+        .filter(|&r| !test_stencils[ds.keys[r].stencil])
+        .collect();
+    let mut model = TrainedRegressor::train(
+        kind,
+        ds.dim,
+        MlpShape::default(),
+        &ds.features,
+        &ds.tensors,
+        &ds.target_ln_ms,
+        &train_idx,
+        seed,
+    );
+    // Group held-out rows (on the chosen GPU) by stencil.
+    let mut by_stencil: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (r, key) in ds.keys.iter().enumerate() {
+        if test_stencils[key.stencil] && key.gpu == gpu {
+            by_stencil.entry(key.stencil).or_default().push(r);
+        }
+    }
+    let mut taus = Vec::new();
+    let mut top1 = 0usize;
+    let mut evaluated = 0usize;
+    for rows in by_stencil.values() {
+        if rows.len() < 4 {
+            continue; // too few instances to rank meaningfully
+        }
+        let preds = model.predict_ln(&ds.features, &ds.tensors, rows);
+        let truth: Vec<f64> = rows.iter().map(|&r| ds.target_ln_ms[r] as f64).collect();
+        let pred64: Vec<f64> = preds.iter().map(|&p| p as f64).collect();
+        taus.push(kendall_tau(&pred64, &truth));
+        let true_best = argmin(&truth);
+        let pred_best = argmin(&pred64);
+        if true_best == pred_best {
+            top1 += 1;
+        }
+        evaluated += 1;
+    }
+    RankingEval {
+        kind,
+        mean_tau: taus.iter().sum::<f64>() / taus.len().max(1) as f64,
+        top1_rate: top1 as f64 / evaluated.max(1) as f64,
+        stencils: evaluated,
+    }
+}
+
+fn argmin(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use stencilmart_stencil::pattern::Dim;
+
+    #[test]
+    fn ranking_beats_random() {
+        let cfg = PipelineConfig {
+            stencils_per_dim: 25,
+            samples_per_oc: 3,
+            max_regression_rows: 4000,
+            gpus: vec![GpuId::V100, GpuId::P100],
+            ..PipelineConfig::default()
+        };
+        let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+        let ds = RegressionDataset::build(&corpus, &cfg);
+        let eval = evaluate_ranking(&corpus, &ds, RegressorKind::GbRegressor, GpuId::V100, 0);
+        assert!(eval.stencils > 0);
+        // A random ranking has expected tau 0; the model must order the
+        // huge naive-vs-streamed gaps correctly.
+        assert!(eval.mean_tau > 0.3, "tau {}", eval.mean_tau);
+        assert!(eval.top1_rate >= 0.0 && eval.top1_rate <= 1.0);
+    }
+
+    #[test]
+    fn argmin_finds_minimum() {
+        assert_eq!(argmin(&[3.0, 1.0, 2.0]), 1);
+        assert_eq!(argmin(&[5.0]), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Cross-architecture performance-prediction evaluation: k-fold
+//! cross-validation of the regression mechanisms, reporting MAPE overall
+//! and per GPU (paper §V-C, Fig. 12–13).
+
+use crate::dataset::RegressionDataset;
+use crate::models::{MlpShape, RegressorKind, TrainedRegressor};
+use serde::{Deserialize, Serialize};
+use stencilmart_gpusim::GpuId;
+use stencilmart_ml::data::KFold;
+use stencilmart_ml::metrics::mape;
+use stencilmart_ml::par::par_map_indices;
+
+/// Cross-validated evaluation of one regressor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressorEval {
+    /// The evaluated mechanism.
+    pub kind: RegressorKind,
+    /// MLP/ConvMLP topology used.
+    pub shape: MlpShape,
+    /// MAPE (%) over all out-of-fold predictions, on linear time.
+    pub mape_overall: f64,
+    /// MAPE (%) per GPU subset.
+    pub mape_per_gpu: Vec<(GpuId, f64)>,
+    /// Out-of-fold `ln(time_ms)` prediction per row.
+    pub predictions_ln: Vec<f32>,
+}
+
+/// Run k-fold cross-validation for one regression mechanism.
+pub fn evaluate_regressor(
+    kind: RegressorKind,
+    ds: &RegressionDataset,
+    shape: MlpShape,
+    folds: usize,
+    seed: u64,
+) -> RegressorEval {
+    assert!(ds.len() >= folds, "dataset smaller than fold count");
+    let kf = KFold::new(ds.len(), folds, seed);
+    let fold_results: Vec<(Vec<usize>, Vec<f32>)> = par_map_indices(folds, |f| {
+        let (train_idx, test_idx) = kf.split(f);
+        let mut model = TrainedRegressor::train(
+            kind,
+            ds.dim,
+            shape,
+            &ds.features,
+            &ds.tensors,
+            &ds.target_ln_ms,
+            &train_idx,
+            seed ^ (f as u64).wrapping_mul(0x5851),
+        );
+        let preds = model.predict_ln(&ds.features, &ds.tensors, &test_idx);
+        (test_idx, preds)
+    });
+    let mut predictions_ln = vec![f32::NAN; ds.len()];
+    for (test_idx, preds) in &fold_results {
+        for (&i, &p) in test_idx.iter().zip(preds) {
+            predictions_ln[i] = p;
+        }
+    }
+    debug_assert!(predictions_ln.iter().all(|p| p.is_finite()));
+    let (overall, per_gpu) = mape_by_gpu(ds, &predictions_ln);
+    RegressorEval {
+        kind,
+        shape,
+        mape_overall: overall,
+        mape_per_gpu: per_gpu,
+        predictions_ln,
+    }
+}
+
+/// Compute MAPE on linear time overall and per GPU subset.
+pub fn mape_by_gpu(
+    ds: &RegressionDataset,
+    predictions_ln: &[f32],
+) -> (f64, Vec<(GpuId, f64)>) {
+    let pred_ms: Vec<f64> = predictions_ln.iter().map(|&p| (p as f64).exp()).collect();
+    let true_ms: Vec<f64> = ds
+        .target_ln_ms
+        .iter()
+        .map(|&t| (t as f64).exp())
+        .collect();
+    let overall = mape(&pred_ms, &true_ms);
+    let mut per_gpu = Vec::new();
+    for gpu in GpuId::ALL {
+        let idx: Vec<usize> = ds
+            .keys
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.gpu == gpu)
+            .map(|(i, _)| i)
+            .collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let p: Vec<f64> = idx.iter().map(|&i| pred_ms[i]).collect();
+        let t: Vec<f64> = idx.iter().map(|&i| true_ms[i]).collect();
+        per_gpu.push((gpu, mape(&p, &t)));
+    }
+    (overall, per_gpu)
+}
+
+/// Leave-one-GPU-out evaluation: train on every instance measured on the
+/// *other* GPUs and predict the held-out GPU's instances. This is the
+/// hardest form of cross-architecture prediction — the model has never
+/// seen a single measurement from the target architecture and must
+/// extrapolate purely from the hardware-characteristic features. (The
+/// paper's protocol mixes all GPUs into the CV folds; this stricter
+/// variant is provided as an extension.)
+pub fn leave_one_gpu_out(
+    kind: RegressorKind,
+    ds: &RegressionDataset,
+    held_out: GpuId,
+    seed: u64,
+) -> Option<f64> {
+    let train_idx: Vec<usize> = (0..ds.len())
+        .filter(|&r| ds.keys[r].gpu != held_out)
+        .collect();
+    let test_idx: Vec<usize> = (0..ds.len())
+        .filter(|&r| ds.keys[r].gpu == held_out)
+        .collect();
+    if train_idx.is_empty() || test_idx.is_empty() {
+        return None;
+    }
+    let mut model = crate::models::TrainedRegressor::train(
+        kind,
+        ds.dim,
+        MlpShape::default(),
+        &ds.features,
+        &ds.tensors,
+        &ds.target_ln_ms,
+        &train_idx,
+        seed,
+    );
+    let preds = model.predict_ln(&ds.features, &ds.tensors, &test_idx);
+    let pred_ms: Vec<f64> = preds.iter().map(|&p| (p as f64).exp()).collect();
+    let true_ms: Vec<f64> = test_idx
+        .iter()
+        .map(|&i| (ds.target_ln_ms[i] as f64).exp())
+        .collect();
+    Some(mape(&pred_ms, &true_ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::dataset::ProfiledCorpus;
+    use stencilmart_stencil::pattern::Dim;
+
+    fn tiny_dataset() -> RegressionDataset {
+        let cfg = PipelineConfig {
+            stencils_per_dim: 10,
+            samples_per_oc: 2,
+            gpus: vec![GpuId::V100, GpuId::A100],
+            max_regression_rows: 600,
+            ..PipelineConfig::default()
+        };
+        let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+        RegressionDataset::build(&corpus, &cfg)
+    }
+
+    #[test]
+    fn gbregressor_predicts_reasonably() {
+        let ds = tiny_dataset();
+        let eval = evaluate_regressor(RegressorKind::GbRegressor, &ds, MlpShape::default(), 3, 0);
+        assert!(eval.mape_overall < 80.0, "MAPE {}", eval.mape_overall);
+        assert_eq!(eval.predictions_ln.len(), ds.len());
+        assert_eq!(eval.mape_per_gpu.len(), 2);
+    }
+
+    #[test]
+    fn per_gpu_mape_covers_profiled_gpus() {
+        let ds = tiny_dataset();
+        let eval = evaluate_regressor(RegressorKind::GbRegressor, &ds, MlpShape::default(), 3, 1);
+        let gpus: Vec<GpuId> = eval.mape_per_gpu.iter().map(|(g, _)| *g).collect();
+        assert!(gpus.contains(&GpuId::V100));
+        assert!(gpus.contains(&GpuId::A100));
+        assert!(eval.mape_per_gpu.iter().all(|(_, m)| m.is_finite()));
+    }
+
+    #[test]
+    fn leave_one_gpu_out_is_finite_and_harder() {
+        let cfg = PipelineConfig {
+            stencils_per_dim: 14,
+            samples_per_oc: 3,
+            gpus: vec![GpuId::V100, GpuId::P100, GpuId::A100],
+            max_regression_rows: 3000,
+            ..PipelineConfig::default()
+        };
+        let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+        let ds = RegressionDataset::build(&corpus, &cfg);
+        let logo = leave_one_gpu_out(RegressorKind::GbRegressor, &ds, GpuId::A100, 0)
+            .expect("A100 rows exist");
+        assert!(logo.is_finite() && logo > 0.0);
+        // Mixed-GPU CV should be easier than extrapolating to an unseen
+        // architecture.
+        let mixed =
+            evaluate_regressor(RegressorKind::GbRegressor, &ds, MlpShape::default(), 3, 0);
+        assert!(
+            logo > 0.5 * mixed.mape_overall,
+            "LOGO {logo} vs mixed {}",
+            mixed.mape_overall
+        );
+        // Held-out GPU absent entirely → None.
+        let cfg2 = PipelineConfig {
+            gpus: vec![GpuId::V100],
+            ..cfg
+        };
+        let corpus2 = ProfiledCorpus::build(&cfg2, Dim::D2);
+        let ds2 = RegressionDataset::build(&corpus2, &cfg2);
+        assert!(leave_one_gpu_out(RegressorKind::GbRegressor, &ds2, GpuId::A100, 0).is_none());
+    }
+
+    #[test]
+    fn mlp_trains_without_nan() {
+        let ds = tiny_dataset();
+        let eval = evaluate_regressor(
+            RegressorKind::Mlp,
+            &ds,
+            MlpShape {
+                hidden_layers: 3,
+                width: 24,
+            },
+            3,
+            2,
+        );
+        assert!(eval.mape_overall.is_finite());
+    }
+}

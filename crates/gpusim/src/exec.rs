@@ -1,0 +1,379 @@
+//! Execution-time model: occupancy calculation plus a
+//! memory/compute/shared-memory roofline with synchronization, launch, and
+//! wave-quantization terms.
+
+use crate::arch::GpuArch;
+use crate::kernel::{characterize, Crash, KernelProfile};
+use crate::opts::OptCombo;
+use crate::params::ParamSetting;
+use serde::{Deserialize, Serialize};
+use stencilmart_stencil::pattern::StencilPattern;
+
+/// Occupancy analysis for one kernel configuration on one GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident threads per SM.
+    pub threads_per_sm: u32,
+    /// Fraction of the SM's maximum resident threads.
+    pub fraction: f64,
+    /// Which resource limits residency.
+    pub limiter: OccLimiter,
+}
+
+/// The resource that limits occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccLimiter {
+    /// Max resident threads per SM.
+    Threads,
+    /// Register file capacity.
+    Registers,
+    /// Shared memory capacity.
+    SharedMemory,
+    /// Max resident blocks per SM.
+    Blocks,
+}
+
+/// Compute occupancy from a kernel profile (standard CUDA occupancy
+/// calculation).
+pub fn occupancy(profile: &KernelProfile, arch: &GpuArch) -> Result<Occupancy, Crash> {
+    let threads = profile.threads_per_block.max(1);
+    let by_threads = arch.max_threads_per_sm / threads;
+    let by_regs = arch.regs_per_sm / (profile.regs_per_thread.max(1) * threads);
+    let by_smem = arch
+        .smem_per_sm
+        .checked_div(profile.smem_per_block)
+        .unwrap_or(u32::MAX);
+    let by_blocks = arch.max_blocks_per_sm;
+    let candidates = [
+        (by_threads, OccLimiter::Threads),
+        (by_regs, OccLimiter::Registers),
+        (by_smem, OccLimiter::SharedMemory),
+        (by_blocks, OccLimiter::Blocks),
+    ];
+    let (blocks_per_sm, limiter) = candidates
+        .iter()
+        .copied()
+        .min_by_key(|&(b, _)| b)
+        .expect("non-empty");
+    if blocks_per_sm == 0 {
+        return Err(Crash::Unschedulable);
+    }
+    let threads_per_sm = (blocks_per_sm * threads).min(arch.max_threads_per_sm);
+    Ok(Occupancy {
+        blocks_per_sm,
+        threads_per_sm,
+        fraction: threads_per_sm as f64 / arch.max_threads_per_sm as f64,
+        limiter,
+    })
+}
+
+/// Optional boundary-condition cost model (paper §VII future work): a halo
+/// exchange / ghost-fill pass adds traffic proportional to the grid's
+/// surface times the stencil order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BoundaryModel {
+    /// Periodic or unhandled boundaries: no extra cost (paper default).
+    None,
+    /// Ghost cells are refilled every sweep.
+    GhostFill,
+}
+
+impl BoundaryModel {
+    /// Extra DRAM bytes for one sweep of an `n^rank` grid of order-`r`
+    /// cells.
+    pub fn extra_bytes(&self, n: f64, rank: i32, r: f64) -> f64 {
+        match self {
+            BoundaryModel::None => 0.0,
+            BoundaryModel::GhostFill => {
+                // 2·rank faces, each n^(rank-1) cells, r deep, read+write.
+                2.0 * rank as f64 * n.powi(rank - 1) * r * 2.0 * crate::kernel::ELEM_BYTES
+            }
+        }
+    }
+}
+
+/// Detailed timing breakdown for one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// DRAM-traffic-limited time (ms).
+    pub t_mem_ms: f64,
+    /// FP64-throughput-limited time (ms).
+    pub t_comp_ms: f64,
+    /// Shared-memory-bandwidth-limited time (ms).
+    pub t_smem_ms: f64,
+    /// Exposed synchronization time (ms).
+    pub t_sync_ms: f64,
+    /// Kernel launch overhead (ms).
+    pub t_launch_ms: f64,
+    /// Total per-sweep time (ms), noise-free.
+    pub total_ms: f64,
+    /// Occupancy analysis.
+    pub occupancy: Occupancy,
+}
+
+/// Simulate one sweep and return its timing breakdown, or the crash that
+/// prevents execution.
+pub fn simulate_breakdown(
+    pattern: &StencilPattern,
+    grid: usize,
+    oc: &OptCombo,
+    params: &ParamSetting,
+    arch: &GpuArch,
+    boundary: BoundaryModel,
+) -> Result<TimeBreakdown, Crash> {
+    let profile = characterize(pattern, grid, oc, params, arch)?;
+    let occ = occupancy(&profile, arch)?;
+    let rank = pattern.dim().rank() as i32;
+    let n = grid as f64;
+    let points = n.powi(rank);
+
+    // Wave quantization: blocks execute in waves of `concurrent` blocks;
+    // a fractional final wave (or fewer blocks than one wave) wastes SMs.
+    let concurrent = (occ.blocks_per_sm as u64 * arch.sms as u64).max(1);
+    let waves_exact = profile.total_blocks as f64 / concurrent as f64;
+    let wave_factor = waves_exact.ceil().max(1.0) / waves_exact.max(1e-12);
+
+    // Effective DRAM bandwidth grows with resident warps (latency
+    // hiding); saturation is gradual, so occupancy cliffs from register
+    // or shared-memory pressure translate into real slowdowns.
+    let occ_bw = (occ.fraction / 0.7).powf(0.5).min(1.0);
+    let eff_bw = arch.mem_bw_gbs * 1e9 * arch.achievable_bw_frac * occ_bw;
+    let bytes = profile.dram_bytes_per_point * points
+        + boundary.extra_bytes(n, rank, pattern.order() as f64);
+    let t_mem = bytes / eff_bw;
+
+    // FP64 pipes need a moderate occupancy to stay fed; ILP helps at low
+    // occupancy, and each architecture sustains its own fraction of peak.
+    let comp_eff = ((occ.fraction / 0.5).powf(0.6) * profile.ilp).min(1.0)
+        * arch.achievable_flop_frac;
+    let t_comp = profile.flops_per_point * points / (arch.peak_fp64_flops() * comp_eff);
+
+    let t_smem = profile.smem_bytes_per_point * points / arch.smem_bw_bytes();
+
+    // Barriers sit on each block's critical path once per staged plane.
+    let t_sync = profile.syncs_per_block as f64
+        * arch.barrier_ns
+        * 1e-9
+        * profile.sync_exposure
+        * waves_exact.ceil().max(1.0);
+
+    // The kernel profile's traffic/compute figures are already per time
+    // step; only the launch overhead amortizes over temporal blocking's
+    // fused steps (one launch covers `time_tile` steps).
+    let t_launch = arch.launch_us * 1e-6 / profile.time_tile as f64;
+
+    let work = t_mem.max(t_comp).max(t_smem) * wave_factor;
+    let total = work + t_sync + t_launch;
+
+    Ok(TimeBreakdown {
+        t_mem_ms: t_mem * 1e3,
+        t_comp_ms: t_comp * 1e3,
+        t_smem_ms: t_smem * 1e3,
+        t_sync_ms: t_sync * 1e3,
+        t_launch_ms: t_launch * 1e3,
+        total_ms: total * 1e3,
+        occupancy: occ,
+    })
+}
+
+/// Simulate one sweep and return its noise-free time in milliseconds.
+pub fn simulate(
+    pattern: &StencilPattern,
+    grid: usize,
+    oc: &OptCombo,
+    params: &ParamSetting,
+    arch: &GpuArch,
+) -> Result<f64, Crash> {
+    simulate_breakdown(pattern, grid, oc, params, arch, BoundaryModel::None)
+        .map(|b| b.total_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::GpuId;
+    use stencilmart_stencil::pattern::Dim;
+    use stencilmart_stencil::shapes;
+
+    fn v100() -> GpuArch {
+        GpuArch::preset(GpuId::V100)
+    }
+
+    #[test]
+    fn occupancy_full_for_small_kernel() {
+        let p = shapes::star(Dim::D2, 1);
+        let prof = characterize(
+            &p,
+            8192,
+            &OptCombo::BASE,
+            &ParamSetting::default_for(&OptCombo::BASE),
+            &v100(),
+        )
+        .unwrap();
+        let occ = occupancy(&prof, &v100()).unwrap();
+        assert!(occ.fraction > 0.6, "{occ:?}");
+    }
+
+    #[test]
+    fn register_pressure_limits_occupancy() {
+        let p = shapes::box_(Dim::D3, 4); // 729 points: heavy registers
+        let cm = OptCombo::parse("CM").unwrap();
+        let mut params = ParamSetting::default_for(&cm);
+        params.merge_factor = 8;
+        let prof = characterize(&p, 512, &cm, &params, &v100()).unwrap();
+        let occ = occupancy(&prof, &v100()).unwrap();
+        assert_eq!(occ.limiter, OccLimiter::Registers);
+        assert!(occ.fraction < 0.6);
+    }
+
+    #[test]
+    fn star2d1r_v100_time_is_milliseconds() {
+        // Sanity: an 8192² double-precision sweep moves ≥ 1 GiB; at
+        // ~700 GB/s effective that is ~1.5–4 ms.
+        let p = shapes::star(Dim::D2, 1);
+        let t = simulate(
+            &p,
+            8192,
+            &OptCombo::BASE,
+            &ParamSetting::default_for(&OptCombo::BASE),
+            &v100(),
+        )
+        .unwrap();
+        assert!(t > 0.5 && t < 20.0, "t = {t} ms");
+    }
+
+    #[test]
+    fn memory_bound_for_low_order_compute_bound_for_dense() {
+        let arch = v100();
+        let params = ParamSetting::default_for(&OptCombo::BASE);
+        let lo = simulate_breakdown(
+            &shapes::star(Dim::D2, 1),
+            8192,
+            &OptCombo::BASE,
+            &params,
+            &arch,
+            BoundaryModel::None,
+        )
+        .unwrap();
+        assert!(lo.t_mem_ms > lo.t_comp_ms);
+        let hi = simulate_breakdown(
+            &shapes::box_(Dim::D3, 4),
+            512,
+            &OptCombo::parse("ST").unwrap(),
+            &{
+                let mut p = ParamSetting::default_for(&OptCombo::parse("ST").unwrap());
+                p.block_x = 32;
+                p.block_y = 8;
+                p
+            },
+            &arch,
+            BoundaryModel::None,
+        )
+        .unwrap();
+        assert!(hi.t_comp_ms > hi.t_mem_ms, "{hi:?}");
+    }
+
+    #[test]
+    fn fp64_poor_turing_suffers_on_dense_stencils() {
+        let p = shapes::box_(Dim::D3, 3);
+        let st = OptCombo::parse("ST").unwrap();
+        let mut params = ParamSetting::default_for(&st);
+        params.block_x = 32;
+        params.block_y = 8;
+        let t_v100 = simulate(&p, 512, &st, &params, &v100()).unwrap();
+        let t_ti = simulate(
+            &p,
+            512,
+            &st,
+            &params,
+            &GpuArch::preset(GpuId::Rtx2080Ti),
+        )
+        .unwrap();
+        assert!(t_ti > 5.0 * t_v100, "2080Ti {t_ti} vs V100 {t_v100}");
+    }
+
+    #[test]
+    fn boundary_model_adds_cost() {
+        let p = shapes::star(Dim::D3, 2);
+        let params = ParamSetting::default_for(&OptCombo::BASE);
+        let plain = simulate_breakdown(
+            &p,
+            512,
+            &OptCombo::BASE,
+            &params,
+            &v100(),
+            BoundaryModel::None,
+        )
+        .unwrap();
+        let ghost = simulate_breakdown(
+            &p,
+            512,
+            &OptCombo::BASE,
+            &params,
+            &v100(),
+            BoundaryModel::GhostFill,
+        )
+        .unwrap();
+        assert!(ghost.total_ms > plain.total_ms);
+    }
+
+    #[test]
+    fn crashes_propagate() {
+        let p = shapes::box_(Dim::D3, 4);
+        let tb = OptCombo::parse("TB").unwrap();
+        let mut params = ParamSetting::default_for(&tb);
+        params.block_x = 32;
+        params.block_y = 4;
+        assert!(simulate(&p, 512, &tb, &params, &v100()).is_err());
+    }
+
+    #[test]
+    fn memory_bound_times_follow_bandwidth_ordering() {
+        // For a plainly memory-bound kernel, faster memory systems are
+        // faster end to end: V100 (900 GB/s) < P100 (720) < 2080Ti (616)
+        // in time.
+        let p = shapes::star(Dim::D2, 1);
+        let oc = OptCombo::parse("ST").unwrap();
+        let params = ParamSetting::default_for(&oc);
+        let t = |g: GpuId| simulate(&p, 8192, &oc, &params, &GpuArch::preset(g)).unwrap();
+        assert!(t(GpuId::V100) < t(GpuId::P100));
+        assert!(t(GpuId::P100) < t(GpuId::Rtx2080Ti));
+    }
+
+    #[test]
+    fn wave_quantization_penalizes_partial_waves() {
+        // Identical per-point work, but a block count just over a wave
+        // boundary pays for a second wave.
+        let p = shapes::star(Dim::D2, 1);
+        let params = ParamSetting::default_for(&OptCombo::BASE);
+        let arch = v100();
+        let prof = characterize(&p, 8192, &OptCombo::BASE, &params, &arch).unwrap();
+        let occ = occupancy(&prof, &arch).unwrap();
+        let concurrent = occ.blocks_per_sm as u64 * arch.sms as u64;
+        // The model exposes the penalty only through total time; verify
+        // the breakdown reports a total at or above the roofline, which
+        // the wave factor scales.
+        let b = simulate_breakdown(&p, 8192, &OptCombo::BASE, &params, &arch, BoundaryModel::None)
+            .unwrap();
+        let roof = b.t_mem_ms.max(b.t_comp_ms).max(b.t_smem_ms);
+        assert!(b.total_ms >= roof);
+        assert!(concurrent > 0);
+    }
+
+    #[test]
+    fn underutilization_penalizes_few_blocks() {
+        // 2-D streaming with one chunk: only n / block_x blocks.
+        let p = shapes::star(Dim::D2, 1);
+        let st = OptCombo::parse("ST").unwrap();
+        let mut few = ParamSetting::default_for(&st);
+        few.block_x = 256;
+        few.stream_tile = 512; // 8192/512 = 16 chunks
+        let mut many = few;
+        many.stream_tile = 64; // 128 chunks: more parallelism
+        let t_few = simulate(&p, 8192, &st, &few, &v100()).unwrap();
+        let t_many = simulate(&p, 8192, &st, &many, &v100()).unwrap();
+        assert!(t_many < t_few, "many {t_many} !< few {t_few}");
+    }
+}

@@ -1,0 +1,516 @@
+//! Kernel characterization: derive per-thread resources and per-point
+//! traffic for a (stencil, OC, parameter setting) triple.
+//!
+//! This is the analytical stand-in for compiling and profiling a real CUDA
+//! kernel. Every optimization of Table I perturbs the resource and traffic
+//! estimates the way its real implementation does:
+//!
+//! * **ST** — planes are staged and reused along the streaming axis, so
+//!   per-point DRAM reads drop to ≈1 plus a halo share; a barrier is paid
+//!   per plane; shared memory holds `2r+1` planes.
+//! * **BM/CM** — merging multiplies per-thread register live ranges. Block
+//!   merging of adjacent points reuses overlapping neighbors (computed
+//!   exactly from the pattern's self-overlap under shifts); merging along
+//!   the innermost axis de-coalesces global accesses. Cyclic merging keeps
+//!   coalescing and adds instruction-level parallelism but its strided
+//!   points share no data.
+//! * **RT** — accumulator registers replace shared-memory operand traffic
+//!   for the streaming-axis column of the stencil.
+//! * **PR** — a register double-buffer hides the inter-plane barrier.
+//! * **TB** — fusing `t` time steps divides DRAM traffic by `t` while
+//!   multiplying the staged working set and adding halo recomputation.
+
+use crate::arch::GpuArch;
+use crate::opts::{Merge, OptCombo};
+use crate::params::ParamSetting;
+use serde::{Deserialize, Serialize};
+use stencilmart_stencil::pattern::StencilPattern;
+
+/// Bytes per element (the paper's stencils are double precision).
+pub const ELEM_BYTES: f64 = 8.0;
+
+/// Why a kernel configuration cannot execute (paper §III-A observes that
+/// some OCs crash for some stencils).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Crash {
+    /// The block's shared-memory allocation exceeds the per-block limit.
+    SharedMemoryOverflow,
+    /// Register demand is beyond what the compiler can spill around.
+    RegisterOverflow,
+    /// More than 1024 threads per block.
+    BlockTooLarge,
+    /// Zero resident blocks fit on an SM.
+    Unschedulable,
+}
+
+impl std::fmt::Display for Crash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Crash::SharedMemoryOverflow => "shared memory allocation exceeds per-block limit",
+            Crash::RegisterOverflow => "register demand exceeds spillable range",
+            Crash::BlockTooLarge => "thread block exceeds 1024 threads",
+            Crash::Unschedulable => "no resident block fits on an SM",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Crash {}
+
+/// The derived execution characteristics of one kernel configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Total blocks launched for one sweep.
+    pub total_blocks: u64,
+    /// Registers per thread (after the 255 cap; spilling accounted in
+    /// traffic).
+    pub regs_per_thread: u32,
+    /// Shared memory per block in bytes.
+    pub smem_per_block: u32,
+    /// DRAM bytes moved per output point (reads + writes, after reuse,
+    /// coalescing, and spill effects).
+    pub dram_bytes_per_point: f64,
+    /// Shared-memory bytes moved per output point.
+    pub smem_bytes_per_point: f64,
+    /// FLOPs per output point (including temporal-blocking redundancy).
+    pub flops_per_point: f64,
+    /// Instruction-level-parallelism factor (≥ 1) from unrolling/merging.
+    pub ilp: f64,
+    /// Barriers on each block's critical path for one sweep.
+    pub syncs_per_block: u32,
+    /// Fraction of barrier latency exposed (prefetching hides most of it).
+    pub sync_exposure: f64,
+    /// Effective time steps fused (divides the per-sweep cost when
+    /// amortized over a multi-step run).
+    pub time_tile: u32,
+}
+
+/// Count how many of the pattern's offsets remain distinct when `m` copies
+/// shifted by `0..m` along `axis` are unioned. Block merging of `m`
+/// adjacent outputs loads this union once instead of `m · nnz` operands.
+pub fn shifted_union(p: &StencilPattern, axis: usize, m: u32) -> usize {
+    let pts = p.points();
+    let mut set: std::collections::HashSet<[i32; 3]> =
+        std::collections::HashSet::with_capacity(pts.len() * m as usize);
+    for shift in 0..m as i32 {
+        for o in pts {
+            let mut c = o.c;
+            c[axis] += shift;
+            set.insert(c);
+        }
+    }
+    set.len()
+}
+
+/// Characterize one configuration. Returns the kernel profile or the crash
+/// that prevents execution.
+pub fn characterize(
+    pattern: &StencilPattern,
+    grid: usize,
+    oc: &OptCombo,
+    params: &ParamSetting,
+    arch: &GpuArch,
+) -> Result<KernelProfile, Crash> {
+    let rank = pattern.dim().rank();
+    let r = pattern.order() as f64;
+    let nnz = pattern.nnz() as f64;
+    let n = grid as f64;
+    let threads = params.threads_per_block();
+    if threads > 1024 {
+        return Err(Crash::BlockTooLarge);
+    }
+    let m = params.merge_factor.max(1) as f64;
+    let t = params.time_tile.max(1) as f64;
+
+    // ---- Register estimate -------------------------------------------------
+    // Base: address arithmetic + a coefficient/operand window that grows
+    // with order, pattern size, and the number of distinct rows (each row
+    // needs its own base-address arithmetic). The operand-window term
+    // saturates: compilers never hold hundreds of operands live at once.
+    // Because occupancy is a step function of the register count, these
+    // smooth per-pattern differences flip occupancy cliffs differently
+    // for each OC's register adders — a major source of "no single OC
+    // fits all".
+    let rows = pattern.distinct_rows() as f64;
+    let mut regs = 24.0 + 2.0 * r + 0.35 * nnz.min(150.0) + 0.6 * rows.min(60.0);
+    match oc.merge {
+        Merge::Block => regs += (m - 1.0) * (6.0 + r),
+        Merge::Cyclic => regs += (m - 1.0) * (8.0 + r),
+        Merge::None => {}
+    }
+    if oc.rt {
+        // Accumulators for the decomposed sub-computations.
+        regs += 4.0 * r;
+    }
+    if oc.pr {
+        // Double buffer for the prefetched plane column.
+        regs += 6.0 + 3.0 * r;
+    }
+    if oc.tb {
+        regs *= 1.0 + 0.3 * (t - 1.0);
+    }
+    regs += 1.5 * (params.unroll as f64).log2();
+    // ptxas allocates in granules of 4.
+    regs = (regs / 4.0).ceil() * 4.0;
+    if regs > 400.0 {
+        return Err(Crash::RegisterOverflow);
+    }
+    // ptxas caps the per-thread allocation so that (a) the ISA's 255-
+    // register limit holds and (b) at least one block fits in the SM's
+    // register file; everything beyond the cap spills to local memory.
+    let allowed = (arch.regs_per_sm as f64 / threads as f64).clamp(16.0, 255.0);
+    let spilled = (regs - allowed).max(0.0);
+    let regs_capped = regs.min(allowed) as u32;
+
+    // ---- Shared memory and block/plane geometry ----------------------------
+    let halo = 2.0 * r * if oc.tb { t } else { 1.0 };
+    let (smem, total_blocks, planes_per_block): (f64, f64, f64) = if oc.st {
+        // Streaming: the block owns a cross-section pencil and walks
+        // `stream_tile` planes of the streaming (outermost) axis.
+        let cross_x = params.block_x as f64 * if params.merge_dim == 0 { m } else { 1.0 };
+        let cross_y = if rank == 3 {
+            params.block_y as f64 * if params.merge_dim == 1 { m } else { 1.0 }
+        } else {
+            1.0
+        };
+        // Streaming stages a wavefront window: 2r+1 planes, plus two per
+        // extra fused time step (AN5D-style streaming temporal blocking
+        // keeps the window linear in t rather than multiplicative).
+        let planes = 2.0 * r + 1.0 + 2.0 * (t - 1.0);
+        let smem = if params.use_smem {
+            planes * (cross_x + halo) * (if rank == 3 { cross_y + halo } else { 1.0 })
+                * ELEM_BYTES
+        } else {
+            0.0
+        };
+        let cross_sections = (n.powi(rank as i32 - 1) / (cross_x * cross_y)).ceil();
+        let chunks = (n / params.stream_tile as f64).ceil().max(1.0);
+        (smem, cross_sections * chunks, params.stream_tile as f64)
+    } else if oc.tb {
+        // Temporal blocking without streaming: the whole spatio-temporal
+        // tile (with halos grown by r·t) must be staged in shared memory.
+        // For high-order 3-D stencils this overflows — matching the
+        // paper's observation that TB without ST crashes there.
+        let tile_x = params.block_x as f64 * if params.merge_dim == 0 { m } else { 1.0 };
+        let tile_y = if rank >= 2 {
+            params.block_y as f64 * if params.merge_dim == 1 { m } else { 1.0 }
+        } else {
+            1.0
+        };
+        let tile_z = if rank == 3 { 4.0 } else { 1.0 };
+        let smem = (tile_x + halo)
+            * (if rank >= 2 { tile_y + halo } else { 1.0 })
+            * (if rank == 3 { tile_z + halo } else { 1.0 })
+            * ELEM_BYTES;
+        let pts_per_block = tile_x * tile_y * tile_z;
+        (smem, (n.powi(rank as i32) / pts_per_block).ceil(), 1.0)
+    } else {
+        let pts_per_block = threads as f64 * m;
+        (0.0, (n.powi(rank as i32) / pts_per_block).ceil(), 1.0)
+    };
+    if smem > arch.smem_per_block as f64 {
+        return Err(Crash::SharedMemoryOverflow);
+    }
+
+    // ---- DRAM traffic per point --------------------------------------------
+    // Temporal blocking widens every halo by the fused depth: the skirt
+    // cells are re-loaded (and re-computed) per fused step, which is what
+    // keeps TB from being a free t× traffic win.
+    let tb_mult = if oc.tb { t } else { 1.0 };
+    let mut reads = if oc.st {
+        // Each point is loaded ~once; halo cells re-load at tile borders
+        // and at streaming-chunk boundaries (concurrent streaming).
+        let cross_x = params.block_x as f64 * if params.merge_dim == 0 { m } else { 1.0 };
+        let cross_y = if rank == 3 { params.block_y as f64 } else { f64::INFINITY };
+        let halo_share = 2.0 * r * tb_mult * (1.0 / cross_x + 1.0 / cross_y);
+        let chunk_share = 2.0 * r * tb_mult / params.stream_tile as f64;
+        let stage_penalty = if params.use_smem {
+            0.0
+        } else {
+            // Register/L2 staging leaks some reuse for wide patterns.
+            0.06 * (rows - 1.0).max(0.0)
+        };
+        1.0 + halo_share + chunk_share + stage_penalty
+    } else if oc.tb {
+        // Shared-memory spatio-temporal tile: each point loads once per
+        // tile, plus a skirt of width r·t around every tile face.
+        let tile_x = params.block_x as f64 * if params.merge_dim == 0 { m } else { 1.0 };
+        let tile_y = if rank >= 2 { params.block_y as f64 } else { f64::INFINITY };
+        let tile_z = if rank == 3 { 4.0 } else { f64::INFINITY };
+        1.0 + 2.0 * r * tb_mult * (1.0 / tile_x + 1.0 / tile_y + 1.0 / tile_z)
+    } else {
+        // Unit-stride neighbors hit the same cache lines; each distinct
+        // row costs roughly one load stream.
+        let base = rows + 0.15 * (nnz - rows);
+        // Cross-row reuse is captured when the row working set fits in a
+        // healthy fraction of L2 (large-L2 parts like A100 benefit most).
+        let row_ws = rows * n * ELEM_BYTES;
+        let reuse = if rank == 2 && row_ws < 0.5 * arch.l2_bytes as f64 {
+            1.0 + (base - 1.0) * 0.35
+        } else {
+            base
+        };
+        // Block merging unions overlapping operands of adjacent outputs.
+        if oc.merge == Merge::Block {
+            let union = shifted_union(pattern, params.merge_dim as usize, params.merge_factor);
+            reuse * (union as f64 / (m * nnz)).min(1.0)
+        } else {
+            reuse
+        }
+    };
+
+    // Misaligned halo accesses waste part of each 32-byte sector.
+    reads *= 1.0 + 0.05 * r;
+    // Block merging along the innermost axis breaks coalescing: threads
+    // become strided by m, inflating transactions (paper §II-B2).
+    let coalesce = if oc.merge == Merge::Block && params.merge_dim == 0 {
+        m.min(4.0)
+    } else {
+        1.0
+    };
+    reads *= coalesce;
+    let mut writes = coalesce;
+    // Register spills round-trip through local memory (DRAM-backed).
+    reads += spilled * 0.12;
+    // Temporal blocking amortizes global traffic over the fused steps.
+    // All quantities in this profile are *per time step*: the t× halo
+    // terms above divide back down to per-step skirt overhead.
+    if oc.tb {
+        reads /= t;
+        writes /= t;
+        // Wavefront traversal streams less regularly than a plain sweep:
+        // DRAM sectors are re-touched across the skewed tile fronts, so
+        // the ideal 1/t reduction is not fully realised (AN5D reports
+        // diminishing returns with blocking degree for the same reason).
+        reads *= 1.0 + 0.25 * (t - 1.0).min(2.0);
+    }
+    let dram_bytes = (reads + writes) * ELEM_BYTES;
+
+    // ---- Shared-memory traffic per point ------------------------------------
+    let mut smem_ops = if smem > 0.0 { nnz + 1.0 } else { 0.0 };
+    if oc.rt && smem_ops > 0.0 {
+        // Retiming converts the streaming-axis column reads into register
+        // accumulation; the benefit grows with order (paper §II-B4).
+        let col_pts = pattern
+            .points()
+            .iter()
+            .filter(|o| o.c[rank - 1] != 0)
+            .count() as f64;
+        smem_ops -= col_pts * 0.8;
+    }
+    // Strided cyclic access patterns cause bank conflicts in the staged
+    // tile.
+    if oc.merge == Merge::Cyclic && smem_ops > 0.0 {
+        smem_ops *= 1.0 + 0.35 * m.log2();
+    }
+    let smem_bytes = smem_ops.max(0.0) * ELEM_BYTES;
+
+    // ---- Compute ------------------------------------------------------------
+    let mut flops = pattern.flops_per_point() as f64;
+    if oc.rt {
+        // Re-association removes some common subexpressions.
+        flops *= 0.92;
+    }
+    if oc.tb {
+        // Halo recomputation: each fused step recomputes a skirt of width
+        // r around the tile cross-section.
+        let tile_min = if oc.st {
+            params.block_x as f64 * m
+        } else {
+            params.block_x as f64
+        };
+        let redundancy = (r * (t - 1.0) * 2.0 / tile_min).min(1.5);
+        flops *= 1.0 + redundancy;
+    }
+    let ilp = ((1.0
+        + 0.08 * (params.unroll as f64).log2()
+        + if oc.merge == Merge::Cyclic {
+            0.08 * m.log2()
+        } else {
+            0.0
+        })
+        // Cross-step dependencies in the fused wavefront limit issue
+        // parallelism.
+        * if oc.tb { 0.9 } else { 1.0 })
+    .min(1.35);
+
+    // ---- Synchronization -----------------------------------------------------
+    let syncs = if oc.st { planes_per_block as u32 } else { 1 };
+    let sync_exposure = if oc.pr { 0.3 } else { 1.0 };
+
+    Ok(KernelProfile {
+        threads_per_block: threads,
+        total_blocks: total_blocks as u64,
+        regs_per_thread: regs_capped,
+        smem_per_block: smem as u32,
+        dram_bytes_per_point: dram_bytes,
+        smem_bytes_per_point: smem_bytes,
+        flops_per_point: flops,
+        ilp,
+        syncs_per_block: syncs,
+        sync_exposure,
+        time_tile: params.time_tile.max(1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::GpuId;
+    use stencilmart_stencil::pattern::Dim;
+    use stencilmart_stencil::shapes;
+
+    fn v100() -> GpuArch {
+        GpuArch::preset(GpuId::V100)
+    }
+
+    fn base_params() -> ParamSetting {
+        ParamSetting::default_for(&OptCombo::BASE)
+    }
+
+    #[test]
+    fn shifted_union_counts_overlap() {
+        let p = shapes::star(Dim::D2, 1); // 5 points
+        // Shifting by one along x: union of two 5-point stars sharing 2
+        // points (centre column overlap: (0,0)&(1,0) coincide etc.)
+        let u = shifted_union(&p, 0, 2);
+        assert_eq!(u, 8); // 10 - 2 overlapping
+        assert_eq!(shifted_union(&p, 0, 1), 5);
+    }
+
+    #[test]
+    fn naive_kernel_is_row_bound() {
+        let p = shapes::star(Dim::D2, 1);
+        let prof = characterize(&p, 8192, &OptCombo::BASE, &base_params(), &v100()).unwrap();
+        // 3 distinct rows → a handful of bytes per point, far below
+        // nnz × 8.
+        assert!(prof.dram_bytes_per_point > 2.0 * ELEM_BYTES);
+        assert!(prof.dram_bytes_per_point < 5.0 * ELEM_BYTES);
+        assert_eq!(prof.syncs_per_block, 1);
+    }
+
+    #[test]
+    fn streaming_reduces_traffic() {
+        let p = shapes::box_(Dim::D3, 2);
+        let st = OptCombo::parse("ST").unwrap();
+        let mut sp = ParamSetting::default_for(&st);
+        sp.block_y = 8;
+        let naive =
+            characterize(&p, 512, &OptCombo::BASE, &base_params(), &v100()).unwrap();
+        let streamed = characterize(&p, 512, &st, &sp, &v100()).unwrap();
+        assert!(
+            streamed.dram_bytes_per_point < 0.5 * naive.dram_bytes_per_point,
+            "{} !< {}",
+            streamed.dram_bytes_per_point,
+            naive.dram_bytes_per_point
+        );
+        assert!(streamed.syncs_per_block > 1);
+        assert!(streamed.smem_per_block > 0);
+    }
+
+    #[test]
+    fn tb_without_st_crashes_for_high_order_3d() {
+        // Paper §III-A: temporal blocking fails for 3-D order-4 stencils
+        // without streaming.
+        let p = shapes::box_(Dim::D3, 4);
+        let tb = OptCombo::parse("TB").unwrap();
+        let mut params = ParamSetting::default_for(&tb);
+        params.block_x = 32;
+        params.block_y = 4;
+        params.time_tile = 2;
+        let res = characterize(&p, 512, &tb, &params, &v100());
+        assert_eq!(res.unwrap_err(), Crash::SharedMemoryOverflow);
+        // ...but succeeds with streaming enabled.
+        let st_tb = OptCombo::parse("ST_TB").unwrap();
+        let mut sp = ParamSetting::default_for(&st_tb);
+        sp.block_x = 32;
+        sp.block_y = 4;
+        sp.time_tile = 2;
+        assert!(characterize(&p, 512, &st_tb, &sp, &v100()).is_ok());
+    }
+
+    #[test]
+    fn innermost_block_merging_decoalesces() {
+        let p = shapes::star(Dim::D2, 1);
+        let bm = OptCombo::parse("BM").unwrap();
+        let mut inner = ParamSetting::default_for(&bm);
+        inner.merge_factor = 4;
+        inner.merge_dim = 0;
+        let mut outer = inner;
+        outer.merge_dim = 1;
+        let pi = characterize(&p, 8192, &bm, &inner, &v100()).unwrap();
+        let po = characterize(&p, 8192, &bm, &outer, &v100()).unwrap();
+        assert!(pi.dram_bytes_per_point > po.dram_bytes_per_point);
+    }
+
+    #[test]
+    fn merging_raises_register_pressure() {
+        let p = shapes::box_(Dim::D2, 3);
+        let cm = OptCombo::parse("CM").unwrap();
+        let mut params = ParamSetting::default_for(&cm);
+        params.merge_factor = 8;
+        let merged = characterize(&p, 8192, &cm, &params, &v100()).unwrap();
+        let plain =
+            characterize(&p, 8192, &OptCombo::BASE, &base_params(), &v100()).unwrap();
+        assert!(merged.regs_per_thread > plain.regs_per_thread);
+    }
+
+    #[test]
+    fn retiming_cuts_shared_traffic_and_flops() {
+        let p = shapes::star(Dim::D3, 4);
+        let st = OptCombo::parse("ST").unwrap();
+        let st_rt = OptCombo::parse("ST_RT").unwrap();
+        let mut params = ParamSetting::default_for(&st);
+        params.block_x = 32;
+        params.block_y = 4;
+        let a = characterize(&p, 512, &st, &params, &v100()).unwrap();
+        let b = characterize(&p, 512, &st_rt, &params, &v100()).unwrap();
+        assert!(b.smem_bytes_per_point < a.smem_bytes_per_point);
+        assert!(b.flops_per_point < a.flops_per_point);
+        assert!(b.regs_per_thread > a.regs_per_thread);
+    }
+
+    #[test]
+    fn prefetching_hides_sync() {
+        let p = shapes::star(Dim::D3, 1);
+        let st = OptCombo::parse("ST").unwrap();
+        let st_pr = OptCombo::parse("ST_PR").unwrap();
+        let params = ParamSetting::default_for(&st);
+        let a = characterize(&p, 512, &st, &params, &v100()).unwrap();
+        let b = characterize(&p, 512, &st_pr, &params, &v100()).unwrap();
+        assert!(b.sync_exposure < a.sync_exposure);
+        assert!(b.regs_per_thread > a.regs_per_thread);
+    }
+
+    #[test]
+    fn temporal_blocking_divides_dram_traffic() {
+        let p = shapes::star(Dim::D2, 1);
+        let st = OptCombo::parse("ST").unwrap();
+        let st_tb = OptCombo::parse("ST_TB").unwrap();
+        let params = ParamSetting::default_for(&st);
+        let mut tb_params = ParamSetting::default_for(&st_tb);
+        tb_params.time_tile = 2;
+        let a = characterize(&p, 8192, &st, &params, &v100()).unwrap();
+        let b = characterize(&p, 8192, &st_tb, &tb_params, &v100()).unwrap();
+        assert!(b.dram_bytes_per_point < a.dram_bytes_per_point);
+        assert!(b.flops_per_point > a.flops_per_point);
+    }
+
+    #[test]
+    fn huge_blocks_crash() {
+        let p = shapes::star(Dim::D2, 1);
+        let mut params = base_params();
+        params.block_x = 128;
+        params.block_y = 8; // 1024 threads: legal
+        assert!(characterize(&p, 8192, &OptCombo::BASE, &params, &v100()).is_ok());
+        // 2048 threads per block is illegal on every generation.
+        let mut big = params;
+        big.block_x = 256;
+        assert_eq!(
+            characterize(&p, 8192, &OptCombo::BASE, &big, &v100()).unwrap_err(),
+            Crash::BlockTooLarge
+        );
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Analytical GPU performance simulator substrate for StencilMART.
+//!
+//! The paper measures stencil kernels on four real NVIDIA GPUs (P100,
+//! V100, 2080 Ti, A100). This crate replaces that testbed with an
+//! analytical model that reproduces the *structure* of those measurements:
+//!
+//! * [`arch`] — the GPU specifications of Table III/IV plus per-SM
+//!   microarchitectural limits.
+//! * [`opts`] — the six optimizations and the 30 valid combinations under
+//!   the Table I constraints.
+//! * [`params`] — per-OC parameter spaces (numeric power-of-two, Boolean,
+//!   enumeration) with random sampling and log2 feature encoding.
+//! * [`kernel`] — resource/traffic characterization of a configured
+//!   kernel, including crash detection (register/shared-memory
+//!   exhaustion).
+//! * [`exec`] — occupancy plus a roofline-style execution-time model with
+//!   synchronization, launch, and wave-quantization terms.
+//! * [`noise`] — lognormal measurement noise.
+//! * [`profiler`] — the pipeline's profiling stage: random parameter
+//!   search per OC, recording every instance and the per-OC best.
+
+pub mod arch;
+pub mod exec;
+pub mod kernel;
+pub mod noise;
+pub mod opts;
+pub mod params;
+pub mod profiler;
+pub mod tuner;
+
+pub use arch::{host_machines, GpuArch, GpuId, HostMachine};
+pub use exec::{occupancy, simulate, simulate_breakdown, BoundaryModel, Occupancy, TimeBreakdown};
+pub use kernel::{characterize, Crash, KernelProfile};
+pub use noise::NoiseModel;
+pub use opts::{Merge, Opt, OptCombo};
+pub use params::{ParamSetting, ParamSpace};
+pub use profiler::{
+    profile_corpus, profile_stencil, InstanceRecord, OcOutcome, ProfileConfig, StencilProfile,
+};
+pub use tuner::{tune_ga, tune_random, GaConfig, TuneResult};

@@ -1,0 +1,91 @@
+//! Measurement-noise model: real GPU timings fluctuate with clock
+//! boosting, TLB state, and scheduling. The profiler multiplies each
+//! simulated time by a lognormal factor so the downstream ML task has the
+//! same irreducible error a real testbed would exhibit.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Lognormal multiplicative noise with median 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Standard deviation of `ln(time)`. 0 disables noise.
+    pub sigma: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        // ~6% typical run-to-run variation, in line with wall-clock GPU
+        // benchmarking practice.
+        NoiseModel { sigma: 0.06 }
+    }
+}
+
+impl NoiseModel {
+    /// A noise-free model.
+    pub fn none() -> Self {
+        NoiseModel { sigma: 0.0 }
+    }
+
+    /// A model with the given `ln`-space standard deviation.
+    pub fn with_sigma(sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+        NoiseModel { sigma }
+    }
+
+    /// Apply one noise draw to a time.
+    pub fn apply<R: Rng>(&self, time_ms: f64, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 {
+            return time_ms;
+        }
+        // Box–Muller: two uniforms → one standard normal.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        time_ms * (self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let n = NoiseModel::none();
+        assert_eq!(n.apply(3.5, &mut rng), 3.5);
+    }
+
+    #[test]
+    fn noise_is_centered_and_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = NoiseModel::with_sigma(0.06);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.apply(1.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        // Lognormal mean = exp(sigma^2/2) ≈ 1.0018.
+        assert!((mean - 1.0).abs() < 0.01, "mean = {mean}");
+        // ~4 sigma bounds.
+        assert!(samples.iter().all(|&s| s > 0.75 && s < 1.35));
+    }
+
+    #[test]
+    fn larger_sigma_spreads_more() {
+        let spread = |sigma: f64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let n = NoiseModel::with_sigma(sigma);
+            let s: Vec<f64> = (0..5000).map(|_| n.apply(1.0, &mut rng)).collect();
+            let mean = s.iter().sum::<f64>() / s.len() as f64;
+            (s.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / s.len() as f64).sqrt()
+        };
+        assert!(spread(0.2) > 2.0 * spread(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be >= 0")]
+    fn negative_sigma_panics() {
+        NoiseModel::with_sigma(-0.1);
+    }
+}

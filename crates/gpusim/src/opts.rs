@@ -1,0 +1,321 @@
+//! The six stencil optimizations and their valid combinations (paper
+//! Table I).
+//!
+//! | No. | Optimization      | Abbrev. | Constraint                    |
+//! |-----|-------------------|---------|-------------------------------|
+//! | 1   | Streaming         | ST      | —                             |
+//! | 2   | Block merging     | BM      | not valid with CM             |
+//! | 3   | Cyclic merging    | CM      | not valid with BM             |
+//! | 4   | Retiming          | RT      | only valid with ST            |
+//! | 5   | Prefetching       | PR      | only valid with ST            |
+//! | 6   | Temporal blocking | TB      | —                             |
+//!
+//! Under these constraints exactly 30 optimization combinations (OCs)
+//! exist: merging ∈ {none, BM, CM} × TB ∈ {off, on} × (ST off → 6, ST on
+//! with RT × PR → 24).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An individual optimization technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opt {
+    /// Streaming (2.5-D spatial blocking along one dimension).
+    Streaming,
+    /// Block merging: each thread computes several adjacent outputs.
+    BlockMerging,
+    /// Cyclic merging: each thread computes several strided outputs.
+    CyclicMerging,
+    /// Retiming: decompose into accumulating sub-computations.
+    Retiming,
+    /// Prefetching: overlap next-plane loads with current compute.
+    Prefetching,
+    /// Temporal blocking: fuse several time steps.
+    TemporalBlocking,
+}
+
+impl Opt {
+    /// Paper abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Opt::Streaming => "ST",
+            Opt::BlockMerging => "BM",
+            Opt::CyclicMerging => "CM",
+            Opt::Retiming => "RT",
+            Opt::Prefetching => "PR",
+            Opt::TemporalBlocking => "TB",
+        }
+    }
+
+    /// All optimizations in Table I order.
+    pub const ALL: [Opt; 6] = [
+        Opt::Streaming,
+        Opt::BlockMerging,
+        Opt::CyclicMerging,
+        Opt::Retiming,
+        Opt::Prefetching,
+        Opt::TemporalBlocking,
+    ];
+}
+
+/// Merging strategy (BM and CM are mutually exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Merge {
+    /// No merging: one thread per output point.
+    None,
+    /// Block merging of adjacent points.
+    Block,
+    /// Cyclic merging of strided points.
+    Cyclic,
+}
+
+impl Merge {
+    /// All merging strategies.
+    pub const ALL: [Merge; 3] = [Merge::None, Merge::Block, Merge::Cyclic];
+}
+
+/// An optimization combination (OC): a valid selection of the six
+/// optimizations of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OptCombo {
+    /// Streaming enabled.
+    pub st: bool,
+    /// Merging strategy.
+    pub merge: Merge,
+    /// Retiming enabled (requires `st`).
+    pub rt: bool,
+    /// Prefetching enabled (requires `st`).
+    pub pr: bool,
+    /// Temporal blocking enabled.
+    pub tb: bool,
+}
+
+/// Why an [`OptCombo`] is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComboError {
+    /// Retiming without streaming.
+    RetimingRequiresStreaming,
+    /// Prefetching without streaming.
+    PrefetchingRequiresStreaming,
+}
+
+impl fmt::Display for ComboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComboError::RetimingRequiresStreaming => {
+                write!(f, "retiming is only valid when streaming is enabled")
+            }
+            ComboError::PrefetchingRequiresStreaming => {
+                write!(f, "prefetching is only valid when streaming is enabled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ComboError {}
+
+impl OptCombo {
+    /// The naive baseline: no optimizations.
+    pub const BASE: OptCombo = OptCombo {
+        st: false,
+        merge: Merge::None,
+        rt: false,
+        pr: false,
+        tb: false,
+    };
+
+    /// Build a combination, validating the Table I constraints.
+    pub fn new(st: bool, merge: Merge, rt: bool, pr: bool, tb: bool) -> Result<Self, ComboError> {
+        if rt && !st {
+            return Err(ComboError::RetimingRequiresStreaming);
+        }
+        if pr && !st {
+            return Err(ComboError::PrefetchingRequiresStreaming);
+        }
+        Ok(OptCombo { st, merge, rt, pr, tb })
+    }
+
+    /// Whether the combination satisfies the Table I constraints.
+    pub fn is_valid(&self) -> bool {
+        self.st || (!self.rt && !self.pr)
+    }
+
+    /// Enumerate every valid OC (30 total), in a stable canonical order.
+    pub fn enumerate() -> Vec<OptCombo> {
+        let mut out = Vec::with_capacity(30);
+        for &st in &[false, true] {
+            for &merge in &Merge::ALL {
+                let rts: &[bool] = if st { &[false, true] } else { &[false] };
+                for &rt in rts {
+                    let prs: &[bool] = if st { &[false, true] } else { &[false] };
+                    for &pr in prs {
+                        for &tb in &[false, true] {
+                            out.push(OptCombo { st, merge, rt, pr, tb });
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert!(out.iter().all(OptCombo::is_valid));
+        out
+    }
+
+    /// The enabled optimizations in Table I order.
+    pub fn enabled(&self) -> Vec<Opt> {
+        let mut v = Vec::new();
+        if self.st {
+            v.push(Opt::Streaming);
+        }
+        match self.merge {
+            Merge::Block => v.push(Opt::BlockMerging),
+            Merge::Cyclic => v.push(Opt::CyclicMerging),
+            Merge::None => {}
+        }
+        if self.rt {
+            v.push(Opt::Retiming);
+        }
+        if self.pr {
+            v.push(Opt::Prefetching);
+        }
+        if self.tb {
+            v.push(Opt::TemporalBlocking);
+        }
+        v
+    }
+
+    /// Canonical name, e.g. `ST_BM_RT` or `BASE` for the empty combination.
+    pub fn name(&self) -> String {
+        let opts = self.enabled();
+        if opts.is_empty() {
+            "BASE".to_string()
+        } else {
+            opts.iter()
+                .map(|o| o.abbrev())
+                .collect::<Vec<_>>()
+                .join("_")
+        }
+    }
+
+    /// Parse a canonical name back into a combination.
+    pub fn parse(name: &str) -> Option<OptCombo> {
+        if name == "BASE" {
+            return Some(OptCombo::BASE);
+        }
+        let mut c = OptCombo::BASE;
+        for part in name.split('_') {
+            match part {
+                "ST" => c.st = true,
+                "BM" => {
+                    if c.merge != Merge::None {
+                        return None;
+                    }
+                    c.merge = Merge::Block;
+                }
+                "CM" => {
+                    if c.merge != Merge::None {
+                        return None;
+                    }
+                    c.merge = Merge::Cyclic;
+                }
+                "RT" => c.rt = true,
+                "PR" => c.pr = true,
+                "TB" => c.tb = true,
+                _ => return None,
+            }
+        }
+        c.is_valid().then_some(c)
+    }
+
+    /// Boolean feature encoding of the six Table I optimizations, in
+    /// Table I order (`[ST, BM, CM, RT, PR, TB]`). Together with the
+    /// parameter features this fully identifies the kernel configuration
+    /// for the cross-architecture regressor.
+    pub fn feature_vector(&self) -> [f64; 6] {
+        [
+            f64::from(self.st),
+            f64::from(self.merge == Merge::Block),
+            f64::from(self.merge == Merge::Cyclic),
+            f64::from(self.rt),
+            f64::from(self.pr),
+            f64::from(self.tb),
+        ]
+    }
+
+    /// Names of [`Self::feature_vector`] entries.
+    pub fn feature_names() -> [&'static str; 6] {
+        ["oc_st", "oc_bm", "oc_cm", "oc_rt", "oc_pr", "oc_tb"]
+    }
+
+    /// Index of this OC within [`Self::enumerate`].
+    pub fn index(&self) -> usize {
+        Self::enumerate()
+            .iter()
+            .position(|c| c == self)
+            .expect("valid OC is in the enumeration")
+    }
+}
+
+impl fmt::Display for OptCombo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_has_30_unique_valid_ocs() {
+        let all = OptCombo::enumerate();
+        assert_eq!(all.len(), 30);
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 30);
+        assert!(all.iter().all(OptCombo::is_valid));
+    }
+
+    #[test]
+    fn constraints_reject_rt_pr_without_st() {
+        assert_eq!(
+            OptCombo::new(false, Merge::None, true, false, false),
+            Err(ComboError::RetimingRequiresStreaming)
+        );
+        assert_eq!(
+            OptCombo::new(false, Merge::None, false, true, false),
+            Err(ComboError::PrefetchingRequiresStreaming)
+        );
+        assert!(OptCombo::new(true, Merge::Block, true, true, true).is_ok());
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for c in OptCombo::enumerate() {
+            assert_eq!(OptCombo::parse(&c.name()), Some(c), "{}", c.name());
+        }
+        assert_eq!(OptCombo::parse("BASE"), Some(OptCombo::BASE));
+        assert_eq!(OptCombo::parse("BM_CM"), None);
+        assert_eq!(OptCombo::parse("RT"), None);
+        assert_eq!(OptCombo::parse("XX"), None);
+    }
+
+    #[test]
+    fn name_format_matches_paper_style() {
+        let c = OptCombo::new(true, Merge::Cyclic, false, false, true).unwrap();
+        assert_eq!(c.name(), "ST_CM_TB");
+        assert_eq!(OptCombo::BASE.name(), "BASE");
+    }
+
+    #[test]
+    fn index_is_consistent() {
+        for (i, c) in OptCombo::enumerate().iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn enabled_lists_table1_order() {
+        let c = OptCombo::new(true, Merge::Block, true, true, true).unwrap();
+        let abbrevs: Vec<_> = c.enabled().iter().map(|o| o.abbrev()).collect();
+        assert_eq!(abbrevs, vec!["ST", "BM", "RT", "PR", "TB"]);
+    }
+}

@@ -1,0 +1,314 @@
+//! OC parameter spaces: numeric (power-of-two), Boolean, and enumeration
+//! parameters (paper §IV-E), plus random sampling and the log2 feature
+//! encoding used as regressor input.
+
+use crate::opts::{Merge, OptCombo};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use stencilmart_stencil::pattern::Dim;
+
+/// A concrete parameter setting for one kernel instance.
+///
+/// Structural invariants (enforced by [`ParamSpace::sample`] and checked
+/// by [`ParamSetting::is_valid_for`]):
+/// * `merge_factor == 1` unless the OC merges,
+/// * `merge_dim < rank`, and with streaming enabled the merged axis is not
+///   the streaming axis,
+/// * `time_tile == 1` unless the OC temporally blocks,
+/// * `stream_tile` and `use_smem` are meaningful only with streaming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamSetting {
+    /// Threads per block along the innermost axis (power of two).
+    pub block_x: u32,
+    /// Threads per block along the second axis (power of two).
+    pub block_y: u32,
+    /// Outputs merged per thread (power of two; 1 = no merging).
+    pub merge_factor: u32,
+    /// Axis along which outputs are merged (enumeration, 0 = innermost).
+    pub merge_dim: u8,
+    /// Planes per streaming chunk (power of two; concurrent streaming
+    /// splits the streaming dimension into chunks of this many planes).
+    pub stream_tile: u32,
+    /// Fused time steps for temporal blocking (power of two; 1 = off).
+    pub time_tile: u32,
+    /// Loop unroll factor (power of two).
+    pub unroll: u32,
+    /// Stage streamed planes in shared memory (vs. registers + L2).
+    pub use_smem: bool,
+}
+
+impl ParamSetting {
+    /// A conservative default: 128×1 threads, no merging, no blocking.
+    pub fn default_for(oc: &OptCombo) -> ParamSetting {
+        ParamSetting {
+            block_x: 128,
+            block_y: 1,
+            merge_factor: if oc.merge == Merge::None { 1 } else { 2 },
+            merge_dim: if oc.st { 1 } else { 0 },
+            stream_tile: 128,
+            time_tile: if oc.tb { 2 } else { 1 },
+            unroll: 2,
+            use_smem: true,
+        }
+    }
+
+    /// Total threads per block.
+    #[inline]
+    pub fn threads_per_block(&self) -> u32 {
+        self.block_x * self.block_y
+    }
+
+    /// Check structural validity against an OC and dimensionality.
+    pub fn is_valid_for(&self, oc: &OptCombo, dim: Dim) -> bool {
+        let rank = dim.rank() as u8;
+        let pow2 = |v: u32| v.is_power_of_two();
+        if !(pow2(self.block_x)
+            && pow2(self.block_y)
+            && pow2(self.merge_factor)
+            && pow2(self.stream_tile)
+            && pow2(self.time_tile)
+            && pow2(self.unroll))
+        {
+            return false;
+        }
+        if self.merge_dim >= rank {
+            return false;
+        }
+        if oc.merge == Merge::None && self.merge_factor != 1 {
+            return false;
+        }
+        if oc.merge != Merge::None && self.merge_factor < 2 {
+            return false;
+        }
+        if !oc.tb && self.time_tile != 1 {
+            return false;
+        }
+        if oc.tb && self.time_tile < 2 {
+            return false;
+        }
+        if oc.st {
+            // The streaming axis is the outermost (rank-1); merging along
+            // it would conflict with plane traversal. (1-D grids have no
+            // other axis, so the check applies to rank >= 2 only.)
+            if rank >= 2 && self.merge_dim == rank - 1 {
+                return false;
+            }
+            // 2-D streaming blocks cover the x axis only.
+            if dim == Dim::D2 && self.block_y != 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Fixed-length feature encoding (paper §IV-E): numeric parameters are
+    /// log2-transformed, Booleans map to {0, 1}, enumerations start at 1.
+    /// Inapplicable parameters encode as 0.
+    pub fn feature_vector(&self, oc: &OptCombo) -> Vec<f64> {
+        let lg = |v: u32| (v as f64).log2();
+        vec![
+            lg(self.block_x),
+            lg(self.block_y),
+            if oc.merge == Merge::None {
+                0.0
+            } else {
+                lg(self.merge_factor)
+            },
+            if oc.merge == Merge::None {
+                0.0
+            } else {
+                self.merge_dim as f64 + 1.0
+            },
+            if oc.st { lg(self.stream_tile) } else { 0.0 },
+            if oc.tb { lg(self.time_tile) } else { 0.0 },
+            lg(self.unroll),
+            if oc.st && self.use_smem { 1.0 } else { 0.0 },
+        ]
+    }
+
+    /// Names of [`Self::feature_vector`] entries.
+    pub fn feature_names() -> [&'static str; 8] {
+        [
+            "p_log2_block_x",
+            "p_log2_block_y",
+            "p_log2_merge_factor",
+            "p_merge_dim",
+            "p_log2_stream_tile",
+            "p_log2_time_tile",
+            "p_log2_unroll",
+            "p_use_smem",
+        ]
+    }
+}
+
+/// The sampling space of parameter settings for a given OC.
+#[derive(Debug, Clone)]
+pub struct ParamSpace {
+    oc: OptCombo,
+    dim: Dim,
+}
+
+impl ParamSpace {
+    /// Create the space for an OC on a grid of the given dimensionality.
+    pub fn new(oc: OptCombo, dim: Dim) -> ParamSpace {
+        ParamSpace { oc, dim }
+    }
+
+    /// The OC this space parameterises.
+    pub fn oc(&self) -> &OptCombo {
+        &self.oc
+    }
+
+    /// Randomly sample one structurally valid setting (paper §IV-A: the
+    /// framework "randomly searches the parameter settings under each
+    /// OC").
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> ParamSetting {
+        let rank = self.dim.rank() as u8;
+        let block_x = *[32u32, 64, 128, 256].choose(rng).unwrap();
+        let block_y = if self.oc.st && self.dim == Dim::D2 {
+            1
+        } else if self.oc.st {
+            // 3-D streaming pencils need a 2-D cross-section with real
+            // extent in y, or the halo dwarfs the tile (every practical
+            // 2.5-D implementation uses y-tiles of at least a few rows).
+            *[2u32, 4, 8].choose(rng).unwrap()
+        } else {
+            *[1u32, 2, 4, 8].choose(rng).unwrap()
+        };
+        let merge_factor = if self.oc.merge == Merge::None {
+            1
+        } else {
+            *[2u32, 4, 8].choose(rng).unwrap()
+        };
+        let merge_dim = if self.oc.st {
+            // any non-streaming axis
+            rng.gen_range(0..rank.max(2) - 1)
+        } else {
+            rng.gen_range(0..rank)
+        };
+        let stream_tile = *[64u32, 128, 256, 512].choose(rng).unwrap();
+        let time_tile = if self.oc.tb {
+            *[2u32, 4].choose(rng).unwrap()
+        } else {
+            1
+        };
+        let unroll = *[1u32, 2, 4, 8].choose(rng).unwrap();
+        let use_smem = !self.oc.st || rng.gen_bool(0.75);
+        let s = ParamSetting {
+            block_x,
+            block_y,
+            merge_factor,
+            merge_dim,
+            stream_tile,
+            time_tile,
+            unroll,
+            use_smem,
+        };
+        debug_assert!(s.is_valid_for(&self.oc, self.dim), "{s:?} for {}", self.oc);
+        s
+    }
+
+    /// Sample `k` settings, de-duplicated (so the search budget is not
+    /// wasted on repeats); may return fewer than `k` for tiny spaces.
+    pub fn sample_many<R: Rng>(&self, rng: &mut R, k: usize) -> Vec<ParamSetting> {
+        let mut out: Vec<ParamSetting> = Vec::with_capacity(k);
+        let mut attempts = 0;
+        while out.len() < k && attempts < k * 20 {
+            attempts += 1;
+            let s = self.sample(rng);
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sampled_settings_are_valid_for_all_ocs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for oc in OptCombo::enumerate() {
+            for dim in [Dim::D2, Dim::D3] {
+                let space = ParamSpace::new(oc, dim);
+                for _ in 0..50 {
+                    let s = space.sample(&mut rng);
+                    assert!(s.is_valid_for(&oc, dim), "{s:?} invalid for {oc} {dim}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feature_vector_is_fixed_length_and_log2() {
+        let oc = OptCombo::parse("ST_BM_RT_PR_TB").unwrap();
+        let s = ParamSetting {
+            block_x: 128,
+            block_y: 1,
+            merge_factor: 4,
+            merge_dim: 0,
+            stream_tile: 256,
+            time_tile: 2,
+            unroll: 8,
+            use_smem: true,
+        };
+        let f = s.feature_vector(&oc);
+        assert_eq!(f.len(), ParamSetting::feature_names().len());
+        assert_eq!(f[0], 7.0); // log2(128)
+        assert_eq!(f[2], 2.0); // log2(4)
+        assert_eq!(f[5], 1.0); // log2(2)
+        assert_eq!(f[7], 1.0); // bool
+    }
+
+    #[test]
+    fn inapplicable_params_encode_as_zero() {
+        let base = OptCombo::BASE;
+        let s = ParamSetting::default_for(&base);
+        let f = s.feature_vector(&base);
+        assert_eq!(f[2], 0.0); // merge factor unused
+        assert_eq!(f[4], 0.0); // stream tile unused
+        assert_eq!(f[5], 0.0); // time tile unused
+        assert_eq!(f[7], 0.0); // smem flag tied to ST
+    }
+
+    #[test]
+    fn merge_dim_avoids_streaming_axis() {
+        let oc = OptCombo::parse("ST_BM").unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let space = ParamSpace::new(oc, Dim::D3);
+        for _ in 0..100 {
+            let s = space.sample(&mut rng);
+            assert!(s.merge_dim < 2, "streaming axis (z) must not be merged");
+        }
+    }
+
+    #[test]
+    fn validity_rejects_structural_mismatch() {
+        let oc = OptCombo::BASE;
+        let mut s = ParamSetting::default_for(&oc);
+        assert!(s.is_valid_for(&oc, Dim::D2));
+        s.merge_factor = 4; // merging factor without a merge OC
+        assert!(!s.is_valid_for(&oc, Dim::D2));
+        let tb = OptCombo::parse("TB").unwrap();
+        let mut s = ParamSetting::default_for(&tb);
+        assert!(s.is_valid_for(&tb, Dim::D2));
+        s.time_tile = 1;
+        assert!(!s.is_valid_for(&tb, Dim::D2));
+    }
+
+    #[test]
+    fn sample_many_dedups() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let space = ParamSpace::new(OptCombo::BASE, Dim::D2);
+        let v = space.sample_many(&mut rng, 10);
+        let set: std::collections::HashSet<String> =
+            v.iter().map(|s| format!("{s:?}")).collect();
+        assert_eq!(set.len(), v.len());
+    }
+}

@@ -1,0 +1,308 @@
+//! The profiling stage of the StencilMART pipeline: for each stencil and
+//! each valid OC, randomly sample parameter settings, "measure" each
+//! (simulate + noise), and keep every instance plus the per-OC best
+//! (paper §IV-A).
+
+use crate::arch::GpuArch;
+use crate::exec::simulate;
+use crate::kernel::Crash;
+use crate::noise::NoiseModel;
+use crate::opts::OptCombo;
+use crate::params::{ParamSetting, ParamSpace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use stencilmart_stencil::pattern::StencilPattern;
+
+/// Profiling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileConfig {
+    /// Random parameter settings sampled per OC (the paper's random
+    /// search budget).
+    pub samples_per_oc: usize,
+    /// Measurement noise applied to every sample.
+    pub noise: NoiseModel,
+    /// Base seed; per-(stencil, OC) streams are derived from it so results
+    /// are deterministic regardless of thread scheduling.
+    pub seed: u64,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            samples_per_oc: 8,
+            noise: NoiseModel::default(),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// One measured (OC, parameter setting) instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceRecord {
+    /// The optimization combination.
+    pub oc: OptCombo,
+    /// The sampled parameter setting.
+    pub params: ParamSetting,
+    /// Measured (simulated + noise) time for one sweep, in ms.
+    pub time_ms: f64,
+}
+
+/// Profiling outcome for one OC on one stencil.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OcOutcome {
+    /// The optimization combination.
+    pub oc: OptCombo,
+    /// All successfully measured instances.
+    pub instances: Vec<InstanceRecord>,
+    /// Crashes encountered during sampling, by reason.
+    pub crashes: Vec<Crash>,
+}
+
+impl OcOutcome {
+    /// The fastest measured instance, if any setting executed.
+    pub fn best(&self) -> Option<&InstanceRecord> {
+        self.instances
+            .iter()
+            .min_by(|a, b| a.time_ms.total_cmp(&b.time_ms))
+    }
+
+    /// Whether every sampled setting crashed (the paper notes such OCs
+    /// "fail to be applied" for certain stencils).
+    pub fn all_crashed(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+/// Full profiling result for one stencil on one GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StencilProfile {
+    /// Per-OC outcomes, in [`OptCombo::enumerate`] order.
+    pub per_oc: Vec<OcOutcome>,
+}
+
+impl StencilProfile {
+    /// The OC with the fastest best instance.
+    pub fn best_oc(&self) -> Option<&OcOutcome> {
+        self.per_oc
+            .iter()
+            .filter(|o| !o.all_crashed())
+            .min_by(|a, b| {
+                a.best()
+                    .unwrap()
+                    .time_ms
+                    .total_cmp(&b.best().unwrap().time_ms)
+            })
+    }
+
+    /// Best achievable time over all OCs (ms).
+    pub fn best_time_ms(&self) -> Option<f64> {
+        self.best_oc().map(|o| o.best().unwrap().time_ms)
+    }
+
+    /// Worst per-OC best time over OCs that executed (ms). The Fig. 1 gap
+    /// is `worst / best`.
+    pub fn worst_best_time_ms(&self) -> Option<f64> {
+        self.per_oc
+            .iter()
+            .filter_map(|o| o.best().map(|b| b.time_ms))
+            .max_by(f64::total_cmp)
+    }
+
+    /// Best time for a specific OC (ms).
+    pub fn time_for(&self, oc: &OptCombo) -> Option<f64> {
+        self.per_oc
+            .iter()
+            .find(|o| &o.oc == oc)
+            .and_then(|o| o.best().map(|b| b.time_ms))
+    }
+
+    /// All instances across OCs.
+    pub fn all_instances(&self) -> impl Iterator<Item = &InstanceRecord> {
+        self.per_oc.iter().flat_map(|o| o.instances.iter())
+    }
+}
+
+fn derive_seed(base: u64, stencil_idx: u64, oc_idx: u64) -> u64 {
+    // SplitMix64-style mixing for independent per-cell streams.
+    let mut z = base
+        .wrapping_add(stencil_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(oc_idx.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Profile one stencil under every valid OC.
+///
+/// `stencil_idx` keys the deterministic per-stencil random stream; pass
+/// the stencil's position in its corpus.
+pub fn profile_stencil(
+    pattern: &StencilPattern,
+    grid: usize,
+    arch: &GpuArch,
+    cfg: &ProfileConfig,
+    stencil_idx: u64,
+) -> StencilProfile {
+    let per_oc = OptCombo::enumerate()
+        .into_iter()
+        .enumerate()
+        .map(|(oc_idx, oc)| {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(derive_seed(cfg.seed, stencil_idx, oc_idx as u64));
+            let space = ParamSpace::new(oc, pattern.dim());
+            let mut instances = Vec::new();
+            let mut crashes = Vec::new();
+            for params in space.sample_many(&mut rng, cfg.samples_per_oc) {
+                match simulate(pattern, grid, &oc, &params, arch) {
+                    Ok(t) => instances.push(InstanceRecord {
+                        oc,
+                        params,
+                        time_ms: cfg.noise.apply(t, &mut rng),
+                    }),
+                    Err(c) => crashes.push(c),
+                }
+            }
+            OcOutcome { oc, instances, crashes }
+        })
+        .collect();
+    StencilProfile { per_oc }
+}
+
+/// Profile a corpus of stencils in parallel (scoped threads, one chunk per
+/// available core). Results are deterministic and ordered to match the
+/// input corpus.
+pub fn profile_corpus(
+    patterns: &[StencilPattern],
+    grid: usize,
+    arch: &GpuArch,
+    cfg: &ProfileConfig,
+) -> Vec<StencilProfile> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(patterns.len().max(1));
+    if workers <= 1 || patterns.len() < 4 {
+        return patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| profile_stencil(p, grid, arch, cfg, i as u64))
+            .collect();
+    }
+    let mut results: Vec<Option<StencilProfile>> = vec![None; patterns.len()];
+    let chunk = patterns.len().div_ceil(workers);
+    crossbeam::thread::scope(|s| {
+        for (wi, out_chunk) in results.chunks_mut(chunk).enumerate() {
+            let start = wi * chunk;
+            s.spawn(move |_| {
+                for (j, slot) in out_chunk.iter_mut().enumerate() {
+                    let idx = start + j;
+                    *slot = Some(profile_stencil(&patterns[idx], grid, arch, cfg, idx as u64));
+                }
+            });
+        }
+    })
+    .expect("profiling worker panicked");
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::GpuId;
+    use stencilmart_stencil::pattern::Dim;
+    use stencilmart_stencil::shapes;
+
+    fn v100() -> GpuArch {
+        GpuArch::preset(GpuId::V100)
+    }
+
+    fn small_cfg() -> ProfileConfig {
+        ProfileConfig {
+            samples_per_oc: 4,
+            noise: NoiseModel::none(),
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn profile_covers_all_ocs() {
+        let p = shapes::star(Dim::D2, 2);
+        let prof = profile_stencil(&p, 8192, &v100(), &small_cfg(), 0);
+        assert_eq!(prof.per_oc.len(), 30);
+        assert!(prof.best_oc().is_some());
+        assert!(prof.best_time_ms().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn best_is_not_worse_than_any_instance() {
+        let p = shapes::box_(Dim::D2, 2);
+        let prof = profile_stencil(&p, 8192, &v100(), &small_cfg(), 0);
+        let best = prof.best_time_ms().unwrap();
+        for inst in prof.all_instances() {
+            assert!(best <= inst.time_ms + 1e-12);
+        }
+    }
+
+    #[test]
+    fn tb_without_streaming_crashes_for_3d_order4() {
+        let p = shapes::box_(Dim::D3, 4);
+        let prof = profile_stencil(&p, 512, &v100(), &small_cfg(), 0);
+        let tb = OptCombo::parse("TB").unwrap();
+        let outcome = prof.per_oc.iter().find(|o| o.oc == tb).unwrap();
+        assert!(outcome.all_crashed(), "TB alone must crash for box3d4r");
+        // The gap still computes over surviving OCs.
+        assert!(prof.worst_best_time_ms().unwrap() >= prof.best_time_ms().unwrap());
+    }
+
+    #[test]
+    fn profiling_is_deterministic() {
+        let p = shapes::cross(Dim::D2, 3);
+        let a = profile_stencil(&p, 8192, &v100(), &small_cfg(), 7);
+        let b = profile_stencil(&p, 8192, &v100(), &small_cfg(), 7);
+        assert_eq!(a, b);
+        let c = profile_stencil(&p, 8192, &v100(), &small_cfg(), 8);
+        assert_ne!(a, c, "different stencil index must give a new stream");
+    }
+
+    #[test]
+    fn corpus_profiling_matches_sequential() {
+        let patterns: Vec<_> = (1..=4u8)
+            .map(|r| shapes::star(Dim::D2, r))
+            .chain((1..=4u8).map(|r| shapes::box_(Dim::D2, r)))
+            .collect();
+        let cfg = small_cfg();
+        let par = profile_corpus(&patterns, 8192, &v100(), &cfg);
+        let seq: Vec<_> = patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| profile_stencil(p, 8192, &v100(), &cfg, i as u64))
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn streaming_ocs_usually_win() {
+        // Paper Fig. 2: OCs with streaming perform better for most
+        // stencils.
+        let mut st_wins = 0;
+        let mut total = 0;
+        for r in 1..=4u8 {
+            for dim in [Dim::D2, Dim::D3] {
+                let grid = if dim == Dim::D2 { 8192 } else { 512 };
+                for shape in shapes::Shape::ALL {
+                    let p = shapes::build(shape, dim, r);
+                    let prof = profile_stencil(&p, grid, &v100(), &small_cfg(), total);
+                    if prof.best_oc().unwrap().oc.st {
+                        st_wins += 1;
+                    }
+                    total += 1;
+                }
+            }
+        }
+        assert!(
+            st_wins as f64 >= 0.6 * total as f64,
+            "streaming won only {st_wins}/{total}"
+        );
+    }
+}

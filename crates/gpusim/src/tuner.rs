@@ -1,0 +1,279 @@
+//! A csTuner-style genetic-algorithm parameter tuner (paper §II-C cites
+//! the authors' csTuner, which "re-designs the genetic algorithm with
+//! approximation to reduce the search time").
+//!
+//! StencilMART's pipeline uses plain random search; this tuner is the
+//! stronger alternative a downstream user would plug in once the OC has
+//! been predicted: it evolves parameter settings for a *fixed* OC under a
+//! bounded evaluation budget.
+
+use crate::arch::GpuArch;
+use crate::exec::simulate;
+use crate::opts::OptCombo;
+use crate::params::{ParamSetting, ParamSpace};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use stencilmart_stencil::pattern::StencilPattern;
+
+/// Genetic-algorithm configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-field mutation probability.
+    pub mutation_rate: f64,
+    /// Individuals carried over unchanged each generation.
+    pub elite: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 12,
+            generations: 6,
+            mutation_rate: 0.25,
+            elite: 2,
+            seed: 0,
+        }
+    }
+}
+
+impl GaConfig {
+    /// Total simulator evaluations this configuration may spend.
+    pub fn budget(&self) -> usize {
+        self.population * self.generations
+    }
+}
+
+/// Result of a tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneResult {
+    /// The best setting found.
+    pub params: ParamSetting,
+    /// Its simulated time (ms).
+    pub time_ms: f64,
+    /// Simulator evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Field-wise uniform crossover of two settings.
+fn crossover<R: Rng>(a: &ParamSetting, b: &ParamSetting, rng: &mut R) -> ParamSetting {
+    fn pick<T, R: Rng>(x: T, y: T, rng: &mut R) -> T {
+        if rng.gen_bool(0.5) {
+            x
+        } else {
+            y
+        }
+    }
+    ParamSetting {
+        block_x: pick(a.block_x, b.block_x, rng),
+        block_y: pick(a.block_y, b.block_y, rng),
+        merge_factor: pick(a.merge_factor, b.merge_factor, rng),
+        merge_dim: pick(a.merge_dim, b.merge_dim, rng),
+        stream_tile: pick(a.stream_tile, b.stream_tile, rng),
+        time_tile: pick(a.time_tile, b.time_tile, rng),
+        unroll: pick(a.unroll, b.unroll, rng),
+        use_smem: pick(a.use_smem, b.use_smem, rng),
+    }
+}
+
+/// Mutate by re-sampling individual fields from a fresh random setting.
+fn mutate<R: Rng>(
+    s: &ParamSetting,
+    space: &ParamSpace,
+    rate: f64,
+    rng: &mut R,
+) -> ParamSetting {
+    let fresh = space.sample(rng);
+    let mut out = *s;
+    if rng.gen_bool(rate) {
+        out.block_x = fresh.block_x;
+    }
+    if rng.gen_bool(rate) {
+        out.block_y = fresh.block_y;
+    }
+    if rng.gen_bool(rate) {
+        out.merge_factor = fresh.merge_factor;
+    }
+    if rng.gen_bool(rate) {
+        out.merge_dim = fresh.merge_dim;
+    }
+    if rng.gen_bool(rate) {
+        out.stream_tile = fresh.stream_tile;
+    }
+    if rng.gen_bool(rate) {
+        out.time_tile = fresh.time_tile;
+    }
+    if rng.gen_bool(rate) {
+        out.unroll = fresh.unroll;
+    }
+    if rng.gen_bool(rate) {
+        out.use_smem = fresh.use_smem;
+    }
+    out
+}
+
+/// Tune the parameters of one OC with a genetic algorithm. Returns `None`
+/// if every evaluated setting crashed.
+pub fn tune_ga(
+    pattern: &StencilPattern,
+    grid: usize,
+    oc: &OptCombo,
+    arch: &GpuArch,
+    cfg: &GaConfig,
+) -> Option<TuneResult> {
+    assert!(cfg.population >= 2, "population must be at least 2");
+    assert!(cfg.elite < cfg.population, "elite must leave room for offspring");
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let space = ParamSpace::new(*oc, pattern.dim());
+    let mut evals = 0usize;
+    let fitness = |s: &ParamSetting, evals: &mut usize| -> f64 {
+        *evals += 1;
+        simulate(pattern, grid, oc, s, arch).unwrap_or(f64::INFINITY)
+    };
+
+    // Initial population: random settings (the GA's "approximation" seeds
+    // from the same space random search draws from).
+    let mut pop: Vec<(ParamSetting, f64)> = (0..cfg.population)
+        .map(|_| {
+            let s = space.sample(&mut rng);
+            let f = fitness(&s, &mut evals);
+            (s, f)
+        })
+        .collect();
+    pop.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    for _gen in 1..cfg.generations {
+        let mut next: Vec<(ParamSetting, f64)> = pop[..cfg.elite].to_vec();
+        while next.len() < cfg.population {
+            // Tournament selection of two parents from the top half.
+            let half = &pop[..(cfg.population / 2).max(2)];
+            let pa = half.choose(&mut rng).expect("non-empty").0;
+            let pb = half.choose(&mut rng).expect("non-empty").0;
+            let child = mutate(
+                &crossover(&pa, &pb, &mut rng),
+                &space,
+                cfg.mutation_rate,
+                &mut rng,
+            );
+            if !child.is_valid_for(oc, pattern.dim()) {
+                continue; // crossover across constraints produced junk
+            }
+            let f = fitness(&child, &mut evals);
+            next.push((child, f));
+        }
+        pop = next;
+        pop.sort_by(|a, b| a.1.total_cmp(&b.1));
+    }
+
+    let (params, time_ms) = pop.into_iter().next().expect("population non-empty");
+    time_ms.is_finite().then_some(TuneResult {
+        params,
+        time_ms,
+        evaluations: evals,
+    })
+}
+
+/// Random-search baseline with the same evaluation budget.
+pub fn tune_random(
+    pattern: &StencilPattern,
+    grid: usize,
+    oc: &OptCombo,
+    arch: &GpuArch,
+    budget: usize,
+    seed: u64,
+) -> Option<TuneResult> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let space = ParamSpace::new(*oc, pattern.dim());
+    let mut best: Option<(ParamSetting, f64)> = None;
+    for _ in 0..budget {
+        let s = space.sample(&mut rng);
+        if let Ok(t) = simulate(pattern, grid, oc, &s, arch) {
+            if best.map_or(true, |(_, bt)| t < bt) {
+                best = Some((s, t));
+            }
+        }
+    }
+    best.map(|(params, time_ms)| TuneResult {
+        params,
+        time_ms,
+        evaluations: budget,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::GpuId;
+    use stencilmart_stencil::pattern::Dim;
+    use stencilmart_stencil::shapes;
+
+    #[test]
+    fn ga_finds_a_runnable_setting() {
+        let p = shapes::box_(Dim::D3, 2);
+        let oc = OptCombo::parse("ST_RT").unwrap();
+        let arch = GpuArch::preset(GpuId::V100);
+        let res = tune_ga(&p, 512, &oc, &arch, &GaConfig::default()).expect("tunable");
+        assert!(res.time_ms.is_finite() && res.time_ms > 0.0);
+        assert!(res.params.is_valid_for(&oc, Dim::D3));
+        assert!(res.evaluations <= GaConfig::default().budget() + 2);
+    }
+
+    #[test]
+    fn ga_matches_or_beats_random_at_equal_budget() {
+        // Averaged over several stencils/seeds, the GA should not lose to
+        // random search with the same number of simulator calls.
+        let arch = GpuArch::preset(GpuId::V100);
+        let oc = OptCombo::parse("ST_BM_TB").unwrap();
+        let cfg = GaConfig {
+            population: 10,
+            generations: 5,
+            ..GaConfig::default()
+        };
+        let mut ga_wins = 0usize;
+        let mut total = 0usize;
+        for (i, r) in (1..=4u8).enumerate() {
+            let p = shapes::cross(Dim::D3, r);
+            let ga = tune_ga(&p, 512, &oc, &arch, &GaConfig { seed: i as u64, ..cfg });
+            let rnd = tune_random(&p, 512, &oc, &arch, cfg.budget(), i as u64);
+            if let (Some(g), Some(n)) = (ga, rnd) {
+                total += 1;
+                if g.time_ms <= n.time_ms * 1.02 {
+                    ga_wins += 1;
+                }
+            }
+        }
+        assert!(total >= 3, "most runs must produce settings");
+        assert!(
+            ga_wins * 2 >= total,
+            "GA lost too often: {ga_wins}/{total}"
+        );
+    }
+
+    #[test]
+    fn hopeless_oc_returns_none() {
+        // TB without ST for box3d4r crashes for every sampled setting.
+        let p = shapes::box_(Dim::D3, 4);
+        let oc = OptCombo::parse("TB").unwrap();
+        let arch = GpuArch::preset(GpuId::P100);
+        assert!(tune_ga(&p, 512, &oc, &arch, &GaConfig::default()).is_none());
+        assert!(tune_random(&p, 512, &oc, &arch, 30, 0).is_none());
+    }
+
+    #[test]
+    fn tuning_is_deterministic() {
+        let p = shapes::star(Dim::D2, 3);
+        let oc = OptCombo::parse("ST").unwrap();
+        let arch = GpuArch::preset(GpuId::A100);
+        let a = tune_ga(&p, 8192, &oc, &arch, &GaConfig::default());
+        let b = tune_ga(&p, 8192, &oc, &arch, &GaConfig::default());
+        assert_eq!(a, b);
+    }
+}

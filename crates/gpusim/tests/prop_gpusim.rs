@@ -1,0 +1,131 @@
+//! Property-based tests for the GPU simulator: physical sanity of the
+//! cost model over random stencils, OCs, parameter settings, and
+//! architectures.
+
+use proptest::prelude::*;
+use stencilmart_gpusim::{
+    characterize, occupancy, simulate, simulate_breakdown, BoundaryModel, GpuArch, GpuId,
+    NoiseModel, OptCombo, ParamSetting, ParamSpace,
+};
+use stencilmart_stencil::generator::{GeneratorConfig, StencilGenerator};
+use stencilmart_stencil::pattern::{Dim, StencilPattern};
+
+fn arb_dim() -> impl Strategy<Value = Dim> {
+    prop_oneof![Just(Dim::D2), Just(Dim::D3)]
+}
+
+fn arb_gpu() -> impl Strategy<Value = GpuId> {
+    prop_oneof![
+        Just(GpuId::P100),
+        Just(GpuId::V100),
+        Just(GpuId::Rtx2080Ti),
+        Just(GpuId::A100)
+    ]
+}
+
+fn arb_pattern() -> impl Strategy<Value = StencilPattern> {
+    (arb_dim(), 1u8..=4, 0u64..500).prop_map(|(dim, order, seed)| {
+        StencilGenerator::new(seed).generate(&GeneratorConfig::new(dim, order))
+    })
+}
+
+fn arb_oc() -> impl Strategy<Value = OptCombo> {
+    (0usize..30).prop_map(|i| OptCombo::enumerate()[i])
+}
+
+fn arb_config() -> impl Strategy<Value = (StencilPattern, OptCombo, ParamSetting, GpuArch)> {
+    (arb_pattern(), arb_oc(), arb_gpu(), 0u64..1000).prop_map(|(p, oc, gpu, seed)| {
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed);
+        let params = ParamSpace::new(oc, p.dim()).sample(&mut rng);
+        (p, oc, params, GpuArch::preset(gpu))
+    })
+}
+
+fn grid_of(p: &StencilPattern) -> usize {
+    if p.dim() == Dim::D2 {
+        8192
+    } else {
+        512
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulated_times_are_positive_and_finite((p, oc, params, arch) in arb_config()) {
+        if let Ok(t) = simulate(&p, grid_of(&p), &oc, &params, &arch) {
+            prop_assert!(t.is_finite());
+            prop_assert!(t > 0.0);
+            // One double-precision sweep of these grids finishes well
+            // under a minute on any of the evaluated GPUs.
+            prop_assert!(t < 60_000.0, "t = {t} ms");
+        }
+    }
+
+    #[test]
+    fn breakdown_components_bound_total((p, oc, params, arch) in arb_config()) {
+        if let Ok(b) = simulate_breakdown(&p, grid_of(&p), &oc, &params, &arch, BoundaryModel::None) {
+            let roof = b.t_mem_ms.max(b.t_comp_ms).max(b.t_smem_ms);
+            prop_assert!(b.total_ms >= roof - 1e-9, "total below roofline");
+            prop_assert!(b.t_mem_ms >= 0.0 && b.t_comp_ms >= 0.0);
+            prop_assert!(b.occupancy.fraction > 0.0 && b.occupancy.fraction <= 1.0);
+        }
+    }
+
+    #[test]
+    fn profiles_respect_resource_limits((p, oc, params, arch) in arb_config()) {
+        if let Ok(prof) = characterize(&p, grid_of(&p), &oc, &params, &arch) {
+            prop_assert!(prof.regs_per_thread <= 255);
+            prop_assert!(prof.smem_per_block <= arch.smem_per_block);
+            prop_assert!(prof.threads_per_block <= 1024);
+            prop_assert!(prof.total_blocks > 0);
+            prop_assert!(prof.dram_bytes_per_point > 0.0);
+            prop_assert!(prof.flops_per_point >= p.flops_per_point() as f64 * 0.9);
+            let occ = occupancy(&prof, &arch).unwrap();
+            prop_assert!(occ.blocks_per_sm >= 1);
+        }
+    }
+
+    #[test]
+    fn boundary_model_never_speeds_up((p, oc, params, arch) in arb_config()) {
+        let grid = grid_of(&p);
+        let plain = simulate_breakdown(&p, grid, &oc, &params, &arch, BoundaryModel::None);
+        let ghost = simulate_breakdown(&p, grid, &oc, &params, &arch, BoundaryModel::GhostFill);
+        if let (Ok(a), Ok(b)) = (plain, ghost) {
+            prop_assert!(b.total_ms >= a.total_ms - 1e-12);
+        }
+    }
+
+    #[test]
+    fn bigger_grids_never_run_faster((p, oc, params, arch) in arb_config()) {
+        // Equality is possible below one full wave: a latency-bound
+        // launch takes one wave regardless of how full it is.
+        let (small, large) = if p.dim() == Dim::D2 { (4096, 8192) } else { (256, 512) };
+        if let (Ok(a), Ok(b)) = (
+            simulate(&p, small, &oc, &params, &arch),
+            simulate(&p, large, &oc, &params, &arch),
+        ) {
+            prop_assert!(b >= a - 1e-12, "{b} < {a}");
+        }
+    }
+
+    #[test]
+    fn noise_preserves_positivity(sigma in 0.0f64..0.3, t in 1e-3f64..1e4, seed in 0u64..100) {
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed);
+        let noisy = NoiseModel::with_sigma(sigma).apply(t, &mut rng);
+        prop_assert!(noisy > 0.0);
+        prop_assert!(noisy.is_finite());
+    }
+
+    #[test]
+    fn simulation_is_deterministic((p, oc, params, arch) in arb_config()) {
+        let a = simulate(&p, grid_of(&p), &oc, &params, &arch);
+        let b = simulate(&p, grid_of(&p), &oc, &params, &arch);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            _ => prop_assert!(false, "determinism violated"),
+        }
+    }
+}

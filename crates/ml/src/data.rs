@@ -1,0 +1,232 @@
+//! Dataset containers and splitting utilities: a dense feature matrix,
+//! min-max normalization (the paper normalizes network inputs to `[0, 1]`
+//! by dividing by each feature's maximum), and k-fold cross-validation
+//! index generation.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major feature matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl FeatureMatrix {
+    /// Create from row-major data.
+    pub fn new(rows: usize, cols: usize, data: Vec<f32>) -> FeatureMatrix {
+        assert_eq!(rows * cols, data.len(), "matrix shape mismatch");
+        FeatureMatrix { rows, cols, data }
+    }
+
+    /// Build from an iterator of rows.
+    pub fn from_rows<'a>(rows: impl IntoIterator<Item = &'a [f32]>) -> FeatureMatrix {
+        let mut data = Vec::new();
+        let mut cols = None;
+        let mut n = 0;
+        for r in rows {
+            match cols {
+                None => cols = Some(r.len()),
+                Some(c) => assert_eq!(c, r.len(), "ragged rows"),
+            }
+            data.extend_from_slice(r);
+            n += 1;
+        }
+        FeatureMatrix {
+            rows: n,
+            cols: cols.unwrap_or(0),
+            data,
+        }
+    }
+
+    /// Number of rows (samples).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// One sample row.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Value at `(row, col)`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Flat row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Select a subset of rows into a new matrix.
+    pub fn select(&self, idx: &[usize]) -> FeatureMatrix {
+        let mut data = Vec::with_capacity(idx.len() * self.cols);
+        for &i in idx {
+            data.extend_from_slice(self.row(i));
+        }
+        FeatureMatrix {
+            rows: idx.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Per-column maxima of absolute values (used for max normalization).
+    pub fn col_abs_max(&self) -> Vec<f32> {
+        let mut m = vec![0.0f32; self.cols];
+        for i in 0..self.rows {
+            for (j, &v) in self.row(i).iter().enumerate() {
+                m[j] = m[j].max(v.abs());
+            }
+        }
+        m
+    }
+}
+
+/// Max-normalizer: divides each feature by its (training-set) maximum
+/// absolute value, mapping non-negative features into `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaxNormalizer {
+    scale: Vec<f32>,
+}
+
+impl MaxNormalizer {
+    /// Fit on a training matrix.
+    pub fn fit(x: &FeatureMatrix) -> MaxNormalizer {
+        let scale = x
+            .col_abs_max()
+            .into_iter()
+            .map(|m| if m > 0.0 { m } else { 1.0 })
+            .collect();
+        MaxNormalizer { scale }
+    }
+
+    /// Apply to a matrix (any number of rows, same column count).
+    pub fn transform(&self, x: &FeatureMatrix) -> FeatureMatrix {
+        assert_eq!(x.cols(), self.scale.len(), "column mismatch");
+        let mut data = Vec::with_capacity(x.data().len());
+        for i in 0..x.rows() {
+            for (j, &v) in x.row(i).iter().enumerate() {
+                data.push(v / self.scale[j]);
+            }
+        }
+        FeatureMatrix::new(x.rows(), x.cols(), data)
+    }
+}
+
+/// K-fold cross-validation index splits (paper §V-A3 uses 5 folds).
+#[derive(Debug, Clone)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Randomly partition `n` samples into `k` near-equal folds.
+    pub fn new(n: usize, k: usize, seed: u64) -> KFold {
+        assert!(k >= 2, "need at least 2 folds");
+        assert!(n >= k, "need at least one sample per fold");
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+        let mut folds = vec![Vec::with_capacity(n / k + 1); k];
+        for (i, v) in idx.into_iter().enumerate() {
+            folds[i % k].push(v);
+        }
+        KFold { folds }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// `(train_indices, test_indices)` for fold `i`.
+    pub fn split(&self, i: usize) -> (Vec<usize>, Vec<usize>) {
+        let test = self.folds[i].clone();
+        let train = self
+            .folds
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_accessors() {
+        let m = FeatureMatrix::new(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.row(1), &[4., 5., 6.]);
+        assert_eq!(m.at(0, 2), 3.0);
+        let s = m.select(&[1, 0]);
+        assert_eq!(s.row(0), &[4., 5., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn from_rows_rejects_ragged() {
+        let r0: &[f32] = &[1., 2.];
+        let r1: &[f32] = &[3.];
+        FeatureMatrix::from_rows([r0, r1]);
+    }
+
+    #[test]
+    fn normalizer_maps_to_unit_range() {
+        let m = FeatureMatrix::new(3, 2, vec![2., 10., 4., 5., 1., 0.]);
+        let norm = MaxNormalizer::fit(&m);
+        let t = norm.transform(&m);
+        assert!(t.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(t.at(1, 0), 1.0); // 4 / 4
+        // Zero columns stay zero without dividing by zero.
+        let zeros = FeatureMatrix::new(2, 1, vec![0., 0.]);
+        let nz = MaxNormalizer::fit(&zeros).transform(&zeros);
+        assert_eq!(nz.data(), &[0., 0.]);
+    }
+
+    #[test]
+    fn kfold_partitions_everything_once() {
+        let kf = KFold::new(23, 5, 42);
+        assert_eq!(kf.k(), 5);
+        let mut seen = [0usize; 23];
+        for i in 0..5 {
+            let (train, test) = kf.split(i);
+            assert_eq!(train.len() + test.len(), 23);
+            for &t in &test {
+                seen[t] += 1;
+            }
+            // train and test are disjoint
+            for &t in &test {
+                assert!(!train.contains(&t));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each sample tests exactly once");
+    }
+
+    #[test]
+    fn kfold_is_seeded() {
+        let a = KFold::new(50, 5, 7);
+        let b = KFold::new(50, 5, 7);
+        let c = KFold::new(50, 5, 8);
+        assert_eq!(a.split(0), b.split(0));
+        assert_ne!(a.split(0), c.split(0));
+    }
+}

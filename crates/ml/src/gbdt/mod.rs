@@ -1,0 +1,381 @@
+//! Gradient-boosted decision trees: the *GBDT* classifier and
+//! *GBRegressor* of the paper, built on second-order boosting in the style
+//! of XGBoost.
+
+pub mod binned;
+pub mod tree;
+
+use binned::{BinnedMatrix, BinnedTree};
+use crate::data::FeatureMatrix;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use tree::{RegressionTree, TreeConfig};
+
+/// Boosting hyperparameters shared by the regressor and classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbdtConfig {
+    /// Boosting rounds.
+    pub rounds: usize,
+    /// Shrinkage (learning rate).
+    pub eta: f32,
+    /// Row subsampling fraction per round.
+    pub subsample: f32,
+    /// Per-tree growth parameters.
+    pub tree: TreeConfig,
+    /// Histogram bins for split search (0 or 1 selects exact greedy;
+    /// 2..=255 selects the fast `hist`-style path).
+    pub bins: usize,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig {
+            rounds: 100,
+            eta: 0.1,
+            subsample: 0.9,
+            tree: TreeConfig::default(),
+            bins: 32,
+            seed: 0,
+        }
+    }
+}
+
+impl GbdtConfig {
+    /// Exact-greedy variant of this configuration.
+    pub fn exact(mut self) -> Self {
+        self.bins = 0;
+        self
+    }
+}
+
+/// A tree fitted by either split-search strategy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum AnyTree {
+    Exact(RegressionTree),
+    Binned(BinnedTree),
+}
+
+impl AnyTree {
+    fn predict_row(&self, row: &[f32]) -> f32 {
+        match self {
+            AnyTree::Exact(t) => t.predict_row(row),
+            AnyTree::Binned(t) => t.predict_row(row),
+        }
+    }
+}
+
+/// Shared fitting context: pre-binned features when the hist path is on.
+struct FitContext<'a> {
+    x: &'a FeatureMatrix,
+    binned: Option<BinnedMatrix>,
+}
+
+impl<'a> FitContext<'a> {
+    fn new(x: &'a FeatureMatrix, cfg: &GbdtConfig) -> FitContext<'a> {
+        let binned = (cfg.bins >= 2).then(|| BinnedMatrix::new(x, cfg.bins));
+        FitContext { x, binned }
+    }
+
+    fn fit_tree(
+        &self,
+        grad: &[f32],
+        hess: &[f32],
+        idx: &[usize],
+        cfg: &TreeConfig,
+    ) -> AnyTree {
+        match &self.binned {
+            Some(bm) => AnyTree::Binned(BinnedTree::fit(bm, grad, hess, idx, cfg)),
+            None => AnyTree::Exact(RegressionTree::fit(self.x, grad, hess, idx, cfg)),
+        }
+    }
+}
+
+fn subsample_indices(n: usize, frac: f32, rng: &mut ChaCha8Rng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    if frac >= 1.0 {
+        return idx;
+    }
+    idx.shuffle(rng);
+    let keep = ((n as f32 * frac).round() as usize).clamp(1, n);
+    idx.truncate(keep);
+    idx
+}
+
+/// Gradient-boosted regressor (squared-error objective).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GbdtRegressor {
+    base: f32,
+    eta: f32,
+    trees: Vec<AnyTree>,
+}
+
+impl GbdtRegressor {
+    /// Fit on a feature matrix and scalar targets.
+    pub fn fit(x: &FeatureMatrix, y: &[f32], cfg: &GbdtConfig) -> GbdtRegressor {
+        assert_eq!(x.rows(), y.len(), "sample/target mismatch");
+        assert!(x.rows() > 0, "empty training set");
+        let ctx = FitContext::new(x, cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let base = y.iter().sum::<f32>() / y.len() as f32;
+        let mut pred = vec![base; y.len()];
+        let mut trees = Vec::with_capacity(cfg.rounds);
+        let hess = vec![1.0f32; y.len()];
+        for _ in 0..cfg.rounds {
+            let grad: Vec<f32> = pred.iter().zip(y).map(|(p, t)| p - t).collect();
+            let idx = subsample_indices(y.len(), cfg.subsample, &mut rng);
+            let tree = ctx.fit_tree(&grad, &hess, &idx, &cfg.tree);
+            for (i, p) in pred.iter_mut().enumerate() {
+                *p += cfg.eta * tree.predict_row(x.row(i));
+            }
+            trees.push(tree);
+        }
+        GbdtRegressor {
+            base,
+            eta: cfg.eta,
+            trees,
+        }
+    }
+
+    /// Predict one sample.
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        self.base
+            + self.eta
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict_row(row))
+                    .sum::<f32>()
+    }
+
+    /// Predict a batch.
+    pub fn predict(&self, x: &FeatureMatrix) -> Vec<f32> {
+        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+/// Gradient-boosted multi-class classifier (softmax objective, one tree
+/// per class per round).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GbdtClassifier {
+    classes: usize,
+    eta: f32,
+    /// `rounds × classes` trees.
+    trees: Vec<Vec<AnyTree>>,
+}
+
+impl GbdtClassifier {
+    /// Fit on a feature matrix and integer class labels in `0..classes`.
+    pub fn fit(
+        x: &FeatureMatrix,
+        labels: &[usize],
+        classes: usize,
+        cfg: &GbdtConfig,
+    ) -> GbdtClassifier {
+        assert_eq!(x.rows(), labels.len(), "sample/label mismatch");
+        assert!(labels.iter().all(|&l| l < classes), "label out of range");
+        let n = labels.len();
+        let ctx = FitContext::new(x, cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut logits = vec![0.0f32; n * classes];
+        let mut rounds = Vec::with_capacity(cfg.rounds);
+        let mut grad = vec![0.0f32; n];
+        let mut hess = vec![0.0f32; n];
+        let mut probs = vec![0.0f32; classes];
+        for _ in 0..cfg.rounds {
+            let idx = subsample_indices(n, cfg.subsample, &mut rng);
+            let mut round_trees = Vec::with_capacity(classes);
+            // Snapshot probabilities for this round.
+            let mut all_probs = vec![0.0f32; n * classes];
+            for i in 0..n {
+                let row = &logits[i * classes..(i + 1) * classes];
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for (k, &v) in row.iter().enumerate() {
+                    probs[k] = (v - max).exp();
+                    sum += probs[k];
+                }
+                for (k, p) in probs.iter().enumerate() {
+                    all_probs[i * classes + k] = p / sum;
+                }
+            }
+            for k in 0..classes {
+                for i in 0..n {
+                    let p = all_probs[i * classes + k];
+                    let y = if labels[i] == k { 1.0 } else { 0.0 };
+                    grad[i] = p - y;
+                    hess[i] = (p * (1.0 - p)).max(1e-6);
+                }
+                let tree = ctx.fit_tree(&grad, &hess, &idx, &cfg.tree);
+                for i in 0..n {
+                    logits[i * classes + k] += cfg.eta * tree.predict_row(x.row(i));
+                }
+                round_trees.push(tree);
+            }
+            rounds.push(round_trees);
+        }
+        GbdtClassifier {
+            classes,
+            eta: cfg.eta,
+            trees: rounds,
+        }
+    }
+
+    /// Raw class scores for one sample.
+    pub fn decision_row(&self, row: &[f32]) -> Vec<f32> {
+        let mut scores = vec![0.0f32; self.classes];
+        for round in &self.trees {
+            for (k, tree) in round.iter().enumerate() {
+                scores[k] += self.eta * tree.predict_row(row);
+            }
+        }
+        scores
+    }
+
+    /// Predicted class for one sample.
+    pub fn predict_row(&self, row: &[f32]) -> usize {
+        self.decision_row(row)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(k, _)| k)
+            .unwrap_or(0)
+    }
+
+    /// Predict a batch of class labels.
+    pub fn predict(&self, x: &FeatureMatrix) -> Vec<usize> {
+        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn regressor_fits_linear_function() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 300;
+        let mut data = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            data.extend_from_slice(&[a, b]);
+            y.push(3.0 * a - 2.0 * b + 1.0);
+        }
+        let x = FeatureMatrix::new(n, 2, data);
+        let model = GbdtRegressor::fit(&x, &y, &GbdtConfig::default());
+        let preds = model.predict(&x);
+        let mse: f32 = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f32>()
+            / n as f32;
+        assert!(mse < 0.05, "mse = {mse}");
+        assert_eq!(model.tree_count(), 100);
+    }
+
+    #[test]
+    fn regressor_base_is_mean_with_zero_rounds() {
+        let x = FeatureMatrix::new(3, 1, vec![0., 1., 2.]);
+        let y = [1.0f32, 2.0, 6.0];
+        let cfg = GbdtConfig {
+            rounds: 0,
+            ..GbdtConfig::default()
+        };
+        let model = GbdtRegressor::fit(&x, &y, &cfg);
+        assert!((model.predict_row(&[5.0]) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn classifier_learns_quadrants() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 400;
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            data.extend_from_slice(&[a, b]);
+            labels.push(match (a > 0.0, b > 0.0) {
+                (true, true) => 0usize,
+                (true, false) => 1,
+                (false, true) => 2,
+                (false, false) => 3,
+            });
+        }
+        let x = FeatureMatrix::new(n, 2, data);
+        let cfg = GbdtConfig {
+            rounds: 30,
+            eta: 0.3,
+            ..GbdtConfig::default()
+        };
+        let model = GbdtClassifier::fit(&x, &labels, 4, &cfg);
+        let preds = model.predict(&x);
+        let acc = preds
+            .iter()
+            .zip(&labels)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / n as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn classifier_is_deterministic_per_seed() {
+        let x = FeatureMatrix::new(6, 1, vec![0., 1., 2., 3., 4., 5.]);
+        let labels = [0usize, 0, 0, 1, 1, 1];
+        let cfg = GbdtConfig {
+            rounds: 10,
+            ..GbdtConfig::default()
+        };
+        let a = GbdtClassifier::fit(&x, &labels, 2, &cfg);
+        let b = GbdtClassifier::fit(&x, &labels, 2, &cfg);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn classifier_rejects_bad_labels() {
+        let x = FeatureMatrix::new(2, 1, vec![0., 1.]);
+        GbdtClassifier::fit(&x, &[0, 5], 2, &GbdtConfig::default());
+    }
+
+    #[test]
+    fn subsampling_keeps_learning() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 200;
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(0.0..1.0);
+            data.push(a);
+            y.push(if a > 0.5 { 1.0 } else { 0.0 });
+        }
+        let x = FeatureMatrix::new(n, 1, data);
+        let cfg = GbdtConfig {
+            rounds: 40,
+            subsample: 0.5,
+            ..GbdtConfig::default()
+        };
+        let model = GbdtRegressor::fit(&x, &y, &cfg);
+        assert!(model.predict_row(&[0.9]) > 0.8);
+        assert!(model.predict_row(&[0.1]) < 0.2);
+    }
+}

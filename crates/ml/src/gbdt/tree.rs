@@ -1,0 +1,307 @@
+//! A single gradient-boosted regression tree with exact greedy split
+//! search and XGBoost-style second-order gain.
+
+use crate::data::FeatureMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Tree growth hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum hessian sum in a child (XGBoost `min_child_weight`).
+    pub min_child_weight: f32,
+    /// L2 regularization on leaf values (XGBoost `lambda`).
+    pub lambda: f32,
+    /// Minimum gain to split (XGBoost `gamma`).
+    pub gamma: f32,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 5,
+            min_child_weight: 1.0,
+            lambda: 1.0,
+            gamma: 0.0,
+        }
+    }
+}
+
+/// A tree node: internal nodes split; leaves carry a value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        value: f32,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fit a tree to gradient/hessian targets on the given sample subset.
+    ///
+    /// The optimal leaf value is `-G / (H + λ)` and the split gain is the
+    /// standard second-order formula; features with no separating
+    /// threshold are skipped.
+    pub fn fit(
+        x: &FeatureMatrix,
+        grad: &[f32],
+        hess: &[f32],
+        indices: &[usize],
+        cfg: &TreeConfig,
+    ) -> RegressionTree {
+        assert_eq!(x.rows(), grad.len());
+        assert_eq!(grad.len(), hess.len());
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        let mut idx = indices.to_vec();
+        tree.build(x, grad, hess, &mut idx, 0, cfg);
+        tree
+    }
+
+    fn leaf_value(grad_sum: f32, hess_sum: f32, lambda: f32) -> f32 {
+        -grad_sum / (hess_sum + lambda)
+    }
+
+    fn build(
+        &mut self,
+        x: &FeatureMatrix,
+        grad: &[f32],
+        hess: &[f32],
+        idx: &mut [usize],
+        depth: usize,
+        cfg: &TreeConfig,
+    ) -> usize {
+        let g_sum: f32 = idx.iter().map(|&i| grad[i]).sum();
+        let h_sum: f32 = idx.iter().map(|&i| hess[i]).sum();
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf {
+                value: Self::leaf_value(g_sum, h_sum, cfg.lambda),
+            });
+            nodes.len() - 1
+        };
+        if depth >= cfg.max_depth || idx.len() < 2 {
+            return make_leaf(&mut self.nodes);
+        }
+
+        // Exact greedy split search over all features.
+        let parent_score = g_sum * g_sum / (h_sum + cfg.lambda);
+        let mut best: Option<(f32, usize, f32)> = None; // (gain, feature, threshold)
+        let mut order: Vec<usize> = Vec::with_capacity(idx.len());
+        for f in 0..x.cols() {
+            order.clear();
+            order.extend_from_slice(idx);
+            order.sort_unstable_by(|&a, &b| x.at(a, f).total_cmp(&x.at(b, f)));
+            let mut gl = 0.0f32;
+            let mut hl = 0.0f32;
+            for w in 0..order.len() - 1 {
+                let i = order[w];
+                gl += grad[i];
+                hl += hess[i];
+                let v = x.at(i, f);
+                let v_next = x.at(order[w + 1], f);
+                if v == v_next {
+                    continue; // no threshold separates equal values
+                }
+                let gr = g_sum - gl;
+                let hr = h_sum - hl;
+                if hl < cfg.min_child_weight || hr < cfg.min_child_weight {
+                    continue;
+                }
+                let gain = gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda)
+                    - parent_score;
+                if gain > cfg.gamma && best.is_none_or(|(bg, _, _)| gain > bg) {
+                    best = Some((gain, f, 0.5 * (v + v_next)));
+                }
+            }
+        }
+
+        let Some((_, feature, threshold)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+        // Partition in place.
+        let mid = partition(idx, |&i| x.at(i, feature) <= threshold);
+        if mid == 0 || mid == idx.len() {
+            return make_leaf(&mut self.nodes);
+        }
+        let node_id = self.nodes.len();
+        self.nodes.push(Node::Split {
+            feature,
+            threshold,
+            left: usize::MAX,
+            right: usize::MAX,
+        });
+        let (l_idx, r_idx) = idx.split_at_mut(mid);
+        let left = self.build(x, grad, hess, l_idx, depth + 1, cfg);
+        let right = self.build(x, grad, hess, r_idx, depth + 1, cfg);
+        if let Node::Split {
+            left: l, right: r, ..
+        } = &mut self.nodes[node_id]
+        {
+            *l = left;
+            *r = right;
+        }
+        node_id
+    }
+
+    /// Predict one sample.
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the deepest leaf.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + walk(nodes, *left).max(walk(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+}
+
+/// Stable-enough in-place partition: returns the number of elements
+/// satisfying the predicate, which are moved to the front.
+fn partition<T, F: Fn(&T) -> bool>(slice: &mut [T], pred: F) -> usize {
+    let mut store = 0;
+    for i in 0..slice.len() {
+        if pred(&slice[i]) {
+            slice.swap(store, i);
+            store += 1;
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xy_step() -> (FeatureMatrix, Vec<f32>, Vec<f32>) {
+        // y = step at x = 0.5: perfect single split.
+        let xs: Vec<f32> = (0..20).map(|i| i as f32 / 19.0).collect();
+        let y: Vec<f32> = xs.iter().map(|&v| if v <= 0.5 { -1.0 } else { 1.0 }).collect();
+        let x = FeatureMatrix::new(20, 1, xs);
+        // For squared loss with pred = 0: g = -y, h = 1.
+        let g: Vec<f32> = y.iter().map(|v| -v).collect();
+        let h = vec![1.0; 20];
+        (x, g, h)
+    }
+
+    #[test]
+    fn single_split_recovers_step() {
+        let (x, g, h) = xy_step();
+        let idx: Vec<usize> = (0..20).collect();
+        let cfg = TreeConfig {
+            max_depth: 1,
+            lambda: 0.0,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(&x, &g, &h, &idx, &cfg);
+        assert_eq!(tree.depth(), 1);
+        assert!((tree.predict_row(&[0.2]) - (-1.0)).abs() < 0.2);
+        assert!((tree.predict_row(&[0.9]) - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn depth_zero_is_single_leaf() {
+        let (x, g, h) = xy_step();
+        let idx: Vec<usize> = (0..20).collect();
+        let cfg = TreeConfig {
+            max_depth: 0,
+            lambda: 0.0,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(&x, &g, &h, &idx, &cfg);
+        assert_eq!(tree.node_count(), 1);
+        // Leaf value = -sum(g)/sum(h) = mean(y) = 0 for the balanced step.
+        assert!(tree.predict_row(&[0.3]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_child_weight_blocks_tiny_splits() {
+        let (x, g, h) = xy_step();
+        let idx: Vec<usize> = (0..20).collect();
+        let cfg = TreeConfig {
+            max_depth: 3,
+            min_child_weight: 100.0, // impossible
+            lambda: 0.0,
+            gamma: 0.0,
+        };
+        let tree = RegressionTree::fit(&x, &g, &h, &idx, &cfg);
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn constant_features_produce_leaf() {
+        let x = FeatureMatrix::new(5, 2, vec![1.0; 10]);
+        let g = vec![1.0, -1.0, 1.0, -1.0, 1.0];
+        let h = vec![1.0; 5];
+        let idx: Vec<usize> = (0..5).collect();
+        let tree = RegressionTree::fit(&x, &g, &h, &idx, &TreeConfig::default());
+        assert_eq!(tree.node_count(), 1, "no threshold separates equal values");
+    }
+
+    #[test]
+    fn deeper_trees_fit_conjunction() {
+        // y = AND(x0, x1) needs depth 2 and is greedily learnable (unlike
+        // XOR, whose first greedy split has zero gain).
+        let x = FeatureMatrix::new(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+        let y = [-1.0f32, -1.0, -1.0, 1.0];
+        let g: Vec<f32> = y.iter().map(|v| -v).collect();
+        let h = vec![1.0; 4];
+        let idx: Vec<usize> = (0..4).collect();
+        let cfg = TreeConfig {
+            max_depth: 2,
+            min_child_weight: 0.5,
+            lambda: 0.0,
+            gamma: 0.0,
+        };
+        let tree = RegressionTree::fit(&x, &g, &h, &idx, &cfg);
+        for (i, &target) in y.iter().enumerate() {
+            assert!(
+                (tree.predict_row(x.row(i)) - target).abs() < 0.3,
+                "row {i}"
+            );
+        }
+    }
+}

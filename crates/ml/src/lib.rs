@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! From-scratch machine-learning substrate for StencilMART.
+//!
+//! The paper builds its networks on TensorFlow 1.15 and its tree models on
+//! XGBoost 1.4.2; this crate provides equivalent, dependency-free Rust
+//! implementations:
+//!
+//! * [`tensor`] — a dense `f32` tensor with the matmul variants needed for
+//!   backprop.
+//! * [`nn`] — dense / 2-D / 3-D conv layers, ReLU, softmax-CE and MSE
+//!   losses, Adam/SGD, sequential and two-branch containers, mini-batch
+//!   training loops.
+//! * [`gbdt`] — second-order gradient boosting: `GbdtRegressor`
+//!   (squared error) and `GbdtClassifier` (softmax, one tree per class per
+//!   round) over exact-greedy regression trees.
+//! * [`data`] — feature matrices, max normalization, k-fold CV splits.
+//! * [`metrics`] — accuracy, confusion, MAPE, Pearson, Kendall tau.
+//! * [`par`] — scoped-thread parallel map for fold-/model-level
+//!   parallelism.
+
+pub mod data;
+pub mod gbdt;
+pub mod metrics;
+pub mod nn;
+pub mod par;
+pub mod tensor;
+
+pub use data::{FeatureMatrix, KFold, MaxNormalizer};
+pub use gbdt::{GbdtClassifier, GbdtConfig, GbdtRegressor};
+pub use tensor::Tensor;

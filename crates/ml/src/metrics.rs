@@ -1,0 +1,161 @@
+//! Evaluation metrics: classification accuracy and confusion matrices,
+//! MAPE (the paper's regression metric), the Pearson correlation
+//! coefficient (used for OC merging), and Kendall's tau.
+
+/// Fraction of matching predictions.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty prediction set");
+    pred.iter().zip(truth).filter(|(a, b)| a == b).count() as f64 / pred.len() as f64
+}
+
+/// Row = truth, column = prediction.
+pub fn confusion_matrix(pred: &[usize], truth: &[usize], classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    let mut m = vec![vec![0usize; classes]; classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Mean absolute percentage error (paper §V-A3). Targets must be
+/// non-zero.
+pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty prediction set");
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| {
+            assert!(*t != 0.0, "MAPE undefined for zero target");
+            ((p - t) / t).abs()
+        })
+        .sum::<f64>()
+        / pred.len() as f64
+        * 100.0
+}
+
+/// Pearson correlation coefficient (paper §III-C uses it to quantify
+/// pairwise OC correlation). Returns 0 for degenerate (constant) inputs.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Kendall rank correlation (tau-a), as used by the ordinal-regression
+/// baseline the paper cites for ranking quality.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let s = (da * db).signum();
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Arithmetic mean (convenience for reporting).
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Geometric mean of strictly positive values (standard for speedups).
+pub fn geomean(v: &[f64]) -> f64 {
+    assert!(v.iter().all(|&x| x > 0.0), "geomean needs positive values");
+    if v.is_empty() {
+        return 0.0;
+    }
+    (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_shape() {
+        let m = confusion_matrix(&[0, 1, 1], &[0, 1, 0], 2);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[1][0], 0);
+    }
+
+    #[test]
+    fn mape_basic() {
+        let m = mape(&[110.0, 90.0], &[100.0, 100.0]);
+        assert!((m - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero target")]
+    fn mape_rejects_zero_truth() {
+        mape(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&a, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn kendall_tau_ranges() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(kendall_tau(&a, &a), 1.0);
+        let rev = [3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau(&a, &rev), -1.0);
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

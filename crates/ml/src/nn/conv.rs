@@ -1,0 +1,351 @@
+//! 2-D and 3-D convolution layers (direct, stride 1, valid padding).
+//!
+//! The paper's ConvNet/ConvMLP consume 9×9 (2-D) or 9×9×9 (3-D) binary
+//! stencil tensors with 3×3(×3) filters, so a simple direct convolution is
+//! both adequate and cache-friendly at these sizes.
+
+use crate::nn::layer::Layer;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// 2-D convolution: input `[b, ic, h, w]` → output `[b, oc, h-k+1, w-k+1]`.
+pub struct Conv2d {
+    ic: usize,
+    oc: usize,
+    k: usize,
+    w: Vec<f32>,  // [oc, ic, k, k]
+    b: Vec<f32>,  // [oc]
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+    cache_x: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Create with He-uniform initialization.
+    pub fn new<R: Rng>(ic: usize, oc: usize, k: usize, rng: &mut R) -> Conv2d {
+        let fan_in = (ic * k * k) as f32;
+        let bound = (6.0 / fan_in).sqrt();
+        Conv2d {
+            ic,
+            oc,
+            k,
+            w: (0..oc * ic * k * k)
+                .map(|_| rng.gen_range(-bound..bound))
+                .collect(),
+            b: vec![0.0; oc],
+            gw: vec![0.0; oc * ic * k * k],
+            gb: vec![0.0; oc],
+            cache_x: None,
+        }
+    }
+
+    /// Output spatial size for an input of side `s`.
+    pub fn out_side(&self, s: usize) -> usize {
+        s + 1 - self.k
+    }
+
+    #[inline]
+    fn widx(&self, o: usize, c: usize, ky: usize, kx: usize) -> usize {
+        ((o * self.ic + c) * self.k + ky) * self.k + kx
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (b, ic, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert_eq!(ic, self.ic, "channel mismatch");
+        let (oh, ow) = (h + 1 - self.k, w + 1 - self.k);
+        let mut y = Tensor::zeros(&[b, self.oc, oh, ow]);
+        let xd = x.data();
+        let yd = y.data_mut();
+        for bi in 0..b {
+            for o in 0..self.oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = self.b[o];
+                        for c in 0..ic {
+                            for ky in 0..self.k {
+                                let xrow =
+                                    ((bi * ic + c) * h + oy + ky) * w + ox;
+                                let wrow = self.widx(o, c, ky, 0);
+                                for kx in 0..self.k {
+                                    acc += self.w[wrow + kx] * xd[xrow + kx];
+                                }
+                            }
+                        }
+                        yd[((bi * self.oc + o) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache_x.take().expect("backward without forward");
+        let (b, ic, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = (h + 1 - self.k, w + 1 - self.k);
+        assert_eq!(grad_out.shape(), &[b, self.oc, oh, ow]);
+        let mut gx = Tensor::zeros(x.shape());
+        let xd = x.data();
+        let gd = grad_out.data();
+        let gxd = gx.data_mut();
+        for bi in 0..b {
+            for o in 0..self.oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = gd[((bi * self.oc + o) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.gb[o] += g;
+                        for c in 0..ic {
+                            for ky in 0..self.k {
+                                let xrow = ((bi * ic + c) * h + oy + ky) * w + ox;
+                                let wrow = self.widx(o, c, ky, 0);
+                                for kx in 0..self.k {
+                                    self.gw[wrow + kx] += g * xd[xrow + kx];
+                                    gxd[xrow + kx] += g * self.w[wrow + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+}
+
+/// 3-D convolution: input `[b, ic, d, h, w]` → output with each spatial
+/// side reduced by `k-1`.
+pub struct Conv3d {
+    ic: usize,
+    oc: usize,
+    k: usize,
+    w: Vec<f32>, // [oc, ic, k, k, k]
+    b: Vec<f32>,
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+    cache_x: Option<Tensor>,
+}
+
+impl Conv3d {
+    /// Create with He-uniform initialization.
+    pub fn new<R: Rng>(ic: usize, oc: usize, k: usize, rng: &mut R) -> Conv3d {
+        let fan_in = (ic * k * k * k) as f32;
+        let bound = (6.0 / fan_in).sqrt();
+        Conv3d {
+            ic,
+            oc,
+            k,
+            w: (0..oc * ic * k * k * k)
+                .map(|_| rng.gen_range(-bound..bound))
+                .collect(),
+            b: vec![0.0; oc],
+            gw: vec![0.0; oc * ic * k * k * k],
+            gb: vec![0.0; oc],
+            cache_x: None,
+        }
+    }
+
+    #[inline]
+    fn widx(&self, o: usize, c: usize, kz: usize, ky: usize, kx: usize) -> usize {
+        (((o * self.ic + c) * self.k + kz) * self.k + ky) * self.k + kx
+    }
+}
+
+impl Layer for Conv3d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let s = x.shape();
+        let (b, ic, d, h, w) = (s[0], s[1], s[2], s[3], s[4]);
+        assert_eq!(ic, self.ic, "channel mismatch");
+        let (od, oh, ow) = (d + 1 - self.k, h + 1 - self.k, w + 1 - self.k);
+        let mut y = Tensor::zeros(&[b, self.oc, od, oh, ow]);
+        let xd = x.data();
+        let yd = y.data_mut();
+        for bi in 0..b {
+            for o in 0..self.oc {
+                for oz in 0..od {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = self.b[o];
+                            for c in 0..ic {
+                                for kz in 0..self.k {
+                                    for ky in 0..self.k {
+                                        let xrow = (((bi * ic + c) * d + oz + kz) * h
+                                            + oy
+                                            + ky)
+                                            * w
+                                            + ox;
+                                        let wrow = self.widx(o, c, kz, ky, 0);
+                                        for kx in 0..self.k {
+                                            acc += self.w[wrow + kx] * xd[xrow + kx];
+                                        }
+                                    }
+                                }
+                            }
+                            yd[(((bi * self.oc + o) * od + oz) * oh + oy) * ow + ox] = acc;
+                        }
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache_x.take().expect("backward without forward");
+        let s = x.shape();
+        let (b, ic, d, h, w) = (s[0], s[1], s[2], s[3], s[4]);
+        let (od, oh, ow) = (d + 1 - self.k, h + 1 - self.k, w + 1 - self.k);
+        let mut gx = Tensor::zeros(x.shape());
+        let xd = x.data();
+        let gd = grad_out.data();
+        let gxd = gx.data_mut();
+        for bi in 0..b {
+            for o in 0..self.oc {
+                for oz in 0..od {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g =
+                                gd[(((bi * self.oc + o) * od + oz) * oh + oy) * ow + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            self.gb[o] += g;
+                            for c in 0..ic {
+                                for kz in 0..self.k {
+                                    for ky in 0..self.k {
+                                        let xrow = (((bi * ic + c) * d + oz + kz) * h
+                                            + oy
+                                            + ky)
+                                            * w
+                                            + ox;
+                                        let wrow = self.widx(o, c, kz, ky, 0);
+                                        for kx in 0..self.k {
+                                            self.gw[wrow + kx] += g * xd[xrow + kx];
+                                            gxd[xrow + kx] += g * self.w[wrow + kx];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn conv2d_identity_filter() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut c = Conv2d::new(1, 1, 3, &mut rng);
+        c.w.fill(0.0);
+        c.w[4] = 1.0; // centre tap
+        let x = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|v| v as f32).collect());
+        let y = c.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        // centre taps of each 3x3 window: positions (1,1),(1,2),(2,1),(2,2)
+        assert_eq!(y.data(), &[5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn conv2d_gradcheck() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut c = Conv2d::new(2, 3, 3, &mut rng);
+        let x = Tensor::from_vec(
+            &[1, 2, 5, 5],
+            (0..50).map(|v| (v as f32 * 0.13).sin()).collect(),
+        );
+        let y = c.forward(&x, true);
+        let gx = c.backward(&y.clone());
+        let eps = 1e-2f32;
+        for idx in [0usize, 7, 23, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp: f32 = c.forward(&xp, false).data().iter().map(|v| v * v / 2.0).sum();
+            let lm: f32 = c.forward(&xm, false).data().iter().map(|v| v * v / 2.0).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[idx]).abs() < 0.05 * (1.0 + num.abs()),
+                "idx {idx}: numeric {num} vs analytic {}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn conv3d_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut c = Conv3d::new(1, 4, 3, &mut rng);
+        let x = Tensor::zeros(&[2, 1, 9, 9, 9]);
+        let y = c.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 4, 7, 7, 7]);
+    }
+
+    #[test]
+    fn conv3d_gradcheck() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut c = Conv3d::new(1, 2, 2, &mut rng);
+        let x = Tensor::from_vec(
+            &[1, 1, 3, 3, 3],
+            (0..27).map(|v| (v as f32 * 0.31).cos()).collect(),
+        );
+        let y = c.forward(&x, true);
+        let gx = c.backward(&y.clone());
+        let eps = 1e-2f32;
+        for idx in [0usize, 13, 26] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp: f32 = c.forward(&xp, false).data().iter().map(|v| v * v / 2.0).sum();
+            let lm: f32 = c.forward(&xm, false).data().iter().map(|v| v * v / 2.0).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[idx]).abs() < 0.05 * (1.0 + num.abs()),
+                "idx {idx}: numeric {num} vs analytic {}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_params_are_visited() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut c = Conv2d::new(1, 2, 3, &mut rng);
+        let mut count = 0;
+        c.visit_params(&mut |p, g| {
+            assert_eq!(p.len(), g.len());
+            count += 1;
+        });
+        assert_eq!(count, 2); // weights + bias
+    }
+}

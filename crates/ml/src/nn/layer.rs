@@ -1,0 +1,248 @@
+//! The layer abstraction plus the dense (fully connected) and ReLU layers.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// A differentiable layer. Layers cache whatever they need during
+//  `forward` so that `backward` can run without re-supplying inputs.
+pub trait Layer: Send {
+    /// Forward pass. `train` enables training-only behaviour.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+    /// Backward pass: consume `d(loss)/d(output)`, accumulate parameter
+    /// gradients, and return `d(loss)/d(input)`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    /// Visit `(parameters, gradients)` buffers for the optimizer.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32]));
+    /// Zero accumulated gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |_, g| g.fill(0.0));
+    }
+}
+
+/// Fully connected layer: `y = x·W + b`.
+pub struct Dense {
+    w: Tensor,
+    b: Vec<f32>,
+    gw: Tensor,
+    gb: Vec<f32>,
+    cache_x: Option<Tensor>,
+}
+
+impl Dense {
+    /// Create with He-uniform initialization (suits the ReLU stacks used
+    /// throughout).
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Dense {
+        let bound = (6.0 / in_dim as f32).sqrt();
+        let data = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Dense {
+            w: Tensor::from_vec(&[in_dim, out_dim], data),
+            b: vec![0.0; out_dim],
+            gw: Tensor::zeros(&[in_dim, out_dim]),
+            gb: vec![0.0; out_dim],
+            cache_x: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.shape()[0]
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.shape()[1]
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let x2 = x.reshape(&[x.batch(), x.row_len()]);
+        let mut y = Tensor::matmul(&x2, &self.w);
+        for i in 0..y.batch() {
+            for (v, b) in y.row_mut(i).iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        if train {
+            self.cache_x = Some(x2);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cache_x
+            .take()
+            .expect("backward without a training forward");
+        // dW += X^T · dY ; db += column sums of dY ; dX = dY · W^T
+        self.gw.add_assign(&Tensor::matmul_tn(&x, grad_out));
+        for i in 0..grad_out.batch() {
+            for (j, g) in grad_out.row(i).iter().enumerate() {
+                self.gb[j] += g;
+            }
+        }
+        Tensor::matmul_nt(grad_out, &self.w)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(self.w.data_mut(), self.gw.data_mut());
+        f(&mut self.b, &mut self.gb);
+    }
+}
+
+/// Rectified linear unit.
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Create a ReLU layer.
+    pub fn new() -> Relu {
+        Relu { mask: Vec::new() }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut y = x.clone();
+        if train {
+            self.mask.clear();
+            self.mask.reserve(x.len());
+        }
+        for v in y.data_mut() {
+            let pos = *v > 0.0;
+            if train {
+                self.mask.push(pos);
+            }
+            if !pos {
+                *v = 0.0;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(self.mask.len(), grad_out.len(), "mask/grad size mismatch");
+        let mut g = grad_out.clone();
+        for (v, &keep) in g.data_mut().iter_mut().zip(&self.mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dense_forward_shape_and_bias() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut d = Dense::new(3, 2, &mut rng);
+        // Set known weights.
+        d.w.data_mut().copy_from_slice(&[1., 0., 0., 1., 1., 1.]);
+        d.b.copy_from_slice(&[0.5, -0.5]);
+        let x = Tensor::from_vec(&[1, 3], vec![1., 2., 3.]);
+        let y = d.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[1. + 3. + 0.5, 2. + 3. - 0.5]);
+    }
+
+    #[test]
+    fn dense_gradcheck() {
+        // Numerical gradient check on a tiny dense layer.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut d = Dense::new(4, 3, &mut rng);
+        let x = Tensor::from_vec(&[2, 4], (0..8).map(|i| i as f32 * 0.1 - 0.3).collect());
+        // loss = sum(y^2)/2; dL/dy = y
+        let y = d.forward(&x, true);
+        let gx = d.backward(&y.clone());
+        let eps = 1e-3f32;
+        // Check input gradient numerically.
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp: f32 = d.forward(&xp, false).data().iter().map(|v| v * v / 2.0).sum();
+            let lm: f32 = d.forward(&xm, false).data().iter().map(|v| v * v / 2.0).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[idx]).abs() < 1e-2,
+                "idx {idx}: numeric {num} vs analytic {}",
+                gx.data()[idx]
+            );
+        }
+        // Check weight gradient numerically for a few entries.
+        let mut analytic = Vec::new();
+        d.visit_params(&mut |_, g| analytic.push(g.to_vec()));
+        for widx in [0usize, 5, 11] {
+            let orig = {
+                let mut val = 0.0;
+                let mut i = 0;
+                d.visit_params(&mut |p, _| {
+                    if i == 0 {
+                        val = p[widx];
+                    }
+                    i += 1;
+                });
+                val
+            };
+            fn set_w(d: &mut Dense, widx: usize, v: f32) {
+                let mut i = 0;
+                d.visit_params(&mut |p, _| {
+                    if i == 0 {
+                        p[widx] = v;
+                    }
+                    i += 1;
+                });
+            }
+            set_w(&mut d, widx, orig + eps);
+            let lp: f32 = d.forward(&x, false).data().iter().map(|v| v * v / 2.0).sum();
+            set_w(&mut d, widx, orig - eps);
+            let lm: f32 = d.forward(&x, false).data().iter().map(|v| v * v / 2.0).sum();
+            set_w(&mut d, widx, orig);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - analytic[0][widx]).abs() < 1e-2,
+                "w[{widx}]: numeric {num} vs analytic {}",
+                analytic[0][widx]
+            );
+        }
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(&[1, 4], vec![-1., 2., -3., 4.]);
+        let y = r.forward(&x, true);
+        assert_eq!(y.data(), &[0., 2., 0., 4.]);
+        let g = r.backward(&Tensor::from_vec(&[1, 4], vec![1., 1., 1., 1.]));
+        assert_eq!(g.data(), &[0., 1., 0., 1.]);
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut d = Dense::new(2, 2, &mut rng);
+        let x = Tensor::from_vec(&[1, 2], vec![1., 1.]);
+        let y = d.forward(&x, true);
+        d.backward(&y);
+        d.zero_grads();
+        d.visit_params(&mut |_, g| assert!(g.iter().all(|&v| v == 0.0)));
+    }
+}

@@ -1,0 +1,149 @@
+//! Loss functions: softmax cross-entropy for classification and mean
+//! squared error for regression. Each returns the scalar loss and the
+//! gradient w.r.t. the network output, already averaged over the batch.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable row-wise softmax.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let mut out = logits.clone();
+    for i in 0..out.batch() {
+        let row = out.row_mut(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Softmax cross-entropy against integer class labels.
+///
+/// Returns `(mean loss, d loss / d logits)`.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let b = logits.batch();
+    assert_eq!(b, labels.len(), "batch/label mismatch");
+    let probs = softmax(logits);
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let inv_b = 1.0 / b as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        let p = probs.row(i)[label].max(1e-12);
+        loss -= p.ln();
+        let row = grad.row_mut(i);
+        row[label] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_b;
+        }
+    }
+    (loss * inv_b, grad)
+}
+
+/// Mean squared error against scalar targets (network output `[b, 1]`).
+///
+/// Returns `(mean loss, d loss / d output)`.
+pub fn mse(output: &Tensor, targets: &[f32]) -> (f32, Tensor) {
+    let b = output.batch();
+    assert_eq!(b, targets.len(), "batch/target mismatch");
+    assert_eq!(output.row_len(), 1, "mse expects scalar outputs");
+    let mut grad = Tensor::zeros(output.shape());
+    let mut loss = 0.0f32;
+    let inv_b = 1.0 / b as f32;
+    for (i, &target) in targets.iter().enumerate() {
+        let d = output.row(i)[0] - target;
+        loss += d * d * inv_b;
+        grad.row_mut(i)[0] = 2.0 * d * inv_b;
+    }
+    (loss, grad)
+}
+
+/// Argmax prediction per row.
+pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
+    (0..logits.batch())
+        .map(|i| {
+            logits.row(i)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(j, _)| j)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., -1., 0., 1.]);
+        let p = softmax(&t);
+        for i in 0..2 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(p.data().iter().all(|&v| v > 0.0 && v < 1.0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(&[1, 3], vec![1., 2., 3.]);
+        let b = Tensor::from_vec(&[1, 3], vec![101., 102., 103.]);
+        let (pa, pb) = (softmax(&a), softmax(&b));
+        for (x, y) in pa.data().iter().zip(pb.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(&[1, 3], vec![20., 0., 0.]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+        let (loss_bad, _) = softmax_cross_entropy(&logits, &[2]);
+        assert!(loss_bad > 10.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let logits = Tensor::from_vec(&[2, 4], vec![0.5, -1.0, 2.0, 0.1, 1.0, 1.0, -0.5, 0.0]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let (l1, _) = softmax_cross_entropy(&lp, &labels);
+            let (l2, _) = softmax_cross_entropy(&lm, &labels);
+            let num = (l1 - l2) / (2.0 * eps);
+            assert!(
+                (num - grad.data()[idx]).abs() < 1e-3,
+                "idx {idx}: {num} vs {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_and_grad() {
+        let out = Tensor::from_vec(&[2, 1], vec![1.0, 3.0]);
+        let (loss, grad) = mse(&out, &[0.0, 3.0]);
+        assert!((loss - 0.5).abs() < 1e-6);
+        assert!((grad.data()[0] - 1.0).abs() < 1e-6);
+        assert_eq!(grad.data()[1], 0.0);
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        let t = Tensor::from_vec(&[2, 3], vec![0., 5., 1., 9., 2., 3.]);
+        assert_eq!(argmax_rows(&t), vec![1, 0]);
+    }
+}

@@ -1,0 +1,24 @@
+//! From-scratch neural-network stack: layers, containers, losses,
+//! optimizers, and training loops.
+//!
+//! Mirrors the network families of the paper: *ConvNet*/*FcNet*
+//! classifiers (§IV-D) and *MLP*/*ConvMLP* regressors (§IV-E) are all
+//! assembled from these pieces in `stencilmart::models`.
+
+pub mod conv;
+pub mod layer;
+pub mod loss;
+pub mod net;
+pub mod optim;
+pub mod shape;
+pub mod train;
+
+pub use conv::{Conv2d, Conv3d};
+pub use layer::{Dense, Layer, Relu};
+pub use shape::{Flatten, Reshape};
+pub use loss::{argmax_rows, mse, softmax, softmax_cross_entropy};
+pub use net::{Net, Sequential, TwoBranch};
+pub use optim::{Adam, Sgd};
+pub use train::{
+    predict_classes, predict_scalars, train_classifier, train_regressor, TrainConfig,
+};

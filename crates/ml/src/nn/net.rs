@@ -1,0 +1,251 @@
+//! Network containers: a sequential stack and the two-branch ConvMLP
+//! topology (paper Fig. 8), where a CNN branch encodes the stencil tensor
+//! and an MLP branch encodes parameter + hardware features before a joint
+//! head.
+
+use crate::nn::layer::Layer;
+use crate::tensor::Tensor;
+
+/// A trainable network.
+pub trait Net: Send {
+    /// Forward pass over a batch.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+    /// Backward pass from the loss gradient.
+    fn backward(&mut self, grad: &Tensor);
+    /// Visit all `(parameters, gradients)` buffers.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32]));
+    /// Zero all accumulated gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |_, g| g.fill(0.0));
+    }
+}
+
+/// A linear stack of layers.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Create an empty stack.
+    pub fn new() -> Sequential {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Append a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Sequential {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Net for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for l in &mut self.layers {
+            cur = l.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad: &Tensor) {
+        let mut cur = grad.clone();
+        for l in self.layers.iter_mut().rev() {
+            cur = l.backward(&cur);
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for l in &mut self.layers {
+            l.visit_params(f);
+        }
+    }
+}
+
+/// Two-branch network: columns `[0, split)` of each input row feed the
+/// `conv` branch (reshaped to `conv_shape`, typically `[1, 9, 9]` or
+/// `[1, 9, 9, 9]`); the remaining columns feed the `mlp` branch; branch
+/// outputs are concatenated and passed through `head`.
+pub struct TwoBranch {
+    /// Column split point.
+    split: usize,
+    /// Per-row shape for the conv branch input (without batch dim).
+    conv_shape: Vec<usize>,
+    conv: Sequential,
+    mlp: Sequential,
+    head: Sequential,
+    conv_out_shape: Vec<usize>,
+}
+
+impl TwoBranch {
+    /// Assemble a two-branch network.
+    pub fn new(
+        split: usize,
+        conv_shape: Vec<usize>,
+        conv: Sequential,
+        mlp: Sequential,
+        head: Sequential,
+    ) -> TwoBranch {
+        assert_eq!(
+            conv_shape.iter().product::<usize>(),
+            split,
+            "conv_shape must hold exactly the first `split` columns"
+        );
+        TwoBranch {
+            split,
+            conv_shape,
+            conv,
+            mlp,
+            head,
+            conv_out_shape: Vec::new(),
+        }
+    }
+}
+
+impl Net for TwoBranch {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (xa, xb) = x.split_cols(self.split);
+        let mut shape = vec![xa.batch()];
+        shape.extend_from_slice(&self.conv_shape);
+        let a = self.conv.forward(&xa.reshape(&shape), train);
+        self.conv_out_shape = a.shape().to_vec();
+        let a2 = a.reshape(&[a.batch(), a.row_len()]);
+        let b = self.mlp.forward(&xb, train);
+        let joint = Tensor::concat_cols(&a2, &b);
+        self.head.forward(&joint, train)
+    }
+
+    fn backward(&mut self, grad: &Tensor) {
+        // Manually propagate through the head to recover the joint grad.
+        let mut cur = grad.clone();
+        for l in self.head.layers.iter_mut().rev() {
+            cur = l.backward(&cur);
+        }
+        let conv_w: usize = self.conv_out_shape[1..].iter().product();
+        let (ga, gb) = cur.split_cols(conv_w);
+        self.conv.backward(&ga.reshape(&self.conv_out_shape));
+        self.mlp.backward(&gb);
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.conv.visit_params(f);
+        self.mlp.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::conv::Conv2d;
+    use crate::nn::layer::{Dense, Relu};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sequential_chains_layers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut net = Sequential::new()
+            .push(Dense::new(4, 8, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(8, 2, &mut rng));
+        assert_eq!(net.len(), 3);
+        let x = Tensor::from_vec(&[3, 4], vec![0.1; 12]);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), &[3, 2]);
+        net.backward(&y);
+        let mut bufs = 0;
+        net.visit_params(&mut |_, _| bufs += 1);
+        assert_eq!(bufs, 4); // two dense layers × (w, b)
+    }
+
+    #[test]
+    fn two_branch_routes_columns() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let conv = Sequential::new().push(Conv2d::new(1, 2, 3, &mut rng)).push(Relu::new());
+        let mlp = Sequential::new().push(Dense::new(5, 4, &mut rng)).push(Relu::new());
+        // conv out: 2×7×7 = 98; joint = 98 + 4 = 102
+        let head = Sequential::new().push(Dense::new(102, 1, &mut rng));
+        let mut net = TwoBranch::new(81, vec![1, 9, 9], conv, mlp, head);
+        let x = Tensor::from_vec(&[2, 86], vec![0.5; 172]);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 1]);
+        net.backward(&y);
+        let mut any_nonzero = false;
+        net.visit_params(&mut |_, g| {
+            if g.iter().any(|&v| v != 0.0) {
+                any_nonzero = true;
+            }
+        });
+        assert!(any_nonzero, "gradients must flow into both branches");
+    }
+
+    #[test]
+    #[should_panic(expected = "conv_shape")]
+    fn two_branch_checks_split() {
+        let conv = Sequential::new();
+        let mlp = Sequential::new();
+        let head = Sequential::new();
+        TwoBranch::new(80, vec![1, 9, 9], conv, mlp, head);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_problem() {
+        // Tiny regression: learn y = sum(x) with a 2-layer MLP and plain
+        // gradient descent.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut net = Sequential::new()
+            .push(Dense::new(3, 16, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(16, 1, &mut rng));
+        let x = Tensor::from_vec(
+            &[8, 3],
+            (0..24).map(|i| ((i * 37 % 11) as f32 - 5.0) / 5.0).collect(),
+        );
+        let targets: Vec<f32> = (0..8).map(|i| x.row(i).iter().sum()).collect();
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let y = net.forward(&x, true);
+            let mut grad = y.clone();
+            let mut loss = 0.0;
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..8 {
+                let d = y.row(i)[0] - targets[i];
+                loss += d * d / 8.0;
+                grad.row_mut(i)[0] = 2.0 * d / 8.0;
+            }
+            net.zero_grads();
+            net.backward(&grad);
+            net.visit_params(&mut |p, g| {
+                for (pv, gv) in p.iter_mut().zip(g.iter()) {
+                    *pv -= 0.05 * gv;
+                }
+            });
+            if first.is_none() {
+                first = Some(loss);
+            }
+            last = loss;
+        }
+        assert!(
+            last < 0.05 * first.unwrap(),
+            "loss did not drop: {} -> {last}",
+            first.unwrap()
+        );
+    }
+}

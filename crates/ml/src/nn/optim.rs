@@ -1,0 +1,166 @@
+//! Optimizers: Adam (the paper trains all its networks with the "Adam
+//! stochastic optimizer") and plain SGD for comparison.
+
+use crate::nn::net::Net;
+
+/// Adam optimizer with per-parameter first/second moment estimates.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    step: u64,
+    moments: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+impl Adam {
+    /// Create with the paper's defaults (β₁ = 0.9, β₂ = 0.999).
+    pub fn new(lr: f32) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 0,
+            moments: Vec::new(),
+        }
+    }
+
+    /// Apply one update step from the accumulated gradients.
+    pub fn step(&mut self, net: &mut dyn Net) {
+        self.step += 1;
+        let t = self.step as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let moments = &mut self.moments;
+        let mut idx = 0usize;
+        net.visit_params(&mut |p, g| {
+            if moments.len() <= idx {
+                moments.push((vec![0.0; p.len()], vec![0.0; p.len()]));
+            }
+            let (m, v) = &mut moments[idx];
+            assert_eq!(m.len(), p.len(), "parameter buffer changed size");
+            for i in 0..p.len() {
+                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+                let mh = m[i] / bc1;
+                let vh = v[i] / bc2;
+                p[i] -= lr * mh / (vh.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Plain stochastic gradient descent.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Create with the given learning rate.
+    pub fn new(lr: f32) -> Sgd {
+        Sgd { lr }
+    }
+
+    /// Apply one update step.
+    pub fn step(&self, net: &mut dyn Net) {
+        let lr = self.lr;
+        net.visit_params(&mut |p, g| {
+            for (pv, gv) in p.iter_mut().zip(g.iter()) {
+                *pv -= lr * gv;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::layer::Dense;
+    use crate::nn::net::{Net, Sequential};
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn quadratic_loss(net: &mut Sequential, x: &Tensor, target: f32) -> f32 {
+        let y = net.forward(x, false);
+        (y.data()[0] - target).powi(2)
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut net = Sequential::new().push(Dense::new(2, 1, &mut rng));
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, -0.5]);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..300 {
+            let y = net.forward(&x, true);
+            let d = y.data()[0] - 3.0;
+            let grad = Tensor::from_vec(&[1, 1], vec![2.0 * d]);
+            net.zero_grads();
+            net.backward(&grad);
+            opt.step(&mut net);
+        }
+        assert!(quadratic_loss(&mut net, &x, 3.0) < 1e-4);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut net = Sequential::new().push(Dense::new(2, 1, &mut rng));
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, -0.5]);
+        let opt = Sgd::new(0.1);
+        for _ in 0..300 {
+            let y = net.forward(&x, true);
+            let d = y.data()[0] - 3.0;
+            let grad = Tensor::from_vec(&[1, 1], vec![2.0 * d]);
+            net.zero_grads();
+            net.backward(&grad);
+            opt.step(&mut net);
+        }
+        assert!(quadratic_loss(&mut net, &x, 3.0) < 1e-4);
+    }
+
+    #[test]
+    fn adam_is_robust_where_sgd_diverges() {
+        // With a feature of scale 100, SGD at Adam's learning rate
+        // explodes, while Adam's per-parameter normalization converges.
+        let run = |use_adam: bool| -> f32 {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let mut net = Sequential::new().push(Dense::new(2, 1, &mut rng));
+            let x = Tensor::from_vec(&[1, 2], vec![100.0, 0.01]);
+            let mut adam = Adam::new(0.02);
+            let sgd = Sgd::new(0.02);
+            for _ in 0..150 {
+                let y = net.forward(&x, true);
+                let d = y.data()[0] - 1.0;
+                if !d.is_finite() {
+                    return f32::INFINITY;
+                }
+                let grad = Tensor::from_vec(&[1, 1], vec![2.0 * d]);
+                net.zero_grads();
+                net.backward(&grad);
+                if use_adam {
+                    adam.step(&mut net);
+                } else {
+                    sgd.step(&mut net);
+                }
+            }
+            quadratic_loss(&mut net, &x, 1.0)
+        };
+        let adam_loss = run(true);
+        let sgd_loss = run(false);
+        assert!(adam_loss < 1e-2, "adam loss {adam_loss}");
+        assert!(
+            !sgd_loss.is_finite() || sgd_loss > 1e3,
+            "sgd unexpectedly converged: {sgd_loss}"
+        );
+    }
+}

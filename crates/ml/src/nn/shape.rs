@@ -1,0 +1,110 @@
+//! Shape-adapter layers: `Reshape` turns flat batch rows into spatial
+//! tensors for convolution layers, and `Flatten` turns spatial outputs
+//! back into rows for dense layers. Both are parameter-free and invert
+//! themselves in `backward`.
+
+use crate::nn::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Reshape each batch row to a fixed per-row shape.
+pub struct Reshape {
+    row_shape: Vec<usize>,
+    in_shape: Vec<usize>,
+}
+
+impl Reshape {
+    /// Create a reshape to `row_shape` (per row, excluding the batch
+    /// dimension), e.g. `[1, 9, 9]` for a 2-D conv input.
+    pub fn new(row_shape: Vec<usize>) -> Reshape {
+        Reshape {
+            row_shape,
+            in_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Reshape {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.in_shape = x.shape().to_vec();
+        }
+        let mut shape = vec![x.batch()];
+        shape.extend_from_slice(&self.row_shape);
+        x.reshape(&shape)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.reshape(&self.in_shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+}
+
+/// Flatten each batch row to 2-D `[batch, row_len]`.
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Create a flatten layer.
+    pub fn new() -> Flatten {
+        Flatten {
+            in_shape: Vec::new(),
+        }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.in_shape = x.shape().to_vec();
+        }
+        x.reshape(&[x.batch(), x.row_len()])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.reshape(&self.in_shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reshape_roundtrips_in_backward() {
+        let mut r = Reshape::new(vec![1, 3, 3]);
+        let x = Tensor::from_vec(&[2, 9], (0..18).map(|v| v as f32).collect());
+        let y = r.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 1, 3, 3]);
+        let g = r.backward(&y);
+        assert_eq!(g.shape(), &[2, 9]);
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn flatten_roundtrips_in_backward() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec(&[2, 2, 3], (0..12).map(|v| v as f32).collect());
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 6]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), &[2, 2, 3]);
+    }
+
+    #[test]
+    fn shape_layers_have_no_params() {
+        let mut count = 0;
+        Reshape::new(vec![1]).visit_params(&mut |_, _| count += 1);
+        Flatten::new().visit_params(&mut |_, _| count += 1);
+        assert_eq!(count, 0);
+    }
+}

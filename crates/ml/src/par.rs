@@ -1,0 +1,80 @@
+//! Small scoped-thread parallel helpers (crossbeam-based). Used to train
+//! cross-validation folds and independent models concurrently; each worker
+//! owns its chunk, so no locking is needed.
+
+/// Parallel map preserving input order. Falls back to sequential for
+/// small inputs or single-core machines.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 || items.len() < 2 {
+        return items.iter().map(&f).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let chunk = items.len().div_ceil(workers);
+    crossbeam::thread::scope(|s| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            s.spawn(move |_| {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+    out.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+/// Parallel map over an index range `0..n`.
+pub fn par_map_indices<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let idx: Vec<usize> = (0..n).collect();
+    par_map(&idx, |&i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..101).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_runs_every_item_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..37).collect();
+        let out = par_map(&items, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x + 1
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 37);
+        assert_eq!(out[36], 37);
+    }
+
+    #[test]
+    fn par_map_handles_edge_sizes() {
+        assert!(par_map::<u32, u32, _>(&[], |&x| x).is_empty());
+        assert_eq!(par_map(&[5u32], |&x| x * x), vec![25]);
+    }
+
+    #[test]
+    fn par_map_indices_matches() {
+        assert_eq!(par_map_indices(4, |i| i * i), vec![0, 1, 4, 9]);
+    }
+}

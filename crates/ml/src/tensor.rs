@@ -1,0 +1,317 @@
+//! A minimal dense `f32` tensor with row-major storage — the numeric core
+//! of the from-scratch neural-network stack.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of `f32` values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Create a zero-filled tensor.
+    pub fn zeros(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Create from existing data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Tensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {shape:?} does not match {} elements",
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Shape of the tensor.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable flat data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.data.len(),
+            "reshape {shape:?} incompatible with {} elements",
+            self.data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
+    }
+
+    /// First dimension (conventionally the batch size).
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.shape.first().copied().unwrap_or(0)
+    }
+
+    /// Elements per batch row.
+    #[inline]
+    pub fn row_len(&self) -> usize {
+        if self.shape.is_empty() {
+            0
+        } else {
+            self.shape[1..].iter().product()
+        }
+    }
+
+    /// One batch row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        let w = self.row_len();
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    /// One batch row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        let w = self.row_len();
+        &mut self.data[i * w..(i + 1) * w]
+    }
+
+    /// Build a batch tensor by stacking equal-length rows.
+    pub fn stack_rows(rows: &[&[f32]], row_shape: &[usize]) -> Tensor {
+        let w: usize = row_shape.iter().product();
+        let mut data = Vec::with_capacity(rows.len() * w);
+        for r in rows {
+            assert_eq!(r.len(), w, "row length mismatch");
+            data.extend_from_slice(r);
+        }
+        let mut shape = vec![rows.len()];
+        shape.extend_from_slice(row_shape);
+        Tensor { shape, data }
+    }
+
+    /// Split each row into two column blocks `(left, right)` at `at`.
+    pub fn split_cols(&self, at: usize) -> (Tensor, Tensor) {
+        let w = self.row_len();
+        assert!(at <= w, "split point {at} beyond row length {w}");
+        let b = self.batch();
+        let mut left = Tensor::zeros(&[b, at]);
+        let mut right = Tensor::zeros(&[b, w - at]);
+        for i in 0..b {
+            left.row_mut(i).copy_from_slice(&self.row(i)[..at]);
+            right.row_mut(i).copy_from_slice(&self.row(i)[at..]);
+        }
+        (left, right)
+    }
+
+    /// Concatenate two batch tensors along columns.
+    pub fn concat_cols(a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(a.batch(), b.batch(), "batch mismatch");
+        let (wa, wb) = (a.row_len(), b.row_len());
+        let mut out = Tensor::zeros(&[a.batch(), wa + wb]);
+        for i in 0..a.batch() {
+            out.row_mut(i)[..wa].copy_from_slice(a.row(i));
+            out.row_mut(i)[wa..].copy_from_slice(b.row(i));
+        }
+        out
+    }
+
+    /// `C = A · B` for 2-D tensors `[m, k] × [k, n]`.
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(a.shape.len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(b.shape.len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (a.shape[0], a.shape[1]);
+        let (k2, n) = (b.shape[0], b.shape[1]);
+        assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        // i-k-j loop order: the inner loop is unit-stride over both B and
+        // C, which autovectorizes well.
+        for i in 0..m {
+            let arow = &a.data[i * k..(i + 1) * k];
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[kk * n..(kk + 1) * n];
+                for (c, &bv) in crow.iter_mut().zip(brow) {
+                    *c += av * bv;
+                }
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// `C = Aᵀ · B` for 2-D tensors `[k, m]ᵀ × [k, n]`.
+    pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(a.shape.len(), 2);
+        assert_eq!(b.shape.len(), 2);
+        let (k, m) = (a.shape[0], a.shape[1]);
+        let (k2, n) = (b.shape[0], b.shape[1]);
+        assert_eq!(k, k2, "inner dimensions differ");
+        let mut out = vec![0.0f32; m * n];
+        for kk in 0..k {
+            let arow = &a.data[kk * m..(kk + 1) * m];
+            let brow = &b.data[kk * n..(kk + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let crow = &mut out[i * n..(i + 1) * n];
+                for (c, &bv) in crow.iter_mut().zip(brow) {
+                    *c += av * bv;
+                }
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// `C = A · Bᵀ` for 2-D tensors `[m, k] × [n, k]ᵀ`.
+    pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(a.shape.len(), 2);
+        assert_eq!(b.shape.len(), 2);
+        let (m, k) = (a.shape[0], a.shape[1]);
+        let (n, k2) = (b.shape[0], b.shape[1]);
+        assert_eq!(k, k2, "inner dimensions differ");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (av, bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// Element-wise in-place addition.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scale all elements in place.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.batch(), 2);
+        assert_eq!(t.row_len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_checks_len() {
+        Tensor::from_vec(&[2, 2], vec![1.0; 5]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = Tensor::matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_transposed_variants_agree() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = Tensor::matmul(&a, &b);
+        // A^T stored as [3,2] -> matmul_tn([3,2] holding A^T, b) == c
+        let at = Tensor::from_vec(&[3, 2], vec![1., 4., 2., 5., 3., 6.]);
+        assert_eq!(Tensor::matmul_tn(&at, &b), c);
+        // B^T stored as [2,3] -> matmul_nt(a, bt) == c
+        let bt = Tensor::from_vec(&[2, 3], vec![7., 9., 11., 8., 10., 12.]);
+        assert_eq!(Tensor::matmul_nt(&a, &bt), c);
+    }
+
+    #[test]
+    fn split_and_concat_roundtrip() {
+        let t = Tensor::from_vec(&[2, 4], vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+        let (l, r) = t.split_cols(3);
+        assert_eq!(l.shape(), &[2, 3]);
+        assert_eq!(r.shape(), &[2, 1]);
+        let back = Tensor::concat_cols(&l, &r);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn stack_rows_builds_batches() {
+        let r0 = [1.0f32, 2.0];
+        let r1 = [3.0f32, 4.0];
+        let t = Tensor::stack_rows(&[&r0, &r1], &[2]);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[2], vec![0.5, 0.5]);
+        a.add_assign(&b);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[3.0, 5.0]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the ML substrate: tensor algebra, losses,
+//! trees, and data utilities.
+
+use proptest::prelude::*;
+use stencilmart_ml::data::{FeatureMatrix, KFold, MaxNormalizer};
+use stencilmart_ml::gbdt::binned::BinnedMatrix;
+use stencilmart_ml::gbdt::{GbdtConfig, GbdtRegressor};
+use stencilmart_ml::metrics::{accuracy, kendall_tau, mape, pearson};
+use stencilmart_ml::nn::{softmax, softmax_cross_entropy};
+use stencilmart_ml::tensor::Tensor;
+
+fn arb_matrix(max_m: usize, max_n: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_m, 1..=max_n).prop_flat_map(|(m, n)| {
+        prop::collection::vec(-10.0f32..10.0, m * n)
+            .prop_map(move |data| Tensor::from_vec(&[m, n], data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_is_associative_with_identity(a in arb_matrix(6, 6)) {
+        let n = a.shape()[1];
+        let mut eye = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            eye.data_mut()[i * n + i] = 1.0;
+        }
+        let prod = Tensor::matmul(&a, &eye);
+        for (x, y) in prod.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_transposed_variants_agree(
+        a in arb_matrix(5, 4),
+        b in arb_matrix(4, 3),
+    ) {
+        prop_assume!(a.shape()[1] == b.shape()[0]);
+        let c = Tensor::matmul(&a, &b);
+        // Build A^T and B^T explicitly.
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let (_, n) = (b.shape()[0], b.shape()[1]);
+        let mut at = Tensor::zeros(&[k, m]);
+        for i in 0..m {
+            for j in 0..k {
+                at.data_mut()[j * m + i] = a.data()[i * k + j];
+            }
+        }
+        let mut bt = Tensor::zeros(&[n, k]);
+        for i in 0..k {
+            for j in 0..n {
+                bt.data_mut()[j * k + i] = b.data()[i * n + j];
+            }
+        }
+        let c_tn = Tensor::matmul_tn(&at, &b);
+        let c_nt = Tensor::matmul_nt(&a, &bt);
+        for (x, y) in c.data().iter().zip(c_tn.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        for (x, y) in c.data().iter().zip(c_nt.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in arb_matrix(8, 6)) {
+        let p = softmax(&t);
+        for i in 0..p.batch() {
+            let row = p.row(i);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative(t in arb_matrix(6, 4), seed in 0usize..4) {
+        let classes = t.shape()[1];
+        let labels: Vec<usize> = (0..t.batch()).map(|i| (i + seed) % classes).collect();
+        let (loss, grad) = softmax_cross_entropy(&t, &labels);
+        prop_assert!(loss >= 0.0);
+        // Gradient rows sum to ~0 (softmax minus one-hot, averaged).
+        for i in 0..t.batch() {
+            let s: f32 = grad.row(i).iter().sum();
+            prop_assert!(s.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(
+        a in prop::collection::vec(-100.0f64..100.0, 3..40),
+        b in prop::collection::vec(-100.0f64..100.0, 3..40),
+    ) {
+        let n = a.len().min(b.len());
+        let (x, y) = (&a[..n], &b[..n]);
+        let r = pearson(x, y);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        prop_assert!((r - pearson(y, x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tau_bounded(
+        a in prop::collection::vec(-10.0f64..10.0, 2..20),
+    ) {
+        let b: Vec<f64> = a.iter().map(|v| v * 2.0).collect();
+        prop_assert!((kendall_tau(&a, &b) - 1.0).abs() < 1e-12 || a.windows(2).any(|w| w[0] == w[1]));
+        let tau = kendall_tau(&a, &a);
+        prop_assert!((-1.0..=1.0).contains(&tau));
+    }
+
+    #[test]
+    fn mape_of_exact_predictions_is_zero(
+        t in prop::collection::vec(0.1f64..100.0, 1..30),
+    ) {
+        prop_assert!(mape(&t, &t) < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_of_self_is_one(labels in prop::collection::vec(0usize..5, 1..50)) {
+        prop_assert_eq!(accuracy(&labels, &labels), 1.0);
+    }
+
+    #[test]
+    fn normalizer_output_bounded_on_training_data(
+        rows in 1usize..20,
+        cols in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i as u64 * 2654435761 + seed) % 1000) as f32 / 10.0 - 40.0)
+            .collect();
+        let m = FeatureMatrix::new(rows, cols, data);
+        let t = MaxNormalizer::fit(&m).transform(&m);
+        prop_assert!(t.data().iter().all(|&v| (-1.0 - 1e-6..=1.0 + 1e-6).contains(&v)));
+    }
+
+    #[test]
+    fn kfold_is_a_partition(n in 5usize..100, k in 2usize..5, seed in 0u64..50) {
+        prop_assume!(n >= k);
+        let kf = KFold::new(n, k, seed);
+        let mut seen = vec![false; n];
+        for i in 0..k {
+            let (train, test) = kf.split(i);
+            prop_assert_eq!(train.len() + test.len(), n);
+            for &t in &test {
+                prop_assert!(!seen[t], "sample {t} in two test folds");
+                seen[t] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn binning_is_monotone(
+        vals in prop::collection::vec(-100.0f32..100.0, 4..60),
+        bins in 2usize..16,
+    ) {
+        let n = vals.len();
+        let x = FeatureMatrix::new(n, 1, vals.clone());
+        let bm = BinnedMatrix::new(&x, bins);
+        let mut pairs: Vec<(f32, usize)> = (0..n).map(|r| (vals[r], bm.bin(r, 0))).collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1, "bins not monotone in value");
+        }
+    }
+
+    #[test]
+    fn gbdt_regressor_interpolates_constant(
+        c in -5.0f32..5.0,
+        n in 4usize..30,
+    ) {
+        let x = FeatureMatrix::new(n, 1, (0..n).map(|i| i as f32).collect());
+        let y = vec![c; n];
+        let cfg = GbdtConfig { rounds: 5, ..GbdtConfig::default() };
+        let model = GbdtRegressor::fit(&x, &y, &cfg);
+        for i in 0..n {
+            prop_assert!((model.predict_row(x.row(i)) - c).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! The named benchmark stencils used throughout the paper's evaluation:
+//! star / box / cross shapes, orders 1–4, in 2-D and 3-D, with the paper's
+//! grid sizes (8192² and 512³).
+
+use crate::pattern::{Dim, StencilPattern};
+use crate::shapes::{self, Shape};
+use serde::{Deserialize, Serialize};
+
+/// A canonical benchmark stencil: a named pattern plus its grid size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CanonicalStencil {
+    /// Benchmark identifier, e.g. `box3d2r`.
+    pub name: String,
+    /// The access pattern.
+    pub pattern: StencilPattern,
+    /// Grid points per axis (8192 for 2-D, 512 for 3-D).
+    pub grid: usize,
+}
+
+/// Paper grid size per dimensionality (§III / §V-A2).
+pub fn grid_for(dim: Dim) -> usize {
+    match dim {
+        Dim::D1 => 1 << 26,
+        Dim::D2 => 8192,
+        Dim::D3 => 512,
+    }
+}
+
+/// Build one canonical stencil by family, dimensionality, and order.
+pub fn canonical(shape: Shape, dim: Dim, order: u8) -> CanonicalStencil {
+    CanonicalStencil {
+        name: format!("{}{}{}r", shape.name(), dim, order),
+        pattern: shapes::build(shape, dim, order),
+        grid: grid_for(dim),
+    }
+}
+
+/// The full canonical suite: star/box/cross × {2-D, 3-D} × orders 1–4
+/// (24 stencils), in the ordering used by the paper's figures (2-D before
+/// 3-D; within a dimensionality, star, then box, then cross; ascending
+/// order).
+pub fn suite() -> Vec<CanonicalStencil> {
+    let mut out = Vec::with_capacity(24);
+    for dim in [Dim::D2, Dim::D3] {
+        for shape in [Shape::Star, Shape::Box, Shape::Cross] {
+            for order in 1..=4u8 {
+                out.push(canonical(shape, dim, order));
+            }
+        }
+    }
+    out
+}
+
+/// Look up a canonical stencil by its benchmark name (e.g. `star2d1r`).
+pub fn by_name(name: &str) -> Option<CanonicalStencil> {
+    suite().into_iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_24_unique_names() {
+        let s = suite();
+        assert_eq!(s.len(), 24);
+        let names: std::collections::HashSet<_> = s.iter().map(|c| &c.name).collect();
+        assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn names_follow_paper_convention() {
+        assert!(by_name("star2d1r").is_some());
+        assert!(by_name("box3d4r").is_some());
+        assert!(by_name("cross2d1r").is_some());
+        assert!(by_name("hex2d1r").is_none());
+    }
+
+    #[test]
+    fn grids_match_paper() {
+        assert_eq!(by_name("star2d1r").unwrap().grid, 8192);
+        assert_eq!(by_name("star3d1r").unwrap().grid, 512);
+    }
+
+    #[test]
+    fn patterns_match_shape_builders() {
+        let c = by_name("box2d3r").unwrap();
+        assert_eq!(c.pattern, shapes::box_(Dim::D2, 3));
+        assert_eq!(c.pattern.order(), 3);
+    }
+}

@@ -1,0 +1,204 @@
+//! The candidate feature set of a stencil (paper Table II), plus an
+//! extended set used by the ablation benches.
+//!
+//! Canonical (Table II) features for maximum order `N = 4`:
+//!
+//! | # | feature            | meaning                                       |
+//! |---|--------------------|-----------------------------------------------|
+//! | 1 | `order`            | maximum Chebyshev extent of non-zeros         |
+//! | 2 | `nnz`              | number of non-zeros in the tensor             |
+//! | 3 | `sparsity`         | density of non-zeros in the `(2N+1)^d` canvas |
+//! | 4 | `nnz_order_n`      | non-zeros in the order-`n` shell, `n = 1..N`  |
+//! | 5 | `nnz_ratio_order_n`| shell density: shell nnz / shell size         |
+//!
+//! The extended set adds distance statistics and axis/diagonal structure,
+//! which the `ablation_repr` bench compares against the canonical set.
+
+use crate::pattern::{shell_size, StencilPattern};
+use crate::MAX_ORDER;
+use serde::{Deserialize, Serialize};
+
+/// Which feature set to extract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Maximum stencil order the feature vector covers (shells `1..=N`).
+    pub max_order: u8,
+    /// Append the extended structural features.
+    pub extended: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            max_order: MAX_ORDER,
+            extended: false,
+        }
+    }
+}
+
+impl FeatureConfig {
+    /// The canonical Table II configuration.
+    pub fn table2() -> Self {
+        Self::default()
+    }
+
+    /// Canonical features plus extended structural features.
+    pub fn extended() -> Self {
+        FeatureConfig {
+            max_order: MAX_ORDER,
+            extended: true,
+        }
+    }
+
+    /// Length of the produced feature vector.
+    pub fn len(&self) -> usize {
+        let base = 3 + 2 * self.max_order as usize;
+        if self.extended {
+            base + 7
+        } else {
+            base
+        }
+    }
+
+    /// Whether the vector would be empty (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Human-readable names for each feature slot, matching [`extract`].
+    pub fn names(&self) -> Vec<String> {
+        let mut names = vec![
+            "order".to_string(),
+            "nnz".to_string(),
+            "sparsity".to_string(),
+        ];
+        for n in 1..=self.max_order {
+            names.push(format!("nnz_order_{n}"));
+        }
+        for n in 1..=self.max_order {
+            names.push(format!("nnz_ratio_order_{n}"));
+        }
+        if self.extended {
+            for extra in [
+                "dim",
+                "mean_euclid",
+                "max_euclid",
+                "mean_manhattan",
+                "axis_frac",
+                "diag_frac",
+                "distinct_rows",
+            ] {
+                names.push(extra.to_string());
+            }
+        }
+        names
+    }
+}
+
+/// An extracted stencil feature vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    /// Feature values, ordered per [`FeatureConfig::names`].
+    pub values: Vec<f64>,
+}
+
+impl FeatureVector {
+    /// Values as `f32` for ML consumption.
+    pub fn as_f32(&self) -> Vec<f32> {
+        self.values.iter().map(|&v| v as f32).collect()
+    }
+}
+
+/// Extract the feature vector of a pattern under the given configuration.
+pub fn extract(p: &StencilPattern, cfg: &FeatureConfig) -> FeatureVector {
+    let rank = p.dim().rank();
+    let canvas = (2 * cfg.max_order as usize + 1).pow(rank as u32);
+    let mut v = Vec::with_capacity(cfg.len());
+    v.push(p.order() as f64);
+    v.push(p.nnz() as f64);
+    v.push(p.nnz() as f64 / canvas as f64);
+    for n in 1..=cfg.max_order {
+        v.push(p.shell_nnz(n) as f64);
+    }
+    for n in 1..=cfg.max_order {
+        v.push(p.shell_nnz(n) as f64 / shell_size(rank, n) as f64);
+    }
+    if cfg.extended {
+        let neighbors: Vec<_> = p.points().iter().filter(|o| !o.is_center()).collect();
+        let cnt = neighbors.len().max(1) as f64;
+        let mean_euclid = neighbors.iter().map(|o| o.euclid()).sum::<f64>() / cnt;
+        let max_euclid = neighbors
+            .iter()
+            .map(|o| o.euclid())
+            .fold(0.0f64, f64::max);
+        let mean_manhattan =
+            neighbors.iter().map(|o| o.manhattan() as f64).sum::<f64>() / cnt;
+        let axis_frac = neighbors.iter().filter(|o| o.on_axis()).count() as f64 / cnt;
+        let diag_frac =
+            neighbors.iter().filter(|o| o.on_diagonal(rank)).count() as f64 / cnt;
+        v.push(rank as f64);
+        v.push(mean_euclid);
+        v.push(max_euclid);
+        v.push(mean_manhattan);
+        v.push(axis_frac);
+        v.push(diag_frac);
+        v.push(p.distinct_rows() as f64);
+    }
+    debug_assert_eq!(v.len(), cfg.len());
+    FeatureVector { values: v }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Dim;
+    use crate::shapes;
+
+    #[test]
+    fn table2_length_and_names_agree() {
+        let cfg = FeatureConfig::table2();
+        assert_eq!(cfg.len(), 11);
+        assert_eq!(cfg.names().len(), 11);
+        let ext = FeatureConfig::extended();
+        assert_eq!(ext.len(), 18);
+        assert_eq!(ext.names().len(), 18);
+    }
+
+    #[test]
+    fn star2d1r_features() {
+        let p = shapes::star(Dim::D2, 1);
+        let f = extract(&p, &FeatureConfig::table2());
+        assert_eq!(f.values[0], 1.0); // order
+        assert_eq!(f.values[1], 5.0); // nnz
+        assert!((f.values[2] - 5.0 / 81.0).abs() < 1e-12); // sparsity on 9x9 canvas
+        assert_eq!(f.values[3], 4.0); // shell 1
+        assert_eq!(f.values[4], 0.0); // shell 2 empty
+        assert!((f.values[7] - 4.0 / 8.0).abs() < 1e-12); // shell-1 ratio
+    }
+
+    #[test]
+    fn box_shell_ratios_are_one() {
+        let p = shapes::box_(Dim::D3, 2);
+        let f = extract(&p, &FeatureConfig::table2());
+        // shells 1 and 2 fully populated
+        assert!((f.values[7] - 1.0).abs() < 1e-12);
+        assert!((f.values[8] - 1.0).abs() < 1e-12);
+        assert_eq!(f.values[9], 0.0);
+    }
+
+    #[test]
+    fn extended_features_distinguish_star_from_cross() {
+        let cfg = FeatureConfig::extended();
+        let s = extract(&shapes::star(Dim::D2, 2), &cfg);
+        let c = extract(&shapes::cross(Dim::D2, 2), &cfg);
+        let axis_idx = cfg.names().iter().position(|n| n == "axis_frac").unwrap();
+        assert!(s.values[axis_idx] > c.values[axis_idx]);
+    }
+
+    #[test]
+    fn as_f32_preserves_len() {
+        let p = shapes::star(Dim::D2, 1);
+        let f = extract(&p, &FeatureConfig::table2());
+        assert_eq!(f.as_f32().len(), f.values.len());
+    }
+}

@@ -1,0 +1,236 @@
+//! The random stencil generator of Algorithm 1.
+//!
+//! Real stencils process the *neighbors* of each point, so uniformly
+//! sampling non-zeros in the tensor space would produce unrealistic
+//! patterns. Algorithm 1 instead grows a pattern shell by shell: the
+//! order-1 points are sampled among the center's adjacent cells, and the
+//! order-`k` points are sampled among the adjacent cells of the selected
+//! order-`k−1` points, discarding any candidate that falls back into shell
+//! `k−1` or `k−2`.
+
+use crate::pattern::{Dim, Offset, StencilPattern};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`StencilGenerator`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Grid dimensionality of generated stencils.
+    pub dim: Dim,
+    /// Exact stencil order of generated stencils (every shell up to this
+    /// order is non-empty).
+    pub order: u8,
+    /// Probability of keeping each candidate neighbor during shell
+    /// sampling. Higher values yield denser (more box-like) stencils.
+    pub keep_prob: f64,
+    /// Force point symmetry: whenever an offset is kept, its mirror image
+    /// is kept too. Classic stencils are symmetric; enabling this biases
+    /// the corpus toward realistic patterns.
+    pub symmetric: bool,
+}
+
+impl GeneratorConfig {
+    /// A reasonable default for the given dimensionality and order.
+    pub fn new(dim: Dim, order: u8) -> Self {
+        GeneratorConfig {
+            dim,
+            order,
+            keep_prob: 0.45,
+            symmetric: true,
+        }
+    }
+}
+
+/// Random stencil generator implementing Algorithm 1 of the paper.
+#[derive(Debug, Clone)]
+pub struct StencilGenerator {
+    rng: ChaCha8Rng,
+}
+
+impl StencilGenerator {
+    /// Create a generator with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        StencilGenerator {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generate one stencil under the given configuration.
+    ///
+    /// The generated pattern always has order exactly `cfg.order`: each
+    /// shell receives at least one point (resampling until non-empty), so
+    /// the growth process never stalls.
+    pub fn generate(&mut self, cfg: &GeneratorConfig) -> StencilPattern {
+        assert!(cfg.order >= 1, "stencil order must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&cfg.keep_prob),
+            "keep_prob must lie in [0, 1]"
+        );
+        let rank = cfg.dim.rank();
+        let mut np_list: Vec<Offset> = Vec::new();
+        let mut prev_shell: Vec<Offset> = vec![Offset::center()];
+        for order in 1..=cfg.order {
+            let selected = self.sample_shell(&prev_shell, order, rank, cfg);
+            np_list.extend_from_slice(&selected);
+            prev_shell = selected;
+        }
+        StencilPattern::new(cfg.dim, np_list).expect("generated offsets respect rank")
+    }
+
+    /// Generate a corpus of `count` distinct stencils spanning orders
+    /// `1..=max_order` (round-robin), de-duplicated by pattern equality.
+    pub fn generate_corpus(
+        &mut self,
+        dim: Dim,
+        max_order: u8,
+        count: usize,
+    ) -> Vec<StencilPattern> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::with_capacity(count);
+        let mut i = 0usize;
+        // Bounded retries: duplicates become likely only for tiny spaces.
+        let mut attempts = 0usize;
+        let max_attempts = count.saturating_mul(50).max(1000);
+        while out.len() < count && attempts < max_attempts {
+            attempts += 1;
+            let order = (i % max_order as usize) as u8 + 1;
+            let mut cfg = GeneratorConfig::new(dim, order);
+            // Vary density and symmetry across the corpus.
+            cfg.keep_prob = 0.25 + 0.5 * self.rng.gen::<f64>();
+            cfg.symmetric = self.rng.gen_bool(0.8);
+            let p = self.generate(&cfg);
+            if seen.insert(p.clone()) {
+                out.push(p);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Sample the order-`order` shell from the neighbors of the previously
+    /// selected points, per Algorithm 1 lines 4–17.
+    fn sample_shell(
+        &mut self,
+        prev: &[Offset],
+        order: u8,
+        rank: usize,
+        cfg: &GeneratorConfig,
+    ) -> Vec<Offset> {
+        // Candidate pool: neighbors of the previous shell that lie exactly
+        // in the new shell (deleting order-1 and order-2 backsliders, lines
+        // 10–14, generalises to "keep only Chebyshev distance == order").
+        let mut candidates: Vec<Offset> = prev
+            .iter()
+            .flat_map(|p| p.adjacent(rank))
+            .filter(|o| o.order() == order)
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let mut selected: Vec<Offset> = Vec::new();
+        for &c in &candidates {
+            if self.rng.gen_bool(cfg.keep_prob) {
+                selected.push(c);
+                if cfg.symmetric {
+                    selected.push(c.negated());
+                }
+            }
+        }
+        // Shells must be non-empty so the stencil reaches the requested
+        // order; fall back to one uniformly chosen candidate.
+        if selected.is_empty() {
+            let &c = candidates
+                .choose(&mut self.rng)
+                .expect("shell candidates are never empty");
+            selected.push(c);
+            if cfg.symmetric {
+                selected.push(c.negated());
+            }
+        }
+        selected.sort_unstable();
+        selected.dedup();
+        // Symmetric mirrors of order-k points are still order-k, but a
+        // mirror may not be adjacent to the previous shell; that is fine —
+        // it is adjacent to the mirrored previous shell, which the
+        // symmetric pattern also contains.
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_stencils_have_exact_order() {
+        let mut g = StencilGenerator::new(7);
+        for dim in [Dim::D2, Dim::D3] {
+            for order in 1..=4u8 {
+                let p = g.generate(&GeneratorConfig::new(dim, order));
+                assert_eq!(p.order(), order, "{dim} order {order}");
+                // Every shell up to the order is populated.
+                for n in 1..=order {
+                    assert!(p.shell_nnz(n) > 0, "{dim} order {order} shell {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = GeneratorConfig::new(Dim::D2, 3);
+        let a = StencilGenerator::new(42).generate(&cfg);
+        let b = StencilGenerator::new(42).generate(&cfg);
+        let c = StencilGenerator::new(43).generate(&cfg);
+        assert_eq!(a, b);
+        // Different seeds almost surely differ for order-3 2-D patterns.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn symmetric_config_produces_symmetric_patterns() {
+        let mut g = StencilGenerator::new(5);
+        for _ in 0..20 {
+            let p = g.generate(&GeneratorConfig::new(Dim::D2, 3));
+            assert!(p.is_symmetric());
+        }
+    }
+
+    #[test]
+    fn corpus_is_distinct_and_spans_orders() {
+        let mut g = StencilGenerator::new(11);
+        let corpus = g.generate_corpus(Dim::D2, 4, 60);
+        assert_eq!(corpus.len(), 60);
+        let set: std::collections::HashSet<_> = corpus.iter().collect();
+        assert_eq!(set.len(), 60);
+        for order in 1..=4u8 {
+            assert!(
+                corpus.iter().any(|p| p.order() == order),
+                "order {order} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_keep_prob_tends_toward_box() {
+        let mut g = StencilGenerator::new(3);
+        let mut cfg = GeneratorConfig::new(Dim::D2, 2);
+        cfg.keep_prob = 1.0;
+        let p = g.generate(&cfg);
+        // keep_prob = 1 selects every reachable shell point; with
+        // symmetric closure this is the full box.
+        assert_eq!(p.nnz(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_prob")]
+    fn invalid_keep_prob_panics() {
+        let mut g = StencilGenerator::new(1);
+        let mut cfg = GeneratorConfig::new(Dim::D2, 1);
+        cfg.keep_prob = 1.5;
+        g.generate(&cfg);
+    }
+}

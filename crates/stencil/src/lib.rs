@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Stencil patterns, representations, and random generation for StencilMART.
+//!
+//! This crate models the *input* side of the StencilMART pipeline (Sun et
+//! al., IPDPS 2022):
+//!
+//! * [`pattern::StencilPattern`] — a stencil access pattern: the set of
+//!   neighbor offsets read to update one grid point.
+//! * [`shapes`] — the classic star / box / cross families the paper's
+//!   motivation section evaluates.
+//! * [`tensor::BinaryTensor`] — the paper's binary sparse-tensor
+//!   representation (Fig. 6): offsets become non-zero entries of a
+//!   `(2·order+1)^dim` tensor, optionally embedded in a fixed-size canvas so
+//!   a CNN can consume stencils of any order.
+//! * [`features`] — the candidate feature set of Table II (order, nnz,
+//!   sparsity, per-shell non-zero counts and ratios).
+//! * [`generator`] — Algorithm 1: a random stencil generator that only emits
+//!   patterns obeying the neighbor-access structure of real stencils.
+//! * [`canonical`] — the named benchmark stencils used in the paper's
+//!   figures (`star2d1r` … `box3d4r`).
+//! * [`codegen`] — pseudo-CUDA source emission for a pattern, used by the
+//!   examples to show what the simulated kernels correspond to.
+
+pub mod canonical;
+pub mod codegen;
+pub mod features;
+pub mod generator;
+pub mod pattern;
+pub mod shapes;
+pub mod tensor;
+
+pub use features::{FeatureConfig, FeatureVector};
+pub use generator::{GeneratorConfig, StencilGenerator};
+pub use pattern::{Dim, Offset, StencilPattern};
+pub use tensor::BinaryTensor;
+
+/// The maximum stencil order supported by the fixed-size tensor canvas.
+///
+/// The paper sets the maximum order to 4, giving 9×9 (2-D) and 9×9×9 (3-D)
+/// canvases.
+pub const MAX_ORDER: u8 = 4;

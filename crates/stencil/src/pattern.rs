@@ -1,0 +1,449 @@
+//! Core stencil pattern types: dimensionality, neighbor offsets, and the
+//! access-pattern set itself.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Grid dimensionality of a stencil. The paper evaluates 2-D and 3-D
+/// stencils; 1-D is supported for completeness (degenerate star/box).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dim {
+    /// One-dimensional grid.
+    D1,
+    /// Two-dimensional grid (paper default: 8192²).
+    D2,
+    /// Three-dimensional grid (paper default: 512³).
+    D3,
+}
+
+impl Dim {
+    /// Number of spatial axes.
+    #[inline]
+    pub fn rank(self) -> usize {
+        match self {
+            Dim::D1 => 1,
+            Dim::D2 => 2,
+            Dim::D3 => 3,
+        }
+    }
+
+    /// Construct from a rank in `1..=3`.
+    pub fn from_rank(rank: usize) -> Option<Dim> {
+        match rank {
+            1 => Some(Dim::D1),
+            2 => Some(Dim::D2),
+            3 => Some(Dim::D3),
+            _ => None,
+        }
+    }
+
+    /// All supported dimensionalities.
+    pub const ALL: [Dim; 3] = [Dim::D1, Dim::D2, Dim::D3];
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}d", self.rank())
+    }
+}
+
+/// A neighbor offset relative to the central point.
+///
+/// Offsets are stored as three components; axes beyond the stencil's rank
+/// must be zero. Axis 0 is the innermost (unit-stride) dimension, matching
+/// the memory-coalescing analysis in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Offset {
+    /// Per-axis displacement; unused axes are zero.
+    pub c: [i32; 3],
+}
+
+impl Offset {
+    /// Create a 1-D offset.
+    #[inline]
+    pub fn d1(x: i32) -> Offset {
+        Offset { c: [x, 0, 0] }
+    }
+
+    /// Create a 2-D offset.
+    #[inline]
+    pub fn d2(x: i32, y: i32) -> Offset {
+        Offset { c: [x, y, 0] }
+    }
+
+    /// Create a 3-D offset.
+    #[inline]
+    pub fn d3(x: i32, y: i32, z: i32) -> Offset {
+        Offset { c: [x, y, z] }
+    }
+
+    /// The central point (zero offset).
+    #[inline]
+    pub fn center() -> Offset {
+        Offset { c: [0, 0, 0] }
+    }
+
+    /// Whether this is the central point.
+    #[inline]
+    pub fn is_center(&self) -> bool {
+        self.c == [0, 0, 0]
+    }
+
+    /// Chebyshev (L∞) norm. The *order* of a neighbor is its Chebyshev
+    /// distance from the center: order-n neighbors form the n-th shell of
+    /// the `(2n+1)^d` box.
+    #[inline]
+    pub fn order(&self) -> u8 {
+        self.c.iter().map(|v| v.unsigned_abs()).max().unwrap_or(0) as u8
+    }
+
+    /// Euclidean distance from the center.
+    #[inline]
+    pub fn euclid(&self) -> f64 {
+        (self.c.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>()).sqrt()
+    }
+
+    /// Manhattan (L1) norm.
+    #[inline]
+    pub fn manhattan(&self) -> u32 {
+        self.c.iter().map(|v| v.unsigned_abs()).sum()
+    }
+
+    /// Whether the offset lies on a coordinate axis (at most one non-zero
+    /// component). The center counts as on-axis.
+    #[inline]
+    pub fn on_axis(&self) -> bool {
+        self.c.iter().filter(|&&v| v != 0).count() <= 1
+    }
+
+    /// Whether the offset lies on a main diagonal: all non-zero components
+    /// share the same absolute value and every axis of the given rank is
+    /// non-zero.
+    pub fn on_diagonal(&self, rank: usize) -> bool {
+        let mag = self.order() as i32;
+        if mag == 0 {
+            return false;
+        }
+        self.c[..rank].iter().all(|&v| v.abs() == mag)
+    }
+
+    /// The point mirrored through the center.
+    #[inline]
+    pub fn negated(&self) -> Offset {
+        Offset {
+            c: [-self.c[0], -self.c[1], -self.c[2]],
+        }
+    }
+
+    /// All face-adjacent and corner-adjacent neighbors of this point within
+    /// the given rank (the `3^rank - 1` surrounding cells).
+    pub fn adjacent(&self, rank: usize) -> Vec<Offset> {
+        let mut out = Vec::with_capacity(3usize.pow(rank as u32) - 1);
+        let steps: &[i32] = &[-1, 0, 1];
+        let mut push = |d: [i32; 3]| {
+            if d != [0, 0, 0] {
+                out.push(Offset {
+                    c: [self.c[0] + d[0], self.c[1] + d[1], self.c[2] + d[2]],
+                });
+            }
+        };
+        match rank {
+            1 => {
+                for &dx in steps {
+                    push([dx, 0, 0]);
+                }
+            }
+            2 => {
+                for &dx in steps {
+                    for &dy in steps {
+                        push([dx, dy, 0]);
+                    }
+                }
+            }
+            3 => {
+                for &dx in steps {
+                    for &dy in steps {
+                        for &dz in steps {
+                            push([dx, dy, dz]);
+                        }
+                    }
+                }
+            }
+            _ => panic!("unsupported rank {rank}"),
+        }
+        out
+    }
+}
+
+impl fmt::Display for Offset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.c[0], self.c[1], self.c[2])
+    }
+}
+
+/// Number of lattice points at exactly Chebyshev distance `n` in `rank`
+/// dimensions (the size of the order-`n` shell).
+pub fn shell_size(rank: usize, n: u8) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    let outer = (2 * n as usize + 1).pow(rank as u32);
+    let inner = (2 * n as usize - 1).pow(rank as u32);
+    outer - inner
+}
+
+/// A stencil access pattern: the set of grid offsets (including the central
+/// point) read when updating one output point.
+///
+/// Invariants maintained by the constructors:
+/// * the central point is always present,
+/// * offsets are unique and sorted (canonical form),
+/// * every offset's non-rank axes are zero,
+/// * `order` equals the maximum Chebyshev norm over all offsets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StencilPattern {
+    dim: Dim,
+    order: u8,
+    points: Vec<Offset>,
+}
+
+/// Errors raised when constructing a [`StencilPattern`] from raw offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// An offset used an axis beyond the pattern's rank.
+    RankViolation(Offset),
+    /// The point set was empty (even the center missing and nothing to add).
+    Empty,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::RankViolation(o) => {
+                write!(f, "offset {o} uses an axis beyond the pattern rank")
+            }
+            PatternError::Empty => write!(f, "pattern has no access points"),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+impl StencilPattern {
+    /// Build a pattern from neighbor offsets. The central point is inserted
+    /// if absent, duplicates are removed, and the point list is sorted.
+    pub fn new(dim: Dim, offsets: impl IntoIterator<Item = Offset>) -> Result<Self, PatternError> {
+        let rank = dim.rank();
+        let mut points: Vec<Offset> = Vec::new();
+        for o in offsets {
+            if o.c[rank..].iter().any(|&v| v != 0) {
+                return Err(PatternError::RankViolation(o));
+            }
+            points.push(o);
+        }
+        points.push(Offset::center());
+        points.sort_unstable();
+        points.dedup();
+        let order = points.iter().map(|p| p.order()).max().unwrap_or(0);
+        Ok(StencilPattern { dim, order, points })
+    }
+
+    /// Grid dimensionality.
+    #[inline]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Stencil order: the maximum Chebyshev extent of the accessed
+    /// neighbors.
+    #[inline]
+    pub fn order(&self) -> u8 {
+        self.order
+    }
+
+    /// All accessed offsets (central point included), in canonical order.
+    #[inline]
+    pub fn points(&self) -> &[Offset] {
+        &self.points
+    }
+
+    /// Number of accessed points (central point included). This is the
+    /// `nnz` of the binary tensor representation.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Offsets at exactly Chebyshev distance `n`.
+    pub fn shell(&self, n: u8) -> impl Iterator<Item = &Offset> {
+        self.points.iter().filter(move |p| p.order() == n)
+    }
+
+    /// Number of accessed points at exactly Chebyshev distance `n`.
+    pub fn shell_nnz(&self, n: u8) -> usize {
+        self.shell(n).count()
+    }
+
+    /// Whether the pattern is point-symmetric about the center (true for
+    /// all classic star/box/cross stencils).
+    pub fn is_symmetric(&self) -> bool {
+        self.points
+            .iter()
+            .all(|p| self.points.binary_search(&p.negated()).is_ok())
+    }
+
+    /// Whether a specific offset is accessed.
+    pub fn contains(&self, o: &Offset) -> bool {
+        self.points.binary_search(o).is_ok()
+    }
+
+    /// Extent of accesses along a given axis: `(min, max)` displacement.
+    pub fn axis_extent(&self, axis: usize) -> (i32, i32) {
+        let mut lo = 0;
+        let mut hi = 0;
+        for p in &self.points {
+            lo = lo.min(p.c[axis]);
+            hi = hi.max(p.c[axis]);
+        }
+        (lo, hi)
+    }
+
+    /// Floating-point operations to update one output point, assuming one
+    /// fused multiply-add (2 FLOPs) per accessed input.
+    #[inline]
+    pub fn flops_per_point(&self) -> usize {
+        2 * self.nnz()
+    }
+
+    /// Number of *distinct rows* (unit-stride lines) touched: offsets that
+    /// differ only in axis 0 share a row. This drives the coalesced-load
+    /// estimate in the simulator.
+    pub fn distinct_rows(&self) -> usize {
+        let mut rows: Vec<(i32, i32)> = self.points.iter().map(|p| (p.c[1], p.c[2])).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows.len()
+    }
+
+    /// A human-readable signature such as `2d-r3-nnz13`.
+    pub fn signature(&self) -> String {
+        format!("{}-r{}-nnz{}", self.dim, self.order, self.nnz())
+    }
+}
+
+impl fmt::Display for StencilPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.signature())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_rank_roundtrip() {
+        for d in Dim::ALL {
+            assert_eq!(Dim::from_rank(d.rank()), Some(d));
+        }
+        assert_eq!(Dim::from_rank(0), None);
+        assert_eq!(Dim::from_rank(4), None);
+    }
+
+    #[test]
+    fn offset_order_is_chebyshev() {
+        assert_eq!(Offset::d2(3, -1).order(), 3);
+        assert_eq!(Offset::d3(1, -4, 2).order(), 4);
+        assert_eq!(Offset::center().order(), 0);
+    }
+
+    #[test]
+    fn offset_euclid_and_manhattan() {
+        let o = Offset::d2(3, 4);
+        assert!((o.euclid() - 5.0).abs() < 1e-12);
+        assert_eq!(o.manhattan(), 7);
+    }
+
+    #[test]
+    fn offset_axis_and_diagonal() {
+        assert!(Offset::d2(0, 3).on_axis());
+        assert!(!Offset::d2(1, 3).on_axis());
+        assert!(Offset::d2(2, -2).on_diagonal(2));
+        assert!(!Offset::d2(2, -1).on_diagonal(2));
+        assert!(!Offset::center().on_diagonal(2));
+        assert!(Offset::d3(1, 1, -1).on_diagonal(3));
+    }
+
+    #[test]
+    fn adjacent_counts() {
+        assert_eq!(Offset::center().adjacent(1).len(), 2);
+        assert_eq!(Offset::center().adjacent(2).len(), 8);
+        assert_eq!(Offset::center().adjacent(3).len(), 26);
+    }
+
+    #[test]
+    fn shell_sizes() {
+        assert_eq!(shell_size(2, 0), 1);
+        assert_eq!(shell_size(2, 1), 8);
+        assert_eq!(shell_size(2, 2), 16);
+        assert_eq!(shell_size(3, 1), 26);
+        assert_eq!(shell_size(3, 2), 98);
+    }
+
+    #[test]
+    fn pattern_inserts_center_and_dedups() {
+        let p = StencilPattern::new(
+            Dim::D2,
+            vec![Offset::d2(1, 0), Offset::d2(1, 0), Offset::d2(-1, 0)],
+        )
+        .unwrap();
+        assert_eq!(p.nnz(), 3);
+        assert!(p.contains(&Offset::center()));
+        assert_eq!(p.order(), 1);
+    }
+
+    #[test]
+    fn pattern_rejects_rank_violation() {
+        let err = StencilPattern::new(Dim::D2, vec![Offset::d3(0, 0, 1)]).unwrap_err();
+        assert!(matches!(err, PatternError::RankViolation(_)));
+    }
+
+    #[test]
+    fn pattern_axis_extent() {
+        let p =
+            StencilPattern::new(Dim::D2, vec![Offset::d2(-2, 0), Offset::d2(3, 1)]).unwrap();
+        assert_eq!(p.axis_extent(0), (-2, 3));
+        assert_eq!(p.axis_extent(1), (0, 1));
+    }
+
+    #[test]
+    fn pattern_symmetry() {
+        let sym =
+            StencilPattern::new(Dim::D2, vec![Offset::d2(1, 0), Offset::d2(-1, 0)]).unwrap();
+        assert!(sym.is_symmetric());
+        let asym = StencilPattern::new(Dim::D2, vec![Offset::d2(1, 0)]).unwrap();
+        assert!(!asym.is_symmetric());
+    }
+
+    #[test]
+    fn distinct_rows_counts_lines() {
+        // 2-D 5-point star: rows y=-1, y=0, y=+1.
+        let p = StencilPattern::new(
+            Dim::D2,
+            vec![
+                Offset::d2(1, 0),
+                Offset::d2(-1, 0),
+                Offset::d2(0, 1),
+                Offset::d2(0, -1),
+            ],
+        )
+        .unwrap();
+        assert_eq!(p.distinct_rows(), 3);
+    }
+
+    #[test]
+    fn flops_counts_fma() {
+        let p = StencilPattern::new(Dim::D1, vec![Offset::d1(1), Offset::d1(-1)]).unwrap();
+        assert_eq!(p.flops_per_point(), 6);
+    }
+}

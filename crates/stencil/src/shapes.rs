@@ -1,0 +1,203 @@
+//! Constructors for the classic stencil shape families evaluated in the
+//! paper's motivation section: **star**, **box**, and **cross**.
+//!
+//! * A *star* stencil of order `r` accesses the `2·d·r` points lying on the
+//!   coordinate axes within distance `r` (plus the center) — e.g. the 2-D
+//!   order-1 star is the familiar 5-point stencil.
+//! * A *box* stencil of order `r` accesses the full `(2r+1)^d` cube.
+//! * A *cross* stencil of order `r` accesses the axes **and** the main
+//!   diagonals within distance `r` — the union of a star and an X. (The
+//!   literature is not fully consistent on "cross"; this definition matches
+//!   the density ordering star < cross < box observed in the paper's
+//!   figures.)
+
+use crate::pattern::{Dim, Offset, StencilPattern};
+
+/// Shape family of a classic stencil.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// Axis-aligned arms only.
+    Star,
+    /// Full `(2r+1)^d` cube.
+    Box,
+    /// Axis arms plus main diagonals.
+    Cross,
+}
+
+impl Shape {
+    /// All shape families.
+    pub const ALL: [Shape; 3] = [Shape::Star, Shape::Box, Shape::Cross];
+
+    /// Lower-case name as used in benchmark identifiers (`star2d1r`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Star => "star",
+            Shape::Box => "box",
+            Shape::Cross => "cross",
+        }
+    }
+}
+
+/// Build a star stencil of the given order.
+///
+/// # Panics
+/// Panics if `order == 0`.
+pub fn star(dim: Dim, order: u8) -> StencilPattern {
+    assert!(order >= 1, "stencil order must be >= 1");
+    let rank = dim.rank();
+    let mut pts = Vec::new();
+    for axis in 0..rank {
+        for k in 1..=order as i32 {
+            for s in [-k, k] {
+                let mut c = [0i32; 3];
+                c[axis] = s;
+                pts.push(Offset { c });
+            }
+        }
+    }
+    StencilPattern::new(dim, pts).expect("star offsets respect rank")
+}
+
+/// Build a box stencil of the given order (full cube).
+///
+/// # Panics
+/// Panics if `order == 0`.
+pub fn box_(dim: Dim, order: u8) -> StencilPattern {
+    assert!(order >= 1, "stencil order must be >= 1");
+    let rank = dim.rank();
+    let r = order as i32;
+    let mut pts = Vec::new();
+    let range = -r..=r;
+    match rank {
+        1 => {
+            for x in range {
+                pts.push(Offset::d1(x));
+            }
+        }
+        2 => {
+            for x in range.clone() {
+                for y in range.clone() {
+                    pts.push(Offset::d2(x, y));
+                }
+            }
+        }
+        3 => {
+            for x in range.clone() {
+                for y in range.clone() {
+                    for z in range.clone() {
+                        pts.push(Offset::d3(x, y, z));
+                    }
+                }
+            }
+        }
+        _ => unreachable!(),
+    }
+    StencilPattern::new(dim, pts).expect("box offsets respect rank")
+}
+
+/// Build a cross stencil of the given order (axes plus main diagonals).
+///
+/// # Panics
+/// Panics if `order == 0`.
+pub fn cross(dim: Dim, order: u8) -> StencilPattern {
+    assert!(order >= 1, "stencil order must be >= 1");
+    let rank = dim.rank();
+    let mut pts: Vec<Offset> = star(dim, order).points().to_vec();
+    // Add the 2^rank main diagonals at each magnitude.
+    for k in 1..=order as i32 {
+        let signs: &[i32] = &[-1, 1];
+        match rank {
+            1 => {} // diagonals coincide with the axis in 1-D
+            2 => {
+                for &sx in signs {
+                    for &sy in signs {
+                        pts.push(Offset::d2(sx * k, sy * k));
+                    }
+                }
+            }
+            3 => {
+                for &sx in signs {
+                    for &sy in signs {
+                        for &sz in signs {
+                            pts.push(Offset::d3(sx * k, sy * k, sz * k));
+                        }
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    StencilPattern::new(dim, pts).expect("cross offsets respect rank")
+}
+
+/// Build a shape by family.
+pub fn build(shape: Shape, dim: Dim, order: u8) -> StencilPattern {
+    match shape {
+        Shape::Star => star(dim, order),
+        Shape::Box => box_(dim, order),
+        Shape::Cross => cross(dim, order),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_nnz() {
+        // 2·d·r + 1
+        assert_eq!(star(Dim::D2, 1).nnz(), 5);
+        assert_eq!(star(Dim::D2, 4).nnz(), 17);
+        assert_eq!(star(Dim::D3, 1).nnz(), 7);
+        assert_eq!(star(Dim::D3, 4).nnz(), 25);
+    }
+
+    #[test]
+    fn box_nnz() {
+        assert_eq!(box_(Dim::D2, 1).nnz(), 9);
+        assert_eq!(box_(Dim::D2, 2).nnz(), 25);
+        assert_eq!(box_(Dim::D3, 1).nnz(), 27);
+        assert_eq!(box_(Dim::D3, 3).nnz(), 343);
+    }
+
+    #[test]
+    fn cross_nnz() {
+        // star + 4 diagonal points per magnitude in 2-D
+        assert_eq!(cross(Dim::D2, 1).nnz(), 9); // order-1 cross == order-1 box in 2-D
+        assert_eq!(cross(Dim::D2, 2).nnz(), 17);
+        // star + 8 per magnitude in 3-D
+        assert_eq!(cross(Dim::D3, 1).nnz(), 15);
+        assert_eq!(cross(Dim::D3, 2).nnz(), 29);
+    }
+
+    #[test]
+    fn shapes_are_symmetric_and_ordered() {
+        for shape in Shape::ALL {
+            for dim in [Dim::D2, Dim::D3] {
+                for r in 1..=4u8 {
+                    let p = build(shape, dim, r);
+                    assert!(p.is_symmetric(), "{shape:?} {dim} r{r}");
+                    assert_eq!(p.order(), r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn density_ordering_star_cross_box() {
+        for dim in [Dim::D2, Dim::D3] {
+            for r in 2..=4u8 {
+                let s = star(dim, r).nnz();
+                let c = cross(dim, r).nnz();
+                let b = box_(dim, r).nnz();
+                assert!(s < c && c < b, "{dim} r{r}: {s} {c} {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be >= 1")]
+    fn zero_order_panics() {
+        star(Dim::D2, 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The binary sparse-tensor representation of a stencil (paper Fig. 6).
+//!
+//! A stencil of order `r` in `d` dimensions maps onto a `(2r+1)^d` tensor
+//! whose non-zero entries are the accessed offsets (center included). For
+//! CNN input the tensor is embedded centrally into a fixed canvas of side
+//! `2·MAX_ORDER + 1` so that stencils of different orders share one input
+//! shape.
+
+use crate::pattern::{Dim, Offset, StencilPattern};
+use crate::MAX_ORDER;
+use serde::{Deserialize, Serialize};
+
+/// A dense binary tensor holding a stencil access pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinaryTensor {
+    dim: Dim,
+    /// Half-width of the canvas: entries index offsets in `[-half, half]`.
+    half: u8,
+    /// Row-major data; length `side^rank` where `side = 2*half + 1`.
+    data: Vec<f32>,
+}
+
+impl BinaryTensor {
+    /// Assign a pattern into a tensor sized exactly to its order.
+    pub fn from_pattern(p: &StencilPattern) -> BinaryTensor {
+        Self::from_pattern_with_half(p, p.order().max(1))
+    }
+
+    /// Assign a pattern into the fixed `MAX_ORDER` canvas used for CNN
+    /// inputs (9^d for the paper's maximum order of 4).
+    pub fn canvas(p: &StencilPattern) -> BinaryTensor {
+        Self::from_pattern_with_half(p, MAX_ORDER)
+    }
+
+    /// Assign a pattern into a canvas with the given half-width.
+    ///
+    /// # Panics
+    /// Panics if the pattern's order exceeds `half`.
+    pub fn from_pattern_with_half(p: &StencilPattern, half: u8) -> BinaryTensor {
+        assert!(
+            p.order() <= half,
+            "pattern order {} exceeds canvas half-width {half}",
+            p.order()
+        );
+        let rank = p.dim().rank();
+        let side = 2 * half as usize + 1;
+        let mut data = vec![0.0f32; side.pow(rank as u32)];
+        for o in p.points() {
+            let idx = Self::index_of(o, half, rank, side);
+            data[idx] = 1.0;
+        }
+        BinaryTensor {
+            dim: p.dim(),
+            half,
+            data,
+        }
+    }
+
+    fn index_of(o: &Offset, half: u8, rank: usize, side: usize) -> usize {
+        let mut idx = 0usize;
+        // Outermost axis varies slowest; axis 0 is unit stride.
+        for axis in (0..rank).rev() {
+            let coord = (o.c[axis] + half as i32) as usize;
+            idx = idx * side + coord;
+        }
+        idx
+    }
+
+    /// Side length of the canvas along each axis.
+    #[inline]
+    pub fn side(&self) -> usize {
+        2 * self.half as usize + 1
+    }
+
+    /// Canvas half-width.
+    #[inline]
+    pub fn half(&self) -> u8 {
+        self.half
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Tensor shape, e.g. `[9, 9]` or `[9, 9, 9]`.
+    pub fn shape(&self) -> Vec<usize> {
+        vec![self.side(); self.dim.rank()]
+    }
+
+    /// Flat row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Density of non-zeros in the canvas.
+    pub fn sparsity(&self) -> f64 {
+        self.nnz() as f64 / self.data.len() as f64
+    }
+
+    /// Value at an offset (0.0 outside the canvas).
+    pub fn at(&self, o: &Offset) -> f32 {
+        let rank = self.dim.rank();
+        if o.order() > self.half || o.c[rank..].iter().any(|&v| v != 0) {
+            return 0.0;
+        }
+        self.data[Self::index_of(o, self.half, rank, self.side())]
+    }
+
+    /// Recover the pattern encoded by this tensor.
+    pub fn to_pattern(&self) -> StencilPattern {
+        let rank = self.dim.rank();
+        let side = self.side();
+        let half = self.half as i32;
+        let mut pts = Vec::new();
+        for (flat, &v) in self.data.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            let mut rem = flat;
+            let mut c = [0i32; 3];
+            for coord in c.iter_mut().take(rank) {
+                *coord = (rem % side) as i32 - half;
+                rem /= side;
+            }
+            pts.push(Offset { c });
+        }
+        StencilPattern::new(self.dim, pts).expect("tensor offsets respect rank")
+    }
+
+    /// Render a 2-D tensor as ASCII art (`#` = accessed, `.` = not).
+    /// Returns `None` for non-2-D tensors.
+    pub fn ascii(&self) -> Option<String> {
+        if self.dim != Dim::D2 {
+            return None;
+        }
+        let side = self.side();
+        let mut s = String::with_capacity((side + 1) * side);
+        for y in (0..side).rev() {
+            for x in 0..side {
+                let v = self.data[y * side + x];
+                s.push(if v != 0.0 { '#' } else { '.' });
+            }
+            s.push('\n');
+        }
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    #[test]
+    fn canvas_shape_matches_paper() {
+        let p = shapes::star(Dim::D2, 2);
+        let t = BinaryTensor::canvas(&p);
+        assert_eq!(t.shape(), vec![9, 9]);
+        let p3 = shapes::star(Dim::D3, 1);
+        let t3 = BinaryTensor::canvas(&p3);
+        assert_eq!(t3.shape(), vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn nnz_matches_pattern() {
+        for dim in [Dim::D2, Dim::D3] {
+            for r in 1..=4u8 {
+                let p = shapes::box_(dim, r);
+                let t = BinaryTensor::canvas(&p);
+                assert_eq!(t.nnz(), p.nnz());
+            }
+        }
+    }
+
+    #[test]
+    fn tight_tensor_for_full_box_is_all_ones() {
+        let p = shapes::box_(Dim::D2, 3);
+        let t = BinaryTensor::from_pattern(&p);
+        assert_eq!(t.side(), 7);
+        assert!((t.sparsity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_pattern_tensor_pattern() {
+        for shape in shapes::Shape::ALL {
+            for dim in [Dim::D2, Dim::D3] {
+                for r in 1..=3u8 {
+                    let p = shapes::build(shape, dim, r);
+                    let t = BinaryTensor::canvas(&p);
+                    assert_eq!(t.to_pattern(), p, "{shape:?} {dim} r{r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_reads_offsets() {
+        let p = shapes::star(Dim::D2, 1);
+        let t = BinaryTensor::canvas(&p);
+        assert_eq!(t.at(&Offset::center()), 1.0);
+        assert_eq!(t.at(&Offset::d2(0, 1)), 1.0);
+        assert_eq!(t.at(&Offset::d2(1, 1)), 0.0);
+        assert_eq!(t.at(&Offset::d2(9, 0)), 0.0); // outside canvas
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds canvas half-width")]
+    fn oversized_pattern_panics() {
+        let p = shapes::star(Dim::D2, 4);
+        BinaryTensor::from_pattern_with_half(&p, 2);
+    }
+
+    #[test]
+    fn ascii_renders_star() {
+        let p = shapes::star(Dim::D2, 1);
+        let t = BinaryTensor::from_pattern(&p);
+        let art = t.ascii().unwrap();
+        assert_eq!(art, ".#.\n###\n.#.\n");
+        assert!(BinaryTensor::canvas(&shapes::star(Dim::D3, 1))
+            .ascii()
+            .is_none());
+    }
+}

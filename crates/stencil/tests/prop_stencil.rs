@@ -1,0 +1,99 @@
+//! Property-based tests for stencil representations and generation.
+
+use proptest::prelude::*;
+use stencilmart_stencil::features::{extract, FeatureConfig};
+use stencilmart_stencil::generator::{GeneratorConfig, StencilGenerator};
+use stencilmart_stencil::pattern::{shell_size, Dim, Offset, StencilPattern};
+use stencilmart_stencil::tensor::BinaryTensor;
+
+fn arb_dim() -> impl Strategy<Value = Dim> {
+    prop_oneof![Just(Dim::D2), Just(Dim::D3)]
+}
+
+fn arb_offset(dim: Dim, max: i32) -> impl Strategy<Value = Offset> {
+    let rank = dim.rank();
+    (-max..=max, -max..=max, -max..=max).prop_map(move |(x, y, z)| {
+        let mut c = [x, y, z];
+        for v in c.iter_mut().skip(rank) {
+            *v = 0;
+        }
+        Offset { c }
+    })
+}
+
+fn arb_pattern() -> impl Strategy<Value = StencilPattern> {
+    arb_dim().prop_flat_map(|dim| {
+        prop::collection::vec(arb_offset(dim, 4), 1..30)
+            .prop_map(move |offs| StencilPattern::new(dim, offs).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn tensor_roundtrip_is_identity(p in arb_pattern()) {
+        let t = BinaryTensor::canvas(&p);
+        prop_assert_eq!(t.to_pattern(), p);
+    }
+
+    #[test]
+    fn tensor_nnz_equals_pattern_nnz(p in arb_pattern()) {
+        prop_assert_eq!(BinaryTensor::canvas(&p).nnz(), p.nnz());
+    }
+
+    #[test]
+    fn shell_nnz_sums_to_total(p in arb_pattern()) {
+        let total: usize = (0..=p.order()).map(|n| p.shell_nnz(n)).sum();
+        prop_assert_eq!(total, p.nnz());
+    }
+
+    #[test]
+    fn shell_nnz_bounded_by_shell_size(p in arb_pattern()) {
+        for n in 1..=p.order() {
+            prop_assert!(p.shell_nnz(n) <= shell_size(p.dim().rank(), n));
+        }
+    }
+
+    #[test]
+    fn features_are_finite_and_bounded(p in arb_pattern()) {
+        for cfg in [FeatureConfig::table2(), FeatureConfig::extended()] {
+            let f = extract(&p, &cfg);
+            prop_assert_eq!(f.values.len(), cfg.len());
+            for &v in &f.values {
+                prop_assert!(v.is_finite());
+                prop_assert!(v >= 0.0);
+            }
+            // sparsity and ratios are in [0, 1]
+            prop_assert!(f.values[2] <= 1.0);
+            for i in 0..4 {
+                prop_assert!(f.values[7 + i] <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn generator_respects_order_and_shells(
+        seed in 0u64..1000,
+        order in 1u8..=4,
+        dim in arb_dim(),
+        keep in 0.1f64..0.9,
+        symmetric in any::<bool>(),
+    ) {
+        let mut g = StencilGenerator::new(seed);
+        let cfg = GeneratorConfig { dim, order, keep_prob: keep, symmetric };
+        let p = g.generate(&cfg);
+        prop_assert_eq!(p.order(), order);
+        for n in 1..=order {
+            prop_assert!(p.shell_nnz(n) > 0);
+        }
+        if symmetric {
+            prop_assert!(p.is_symmetric());
+        }
+    }
+
+    #[test]
+    fn pattern_canonical_form_is_stable(p in arb_pattern()) {
+        // Rebuilding from the same points yields an identical pattern.
+        let q = StencilPattern::new(p.dim(), p.points().iter().copied()).unwrap();
+        prop_assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,70 @@
+//! The full StencilMART pipeline, step by step: random stencil
+//! generation → profiling under every OC → PCC-based OC merging →
+//! classifier cross-validation → speedup over the Artemis- and AN5D-style
+//! baselines.
+//!
+//! This is the "workflow" view of the framework — what a performance
+//! engineer integrating StencilMART into an autotuner would run.
+//!
+//! ```text
+//! cargo run --release --example autotune_pipeline
+//! ```
+
+use stencilmart::baselines::{speedups_over_baseline, BaselinePolicy};
+use stencilmart::classify::evaluate_classifier;
+use stencilmart::config::PipelineConfig;
+use stencilmart::dataset::{ClassificationDataset, ProfiledCorpus};
+use stencilmart::models::ClassifierKind;
+use stencilmart_gpusim::OptCombo;
+use stencilmart_stencil::pattern::Dim;
+
+fn main() {
+    let cfg = PipelineConfig {
+        stencils_per_dim: 80,
+        samples_per_oc: 6,
+        folds: 5,
+        ..PipelineConfig::default()
+    };
+
+    // Step 1 + 2: generate random stencils and profile them under all 30
+    // OCs on every GPU (the simulator stands in for the testbed).
+    println!("step 1-2: generating and profiling {} 3-D stencils...", cfg.stencils_per_dim);
+    let corpus = ProfiledCorpus::build(&cfg, Dim::D3);
+
+    // Step 3: merge OCs into prediction classes.
+    let merging = corpus.derive_merging(cfg.oc_classes);
+    let ocs = OptCombo::enumerate();
+    println!("\nstep 3: OC classes after PCC merging:");
+    for (i, group) in merging.groups.iter().enumerate() {
+        let rep = ocs[merging.representatives[i]].name();
+        println!("  class {i} (target {rep}): {} OCs", group.len());
+    }
+
+    // Step 4: cross-validate the classifier per GPU.
+    println!("\nstep 4: {}-fold cross-validated OC selection:", cfg.folds);
+    for &gpu in &cfg.gpus {
+        let ds = ClassificationDataset::build(&corpus, &merging, gpu);
+        let eval = evaluate_classifier(ClassifierKind::Gbdt, &ds, cfg.folds, cfg.seed);
+        print!("  {:<8} GBDT accuracy {:>5.1}%", gpu.name(), eval.accuracy * 100.0);
+
+        // Step 5: how much faster is the predicted OC than the baselines
+        // under an equal total tuning budget?
+        let profiles: Vec<_> = ds
+            .stencil_of_row
+            .iter()
+            .map(|&i| corpus.profiles_for(gpu)[i].clone())
+            .collect();
+        for policy in [BaselinePolicy::ArtemisLike, BaselinePolicy::An5dLike] {
+            let sp = speedups_over_baseline(
+                &profiles,
+                &eval.predictions,
+                &merging,
+                policy,
+                cfg.samples_per_oc,
+            );
+            let mean = sp.iter().sum::<f64>() / sp.len().max(1) as f64;
+            print!("   vs {} {mean:>5.2}x", policy.name());
+        }
+        println!();
+    }
+}

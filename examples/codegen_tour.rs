@@ -1,0 +1,68 @@
+//! A tour of the substrate: stencil shapes as ASCII tensors, the
+//! pseudo-CUDA kernels the simulator models, and the per-component timing
+//! breakdown of one configuration on each GPU.
+//!
+//! ```text
+//! cargo run --release --example codegen_tour
+//! ```
+
+use stencilmart_gpusim::{
+    simulate_breakdown, BoundaryModel, GpuArch, GpuId, OptCombo, ParamSetting,
+};
+use stencilmart_stencil::codegen::{emit, KernelFlavor};
+use stencilmart_stencil::pattern::Dim;
+use stencilmart_stencil::shapes::{self, Shape};
+use stencilmart_stencil::tensor::BinaryTensor;
+
+fn main() {
+    // 1. Shapes as binary tensors (the CNN's view of a stencil).
+    println!("=== stencil access patterns (order 2, tight canvas) ===");
+    for shape in Shape::ALL {
+        let p = shapes::build(shape, Dim::D2, 2);
+        println!("\n{}2d2r ({} points):", shape.name(), p.nnz());
+        print!("{}", BinaryTensor::from_pattern(&p).ascii().expect("2-D"));
+    }
+
+    // 2. The kernels the simulator models.
+    let p = shapes::star(Dim::D3, 1);
+    println!("\n=== pseudo-CUDA for star3d1r ===");
+    for (label, flavor) in [
+        ("naive", KernelFlavor::Naive),
+        ("block-merged x4", KernelFlavor::BlockMerged { merge: 4 }),
+        (
+            "2.5-D streaming + prefetch",
+            KernelFlavor::Streaming { prefetch: true },
+        ),
+    ] {
+        println!("\n--- {label} ---");
+        print!("{}", emit(&p, 512, flavor));
+    }
+
+    // 3. Where the time goes, per GPU, for one configuration.
+    let oc = OptCombo::parse("ST_PR").expect("valid");
+    let mut params = ParamSetting::default_for(&oc);
+    params.block_x = 64;
+    params.block_y = 8;
+    println!("\n=== simulated breakdown: box3d2r under {} ===", oc.name());
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "GPU", "mem ms", "comp ms", "smem ms", "sync ms", "total ms", "occup"
+    );
+    let pattern = shapes::box_(Dim::D3, 2);
+    for gpu in GpuId::ALL {
+        let arch = GpuArch::preset(gpu);
+        match simulate_breakdown(&pattern, 512, &oc, &params, &arch, BoundaryModel::None) {
+            Ok(b) => println!(
+                "{:<8} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6.0}%",
+                gpu.name(),
+                b.t_mem_ms,
+                b.t_comp_ms,
+                b.t_smem_ms,
+                b.t_sync_ms,
+                b.total_ms,
+                b.occupancy.fraction * 100.0
+            ),
+            Err(crash) => println!("{:<8} crash: {crash}", gpu.name()),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: train StencilMART on a small simulated corpus, then ask it
+//! for the best optimization combination for classic stencils and a
+//! cross-architecture time prediction.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use stencilmart::api::StencilMart;
+use stencilmart::config::PipelineConfig;
+use stencilmart::models::{ClassifierKind, RegressorKind};
+use stencilmart_gpusim::{GpuId, OptCombo, ParamSetting};
+use stencilmart_stencil::pattern::Dim;
+use stencilmart_stencil::shapes;
+
+fn main() {
+    // A small training configuration so the example runs in seconds.
+    let cfg = PipelineConfig {
+        stencils_per_dim: 60,
+        samples_per_oc: 6,
+        max_regression_rows: 3000,
+        ..PipelineConfig::default()
+    };
+    println!(
+        "training StencilMART on {} random 2-D stencils across {} GPUs...",
+        cfg.stencils_per_dim,
+        cfg.gpus.len()
+    );
+    let mut mart = StencilMart::train(
+        cfg,
+        Dim::D2,
+        ClassifierKind::Gbdt,
+        RegressorKind::GbRegressor,
+    );
+
+    // 1. Optimization selection: which OC should each stencil use?
+    println!("\npredicted best optimization combination:");
+    println!("{:<12} {:>12} {:>16}", "stencil", "GPU", "predicted OC");
+    for order in 1..=4u8 {
+        let star = shapes::star(Dim::D2, order);
+        let oc = mart.predict_best_oc(&star, GpuId::V100);
+        println!(
+            "{:<12} {:>12} {:>16}",
+            format!("star2d{order}r"),
+            "V100",
+            oc.name()
+        );
+    }
+    for gpu in GpuId::ALL {
+        let boxs = shapes::box_(Dim::D2, 2);
+        let oc = mart.predict_best_oc(&boxs, gpu);
+        println!("{:<12} {:>12} {:>16}", "box2d2r", gpu.name(), oc.name());
+    }
+
+    // 2. Cross-architecture performance prediction: how long would this
+    //    configured kernel take on a GPU we do not own?
+    let pattern = shapes::cross(Dim::D2, 3);
+    let oc = OptCombo::parse("ST_RT_PR").expect("valid OC");
+    let params = ParamSetting::default_for(&oc);
+    println!("\npredicted sweep time for cross2d3r under {}:", oc.name());
+    for gpu in GpuId::ALL {
+        let t = mart.predict_time_ms(&pattern, &oc, &params, gpu);
+        println!("  {:<8} {t:>8.3} ms", gpu.name());
+    }
+}

@@ -1,0 +1,76 @@
+//! "To rent or not to rent a cloud GPU" (paper §V-D): use the
+//! cross-architecture regressor to decide which GPU to rent for a stencil
+//! workload — by pure performance, and by cost efficiency.
+//!
+//! ```text
+//! cargo run --release --example rent_or_not
+//! ```
+
+use stencilmart::advisor::{evaluate_advisor, Criterion};
+use stencilmart::config::PipelineConfig;
+use stencilmart::dataset::{ProfiledCorpus, RegressionDataset};
+use stencilmart::models::RegressorKind;
+use stencilmart_gpusim::GpuArch;
+use stencilmart_stencil::pattern::Dim;
+
+fn main() {
+    let cfg = PipelineConfig {
+        stencils_per_dim: 60,
+        samples_per_oc: 6,
+        max_regression_rows: 4000,
+        ..PipelineConfig::default()
+    };
+    println!("rental menu (Google Cloud, us-central1, Oct 2021):");
+    for arch in GpuArch::all() {
+        match arch.rental_per_hr {
+            Some(p) => println!("  {:<8} ${p:.2}/hr", arch.id.name()),
+            None => println!("  {:<8} not rentable (desktop card)", arch.id.name()),
+        }
+    }
+
+    for dim in [Dim::D2, Dim::D3] {
+        println!("\n=== {dim} stencil workload ===");
+        let corpus = ProfiledCorpus::build(&cfg, dim);
+        let ds = RegressionDataset::build(&corpus, &cfg);
+        for criterion in [Criterion::PurePerformance, Criterion::CostEfficiency] {
+            let res = evaluate_advisor(
+                &corpus,
+                &ds,
+                &cfg,
+                RegressorKind::GbRegressor,
+                criterion,
+                cfg.seed,
+            );
+            let label = match criterion {
+                Criterion::PurePerformance => "pure performance",
+                Criterion::CostEfficiency => "cost efficiency",
+            };
+            println!("\nby {label} ({} held-out instances):", res.instances);
+            println!("  {:<8} {:>14} {:>14}", "GPU", "truly best for", "pred accuracy");
+            for ((gpu, share), (_, acc)) in res.share.iter().zip(&res.accuracy) {
+                let acc_s = if acc.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{:.1}%", acc * 100.0)
+                };
+                println!(
+                    "  {:<8} {:>13.1}% {:>14}",
+                    gpu.name(),
+                    share * 100.0,
+                    acc_s
+                );
+            }
+            let winner = res
+                .share
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty");
+            println!(
+                "  -> rent the {} (best for {:.0}% of instances); advisor agrees {:.1}% of the time",
+                winner.0.name(),
+                winner.1 * 100.0,
+                res.overall_accuracy * 100.0
+            );
+        }
+    }
+}

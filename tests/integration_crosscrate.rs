@@ -1,0 +1,133 @@
+//! Cross-crate invariants: the stencil representation, the simulator, and
+//! the public API agree with each other.
+
+use stencilmart::api::StencilMart;
+use stencilmart::config::PipelineConfig;
+use stencilmart::models::{ClassifierKind, RegressorKind};
+use stencilmart_gpusim::{
+    profile_stencil, simulate, GpuArch, GpuId, NoiseModel, OptCombo, ParamSetting,
+    ParamSpace, ProfileConfig,
+};
+use stencilmart_stencil::canonical;
+use stencilmart_stencil::codegen::{emit, KernelFlavor};
+use stencilmart_stencil::pattern::Dim;
+use stencilmart_stencil::shapes;
+use stencilmart_stencil::tensor::BinaryTensor;
+
+#[test]
+fn canonical_suite_profiles_on_every_gpu() {
+    let cfg = ProfileConfig {
+        samples_per_oc: 2,
+        noise: NoiseModel::none(),
+        seed: 0,
+    };
+    for c in canonical::suite() {
+        for gpu in GpuId::ALL {
+            let p = profile_stencil(&c.pattern, c.grid, &GpuArch::preset(gpu), &cfg, 0);
+            let best = p.best_time_ms();
+            assert!(
+                best.is_some() && best.unwrap() > 0.0,
+                "{} on {gpu} must have at least one runnable OC",
+                c.name
+            );
+        }
+    }
+}
+
+#[test]
+fn denser_stencils_are_never_faster_noise_free() {
+    // With identical OC/params and no noise, adding points to a pattern
+    // cannot make the sweep faster.
+    let cfg = ParamSetting::default_for(&OptCombo::BASE);
+    let arch = GpuArch::preset(GpuId::V100);
+    for dim in [Dim::D2, Dim::D3] {
+        let grid = canonical::grid_for(dim);
+        let mut last = 0.0f64;
+        for r in 1..=4u8 {
+            let t = simulate(&shapes::box_(dim, r), grid, &OptCombo::BASE, &cfg, &arch)
+                .expect("naive kernels always run");
+            assert!(t > last, "box{dim}{r}r: {t} !> {last}");
+            last = t;
+        }
+    }
+}
+
+#[test]
+fn codegen_matches_pattern_arity() {
+    // The emitted kernel performs exactly one FMA per accessed point, for
+    // every canonical stencil.
+    for c in canonical::suite() {
+        let src = emit(&c.pattern, c.grid, KernelFlavor::Naive);
+        assert_eq!(
+            src.matches("acc +=").count(),
+            c.pattern.nnz(),
+            "{}",
+            c.name
+        );
+    }
+}
+
+#[test]
+fn tensor_canvas_matches_ml_input_width() {
+    use stencilmart::models::canvas_len;
+    for dim in [Dim::D2, Dim::D3] {
+        let p = shapes::star(dim, 4);
+        assert_eq!(BinaryTensor::canvas(&p).data().len(), canvas_len(dim));
+    }
+}
+
+#[test]
+fn api_predictions_are_consistent_with_simulator_scale() {
+    // The trained regressor should predict times within an order of
+    // magnitude of the simulator for in-distribution inputs.
+    let cfg = PipelineConfig {
+        stencils_per_dim: 24,
+        samples_per_oc: 3,
+        max_regression_rows: 2000,
+        gpus: vec![GpuId::V100, GpuId::P100],
+        ..PipelineConfig::default()
+    };
+    let grid = cfg.grid_for(Dim::D2);
+    let mut mart = StencilMart::train(
+        cfg,
+        Dim::D2,
+        ClassifierKind::Gbdt,
+        RegressorKind::GbRegressor,
+    );
+    let pattern = shapes::star(Dim::D2, 2);
+    let oc = OptCombo::parse("ST").unwrap();
+    let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(5);
+    let params = ParamSpace::new(oc, Dim::D2).sample(&mut rng);
+    let simulated = simulate(
+        &pattern,
+        grid,
+        &oc,
+        &params,
+        &GpuArch::preset(GpuId::V100),
+    )
+    .expect("runs");
+    let predicted = mart.predict_time_ms(&pattern, &oc, &params, GpuId::V100);
+    let ratio = predicted / simulated;
+    assert!(
+        (0.1..10.0).contains(&ratio),
+        "predicted {predicted} ms vs simulated {simulated} ms"
+    );
+}
+
+#[test]
+fn crashes_are_architecture_dependent() {
+    // The same configuration can crash on a small-shared-memory part and
+    // run on a large one — the cross-architecture behaviour the advisor
+    // must cope with.
+    let p = shapes::box_(Dim::D3, 4);
+    let oc = OptCombo::parse("ST_TB").unwrap();
+    let mut params = ParamSetting::default_for(&oc);
+    params.block_x = 32;
+    params.block_y = 4;
+    params.time_tile = 2;
+    params.use_smem = true;
+    let on_p100 = simulate(&p, 512, &oc, &params, &GpuArch::preset(GpuId::P100));
+    let on_a100 = simulate(&p, 512, &oc, &params, &GpuArch::preset(GpuId::A100));
+    assert!(on_p100.is_err(), "48 KiB per-block limit must overflow");
+    assert!(on_a100.is_ok(), "164 KiB Ampere shared memory fits");
+}

@@ -1,0 +1,146 @@
+//! Integration tests for the experiment drivers: every table and figure
+//! regenerates, renders, and satisfies the paper's qualitative claims at
+//! small scale.
+
+use stencilmart::advisor::Criterion;
+use stencilmart::baselines::BaselinePolicy;
+use stencilmart::config::PipelineConfig;
+use stencilmart::experiments as exp;
+use stencilmart_gpusim::{GpuId, NoiseModel, ProfileConfig};
+
+fn ctx() -> exp::ExperimentContext {
+    exp::ExperimentContext::build(PipelineConfig {
+        stencils_per_dim: 16,
+        samples_per_oc: 3,
+        folds: 2,
+        max_regression_rows: 900,
+        ..PipelineConfig::default()
+    })
+}
+
+fn pc() -> ProfileConfig {
+    ProfileConfig {
+        samples_per_oc: 3,
+        noise: NoiseModel::default(),
+        seed: 9,
+    }
+}
+
+#[test]
+fn tables_contain_paper_constants() {
+    let t1 = exp::table1();
+    assert!(t1.contains("Temporal Blocking"));
+    assert!(t1.contains("(30)"), "30 valid OCs:\n{t1}");
+    let t2 = exp::table2();
+    assert!(t2.contains("sparsity"));
+    let t34 = exp::table3_and_4();
+    assert!(t34.contains("$1.46/hr"));
+    assert!(t34.contains("108")); // A100 SMs
+}
+
+#[test]
+fn fig1_gap_is_large_and_positive() {
+    let r = exp::fig1(&pc());
+    assert_eq!(r.gaps.len(), 24);
+    // Paper: average ≈ 9.95×. Accept a broad band for the simulator.
+    assert!(r.average > 3.0 && r.average < 60.0, "avg {}", r.average);
+    assert!(r.gaps.iter().all(|(_, g)| *g >= 1.0));
+}
+
+#[test]
+fn fig2_streaming_dominates() {
+    let ctx = ctx();
+    let r = exp::fig2(&ctx);
+    for (gpu, share) in &r.streaming_share {
+        assert!(
+            *share > 0.5,
+            "{gpu}: streaming OCs won only {:.0}%",
+            share * 100.0
+        );
+    }
+}
+
+#[test]
+fn fig3_pcc_values_are_high_for_top_pairs() {
+    let ctx = ctx();
+    let r = exp::fig3(&ctx, 50);
+    for (gpu, summary) in &r.per_gpu {
+        assert!(summary.max <= 1.0 + 1e-9, "{gpu}");
+        assert!(summary.min > 0.5, "{gpu}: top-pair PCC {}", summary.min);
+    }
+    assert!(r.intersection > 0.0, "some pairs generalize across GPUs");
+}
+
+#[test]
+fn fig4_shows_architecture_nonuniformity() {
+    let r = exp::fig4(&pc());
+    // Paper's headline: the most powerful GPU is not always the best.
+    // Count stencils where V100 beats A100.
+    let (v_idx, a_idx) = (
+        r.gpus.iter().position(|&g| g == GpuId::V100).unwrap(),
+        r.gpus.iter().position(|&g| g == GpuId::A100).unwrap(),
+    );
+    let v100_wins = r
+        .rows
+        .iter()
+        .filter(|(_, s)| s[v_idx] > s[a_idx])
+        .count();
+    assert!(v100_wins > 0, "V100 must beat A100 somewhere (paper: box3d3r/4r)");
+    assert!(v100_wins < r.rows.len(), "A100 must also win somewhere");
+}
+
+#[test]
+fn classification_suite_beats_chance_and_baselines_render() {
+    let ctx = ctx();
+    let suite = exp::classification_suite(&ctx);
+    let fig9 = suite.render_fig9(&ctx);
+    assert!(fig9.contains("2d stencils"));
+    assert!(fig9.contains("3d stencils"));
+    // Mean accuracy across everything must beat 5-class chance.
+    let mean: f64 = suite.evals.iter().map(|(_, _, _, e)| e.accuracy).sum::<f64>()
+        / suite.evals.len() as f64;
+    assert!(mean > 0.3, "mean accuracy {mean}");
+
+    for (fig, policy) in [
+        (10, BaselinePolicy::ArtemisLike),
+        (11, BaselinePolicy::An5dLike),
+    ] {
+        let sp = exp::speedup_over(&ctx, &suite, policy);
+        let rendered = sp.render(fig, &ctx);
+        assert!(rendered.contains(policy.name()));
+        for (_, _, _, v) in &sp.entries {
+            assert!(v.is_finite() && *v > 0.2 && *v < 50.0);
+        }
+    }
+}
+
+#[test]
+fn regression_suite_and_fig13_produce_finite_errors() {
+    let ctx = ctx();
+    let suite = exp::regression_suite(&ctx);
+    assert_eq!(suite.evals.len(), 6); // 3 mechanisms × 2 dims
+    let fig12 = suite.render_fig12(&ctx);
+    assert!(fig12.contains("GBRegressor"));
+    for (_, e) in &suite.evals {
+        assert!(e.mape_overall.is_finite() && e.mape_overall > 0.0);
+    }
+    let f13 = exp::fig13(&ctx, &[2, 4], &[16, 32]);
+    assert_eq!(f13.grid.len(), 2);
+    assert_eq!(f13.grid[0].len(), 2);
+    assert_eq!(f13.grid[0][0].len(), 2);
+    assert!(f13.render().contains("layers\\width"));
+}
+
+#[test]
+fn advisor_figures_render_both_criteria() {
+    let ctx = ctx();
+    for (fig, criterion) in [
+        (14, Criterion::PurePerformance),
+        (15, Criterion::CostEfficiency),
+    ] {
+        let res = exp::fig14_15(&ctx, criterion);
+        assert_eq!(res.len(), 2);
+        let rendered = exp::render_advisor(&res, fig);
+        assert!(rendered.contains("overall accuracy"));
+    }
+}

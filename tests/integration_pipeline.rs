@@ -1,0 +1,113 @@
+//! End-to-end pipeline integration test: generation → profiling → OC
+//! merging → classification → baseline comparison → regression → rental
+//! advisor, at a tiny scale.
+
+use stencilmart::advisor::{evaluate_advisor, Criterion};
+use stencilmart::baselines::{speedups_over_baseline, BaselinePolicy};
+use stencilmart::classify::evaluate_classifier;
+use stencilmart::config::PipelineConfig;
+use stencilmart::dataset::{ClassificationDataset, ProfiledCorpus, RegressionDataset};
+use stencilmart::models::{ClassifierKind, MlpShape, RegressorKind};
+use stencilmart::regress::evaluate_regressor;
+use stencilmart_stencil::pattern::Dim;
+
+fn cfg() -> PipelineConfig {
+    PipelineConfig {
+        stencils_per_dim: 20,
+        samples_per_oc: 3,
+        folds: 3,
+        max_regression_rows: 1200,
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_2d() {
+    let cfg = cfg();
+    let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+    assert_eq!(corpus.patterns.len(), 20);
+    assert_eq!(corpus.profiles.len(), 4);
+
+    let merging = corpus.derive_merging(cfg.oc_classes);
+    assert_eq!(merging.classes(), 5);
+    let covered: usize = merging.groups.iter().map(Vec::len).sum();
+    assert_eq!(covered, 30, "every OC belongs to exactly one class");
+
+    // Classification on every GPU.
+    for &gpu in &cfg.gpus {
+        let ds = ClassificationDataset::build(&corpus, &merging, gpu);
+        assert_eq!(ds.len(), 20);
+        let eval = evaluate_classifier(ClassifierKind::Gbdt, &ds, cfg.folds, cfg.seed);
+        assert!(eval.accuracy >= 0.0 && eval.accuracy <= 1.0);
+
+        // Baseline comparison is well-defined for every stencil.
+        let profiles: Vec<_> = ds
+            .stencil_of_row
+            .iter()
+            .map(|&i| corpus.profiles_for(gpu)[i].clone())
+            .collect();
+        for policy in [BaselinePolicy::ArtemisLike, BaselinePolicy::An5dLike] {
+            let sp = speedups_over_baseline(
+                &profiles,
+                &eval.predictions,
+                &merging,
+                policy,
+                cfg.samples_per_oc,
+            );
+            assert_eq!(sp.len(), 20, "no stencil dropped");
+            assert!(sp.iter().all(|&v| v > 0.05 && v < 100.0));
+        }
+    }
+
+    // Regression across architectures.
+    let rds = RegressionDataset::build(&corpus, &cfg);
+    assert!(rds.len() > 100);
+    let eval = evaluate_regressor(
+        RegressorKind::GbRegressor,
+        &rds,
+        MlpShape::default(),
+        cfg.folds,
+        cfg.seed,
+    );
+    assert!(eval.mape_overall.is_finite());
+    assert!(eval.mape_overall < 200.0, "MAPE {}", eval.mape_overall);
+
+    // Rental advisor under both criteria.
+    for criterion in [Criterion::PurePerformance, Criterion::CostEfficiency] {
+        let res = evaluate_advisor(
+            &corpus,
+            &rds,
+            &cfg,
+            RegressorKind::GbRegressor,
+            criterion,
+            cfg.seed,
+        );
+        assert!(res.instances > 0);
+        let total: f64 = res.share.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let cfg = cfg();
+    let a = ProfiledCorpus::build(&cfg, Dim::D2);
+    let b = ProfiledCorpus::build(&cfg, Dim::D2);
+    assert_eq!(a.patterns, b.patterns);
+    for ((ga, pa), (gb, pb)) in a.profiles.iter().zip(&b.profiles) {
+        assert_eq!(ga, gb);
+        assert_eq!(pa, pb);
+    }
+    assert_eq!(a.derive_merging(5), b.derive_merging(5));
+}
+
+#[test]
+fn regression_rows_subsample_to_cap() {
+    let mut cfg = cfg();
+    cfg.max_regression_rows = 200;
+    let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+    let ds = RegressionDataset::build(&corpus, &cfg);
+    assert_eq!(ds.len(), 200);
+    assert_eq!(ds.keys.len(), 200);
+    assert_eq!(ds.tensors.rows(), 200);
+}
