@@ -109,5 +109,10 @@ fn bench_ablation_repr(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training, bench_inference, bench_ablation_repr);
+criterion_group!(
+    benches,
+    bench_training,
+    bench_inference,
+    bench_ablation_repr
+);
 criterion_main!(benches);

@@ -37,7 +37,9 @@ fn bench_conv_forward_backward(c: &mut Criterion) {
 fn bench_gbdt_split_strategies(c: &mut Criterion) {
     let n = 2000;
     let cols = 23;
-    let data: Vec<f32> = (0..n * cols).map(|i| ((i * 2654435761) % 1000) as f32).collect();
+    let data: Vec<f32> = (0..n * cols)
+        .map(|i| ((i * 2654435761) % 1000) as f32)
+        .collect();
     let x = FeatureMatrix::new(n, cols, data);
     let y: Vec<f32> = (0..n).map(|i| (i % 13) as f32).collect();
     let mut group = c.benchmark_group("gbdt_fit_2000x23_20rounds");

@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
-use stencilmart_gpusim::{
-    characterize, simulate, GpuArch, GpuId, OptCombo, ParamSetting,
-};
+use stencilmart_gpusim::{characterize, simulate, GpuArch, GpuId, OptCombo, ParamSetting};
 use stencilmart_stencil::codegen::{emit, KernelFlavor};
 use stencilmart_stencil::features::{extract, FeatureConfig};
 use stencilmart_stencil::generator::{GeneratorConfig, StencilGenerator};
@@ -65,7 +63,13 @@ fn bench_simulator(c: &mut Criterion) {
 fn bench_codegen(c: &mut Criterion) {
     let p = shapes::box_(Dim::D3, 2);
     c.bench_function("codegen_streaming_box3d2r", |b| {
-        b.iter(|| emit(black_box(&p), 512, KernelFlavor::Streaming { prefetch: true }))
+        b.iter(|| {
+            emit(
+                black_box(&p),
+                512,
+                KernelFlavor::Streaming { prefetch: true },
+            )
+        })
     });
 }
 

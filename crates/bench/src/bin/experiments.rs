@@ -66,7 +66,15 @@ fn main() {
     // The ablations build their own corpora but still use the scale's
     // configuration, so they ride along with the context-based targets.
     let ctx_targets = [
-        "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        "fig2",
+        "fig3",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
         "ablations",
     ];
     let needs_ctx = ctx_targets.iter().any(|t| want(t));

@@ -1,0 +1,206 @@
+//! Headless ML-kernel microbenchmarks.
+//!
+//! ```text
+//! ml_kernels [OUTPUT.json]
+//! ```
+//!
+//! Times the blocked GEMM and the im2col ConvNet conv stack against the
+//! naive reference kernels and writes `BENCH_ml_kernels.json` (default)
+//! with per-entry shape, ns/iter, GFLOP/s, and speedup. Used to verify
+//! the performance targets recorded in DESIGN.md.
+
+use serde::Value;
+use std::time::Instant;
+use stencilmart_ml::gemm;
+use stencilmart_ml::nn::{Conv2d, Layer};
+use stencilmart_ml::reference;
+use stencilmart_ml::tensor::Tensor;
+
+/// Deterministic fill in (-1, 1).
+fn fill(seed: &mut u64, out: &mut [f32]) {
+    for v in out {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *v = ((*seed >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0;
+    }
+}
+
+/// Median ns/iter over 5 samples, with iteration count calibrated so each
+/// sample runs for at least ~60 ms.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed().as_millis() >= 60 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn entry(name: &str, shape: &str, flops: f64, ns_opt: f64, ns_ref: f64) -> Value {
+    let gflops = |ns: f64| flops / ns;
+    Value::Object(vec![
+        ("name".into(), Value::Str(name.into())),
+        ("shape".into(), Value::Str(shape.into())),
+        ("ns_per_iter".into(), Value::Float(ns_opt)),
+        ("gflops".into(), Value::Float(gflops(ns_opt))),
+        ("ref_ns_per_iter".into(), Value::Float(ns_ref)),
+        ("ref_gflops".into(), Value::Float(gflops(ns_ref))),
+        ("speedup".into(), Value::Float(ns_ref / ns_opt)),
+    ])
+}
+
+fn bench_gemm(m: usize, k: usize, n: usize, seed: &mut u64) -> Value {
+    let mut a = vec![0.0f32; m * k];
+    let mut b = vec![0.0f32; k * n];
+    fill(seed, &mut a);
+    fill(seed, &mut b);
+    let mut c = vec![0.0f32; m * n];
+    let ns_opt = time_ns(|| {
+        gemm::gemm(m, k, n, &a, &b, &mut c, false);
+        std::hint::black_box(&c);
+    });
+    let ns_ref = time_ns(|| {
+        std::hint::black_box(reference::matmul(m, k, n, &a, &b));
+    });
+    let flops = (2 * m * k * n) as f64;
+    entry(
+        &format!("gemm_{m}x{k}x{n}"),
+        &format!("[{m}, {k}] x [{k}, {n}]"),
+        flops,
+        ns_opt,
+        ns_ref,
+    )
+}
+
+/// The paper's 2-D ConvNet conv stack — Conv2d(1→8, k3) then
+/// Conv2d(8→8, k3) on 9×9 stencil tensors — forward plus full backward,
+/// im2col/GEMM layers vs the direct reference loops.
+fn bench_convnet_fwd_bwd(batch: usize, seed: &mut u64) -> Value {
+    let (ic1, oc1, oc2, k, h) = (1usize, 8usize, 8usize, 3usize, 9usize);
+    let h1 = h + 1 - k; // 7
+    let h2 = h1 + 1 - k; // 5
+    let mut rng = {
+        use rand::SeedableRng;
+        rand_chacha::ChaCha8Rng::seed_from_u64(11)
+    };
+    let mut c1 = Conv2d::new(ic1, oc1, k, &mut rng);
+    let mut c2 = Conv2d::new(oc1, oc2, k, &mut rng);
+    let mut xd = vec![0.0f32; batch * ic1 * h * h];
+    fill(seed, &mut xd);
+    let x = Tensor::from_vec(&[batch, ic1, h, h], xd.clone());
+    let ns_opt = time_ns(|| {
+        let y1 = c1.forward(&x, true);
+        let y2 = c2.forward(&y1, true);
+        let g1 = c2.backward(&y2);
+        std::hint::black_box(c1.backward(&g1));
+    });
+
+    // Mirror the weights so both sides do identical arithmetic.
+    let mut weights: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
+    for layer in [&mut c1, &mut c2] {
+        let mut bufs: Vec<Vec<f32>> = Vec::new();
+        layer.visit_params(&mut |p, _| bufs.push(p.to_vec()));
+        weights.push((bufs[0].clone(), bufs[1].clone()));
+    }
+    let ((w1, b1), (w2, b2)) = (weights[0].clone(), weights[1].clone());
+    let ns_ref = time_ns(|| {
+        let y1 = reference::conv2d_forward(&xd, batch, ic1, h, h, &w1, &b1, oc1, k);
+        let y2 = reference::conv2d_forward(&y1, batch, oc1, h1, h1, &w2, &b2, oc2, k);
+        let (g1, _, _) = reference::conv2d_backward(&y1, &y2, batch, oc1, h1, h1, &w2, oc2, k);
+        std::hint::black_box(reference::conv2d_backward(
+            &xd, &g1, batch, ic1, h, h, &w1, oc1, k,
+        ));
+    });
+
+    // Forward MACs per layer ×2 for flops; backward (gw + gx) ≈ 2× forward.
+    let fwd1 = 2 * batch * oc1 * h1 * h1 * ic1 * k * k;
+    let fwd2 = 2 * batch * oc2 * h2 * h2 * oc1 * k * k;
+    let flops = (3 * (fwd1 + fwd2)) as f64;
+    entry(
+        &format!("convnet2d_fwd_bwd_batch{batch}"),
+        &format!("[{batch}, 1, 9, 9] -> conv(1->8,k3) -> conv(8->8,k3)"),
+        flops,
+        ns_opt,
+        ns_ref,
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ml_kernels.json".to_string());
+    let mut seed = 0x5eed_u64;
+    let mut entries = Vec::new();
+    for (m, k, n) in [(64, 128, 64), (128, 729, 256), (256, 256, 256)] {
+        eprintln!("[ml_kernels] gemm {m}x{k}x{n}...");
+        entries.push(bench_gemm(m, k, n, &mut seed));
+    }
+    eprintln!("[ml_kernels] convnet2d fwd+bwd...");
+    entries.push(bench_convnet_fwd_bwd(32, &mut seed));
+
+    let doc = Value::Object(vec![
+        (
+            "description".into(),
+            Value::Str(
+                "ML kernel microbenchmarks: blocked GEMM + im2col conv vs naive reference".into(),
+            ),
+        ),
+        ("entries".into(), Value::Array(entries)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write output");
+    println!("wrote {out_path}");
+    for e in match &doc {
+        Value::Object(fields) => match &fields[1].1 {
+            Value::Array(items) => items.iter(),
+            _ => unreachable!(),
+        },
+        _ => unreachable!(),
+    } {
+        if let Value::Object(fields) = e {
+            let get = |key: &str| {
+                fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or(Value::Null)
+            };
+            println!(
+                "  {:<28} {:>10} ns/iter  {:>7} GFLOP/s  speedup {}",
+                match get("name") {
+                    Value::Str(s) => s,
+                    _ => String::new(),
+                },
+                match get("ns_per_iter") {
+                    Value::Float(f) => format!("{f:.0}"),
+                    _ => String::new(),
+                },
+                match get("gflops") {
+                    Value::Float(f) => format!("{f:.2}"),
+                    _ => String::new(),
+                },
+                match get("speedup") {
+                    Value::Float(f) => format!("{f:.2}x"),
+                    _ => String::new(),
+                },
+            );
+        }
+    }
+}

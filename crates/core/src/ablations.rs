@@ -93,9 +93,7 @@ pub fn ablation_merge(cfg: &PipelineConfig, dim: Dim, gpu: GpuId) -> MergeAblati
         for (&si, &label) in ds.stencil_of_row.iter().zip(&ds.labels) {
             let profile = &corpus.profiles_for(gpu)[si];
             let best = profile.best_time_ms().expect("runs");
-            if let Some(rep) =
-                crate::baselines::predicted_time(profile, &merging, label)
-            {
+            if let Some(rep) = crate::baselines::predicted_time(profile, &merging, label) {
                 ratios.push(rep / best);
             }
         }
@@ -108,20 +106,15 @@ pub fn ablation_merge(cfg: &PipelineConfig, dim: Dim, gpu: GpuId) -> MergeAblati
 impl MergeAblation {
     /// Render as a text table.
     pub fn render(&self) -> String {
-        let mut s = String::from(
-            "Ablation: OC merging (classes vs accuracy vs oracle-class cost)\n",
-        );
+        let mut s =
+            String::from("Ablation: OC merging (classes vs accuracy vs oracle-class cost)\n");
         let _ = writeln!(
             s,
             "  {:>7} {:>10} {:>22}",
             "classes", "accuracy", "rep time / best time"
         );
         for (classes, acc, ratio) in &self.rows {
-            let _ = writeln!(
-                s,
-                "  {classes:>7} {:>9.1}% {ratio:>21.2}x",
-                acc * 100.0
-            );
+            let _ = writeln!(s, "  {classes:>7} {:>9.1}% {ratio:>21.2}x", acc * 100.0);
         }
         s
     }
@@ -157,8 +150,7 @@ pub fn ablation_noise(cfg: &PipelineConfig, dim: Dim) -> NoiseAblation {
 impl NoiseAblation {
     /// Render as a text table.
     pub fn render(&self) -> String {
-        let mut s =
-            String::from("Ablation: measurement noise vs GBRegressor MAPE\n");
+        let mut s = String::from("Ablation: measurement noise vs GBRegressor MAPE\n");
         for (sigma, mape) in &self.rows {
             let _ = writeln!(s, "  sigma {sigma:>5.2}  MAPE {mape:>6.1}%");
         }

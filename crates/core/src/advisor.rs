@@ -206,8 +206,7 @@ pub fn evaluate_advisor(
             let acc = if idx.is_empty() {
                 f64::NAN
             } else {
-                idx.iter().filter(|&&i| predicted_best[i] == g).count() as f64
-                    / idx.len() as f64
+                idx.iter().filter(|&&i| predicted_best[i] == g).count() as f64 / idx.len() as f64
             };
             (g, acc)
         })

@@ -4,9 +4,7 @@
 
 use crate::config::PipelineConfig;
 use crate::dataset::{ClassificationDataset, ProfiledCorpus, RegressionDataset};
-use crate::models::{
-    ClassifierKind, MlpShape, RegressorKind, TrainedClassifier, TrainedRegressor,
-};
+use crate::models::{ClassifierKind, MlpShape, RegressorKind, TrainedClassifier, TrainedRegressor};
 use crate::pcc::OcMerging;
 use stencilmart_gpusim::{GpuArch, GpuId, OptCombo, ParamSetting};
 use stencilmart_ml::data::FeatureMatrix;
@@ -96,8 +94,7 @@ impl StencilMart {
     pub fn predict_best_oc(&mut self, pattern: &StencilPattern, gpu: GpuId) -> OptCombo {
         assert_eq!(pattern.dim(), self.dim, "dimensionality mismatch");
         let fc = FeatureConfig::table2();
-        let features =
-            FeatureMatrix::from_rows([extract(pattern, &fc).as_f32().as_slice()]);
+        let features = FeatureMatrix::from_rows([extract(pattern, &fc).as_f32().as_slice()]);
         let tensor_row = BinaryTensor::canvas(pattern).data().to_vec();
         let tensors = FeatureMatrix::from_rows([tensor_row.as_slice()]);
         let merging = &self.merging;
@@ -159,7 +156,12 @@ mod tests {
             gpus: vec![GpuId::V100, GpuId::P100],
             ..PipelineConfig::default()
         };
-        StencilMart::train(cfg, Dim::D2, ClassifierKind::Gbdt, RegressorKind::GbRegressor)
+        StencilMart::train(
+            cfg,
+            Dim::D2,
+            ClassifierKind::Gbdt,
+            RegressorKind::GbRegressor,
+        )
     }
 
     #[test]

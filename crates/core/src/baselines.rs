@@ -152,11 +152,7 @@ fn an5d_time(profile: &StencilProfile, per_probe: usize) -> Option<f64> {
 /// the class representative's tuned time, falling back to the best tuned
 /// time within the class when the representative crashed for this
 /// stencil.
-pub fn predicted_time(
-    profile: &StencilProfile,
-    merging: &OcMerging,
-    class: usize,
-) -> Option<f64> {
+pub fn predicted_time(profile: &StencilProfile, merging: &OcMerging, class: usize) -> Option<f64> {
     let rep = merging.representative(class);
     // The whole sampling budget goes to the predicted OC.
     if let Some(t) = time_of(profile, &rep, usize::MAX) {

@@ -70,11 +70,8 @@ impl ProfiledCorpus {
             .map(|(_, profiles)| pcc::oc_time_matrix(profiles))
             .collect();
         let per_gpu_pcc: Vec<_> = per_gpu_times.iter().map(|m| pcc::pairwise_pcc(m)).collect();
-        let all_profiles: Vec<Vec<StencilProfile>> = self
-            .profiles
-            .iter()
-            .map(|(_, p)| p.clone())
-            .collect();
+        let all_profiles: Vec<Vec<StencilProfile>> =
+            self.profiles.iter().map(|(_, p)| p.clone()).collect();
         let wins = pcc::win_counts(&all_profiles);
         pcc::merge_ocs(&per_gpu_pcc, &per_gpu_times, &wins, classes)
     }
@@ -243,10 +240,11 @@ impl RegressionDataset {
             order.truncate(cfg.max_regression_rows);
             order.sort_unstable();
         }
-        let features =
-            FeatureMatrix::from_rows(order.iter().map(|&i| rows[i].as_slice()));
+        let features = FeatureMatrix::from_rows(order.iter().map(|&i| rows[i].as_slice()));
         let tensors = FeatureMatrix::from_rows(
-            order.iter().map(|&i| stencil_tensors[tensor_rows[i]].as_slice()),
+            order
+                .iter()
+                .map(|&i| stencil_tensors[tensor_rows[i]].as_slice()),
         );
         RegressionDataset {
             dim: corpus.dim,

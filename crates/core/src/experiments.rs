@@ -12,9 +12,7 @@ use crate::pcc;
 use crate::regress::{evaluate_regressor, RegressorEval};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
-use stencilmart_gpusim::{
-    host_machines, profile_stencil, GpuArch, GpuId, OptCombo, ProfileConfig,
-};
+use stencilmart_gpusim::{host_machines, profile_stencil, GpuArch, GpuId, OptCombo, ProfileConfig};
 use stencilmart_stencil::canonical::{suite, CanonicalStencil};
 use stencilmart_stencil::features::FeatureConfig;
 use stencilmart_stencil::pattern::Dim;
@@ -183,9 +181,8 @@ pub fn fig1(profile_cfg: &ProfileConfig) -> Fig1Result {
 impl Fig1Result {
     /// Render as a text table.
     pub fn render(&self) -> String {
-        let mut s = String::from(
-            "Fig. 1: performance of the best OC normalized to the worst OC (V100)\n",
-        );
+        let mut s =
+            String::from("Fig. 1: performance of the best OC normalized to the worst OC (V100)\n");
         for (name, gap) in &self.gaps {
             let _ = writeln!(s, "  {name:<12} {gap:>8.2}x");
         }
@@ -332,7 +329,11 @@ impl Fig3Result {
             "Fig. 3: value distribution of top-{} PCCs achieved by pairwise OCs\n",
             self.k
         );
-        let _ = writeln!(s, "  {:<8} {:>8} {:>8} {:>8}", "GPU", "min", "median", "max");
+        let _ = writeln!(
+            s,
+            "  {:<8} {:>8} {:>8} {:>8}",
+            "GPU", "min", "median", "max"
+        );
         for (gpu, v) in &self.per_gpu {
             let _ = writeln!(
                 s,
@@ -396,9 +397,7 @@ pub fn fig4(profile_cfg: &ProfileConfig) -> Fig4Result {
 impl Fig4Result {
     /// Render as a text table.
     pub fn render(&self) -> String {
-        let mut s = String::from(
-            "Fig. 4: best performance under each GPU normalized to 2080 Ti\n",
-        );
+        let mut s = String::from("Fig. 4: best performance under each GPU normalized to 2080 Ti\n");
         let header: Vec<String> = std::iter::once("stencil".to_string())
             .chain(self.gpus.iter().map(|g| g.name().to_string()))
             .collect();
@@ -456,9 +455,7 @@ impl ClassificationSuite {
 
     /// Render the Fig. 9 accuracy table.
     pub fn render_fig9(&self, ctx: &ExperimentContext) -> String {
-        let mut s = String::from(
-            "Fig. 9: prediction accuracy of classification mechanisms (%)\n",
-        );
+        let mut s = String::from("Fig. 9: prediction accuracy of classification mechanisms (%)\n");
         for dim in ctx.dims() {
             let _ = writeln!(s, "  {dim} stencils:");
             let _ = writeln!(
@@ -530,8 +527,13 @@ pub fn speedup_over(
                 .collect();
             for kind in kinds {
                 let eval = suite.get(kind, gpu, dim);
-                let sp =
-                    speedups_over_baseline(&profiles, &eval.predictions, merging, policy, ctx.cfg.samples_per_oc);
+                let sp = speedups_over_baseline(
+                    &profiles,
+                    &eval.predictions,
+                    merging,
+                    policy,
+                    ctx.cfg.samples_per_oc,
+                );
                 let mean = sp.iter().sum::<f64>() / sp.len().max(1) as f64;
                 entries.push((kind, gpu, dim, mean));
             }
@@ -627,9 +629,7 @@ impl RegressionSuite {
 
     /// Render the Fig. 12 MAPE table.
     pub fn render_fig12(&self, ctx: &ExperimentContext) -> String {
-        let mut s = String::from(
-            "Fig. 12: test error (MAPE %) of regression mechanisms\n",
-        );
+        let mut s = String::from("Fig. 12: test error (MAPE %) of regression mechanisms\n");
         for dim in ctx.dims() {
             let _ = writeln!(s, "  {dim} stencils:");
             let _ = writeln!(
@@ -724,9 +724,8 @@ pub fn fig13(ctx: &ExperimentContext, layers: &[usize], widths: &[usize]) -> Fig
 impl Fig13Result {
     /// Render the sweep table.
     pub fn render(&self) -> String {
-        let mut s = String::from(
-            "Fig. 13: MLP test error (MAPE %) vs hidden layers and layer size\n",
-        );
+        let mut s =
+            String::from("Fig. 13: MLP test error (MAPE %) vs hidden layers and layer size\n");
         for (di, dim) in self.dims.iter().enumerate() {
             let _ = writeln!(s, "  {dim} stencils:");
             let header: Vec<String> = std::iter::once("layers\\width".to_string())
@@ -794,7 +793,11 @@ pub fn render_advisor(results: &[(Dim, AdvisorResult)], fig_no: usize) -> String
                 acc_s
             );
         }
-        let _ = writeln!(s, "    overall accuracy: {:.1}%", r.overall_accuracy * 100.0);
+        let _ = writeln!(
+            s,
+            "    overall accuracy: {:.1}%",
+            r.overall_accuracy * 100.0
+        );
     }
     s
 }

@@ -16,8 +16,8 @@ use serde::{Deserialize, Serialize};
 use stencilmart_ml::data::{FeatureMatrix, MaxNormalizer};
 use stencilmart_ml::gbdt::tree::TreeConfig;
 use stencilmart_ml::nn::{
-    predict_classes, predict_scalars, train_classifier, train_regressor, Conv2d, Conv3d,
-    Dense, Flatten, Net, Relu, Reshape, Sequential, TrainConfig, TwoBranch,
+    predict_classes, predict_scalars, train_classifier, train_regressor, Conv2d, Conv3d, Dense,
+    Flatten, Net, Relu, Reshape, Sequential, TrainConfig, TwoBranch,
 };
 use stencilmart_ml::tensor::Tensor;
 use stencilmart_ml::{GbdtClassifier, GbdtConfig, GbdtRegressor};
@@ -36,8 +36,11 @@ pub enum ClassifierKind {
 
 impl ClassifierKind {
     /// All classifiers in the paper's Fig. 9 order.
-    pub const ALL: [ClassifierKind; 3] =
-        [ClassifierKind::ConvNet, ClassifierKind::FcNet, ClassifierKind::Gbdt];
+    pub const ALL: [ClassifierKind; 3] = [
+        ClassifierKind::ConvNet,
+        ClassifierKind::FcNet,
+        ClassifierKind::Gbdt,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -363,11 +366,7 @@ impl TrainedRegressor {
         match kind {
             RegressorKind::GbRegressor => {
                 let x = features.select(train_idx);
-                TrainedRegressor::Trees(GbdtRegressor::fit(
-                    &x,
-                    &y,
-                    &gbdt_regressor_config(seed),
-                ))
+                TrainedRegressor::Trees(GbdtRegressor::fit(&x, &y, &gbdt_regressor_config(seed)))
             }
             RegressorKind::Mlp => {
                 let x_raw = features.select(train_idx);
@@ -500,12 +499,10 @@ mod tests {
         let tensors = FeatureMatrix::from_rows(tensor_rows.iter().map(Vec::as_slice));
         let idx: Vec<usize> = (0..n).collect();
         for kind in ClassifierKind::ALL {
-            let mut model = TrainedClassifier::train(
-                kind, Dim::D2, 2, &features, &tensors, &labels, &idx, 1,
-            );
+            let mut model =
+                TrainedClassifier::train(kind, Dim::D2, 2, &features, &tensors, &labels, &idx, 1);
             let preds = model.predict(&features, &tensors, &idx);
-            let acc = preds.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64
-                / n as f64;
+            let acc = preds.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / n as f64;
             assert!(acc > 0.9, "{} accuracy {acc}", kind.name());
         }
     }

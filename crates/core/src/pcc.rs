@@ -43,7 +43,11 @@ pub fn pairwise_pcc(matrix: &[Vec<Option<f64>>]) -> Vec<Vec<f64>> {
                     ys.push(y.ln());
                 }
             }
-            let r = if xs.len() >= 3 { pearson(&xs, &ys) } else { 0.0 };
+            let r = if xs.len() >= 3 {
+                pearson(&xs, &ys)
+            } else {
+                0.0
+            };
             out[a][b] = r;
             out[b][a] = r;
         }
@@ -75,7 +79,12 @@ pub fn top_pair_intersection(per_gpu_pcc: &[Vec<Vec<f64>>], k: usize) -> f64 {
     }
     let mut sets: Vec<std::collections::HashSet<(usize, usize)>> = per_gpu_pcc
         .iter()
-        .map(|p| top_pairs(p, k).into_iter().map(|(a, b, _)| (a, b)).collect())
+        .map(|p| {
+            top_pairs(p, k)
+                .into_iter()
+                .map(|(a, b, _)| (a, b))
+                .collect()
+        })
         .collect();
     let first = sets.remove(0);
     let inter = first
@@ -119,10 +128,7 @@ impl OcMerging {
 /// GPU) cases where both executed. Two OCs with a small value are
 /// *performance-interchangeable*: picking either costs little.
 pub fn pairwise_log_gap(matrices: &[Vec<Vec<Option<f64>>>]) -> Vec<Vec<f64>> {
-    let n_oc = matrices
-        .first()
-        .and_then(|m| m.first())
-        .map_or(0, Vec::len);
+    let n_oc = matrices.first().and_then(|m| m.first()).map_or(0, Vec::len);
     let mut out = vec![vec![0.0; n_oc]; n_oc];
     for a in 0..n_oc {
         for b in (a + 1)..n_oc {
@@ -230,8 +236,7 @@ pub fn merge_ocs(
         g.sort_unstable();
     }
     // Stable ordering: by smallest member index; keep anchors aligned.
-    let mut paired: Vec<(Vec<usize>, usize)> =
-        groups.into_iter().zip(anchors).collect();
+    let mut paired: Vec<(Vec<usize>, usize)> = groups.into_iter().zip(anchors).collect();
     paired.sort_by_key(|(g, _)| g[0]);
     let (groups, representatives): (Vec<_>, Vec<_>) = paired.into_iter().unzip();
     OcMerging {

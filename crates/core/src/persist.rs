@@ -63,7 +63,10 @@ mod tests {
 
     fn tmp_path(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("stencilmart_test_{name}_{}.json", std::process::id()));
+        p.push(format!(
+            "stencilmart_test_{name}_{}.json",
+            std::process::id()
+        ));
         p
     }
 

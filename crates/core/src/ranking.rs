@@ -37,7 +37,7 @@ pub fn evaluate_ranking(
 ) -> RankingEval {
     let n_stencils = corpus.patterns.len();
     let test_stencils: Vec<bool> = (0..n_stencils)
-        .map(|i| (i + seed as usize) % 5 == 0)
+        .map(|i| (i + seed as usize).is_multiple_of(5))
         .collect();
     let train_idx: Vec<usize> = (0..ds.len())
         .filter(|&r| !test_stencils[ds.keys[r].stencil])

@@ -68,16 +68,9 @@ pub fn evaluate_regressor(
 }
 
 /// Compute MAPE on linear time overall and per GPU subset.
-pub fn mape_by_gpu(
-    ds: &RegressionDataset,
-    predictions_ln: &[f32],
-) -> (f64, Vec<(GpuId, f64)>) {
+pub fn mape_by_gpu(ds: &RegressionDataset, predictions_ln: &[f32]) -> (f64, Vec<(GpuId, f64)>) {
     let pred_ms: Vec<f64> = predictions_ln.iter().map(|&p| (p as f64).exp()).collect();
-    let true_ms: Vec<f64> = ds
-        .target_ln_ms
-        .iter()
-        .map(|&t| (t as f64).exp())
-        .collect();
+    let true_ms: Vec<f64> = ds.target_ln_ms.iter().map(|&t| (t as f64).exp()).collect();
     let overall = mape(&pred_ms, &true_ms);
     let mut per_gpu = Vec::new();
     for gpu in GpuId::ALL {
@@ -193,8 +186,7 @@ mod tests {
         assert!(logo.is_finite() && logo > 0.0);
         // Mixed-GPU CV should be easier than extrapolating to an unseen
         // architecture.
-        let mixed =
-            evaluate_regressor(RegressorKind::GbRegressor, &ds, MlpShape::default(), 3, 0);
+        let mixed = evaluate_regressor(RegressorKind::GbRegressor, &ds, MlpShape::default(), 3, 0);
         assert!(
             logo > 0.5 * mixed.mape_overall,
             "LOGO {logo} vs mixed {}",

@@ -146,8 +146,8 @@ pub fn simulate_breakdown(
 
     // FP64 pipes need a moderate occupancy to stay fed; ILP helps at low
     // occupancy, and each architecture sustains its own fraction of peak.
-    let comp_eff = ((occ.fraction / 0.5).powf(0.6) * profile.ilp).min(1.0)
-        * arch.achievable_flop_frac;
+    let comp_eff =
+        ((occ.fraction / 0.5).powf(0.6) * profile.ilp).min(1.0) * arch.achievable_flop_frac;
     let t_comp = profile.flops_per_point * points / (arch.peak_fp64_flops() * comp_eff);
 
     let t_smem = profile.smem_bytes_per_point * points / arch.smem_bw_bytes();
@@ -186,8 +186,7 @@ pub fn simulate(
     params: &ParamSetting,
     arch: &GpuArch,
 ) -> Result<f64, Crash> {
-    simulate_breakdown(pattern, grid, oc, params, arch, BoundaryModel::None)
-        .map(|b| b.total_ms)
+    simulate_breakdown(pattern, grid, oc, params, arch, BoundaryModel::None).map(|b| b.total_ms)
 }
 
 #[cfg(test)]
@@ -283,14 +282,7 @@ mod tests {
         params.block_x = 32;
         params.block_y = 8;
         let t_v100 = simulate(&p, 512, &st, &params, &v100()).unwrap();
-        let t_ti = simulate(
-            &p,
-            512,
-            &st,
-            &params,
-            &GpuArch::preset(GpuId::Rtx2080Ti),
-        )
-        .unwrap();
+        let t_ti = simulate(&p, 512, &st, &params, &GpuArch::preset(GpuId::Rtx2080Ti)).unwrap();
         assert!(t_ti > 5.0 * t_v100, "2080Ti {t_ti} vs V100 {t_v100}");
     }
 
@@ -355,8 +347,15 @@ mod tests {
         // The model exposes the penalty only through total time; verify
         // the breakdown reports a total at or above the roofline, which
         // the wave factor scales.
-        let b = simulate_breakdown(&p, 8192, &OptCombo::BASE, &params, &arch, BoundaryModel::None)
-            .unwrap();
+        let b = simulate_breakdown(
+            &p,
+            8192,
+            &OptCombo::BASE,
+            &params,
+            &arch,
+            BoundaryModel::None,
+        )
+        .unwrap();
         let roof = b.t_mem_ms.max(b.t_comp_ms).max(b.t_smem_ms);
         assert!(b.total_ms >= roof);
         assert!(concurrent > 0);

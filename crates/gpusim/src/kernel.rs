@@ -180,8 +180,7 @@ pub fn characterize(
         // keeps the window linear in t rather than multiplicative).
         let planes = 2.0 * r + 1.0 + 2.0 * (t - 1.0);
         let smem = if params.use_smem {
-            planes * (cross_x + halo) * (if rank == 3 { cross_y + halo } else { 1.0 })
-                * ELEM_BYTES
+            planes * (cross_x + halo) * (if rank == 3 { cross_y + halo } else { 1.0 }) * ELEM_BYTES
         } else {
             0.0
         };
@@ -223,7 +222,11 @@ pub fn characterize(
         // Each point is loaded ~once; halo cells re-load at tile borders
         // and at streaming-chunk boundaries (concurrent streaming).
         let cross_x = params.block_x as f64 * if params.merge_dim == 0 { m } else { 1.0 };
-        let cross_y = if rank == 3 { params.block_y as f64 } else { f64::INFINITY };
+        let cross_y = if rank == 3 {
+            params.block_y as f64
+        } else {
+            f64::INFINITY
+        };
         let halo_share = 2.0 * r * tb_mult * (1.0 / cross_x + 1.0 / cross_y);
         let chunk_share = 2.0 * r * tb_mult / params.stream_tile as f64;
         let stage_penalty = if params.use_smem {
@@ -237,7 +240,11 @@ pub fn characterize(
         // Shared-memory spatio-temporal tile: each point loads once per
         // tile, plus a skirt of width r·t around every tile face.
         let tile_x = params.block_x as f64 * if params.merge_dim == 0 { m } else { 1.0 };
-        let tile_y = if rank >= 2 { params.block_y as f64 } else { f64::INFINITY };
+        let tile_y = if rank >= 2 {
+            params.block_y as f64
+        } else {
+            f64::INFINITY
+        };
         let tile_z = if rank == 3 { 4.0 } else { f64::INFINITY };
         1.0 + 2.0 * r * tb_mult * (1.0 / tile_x + 1.0 / tile_y + 1.0 / tile_z)
     } else {
@@ -373,8 +380,8 @@ mod tests {
     #[test]
     fn shifted_union_counts_overlap() {
         let p = shapes::star(Dim::D2, 1); // 5 points
-        // Shifting by one along x: union of two 5-point stars sharing 2
-        // points (centre column overlap: (0,0)&(1,0) coincide etc.)
+                                          // Shifting by one along x: union of two 5-point stars sharing 2
+                                          // points (centre column overlap: (0,0)&(1,0) coincide etc.)
         let u = shifted_union(&p, 0, 2);
         assert_eq!(u, 8); // 10 - 2 overlapping
         assert_eq!(shifted_union(&p, 0, 1), 5);
@@ -397,8 +404,7 @@ mod tests {
         let st = OptCombo::parse("ST").unwrap();
         let mut sp = ParamSetting::default_for(&st);
         sp.block_y = 8;
-        let naive =
-            characterize(&p, 512, &OptCombo::BASE, &base_params(), &v100()).unwrap();
+        let naive = characterize(&p, 512, &OptCombo::BASE, &base_params(), &v100()).unwrap();
         let streamed = characterize(&p, 512, &st, &sp, &v100()).unwrap();
         assert!(
             streamed.dram_bytes_per_point < 0.5 * naive.dram_bytes_per_point,
@@ -452,8 +458,7 @@ mod tests {
         let mut params = ParamSetting::default_for(&cm);
         params.merge_factor = 8;
         let merged = characterize(&p, 8192, &cm, &params, &v100()).unwrap();
-        let plain =
-            characterize(&p, 8192, &OptCombo::BASE, &base_params(), &v100()).unwrap();
+        let plain = characterize(&p, 8192, &OptCombo::BASE, &base_params(), &v100()).unwrap();
         assert!(merged.regs_per_thread > plain.regs_per_thread);
     }
 

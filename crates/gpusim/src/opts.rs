@@ -132,7 +132,13 @@ impl OptCombo {
         if pr && !st {
             return Err(ComboError::PrefetchingRequiresStreaming);
         }
-        Ok(OptCombo { st, merge, rt, pr, tb })
+        Ok(OptCombo {
+            st,
+            merge,
+            rt,
+            pr,
+            tb,
+        })
     }
 
     /// Whether the combination satisfies the Table I constraints.
@@ -150,7 +156,13 @@ impl OptCombo {
                     let prs: &[bool] = if st { &[false, true] } else { &[false] };
                     for &pr in prs {
                         for &tb in &[false, true] {
-                            out.push(OptCombo { st, merge, rt, pr, tb });
+                            out.push(OptCombo {
+                                st,
+                                merge,
+                                rt,
+                                pr,
+                                tb,
+                            });
                         }
                     }
                 }

@@ -307,8 +307,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let space = ParamSpace::new(OptCombo::BASE, Dim::D2);
         let v = space.sample_many(&mut rng, 10);
-        let set: std::collections::HashSet<String> =
-            v.iter().map(|s| format!("{s:?}")).collect();
+        let set: std::collections::HashSet<String> = v.iter().map(|s| format!("{s:?}")).collect();
         assert_eq!(set.len(), v.len());
     }
 }

@@ -163,7 +163,11 @@ pub fn profile_stencil(
                     Err(c) => crashes.push(c),
                 }
             }
-            OcOutcome { oc, instances, crashes }
+            OcOutcome {
+                oc,
+                instances,
+                crashes,
+            }
         })
         .collect();
     StencilProfile { per_oc }
@@ -191,18 +195,17 @@ pub fn profile_corpus(
     }
     let mut results: Vec<Option<StencilProfile>> = vec![None; patterns.len()];
     let chunk = patterns.len().div_ceil(workers);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (wi, out_chunk) in results.chunks_mut(chunk).enumerate() {
             let start = wi * chunk;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (j, slot) in out_chunk.iter_mut().enumerate() {
                     let idx = start + j;
                     *slot = Some(profile_stencil(&patterns[idx], grid, arch, cfg, idx as u64));
                 }
             });
         }
-    })
-    .expect("profiling worker panicked");
+    });
     results.into_iter().map(|r| r.expect("filled")).collect()
 }
 

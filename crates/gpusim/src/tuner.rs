@@ -85,12 +85,7 @@ fn crossover<R: Rng>(a: &ParamSetting, b: &ParamSetting, rng: &mut R) -> ParamSe
 }
 
 /// Mutate by re-sampling individual fields from a fresh random setting.
-fn mutate<R: Rng>(
-    s: &ParamSetting,
-    space: &ParamSpace,
-    rate: f64,
-    rng: &mut R,
-) -> ParamSetting {
+fn mutate<R: Rng>(s: &ParamSetting, space: &ParamSpace, rate: f64, rng: &mut R) -> ParamSetting {
     let fresh = space.sample(rng);
     let mut out = *s;
     if rng.gen_bool(rate) {
@@ -130,7 +125,10 @@ pub fn tune_ga(
     cfg: &GaConfig,
 ) -> Option<TuneResult> {
     assert!(cfg.population >= 2, "population must be at least 2");
-    assert!(cfg.elite < cfg.population, "elite must leave room for offspring");
+    assert!(
+        cfg.elite < cfg.population,
+        "elite must leave room for offspring"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let space = ParamSpace::new(*oc, pattern.dim());
     let mut evals = 0usize;
@@ -196,7 +194,7 @@ pub fn tune_random(
     for _ in 0..budget {
         let s = space.sample(&mut rng);
         if let Ok(t) = simulate(pattern, grid, oc, &s, arch) {
-            if best.map_or(true, |(_, bt)| t < bt) {
+            if best.is_none_or(|(_, bt)| t < bt) {
                 best = Some((s, t));
             }
         }
@@ -241,7 +239,16 @@ mod tests {
         let mut total = 0usize;
         for (i, r) in (1..=4u8).enumerate() {
             let p = shapes::cross(Dim::D3, r);
-            let ga = tune_ga(&p, 512, &oc, &arch, &GaConfig { seed: i as u64, ..cfg });
+            let ga = tune_ga(
+                &p,
+                512,
+                &oc,
+                &arch,
+                &GaConfig {
+                    seed: i as u64,
+                    ..cfg
+                },
+            );
             let rnd = tune_random(&p, 512, &oc, &arch, cfg.budget(), i as u64);
             if let (Some(g), Some(n)) = (ga, rnd) {
                 total += 1;
@@ -251,10 +258,7 @@ mod tests {
             }
         }
         assert!(total >= 3, "most runs must produce settings");
-        assert!(
-            ga_wins * 2 >= total,
-            "GA lost too often: {ga_wins}/{total}"
-        );
+        assert!(ga_wins * 2 >= total, "GA lost too often: {ga_wins}/{total}");
     }
 
     #[test]

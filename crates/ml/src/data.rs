@@ -196,7 +196,7 @@ mod tests {
         let t = norm.transform(&m);
         assert!(t.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
         assert_eq!(t.at(1, 0), 1.0); // 4 / 4
-        // Zero columns stay zero without dividing by zero.
+                                     // Zero columns stay zero without dividing by zero.
         let zeros = FeatureMatrix::new(2, 1, vec![0., 0.]);
         let nz = MaxNormalizer::fit(&zeros).transform(&zeros);
         assert_eq!(nz.data(), &[0., 0.]);
@@ -218,7 +218,10 @@ mod tests {
                 assert!(!train.contains(&t));
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "each sample tests exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each sample tests exactly once"
+        );
     }
 
     #[test]

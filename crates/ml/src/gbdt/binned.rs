@@ -178,8 +178,7 @@ impl BinnedTree {
                 if hl < cfg.min_child_weight || hr < cfg.min_child_weight {
                     continue;
                 }
-                let gain = gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda)
-                    - parent_score;
+                let gain = gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda) - parent_score;
                 if gain > cfg.gamma && best.is_none_or(|(bg, _, _)| gain > bg) {
                     best = Some((gain, f, b));
                 }
@@ -281,7 +280,10 @@ mod tests {
     fn binned_tree_learns_step() {
         let n = 50;
         let xs: Vec<f32> = (0..n).map(|i| i as f32 / (n - 1) as f32).collect();
-        let y: Vec<f32> = xs.iter().map(|&v| if v <= 0.5 { -1.0 } else { 1.0 }).collect();
+        let y: Vec<f32> = xs
+            .iter()
+            .map(|&v| if v <= 0.5 { -1.0 } else { 1.0 })
+            .collect();
         let x = FeatureMatrix::new(n, 1, xs);
         let bm = BinnedMatrix::new(&x, 16);
         let g: Vec<f32> = y.iter().map(|v| -v).collect();
@@ -302,11 +304,7 @@ mod tests {
         // With few distinct values, binned and exact trees should make the
         // same split decisions.
         use crate::gbdt::tree::RegressionTree;
-        let x = FeatureMatrix::new(
-            8,
-            1,
-            vec![0., 0., 1., 1., 2., 2., 3., 3.],
-        );
+        let x = FeatureMatrix::new(8, 1, vec![0., 0., 1., 1., 2., 2., 3., 3.]);
         let y = [-2.0f32, -2.0, -1.0, -1.0, 1.0, 1.0, 2.0, 2.0];
         let g: Vec<f32> = y.iter().map(|v| -v).collect();
         let h = vec![1.0; 8];

@@ -5,8 +5,8 @@
 pub mod binned;
 pub mod tree;
 
-use binned::{BinnedMatrix, BinnedTree};
 use crate::data::FeatureMatrix;
+use binned::{BinnedMatrix, BinnedTree};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -80,13 +80,7 @@ impl<'a> FitContext<'a> {
         FitContext { x, binned }
     }
 
-    fn fit_tree(
-        &self,
-        grad: &[f32],
-        hess: &[f32],
-        idx: &[usize],
-        cfg: &TreeConfig,
-    ) -> AnyTree {
+    fn fit_tree(&self, grad: &[f32], hess: &[f32], idx: &[usize], cfg: &TreeConfig) -> AnyTree {
         match &self.binned {
             Some(bm) => AnyTree::Binned(BinnedTree::fit(bm, grad, hess, idx, cfg)),
             None => AnyTree::Exact(RegressionTree::fit(self.x, grad, hess, idx, cfg)),
@@ -142,13 +136,7 @@ impl GbdtRegressor {
 
     /// Predict one sample.
     pub fn predict_row(&self, row: &[f32]) -> f32 {
-        self.base
-            + self.eta
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict_row(row))
-                    .sum::<f32>()
+        self.base + self.eta * self.trees.iter().map(|t| t.predict_row(row)).sum::<f32>()
     }
 
     /// Predict a batch.
@@ -328,12 +316,7 @@ mod tests {
         };
         let model = GbdtClassifier::fit(&x, &labels, 4, &cfg);
         let preds = model.predict(&x);
-        let acc = preds
-            .iter()
-            .zip(&labels)
-            .filter(|(a, b)| a == b)
-            .count() as f64
-            / n as f64;
+        let acc = preds.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / n as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
 

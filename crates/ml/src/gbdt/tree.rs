@@ -118,8 +118,7 @@ impl RegressionTree {
                 if hl < cfg.min_child_weight || hr < cfg.min_child_weight {
                     continue;
                 }
-                let gain = gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda)
-                    - parent_score;
+                let gain = gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda) - parent_score;
                 if gain > cfg.gamma && best.is_none_or(|(bg, _, _)| gain > bg) {
                     best = Some((gain, f, 0.5 * (v + v_next)));
                 }
@@ -186,9 +185,7 @@ impl RegressionTree {
         fn walk(nodes: &[Node], id: usize) -> usize {
             match &nodes[id] {
                 Node::Leaf { .. } => 0,
-                Node::Split { left, right, .. } => {
-                    1 + walk(nodes, *left).max(walk(nodes, *right))
-                }
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
             }
         }
         if self.nodes.is_empty() {
@@ -219,7 +216,10 @@ mod tests {
     fn xy_step() -> (FeatureMatrix, Vec<f32>, Vec<f32>) {
         // y = step at x = 0.5: perfect single split.
         let xs: Vec<f32> = (0..20).map(|i| i as f32 / 19.0).collect();
-        let y: Vec<f32> = xs.iter().map(|&v| if v <= 0.5 { -1.0 } else { 1.0 }).collect();
+        let y: Vec<f32> = xs
+            .iter()
+            .map(|&v| if v <= 0.5 { -1.0 } else { 1.0 })
+            .collect();
         let x = FeatureMatrix::new(20, 1, xs);
         // For squared loss with pred = 0: g = -y, h = 1.
         let g: Vec<f32> = y.iter().map(|v| -v).collect();
@@ -298,10 +298,7 @@ mod tests {
         };
         let tree = RegressionTree::fit(&x, &g, &h, &idx, &cfg);
         for (i, &target) in y.iter().enumerate() {
-            assert!(
-                (tree.predict_row(x.row(i)) - target).abs() < 0.3,
-                "row {i}"
-            );
+            assert!((tree.predict_row(x.row(i)) - target).abs() < 0.3, "row {i}");
         }
     }
 }

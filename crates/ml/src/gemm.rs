@@ -1,0 +1,466 @@
+//! Cache-blocked, register-tiled `f32` matrix multiplication.
+//!
+//! Classic three-level blocking in the BLIS style: the operands are cut
+//! into `MC × KC` panels of A and `KC × NC` panels of B, each packed into
+//! contiguous micro-panel storage, and an `MR × NR` register-tile
+//! micro-kernel runs over the packed data with unit stride. Packing makes
+//! the inner loop layout-independent, so the transposed variants
+//! ([`gemm_tn`], [`gemm_nt`]) cost the same as the plain one — transposition
+//! is absorbed at packing time.
+//!
+//! All entry points take an `accumulate` flag: `false` computes `C = op(A)
+//! · op(B)`, `true` computes `C += op(A) · op(B)` (used by the convolution
+//! weight-gradient, which sums over batch items).
+//!
+//! Large multiplies are row-partitioned across threads with
+//! [`crate::par::par_map_chunked`]; small ones stay sequential (see
+//! [`PAR_FLOP_THRESHOLD`]). The worker count honors the
+//! `STENCILMART_THREADS` environment variable.
+
+use crate::par;
+
+/// Rows per register tile.
+pub const MR: usize = 8;
+/// Columns per register tile (two AVX2 lanes, one AVX-512 lane).
+pub const NR: usize = 16;
+
+/// Rows of A per cache panel (multiple of `MR`; sized for L2 residency of
+/// the packed A panel: MC·KC·4 B = 64 KiB).
+const MC: usize = 64;
+/// Shared dimension per cache panel.
+const KC: usize = 256;
+/// Columns of B per cache panel (multiple of `NR`; packed B panel is
+/// KC·NC·4 B = 512 KiB, L3-resident).
+const NC: usize = 512;
+
+/// Minimum `2·m·k·n` flop count before threads are spawned. Below this the
+/// spawn/join overhead outweighs the work.
+pub const PAR_FLOP_THRESHOLD: usize = 1 << 23;
+
+/// How the left operand is stored.
+#[derive(Clone, Copy)]
+enum Lhs<'a> {
+    /// `A` is `[m, k]` row-major: `a[i][p] = data[i*k + p]`.
+    RowMajor(&'a [f32]),
+    /// `A` is stored transposed as `[k, m]`: `a[i][p] = data[p*m + i]`.
+    Transposed(&'a [f32]),
+}
+
+/// How the right operand is stored.
+#[derive(Clone, Copy)]
+enum Rhs<'a> {
+    /// `B` is `[k, n]` row-major: `b[p][j] = data[p*n + j]`.
+    RowMajor(&'a [f32]),
+    /// `B` is stored transposed as `[n, k]`: `b[p][j] = data[j*k + p]`.
+    Transposed(&'a [f32]),
+}
+
+/// `C = A·B` (or `C += A·B`) with `A: [m,k]`, `B: [k,n]`, `C: [m,n]`, all
+/// row-major.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], accumulate: bool) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    gemm_dispatch(m, k, n, Lhs::RowMajor(a), Rhs::RowMajor(b), c, accumulate);
+}
+
+/// `C = Aᵀ·B` (or `+=`) with `A` stored `[k,m]`, `B: [k,n]`, `C: [m,n]`.
+pub fn gemm_tn(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    gemm_dispatch(m, k, n, Lhs::Transposed(a), Rhs::RowMajor(b), c, accumulate);
+}
+
+/// `C = A·Bᵀ` (or `+=`) with `A: [m,k]`, `B` stored `[n,k]`, `C: [m,n]`.
+pub fn gemm_nt(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    gemm_dispatch(m, k, n, Lhs::RowMajor(a), Rhs::Transposed(b), c, accumulate);
+}
+
+fn gemm_dispatch(
+    m: usize,
+    k: usize,
+    n: usize,
+    lhs: Lhs<'_>,
+    rhs: Rhs<'_>,
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    assert_eq!(c.len(), m * n, "output buffer is {} not {}", c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    if !accumulate {
+        c.fill(0.0);
+    }
+    let workers = par::worker_count();
+    if workers > 1 && 2 * m * k * n >= PAR_FLOP_THRESHOLD && m >= 2 * MR {
+        // Row-partition C: each worker owns a contiguous MR-aligned block
+        // of rows and computes them into a private buffer; the stitch back
+        // into C is O(m·n), negligible against the O(m·k·n) compute.
+        let rows_per = (m.div_ceil(workers)).div_ceil(MR) * MR;
+        let blocks: Vec<(usize, usize)> = (0..m)
+            .step_by(rows_per)
+            .map(|r0| (r0, rows_per.min(m - r0)))
+            .collect();
+        let parts = par::par_map_chunked(&blocks, 1, |&(r0, rows)| {
+            let mut part = vec![0.0f32; rows * n];
+            gemm_serial(r0, rows, k, n, lhs, rhs, &mut part);
+            part
+        });
+        for ((r0, rows), part) in blocks.iter().zip(parts) {
+            for (local, row) in (*r0..r0 + rows).enumerate() {
+                let dst = &mut c[row * n..(row + 1) * n];
+                let src = &part[local * n..(local + 1) * n];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+        }
+    } else {
+        gemm_serial(0, m, k, n, lhs, rhs, c);
+    }
+}
+
+/// Serial blocked GEMM over logical rows `row0 .. row0+rows`, accumulating
+/// into a buffer whose first row corresponds to global row `row0` (the
+/// full `C` when `row0 == 0`, a worker's private block otherwise).
+fn gemm_serial(
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    lhs: Lhs<'_>,
+    rhs: Rhs<'_>,
+    c: &mut [f32],
+) {
+    gemm_blocked(row0, rows, k, n, lhs, rhs, c, row0);
+}
+
+/// The panel loop nest. `c` holds rows `c_row0 ..` of the output with
+/// leading dimension `n`; the block of logical rows computed is
+/// `row0 .. row0+rows`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked(
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    lhs: Lhs<'_>,
+    rhs: Rhs<'_>,
+    c: &mut [f32],
+    c_row0: usize,
+) {
+    let mut apack = vec![0.0f32; MC.div_ceil(MR) * MR * KC];
+    let mut bpack = vec![0.0f32; NC.div_ceil(NR) * NR * KC];
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(rhs, k, n, pc, kc, jc, nc, &mut bpack);
+            let mut ic = 0;
+            while ic < rows {
+                let mc = MC.min(rows - ic);
+                pack_a(lhs, k, row0 + ic, mc, pc, kc, &mut apack);
+                macro_tile(mc, kc, nc, &apack, &bpack, c, (row0 + ic) - c_row0, jc, n);
+                ic += MC;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
+}
+
+/// Pack `mc` rows × `kc` depth of A into MR-row micro-panels: panel `s`
+/// holds rows `s·MR .. s·MR+MR` laid out depth-major so the micro-kernel
+/// reads `MR` values per depth step with unit stride. Tail rows are
+/// zero-padded.
+fn pack_a(lhs: Lhs<'_>, k: usize, i0: usize, mc: usize, p0: usize, kc: usize, out: &mut [f32]) {
+    let strips = mc.div_ceil(MR);
+    out[..strips * kc * MR].fill(0.0);
+    for s in 0..strips {
+        let base = s * kc * MR;
+        let rows = MR.min(mc - s * MR);
+        match lhs {
+            Lhs::RowMajor(a) => {
+                for r in 0..rows {
+                    let src = &a[(i0 + s * MR + r) * k + p0..][..kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        out[base + p * MR + r] = v;
+                    }
+                }
+            }
+            Lhs::Transposed(a) => {
+                // `a` is [k, m]; row i of A is column i of the storage, so
+                // consecutive r are adjacent — copy a row of storage per p.
+                let m_stride = a.len() / k;
+                for p in 0..kc {
+                    let src = &a[(p0 + p) * m_stride + i0 + s * MR..][..rows];
+                    out[base + p * MR..base + p * MR + rows].copy_from_slice(src);
+                }
+            }
+        }
+    }
+}
+
+/// Pack `kc` depth × `nc` columns of B into NR-column micro-panels, each
+/// laid out depth-major (`NR` contiguous values per depth step). Tail
+/// columns are zero-padded.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    rhs: Rhs<'_>,
+    k: usize,
+    n: usize,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+    out: &mut [f32],
+) {
+    let strips = nc.div_ceil(NR);
+    out[..strips * kc * NR].fill(0.0);
+    for s in 0..strips {
+        let base = s * kc * NR;
+        let cols = NR.min(nc - s * NR);
+        match rhs {
+            Rhs::RowMajor(b) => {
+                for p in 0..kc {
+                    let src = &b[(p0 + p) * n + j0 + s * NR..][..cols];
+                    out[base + p * NR..base + p * NR + cols].copy_from_slice(src);
+                }
+            }
+            Rhs::Transposed(b) => {
+                // `b` is [n, k]; column j of B is row j of the storage.
+                for j in 0..cols {
+                    let src = &b[(j0 + s * NR + j) * k + p0..][..kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        out[base + p * NR + j] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run the micro-kernel over every `MR × NR` tile of an `mc × nc` block,
+/// accumulating into `c` at logical offset (`ci0`, `j0`).
+#[allow(clippy::too_many_arguments)]
+fn macro_tile(
+    mc: usize,
+    kc: usize,
+    nc: usize,
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    ci0: usize,
+    j0: usize,
+    ldc: usize,
+) {
+    let mstrips = mc.div_ceil(MR);
+    let nstrips = nc.div_ceil(NR);
+    for js in 0..nstrips {
+        let bp = &bpack[js * kc * NR..(js + 1) * kc * NR];
+        let cols = NR.min(nc - js * NR);
+        for is in 0..mstrips {
+            let ap = &apack[is * kc * MR..(is + 1) * kc * MR];
+            let rows = MR.min(mc - is * MR);
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel(kc, ap, bp, &mut acc);
+            for (r, acc_row) in acc.iter().enumerate().take(rows) {
+                let crow = (ci0 + is * MR + r) * ldc + j0 + js * NR;
+                let dst = &mut c[crow..crow + cols];
+                for (d, &v) in dst.iter_mut().zip(acc_row.iter()) {
+                    *d += v;
+                }
+            }
+        }
+    }
+}
+
+/// Fused multiply-add when the target guarantees hardware FMA; plain
+/// mul+add otherwise (`mul_add` without the feature lowers to a libm call,
+/// which would be ruinous in the hot loop).
+#[inline(always)]
+fn fmadd(a: f32, b: f32, c: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
+/// The register tile: `MR × NR` accumulators updated across the packed
+/// depth. Each row's accumulator is a separate named array so LLVM keeps
+/// four independent `NR`-wide FMA chains in vector registers; a single
+/// `[[f32; NR]; MR]` tempts the SLP vectorizer into vectorizing across the
+/// rows instead (broadcast + gather/scatter, an order of magnitude slower).
+#[inline(always)]
+fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    const { assert!(MR == 8) };
+    let [mut c0, mut c1, mut c2, mut c3, mut c4, mut c5, mut c6, mut c7] = *acc;
+    for p in 0..kc {
+        let a: &[f32; MR] = ap[p * MR..p * MR + MR].try_into().unwrap();
+        let b: &[f32; NR] = bp[p * NR..p * NR + NR].try_into().unwrap();
+        macro_rules! row {
+            ($c:ident, $i:expr) => {
+                for j in 0..NR {
+                    $c[j] = fmadd(a[$i], b[j], $c[j]);
+                }
+            };
+        }
+        row!(c0, 0);
+        row!(c1, 1);
+        row!(c2, 2);
+        row!(c3, 3);
+        row!(c4, 4);
+        row!(c5, 5);
+        row!(c6, 6);
+        row!(c7, 7);
+    }
+    *acc = [c0, c1, c2, c3, c4, c5, c6, c7];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn lcg_fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 40) as f32 / (1u32 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn assert_close(actual: &[f32], expect: &[f32], what: &str) {
+        assert_eq!(actual.len(), expect.len());
+        for (i, (a, e)) in actual.iter().zip(expect).enumerate() {
+            let tol = 1e-4f32.max(e.abs() * 1e-4);
+            assert!((a - e).abs() <= tol, "{what}[{i}]: {a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_across_shapes() {
+        // Shapes straddling every blocking boundary: unit dims, sub-tile,
+        // exact-tile, and just past MC/KC/NC edges.
+        let shapes = [
+            (1, 1, 1),
+            (1, 7, 19),
+            (3, 1, 5),
+            (4, 16, 16),
+            (5, 17, 33),
+            (MR, KC, NR),
+            (MC + 3, KC + 5, NR + 1),
+            (2 * MR + 1, 3, 2 * NR + 7),
+        ];
+        for &(m, k, n) in &shapes {
+            let a = lcg_fill(m as u64 * 31 + k as u64, m * k);
+            let b = lcg_fill(n as u64 * 17 + 7, k * n);
+            let expect = reference::matmul(m, k, n, &a, &b);
+            let mut c = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c, false);
+            assert_close(&c, &expect, "gemm");
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match_reference() {
+        let (m, k, n) = (37, 29, 51);
+        let a = lcg_fill(1, m * k);
+        let b = lcg_fill(2, k * n);
+        let expect = reference::matmul(m, k, n, &a, &b);
+
+        // A stored [k, m].
+        let mut at = vec![0.0; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_tn(m, k, n, &at, &b, &mut c, false);
+        assert_close(&c, &expect, "gemm_tn");
+
+        // B stored [n, k].
+        let mut bt = vec![0.0; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let mut c2 = vec![0.0; m * n];
+        gemm_nt(m, k, n, &a, &bt, &mut c2, false);
+        assert_close(&c2, &expect, "gemm_nt");
+    }
+
+    #[test]
+    fn accumulate_adds_onto_existing_output() {
+        let (m, k, n) = (9, 11, 13);
+        let a = lcg_fill(3, m * k);
+        let b = lcg_fill(4, k * n);
+        let product = reference::matmul(m, k, n, &a, &b);
+        let mut c: Vec<f32> = (0..m * n).map(|i| i as f32 * 0.25).collect();
+        let expect: Vec<f32> = c.iter().zip(&product).map(|(x, y)| x + y).collect();
+        gemm(m, k, n, &a, &b, &mut c, true);
+        assert_close(&c, &expect, "gemm+=");
+    }
+
+    #[test]
+    fn zero_k_clears_or_keeps_output() {
+        let mut c = vec![5.0f32; 6];
+        gemm(2, 0, 3, &[], &[], &mut c, true);
+        assert_eq!(c, vec![5.0; 6]);
+        gemm(2, 0, 3, &[], &[], &mut c, false);
+        assert_eq!(c, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn threaded_path_matches_serial() {
+        // Force the parallel branch: exceed the flop threshold and pin the
+        // worker count above 1 regardless of the host's core count.
+        let _guard = par::test_env_lock();
+        std::env::set_var("STENCILMART_THREADS", "3");
+        let (m, k, n) = (256, 128, 160);
+        assert!(2 * m * k * n >= PAR_FLOP_THRESHOLD);
+        let a = lcg_fill(5, m * k);
+        let b = lcg_fill(6, k * n);
+        let expect = reference::matmul(m, k, n, &a, &b);
+        let mut c = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c, false);
+        std::env::remove_var("STENCILMART_THREADS");
+        assert_close(&c, &expect, "gemm-par");
+    }
+}

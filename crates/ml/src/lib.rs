@@ -8,6 +8,10 @@
 //!
 //! * [`tensor`] — a dense `f32` tensor with the matmul variants needed for
 //!   backprop.
+//! * [`gemm`] — cache-blocked, register-tiled, optionally multithreaded
+//!   `f32` matrix multiplication backing every matmul variant.
+//! * [`reference`] — the original naive kernels, kept as correctness
+//!   oracles and benchmark baselines.
 //! * [`nn`] — dense / 2-D / 3-D conv layers, ReLU, softmax-CE and MSE
 //!   losses, Adam/SGD, sequential and two-branch containers, mini-batch
 //!   training loops.
@@ -21,9 +25,11 @@
 
 pub mod data;
 pub mod gbdt;
+pub mod gemm;
 pub mod metrics;
 pub mod nn;
 pub mod par;
+pub mod reference;
 pub mod tensor;
 
 pub use data::{FeatureMatrix, KFold, MaxNormalizer};

@@ -1,23 +1,192 @@
-//! 2-D and 3-D convolution layers (direct, stride 1, valid padding).
+//! 2-D and 3-D convolution layers (stride 1, valid padding), lowered to
+//! GEMM via im2col.
 //!
 //! The paper's ConvNet/ConvMLP consume 9×9 (2-D) or 9×9×9 (3-D) binary
-//! stencil tensors with 3×3(×3) filters, so a simple direct convolution is
-//! both adequate and cache-friendly at these sizes.
+//! stencil tensors with 3×3(×3) filters. The receptive fields of the
+//! *whole batch* are unrolled into one column matrix `col` of shape
+//! `[ic·k² , b·oh·ow]` (2-D) or `[ic·k³ , b·od·oh·ow]` (3-D) — item `bi`
+//! owns the column block `bi·oh·ow ..` — so each pass is a single large
+//! GEMM instead of `b` small ones:
+//!
+//! * forward:       `Y = W · col` (+ bias, scattered back per item),
+//! * weight grad:   `gW += G · colᵀ`,
+//! * input grad:    `gX = col2im(Wᵀ · G)`,
+//!
+//! where `G` is the output gradient gathered into the same `[oc, b·…]`
+//! layout. All products run on the blocked kernels in [`crate::gemm`].
+//! `col` is cached from the training forward so backward never re-unrolls
+//! the input. The original direct loops live on in [`crate::reference`] as
+//! the correctness oracle.
 
+use crate::gemm;
 use crate::nn::layer::Layer;
 use crate::tensor::Tensor;
 use rand::Rng;
+
+/// Unroll one item `[ic, h, w]` into columns `col0 .. col0+oh·ow` of a
+/// `col` matrix with `ld` columns per row.
+#[allow(clippy::too_many_arguments)]
+fn im2col2d(
+    x: &[f32],
+    ic: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    col: &mut [f32],
+    ld: usize,
+    col0: usize,
+) {
+    let (oh, ow) = (h + 1 - k, w + 1 - k);
+    let mut r = 0;
+    for c in 0..ic {
+        for ky in 0..k {
+            for kx in 0..k {
+                for oy in 0..oh {
+                    let src = (c * h + oy + ky) * w + kx;
+                    let dst = r * ld + col0 + oy * ow;
+                    col[dst..dst + ow].copy_from_slice(&x[src..src + ow]);
+                }
+                r += 1;
+            }
+        }
+    }
+}
+
+/// Scatter-add columns `col0 .. col0+oh·ow` of `col` (with `ld` columns
+/// per row) back into one item `[ic, h, w]`.
+#[allow(clippy::too_many_arguments)]
+fn col2im2d(
+    col: &[f32],
+    ic: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    x: &mut [f32],
+    ld: usize,
+    col0: usize,
+) {
+    let (oh, ow) = (h + 1 - k, w + 1 - k);
+    let mut r = 0;
+    for c in 0..ic {
+        for ky in 0..k {
+            for kx in 0..k {
+                for oy in 0..oh {
+                    let dst = (c * h + oy + ky) * w + kx;
+                    let src = r * ld + col0 + oy * ow;
+                    for i in 0..ow {
+                        x[dst + i] += col[src + i];
+                    }
+                }
+                r += 1;
+            }
+        }
+    }
+}
+
+/// Unroll one item `[ic, d, h, w]` into columns `col0 ..` of `col`.
+#[allow(clippy::too_many_arguments)]
+fn im2col3d(
+    x: &[f32],
+    ic: usize,
+    d: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    col: &mut [f32],
+    ld: usize,
+    col0: usize,
+) {
+    let (od, oh, ow) = (d + 1 - k, h + 1 - k, w + 1 - k);
+    let mut r = 0;
+    for c in 0..ic {
+        for kz in 0..k {
+            for ky in 0..k {
+                for kx in 0..k {
+                    for oz in 0..od {
+                        for oy in 0..oh {
+                            let src = ((c * d + oz + kz) * h + oy + ky) * w + kx;
+                            let dst = r * ld + col0 + (oz * oh + oy) * ow;
+                            col[dst..dst + ow].copy_from_slice(&x[src..src + ow]);
+                        }
+                    }
+                    r += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-add columns `col0 ..` of `col` back into one item `[ic, d, h, w]`.
+#[allow(clippy::too_many_arguments)]
+fn col2im3d(
+    col: &[f32],
+    ic: usize,
+    d: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    x: &mut [f32],
+    ld: usize,
+    col0: usize,
+) {
+    let (od, oh, ow) = (d + 1 - k, h + 1 - k, w + 1 - k);
+    let mut r = 0;
+    for c in 0..ic {
+        for kz in 0..k {
+            for ky in 0..k {
+                for kx in 0..k {
+                    for oz in 0..od {
+                        for oy in 0..oh {
+                            let dst = ((c * d + oz + kz) * h + oy + ky) * w + kx;
+                            let src = r * ld + col0 + (oz * oh + oy) * ow;
+                            for i in 0..ow {
+                                x[dst + i] += col[src + i];
+                            }
+                        }
+                    }
+                    r += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Gather `grad: [b, oc, sp]` into `g: [oc, b·sp]` (item `bi` at column
+/// `bi·sp`), the layout the backward GEMMs consume.
+fn gather_grad(gd: &[f32], b: usize, oc: usize, sp: usize, g: &mut [f32]) {
+    for bi in 0..b {
+        for o in 0..oc {
+            let src = &gd[(bi * oc + o) * sp..][..sp];
+            g[o * b * sp + bi * sp..][..sp].copy_from_slice(src);
+        }
+    }
+}
+
+/// Scatter `yt: [oc, b·sp]` into `y: [b, oc, sp]`, adding the per-channel
+/// bias on the way.
+fn scatter_output(yt: &[f32], bias: &[f32], b: usize, oc: usize, sp: usize, yd: &mut [f32]) {
+    for bi in 0..b {
+        for (o, &bo) in bias.iter().enumerate() {
+            let src = &yt[o * b * sp + bi * sp..][..sp];
+            let dst = &mut yd[(bi * oc + o) * sp..][..sp];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = s + bo;
+            }
+        }
+    }
+}
 
 /// 2-D convolution: input `[b, ic, h, w]` → output `[b, oc, h-k+1, w-k+1]`.
 pub struct Conv2d {
     ic: usize,
     oc: usize,
     k: usize,
-    w: Vec<f32>,  // [oc, ic, k, k]
-    b: Vec<f32>,  // [oc]
+    w: Vec<f32>, // [oc, ic, k, k]
+    b: Vec<f32>, // [oc]
     gw: Vec<f32>,
     gb: Vec<f32>,
-    cache_x: Option<Tensor>,
+    /// Input shape and batched `col` matrix from the training forward.
+    cache: Option<(Vec<usize>, Vec<f32>)>,
 }
 
 impl Conv2d {
@@ -35,18 +204,13 @@ impl Conv2d {
             b: vec![0.0; oc],
             gw: vec![0.0; oc * ic * k * k],
             gb: vec![0.0; oc],
-            cache_x: None,
+            cache: None,
         }
     }
 
     /// Output spatial size for an input of side `s`.
     pub fn out_side(&self, s: usize) -> usize {
         s + 1 - self.k
-    }
-
-    #[inline]
-    fn widx(&self, o: usize, c: usize, ky: usize, kx: usize) -> usize {
-        ((o * self.ic + c) * self.k + ky) * self.k + kx
     }
 }
 
@@ -55,66 +219,62 @@ impl Layer for Conv2d {
         let (b, ic, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         assert_eq!(ic, self.ic, "channel mismatch");
         let (oh, ow) = (h + 1 - self.k, w + 1 - self.k);
-        let mut y = Tensor::zeros(&[b, self.oc, oh, ow]);
+        let (ohow, kk) = (oh * ow, ic * self.k * self.k);
+        let (item, bsp) = (ic * h * w, b * ohow);
         let xd = x.data();
-        let yd = y.data_mut();
+        let mut col = vec![0.0f32; kk * bsp];
         for bi in 0..b {
-            for o in 0..self.oc {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = self.b[o];
-                        for c in 0..ic {
-                            for ky in 0..self.k {
-                                let xrow =
-                                    ((bi * ic + c) * h + oy + ky) * w + ox;
-                                let wrow = self.widx(o, c, ky, 0);
-                                for kx in 0..self.k {
-                                    acc += self.w[wrow + kx] * xd[xrow + kx];
-                                }
-                            }
-                        }
-                        yd[((bi * self.oc + o) * oh + oy) * ow + ox] = acc;
-                    }
-                }
-            }
+            im2col2d(
+                &xd[bi * item..][..item],
+                ic,
+                h,
+                w,
+                self.k,
+                &mut col,
+                bsp,
+                bi * ohow,
+            );
         }
+        let mut yt = vec![0.0f32; self.oc * bsp];
+        gemm::gemm(self.oc, kk, bsp, &self.w, &col, &mut yt, false);
+        let mut y = Tensor::zeros(&[b, self.oc, oh, ow]);
+        scatter_output(&yt, &self.b, b, self.oc, ohow, y.data_mut());
         if train {
-            self.cache_x = Some(x.clone());
+            self.cache = Some((x.shape().to_vec(), col));
         }
         y
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache_x.take().expect("backward without forward");
-        let (b, ic, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (shape, col) = self.cache.take().expect("backward without forward");
+        let (b, ic, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let (oh, ow) = (h + 1 - self.k, w + 1 - self.k);
         assert_eq!(grad_out.shape(), &[b, self.oc, oh, ow]);
-        let mut gx = Tensor::zeros(x.shape());
-        let xd = x.data();
-        let gd = grad_out.data();
+        let (ohow, kk) = (oh * ow, ic * self.k * self.k);
+        let (item, bsp) = (ic * h * w, b * ohow);
+        let mut g = vec![0.0f32; self.oc * bsp];
+        gather_grad(grad_out.data(), b, self.oc, ohow, &mut g);
+        // gW += G · colᵀ  (col stored [kk, b·ohow] is Bᵀ for gemm_nt).
+        gemm::gemm_nt(self.oc, bsp, kk, &g, &col, &mut self.gw, true);
+        for (o, gbo) in self.gb.iter_mut().enumerate() {
+            *gbo += g[o * bsp..(o + 1) * bsp].iter().sum::<f32>();
+        }
+        // gX = col2im(Wᵀ · G)  (W stored [oc, kk] is Aᵀ for gemm_tn).
+        let mut gcol = vec![0.0f32; kk * bsp];
+        gemm::gemm_tn(kk, self.oc, bsp, &self.w, &g, &mut gcol, false);
+        let mut gx = Tensor::zeros(&shape);
         let gxd = gx.data_mut();
         for bi in 0..b {
-            for o in 0..self.oc {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = gd[((bi * self.oc + o) * oh + oy) * ow + ox];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        self.gb[o] += g;
-                        for c in 0..ic {
-                            for ky in 0..self.k {
-                                let xrow = ((bi * ic + c) * h + oy + ky) * w + ox;
-                                let wrow = self.widx(o, c, ky, 0);
-                                for kx in 0..self.k {
-                                    self.gw[wrow + kx] += g * xd[xrow + kx];
-                                    gxd[xrow + kx] += g * self.w[wrow + kx];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+            col2im2d(
+                &gcol,
+                ic,
+                h,
+                w,
+                self.k,
+                &mut gxd[bi * item..][..item],
+                bsp,
+                bi * ohow,
+            );
         }
         gx
     }
@@ -135,7 +295,7 @@ pub struct Conv3d {
     b: Vec<f32>,
     gw: Vec<f32>,
     gb: Vec<f32>,
-    cache_x: Option<Tensor>,
+    cache: Option<(Vec<usize>, Vec<f32>)>,
 }
 
 impl Conv3d {
@@ -153,13 +313,8 @@ impl Conv3d {
             b: vec![0.0; oc],
             gw: vec![0.0; oc * ic * k * k * k],
             gb: vec![0.0; oc],
-            cache_x: None,
+            cache: None,
         }
-    }
-
-    #[inline]
-    fn widx(&self, o: usize, c: usize, kz: usize, ky: usize, kx: usize) -> usize {
-        (((o * self.ic + c) * self.k + kz) * self.k + ky) * self.k + kx
     }
 }
 
@@ -169,82 +324,62 @@ impl Layer for Conv3d {
         let (b, ic, d, h, w) = (s[0], s[1], s[2], s[3], s[4]);
         assert_eq!(ic, self.ic, "channel mismatch");
         let (od, oh, ow) = (d + 1 - self.k, h + 1 - self.k, w + 1 - self.k);
-        let mut y = Tensor::zeros(&[b, self.oc, od, oh, ow]);
+        let (out_sp, kk) = (od * oh * ow, ic * self.k * self.k * self.k);
+        let (item, bsp) = (ic * d * h * w, b * out_sp);
         let xd = x.data();
-        let yd = y.data_mut();
+        let mut col = vec![0.0f32; kk * bsp];
         for bi in 0..b {
-            for o in 0..self.oc {
-                for oz in 0..od {
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let mut acc = self.b[o];
-                            for c in 0..ic {
-                                for kz in 0..self.k {
-                                    for ky in 0..self.k {
-                                        let xrow = (((bi * ic + c) * d + oz + kz) * h
-                                            + oy
-                                            + ky)
-                                            * w
-                                            + ox;
-                                        let wrow = self.widx(o, c, kz, ky, 0);
-                                        for kx in 0..self.k {
-                                            acc += self.w[wrow + kx] * xd[xrow + kx];
-                                        }
-                                    }
-                                }
-                            }
-                            yd[(((bi * self.oc + o) * od + oz) * oh + oy) * ow + ox] = acc;
-                        }
-                    }
-                }
-            }
+            im2col3d(
+                &xd[bi * item..][..item],
+                ic,
+                d,
+                h,
+                w,
+                self.k,
+                &mut col,
+                bsp,
+                bi * out_sp,
+            );
         }
+        let mut yt = vec![0.0f32; self.oc * bsp];
+        gemm::gemm(self.oc, kk, bsp, &self.w, &col, &mut yt, false);
+        let mut y = Tensor::zeros(&[b, self.oc, od, oh, ow]);
+        scatter_output(&yt, &self.b, b, self.oc, out_sp, y.data_mut());
         if train {
-            self.cache_x = Some(x.clone());
+            self.cache = Some((x.shape().to_vec(), col));
         }
         y
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache_x.take().expect("backward without forward");
-        let s = x.shape();
-        let (b, ic, d, h, w) = (s[0], s[1], s[2], s[3], s[4]);
+        let (shape, col) = self.cache.take().expect("backward without forward");
+        let (b, ic, d, h, w) = (shape[0], shape[1], shape[2], shape[3], shape[4]);
         let (od, oh, ow) = (d + 1 - self.k, h + 1 - self.k, w + 1 - self.k);
-        let mut gx = Tensor::zeros(x.shape());
-        let xd = x.data();
-        let gd = grad_out.data();
+        assert_eq!(grad_out.shape(), &[b, self.oc, od, oh, ow]);
+        let (out_sp, kk) = (od * oh * ow, ic * self.k * self.k * self.k);
+        let (item, bsp) = (ic * d * h * w, b * out_sp);
+        let mut g = vec![0.0f32; self.oc * bsp];
+        gather_grad(grad_out.data(), b, self.oc, out_sp, &mut g);
+        gemm::gemm_nt(self.oc, bsp, kk, &g, &col, &mut self.gw, true);
+        for (o, gbo) in self.gb.iter_mut().enumerate() {
+            *gbo += g[o * bsp..(o + 1) * bsp].iter().sum::<f32>();
+        }
+        let mut gcol = vec![0.0f32; kk * bsp];
+        gemm::gemm_tn(kk, self.oc, bsp, &self.w, &g, &mut gcol, false);
+        let mut gx = Tensor::zeros(&shape);
         let gxd = gx.data_mut();
         for bi in 0..b {
-            for o in 0..self.oc {
-                for oz in 0..od {
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let g =
-                                gd[(((bi * self.oc + o) * od + oz) * oh + oy) * ow + ox];
-                            if g == 0.0 {
-                                continue;
-                            }
-                            self.gb[o] += g;
-                            for c in 0..ic {
-                                for kz in 0..self.k {
-                                    for ky in 0..self.k {
-                                        let xrow = (((bi * ic + c) * d + oz + kz) * h
-                                            + oy
-                                            + ky)
-                                            * w
-                                            + ox;
-                                        let wrow = self.widx(o, c, kz, ky, 0);
-                                        for kx in 0..self.k {
-                                            self.gw[wrow + kx] += g * xd[xrow + kx];
-                                            gxd[xrow + kx] += g * self.w[wrow + kx];
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+            col2im3d(
+                &gcol,
+                ic,
+                d,
+                h,
+                w,
+                self.k,
+                &mut gxd[bi * item..][..item],
+                bsp,
+                bi * out_sp,
+            );
         }
         gx
     }
@@ -290,14 +425,42 @@ mod tests {
             xp.data_mut()[idx] += eps;
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
-            let lp: f32 = c.forward(&xp, false).data().iter().map(|v| v * v / 2.0).sum();
-            let lm: f32 = c.forward(&xm, false).data().iter().map(|v| v * v / 2.0).sum();
+            let lp: f32 = c
+                .forward(&xp, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            let lm: f32 = c
+                .forward(&xm, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             let num = (lp - lm) / (2.0 * eps);
             assert!(
                 (num - gx.data()[idx]).abs() < 0.05 * (1.0 + num.abs()),
                 "idx {idx}: numeric {num} vs analytic {}",
                 gx.data()[idx]
             );
+        }
+    }
+
+    #[test]
+    fn conv2d_multi_item_batch_matches_per_item() {
+        // A 2-item batch must produce exactly the single-item outputs —
+        // guards the batched-col column bookkeeping.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut c = Conv2d::new(2, 3, 3, &mut rng);
+        let data: Vec<f32> = (0..2 * 2 * 6 * 6)
+            .map(|v| (v as f32 * 0.17).sin())
+            .collect();
+        let both = Tensor::from_vec(&[2, 2, 6, 6], data.clone());
+        let y = c.forward(&both, false);
+        for bi in 0..2 {
+            let one = Tensor::from_vec(&[1, 2, 6, 6], data[bi * 72..][..72].to_vec());
+            let y1 = c.forward(&one, false);
+            assert_eq!(y1.data(), y.row(bi), "item {bi}");
         }
     }
 
@@ -326,8 +489,18 @@ mod tests {
             xp.data_mut()[idx] += eps;
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
-            let lp: f32 = c.forward(&xp, false).data().iter().map(|v| v * v / 2.0).sum();
-            let lm: f32 = c.forward(&xm, false).data().iter().map(|v| v * v / 2.0).sum();
+            let lp: f32 = c
+                .forward(&xp, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            let lm: f32 = c
+                .forward(&xm, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             let num = (lp - lm) / (2.0 * eps);
             assert!(
                 (num - gx.data()[idx]).abs() < 0.05 * (1.0 + num.abs()),
@@ -347,5 +520,28 @@ mod tests {
             count += 1;
         });
         assert_eq!(count, 2); // weights + bias
+    }
+
+    #[test]
+    fn im2col_col2im_are_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining property of the
+        // scatter/gather pair the backward pass relies on.
+        let (ic, h, w, k) = (2, 5, 4, 3);
+        let (oh, ow) = (h + 1 - k, w + 1 - k);
+        let rows = ic * k * k;
+        let x: Vec<f32> = (0..ic * h * w).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> = (0..rows * oh * ow)
+            .map(|i| (i as f32 * 0.73).cos())
+            .collect();
+        let mut col = vec![0.0; rows * oh * ow];
+        im2col2d(&x, ic, h, w, k, &mut col, oh * ow, 0);
+        let mut back = vec![0.0; ic * h * w];
+        col2im2d(&y, ic, h, w, k, &mut back, oh * ow, 0);
+        let lhs: f32 = col.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+            "{lhs} vs {rhs}"
+        );
     }
 }

@@ -77,7 +77,7 @@ impl Layer for Dense {
             .take()
             .expect("backward without a training forward");
         // dW += X^T · dY ; db += column sums of dY ; dX = dY · W^T
-        self.gw.add_assign(&Tensor::matmul_tn(&x, grad_out));
+        Tensor::matmul_tn_acc(&x, grad_out, &mut self.gw);
         for i in 0..grad_out.batch() {
             for (j, g) in grad_out.row(i).iter().enumerate() {
                 self.gb[j] += g;
@@ -178,8 +178,18 @@ mod tests {
             xp.data_mut()[idx] += eps;
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
-            let lp: f32 = d.forward(&xp, false).data().iter().map(|v| v * v / 2.0).sum();
-            let lm: f32 = d.forward(&xm, false).data().iter().map(|v| v * v / 2.0).sum();
+            let lp: f32 = d
+                .forward(&xp, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            let lm: f32 = d
+                .forward(&xm, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             let num = (lp - lm) / (2.0 * eps);
             assert!(
                 (num - gx.data()[idx]).abs() < 1e-2,
@@ -212,9 +222,19 @@ mod tests {
                 });
             }
             set_w(&mut d, widx, orig + eps);
-            let lp: f32 = d.forward(&x, false).data().iter().map(|v| v * v / 2.0).sum();
+            let lp: f32 = d
+                .forward(&x, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             set_w(&mut d, widx, orig - eps);
-            let lm: f32 = d.forward(&x, false).data().iter().map(|v| v * v / 2.0).sum();
+            let lm: f32 = d
+                .forward(&x, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             set_w(&mut d, widx, orig);
             let num = (lp - lm) / (2.0 * eps);
             assert!(

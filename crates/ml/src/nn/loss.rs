@@ -66,7 +66,8 @@ pub fn mse(output: &Tensor, targets: &[f32]) -> (f32, Tensor) {
 pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
     (0..logits.batch())
         .map(|i| {
-            logits.row(i)
+            logits
+                .row(i)
                 .iter()
                 .enumerate()
                 .max_by(|a, b| a.1.total_cmp(b.1))

@@ -56,16 +56,26 @@ impl Default for Sequential {
 
 impl Net for Sequential {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let mut cur = x.clone();
-        for l in &mut self.layers {
+        // Feed the first layer straight from `x` so an empty stack is the
+        // only case that pays for a clone of the input batch.
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            return x.clone();
+        };
+        let mut cur = first.forward(x, train);
+        for l in layers {
             cur = l.forward(&cur, train);
         }
         cur
     }
 
     fn backward(&mut self, grad: &Tensor) {
-        let mut cur = grad.clone();
-        for l in self.layers.iter_mut().rev() {
+        let mut layers = self.layers.iter_mut().rev();
+        let Some(last) = layers.next() else {
+            return;
+        };
+        let mut cur = last.backward(grad);
+        for l in layers {
             cur = l.backward(&cur);
         }
     }
@@ -132,8 +142,12 @@ impl Net for TwoBranch {
 
     fn backward(&mut self, grad: &Tensor) {
         // Manually propagate through the head to recover the joint grad.
-        let mut cur = grad.clone();
-        for l in self.head.layers.iter_mut().rev() {
+        let mut layers = self.head.layers.iter_mut().rev();
+        let mut cur = match layers.next() {
+            Some(last) => last.backward(grad),
+            None => grad.clone(),
+        };
+        for l in layers {
             cur = l.backward(&cur);
         }
         let conv_w: usize = self.conv_out_shape[1..].iter().product();
@@ -177,8 +191,12 @@ mod tests {
     #[test]
     fn two_branch_routes_columns() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let conv = Sequential::new().push(Conv2d::new(1, 2, 3, &mut rng)).push(Relu::new());
-        let mlp = Sequential::new().push(Dense::new(5, 4, &mut rng)).push(Relu::new());
+        let conv = Sequential::new()
+            .push(Conv2d::new(1, 2, 3, &mut rng))
+            .push(Relu::new());
+        let mlp = Sequential::new()
+            .push(Dense::new(5, 4, &mut rng))
+            .push(Relu::new());
         // conv out: 2×7×7 = 98; joint = 98 + 4 = 102
         let head = Sequential::new().push(Dense::new(102, 1, &mut rng));
         let mut net = TwoBranch::new(81, vec![1, 9, 9], conv, mlp, head);
@@ -215,7 +233,9 @@ mod tests {
             .push(Dense::new(16, 1, &mut rng));
         let x = Tensor::from_vec(
             &[8, 3],
-            (0..24).map(|i| ((i * 37 % 11) as f32 - 5.0) / 5.0).collect(),
+            (0..24)
+                .map(|i| ((i * 37 % 11) as f32 - 5.0) / 5.0)
+                .collect(),
         );
         let targets: Vec<f32> = (0..8).map(|i| x.row(i).iter().sum()).collect();
         let mut first = None;

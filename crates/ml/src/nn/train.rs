@@ -32,11 +32,6 @@ impl Default for TrainConfig {
     }
 }
 
-fn batch_of(x: &Tensor, idx: &[usize]) -> Tensor {
-    let rows: Vec<&[f32]> = idx.iter().map(|&i| x.row(i)).collect();
-    Tensor::stack_rows(&rows, &x.shape()[1..])
-}
-
 /// Train a classifier with softmax cross-entropy + Adam. Returns the
 /// per-epoch mean training loss.
 pub fn train_classifier(
@@ -50,12 +45,14 @@ pub fn train_classifier(
     let mut opt = Adam::new(cfg.lr);
     let mut order: Vec<usize> = (0..x.batch()).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
+    // Mini-batch scratch reused across every batch of every epoch.
+    let mut xb = Tensor::zeros(&[0]);
     for _ in 0..cfg.epochs {
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0;
         for chunk in order.chunks(cfg.batch_size) {
-            let xb = batch_of(x, chunk);
+            x.gather_rows_into(chunk, &mut xb);
             let yb: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
             let logits = net.forward(&xb, true);
             let (loss, grad) = softmax_cross_entropy(&logits, &yb);
@@ -83,12 +80,13 @@ pub fn train_regressor(
     let mut opt = Adam::new(cfg.lr);
     let mut order: Vec<usize> = (0..x.batch()).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
+    let mut xb = Tensor::zeros(&[0]);
     for _ in 0..cfg.epochs {
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0;
         for chunk in order.chunks(cfg.batch_size) {
-            let xb = batch_of(x, chunk);
+            x.gather_rows_into(chunk, &mut xb);
             let yb: Vec<f32> = chunk.iter().map(|&i| targets[i]).collect();
             let out = net.forward(&xb, true);
             let (loss, grad) = mse(&out, &yb);
@@ -151,12 +149,7 @@ mod tests {
         );
         assert!(hist.last().unwrap() < &0.2, "loss history: {hist:?}");
         let preds = predict_classes(&mut net, &x);
-        let acc = preds
-            .iter()
-            .zip(&labels)
-            .filter(|(a, b)| a == b)
-            .count() as f64
-            / n as f64;
+        let acc = preds.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / n as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
 

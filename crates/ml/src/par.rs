@@ -1,6 +1,25 @@
-//! Small scoped-thread parallel helpers (crossbeam-based). Used to train
-//! cross-validation folds and independent models concurrently; each worker
-//! owns its chunk, so no locking is needed.
+//! Small scoped-thread parallel helpers (std::thread::scope-based). Used to
+//! train cross-validation folds and independent models concurrently, and by
+//! the blocked GEMM to partition row panels; each worker owns its chunk, so
+//! no locking is needed.
+//!
+//! Worker count defaults to `available_parallelism()` and can be overridden
+//! with the `STENCILMART_THREADS` environment variable (values below 1 and
+//! unparseable values fall back to the default).
+
+/// Number of worker threads to use, honoring `STENCILMART_THREADS`.
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("STENCILMART_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// Parallel map preserving input order. Falls back to sequential for
 /// small inputs or single-core machines.
@@ -10,26 +29,41 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if workers <= 1 || items.len() < 2 {
+    let workers = worker_count().min(items.len().max(1));
+    let chunk = items.len().div_ceil(workers.max(1));
+    par_map_chunked(items, chunk, f)
+}
+
+/// Parallel map with an explicit chunk size: worker `i` handles the `i`-th
+/// contiguous run of `chunk` items. Preserves input order. A chunk size of
+/// zero is treated as "everything in one chunk"; if only one chunk results
+/// (or only one worker is available), the map runs sequentially on the
+/// calling thread with no spawn overhead.
+pub fn par_map_chunked<T, R, F>(items: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let chunk = if chunk == 0 {
+        items.len().max(1)
+    } else {
+        chunk
+    };
+    if worker_count() <= 1 || items.len() <= chunk {
         return items.iter().map(&f).collect();
     }
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let chunk = items.len().div_ceil(workers);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("parallel worker panicked");
+    });
     out.into_iter().map(|r| r.expect("slot filled")).collect()
 }
 
@@ -41,6 +75,14 @@ where
 {
     let idx: Vec<usize> = (0..n).collect();
     par_map(&idx, |&i| f(i))
+}
+
+/// Serializes tests that mutate `STENCILMART_THREADS` so parallel test
+/// threads don't race on the process environment.
+#[cfg(test)]
+pub(crate) fn test_env_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
@@ -76,5 +118,37 @@ mod tests {
     #[test]
     fn par_map_indices_matches() {
         assert_eq!(par_map_indices(4, |i| i * i), vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn chunked_matches_sequential_for_all_chunk_sizes() {
+        let items: Vec<i64> = (0..23).collect();
+        let expect: Vec<i64> = items.iter().map(|x| x * x - 1).collect();
+        // Chunk sizes around every boundary: 0 (= one chunk), 1, a divisor,
+        // a non-divisor, exactly len, and larger than len.
+        for chunk in [0, 1, 2, 5, 22, 23, 24, 1000] {
+            let out = par_map_chunked(&items, chunk, |&x| x * x - 1);
+            assert_eq!(out, expect, "chunk = {chunk}");
+        }
+    }
+
+    #[test]
+    fn chunked_handles_empty_and_single() {
+        assert!(par_map_chunked::<u8, u8, _>(&[], 4, |&x| x).is_empty());
+        assert_eq!(par_map_chunked(&[9u8], 4, |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn thread_env_override_is_respected() {
+        // worker_count() itself: invalid values fall back, valid ones win.
+        let _guard = test_env_lock();
+        std::env::set_var("STENCILMART_THREADS", "3");
+        assert_eq!(worker_count(), 3);
+        std::env::set_var("STENCILMART_THREADS", "0");
+        assert!(worker_count() >= 1);
+        std::env::set_var("STENCILMART_THREADS", "nope");
+        assert!(worker_count() >= 1);
+        std::env::remove_var("STENCILMART_THREADS");
+        assert!(worker_count() >= 1);
     }
 }

@@ -1,0 +1,292 @@
+//! Naive reference kernels kept as correctness oracles and benchmark
+//! baselines.
+//!
+//! These are the original (pre-blocking) implementations of the matmul
+//! variants and the direct convolutions, verbatim in algorithm: triple
+//! loops, no packing, no tiling, and the historical `== 0.0` skip branch.
+//! The optimized paths in [`crate::gemm`] and [`crate::nn::conv`] are
+//! property-tested against them, and `BENCH_ml_kernels.json` reports
+//! speedups relative to them.
+
+/// `C = A·B` with `A: [m,k]`, `B: [k,n]` row-major (i-k-j loop order).
+pub fn matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (c, &bv) in crow.iter_mut().zip(brow) {
+                *c += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `C = Aᵀ·B` with `A` stored `[k,m]`, `B: [k,n]`.
+pub fn matmul_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), k * m);
+    assert_eq!(b.len(), k * n);
+    let mut out = vec![0.0f32; m * n];
+    for kk in 0..k {
+        let arow = &a[kk * m..(kk + 1) * m];
+        let brow = &b[kk * n..(kk + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &bv) in crow.iter_mut().zip(brow) {
+                *c += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `C = A·Bᵀ` with `A: [m,k]`, `B` stored `[n,k]` (dot-product form).
+pub fn matmul_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Direct 2-D convolution forward: `x: [b, ic, h, w]`, `weights: [oc, ic,
+/// k, k]`, `bias: [oc]` → `[b, oc, h-k+1, w-k+1]`. Stride 1, valid padding.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_forward(
+    x: &[f32],
+    b: usize,
+    ic: usize,
+    h: usize,
+    w: usize,
+    weights: &[f32],
+    bias: &[f32],
+    oc: usize,
+    k: usize,
+) -> Vec<f32> {
+    let (oh, ow) = (h + 1 - k, w + 1 - k);
+    let mut y = vec![0.0f32; b * oc * oh * ow];
+    for bi in 0..b {
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias[o];
+                    for c in 0..ic {
+                        for ky in 0..k {
+                            let xrow = ((bi * ic + c) * h + oy + ky) * w + ox;
+                            let wrow = ((o * ic + c) * k + ky) * k;
+                            for kx in 0..k {
+                                acc += weights[wrow + kx] * x[xrow + kx];
+                            }
+                        }
+                    }
+                    y[((bi * oc + o) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Direct 2-D convolution backward. Returns `(gx, gw, gb)` for the output
+/// gradient `g: [b, oc, oh, ow]` (gradients freshly computed, not
+/// accumulated onto an existing buffer).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward(
+    x: &[f32],
+    g: &[f32],
+    b: usize,
+    ic: usize,
+    h: usize,
+    w: usize,
+    weights: &[f32],
+    oc: usize,
+    k: usize,
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let (oh, ow) = (h + 1 - k, w + 1 - k);
+    let mut gx = vec![0.0f32; b * ic * h * w];
+    let mut gw = vec![0.0f32; oc * ic * k * k];
+    let mut gb = vec![0.0f32; oc];
+    for bi in 0..b {
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = g[((bi * oc + o) * oh + oy) * ow + ox];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    gb[o] += gv;
+                    for c in 0..ic {
+                        for ky in 0..k {
+                            let xrow = ((bi * ic + c) * h + oy + ky) * w + ox;
+                            let wrow = ((o * ic + c) * k + ky) * k;
+                            for kx in 0..k {
+                                gw[wrow + kx] += gv * x[xrow + kx];
+                                gx[xrow + kx] += gv * weights[wrow + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (gx, gw, gb)
+}
+
+/// Direct 3-D convolution forward: `x: [b, ic, d, h, w]`, `weights: [oc,
+/// ic, k, k, k]` → `[b, oc, d-k+1, h-k+1, w-k+1]`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv3d_forward(
+    x: &[f32],
+    b: usize,
+    ic: usize,
+    d: usize,
+    h: usize,
+    w: usize,
+    weights: &[f32],
+    bias: &[f32],
+    oc: usize,
+    k: usize,
+) -> Vec<f32> {
+    let (od, oh, ow) = (d + 1 - k, h + 1 - k, w + 1 - k);
+    let mut y = vec![0.0f32; b * oc * od * oh * ow];
+    for bi in 0..b {
+        for o in 0..oc {
+            for oz in 0..od {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias[o];
+                        for c in 0..ic {
+                            for kz in 0..k {
+                                for ky in 0..k {
+                                    let xrow =
+                                        (((bi * ic + c) * d + oz + kz) * h + oy + ky) * w + ox;
+                                    let wrow = (((o * ic + c) * k + kz) * k + ky) * k;
+                                    for kx in 0..k {
+                                        acc += weights[wrow + kx] * x[xrow + kx];
+                                    }
+                                }
+                            }
+                        }
+                        y[(((bi * oc + o) * od + oz) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Direct 3-D convolution backward. Returns `(gx, gw, gb)`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv3d_backward(
+    x: &[f32],
+    g: &[f32],
+    b: usize,
+    ic: usize,
+    d: usize,
+    h: usize,
+    w: usize,
+    weights: &[f32],
+    oc: usize,
+    k: usize,
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let (od, oh, ow) = (d + 1 - k, h + 1 - k, w + 1 - k);
+    let mut gx = vec![0.0f32; b * ic * d * h * w];
+    let mut gw = vec![0.0f32; oc * ic * k * k * k];
+    let mut gb = vec![0.0f32; oc];
+    for bi in 0..b {
+        for o in 0..oc {
+            for oz in 0..od {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let gv = g[(((bi * oc + o) * od + oz) * oh + oy) * ow + ox];
+                        if gv == 0.0 {
+                            continue;
+                        }
+                        gb[o] += gv;
+                        for c in 0..ic {
+                            for kz in 0..k {
+                                for ky in 0..k {
+                                    let xrow =
+                                        (((bi * ic + c) * d + oz + kz) * h + oy + ky) * w + ox;
+                                    let wrow = (((o * ic + c) * k + kz) * k + ky) * k;
+                                    for kx in 0..k {
+                                        gw[wrow + kx] += gv * x[xrow + kx];
+                                        gx[xrow + kx] += gv * weights[wrow + kx];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (gx, gw, gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = [1., 2., 3., 4., 5., 6.];
+        let b = [7., 8., 9., 10., 11., 12.];
+        assert_eq!(matmul(2, 3, 2, &a, &b), vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_plain() {
+        let (m, k, n) = (3, 4, 5);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.3 - 1.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.7).sin()).collect();
+        let c = matmul(m, k, n, &a, &b);
+        let mut at = vec![0.0; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        assert_eq!(matmul_tn(m, k, n, &at, &b), c);
+        let mut bt = vec![0.0; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let c2 = matmul_nt(m, k, n, &a, &bt);
+        for (x, y) in c2.iter().zip(&c) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn conv2d_identity_filter_selects_centres() {
+        let x: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let mut w = vec![0.0f32; 9];
+        w[4] = 1.0;
+        let y = conv2d_forward(&x, 1, 1, 4, 4, &w, &[0.0], 1, 3);
+        assert_eq!(y, vec![5.0, 6.0, 9.0, 10.0]);
+    }
+}

@@ -1,6 +1,8 @@
 //! A minimal dense `f32` tensor with row-major storage — the numeric core
-//! of the from-scratch neural-network stack.
+//! of the from-scratch neural-network stack. The matmul variants dispatch
+//! to the blocked, register-tiled kernels in [`crate::gemm`].
 
+use crate::gemm;
 use serde::{Deserialize, Serialize};
 
 /// A dense row-major tensor of `f32` values.
@@ -124,6 +126,21 @@ impl Tensor {
         Tensor { shape, data }
     }
 
+    /// Gather the batch rows selected by `idx` into `out`, reshaping and
+    /// resizing it as needed. The scratch-reusing counterpart of
+    /// [`Tensor::stack_rows`] for mini-batch loops: one tensor survives
+    /// across iterations instead of an allocation per batch.
+    pub fn gather_rows_into(&self, idx: &[usize], out: &mut Tensor) {
+        let w = self.row_len();
+        out.shape.clear();
+        out.shape.push(idx.len());
+        out.shape.extend_from_slice(&self.shape[1..]);
+        out.data.resize(idx.len() * w, 0.0);
+        for (o, &i) in idx.iter().enumerate() {
+            out.data[o * w..(o + 1) * w].copy_from_slice(self.row(i));
+        }
+    }
+
     /// Split each row into two column blocks `(left, right)` at `at`.
     pub fn split_cols(&self, at: usize) -> (Tensor, Tensor) {
         let w = self.row_len();
@@ -158,21 +175,7 @@ impl Tensor {
         let (k2, n) = (b.shape[0], b.shape[1]);
         assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        // i-k-j loop order: the inner loop is unit-stride over both B and
-        // C, which autovectorizes well.
-        for i in 0..m {
-            let arow = &a.data[i * k..(i + 1) * k];
-            let crow = &mut out[i * n..(i + 1) * n];
-            for (kk, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b.data[kk * n..(kk + 1) * n];
-                for (c, &bv) in crow.iter_mut().zip(brow) {
-                    *c += av * bv;
-                }
-            }
-        }
+        gemm::gemm(m, k, n, &a.data, &b.data, &mut out, false);
         Tensor {
             shape: vec![m, n],
             data: out,
@@ -187,23 +190,24 @@ impl Tensor {
         let (k2, n) = (b.shape[0], b.shape[1]);
         assert_eq!(k, k2, "inner dimensions differ");
         let mut out = vec![0.0f32; m * n];
-        for kk in 0..k {
-            let arow = &a.data[kk * m..(kk + 1) * m];
-            let brow = &b.data[kk * n..(kk + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let crow = &mut out[i * n..(i + 1) * n];
-                for (c, &bv) in crow.iter_mut().zip(brow) {
-                    *c += av * bv;
-                }
-            }
-        }
+        gemm::gemm_tn(m, k, n, &a.data, &b.data, &mut out, false);
         Tensor {
             shape: vec![m, n],
             data: out,
         }
+    }
+
+    /// `C += Aᵀ · B` accumulated into an existing `[m, n]` tensor; used by
+    /// backward passes that sum weight gradients over a batch without an
+    /// intermediate allocation.
+    pub fn matmul_tn_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+        assert_eq!(a.shape.len(), 2);
+        assert_eq!(b.shape.len(), 2);
+        let (k, m) = (a.shape[0], a.shape[1]);
+        let (k2, n) = (b.shape[0], b.shape[1]);
+        assert_eq!(k, k2, "inner dimensions differ");
+        assert_eq!(out.shape(), &[m, n], "accumulator shape mismatch");
+        gemm::gemm_tn(m, k, n, &a.data, &b.data, &mut out.data, true);
     }
 
     /// `C = A · Bᵀ` for 2-D tensors `[m, k] × [n, k]ᵀ`.
@@ -214,17 +218,7 @@ impl Tensor {
         let (n, k2) = (b.shape[0], b.shape[1]);
         assert_eq!(k, k2, "inner dimensions differ");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &b.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (av, bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                out[i * n + j] = acc;
-            }
-        }
+        gemm::gemm_nt(m, k, n, &a.data, &b.data, &mut out, false);
         Tensor {
             shape: vec![m, n],
             data: out,
@@ -295,6 +289,19 @@ mod tests {
         assert_eq!(r.shape(), &[2, 1]);
         let back = Tensor::concat_cols(&l, &r);
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn gather_rows_into_reuses_scratch() {
+        let x = Tensor::from_vec(&[3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let mut out = Tensor::zeros(&[0]);
+        x.gather_rows_into(&[2, 0], &mut out);
+        assert_eq!(out.shape(), &[2, 2]);
+        assert_eq!(out.data(), &[5., 6., 1., 2.]);
+        // Shorter final batch shrinks the scratch in place.
+        x.gather_rows_into(&[1], &mut out);
+        assert_eq!(out.shape(), &[1, 2]);
+        assert_eq!(out.data(), &[3., 4.]);
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Parity property tests: the blocked GEMM and the im2col convolution
+//! layers must agree with the naive oracles in `stencilmart_ml::reference`
+//! to 1e-4 relative tolerance across random shapes, including degenerate
+//! (`m = 1`, `k = 1`) and non-tile-multiple sizes.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use stencilmart_ml::gemm;
+use stencilmart_ml::nn::{Conv2d, Conv3d, Layer};
+use stencilmart_ml::reference;
+use stencilmart_ml::tensor::Tensor;
+
+/// Deterministic fill in (-1, 1) from a mutable LCG state.
+fn lcg_fill(seed: &mut u64, out: &mut [f32]) {
+    for v in out {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *v = ((*seed >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0;
+    }
+}
+
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-4 * (1.0 + a.abs().max(b.abs()))
+}
+
+fn assert_all_close(got: &[f32], want: &[f32], what: &str) -> Result<(), TestCaseError> {
+    prop_assert!(
+        got.len() == want.len(),
+        "{} length mismatch: {} vs {}",
+        what,
+        got.len(),
+        want.len()
+    );
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        prop_assert!(close(*g, *w), "{}[{}]: got {} want {}", what, i, g, w);
+    }
+    Ok(())
+}
+
+/// GEMM shapes: random sizes plus hand-picked boundary cases — degenerate
+/// dims, exact tile multiples (MR=4 / NR=16 / KC=256), and off-by-one
+/// neighbours of the blocking parameters.
+fn gemm_shape() -> impl Strategy<Value = (usize, usize, usize)> {
+    prop_oneof![
+        (1usize..=48, 1usize..=48, 1usize..=48),
+        Just((1, 1, 1)),
+        Just((1, 37, 23)),
+        Just((29, 1, 31)),
+        Just((33, 27, 1)),
+        Just((4, 16, 16)),
+        Just((5, 17, 15)),
+        Just((65, 64, 33)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn gemm_matches_naive_reference((m, k, n) in gemm_shape(), seed in 0u64..1 << 32) {
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        lcg_fill(&mut s, &mut a);
+        lcg_fill(&mut s, &mut b);
+        let want = reference::matmul(m, k, n, &a, &b);
+        let mut got = vec![0.0f32; m * n];
+        gemm::gemm(m, k, n, &a, &b, &mut got, false);
+        assert_all_close(&got, &want, "gemm")?;
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive_reference((m, k, n) in gemm_shape(), seed in 0u64..1 << 32) {
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(7);
+        let mut a = vec![0.0f32; k * m]; // A stored [k, m]
+        let mut b = vec![0.0f32; k * n];
+        lcg_fill(&mut s, &mut a);
+        lcg_fill(&mut s, &mut b);
+        let want = reference::matmul_tn(m, k, n, &a, &b);
+        let mut got = vec![0.0f32; m * n];
+        gemm::gemm_tn(m, k, n, &a, &b, &mut got, false);
+        assert_all_close(&got, &want, "gemm_tn")?;
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive_reference((m, k, n) in gemm_shape(), seed in 0u64..1 << 32) {
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(13);
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; n * k]; // B stored [n, k]
+        lcg_fill(&mut s, &mut a);
+        lcg_fill(&mut s, &mut b);
+        let want = reference::matmul_nt(m, k, n, &a, &b);
+        let mut got = vec![0.0f32; m * n];
+        gemm::gemm_nt(m, k, n, &a, &b, &mut got, false);
+        assert_all_close(&got, &want, "gemm_nt")?;
+    }
+
+    #[test]
+    fn gemm_accumulate_adds_onto_existing_output(
+        (m, k, n) in gemm_shape(),
+        seed in 0u64..1 << 32,
+    ) {
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(19);
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        let mut c0 = vec![0.0f32; m * n];
+        lcg_fill(&mut s, &mut a);
+        lcg_fill(&mut s, &mut b);
+        lcg_fill(&mut s, &mut c0);
+        let prod = reference::matmul(m, k, n, &a, &b);
+        let want: Vec<f32> = c0.iter().zip(&prod).map(|(c, p)| c + p).collect();
+        let mut got = c0.clone();
+        gemm::gemm(m, k, n, &a, &b, &mut got, true);
+        assert_all_close(&got, &want, "gemm+acc")?;
+    }
+
+    #[test]
+    fn conv2d_matches_naive_reference(
+        (b, ic, oc) in (1usize..=2, 1usize..=3, 1usize..=3),
+        k in 1usize..=3,
+        (dh, dw) in (0usize..=4, 0usize..=4),
+        seed in 0u64..1 << 32,
+    ) {
+        let (h, w) = (k + dh, k + dw);
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(23);
+        let mut xd = vec![0.0f32; b * ic * h * w];
+        let mut wd = vec![0.0f32; oc * ic * k * k];
+        let mut bias = vec![0.0f32; oc];
+        lcg_fill(&mut s, &mut xd);
+        lcg_fill(&mut s, &mut wd);
+        lcg_fill(&mut s, &mut bias);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut layer = Conv2d::new(ic, oc, k, &mut rng);
+        let mut slot = 0;
+        layer.visit_params(&mut |p, _| {
+            if slot == 0 {
+                p.copy_from_slice(&wd);
+            } else {
+                p.copy_from_slice(&bias);
+            }
+            slot += 1;
+        });
+
+        let x = Tensor::from_vec(&[b, ic, h, w], xd.clone());
+        let y = layer.forward(&x, true);
+        let want_y = reference::conv2d_forward(&xd, b, ic, h, w, &wd, &bias, oc, k);
+        assert_all_close(y.data(), &want_y, "conv2d fwd")?;
+
+        let mut gd = vec![0.0f32; y.len()];
+        lcg_fill(&mut s, &mut gd);
+        let g = Tensor::from_vec(y.shape(), gd.clone());
+        let gx = layer.backward(&g);
+        let (want_gx, want_gw, want_gb) =
+            reference::conv2d_backward(&xd, &gd, b, ic, h, w, &wd, oc, k);
+        assert_all_close(gx.data(), &want_gx, "conv2d gx")?;
+        let mut grads: Vec<Vec<f32>> = Vec::new();
+        layer.visit_params(&mut |_, gr| grads.push(gr.to_vec()));
+        assert_all_close(&grads[0], &want_gw, "conv2d gw")?;
+        assert_all_close(&grads[1], &want_gb, "conv2d gb")?;
+    }
+
+    #[test]
+    fn conv3d_matches_naive_reference(
+        (b, ic, oc) in (1usize..=2, 1usize..=2, 1usize..=2),
+        k in 1usize..=3,
+        (dd, dh, dw) in (0usize..=2, 0usize..=2, 0usize..=2),
+        seed in 0u64..1 << 32,
+    ) {
+        let (d, h, w) = (k + dd, k + dh, k + dw);
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(29);
+        let mut xd = vec![0.0f32; b * ic * d * h * w];
+        let mut wd = vec![0.0f32; oc * ic * k * k * k];
+        let mut bias = vec![0.0f32; oc];
+        lcg_fill(&mut s, &mut xd);
+        lcg_fill(&mut s, &mut wd);
+        lcg_fill(&mut s, &mut bias);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut layer = Conv3d::new(ic, oc, k, &mut rng);
+        let mut slot = 0;
+        layer.visit_params(&mut |p, _| {
+            if slot == 0 {
+                p.copy_from_slice(&wd);
+            } else {
+                p.copy_from_slice(&bias);
+            }
+            slot += 1;
+        });
+
+        let x = Tensor::from_vec(&[b, ic, d, h, w], xd.clone());
+        let y = layer.forward(&x, true);
+        let want_y = reference::conv3d_forward(&xd, b, ic, d, h, w, &wd, &bias, oc, k);
+        assert_all_close(y.data(), &want_y, "conv3d fwd")?;
+
+        let mut gd = vec![0.0f32; y.len()];
+        lcg_fill(&mut s, &mut gd);
+        let g = Tensor::from_vec(y.shape(), gd.clone());
+        let gx = layer.backward(&g);
+        let (want_gx, want_gw, want_gb) =
+            reference::conv3d_backward(&xd, &gd, b, ic, d, h, w, &wd, oc, k);
+        assert_all_close(gx.data(), &want_gx, "conv3d gx")?;
+        let mut grads: Vec<Vec<f32>> = Vec::new();
+        layer.visit_params(&mut |_, gr| grads.push(gr.to_vec()));
+        assert_all_close(&grads[0], &want_gw, "conv3d gw")?;
+        assert_all_close(&grads[1], &want_gb, "conv3d gb")?;
+    }
+}

@@ -144,7 +144,11 @@ fn emit_streaming(s: &mut String, p: &StencilPattern, prefetch: bool) {
     );
     thread_indices(s, p);
     if prefetch {
-        let _ = writeln!(s, "  double next[{}]; // register prefetch buffer", 2 * r + 1);
+        let _ = writeln!(
+            s,
+            "  double next[{}]; // register prefetch buffer",
+            2 * r + 1
+        );
     }
     let outer = if p.dim() == Dim::D3 { "k" } else { "j" };
     let _ = writeln!(s, "  for (int {outer} = 0; {outer} < N; ++{outer}) {{");

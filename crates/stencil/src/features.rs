@@ -127,15 +127,10 @@ pub fn extract(p: &StencilPattern, cfg: &FeatureConfig) -> FeatureVector {
         let neighbors: Vec<_> = p.points().iter().filter(|o| !o.is_center()).collect();
         let cnt = neighbors.len().max(1) as f64;
         let mean_euclid = neighbors.iter().map(|o| o.euclid()).sum::<f64>() / cnt;
-        let max_euclid = neighbors
-            .iter()
-            .map(|o| o.euclid())
-            .fold(0.0f64, f64::max);
-        let mean_manhattan =
-            neighbors.iter().map(|o| o.manhattan() as f64).sum::<f64>() / cnt;
+        let max_euclid = neighbors.iter().map(|o| o.euclid()).fold(0.0f64, f64::max);
+        let mean_manhattan = neighbors.iter().map(|o| o.manhattan() as f64).sum::<f64>() / cnt;
         let axis_frac = neighbors.iter().filter(|o| o.on_axis()).count() as f64 / cnt;
-        let diag_frac =
-            neighbors.iter().filter(|o| o.on_diagonal(rank)).count() as f64 / cnt;
+        let diag_frac = neighbors.iter().filter(|o| o.on_diagonal(rank)).count() as f64 / cnt;
         v.push(rank as f64);
         v.push(mean_euclid);
         v.push(max_euclid);

@@ -11,8 +11,8 @@
 use crate::pattern::{Dim, Offset, StencilPattern};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for [`StencilGenerator`].

@@ -410,16 +410,14 @@ mod tests {
 
     #[test]
     fn pattern_axis_extent() {
-        let p =
-            StencilPattern::new(Dim::D2, vec![Offset::d2(-2, 0), Offset::d2(3, 1)]).unwrap();
+        let p = StencilPattern::new(Dim::D2, vec![Offset::d2(-2, 0), Offset::d2(3, 1)]).unwrap();
         assert_eq!(p.axis_extent(0), (-2, 3));
         assert_eq!(p.axis_extent(1), (0, 1));
     }
 
     #[test]
     fn pattern_symmetry() {
-        let sym =
-            StencilPattern::new(Dim::D2, vec![Offset::d2(1, 0), Offset::d2(-1, 0)]).unwrap();
+        let sym = StencilPattern::new(Dim::D2, vec![Offset::d2(1, 0), Offset::d2(-1, 0)]).unwrap();
         assert!(sym.is_symmetric());
         let asym = StencilPattern::new(Dim::D2, vec![Offset::d2(1, 0)]).unwrap();
         assert!(!asym.is_symmetric());

@@ -28,7 +28,10 @@ fn main() {
 
     // Step 1 + 2: generate random stencils and profile them under all 30
     // OCs on every GPU (the simulator stands in for the testbed).
-    println!("step 1-2: generating and profiling {} 3-D stencils...", cfg.stencils_per_dim);
+    println!(
+        "step 1-2: generating and profiling {} 3-D stencils...",
+        cfg.stencils_per_dim
+    );
     let corpus = ProfiledCorpus::build(&cfg, Dim::D3);
 
     // Step 3: merge OCs into prediction classes.
@@ -45,7 +48,11 @@ fn main() {
     for &gpu in &cfg.gpus {
         let ds = ClassificationDataset::build(&corpus, &merging, gpu);
         let eval = evaluate_classifier(ClassifierKind::Gbdt, &ds, cfg.folds, cfg.seed);
-        print!("  {:<8} GBDT accuracy {:>5.1}%", gpu.name(), eval.accuracy * 100.0);
+        print!(
+            "  {:<8} GBDT accuracy {:>5.1}%",
+            gpu.name(),
+            eval.accuracy * 100.0
+        );
 
         // Step 5: how much faster is the predicted OC than the baselines
         // under an equal total tuning budget?

@@ -46,19 +46,17 @@ fn main() {
                 Criterion::CostEfficiency => "cost efficiency",
             };
             println!("\nby {label} ({} held-out instances):", res.instances);
-            println!("  {:<8} {:>14} {:>14}", "GPU", "truly best for", "pred accuracy");
+            println!(
+                "  {:<8} {:>14} {:>14}",
+                "GPU", "truly best for", "pred accuracy"
+            );
             for ((gpu, share), (_, acc)) in res.share.iter().zip(&res.accuracy) {
                 let acc_s = if acc.is_nan() {
                     "-".into()
                 } else {
                     format!("{:.1}%", acc * 100.0)
                 };
-                println!(
-                    "  {:<8} {:>13.1}% {:>14}",
-                    gpu.name(),
-                    share * 100.0,
-                    acc_s
-                );
+                println!("  {:<8} {:>13.1}% {:>14}", gpu.name(), share * 100.0, acc_s);
             }
             let winner = res
                 .share

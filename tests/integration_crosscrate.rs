@@ -5,8 +5,8 @@ use stencilmart::api::StencilMart;
 use stencilmart::config::PipelineConfig;
 use stencilmart::models::{ClassifierKind, RegressorKind};
 use stencilmart_gpusim::{
-    profile_stencil, simulate, GpuArch, GpuId, NoiseModel, OptCombo, ParamSetting,
-    ParamSpace, ProfileConfig,
+    profile_stencil, simulate, GpuArch, GpuId, NoiseModel, OptCombo, ParamSetting, ParamSpace,
+    ProfileConfig,
 };
 use stencilmart_stencil::canonical;
 use stencilmart_stencil::codegen::{emit, KernelFlavor};
@@ -58,12 +58,7 @@ fn codegen_matches_pattern_arity() {
     // every canonical stencil.
     for c in canonical::suite() {
         let src = emit(&c.pattern, c.grid, KernelFlavor::Naive);
-        assert_eq!(
-            src.matches("acc +=").count(),
-            c.pattern.nnz(),
-            "{}",
-            c.name
-        );
+        assert_eq!(src.matches("acc +=").count(), c.pattern.nnz(), "{}", c.name);
     }
 }
 
@@ -98,14 +93,8 @@ fn api_predictions_are_consistent_with_simulator_scale() {
     let oc = OptCombo::parse("ST").unwrap();
     let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(5);
     let params = ParamSpace::new(oc, Dim::D2).sample(&mut rng);
-    let simulated = simulate(
-        &pattern,
-        grid,
-        &oc,
-        &params,
-        &GpuArch::preset(GpuId::V100),
-    )
-    .expect("runs");
+    let simulated =
+        simulate(&pattern, grid, &oc, &params, &GpuArch::preset(GpuId::V100)).expect("runs");
     let predicted = mart.predict_time_ms(&pattern, &oc, &params, GpuId::V100);
     let ratio = predicted / simulated;
     assert!(

@@ -80,12 +80,11 @@ fn fig4_shows_architecture_nonuniformity() {
         r.gpus.iter().position(|&g| g == GpuId::V100).unwrap(),
         r.gpus.iter().position(|&g| g == GpuId::A100).unwrap(),
     );
-    let v100_wins = r
-        .rows
-        .iter()
-        .filter(|(_, s)| s[v_idx] > s[a_idx])
-        .count();
-    assert!(v100_wins > 0, "V100 must beat A100 somewhere (paper: box3d3r/4r)");
+    let v100_wins = r.rows.iter().filter(|(_, s)| s[v_idx] > s[a_idx]).count();
+    assert!(
+        v100_wins > 0,
+        "V100 must beat A100 somewhere (paper: box3d3r/4r)"
+    );
     assert!(v100_wins < r.rows.len(), "A100 must also win somewhere");
 }
 
@@ -97,7 +96,11 @@ fn classification_suite_beats_chance_and_baselines_render() {
     assert!(fig9.contains("2d stencils"));
     assert!(fig9.contains("3d stencils"));
     // Mean accuracy across everything must beat 5-class chance.
-    let mean: f64 = suite.evals.iter().map(|(_, _, _, e)| e.accuracy).sum::<f64>()
+    let mean: f64 = suite
+        .evals
+        .iter()
+        .map(|(_, _, _, e)| e.accuracy)
+        .sum::<f64>()
         / suite.evals.len() as f64;
     assert!(mean > 0.3, "mean accuracy {mean}");
 

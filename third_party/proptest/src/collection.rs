@@ -1,0 +1,79 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specification for [`vec`]: a fixed size or a range of sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// A strategy producing `Vec`s whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max_exclusive - self.size.min) as u64;
+        let len = self.size.min + (rng.next_u64() % span.max(1)) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_sizes() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..50 {
+            assert_eq!(vec(0u8..4, 7usize).new_value(&mut rng).len(), 7);
+            let l = vec(0u8..4, 1..30).new_value(&mut rng).len();
+            assert!((1..30).contains(&l));
+            let m = vec(0u8..4, 2..=5).new_value(&mut rng).len();
+            assert!((2..=5).contains(&m));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline subset of the `proptest` property-testing crate.
+//!
+//! Implements the slice of the API this workspace uses: the [`Strategy`]
+//! trait with `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! [`collection::vec`], `any::<T>()`, `Just`, `prop_oneof!`, the
+//! `proptest!` test macro, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! case index and the deterministic per-test seed instead of a minimized
+//! input), and `.proptest-regressions` files are ignored. Case generation
+//! is deterministic per test name, so failures reproduce across runs; set
+//! `PROPTEST_CASES` to override the case count globally.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// The entry-point macro: wraps `#[test]` functions whose arguments are
+/// drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (($config:expr); $(
+        #[test]
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(config, stringify!($name));
+                while runner.more_cases() {
+                    let ($($arg,)*) = ($(
+                        $crate::strategy::Strategy::new_value(&$strat, runner.rng()),
+                    )*);
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    runner.record(outcome);
+                }
+                runner.finish();
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; failure fails the case
+/// with the formatted message instead of panicking immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert two values are equal (requires `Debug` for the failure report).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Assert two values are not equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::dyn_box($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,183 @@
+//! Deterministic case runner backing the `proptest!` macro.
+
+/// Runner configuration. Only `cases` is honored by this subset.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case does not count.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// SplitMix64 generator; deterministic per test name so failures reproduce.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 random bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, 1)` with 24 random bits.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Drives the generate/run/record loop for one `#[test]` fn.
+pub struct TestRunner {
+    rng: TestRng,
+    seed: u64,
+    name: &'static str,
+    target: u32,
+    completed: u32,
+    rejected: u32,
+    attempts: u32,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let target = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases);
+        let seed = fnv1a(name.as_bytes());
+        TestRunner {
+            rng: TestRng::new(seed),
+            seed,
+            name,
+            target,
+            completed: 0,
+            rejected: 0,
+            attempts: 0,
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Whether another case should run. Caps total attempts so pathological
+    /// `prop_assume!` filters terminate instead of spinning.
+    pub fn more_cases(&self) -> bool {
+        self.completed < self.target && self.attempts < self.target.saturating_mul(16)
+    }
+
+    pub fn record(&mut self, outcome: Result<(), TestCaseError>) {
+        self.attempts += 1;
+        match outcome {
+            Ok(()) => self.completed += 1,
+            Err(TestCaseError::Reject) => self.rejected += 1,
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest failure in `{}` (case {}, rng seed {:#018x}):\n{}",
+                self.name, self.attempts, self.seed, msg
+            ),
+        }
+    }
+
+    pub fn finish(&self) {
+        assert!(
+            self.completed > 0,
+            "proptest `{}`: every case was rejected by prop_assume! ({} rejections)",
+            self.name,
+            self.rejected
+        );
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::new(43);
+        assert_ne!(TestRng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let g = rng.next_f32();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn runner_counts_cases_and_rejects() {
+        let mut r = TestRunner::new(ProptestConfig::with_cases(5), "counting");
+        let mut ran = 0;
+        while r.more_cases() {
+            ran += 1;
+            if ran % 2 == 0 {
+                r.record(Err(TestCaseError::Reject));
+            } else {
+                r.record(Ok(()));
+            }
+        }
+        r.finish();
+        assert!(ran >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest failure")]
+    fn failure_panics_with_context() {
+        let mut r = TestRunner::new(ProptestConfig::default(), "boom");
+        r.record(Err(TestCaseError::fail("expected")));
+    }
+}

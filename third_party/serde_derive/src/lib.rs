@@ -1,0 +1,444 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (the build
+//! environment has no `syn`/`quote`). Supports what the workspace uses:
+//! non-generic structs (named, tuple, unit) and enums whose variants are
+//! unit, tuple, or struct-like. `#[serde(...)]` attributes are not
+//! supported and such fields are rejected at parse time by the absence of
+//! special handling (attributes are skipped wholesale).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute (incl. doc comments): skip the bracket group.
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Skip `pub` and a possible `(crate)` restriction.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut toks);
+                reject_generics(&mut toks, &name);
+                return Item {
+                    name,
+                    body: parse_struct_body(&mut toks),
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut toks);
+                reject_generics(&mut toks, &name);
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Item {
+                            name,
+                            body: Body::Enum(parse_variants(g.stream())),
+                        };
+                    }
+                    other => panic!("serde_derive: malformed enum body: {other:?}"),
+                }
+            }
+            Some(other) => panic!("serde_derive: unexpected token {other}"),
+            None => panic!("serde_derive: no struct or enum found"),
+        }
+    }
+}
+
+fn expect_ident(toks: &mut impl Iterator<Item = TokenTree>) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn reject_generics(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>, name: &str) {
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+}
+
+fn parse_struct_body(toks: &mut impl Iterator<Item = TokenTree>) -> Body {
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Body::NamedStruct(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+        other => panic!("serde_derive: malformed struct body: {other:?}"),
+    }
+}
+
+/// Field names of a named-field body (`{ a: T, b: U }`). Types are skipped
+/// with angle-bracket depth tracking so `Vec<(A, B)>` commas don't split.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        match toks.next() {
+            None => return fields,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+                }
+                skip_type_until_comma(&mut toks);
+            }
+            Some(other) => panic!("serde_derive: unexpected token in fields: {other}"),
+        }
+    }
+}
+
+fn skip_type_until_comma(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    for tok in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Number of fields in a tuple body (`(T, U)`), counting top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut angle_depth = 0i32;
+    let mut in_field = false;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            if p.as_char() == ',' && angle_depth == 0 {
+                in_field = false;
+                continue;
+            }
+        }
+        if !in_field {
+            fields += 1;
+            in_field = true;
+        }
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        match toks.next() {
+            None => return variants,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let kind = match toks.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        toks.next();
+                        VariantKind::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        toks.next();
+                        VariantKind::Named(fields)
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Skip a possible `= discriminant` up to the next comma.
+                if let Some(TokenTree::Punct(p)) = toks.peek() {
+                    if p.as_char() == '=' {
+                        for t in toks.by_ref() {
+                            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                                break;
+                            }
+                        }
+                    }
+                }
+                variants.push(Variant { name, kind });
+            }
+            Some(other) => panic!("serde_derive: unexpected token in enum: {other}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (rendered as source text, then reparsed)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Body::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn ser_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let vals: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), \
+                      ::serde::Value::Array(::std::vec![{vals}]))]),",
+                binds = binds.join(", "),
+                vals = vals.join(", "),
+            )
+        }
+        VariantKind::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), \
+                      ::serde::Value::Object(::std::vec![{entries}]))]),",
+                entries = entries.join(", "),
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                entries.join(", ")
+            )
+        }
+        Body::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array()?; \
+                 if items.len() != {n} {{ \
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"expected {n} fields for {name}, got {{}}\", items.len()))); \
+                 }} \
+                 ::std::result::Result::Ok({name}({}))",
+                entries.join(", ")
+            )
+        }
+        Body::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+    let data_variants: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .collect();
+    let data_arms: Vec<String> = data_variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => unreachable!("filtered out"),
+                VariantKind::Tuple(n) => {
+                    let entries: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{vname}\" => {{ \
+                             let items = inner.as_array()?; \
+                             if items.len() != {n} {{ \
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"expected {n} fields for {name}::{vname}, \
+                                              got {{}}\", items.len()))); \
+                             }} \
+                             ::std::result::Result::Ok({name}::{vname}({entries})) \
+                         }}",
+                        entries = entries.join(", ")
+                    )
+                }
+                VariantKind::Named(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\")?)?")
+                        })
+                        .collect();
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    // `inner` is only bound when at least one variant carries data, to
+    // avoid an unused-variable warning for all-unit enums.
+    let inner_pat = if data_variants.is_empty() {
+        "_inner"
+    } else {
+        "inner"
+    };
+    format!(
+        "match v {{ \
+             ::serde::Value::Str(s) => match s.as_str() {{ \
+                 {unit_arms} \
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown unit variant `{{other}}` for {name}\"))), \
+             }}, \
+             ::serde::Value::Object(fields) if fields.len() == 1 => {{ \
+                 let (tag, {inner_pat}) = &fields[0]; \
+                 match tag.as_str() {{ \
+                     {data_arms} \
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"unknown variant `{{other}}` for {name}\"))), \
+                 }} \
+             }} \
+             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected string or single-key object for enum {name}\")), \
+         }}",
+        unit_arms = unit_arms.join(" "),
+        data_arms = data_arms.join(" "),
+    )
+}
