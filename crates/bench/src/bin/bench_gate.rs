@@ -1,0 +1,144 @@
+//! CI perf-regression gate over `ml_kernels` reports.
+//!
+//! ```text
+//! bench_gate BASELINE.json CURRENT.json [--max-regression 0.25]
+//!            [--require-overhead-below 0.02]
+//! ```
+//!
+//! Compares per-entry GFLOP/s of a fresh `ml_kernels` run against the
+//! committed baseline, matched by entry name, and exits nonzero when any
+//! kernel regresses by more than the tolerance (default 25%, loose enough
+//! to absorb shared-runner jitter while catching real slowdowns). An
+//! entry present in the baseline but absent from the current run is a
+//! failure. With `--require-overhead-below` it also asserts the current
+//! run's measured observability overhead stays under the given fraction
+//! (the DESIGN.md budget is 2%).
+
+use serde::Value;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_gate: {msg}");
+    std::process::exit(1);
+}
+
+fn load(path: &str) -> Value {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    serde_json::parse_value(&text)
+        .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e:?}")))
+}
+
+/// Extract `(name, gflops)` pairs from a report's `entries` array.
+fn entries(doc: &Value, path: &str) -> Vec<(String, f64)> {
+    doc.field("entries")
+        .and_then(|v| v.as_array().map(<[Value]>::to_vec))
+        .unwrap_or_else(|_| fail(&format!("{path} has no `entries` array")))
+        .iter()
+        .map(|e| {
+            let name = e
+                .field("name")
+                .and_then(|v| v.as_str().map(str::to_string))
+                .unwrap_or_else(|_| fail(&format!("{path}: entry without a name")));
+            let gflops = e
+                .field("gflops")
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|_| fail(&format!("{path}: entry {name} has no gflops")));
+            (name, gflops)
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_regression = 0.25f64;
+    let mut overhead_below: Option<f64> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-regression" => {
+                let v = it.next().unwrap_or_default();
+                max_regression = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad --max-regression value {v:?}")));
+            }
+            "--require-overhead-below" => {
+                let v = it.next().unwrap_or_default();
+                overhead_below = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("bad overhead threshold {v:?}"))),
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_gate BASELINE.json CURRENT.json \
+                     [--max-regression FRAC] [--require-overhead-below FRAC]"
+                );
+                return;
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        fail("expected exactly two positional arguments: BASELINE.json CURRENT.json");
+    }
+    let baseline = load(&paths[0]);
+    let current = load(&paths[1]);
+    let base_entries = entries(&baseline, &paths[0]);
+    let cur_entries = entries(&current, &paths[1]);
+
+    let mut failures = Vec::new();
+    println!(
+        "{:<30} {:>12} {:>12} {:>8}",
+        "entry", "base GF/s", "cur GF/s", "ratio"
+    );
+    for (name, base_gf) in &base_entries {
+        match cur_entries.iter().find(|(n, _)| n == name) {
+            None => failures.push(format!("entry {name} missing from current run")),
+            Some((_, cur_gf)) => {
+                let ratio = cur_gf / base_gf;
+                let verdict = if ratio < 1.0 - max_regression {
+                    failures.push(format!(
+                        "{name} regressed: {base_gf:.2} -> {cur_gf:.2} GFLOP/s \
+                         ({:.1}% below baseline, tolerance {:.0}%)",
+                        (1.0 - ratio) * 100.0,
+                        max_regression * 100.0
+                    ));
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!("{name:<30} {base_gf:>12.2} {cur_gf:>12.2} {ratio:>7.2} {verdict}");
+            }
+        }
+    }
+
+    if let Some(threshold) = overhead_below {
+        let pct = current
+            .field("obs_overhead")
+            .and_then(|o| o.field("overhead_pct"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|_| fail(&format!("{} has no obs_overhead.overhead_pct", paths[1])));
+        let frac = pct / 100.0;
+        if frac >= threshold {
+            failures.push(format!(
+                "observability overhead {pct:.3}% exceeds the {:.1}% budget",
+                threshold * 100.0
+            ));
+        } else {
+            println!(
+                "obs overhead {pct:.3}% < {:.1}% budget: ok",
+                threshold * 100.0
+            );
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench_gate: OK ({} entries compared)", base_entries.len());
+    } else {
+        for f in &failures {
+            eprintln!("bench_gate: {f}");
+        }
+        std::process::exit(1);
+    }
+}

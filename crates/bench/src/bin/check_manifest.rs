@@ -1,0 +1,126 @@
+//! CI guard: validate an observability metrics report.
+//!
+//! ```text
+//! check_manifest METRICS.json [--trace TRACE.json] STAGE...
+//! ```
+//!
+//! Verifies that the report carries a complete run manifest (tool, seed,
+//! config hash, worker count, git revision) and that every required
+//! pipeline STAGE appears among the recorded spans (matched against the
+//! last `/`-segment of each span path, so nesting context does not
+//! matter). With `--trace` it additionally checks that the
+//! `chrome://tracing` export parses and holds at least one event. Exits
+//! nonzero with a message per violation, so the CI smoke job fails loudly
+//! when a pipeline stage silently drops out of the instrumentation.
+
+use serde::Value;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("check_manifest: {msg}");
+    std::process::exit(1);
+}
+
+fn load(path: &str) -> Value {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    serde_json::parse_value(&text)
+        .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e:?}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => {
+                let v = it.next().unwrap_or_default();
+                if v.is_empty() {
+                    fail("--trace requires a path");
+                }
+                trace_path = Some(v);
+            }
+            "--help" | "-h" => {
+                println!("usage: check_manifest METRICS.json [--trace TRACE.json] STAGE...");
+                return;
+            }
+            other if metrics_path.is_none() => metrics_path = Some(other.to_string()),
+            other => required.push(other.to_string()),
+        }
+    }
+    let metrics_path = metrics_path.unwrap_or_else(|| fail("missing METRICS.json argument"));
+
+    let doc = load(&metrics_path);
+    let manifest = doc
+        .field("manifest")
+        .unwrap_or_else(|_| fail("report has no `manifest` object"));
+
+    for key in ["tool", "git_rev", "config_hash"] {
+        let v = manifest
+            .field(key)
+            .and_then(|v| v.as_str().map(str::to_string))
+            .unwrap_or_else(|_| fail(&format!("manifest.{key} missing or not a string")));
+        if v.is_empty() {
+            fail(&format!("manifest.{key} is empty"));
+        }
+        if key == "config_hash" && (v.len() != 16 || !v.bytes().all(|b| b.is_ascii_hexdigit())) {
+            fail(&format!(
+                "manifest.config_hash {v:?} is not a 64-bit hex hash"
+            ));
+        }
+    }
+    manifest
+        .field("seed")
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|_| fail("manifest.seed missing or not an integer"));
+    let workers = manifest
+        .field("workers")
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|_| fail("manifest.workers missing or not an integer"));
+    if workers == 0 {
+        fail("manifest.workers is zero");
+    }
+
+    let stages = manifest
+        .field("stages")
+        .and_then(|v| v.as_array().map(<[Value]>::to_vec))
+        .unwrap_or_else(|_| fail("manifest.stages missing or not an array"));
+    let stage_names: Vec<String> = stages
+        .iter()
+        .filter_map(|s| {
+            s.field("path")
+                .and_then(|p| p.as_str().map(str::to_string))
+                .ok()
+        })
+        .map(|p| p.rsplit('/').next().unwrap_or_default().to_string())
+        .collect();
+    let missing: Vec<&String> = required
+        .iter()
+        .filter(|r| !stage_names.iter().any(|s| s == *r))
+        .collect();
+    if !missing.is_empty() {
+        eprintln!("check_manifest: recorded stages: {stage_names:?}");
+        fail(&format!(
+            "required stages missing from manifest: {missing:?}"
+        ));
+    }
+
+    if let Some(trace) = trace_path {
+        let tdoc = load(&trace);
+        let events = tdoc
+            .field("traceEvents")
+            .and_then(|v| v.as_array().map(<[Value]>::len))
+            .unwrap_or_else(|_| fail(&format!("{trace} has no `traceEvents` array")));
+        if events == 0 {
+            fail(&format!("{trace} holds zero trace events"));
+        }
+        println!("check_manifest: trace OK ({events} events)");
+    }
+    println!(
+        "check_manifest: OK ({} stages recorded, {} required present)",
+        stage_names.len(),
+        required.len()
+    );
+}

@@ -1,20 +1,26 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--scale quick|default|paper] [TARGET...]
+//! experiments [--scale quick|default|paper] [--metrics-out PATH] [TARGET...]
 //! ```
 //!
 //! Targets: `table1 table2 table3 fig1 fig2 fig3 fig4 fig9 fig10 fig11
 //! fig12 fig13 fig14 fig15 all` (default: `all`).
+//!
+//! With `--metrics-out PATH` the run additionally writes an observability
+//! report (run manifest + per-stage wall times + pipeline counters) to
+//! `PATH` and a `chrome://tracing` trace next to it (`.trace.json`).
 
 use stencilmart::advisor::Criterion;
 use stencilmart::baselines::BaselinePolicy;
 use stencilmart::experiments as exp;
 use stencilmart_bench::Scale;
+use stencilmart_obs as obs;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Default;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -26,9 +32,18 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--metrics-out" => {
+                let v = it.next().unwrap_or_default();
+                if v.is_empty() {
+                    eprintln!("--metrics-out requires a path");
+                    std::process::exit(2);
+                }
+                metrics_out = Some(std::path::PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--scale quick|default|paper] [TARGET...]\n\
+                    "usage: experiments [--scale quick|default|paper] \
+                     [--metrics-out PATH] [TARGET...]\n\
                      targets: table1 table2 table3 fig1 fig2 fig3 fig4 fig9 fig10 \
                      fig11 fig12 fig13 fig14 fig15 all"
                 );
@@ -40,9 +55,26 @@ fn main() {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
-    let want = |t: &str| targets.iter().any(|x| x == t || x == "all");
 
     let cfg = scale.config();
+    let config_repr = serde_json::to_string(&cfg).expect("serialize config");
+    let seed = cfg.seed;
+    {
+        let _run = obs::span("experiments");
+        run(cfg, &targets);
+    }
+    if let Some(path) = metrics_out {
+        let manifest = obs::RunManifest::new("experiments", seed, &config_repr);
+        obs::report::write_metrics(&path, &manifest).expect("write metrics report");
+        let trace = obs::report::trace_path_for(&path);
+        obs::report::write_chrome_trace(&trace).expect("write chrome trace");
+        eprintln!("[metrics] wrote {} and {}", path.display(), trace.display());
+    }
+}
+
+fn run(cfg: stencilmart::config::PipelineConfig, targets: &[String]) {
+    let want = |t: &str| targets.iter().any(|x| x == t || x == "all");
+
     let profile_cfg = cfg.profile_config();
 
     if want("table1") {

@@ -10,6 +10,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use stencilmart_gpusim::{profile_corpus, GpuArch, GpuId, OptCombo, StencilProfile};
 use stencilmart_ml::data::FeatureMatrix;
+use stencilmart_obs::{self as obs, counters};
 use stencilmart_stencil::features::{extract, FeatureConfig};
 use stencilmart_stencil::generator::StencilGenerator;
 use stencilmart_stencil::pattern::{Dim, StencilPattern};
@@ -31,8 +32,12 @@ pub struct ProfiledCorpus {
 impl ProfiledCorpus {
     /// Generate and profile a corpus for one dimensionality.
     pub fn build(cfg: &PipelineConfig, dim: Dim) -> ProfiledCorpus {
-        let mut gen = StencilGenerator::new(cfg.seed ^ dim.rank() as u64);
-        let patterns = gen.generate_corpus(dim, cfg.max_order, cfg.stencils_per_dim);
+        let _span = obs::span("corpus_build");
+        let patterns = obs::time("stencil_gen", || {
+            let mut gen = StencilGenerator::new(cfg.seed ^ dim.rank() as u64);
+            gen.generate_corpus(dim, cfg.max_order, cfg.stencils_per_dim)
+        });
+        counters::STENCILS_GENERATED.add(patterns.len() as u64);
         let grid = cfg.grid_for(dim);
         let pc = cfg.profile_config();
         let profiles = cfg
@@ -64,6 +69,7 @@ impl ProfiledCorpus {
     /// Derive the OC merging for this corpus (pooling correlation and
     /// performance-gap statistics over all profiled GPUs).
     pub fn derive_merging(&self, classes: usize) -> OcMerging {
+        let _span = obs::span("pcc_merge");
         let per_gpu_times: Vec<_> = self
             .profiles
             .iter()

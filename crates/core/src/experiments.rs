@@ -13,6 +13,7 @@ use crate::regress::{evaluate_regressor, RegressorEval};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use stencilmart_gpusim::{host_machines, profile_stencil, GpuArch, GpuId, OptCombo, ProfileConfig};
+use stencilmart_obs as obs;
 use stencilmart_stencil::canonical::{suite, CanonicalStencil};
 use stencilmart_stencil::features::FeatureConfig;
 use stencilmart_stencil::pattern::Dim;
@@ -31,6 +32,7 @@ pub struct ExperimentContext {
 impl ExperimentContext {
     /// Build the corpora and mergings for 2-D and 3-D stencils.
     pub fn build(cfg: PipelineConfig) -> ExperimentContext {
+        let _span = obs::span("context_build");
         let mut corpora = Vec::new();
         let mut mergings = Vec::new();
         for dim in [Dim::D2, Dim::D3] {
@@ -166,6 +168,7 @@ pub struct Fig1Result {
 /// Run Fig. 1: profile the canonical suite on V100 and report the
 /// best-OC speedup over the worst surviving OC.
 pub fn fig1(profile_cfg: &ProfileConfig) -> Fig1Result {
+    let _span = obs::span("fig1");
     let arch = GpuArch::preset(GpuId::V100);
     let mut gaps = Vec::new();
     for (i, c) in suite().iter().enumerate() {
@@ -370,6 +373,7 @@ pub struct Fig4Result {
 /// Run Fig. 4: best OC time per canonical stencil per GPU, normalized to
 /// the 2080 Ti.
 pub fn fig4(profile_cfg: &ProfileConfig) -> Fig4Result {
+    let _span = obs::span("fig4");
     let gpus = GpuId::ALL.to_vec();
     let canon: Vec<CanonicalStencil> = suite();
     let mut rows = Vec::new();
@@ -427,6 +431,7 @@ pub struct ClassificationSuite {
 /// Train and cross-validate every classification mechanism on every
 /// (GPU, dimensionality) dataset.
 pub fn classification_suite(ctx: &ExperimentContext) -> ClassificationSuite {
+    let _span = obs::span("classification_suite");
     let mut evals = Vec::new();
     for dim in ctx.dims() {
         let corpus = ctx.corpus(dim);
@@ -605,6 +610,7 @@ pub struct RegressionSuite {
 /// Train and cross-validate every regression mechanism per
 /// dimensionality.
 pub fn regression_suite(ctx: &ExperimentContext) -> RegressionSuite {
+    let _span = obs::span("regression_suite");
     let mut evals = Vec::new();
     for dim in ctx.dims() {
         let ds = RegressionDataset::build(ctx.corpus(dim), &ctx.cfg);
@@ -685,6 +691,7 @@ pub struct Fig13Result {
 /// per configuration (averaged across GPUs by construction, as the model
 /// is cross-architecture).
 pub fn fig13(ctx: &ExperimentContext, layers: &[usize], widths: &[usize]) -> Fig13Result {
+    let _span = obs::span("mlp_sweep");
     let mut grid = Vec::new();
     for dim in ctx.dims() {
         // The sweep trains layers × widths models; cap the training-set
@@ -751,6 +758,7 @@ impl Fig13Result {
 /// Run Fig. 14 (pure performance) or Fig. 15 (cost efficiency) for every
 /// dimensionality.
 pub fn fig14_15(ctx: &ExperimentContext, criterion: Criterion) -> Vec<(Dim, AdvisorResult)> {
+    let _span = obs::span("advisor_eval");
     ctx.dims()
         .into_iter()
         .map(|dim| {

@@ -177,6 +177,7 @@ pub fn merge_ocs(
         per_gpu_pcc.iter().all(|m| m.len() == n),
         "PCC matrix size mismatch"
     );
+    let _span = stencilmart_obs::span("merge_ocs");
     let gap = pairwise_log_gap(per_gpu_times);
     // Similarity: mean PCC across GPUs, penalized by the performance gap.
     const GAP_WEIGHT: f64 = 1.5;

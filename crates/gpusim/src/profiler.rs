@@ -12,6 +12,7 @@ use crate::params::{ParamSetting, ParamSpace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use stencilmart_obs::{self as obs, counters};
 use stencilmart_stencil::pattern::StencilPattern;
 
 /// Profiling configuration.
@@ -144,7 +145,7 @@ pub fn profile_stencil(
     cfg: &ProfileConfig,
     stencil_idx: u64,
 ) -> StencilProfile {
-    let per_oc = OptCombo::enumerate()
+    let per_oc: Vec<OcOutcome> = OptCombo::enumerate()
         .into_iter()
         .enumerate()
         .map(|(oc_idx, oc)| {
@@ -170,22 +171,28 @@ pub fn profile_stencil(
             }
         })
         .collect();
+    counters::STENCILS_PROFILED.inc();
+    counters::OC_INSTANCES_SIMULATED.add(per_oc.iter().map(|o| o.instances.len() as u64).sum());
+    counters::CRASHES_OBSERVED.add(per_oc.iter().map(|o| o.crashes.len() as u64).sum());
     StencilProfile { per_oc }
 }
 
-/// Profile a corpus of stencils in parallel (scoped threads, one chunk per
-/// available core). Results are deterministic and ordered to match the
-/// input corpus.
+/// Profile a corpus of stencils in parallel (scoped threads, one chunk
+/// per worker). Results are deterministic and ordered to match the input
+/// corpus.
+///
+/// The worker count comes from the pipeline-wide resolution in
+/// [`stencilmart_obs::runtime::worker_count`], so `STENCILMART_THREADS`
+/// governs this pool exactly like the ML thread pools.
 pub fn profile_corpus(
     patterns: &[StencilPattern],
     grid: usize,
     arch: &GpuArch,
     cfg: &ProfileConfig,
 ) -> Vec<StencilProfile> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(patterns.len().max(1));
+    let _span = obs::span("profile_corpus");
+    let workers = obs::runtime::worker_count().min(patterns.len().max(1));
+    counters::WORKER_POOL_SIZE.set(workers as u64);
     if workers <= 1 || patterns.len() < 4 {
         return patterns
             .iter()

@@ -11,6 +11,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use stencilmart_obs::{self as obs, counters};
 use tree::{RegressionTree, TreeConfig};
 
 /// Boosting hyperparameters shared by the regressor and classifier.
@@ -81,6 +82,7 @@ impl<'a> FitContext<'a> {
     }
 
     fn fit_tree(&self, grad: &[f32], hess: &[f32], idx: &[usize], cfg: &TreeConfig) -> AnyTree {
+        counters::GBDT_TREES_GROWN.inc();
         match &self.binned {
             Some(bm) => AnyTree::Binned(BinnedTree::fit(bm, grad, hess, idx, cfg)),
             None => AnyTree::Exact(RegressionTree::fit(self.x, grad, hess, idx, cfg)),
@@ -112,6 +114,7 @@ impl GbdtRegressor {
     pub fn fit(x: &FeatureMatrix, y: &[f32], cfg: &GbdtConfig) -> GbdtRegressor {
         assert_eq!(x.rows(), y.len(), "sample/target mismatch");
         assert!(x.rows() > 0, "empty training set");
+        let _span = obs::span("gbdt_fit");
         let ctx = FitContext::new(x, cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let base = y.iter().sum::<f32>() / y.len() as f32;
@@ -170,6 +173,7 @@ impl GbdtClassifier {
     ) -> GbdtClassifier {
         assert_eq!(x.rows(), labels.len(), "sample/label mismatch");
         assert!(labels.iter().all(|&l| l < classes), "label out of range");
+        let _span = obs::span("gbdt_fit");
         let n = labels.len();
         let ctx = FitContext::new(x, cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);

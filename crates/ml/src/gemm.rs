@@ -18,6 +18,7 @@
 //! `STENCILMART_THREADS` environment variable.
 
 use crate::par;
+use stencilmart_obs::counters;
 
 /// Rows per register tile.
 pub const MR: usize = 8;
@@ -106,6 +107,10 @@ fn gemm_dispatch(
     if m == 0 || n == 0 {
         return;
     }
+    // One relaxed RMW per entry-point call (not per tile) keeps the
+    // accounting cost invisible against the O(m·k·n) compute.
+    counters::GEMM_CALLS.inc();
+    counters::GEMM_FLOPS.add((2 * m * k * n) as u64);
     if k == 0 {
         if !accumulate {
             c.fill(0.0);

@@ -10,7 +10,7 @@
 //!   backprop.
 //! * [`gemm`] — cache-blocked, register-tiled, optionally multithreaded
 //!   `f32` matrix multiplication backing every matmul variant.
-//! * [`reference`] — the original naive kernels, kept as correctness
+//! * [`mod@reference`] — the original naive kernels, kept as correctness
 //!   oracles and benchmark baselines.
 //! * [`nn`] — dense / 2-D / 3-D conv layers, ReLU, softmax-CE and MSE
 //!   losses, Adam/SGD, sequential and two-branch containers, mini-batch

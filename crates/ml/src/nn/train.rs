@@ -7,6 +7,7 @@ use crate::tensor::Tensor;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use stencilmart_obs::{self as obs, counters};
 
 /// Training hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +49,7 @@ pub fn train_classifier(
     // Mini-batch scratch reused across every batch of every epoch.
     let mut xb = Tensor::zeros(&[0]);
     for _ in 0..cfg.epochs {
+        let _epoch = obs::span("train_epoch");
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0;
@@ -62,6 +64,8 @@ pub fn train_classifier(
             epoch_loss += loss;
             batches += 1;
         }
+        counters::EPOCHS_TRAINED.inc();
+        counters::SAMPLES_TRAINED.add(x.batch() as u64);
         history.push(epoch_loss / batches.max(1) as f32);
     }
     history
@@ -82,6 +86,7 @@ pub fn train_regressor(
     let mut history = Vec::with_capacity(cfg.epochs);
     let mut xb = Tensor::zeros(&[0]);
     for _ in 0..cfg.epochs {
+        let _epoch = obs::span("train_epoch");
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0;
@@ -96,6 +101,8 @@ pub fn train_regressor(
             epoch_loss += loss;
             batches += 1;
         }
+        counters::EPOCHS_TRAINED.inc();
+        counters::SAMPLES_TRAINED.add(x.batch() as u64);
         history.push(epoch_loss / batches.max(1) as f32);
     }
     history

@@ -8,17 +8,13 @@
 //! unparseable values fall back to the default).
 
 /// Number of worker threads to use, honoring `STENCILMART_THREADS`.
+///
+/// Delegates to the pipeline-wide resolution in
+/// [`stencilmart_obs::runtime::worker_count`] so every pool in the
+/// workspace (ML folds, GEMM row panels, profiler corpus chunks) obeys
+/// the same environment variable.
 pub fn worker_count() -> usize {
-    if let Ok(v) = std::env::var("STENCILMART_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    stencilmart_obs::runtime::worker_count()
 }
 
 /// Parallel map preserving input order. Falls back to sequential for

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! Zero-dependency observability substrate for the StencilMART pipeline.
+//!
+//! Every stage of the pipeline (stencil generation → per-GPU profiling →
+//! PCC merge → training → experiments) reports into one process-global
+//! collector through two primitives:
+//!
+//! * [`fn@span`] — RAII hierarchical wall-time spans. Spans nest per thread
+//!   (the path of a span is `parent/child` within its own thread) and
+//!   aggregate by path into count / total / min / max statistics, with
+//!   the set of participating threads tracked per path. Each completed
+//!   span also records a `chrome://tracing` event (capped; overflow is
+//!   counted, never reallocated unboundedly).
+//! * [`counters`] — process-global atomic counters and gauges
+//!   (stencils profiled, OC instances simulated, GEMM FLOPs, crashes,
+//!   training samples, …) with relaxed-ordering `add`/`set`.
+//!
+//! Both primitives are gated on a single [`set_enabled`] flag whose
+//! disabled cost is one relaxed atomic load, so the instrumentation is
+//! cheap enough to leave on in production runs (the `ml_kernels` bench
+//! verifies < 2% overhead with everything enabled).
+//!
+//! Two exporters turn the collected state into artifacts:
+//!
+//! * [`report::metrics_json`] — a JSON metrics report embedding a
+//!   [`manifest::RunManifest`] (config hash, seed, worker count, git
+//!   revision, per-stage wall times), the counter/gauge snapshot, and
+//!   derived throughput rates.
+//! * [`report::chrome_trace_json`] — a trace file loadable in
+//!   `chrome://tracing` / Perfetto.
+//!
+//! The crate also owns the pipeline-wide worker-count resolution
+//! ([`runtime::worker_count`], honoring `STENCILMART_THREADS`) so that a
+//! single environment variable controls every thread pool in the
+//! workspace.
+
+pub mod counters;
+pub mod manifest;
+pub mod report;
+pub mod runtime;
+pub mod span;
+
+pub use counters::Counter;
+pub use manifest::RunManifest;
+pub use span::{enabled, set_enabled, span, time, Span};
+
+/// Clear all collected observability state: span aggregates, trace
+/// events, the dropped-event count, and every counter and gauge.
+///
+/// Intended for tests and for bench bins that measure several isolated
+/// workloads in one process.
+pub fn reset() {
+    span::reset_spans();
+    counters::reset_all();
+}
+
+/// Serializes unit tests that touch the process-global collector or the
+/// enabled flag, so parallel test threads don't observe each other.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

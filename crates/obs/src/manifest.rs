@@ -1,0 +1,132 @@
+//! Run manifests: the who/what/where header of a metrics report.
+
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Identity of one pipeline run, embedded in the metrics report so CI
+/// artifacts are self-describing and comparable across runs.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// Emitting binary (e.g. `experiments`, `ml_kernels`).
+    pub tool: String,
+    /// Command-line arguments of the run (without the program path).
+    pub args: Vec<String>,
+    /// Master seed of the run's configuration.
+    pub seed: u64,
+    /// FNV-1a hash of the serialized configuration.
+    pub config_hash: u64,
+    /// Resolved worker count ([`crate::runtime::worker_count`]).
+    pub workers: usize,
+    /// Git revision of the working tree, or `"unknown"`.
+    pub git_rev: String,
+    /// Wall-clock creation time, milliseconds since the Unix epoch.
+    pub created_unix_ms: u128,
+}
+
+impl RunManifest {
+    /// Build a manifest for the current process: hashes `config_repr`
+    /// (any stable serialization of the run's configuration), captures
+    /// the CLI arguments, and resolves the worker count and git
+    /// revision.
+    pub fn new(tool: &str, seed: u64, config_repr: &str) -> RunManifest {
+        RunManifest {
+            tool: tool.to_string(),
+            args: std::env::args().skip(1).collect(),
+            seed,
+            config_hash: fnv1a(config_repr.as_bytes()),
+            workers: crate::runtime::worker_count(),
+            git_rev: git_rev(),
+            created_unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis())
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// 64-bit FNV-1a hash (stable across platforms and runs, unlike
+/// `DefaultHasher`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Best-effort git revision of the enclosing repository: walks up from
+/// the current directory resolving `.git/HEAD` (symbolic refs via
+/// `refs/...` files or `packed-refs`), falling back to the `GITHUB_SHA`
+/// environment variable, then `"unknown"`. Pure filesystem reads — no
+/// subprocess.
+pub fn git_rev() -> String {
+    if let Ok(dir) = std::env::current_dir() {
+        let mut cur: Option<&Path> = Some(dir.as_path());
+        while let Some(d) = cur {
+            if let Some(rev) = rev_from_git_dir(&d.join(".git")) {
+                return rev;
+            }
+            cur = d.parent();
+        }
+    }
+    std::env::var("GITHUB_SHA").unwrap_or_else(|_| "unknown".to_string())
+}
+
+fn rev_from_git_dir(git: &Path) -> Option<String> {
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref: ") {
+        if let Ok(hash) = std::fs::read_to_string(git.join(refname)) {
+            return Some(hash.trim().to_string());
+        }
+        // Ref may only exist packed.
+        if let Ok(packed) = std::fs::read_to_string(git.join("packed-refs")) {
+            for line in packed.lines() {
+                if let Some((hash, name)) = line.split_once(' ') {
+                    if name.trim() == refname {
+                        return Some(hash.trim().to_string());
+                    }
+                }
+            }
+        }
+        return None;
+    }
+    // Detached HEAD stores the hash directly.
+    (!head.is_empty()).then(|| head.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_is_stable_and_input_sensitive() {
+        // Reference vector: FNV-1a("hello") is a published constant.
+        assert_eq!(fnv1a(b"hello"), 0xa430_d846_80aa_bd0b);
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"seed=1"), fnv1a(b"seed=2"));
+    }
+
+    #[test]
+    fn manifest_captures_process_facts() {
+        let m = RunManifest::new("unit_test", 99, "{\"cfg\":1}");
+        assert_eq!(m.tool, "unit_test");
+        assert_eq!(m.seed, 99);
+        assert_eq!(m.config_hash, fnv1a(b"{\"cfg\":1}"));
+        assert!(m.workers >= 1);
+        assert!(!m.git_rev.is_empty());
+        assert!(m.created_unix_ms > 0);
+    }
+
+    #[test]
+    fn git_rev_resolves_in_this_repo() {
+        // The repo this crate lives in is git-initialized; from its
+        // working directory the revision must resolve to a hex hash.
+        let rev = git_rev();
+        if rev != "unknown" {
+            assert!(rev.len() >= 7, "suspicious revision {rev:?}");
+            assert!(rev.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+}

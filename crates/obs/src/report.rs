@@ -1,0 +1,296 @@
+//! Exporters: the JSON metrics report and the `chrome://tracing` trace.
+//!
+//! JSON is emitted by hand (this crate is dependency-free); the output
+//! is plain strict JSON that any parser — including the workspace's
+//! vendored `serde_json` — reads back.
+
+use crate::counters;
+use crate::manifest::RunManifest;
+use crate::span::{self, SpanStat};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+fn esc(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn ms(ns: u128) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn stage_json(s: &SpanStat, out: &mut String) {
+    out.push_str("    {\"path\": ");
+    esc(&s.path, out);
+    let _ = write!(
+        out,
+        ", \"count\": {}, \"total_ms\": {:?}, \"mean_ms\": {:?}, \"min_ms\": {:?}, \"max_ms\": {:?}, \"threads\": {}}}",
+        s.count,
+        ms(s.total_ns),
+        ms(s.mean_ns()),
+        ms(s.min_ns),
+        ms(s.max_ns),
+        s.threads
+    );
+}
+
+/// Total wall time (ns) across every span path whose stage name (last
+/// path segment) is `stage`.
+pub fn stage_total_ns(stats: &[SpanStat], stage: &str) -> u128 {
+    stats
+        .iter()
+        .filter(|s| s.stage() == stage)
+        .map(|s| s.total_ns)
+        .sum()
+}
+
+/// Render the full metrics report: manifest (with per-stage wall
+/// times), counters, gauges, derived rates, and the dropped-event
+/// count.
+pub fn metrics_json(manifest: &RunManifest) -> String {
+    let stats = span::span_stats();
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"manifest\": {\n    \"tool\": ");
+    esc(&manifest.tool, &mut out);
+    out.push_str(",\n    \"args\": [");
+    for (i, a) in manifest.args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        esc(a, &mut out);
+    }
+    let _ = write!(
+        out,
+        "],\n    \"seed\": {},\n    \"config_hash\": \"{:016x}\",\n    \"workers\": {},\n    \"git_rev\": ",
+        manifest.seed, manifest.config_hash, manifest.workers
+    );
+    esc(&manifest.git_rev, &mut out);
+    let _ = write!(
+        out,
+        ",\n    \"created_unix_ms\": {},\n    \"stages\": [\n",
+        manifest.created_unix_ms
+    );
+    for (i, s) in stats.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        stage_json(s, &mut out);
+    }
+    out.push_str("\n    ]\n  },\n  \"counters\": {");
+    for (i, (name, value)) in counters::snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        esc(name, &mut out);
+        let _ = write!(out, ": {value}");
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, g) in counters::all_gauges().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        esc(g.name(), &mut out);
+        let _ = write!(out, ": {}", g.get());
+    }
+    out.push_str("\n  },\n  \"derived\": {");
+    let mut first = true;
+    let mut rate = |out: &mut String, name: &str, total: u64, wall_ns: u128| {
+        if wall_ns == 0 {
+            return;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        esc(name, out);
+        let _ = write!(out, ": {:?}", total as f64 / (wall_ns as f64 / 1e9));
+    };
+    rate(
+        &mut out,
+        "train_samples_per_sec",
+        counters::SAMPLES_TRAINED.get(),
+        stage_total_ns(&stats, "train_epoch"),
+    );
+    rate(
+        &mut out,
+        "profile_instances_per_sec",
+        counters::OC_INSTANCES_SIMULATED.get(),
+        stage_total_ns(&stats, "profile_corpus"),
+    );
+    rate(
+        &mut out,
+        "gbdt_trees_per_sec",
+        counters::GBDT_TREES_GROWN.get(),
+        stage_total_ns(&stats, "gbdt_fit"),
+    );
+    let _ = write!(
+        out,
+        "\n  }},\n  \"trace_events_dropped\": {}\n}}\n",
+        span::dropped_events()
+    );
+    out
+}
+
+/// Render the buffered spans as a `chrome://tracing` document
+/// (`traceEvents` with complete `"X"` events; microsecond timestamps).
+pub fn chrome_trace_json() -> String {
+    let events = span::trace_events();
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  {\"name\": ");
+        esc(&e.name, &mut out);
+        let _ = write!(
+            out,
+            ", \"cat\": \"span\", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {:?}, \"dur\": {:?}}}",
+            e.tid, e.ts_us, e.dur_us
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Write the metrics report to `path`.
+pub fn write_metrics(path: &Path, manifest: &RunManifest) -> std::io::Result<()> {
+    std::fs::write(path, metrics_json(manifest))
+}
+
+/// Write the chrome trace to `path`.
+pub fn write_chrome_trace(path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json())
+}
+
+/// The conventional trace path next to a metrics path:
+/// `run.json` → `run.trace.json` (a missing extension gains one).
+pub fn trace_path_for(metrics_path: &Path) -> PathBuf {
+    let stem = metrics_path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("metrics");
+    metrics_path.with_file_name(format!("{stem}.trace.json"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{GBDT_TREES_GROWN, SAMPLES_TRAINED};
+    use crate::span::{set_enabled, time};
+    use crate::test_guard;
+    use serde::Value;
+
+    fn demo_manifest() -> RunManifest {
+        RunManifest {
+            tool: "report_test".into(),
+            args: vec!["--flag".into(), "va\"lue".into()],
+            seed: 7,
+            config_hash: 0xABCD,
+            workers: 2,
+            git_rev: "deadbeef".into(),
+            created_unix_ms: 1234,
+        }
+    }
+
+    fn field<'v>(v: &'v Value, key: &str) -> &'v Value {
+        match v {
+            Value::Object(fields) => {
+                &fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .unwrap_or_else(|| panic!("missing key {key}"))
+                    .1
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_report_parses_and_carries_stages() {
+        let _guard = test_guard();
+        set_enabled(true);
+        crate::reset();
+        time("alpha", || {
+            time("beta", || ());
+        });
+        SAMPLES_TRAINED.add(10);
+        GBDT_TREES_GROWN.add(4);
+        let json = metrics_json(&demo_manifest());
+        let v = serde_json::parse_value(&json).expect("report is valid JSON");
+        let manifest = field(&v, "manifest");
+        assert_eq!(*field(manifest, "seed"), Value::Int(7));
+        assert_eq!(*field(manifest, "workers"), Value::Int(2));
+        let Value::Array(stages) = field(manifest, "stages") else {
+            panic!("stages not an array");
+        };
+        let paths: Vec<&Value> = stages.iter().map(|s| field(s, "path")).collect();
+        assert!(paths.contains(&&Value::Str("alpha".into())));
+        assert!(paths.contains(&&Value::Str("alpha/beta".into())));
+        let counters_obj = field(&v, "counters");
+        assert_eq!(*field(counters_obj, "samples_trained"), Value::Int(10));
+        // Gauges live in their own section, not among the counters.
+        assert!(matches!(field(&v, "gauges"), Value::Object(_)));
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_has_events() {
+        let _guard = test_guard();
+        set_enabled(true);
+        crate::reset();
+        time("traced", || ());
+        let json = chrome_trace_json();
+        let v = serde_json::parse_value(&json).expect("trace is valid JSON");
+        let Value::Array(events) = field(&v, "traceEvents") else {
+            panic!("traceEvents not an array");
+        };
+        assert_eq!(events.len(), 1);
+        assert_eq!(*field(&events[0], "ph"), Value::Str("X".into()));
+        assert_eq!(*field(&events[0], "name"), Value::Str("traced".into()));
+    }
+
+    #[test]
+    fn empty_collector_still_produces_valid_documents() {
+        let _guard = test_guard();
+        crate::reset();
+        let m = demo_manifest();
+        assert!(serde_json::parse_value(&metrics_json(&m)).is_ok());
+        assert!(serde_json::parse_value(&chrome_trace_json()).is_ok());
+    }
+
+    #[test]
+    fn trace_path_convention() {
+        assert_eq!(
+            trace_path_for(Path::new("out/run.json")),
+            PathBuf::from("out/run.trace.json")
+        );
+        assert_eq!(
+            trace_path_for(Path::new("metrics")),
+            PathBuf::from("metrics.trace.json")
+        );
+    }
+
+    #[test]
+    fn escaping_survives_round_trip() {
+        let mut s = String::new();
+        esc("a\"b\\c\nd\u{1}", &mut s);
+        let v: String = serde_json::from_str(&s).unwrap();
+        assert_eq!(v, "a\"b\\c\nd\u{1}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Pipeline-wide worker-count resolution.
+//!
+//! Every thread pool in the workspace — the ML fold/model parallelism,
+//! the blocked GEMM row partitioning, and the profiler's per-stencil
+//! corpus partitioning — sizes itself through [`worker_count`], so the
+//! single `STENCILMART_THREADS` environment variable controls the whole
+//! pipeline.
+
+/// Number of worker threads to use: `STENCILMART_THREADS` when set to a
+/// parseable value ≥ 1, otherwise `available_parallelism()` (or 1 when
+/// even that is unavailable).
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("STENCILMART_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_override_and_fallbacks() {
+        let _guard = crate::test_guard();
+        std::env::set_var("STENCILMART_THREADS", "3");
+        assert_eq!(worker_count(), 3);
+        std::env::set_var("STENCILMART_THREADS", "0");
+        assert!(worker_count() >= 1);
+        std::env::set_var("STENCILMART_THREADS", "many");
+        assert!(worker_count() >= 1);
+        std::env::remove_var("STENCILMART_THREADS");
+        assert!(worker_count() >= 1);
+    }
+}

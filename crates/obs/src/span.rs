@@ -1,0 +1,312 @@
+//! RAII hierarchical span timers with thread-aware aggregation and a
+//! bounded `chrome://tracing` event buffer.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Hard cap on buffered trace events; completions beyond it only bump
+/// the dropped-event counter so long runs cannot exhaust memory.
+pub const MAX_TRACE_EVENTS: usize = 200_000;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enable or disable span recording and counter updates.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether observability collection is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Process trace epoch: all trace timestamps are offsets from the first
+/// observability call in the process.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Small dense per-thread id (0 = first thread to record a span).
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// Stack of full span paths open on this thread.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone)]
+pub struct SpanStat {
+    /// Full `parent/child` path of the span.
+    pub path: String,
+    /// Completed spans at this path.
+    pub count: u64,
+    /// Total wall time, nanoseconds.
+    pub total_ns: u128,
+    /// Shortest single span, nanoseconds.
+    pub min_ns: u128,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u128,
+    /// Distinct threads that completed spans at this path.
+    pub threads: usize,
+}
+
+impl SpanStat {
+    /// Mean wall time per span, nanoseconds.
+    pub fn mean_ns(&self) -> u128 {
+        self.total_ns / u128::from(self.count.max(1))
+    }
+
+    /// The last `/`-separated segment of the path (the stage name).
+    pub fn stage(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Agg {
+    count: u64,
+    total_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    threads: BTreeSet<u64>,
+}
+
+/// One completed span as a `chrome://tracing` complete ("X") event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Full span path.
+    pub name: String,
+    /// Recording thread id.
+    pub tid: u64,
+    /// Start offset from the process trace epoch, microseconds.
+    pub ts_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+}
+
+#[derive(Default)]
+struct Registry {
+    aggregates: BTreeMap<String, Agg>,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Registry> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// An open span. Dropping it records the elapsed wall time under its
+/// hierarchical path. Not `Send`: a span must end on the thread that
+/// opened it (its path lives on that thread's stack).
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+pub struct Span {
+    /// `None` when collection was disabled at creation (inert guard).
+    start: Option<Instant>,
+    path: String,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Open a span named `name`, nested under the innermost span already
+/// open on this thread. Returns an inert guard when collection is
+/// disabled.
+pub fn span(name: impl Into<String>) -> Span {
+    if !enabled() {
+        return Span {
+            start: None,
+            path: String::new(),
+            _not_send: PhantomData,
+        };
+    }
+    let name = name.into();
+    let path = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let path = match s.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name,
+        };
+        s.push(path.clone());
+        path
+    });
+    epoch(); // pin the trace epoch before the span starts
+    Span {
+        start: Some(Instant::now()),
+        path,
+        _not_send: PhantomData,
+    }
+}
+
+/// Run `f` inside a span named `name` and return its result.
+pub fn time<R>(name: impl Into<String>, f: impl FnOnce() -> R) -> R {
+    let _span = span(name);
+    f()
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur = start.elapsed();
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        let tid = TID.with(|t| *t);
+        let dur_ns = dur.as_nanos();
+        let ts_us = start.saturating_duration_since(epoch()).as_secs_f64() * 1e6;
+        let mut reg = lock();
+        let agg = reg.aggregates.entry(self.path.clone()).or_default();
+        agg.count += 1;
+        agg.total_ns += dur_ns;
+        agg.min_ns = if agg.count == 1 {
+            dur_ns
+        } else {
+            agg.min_ns.min(dur_ns)
+        };
+        agg.max_ns = agg.max_ns.max(dur_ns);
+        agg.threads.insert(tid);
+        if reg.events.len() < MAX_TRACE_EVENTS {
+            let name = std::mem::take(&mut self.path);
+            reg.events.push(TraceEvent {
+                name,
+                tid,
+                ts_us,
+                dur_us: dur.as_secs_f64() * 1e6,
+            });
+        } else {
+            reg.dropped += 1;
+        }
+    }
+}
+
+/// Snapshot of the per-path aggregates, sorted by path.
+pub fn span_stats() -> Vec<SpanStat> {
+    lock()
+        .aggregates
+        .iter()
+        .map(|(path, a)| SpanStat {
+            path: path.clone(),
+            count: a.count,
+            total_ns: a.total_ns,
+            min_ns: a.min_ns,
+            max_ns: a.max_ns,
+            threads: a.threads.len(),
+        })
+        .collect()
+}
+
+/// Snapshot of the buffered trace events, in completion order.
+pub fn trace_events() -> Vec<TraceEvent> {
+    lock().events.clone()
+}
+
+/// Number of trace events dropped after the buffer filled.
+pub fn dropped_events() -> u64 {
+    lock().dropped
+}
+
+/// Clear span aggregates, trace events, and the dropped-event count.
+pub fn reset_spans() {
+    let mut reg = lock();
+    reg.aggregates.clear();
+    reg.events.clear();
+    reg.dropped = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::test_guard as test_lock;
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let _guard = test_lock();
+        reset_spans();
+        {
+            let _a = span("outer");
+            for _ in 0..3 {
+                let _b = span("inner");
+            }
+        }
+        let stats = span_stats();
+        let outer = stats.iter().find(|s| s.path == "outer").unwrap();
+        let inner = stats.iter().find(|s| s.path == "outer/inner").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 3);
+        assert_eq!(inner.stage(), "inner");
+        assert!(inner.min_ns <= inner.max_ns);
+        assert!(inner.total_ns >= inner.max_ns);
+        assert_eq!(trace_events().len(), 4);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = test_lock();
+        reset_spans();
+        set_enabled(false);
+        {
+            let _a = span("ghost");
+        }
+        set_enabled(true);
+        assert!(span_stats().is_empty());
+        assert!(trace_events().is_empty());
+    }
+
+    #[test]
+    fn sibling_spans_share_a_path() {
+        let _guard = test_lock();
+        reset_spans();
+        time("root", || {
+            time("leaf", || ());
+            time("leaf", || ());
+        });
+        let stats = span_stats();
+        let leaf = stats.iter().find(|s| s.path == "root/leaf").unwrap();
+        assert_eq!(leaf.count, 2);
+        assert_eq!(leaf.threads, 1);
+    }
+
+    #[test]
+    fn worker_thread_spans_root_at_the_thread() {
+        let _guard = test_lock();
+        reset_spans();
+        let _outer = span("driver");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _w = span("worker_stage");
+            });
+        });
+        drop(_outer);
+        let stats = span_stats();
+        // The worker thread has its own (empty) stack, so its span is a
+        // root path, not nested under "driver".
+        assert!(stats.iter().any(|s| s.path == "worker_stage"));
+        assert!(stats.iter().any(|s| s.path == "driver"));
+    }
+
+    #[test]
+    fn trace_timestamps_are_ordered() {
+        let _guard = test_lock();
+        reset_spans();
+        time("first", || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
+        time("second", || ());
+        let ev = trace_events();
+        let first = ev.iter().find(|e| e.name == "first").unwrap();
+        let second = ev.iter().find(|e| e.name == "second").unwrap();
+        assert!(second.ts_us >= first.ts_us);
+        assert!(first.dur_us >= 1_000.0, "slept 2ms, got {}us", first.dur_us);
+    }
+}

@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Length specification for [`vec`]: a fixed size or a range of sizes.
+/// Length specification for [`fn@vec`]: a fixed size or a range of sizes.
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     min: usize,

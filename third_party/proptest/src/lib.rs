@@ -1,6 +1,7 @@
 //! Offline subset of the `proptest` property-testing crate.
 //!
-//! Implements the slice of the API this workspace uses: the [`Strategy`]
+//! Implements the slice of the API this workspace uses: the
+//! [`strategy::Strategy`]
 //! trait with `prop_map`/`prop_flat_map`, range and tuple strategies,
 //! [`collection::vec`], `any::<T>()`, `Just`, `prop_oneof!`, the
 //! `proptest!` test macro, and the `prop_assert*`/`prop_assume!` macros.
