@@ -28,7 +28,9 @@ fn load(path: &str) -> Value {
         .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e:?}")))
 }
 
-/// Extract `(name, gflops)` pairs from a report's `entries` array.
+/// Extract `(name, metric)` pairs from a report's `entries` array. The
+/// higher-is-better metric is `gflops` (ml_kernels reports) or
+/// `throughput` (gpusim_profile reports).
 fn entries(doc: &Value, path: &str) -> Vec<(String, f64)> {
     doc.field("entries")
         .and_then(|v| v.as_array().map(<[Value]>::to_vec))
@@ -39,11 +41,14 @@ fn entries(doc: &Value, path: &str) -> Vec<(String, f64)> {
                 .field("name")
                 .and_then(|v| v.as_str().map(str::to_string))
                 .unwrap_or_else(|_| fail(&format!("{path}: entry without a name")));
-            let gflops = e
+            let metric = e
                 .field("gflops")
+                .or_else(|_| e.field("throughput"))
                 .and_then(|v| v.as_f64())
-                .unwrap_or_else(|_| fail(&format!("{path}: entry {name} has no gflops")));
-            (name, gflops)
+                .unwrap_or_else(|_| {
+                    fail(&format!("{path}: entry {name} has no gflops/throughput"))
+                });
+            (name, metric)
         })
         .collect()
 }

@@ -1,0 +1,179 @@
+//! Headless profiler-throughput benchmark.
+//!
+//! ```text
+//! gpusim_profile [--quick] [--workers N] [OUTPUT.json]
+//! ```
+//!
+//! Times the corpus-profiling pipeline — every stencil × 30 OCs × sampled
+//! parameter settings × all four GPU presets, the dominant cost of
+//! StencilMART data collection — and writes `BENCH_gpusim.json` (default)
+//! with per-entry throughput figures:
+//!
+//! * `profile_corpus_{2d,3d}_4gpu` — profiled (stencil, GPU) tasks per
+//!   second over the full corpus,
+//! * `simulate_calls_{2d,3d}_4gpu` — simulator evaluations per second
+//!   (successful instances + crashes), counted by the obs layer.
+//!
+//! Entries carry a `throughput` field (higher is better) which the CI
+//! `bench_gate` compares against the committed baseline exactly like the
+//! `gflops` field of `BENCH_ml_kernels.json`. `--workers` pins the worker
+//! pool (default 4, matching the perf-gate runners); `--quick` shrinks
+//! the corpus for CI smoke runs.
+
+use serde::Value;
+use std::time::Instant;
+use stencilmart_gpusim::{profile_corpus_multi, GpuArch, GpuId, NoiseModel, ProfileConfig};
+use stencilmart_obs::{self as obs, counters};
+use stencilmart_stencil::generator::StencilGenerator;
+use stencilmart_stencil::pattern::Dim;
+
+/// Corpus scale and repetition budget.
+#[derive(Clone, Copy)]
+struct Budget {
+    stencils: usize,
+    samples: usize,
+}
+
+impl Budget {
+    const FULL: Budget = Budget {
+        stencils: 48,
+        samples: 3,
+    };
+    // Same corpus as FULL (so CI compares like for like against the
+    // committed baseline), just fewer timing repetitions.
+    const QUICK: Budget = Budget {
+        stencils: 48,
+        samples: 2,
+    };
+}
+
+fn entry(name: &str, shape: &str, unit: &str, throughput: f64, elapsed_s: f64) -> Value {
+    Value::Object(vec![
+        ("name".into(), Value::Str(name.into())),
+        ("shape".into(), Value::Str(shape.into())),
+        ("unit".into(), Value::Str(unit.into())),
+        ("throughput".into(), Value::Float(throughput)),
+        ("seconds_per_run".into(), Value::Float(elapsed_s)),
+    ])
+}
+
+/// Profile one corpus on every GPU preset once; returns (seconds,
+/// simulate calls made).
+fn run_once(patterns: &[stencilmart_stencil::pattern::StencilPattern], grid: usize) -> (f64, u64) {
+    let cfg = ProfileConfig {
+        samples_per_oc: 8,
+        noise: NoiseModel::default(),
+        seed: 0x5EED,
+    };
+    let before = counters::OC_INSTANCES_SIMULATED.get() + counters::CRASHES_OBSERVED.get();
+    let archs: Vec<GpuArch> = GpuId::ALL.into_iter().map(GpuArch::preset).collect();
+    let t = Instant::now();
+    let out = profile_corpus_multi(patterns, grid, &archs, &cfg);
+    std::hint::black_box(&out);
+    let secs = t.elapsed().as_secs_f64();
+    let calls = counters::OC_INSTANCES_SIMULATED.get() + counters::CRASHES_OBSERVED.get() - before;
+    (secs, calls)
+}
+
+fn bench_dim(budget: Budget, dim: Dim, entries: &mut Vec<Value>) {
+    let grid = if dim == Dim::D2 { 8192 } else { 512 };
+    let mut generator = StencilGenerator::new(0xBE7C ^ dim.rank() as u64);
+    let patterns = generator.generate_corpus(dim, 4, budget.stencils);
+    let tasks = (patterns.len() * GpuId::ALL.len()) as f64;
+    eprintln!(
+        "[gpusim_profile] {dim}: {} stencils x {} GPUs...",
+        patterns.len(),
+        GpuId::ALL.len()
+    );
+    let (mut best_secs, mut calls) = (f64::INFINITY, 0u64);
+    for _ in 0..budget.samples {
+        let (secs, c) = run_once(&patterns, grid);
+        best_secs = best_secs.min(secs);
+        calls = c; // identical every run (deterministic pipeline)
+    }
+    entries.push(entry(
+        &format!("profile_corpus_{dim}_4gpu"),
+        &format!("{} stencils x 4 GPUs x 30 OCs x 8 samples", patterns.len()),
+        "stencil-GPU tasks/s",
+        tasks / best_secs,
+        best_secs,
+    ));
+    entries.push(entry(
+        &format!("simulate_calls_{dim}_4gpu"),
+        &format!("{calls} simulator evaluations"),
+        "simulate calls/s",
+        calls as f64 / best_secs,
+        best_secs,
+    ));
+}
+
+fn main() {
+    let mut out_path = "BENCH_gpusim.json".to_string();
+    let mut budget = Budget::FULL;
+    let mut quick = false;
+    let mut workers = 4usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {
+                quick = true;
+                budget = Budget::QUICK;
+            }
+            "--workers" => {
+                let v = it.next().unwrap_or_default();
+                workers = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --workers value {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: gpusim_profile [--quick] [--workers N] [OUTPUT.json]");
+                return;
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    // Pin the pool so baseline and CI runs compare like for like.
+    std::env::set_var("STENCILMART_THREADS", workers.to_string());
+    obs::set_enabled(true);
+    obs::reset();
+
+    let mut entries = Vec::new();
+    bench_dim(budget, Dim::D2, &mut entries);
+    bench_dim(budget, Dim::D3, &mut entries);
+
+    let doc = Value::Object(vec![
+        (
+            "description".into(),
+            Value::Str("profiler throughput: corpus x 30 OCs x 4 GPU presets".into()),
+        ),
+        ("workers".into(), Value::Float(workers as f64)),
+        ("quick".into(), Value::Bool(quick)),
+        ("entries".into(), Value::Array(entries)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write output");
+    println!("wrote {out_path}");
+    if let Value::Object(fields) = &doc {
+        if let Some((_, Value::Array(items))) = fields.iter().find(|(k, _)| k == "entries") {
+            for e in items {
+                let get = |key: &str| e.field(key).ok().cloned().unwrap_or(Value::Null);
+                println!(
+                    "  {:<28} {:>12} {}",
+                    match get("name") {
+                        Value::Str(s) => s,
+                        _ => String::new(),
+                    },
+                    match get("throughput") {
+                        Value::Float(f) => format!("{f:.1}"),
+                        _ => String::new(),
+                    },
+                    match get("unit") {
+                        Value::Str(s) => s,
+                        _ => String::new(),
+                    },
+                );
+            }
+        }
+    }
+}

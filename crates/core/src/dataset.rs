@@ -8,13 +8,62 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use stencilmart_gpusim::{profile_corpus, GpuArch, GpuId, OptCombo, StencilProfile};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use stencilmart_gpusim::{profile_corpus_tasks, GpuArch, GpuId, OptCombo, StencilProfile};
 use stencilmart_ml::data::FeatureMatrix;
 use stencilmart_obs::{self as obs, counters};
 use stencilmart_stencil::features::{extract, FeatureConfig};
 use stencilmart_stencil::generator::StencilGenerator;
 use stencilmart_stencil::pattern::{Dim, StencilPattern};
 use stencilmart_stencil::tensor::BinaryTensor;
+
+/// Profile a corpus on every GPU, deduplicating by canonical pattern:
+/// each unique stencil is profiled once over a flattened (GPU × stencil)
+/// work queue and the result fanned back out to every duplicate slot.
+///
+/// Every unique stencil keeps the seed index of its *first* occurrence,
+/// so a duplicate-free corpus (the normal case — the generator already
+/// dedups) profiles bit-identically to the undeduplicated path, and a
+/// corpus *with* duplicates gets exactly the profile its first occurrence
+/// would have produced. Returns `out[gpu][stencil]` aligned with
+/// `patterns`.
+fn profile_deduped(
+    patterns: &[StencilPattern],
+    grid: usize,
+    archs: &[GpuArch],
+    pc: &stencilmart_gpusim::ProfileConfig,
+) -> Vec<Vec<StencilProfile>> {
+    let mut first_slot: HashMap<&StencilPattern, usize> = HashMap::new();
+    let mut unique: Vec<&StencilPattern> = Vec::new();
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut slot_of: Vec<usize> = Vec::with_capacity(patterns.len());
+    for (i, p) in patterns.iter().enumerate() {
+        match first_slot.entry(p) {
+            Entry::Occupied(e) => {
+                counters::CORPUS_DUPLICATES.inc();
+                slot_of.push(*e.get());
+            }
+            Entry::Vacant(e) => {
+                e.insert(unique.len());
+                slot_of.push(unique.len());
+                unique.push(p);
+                seeds.push(i as u64);
+            }
+        }
+    }
+    let per_gpu = profile_corpus_tasks(&unique, &seeds, grid, archs, pc);
+    per_gpu
+        .into_iter()
+        .map(|prof| {
+            if unique.len() == patterns.len() {
+                prof // no duplicates: already corpus-aligned
+            } else {
+                slot_of.iter().map(|&s| prof[s].clone()).collect()
+            }
+        })
+        .collect()
+}
 
 /// A profiled corpus: patterns plus per-GPU profiling results.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -40,14 +89,9 @@ impl ProfiledCorpus {
         counters::STENCILS_GENERATED.add(patterns.len() as u64);
         let grid = cfg.grid_for(dim);
         let pc = cfg.profile_config();
-        let profiles = cfg
-            .gpus
-            .iter()
-            .map(|&g| {
-                let arch = GpuArch::preset(g);
-                (g, profile_corpus(&patterns, grid, &arch, &pc))
-            })
-            .collect();
+        let archs: Vec<GpuArch> = cfg.gpus.iter().map(|&g| GpuArch::preset(g)).collect();
+        let per_gpu = profile_deduped(&patterns, grid, &archs, &pc);
+        let profiles = cfg.gpus.iter().copied().zip(per_gpu).collect();
         ProfiledCorpus {
             dim,
             grid,
@@ -76,8 +120,8 @@ impl ProfiledCorpus {
             .map(|(_, profiles)| pcc::oc_time_matrix(profiles))
             .collect();
         let per_gpu_pcc: Vec<_> = per_gpu_times.iter().map(|m| pcc::pairwise_pcc(m)).collect();
-        let all_profiles: Vec<Vec<StencilProfile>> =
-            self.profiles.iter().map(|(_, p)| p.clone()).collect();
+        let all_profiles: Vec<&[StencilProfile]> =
+            self.profiles.iter().map(|(_, p)| p.as_slice()).collect();
         let wins = pcc::win_counts(&all_profiles);
         pcc::merge_ocs(&per_gpu_pcc, &per_gpu_times, &wins, classes)
     }
@@ -205,6 +249,7 @@ impl RegressionDataset {
         let mut tensor_rows: Vec<usize> = Vec::new(); // index into stencil_tensors
         let mut targets = Vec::new();
         let mut keys = Vec::new();
+        let grid_cols = usize::from(cfg.include_grid_size);
         for (gpu, profiles) in &corpus.profiles {
             let hw: Vec<f32> = GpuArch::preset(*gpu)
                 .feature_vector()
@@ -213,19 +258,25 @@ impl RegressionDataset {
                 .collect();
             for (si, profile) in profiles.iter().enumerate() {
                 for (oi, outcome) in profile.per_oc.iter().enumerate() {
+                    // Constant across the instances of this outcome.
+                    let oc_feats: Vec<f32> =
+                        ocs[oi].feature_vector().iter().map(|&v| v as f32).collect();
                     for (pi, inst) in outcome.instances.iter().enumerate() {
-                        let mut row = stencil_feats[si].clone();
-                        row.extend(ocs[oi].feature_vector().iter().map(|&v| v as f32));
-                        row.extend(
-                            inst.params
-                                .feature_vector(&ocs[oi])
-                                .iter()
-                                .map(|&v| v as f32),
-                        );
+                        let params = inst.params.feature_vector(&ocs[oi]);
+                        let width = stencil_feats[si].len()
+                            + oc_feats.len()
+                            + params.len()
+                            + hw.len()
+                            + grid_cols;
+                        let mut row = Vec::with_capacity(width);
+                        row.extend_from_slice(&stencil_feats[si]);
+                        row.extend_from_slice(&oc_feats);
+                        row.extend(params.iter().map(|&v| v as f32));
                         row.extend_from_slice(&hw);
                         if cfg.include_grid_size {
                             row.push((corpus.grid as f32).log2());
                         }
+                        debug_assert_eq!(row.len(), width);
                         rows.push(row);
                         tensor_rows.push(si);
                         targets.push(inst.time_ms.ln() as f32);
@@ -397,6 +448,32 @@ mod tests {
         }
         // Leading stencil features untouched.
         assert_eq!(&swapped[..18], &ds.features.row(0)[..18]);
+    }
+
+    #[test]
+    fn dedup_profiles_match_full_corpus_bitwise() {
+        use stencilmart_gpusim::{profile_corpus_multi, ProfileConfig};
+        let mut generator = StencilGenerator::new(7);
+        let unique = generator.generate_corpus(Dim::D2, 3, 6);
+        // A corpus with trailing duplicates of stencils 0 and 3.
+        let mut corpus = unique.clone();
+        corpus.push(unique[0].clone());
+        corpus.push(unique[3].clone());
+        let archs = [GpuArch::preset(GpuId::V100), GpuArch::preset(GpuId::P100)];
+        let pc = ProfileConfig {
+            samples_per_oc: 2,
+            ..ProfileConfig::default()
+        };
+        let deduped = profile_deduped(&corpus, 8192, &archs, &pc);
+        let full = profile_corpus_multi(&unique, 8192, &archs, &pc);
+        for (gi, full_gpu) in full.iter().enumerate() {
+            // Unique stencils are bit-identical to profiling them without
+            // dedup (first-occurrence seed indices preserve the streams).
+            assert_eq!(&deduped[gi][..6], full_gpu.as_slice());
+            // Duplicate slots fan out the first occurrence's profile.
+            assert_eq!(deduped[gi][6], deduped[gi][0]);
+            assert_eq!(deduped[gi][7], deduped[gi][3]);
+        }
     }
 
     #[test]

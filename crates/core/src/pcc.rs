@@ -247,12 +247,13 @@ pub fn merge_ocs(
 }
 
 /// Count how many (stencil, GPU) cases each OC achieves the best time
-/// (feeds Fig. 2 and the representative selection).
-pub fn win_counts(per_gpu_profiles: &[Vec<StencilProfile>]) -> Vec<usize> {
+/// (feeds Fig. 2 and the representative selection). Takes borrowed
+/// per-GPU slices so callers never clone profile vectors just to count.
+pub fn win_counts(per_gpu_profiles: &[&[StencilProfile]]) -> Vec<usize> {
     let n_oc = OptCombo::enumerate().len();
     let mut wins = vec![0usize; n_oc];
     for profiles in per_gpu_profiles {
-        for p in profiles {
+        for p in *profiles {
             if let Some(best) = p.best_oc() {
                 wins[best.oc.index()] += 1;
             }

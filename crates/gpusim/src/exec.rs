@@ -3,7 +3,7 @@
 //! wave-quantization terms.
 
 use crate::arch::GpuArch;
-use crate::kernel::{characterize, Crash, KernelProfile};
+use crate::kernel::{characterize_with, Crash, KernelProfile, PatternAnalysis};
 use crate::opts::OptCombo;
 use crate::params::ParamSetting;
 use serde::{Deserialize, Serialize};
@@ -115,6 +115,10 @@ pub struct TimeBreakdown {
 
 /// Simulate one sweep and return its timing breakdown, or the crash that
 /// prevents execution.
+///
+/// Convenience wrapper over [`simulate_breakdown_with`] that derives the
+/// pattern analysis on the spot; callers evaluating many configurations
+/// of the same stencil should build one [`PatternAnalysis`] and reuse it.
 pub fn simulate_breakdown(
     pattern: &StencilPattern,
     grid: usize,
@@ -123,9 +127,29 @@ pub fn simulate_breakdown(
     arch: &GpuArch,
     boundary: BoundaryModel,
 ) -> Result<TimeBreakdown, Crash> {
-    let profile = characterize(pattern, grid, oc, params, arch)?;
+    simulate_breakdown_with(
+        &PatternAnalysis::new(pattern),
+        grid,
+        oc,
+        params,
+        arch,
+        boundary,
+    )
+}
+
+/// Simulate one sweep from a precomputed [`PatternAnalysis`] and return
+/// its timing breakdown, or the crash that prevents execution.
+pub fn simulate_breakdown_with(
+    analysis: &PatternAnalysis,
+    grid: usize,
+    oc: &OptCombo,
+    params: &ParamSetting,
+    arch: &GpuArch,
+    boundary: BoundaryModel,
+) -> Result<TimeBreakdown, Crash> {
+    let profile = characterize_with(analysis, grid, oc, params, arch)?;
     let occ = occupancy(&profile, arch)?;
-    let rank = pattern.dim().rank() as i32;
+    let rank = analysis.dim().rank() as i32;
     let n = grid as f64;
     let points = n.powi(rank);
 
@@ -141,7 +165,7 @@ pub fn simulate_breakdown(
     let occ_bw = (occ.fraction / 0.7).powf(0.5).min(1.0);
     let eff_bw = arch.mem_bw_gbs * 1e9 * arch.achievable_bw_frac * occ_bw;
     let bytes = profile.dram_bytes_per_point * points
-        + boundary.extra_bytes(n, rank, pattern.order() as f64);
+        + boundary.extra_bytes(n, rank, analysis.order() as f64);
     let t_mem = bytes / eff_bw;
 
     // FP64 pipes need a moderate occupancy to stay fed; ILP helps at low
@@ -189,10 +213,25 @@ pub fn simulate(
     simulate_breakdown(pattern, grid, oc, params, arch, BoundaryModel::None).map(|b| b.total_ms)
 }
 
+/// Simulate one sweep from a precomputed [`PatternAnalysis`] and return
+/// its noise-free time in milliseconds — the hot entry point of the
+/// profiler and tuner.
+pub fn simulate_with(
+    analysis: &PatternAnalysis,
+    grid: usize,
+    oc: &OptCombo,
+    params: &ParamSetting,
+    arch: &GpuArch,
+) -> Result<f64, Crash> {
+    simulate_breakdown_with(analysis, grid, oc, params, arch, BoundaryModel::None)
+        .map(|b| b.total_ms)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::arch::GpuId;
+    use crate::kernel::characterize;
     use stencilmart_stencil::pattern::Dim;
     use stencilmart_stencil::shapes;
 

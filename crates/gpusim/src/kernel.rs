@@ -24,7 +24,8 @@ use crate::arch::GpuArch;
 use crate::opts::{Merge, OptCombo};
 use crate::params::ParamSetting;
 use serde::{Deserialize, Serialize};
-use stencilmart_stencil::pattern::StencilPattern;
+use stencilmart_obs::counters;
+use stencilmart_stencil::pattern::{Dim, Offset, StencilPattern};
 
 /// Bytes per element (the paper's stencils are double precision).
 pub const ELEM_BYTES: f64 = 8.0;
@@ -91,7 +92,10 @@ pub struct KernelProfile {
 /// shifted by `0..m` along `axis` are unioned. Block merging of `m`
 /// adjacent outputs loads this union once instead of `m · nnz` operands.
 pub fn shifted_union(p: &StencilPattern, axis: usize, m: u32) -> usize {
-    let pts = p.points();
+    shifted_union_of(p.points(), axis, m)
+}
+
+fn shifted_union_of(pts: &[Offset], axis: usize, m: u32) -> usize {
     let mut set: std::collections::HashSet<[i32; 3]> =
         std::collections::HashSet::with_capacity(pts.len() * m as usize);
     for shift in 0..m as i32 {
@@ -104,8 +108,104 @@ pub fn shifted_union(p: &StencilPattern, axis: usize, m: u32) -> usize {
     set.len()
 }
 
+/// Merge factors precomputed in the [`PatternAnalysis`] shifted-union
+/// table: powers of two up to 8, the largest factor the parameter space
+/// samples (`log2(m)` indexes the table).
+const MERGE_FACTOR_SLOTS: usize = 4;
+
+/// Pattern-only quantities consumed by [`characterize`], computed **once
+/// per stencil** and reused across every (OC, parameter setting, GPU)
+/// evaluation.
+///
+/// Profiling evaluates each stencil thousands of times (30 OCs × sampled
+/// settings × 4 GPUs), and the uncached path re-derives the same
+/// pattern-level facts on every call — most expensively the
+/// [`shifted_union`] hash-set build for block merging and the
+/// `distinct_rows` sort. This struct hoists all of them out of the hot
+/// loop; [`characterize_with`] then costs only scalar arithmetic per
+/// call. Every cached field is a deterministic function of the pattern,
+/// so cached and uncached evaluation are bit-identical (pinned by the
+/// `prop_cached` property suite).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternAnalysis {
+    dim: Dim,
+    order: u8,
+    nnz: usize,
+    distinct_rows: usize,
+    flops_per_point: usize,
+    /// Points off the current streaming plane (`c[rank-1] != 0`): the
+    /// streaming-axis column retiming converts to register accumulation.
+    streaming_col_points: usize,
+    /// `shifted_unions[axis][log2(m)]` for `m` ∈ {1, 2, 4, 8}.
+    shifted_unions: [[usize; MERGE_FACTOR_SLOTS]; 3],
+    /// The pattern's points, kept for out-of-table merge factors (the
+    /// sampled parameter space never exceeds the table).
+    points: Vec<Offset>,
+}
+
+impl PatternAnalysis {
+    /// Analyze one pattern. Call once per stencil and share the result
+    /// across all of its simulator evaluations.
+    pub fn new(pattern: &StencilPattern) -> PatternAnalysis {
+        let rank = pattern.dim().rank();
+        let points = pattern.points().to_vec();
+        let mut shifted_unions = [[0usize; MERGE_FACTOR_SLOTS]; 3];
+        for (axis, row) in shifted_unions.iter_mut().enumerate() {
+            for (slot, entry) in row.iter_mut().enumerate() {
+                *entry = shifted_union_of(&points, axis, 1 << slot);
+            }
+        }
+        let streaming_col_points = points.iter().filter(|o| o.c[rank - 1] != 0).count();
+        counters::PATTERN_ANALYSES.inc();
+        PatternAnalysis {
+            dim: pattern.dim(),
+            order: pattern.order(),
+            nnz: pattern.nnz(),
+            distinct_rows: pattern.distinct_rows(),
+            flops_per_point: pattern.flops_per_point(),
+            streaming_col_points,
+            shifted_unions,
+            points,
+        }
+    }
+
+    /// Grid dimensionality of the analyzed pattern.
+    #[inline]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Stencil order of the analyzed pattern.
+    #[inline]
+    pub fn order(&self) -> u8 {
+        self.order
+    }
+
+    /// Accessed points (central point included) of the analyzed pattern.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Cached [`shifted_union`]: table lookup for the power-of-two merge
+    /// factors the parameter space samples, fresh computation otherwise.
+    #[inline]
+    pub fn shifted_union(&self, axis: usize, m: u32) -> usize {
+        let slot = m.trailing_zeros() as usize;
+        if axis < 3 && m.is_power_of_two() && slot < MERGE_FACTOR_SLOTS {
+            self.shifted_unions[axis][slot]
+        } else {
+            shifted_union_of(&self.points, axis, m)
+        }
+    }
+}
+
 /// Characterize one configuration. Returns the kernel profile or the crash
 /// that prevents execution.
+///
+/// Convenience wrapper over [`characterize_with`] that derives the
+/// pattern analysis on the spot; callers evaluating many configurations
+/// of the same stencil should build one [`PatternAnalysis`] and reuse it.
 pub fn characterize(
     pattern: &StencilPattern,
     grid: usize,
@@ -113,9 +213,21 @@ pub fn characterize(
     params: &ParamSetting,
     arch: &GpuArch,
 ) -> Result<KernelProfile, Crash> {
-    let rank = pattern.dim().rank();
-    let r = pattern.order() as f64;
-    let nnz = pattern.nnz() as f64;
+    characterize_with(&PatternAnalysis::new(pattern), grid, oc, params, arch)
+}
+
+/// Characterize one configuration from a precomputed [`PatternAnalysis`]
+/// — the cheap per-(OC, params, arch) phase of the two-phase model.
+pub fn characterize_with(
+    analysis: &PatternAnalysis,
+    grid: usize,
+    oc: &OptCombo,
+    params: &ParamSetting,
+    arch: &GpuArch,
+) -> Result<KernelProfile, Crash> {
+    let rank = analysis.dim.rank();
+    let r = analysis.order as f64;
+    let nnz = analysis.nnz as f64;
     let n = grid as f64;
     let threads = params.threads_per_block();
     if threads > 1024 {
@@ -133,7 +245,7 @@ pub fn characterize(
     // smooth per-pattern differences flip occupancy cliffs differently
     // for each OC's register adders — a major source of "no single OC
     // fits all".
-    let rows = pattern.distinct_rows() as f64;
+    let rows = analysis.distinct_rows as f64;
     let mut regs = 24.0 + 2.0 * r + 0.35 * nnz.min(150.0) + 0.6 * rows.min(60.0);
     match oc.merge {
         Merge::Block => regs += (m - 1.0) * (6.0 + r),
@@ -261,7 +373,7 @@ pub fn characterize(
         };
         // Block merging unions overlapping operands of adjacent outputs.
         if oc.merge == Merge::Block {
-            let union = shifted_union(pattern, params.merge_dim as usize, params.merge_factor);
+            let union = analysis.shifted_union(params.merge_dim as usize, params.merge_factor);
             reuse * (union as f64 / (m * nnz)).min(1.0)
         } else {
             reuse
@@ -300,11 +412,7 @@ pub fn characterize(
     if oc.rt && smem_ops > 0.0 {
         // Retiming converts the streaming-axis column reads into register
         // accumulation; the benefit grows with order (paper §II-B4).
-        let col_pts = pattern
-            .points()
-            .iter()
-            .filter(|o| o.c[rank - 1] != 0)
-            .count() as f64;
+        let col_pts = analysis.streaming_col_points as f64;
         smem_ops -= col_pts * 0.8;
     }
     // Strided cyclic access patterns cause bank conflicts in the staged
@@ -315,7 +423,7 @@ pub fn characterize(
     let smem_bytes = smem_ops.max(0.0) * ELEM_BYTES;
 
     // ---- Compute ------------------------------------------------------------
-    let mut flops = pattern.flops_per_point() as f64;
+    let mut flops = analysis.flops_per_point as f64;
     if oc.rt {
         // Re-association removes some common subexpressions.
         flops *= 0.92;

@@ -31,12 +31,16 @@ pub mod profiler;
 pub mod tuner;
 
 pub use arch::{host_machines, GpuArch, GpuId, HostMachine};
-pub use exec::{occupancy, simulate, simulate_breakdown, BoundaryModel, Occupancy, TimeBreakdown};
-pub use kernel::{characterize, Crash, KernelProfile};
+pub use exec::{
+    occupancy, simulate, simulate_breakdown, simulate_breakdown_with, simulate_with, BoundaryModel,
+    Occupancy, TimeBreakdown,
+};
+pub use kernel::{characterize, characterize_with, Crash, KernelProfile, PatternAnalysis};
 pub use noise::NoiseModel;
 pub use opts::{Merge, Opt, OptCombo};
 pub use params::{ParamSetting, ParamSpace};
 pub use profiler::{
-    profile_corpus, profile_stencil, InstanceRecord, OcOutcome, ProfileConfig, StencilProfile,
+    profile_corpus, profile_corpus_multi, profile_corpus_tasks, profile_stencil,
+    profile_stencil_with, InstanceRecord, OcOutcome, ProfileConfig, StencilProfile,
 };
 pub use tuner::{tune_ga, tune_random, GaConfig, TuneResult};

@@ -4,14 +4,15 @@
 //! (paper §IV-A).
 
 use crate::arch::GpuArch;
-use crate::exec::simulate;
-use crate::kernel::Crash;
+use crate::exec::simulate_with;
+use crate::kernel::{Crash, PatternAnalysis};
 use crate::noise::NoiseModel;
 use crate::opts::OptCombo;
 use crate::params::{ParamSetting, ParamSpace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use stencilmart_obs::{self as obs, counters};
 use stencilmart_stencil::pattern::StencilPattern;
 
@@ -58,14 +59,32 @@ pub struct OcOutcome {
     pub instances: Vec<InstanceRecord>,
     /// Crashes encountered during sampling, by reason.
     pub crashes: Vec<Crash>,
+    /// Index of the fastest instance, fixed at construction so the PCC
+    /// merging and dataset assembly, which consult `best()` repeatedly,
+    /// never re-scan the instance list.
+    best_idx: Option<usize>,
 }
 
 impl OcOutcome {
-    /// The fastest measured instance, if any setting executed.
-    pub fn best(&self) -> Option<&InstanceRecord> {
-        self.instances
+    /// Assemble an outcome, caching the index of the fastest instance.
+    pub fn new(oc: OptCombo, instances: Vec<InstanceRecord>, crashes: Vec<Crash>) -> OcOutcome {
+        let best_idx = instances
             .iter()
-            .min_by(|a, b| a.time_ms.total_cmp(&b.time_ms))
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.time_ms.total_cmp(&b.time_ms))
+            .map(|(i, _)| i);
+        OcOutcome {
+            oc,
+            instances,
+            crashes,
+            best_idx,
+        }
+    }
+
+    /// The fastest measured instance, if any setting executed (cached at
+    /// construction; O(1)).
+    pub fn best(&self) -> Option<&InstanceRecord> {
+        self.best_idx.map(|i| &self.instances[i])
     }
 
     /// Whether every sampled setting crashed (the paper notes such OCs
@@ -134,12 +153,14 @@ fn derive_seed(base: u64, stencil_idx: u64, oc_idx: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Profile one stencil under every valid OC.
+/// Profile one stencil under every valid OC, reusing a precomputed
+/// [`PatternAnalysis`] for every simulator evaluation.
 ///
 /// `stencil_idx` keys the deterministic per-stencil random stream; pass
-/// the stencil's position in its corpus.
-pub fn profile_stencil(
-    pattern: &StencilPattern,
+/// the stencil's position in its corpus. The per-(stencil, OC) streams
+/// make the result independent of which thread (or GPU loop) runs it.
+pub fn profile_stencil_with(
+    analysis: &PatternAnalysis,
     grid: usize,
     arch: &GpuArch,
     cfg: &ProfileConfig,
@@ -151,11 +172,12 @@ pub fn profile_stencil(
         .map(|(oc_idx, oc)| {
             let mut rng =
                 ChaCha8Rng::seed_from_u64(derive_seed(cfg.seed, stencil_idx, oc_idx as u64));
-            let space = ParamSpace::new(oc, pattern.dim());
+            let space = ParamSpace::new(oc, analysis.dim());
             let mut instances = Vec::new();
             let mut crashes = Vec::new();
             for params in space.sample_many(&mut rng, cfg.samples_per_oc) {
-                match simulate(pattern, grid, &oc, &params, arch) {
+                counters::ANALYSIS_CACHE_HITS.inc();
+                match simulate_with(analysis, grid, &oc, &params, arch) {
                     Ok(t) => instances.push(InstanceRecord {
                         oc,
                         params,
@@ -164,11 +186,7 @@ pub fn profile_stencil(
                     Err(c) => crashes.push(c),
                 }
             }
-            OcOutcome {
-                oc,
-                instances,
-                crashes,
-            }
+            OcOutcome::new(oc, instances, crashes)
         })
         .collect();
     counters::STENCILS_PROFILED.inc();
@@ -177,9 +195,132 @@ pub fn profile_stencil(
     StencilProfile { per_oc }
 }
 
-/// Profile a corpus of stencils in parallel (scoped threads, one chunk
-/// per worker). Results are deterministic and ordered to match the input
-/// corpus.
+/// Profile one stencil under every valid OC (analyzes the pattern first;
+/// prefer [`profile_stencil_with`] when profiling the same stencil on
+/// several GPUs).
+pub fn profile_stencil(
+    pattern: &StencilPattern,
+    grid: usize,
+    arch: &GpuArch,
+    cfg: &ProfileConfig,
+    stencil_idx: u64,
+) -> StencilProfile {
+    profile_stencil_with(&PatternAnalysis::new(pattern), grid, arch, cfg, stencil_idx)
+}
+
+/// Profile `patterns` on every GPU in `archs` with an explicit seed index
+/// per stencil.
+///
+/// This is the flattened work-queue core shared by [`profile_corpus`] and
+/// [`profile_corpus_multi`]: every (GPU, stencil) pair becomes one task,
+/// and workers drain tasks off a single atomic counter, so crash-heavy
+/// stencils (which finish their 30 OCs much faster) no longer leave
+/// statically chunked workers idle. Each stencil is analyzed exactly once
+/// up front and the [`PatternAnalysis`] is shared across all GPUs.
+///
+/// `seed_indices[si]` is the seed index used for stencil `si` — normally
+/// its corpus position, but the dedup path in `ProfiledCorpus::build`
+/// passes first-occurrence indices so deduplicated corpora stay
+/// bit-identical to profiling the full corpus. Results are
+/// `out[gpu][stencil]`, bit-identical for any worker count: the
+/// per-(stencil, OC) seed streams never depend on scheduling.
+pub fn profile_corpus_tasks(
+    patterns: &[&StencilPattern],
+    seed_indices: &[u64],
+    grid: usize,
+    archs: &[GpuArch],
+    cfg: &ProfileConfig,
+) -> Vec<Vec<StencilProfile>> {
+    assert_eq!(patterns.len(), seed_indices.len());
+    let _span = obs::span("profile_corpus");
+    let analyses: Vec<PatternAnalysis> = patterns.iter().map(|p| PatternAnalysis::new(p)).collect();
+    let n_stencils = patterns.len();
+    let n_tasks = n_stencils * archs.len();
+    let workers = obs::runtime::worker_count().min(n_tasks.max(1));
+    counters::WORKER_POOL_SIZE.set(workers as u64);
+    let run_task = |task: usize| {
+        let (gi, si) = (task / n_stencils, task % n_stencils);
+        profile_stencil_with(&analyses[si], grid, &archs[gi], cfg, seed_indices[si])
+    };
+    if workers <= 1 || n_tasks < 4 {
+        let mut out: Vec<Vec<StencilProfile>> = Vec::with_capacity(archs.len());
+        for gi in 0..archs.len() {
+            out.push(
+                (0..n_stencils)
+                    .map(|si| run_task(gi * n_stencils + si))
+                    .collect(),
+            );
+        }
+        return out;
+    }
+    // One flat queue over all (GPU, stencil) tasks. A worker's "home"
+    // range is what static chunking would have handed it; claims outside
+    // it count as steals (a load-balance signal, inherently
+    // scheduling-dependent, hence a gauge and not a counter).
+    let next = AtomicUsize::new(0);
+    let chunk = n_tasks.div_ceil(workers);
+    let mut done: Vec<(usize, StencilProfile)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|wi| {
+                let next = &next;
+                let run_task = &run_task;
+                s.spawn(move || {
+                    let home = wi * chunk..((wi + 1) * chunk).min(n_tasks);
+                    let mut produced = Vec::new();
+                    let mut steals = 0u64;
+                    loop {
+                        let task = next.fetch_add(1, Ordering::Relaxed);
+                        if task >= n_tasks {
+                            break;
+                        }
+                        if !home.contains(&task) {
+                            steals += 1;
+                        }
+                        produced.push((task, run_task(task)));
+                    }
+                    (produced, steals)
+                })
+            })
+            .collect();
+        let mut done = Vec::with_capacity(n_tasks);
+        let mut steals = 0;
+        for h in handles {
+            let (produced, s) = h.join().expect("profiler worker panicked");
+            done.extend(produced);
+            steals += s;
+        }
+        counters::PROFILE_QUEUE_STEALS.set(steals);
+        done
+    });
+    done.sort_unstable_by_key(|(task, _)| *task);
+    let mut done = done.into_iter();
+    (0..archs.len())
+        .map(|_| {
+            (0..n_stencils)
+                .map(|_| done.next().expect("filled").1)
+                .collect()
+        })
+        .collect()
+}
+
+/// Profile a corpus on several GPUs at once, analyzing each stencil only
+/// once and balancing all (GPU, stencil) tasks over one worker pool.
+///
+/// Results are `out[gpu][stencil]`, bit-identical to calling
+/// [`profile_corpus`] per GPU in order.
+pub fn profile_corpus_multi(
+    patterns: &[StencilPattern],
+    grid: usize,
+    archs: &[GpuArch],
+    cfg: &ProfileConfig,
+) -> Vec<Vec<StencilProfile>> {
+    let refs: Vec<&StencilPattern> = patterns.iter().collect();
+    let seeds: Vec<u64> = (0..patterns.len() as u64).collect();
+    profile_corpus_tasks(&refs, &seeds, grid, archs, cfg)
+}
+
+/// Profile a corpus of stencils in parallel on one GPU. Results are
+/// deterministic and ordered to match the input corpus.
 ///
 /// The worker count comes from the pipeline-wide resolution in
 /// [`stencilmart_obs::runtime::worker_count`], so `STENCILMART_THREADS`
@@ -190,30 +331,9 @@ pub fn profile_corpus(
     arch: &GpuArch,
     cfg: &ProfileConfig,
 ) -> Vec<StencilProfile> {
-    let _span = obs::span("profile_corpus");
-    let workers = obs::runtime::worker_count().min(patterns.len().max(1));
-    counters::WORKER_POOL_SIZE.set(workers as u64);
-    if workers <= 1 || patterns.len() < 4 {
-        return patterns
-            .iter()
-            .enumerate()
-            .map(|(i, p)| profile_stencil(p, grid, arch, cfg, i as u64))
-            .collect();
-    }
-    let mut results: Vec<Option<StencilProfile>> = vec![None; patterns.len()];
-    let chunk = patterns.len().div_ceil(workers);
-    std::thread::scope(|s| {
-        for (wi, out_chunk) in results.chunks_mut(chunk).enumerate() {
-            let start = wi * chunk;
-            s.spawn(move || {
-                for (j, slot) in out_chunk.iter_mut().enumerate() {
-                    let idx = start + j;
-                    *slot = Some(profile_stencil(&patterns[idx], grid, arch, cfg, idx as u64));
-                }
-            });
-        }
-    });
-    results.into_iter().map(|r| r.expect("filled")).collect()
+    profile_corpus_multi(patterns, grid, std::slice::from_ref(arch), cfg)
+        .pop()
+        .expect("one arch in, one profile vector out")
 }
 
 #[cfg(test)]
@@ -289,6 +409,25 @@ mod tests {
             .map(|(i, p)| profile_stencil(p, 8192, &v100(), &cfg, i as u64))
             .collect();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn multi_gpu_queue_matches_per_gpu_runs() {
+        let patterns: Vec<_> = (1..=3u8)
+            .map(|r| shapes::star(Dim::D2, r))
+            .chain((1..=3u8).map(|r| shapes::cross(Dim::D2, r)))
+            .collect();
+        let cfg = small_cfg();
+        let archs = [
+            GpuArch::preset(GpuId::V100),
+            GpuArch::preset(GpuId::P100),
+            GpuArch::preset(GpuId::A100),
+        ];
+        let multi = profile_corpus_multi(&patterns, 8192, &archs, &cfg);
+        assert_eq!(multi.len(), archs.len());
+        for (per_gpu, arch) in multi.iter().zip(&archs) {
+            assert_eq!(per_gpu, &profile_corpus(&patterns, 8192, arch, &cfg));
+        }
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! bounded evaluation budget.
 
 use crate::arch::GpuArch;
-use crate::exec::simulate;
+use crate::exec::simulate_with;
+use crate::kernel::PatternAnalysis;
 use crate::opts::OptCombo;
 use crate::params::{ParamSetting, ParamSpace};
 use rand::seq::SliceRandom;
@@ -130,11 +131,13 @@ pub fn tune_ga(
         "elite must leave room for offspring"
     );
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    // Pattern quantities are fixed for the whole search; analyze once.
+    let analysis = PatternAnalysis::new(pattern);
     let space = ParamSpace::new(*oc, pattern.dim());
     let mut evals = 0usize;
     let fitness = |s: &ParamSetting, evals: &mut usize| -> f64 {
         *evals += 1;
-        simulate(pattern, grid, oc, s, arch).unwrap_or(f64::INFINITY)
+        simulate_with(&analysis, grid, oc, s, arch).unwrap_or(f64::INFINITY)
     };
 
     // Initial population: random settings (the GA's "approximation" seeds
@@ -189,11 +192,12 @@ pub fn tune_random(
     seed: u64,
 ) -> Option<TuneResult> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let analysis = PatternAnalysis::new(pattern);
     let space = ParamSpace::new(*oc, pattern.dim());
     let mut best: Option<(ParamSetting, f64)> = None;
     for _ in 0..budget {
         let s = space.sample(&mut rng);
-        if let Ok(t) = simulate(pattern, grid, oc, &s, arch) {
+        if let Ok(t) = simulate_with(&analysis, grid, oc, &s, arch) {
             if best.is_none_or(|(_, bt)| t < bt) {
                 best = Some((s, t));
             }

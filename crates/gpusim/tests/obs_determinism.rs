@@ -3,7 +3,9 @@
 //! worker-pool gauge may differ. Exercises the `STENCILMART_THREADS`
 //! override end to end through [`stencilmart_obs::runtime::worker_count`].
 
-use stencilmart_gpusim::{profile_corpus, GpuArch, GpuId, ProfileConfig};
+use stencilmart_gpusim::{
+    profile_corpus, profile_corpus_multi, profile_stencil, GpuArch, GpuId, ProfileConfig,
+};
 use stencilmart_obs as obs;
 use stencilmart_stencil::generator::StencilGenerator;
 use stencilmart_stencil::pattern::Dim;
@@ -70,5 +72,46 @@ fn profiling_is_deterministic_across_thread_counts() {
     // Both runs ended with identical counter state, so rendering the
     // report twice from the two runs' serialized inputs must agree.
     assert_eq!(counters_json(&json_seq), counters_json(&json_par));
+
+    // The flattened multi-GPU work queue must be just as deterministic:
+    // 1 worker, 4 workers, and a fully sequential per-stencil reference
+    // all produce bit-identical profiles, and the counter snapshots (the
+    // queue-steal gauge is deliberately *not* a counter) agree.
+    let archs: Vec<GpuArch> = GpuId::ALL.into_iter().map(GpuArch::preset).collect();
+    let run_multi = |threads: &str| {
+        std::env::set_var("STENCILMART_THREADS", threads);
+        obs::reset();
+        let profiles = profile_corpus_multi(&patterns, 64, &archs, &cfg);
+        (profiles, obs::counters::snapshot())
+    };
+    let (multi_seq, mc_seq) = run_multi("1");
+    let (multi_par, mc_par) = run_multi("4");
+    assert_eq!(
+        multi_seq, multi_par,
+        "work-queue profiles differ between 1 and 4 workers"
+    );
+    assert_eq!(
+        serde_json::to_string(&multi_seq).unwrap(),
+        serde_json::to_string(&multi_par).unwrap(),
+        "serialized work-queue profiles differ"
+    );
+    assert_eq!(
+        mc_seq, mc_par,
+        "observability counters differ between 1 and 4 work-queue workers"
+    );
+    let reference: Vec<Vec<_>> = archs
+        .iter()
+        .map(|arch| {
+            patterns
+                .iter()
+                .enumerate()
+                .map(|(i, p)| profile_stencil(p, 64, arch, &cfg, i as u64))
+                .collect()
+        })
+        .collect();
+    assert_eq!(
+        multi_par, reference,
+        "work queue diverges from the sequential per-stencil reference"
+    );
     std::env::remove_var("STENCILMART_THREADS");
 }

@@ -1,0 +1,108 @@
+//! The two-phase simulator must be a pure refactor: evaluating through a
+//! shared, precomputed [`PatternAnalysis`] has to be **bit-identical** to
+//! the uncached path that re-derives every pattern quantity per call —
+//! across random patterns, all 30 OCs, sampled parameter settings, and
+//! all four GPU presets.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use stencilmart_gpusim::kernel::shifted_union;
+use stencilmart_gpusim::{
+    characterize, characterize_with, simulate, simulate_breakdown, simulate_breakdown_with,
+    simulate_with, BoundaryModel, GpuArch, GpuId, OptCombo, ParamSpace, PatternAnalysis,
+};
+use stencilmart_stencil::generator::{GeneratorConfig, StencilGenerator};
+use stencilmart_stencil::pattern::{Dim, StencilPattern};
+
+fn arb_dim() -> impl Strategy<Value = Dim> {
+    prop_oneof![Just(Dim::D2), Just(Dim::D3)]
+}
+
+fn arb_pattern() -> impl Strategy<Value = StencilPattern> {
+    (arb_dim(), 1u8..=4, 0u64..500).prop_map(|(dim, order, seed)| {
+        StencilGenerator::new(seed).generate(&GeneratorConfig::new(dim, order))
+    })
+}
+
+fn grid_of(p: &StencilPattern) -> usize {
+    if p.dim() == Dim::D2 {
+        8192
+    } else {
+        512
+    }
+}
+
+/// Bit-exact comparison of simulate results (`PartialEq` would accept
+/// `-0.0 == 0.0`; `to_bits` does not).
+fn assert_bits_eq(
+    a: Result<f64, stencilmart_gpusim::Crash>,
+    b: Result<f64, stencilmart_gpusim::Crash>,
+) {
+    match (a, b) {
+        (Ok(x), Ok(y)) => assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}"),
+        (Err(x), Err(y)) => assert_eq!(x, y),
+        (x, y) => panic!("cached/uncached disagree on crash: {x:?} vs {y:?}"),
+    }
+}
+
+/// Serialize a simulator result so float formatting differences cannot
+/// hide (the vendored serde has no `Result` impl).
+fn ser<T: serde::Serialize>(r: &Result<T, stencilmart_gpusim::Crash>) -> String {
+    match r {
+        Ok(v) => serde_json::to_string(v).unwrap(),
+        Err(c) => format!("crash:{c:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // One shared analysis, reused across every (OC, params, GPU)
+    // evaluation, equals a fresh uncached call each time.
+    #[test]
+    fn cached_analysis_is_bit_identical(p in arb_pattern(), seed in 0u64..1000) {
+        let analysis = PatternAnalysis::new(&p);
+        let grid = grid_of(&p);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for oc in OptCombo::enumerate() {
+            let space = ParamSpace::new(oc, p.dim());
+            for params in space.sample_many(&mut rng, 2) {
+                for gpu in GpuId::ALL {
+                    let arch = GpuArch::preset(gpu);
+                    // characterize: full profile equality (serialized, so
+                    // float formatting differences cannot hide).
+                    let cached = characterize_with(&analysis, grid, &oc, &params, &arch);
+                    let fresh = characterize(&p, grid, &oc, &params, &arch);
+                    prop_assert_eq!(ser(&cached), ser(&fresh));
+                    // simulate: bit-exact times.
+                    assert_bits_eq(
+                        simulate_with(&analysis, grid, &oc, &params, &arch),
+                        simulate(&p, grid, &oc, &params, &arch),
+                    );
+                    // breakdown (with the boundary model the profiler
+                    // does not exercise).
+                    let bd_cached = simulate_breakdown_with(
+                        &analysis, grid, &oc, &params, &arch, BoundaryModel::GhostFill,
+                    );
+                    let bd_fresh = simulate_breakdown(
+                        &p, grid, &oc, &params, &arch, BoundaryModel::GhostFill,
+                    );
+                    prop_assert_eq!(ser(&bd_cached), ser(&bd_fresh));
+                }
+            }
+        }
+    }
+
+    // The precomputed shifted-union table agrees with the direct
+    // computation for every axis and merge factor the parameter space
+    // can sample — and the fallback path handles out-of-table factors.
+    #[test]
+    fn shifted_union_table_matches_direct(p in arb_pattern()) {
+        let analysis = PatternAnalysis::new(&p);
+        for axis in 0..p.dim().rank() {
+            for m in [1u32, 2, 3, 4, 5, 8, 16] {
+                prop_assert_eq!(analysis.shifted_union(axis, m), shifted_union(&p, axis, m));
+            }
+        }
+    }
+}
