@@ -1,13 +1,16 @@
-//! CI perf-regression gate over `ml_kernels` reports.
+//! CI perf-regression gate over bench reports (`ml_kernels`,
+//! `gpusim_profile`, `gbdt_train`).
 //!
 //! ```text
 //! bench_gate BASELINE.json CURRENT.json [--max-regression 0.25]
 //!            [--require-overhead-below 0.02]
 //! ```
 //!
-//! Compares per-entry GFLOP/s of a fresh `ml_kernels` run against the
+//! Compares each entry's higher-is-better metric (GFLOP/s for
+//! `ml_kernels`; `throughput` — stencils/s or trees/s — for the
+//! `gpusim_profile` and `gbdt_train` reports) of a fresh run against the
 //! committed baseline, matched by entry name, and exits nonzero when any
-//! kernel regresses by more than the tolerance (default 25%, loose enough
+//! entry regresses by more than the tolerance (default 25%, loose enough
 //! to absorb shared-runner jitter while catching real slowdowns). An
 //! entry present in the baseline but absent from the current run is a
 //! failure. With `--require-overhead-below` it also asserts the current
@@ -30,7 +33,7 @@ fn load(path: &str) -> Value {
 
 /// Extract `(name, metric)` pairs from a report's `entries` array. The
 /// higher-is-better metric is `gflops` (ml_kernels reports) or
-/// `throughput` (gpusim_profile reports).
+/// `throughput` (gpusim_profile and gbdt_train reports).
 fn entries(doc: &Value, path: &str) -> Vec<(String, f64)> {
     doc.field("entries")
         .and_then(|v| v.as_array().map(<[Value]>::to_vec))
@@ -95,7 +98,7 @@ fn main() {
     let mut failures = Vec::new();
     println!(
         "{:<30} {:>12} {:>12} {:>8}",
-        "entry", "base GF/s", "cur GF/s", "ratio"
+        "entry", "baseline", "current", "ratio"
     );
     for (name, base_gf) in &base_entries {
         match cur_entries.iter().find(|(n, _)| n == name) {
@@ -104,7 +107,7 @@ fn main() {
                 let ratio = cur_gf / base_gf;
                 let verdict = if ratio < 1.0 - max_regression {
                     failures.push(format!(
-                        "{name} regressed: {base_gf:.2} -> {cur_gf:.2} GFLOP/s \
+                        "{name} regressed: {base_gf:.2} -> {cur_gf:.2} \
                          ({:.1}% below baseline, tolerance {:.0}%)",
                         (1.0 - ratio) * 100.0,
                         max_regression * 100.0

@@ -1,0 +1,307 @@
+//! Headless GBDT training-throughput benchmark.
+//!
+//! ```text
+//! gbdt_train [--quick] [--workers N] [OUTPUT.json]
+//! ```
+//!
+//! Times gradient-boosted training — the dominant wall-clock cost of
+//! `experiments` now that profiling is fast — and writes
+//! `BENCH_gbdt.json` (default) with per-entry throughput figures:
+//!
+//! * `gbdt_regressor_fit_baseline` / `gbdt_regressor_fit_engine` — the
+//!   legacy depth-first single-threaded loop (`gbdt::serial_ref`) vs the
+//!   level-wise parallel engine on the same regression dataset,
+//! * `gbdt_classifier_fit_baseline` / `gbdt_classifier_fit_engine` —
+//!   the legacy round-major softmax loop vs the parallel one-vs-rest
+//!   engine on the same classification dataset.
+//!
+//! Throughput is trees fitted per second (tree counts are equal between
+//! the baseline and engine variants of each task, so the ratio is the
+//! training speedup). Entries carry a `throughput` field which the CI
+//! `bench_gate` compares against the committed baseline exactly like
+//! `BENCH_gpusim.json`. Before timing, the bench asserts the engine fits
+//! bit-identical models at 1 worker and at `--workers` workers.
+//! `--workers` pins the pool (default 4, matching the perf-gate
+//! runners); `--quick` keeps the same datasets with fewer timing
+//! repetitions.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Value;
+use std::time::Instant;
+use stencilmart_ml::data::FeatureMatrix;
+use stencilmart_ml::gbdt::serial_ref::{SerialGbdtClassifier, SerialGbdtRegressor};
+use stencilmart_ml::gbdt::tree::TreeConfig;
+use stencilmart_ml::gbdt::{GbdtClassifier, GbdtConfig, GbdtRegressor};
+use stencilmart_obs::{self as obs, counters};
+
+/// Timing repetition budget (datasets are identical in both modes so CI
+/// compares like for like against the committed baseline).
+#[derive(Clone, Copy)]
+struct Budget {
+    samples: usize,
+}
+
+impl Budget {
+    const FULL: Budget = Budget { samples: 4 };
+    const QUICK: Budget = Budget { samples: 3 };
+}
+
+fn entry(name: &str, shape: &str, unit: &str, throughput: f64, elapsed_s: f64) -> Value {
+    Value::Object(vec![
+        ("name".into(), Value::Str(name.into())),
+        ("shape".into(), Value::Str(shape.into())),
+        ("unit".into(), Value::Str(unit.into())),
+        ("throughput".into(), Value::Float(throughput)),
+        ("seconds_per_run".into(), Value::Float(elapsed_s)),
+    ])
+}
+
+fn regression_dataset(n: usize, cols: usize) -> (FeatureMatrix, Vec<f32>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x6BD7);
+    let mut data = Vec::with_capacity(n * cols);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f32> = (0..cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let target = row
+            .iter()
+            .enumerate()
+            .map(|(j, v)| ((j % 7) as f32 - 3.0) * v)
+            .sum::<f32>()
+            + row[0] * row[1]
+            + rng.gen_range(-0.2f32..0.2);
+        data.extend_from_slice(&row);
+        y.push(target);
+    }
+    (FeatureMatrix::new(n, cols, data), y)
+}
+
+fn classification_dataset(n: usize, cols: usize, classes: usize) -> (FeatureMatrix, Vec<usize>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC1A5);
+    let mut data = Vec::with_capacity(n * cols);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f32> = (0..cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        // Separable-ish regions with label noise: trees get real structure
+        // to split on, like the OC-selection datasets.
+        let region = (row[0] > 0.0) as usize * 2 + (row[1] > 0.0) as usize;
+        let label = if rng.gen_range(0.0f32..1.0) < 0.15 {
+            rng.gen_range(0..classes)
+        } else {
+            region.min(classes - 1)
+        };
+        data.extend_from_slice(&row);
+        labels.push(label);
+    }
+    (FeatureMatrix::new(n, cols, data), labels)
+}
+
+/// Minimum wall-clock over `samples` runs of `f`.
+fn best_secs<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Assert the engine fits a bit-identical model serial vs parallel
+/// before any timing — the bench doubles as an end-to-end determinism
+/// check on realistic sizes.
+#[allow(clippy::too_many_arguments)]
+fn check_determinism(
+    x: &FeatureMatrix,
+    y: &[f32],
+    cx: &FeatureMatrix,
+    labels: &[usize],
+    classes: usize,
+    reg_cfg: &GbdtConfig,
+    cls_cfg: &GbdtConfig,
+    workers: usize,
+) {
+    let fit_both = || {
+        (
+            serde_json::to_string(&GbdtRegressor::fit(x, y, reg_cfg)).expect("serialize"),
+            serde_json::to_string(&GbdtClassifier::fit(cx, labels, classes, cls_cfg))
+                .expect("serialize"),
+        )
+    };
+    std::env::set_var("STENCILMART_THREADS", "1");
+    let serial = fit_both();
+    std::env::set_var("STENCILMART_THREADS", workers.to_string());
+    let parallel = fit_both();
+    assert_eq!(
+        serial, parallel,
+        "engine models differ between 1 and {workers} workers"
+    );
+}
+
+fn main() {
+    let mut out_path = "BENCH_gbdt.json".to_string();
+    let mut budget = Budget::FULL;
+    let mut quick = false;
+    let mut workers = 4usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {
+                quick = true;
+                budget = Budget::QUICK;
+            }
+            "--workers" => {
+                let v = it.next().unwrap_or_default();
+                workers = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --workers value {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: gbdt_train [--quick] [--workers N] [OUTPUT.json]");
+                return;
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    obs::set_enabled(true);
+    obs::reset();
+
+    // Regression task: cloud-GPU rental case-study scale, sized so the
+    // binned matrix (rows × cols bytes) exceeds L2 — the regime where
+    // the legacy per-feature strided scans pay a cache line per access.
+    let (rx, ry) = regression_dataset(40_000, 64);
+    let reg_cfg = GbdtConfig {
+        rounds: 24,
+        eta: 0.1,
+        subsample: 0.8,
+        tree: TreeConfig {
+            max_depth: 7,
+            min_child_weight: 2.0,
+            ..TreeConfig::default()
+        },
+        bins: 32,
+        seed: 0x6BD7,
+    };
+    // Classification task: OC-selection scale (6 merged OC classes).
+    let classes = 6usize;
+    let (cx, clabels) = classification_dataset(10_000, 48, classes);
+    let cls_cfg = GbdtConfig {
+        rounds: 10,
+        eta: 0.2,
+        subsample: 0.8,
+        tree: TreeConfig {
+            max_depth: 6,
+            ..TreeConfig::default()
+        },
+        bins: 32,
+        seed: 0xC1A5,
+    };
+
+    eprintln!("[gbdt_train] determinism check (1 vs {workers} workers)...");
+    check_determinism(
+        &rx, &ry, &cx, &clabels, classes, &reg_cfg, &cls_cfg, workers,
+    );
+
+    // Pin the pool so baseline and CI runs compare like for like.
+    std::env::set_var("STENCILMART_THREADS", workers.to_string());
+    let mut entries = Vec::new();
+
+    eprintln!("[gbdt_train] regressor: baseline vs engine...");
+    let reg_trees = reg_cfg.rounds as f64;
+    let reg_shape = "40000 x 64, 24 rounds, depth 7, 32 bins";
+    let base_secs = best_secs(budget.samples, || {
+        SerialGbdtRegressor::fit(&rx, &ry, &reg_cfg)
+    });
+    entries.push(entry(
+        "gbdt_regressor_fit_baseline",
+        reg_shape,
+        "trees/s",
+        reg_trees / base_secs,
+        base_secs,
+    ));
+    let engine_secs = best_secs(budget.samples, || GbdtRegressor::fit(&rx, &ry, &reg_cfg));
+    entries.push(entry(
+        "gbdt_regressor_fit_engine",
+        reg_shape,
+        "trees/s",
+        reg_trees / engine_secs,
+        engine_secs,
+    ));
+    let reg_speedup = base_secs / engine_secs;
+
+    eprintln!("[gbdt_train] classifier: baseline vs engine...");
+    let cls_trees = (cls_cfg.rounds * classes) as f64;
+    let cls_shape = "10000 x 48, 6 classes, 10 rounds, depth 6, 32 bins";
+    let base_secs = best_secs(budget.samples, || {
+        SerialGbdtClassifier::fit(&cx, &clabels, classes, &cls_cfg)
+    });
+    entries.push(entry(
+        "gbdt_classifier_fit_baseline",
+        cls_shape,
+        "trees/s",
+        cls_trees / base_secs,
+        base_secs,
+    ));
+    counters::HIST_BUILDS.reset();
+    counters::HIST_SUBTRACTIONS.reset();
+    let engine_secs = best_secs(budget.samples, || {
+        GbdtClassifier::fit(&cx, &clabels, classes, &cls_cfg)
+    });
+    entries.push(entry(
+        "gbdt_classifier_fit_engine",
+        cls_shape,
+        "trees/s",
+        cls_trees / engine_secs,
+        engine_secs,
+    ));
+    let cls_speedup = base_secs / engine_secs;
+    let (built, derived) = (
+        counters::HIST_BUILDS.get(),
+        counters::HIST_SUBTRACTIONS.get(),
+    );
+
+    let doc = Value::Object(vec![
+        (
+            "description".into(),
+            Value::Str(
+                "GBDT training throughput: legacy depth-first loop vs level-wise parallel engine"
+                    .into(),
+            ),
+        ),
+        ("workers".into(), Value::Float(workers as f64)),
+        ("quick".into(), Value::Bool(quick)),
+        ("regressor_speedup".into(), Value::Float(reg_speedup)),
+        ("classifier_speedup".into(), Value::Float(cls_speedup)),
+        ("hist_builds".into(), Value::Float(built as f64)),
+        ("hist_subtractions".into(), Value::Float(derived as f64)),
+        ("entries".into(), Value::Array(entries)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write output");
+    println!("wrote {out_path}");
+    println!("  regressor speedup : {reg_speedup:.2}x");
+    println!("  classifier speedup: {cls_speedup:.2}x");
+    if let Value::Object(fields) = &doc {
+        if let Some((_, Value::Array(items))) = fields.iter().find(|(k, _)| k == "entries") {
+            for e in items {
+                let get = |key: &str| e.field(key).ok().cloned().unwrap_or(Value::Null);
+                println!(
+                    "  {:<28} {:>12} {}",
+                    match get("name") {
+                        Value::Str(s) => s,
+                        _ => String::new(),
+                    },
+                    match get("throughput") {
+                        Value::Float(f) => format!("{f:.1}"),
+                        _ => String::new(),
+                    },
+                    match get("unit") {
+                        Value::Str(s) => s,
+                        _ => String::new(),
+                    },
+                );
+            }
+        }
+    }
+}

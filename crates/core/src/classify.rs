@@ -24,6 +24,13 @@ pub struct ClassifierEval {
 /// Run k-fold cross-validation for one mechanism. Folds train in
 /// parallel; predictions are assembled out-of-fold so every row has
 /// exactly one held-out prediction.
+///
+/// GBDT folds also parallelize internally (one-vs-rest boosters train
+/// across workers). Both levels are scheduling-only — the fitted models
+/// and out-of-fold predictions are bit-identical for any
+/// `STENCILMART_THREADS` setting — so the brief worker oversubscription
+/// when folds and boosters overlap costs only scheduling, never
+/// reproducibility.
 pub fn evaluate_classifier(
     kind: ClassifierKind,
     ds: &ClassificationDataset,

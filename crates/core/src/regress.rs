@@ -26,6 +26,11 @@ pub struct RegressorEval {
 }
 
 /// Run k-fold cross-validation for one regression mechanism.
+///
+/// GBDT folds also parallelize internally (histogram accumulation and
+/// split search inside each tree). Both levels are scheduling-only —
+/// fitted models and out-of-fold predictions are bit-identical for any
+/// `STENCILMART_THREADS` setting.
 pub fn evaluate_regressor(
     kind: RegressorKind,
     ds: &RegressionDataset,

@@ -1,14 +1,50 @@
 //! Histogram-based split finding (XGBoost `hist`-style): features are
 //! quantile-binned once, and each tree node scans per-bin gradient
-//! histograms instead of re-sorting samples. This makes boosting on
-//! tens-of-thousands-of-row datasets fast enough for the full pipeline.
+//! histograms instead of re-sorting samples.
+//!
+//! Trees grow **level-wise** through a deterministic parallel engine:
+//!
+//! * Node histograms are accumulated over *fixed-size row blocks*
+//!   (`ROW_BLOCK`, independent of the worker count) and the per-block
+//!   partials are reduced in block order, so every float sum has one
+//!   canonical association and the fitted tree is bit-identical for any
+//!   `STENCILMART_THREADS` setting — the same pattern as the profiler
+//!   work queue.
+//! * Only the **smaller child** of each split is accumulated from rows;
+//!   the larger sibling is derived as `parent − sibling`, halving
+//!   histogram work below the root.
+//! * Split search scans per-feature bin histograms across workers and
+//!   reduces `(gain, feature, bin)` with a deterministic tie-break
+//!   (lowest feature index, then lowest bin, wins equal gains).
 
 use crate::data::FeatureMatrix;
-use crate::gbdt::tree::TreeConfig;
+use crate::gbdt::tree::{LeafSpans, TreeConfig};
+use crate::par::par_map_if;
 use serde::{Deserialize, Serialize};
+use stencilmart_obs::counters;
 
 /// Maximum number of bins per feature (fits in `u8`).
 pub const MAX_BINS: usize = 255;
+
+/// Fixed row-block size for parallel histogram accumulation. This is a
+/// property of the *algorithm*, not of the machine: block boundaries
+/// (and therefore float reduction order) never depend on the worker
+/// count, which is what keeps parallel fits bit-identical to serial.
+const ROW_BLOCK: usize = 512;
+
+/// Cap on partial-histogram blocks per node, bounding scratch memory
+/// for very large nodes (the block size grows instead).
+const MAX_BLOCKS_PER_NODE: usize = 8;
+
+/// Minimum total cell updates (rows × cols) before a histogram batch
+/// spawns workers; below this, thread-spawn overhead beats the row
+/// work. Purely a scheduling threshold — it depends only on the batch
+/// shape, never on the worker count, and both arms are bit-identical.
+const PAR_HIST_MIN_WORK: usize = 1 << 15;
+
+/// Minimum histogram cells scanned before split search spawns workers
+/// (per-feature scans are tiny, so this only trips on wide levels).
+const PAR_SPLIT_MIN_CELLS: usize = 1 << 17;
 
 /// A feature matrix quantile-binned per column.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,16 +60,28 @@ pub struct BinnedMatrix {
 
 impl BinnedMatrix {
     /// Bin a matrix into at most `n_bins` quantile bins per column.
+    ///
+    /// Binning runs column by column: each column's raw values are read
+    /// once into a scratch buffer, the quantile cuts are derived from a
+    /// sorted copy, and the bin indices are written straight into the
+    /// row-major `bins` buffer — no per-cell column switching, so the
+    /// cut vector under search stays in cache for the whole column.
     pub fn new(x: &FeatureMatrix, n_bins: usize) -> BinnedMatrix {
         assert!((2..=MAX_BINS).contains(&n_bins), "n_bins must be 2..=255");
         let rows = x.rows();
         let cols = x.cols();
         let mut cuts = Vec::with_capacity(cols);
+        let mut bins = vec![0u8; rows * cols];
+        let mut raw: Vec<f32> = Vec::with_capacity(rows);
         let mut col_vals: Vec<f32> = Vec::with_capacity(rows);
+        let mut keys: Vec<u32> = Vec::with_capacity(rows);
+        let mut key_tmp: Vec<u32> = Vec::with_capacity(rows);
         for c in 0..cols {
+            raw.clear();
+            raw.extend((0..rows).map(|r| x.at(r, c)));
             col_vals.clear();
-            col_vals.extend((0..rows).map(|r| x.at(r, c)));
-            col_vals.sort_unstable_by(f32::total_cmp);
+            col_vals.extend_from_slice(&raw);
+            radix_sort_total(&mut col_vals, &mut keys, &mut key_tmp);
             col_vals.dedup();
             let distinct = col_vals.len();
             let mut col_cuts = Vec::new();
@@ -48,16 +96,11 @@ impl BinnedMatrix {
                     }
                 }
             }
-            cuts.push(col_cuts);
-        }
-        let mut bins = vec![0u8; rows * cols];
-        for r in 0..rows {
-            for c in 0..cols {
-                let v = x.at(r, c);
+            for (r, &v) in raw.iter().enumerate() {
                 // partition_point: number of cuts <= v gives the bin.
-                let b = cuts[c].partition_point(|&cut| cut < v);
-                bins[r * cols + c] = b as u8;
+                bins[r * cols + c] = col_cuts.partition_point(|&cut| cut < v) as u8;
             }
+            cuts.push(col_cuts);
         }
         BinnedMatrix {
             rows,
@@ -83,6 +126,12 @@ impl BinnedMatrix {
         self.bins[r * self.cols + c] as usize
     }
 
+    /// All column bins of one row (contiguous `u8` slice).
+    #[inline]
+    pub fn bin_row(&self, r: usize) -> &[u8] {
+        &self.bins[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Number of bins in a column.
     pub fn n_bins(&self, c: usize) -> usize {
         self.cuts[c].len() + 1
@@ -93,6 +142,161 @@ impl BinnedMatrix {
     pub fn cut_value(&self, c: usize, b: usize) -> f32 {
         self.cuts[c][b]
     }
+
+    /// The pre-engine binning pass: identical cuts and bin assignments to
+    /// [`BinnedMatrix::new`], but binning per cell in row-major order so
+    /// every cell switches to a different column's cut vector (and the
+    /// column sort pays full comparison cost). Kept for the
+    /// `serial_ref` baseline so the training benchmark compares whole
+    /// legacy pipelines, not just tree growth.
+    pub(crate) fn new_row_major(x: &FeatureMatrix, n_bins: usize) -> BinnedMatrix {
+        assert!((2..=MAX_BINS).contains(&n_bins), "n_bins must be 2..=255");
+        let rows = x.rows();
+        let cols = x.cols();
+        let mut cuts = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let mut col_vals: Vec<f32> = (0..rows).map(|r| x.at(r, c)).collect();
+            col_vals.sort_unstable_by(f32::total_cmp);
+            col_vals.dedup();
+            let distinct = col_vals.len();
+            let mut col_cuts = Vec::new();
+            if distinct > 1 {
+                let buckets = distinct.min(n_bins);
+                for b in 1..buckets {
+                    let lo = col_vals[b * distinct / buckets - 1];
+                    let hi = col_vals[(b * distinct / buckets).min(distinct - 1)];
+                    let cut = 0.5 * (lo + hi);
+                    if col_cuts.last() != Some(&cut) {
+                        col_cuts.push(cut);
+                    }
+                }
+            }
+            cuts.push(col_cuts);
+        }
+        let mut bins = vec![0u8; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = x.at(r, c);
+                let b = cuts[c].partition_point(|&cut| cut < v);
+                bins[r * cols + c] = b as u8;
+            }
+        }
+        BinnedMatrix {
+            rows,
+            cols,
+            bins,
+            cuts,
+        }
+    }
+}
+
+/// Sort `vals` ascending by IEEE total order via a 4-pass LSD radix sort
+/// on monotone-mapped `u32` keys. Produces the exact sequence
+/// `sort_unstable_by(f32::total_cmp)` would (values comparing equal
+/// under total order are bit-identical, so stability is moot) at a
+/// fraction of the comparison cost on the tens-of-thousands-row columns
+/// binning sees.
+fn radix_sort_total(vals: &mut Vec<f32>, keys: &mut Vec<u32>, tmp: &mut Vec<u32>) {
+    // Monotone bijection onto u32: flip all bits of negatives, set the
+    // sign bit of non-negatives.
+    keys.clear();
+    keys.extend(vals.iter().map(|v| {
+        let b = v.to_bits();
+        if b & 0x8000_0000 != 0 {
+            !b
+        } else {
+            b | 0x8000_0000
+        }
+    }));
+    tmp.clear();
+    tmp.resize(keys.len(), 0);
+    for shift in [0u32, 8, 16, 24] {
+        let mut counts = [0usize; 256];
+        for &k in keys.iter() {
+            counts[((k >> shift) & 0xFF) as usize] += 1;
+        }
+        // Skip passes where every key shares this byte.
+        if counts.contains(&keys.len()) {
+            continue;
+        }
+        let mut pos = [0usize; 256];
+        let mut acc = 0usize;
+        for (p, &c) in pos.iter_mut().zip(&counts) {
+            *p = acc;
+            acc += c;
+        }
+        for &k in keys.iter() {
+            let d = ((k >> shift) & 0xFF) as usize;
+            tmp[pos[d]] = k;
+            pos[d] += 1;
+        }
+        std::mem::swap(keys, tmp);
+    }
+    vals.clear();
+    vals.extend(keys.iter().map(|&k| {
+        f32::from_bits(if k & 0x8000_0000 != 0 {
+            k & 0x7FFF_FFFF
+        } else {
+            !k
+        })
+    }));
+}
+
+/// One (grad, hess) histogram cell. Row counts are not stored: every
+/// count the grower needs falls out of the in-place partitions, and an
+/// 8-byte cell keeps the zero/reduce/subtract/scan passes — the fixed
+/// per-node cost of the hist method — at two thirds of the traffic a
+/// counted cell would pay.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cell {
+    g: f32,
+    h: f32,
+}
+
+/// Flat per-node histogram layout: feature `f`'s bins live at
+/// `offsets[f] .. offsets[f] + n_bins(f)`.
+struct HistLayout {
+    offsets: Vec<usize>,
+    total: usize,
+    /// Bin count of feature 0 (0 when there are no features): node
+    /// gradient/hessian totals are read back from feature 0's bins,
+    /// since every row lands in exactly one bin per feature.
+    first_bins: usize,
+}
+
+impl HistLayout {
+    fn new(bm: &BinnedMatrix) -> HistLayout {
+        let mut offsets = Vec::with_capacity(bm.cols());
+        let mut total = 0;
+        for c in 0..bm.cols() {
+            offsets.push(total);
+            total += bm.n_bins(c);
+        }
+        HistLayout {
+            offsets,
+            total,
+            first_bins: if bm.cols() > 0 { bm.n_bins(0) } else { 0 },
+        }
+    }
+}
+
+/// A frontier node during level-wise growth.
+struct LevelNode {
+    id: usize,
+    start: usize,
+    end: usize,
+    hist: Vec<Cell>,
+    g_sum: f32,
+    h_sum: f32,
+}
+
+/// A split committed at the current level, waiting for its children's
+/// histograms (smaller child accumulated, larger derived).
+struct PendingSplit {
+    parent_hist: Vec<Cell>,
+    left: (usize, usize, usize),  // (start, end, node id)
+    right: (usize, usize, usize), // (start, end, node id)
+    build_left: bool,
 }
 
 /// A regression tree fitted on binned features but predicting from raw
@@ -125,92 +329,170 @@ impl BinnedTree {
         indices: &[usize],
         cfg: &TreeConfig,
     ) -> BinnedTree {
-        assert_eq!(bm.rows(), grad.len());
-        assert_eq!(grad.len(), hess.len());
-        let mut tree = BinnedTree { nodes: Vec::new() };
-        let mut idx = indices.to_vec();
-        let max_bins = (0..bm.cols()).map(|c| bm.n_bins(c)).max().unwrap_or(1);
-        let mut hist = vec![(0.0f32, 0.0f32); max_bins];
-        tree.build(bm, grad, hess, &mut idx, 0, cfg, &mut hist);
-        tree
+        Self::fit_tracked(bm, grad, hess, indices, cfg, crate::par::worker_count() > 1).0
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn build(
-        &mut self,
+    /// Fit and also report, for every fitted row, which leaf it ended in
+    /// (as contiguous spans over the final row permutation) so boosting
+    /// loops can update predictions without re-traversing the tree.
+    ///
+    /// `par` selects parallel execution of the histogram and split-search
+    /// passes; the result is bit-identical either way because block
+    /// boundaries and reduction order are fixed by the algorithm.
+    pub(crate) fn fit_tracked(
         bm: &BinnedMatrix,
         grad: &[f32],
         hess: &[f32],
-        idx: &mut [usize],
-        depth: usize,
+        indices: &[usize],
         cfg: &TreeConfig,
-        hist: &mut [(f32, f32)],
-    ) -> usize {
-        let g_sum: f32 = idx.iter().map(|&i| grad[i]).sum();
-        let h_sum: f32 = idx.iter().map(|&i| hess[i]).sum();
-        let leaf_val = -g_sum / (h_sum + cfg.lambda);
-        if depth >= cfg.max_depth || idx.len() < 2 {
-            self.nodes.push(BinnedNode::Leaf { value: leaf_val });
-            return self.nodes.len() - 1;
-        }
-        let parent_score = g_sum * g_sum / (h_sum + cfg.lambda);
-        let mut best: Option<(f32, usize, usize)> = None; // (gain, feature, bin)
-        for f in 0..bm.cols() {
-            let nb = bm.n_bins(f);
-            if nb < 2 {
-                continue;
+        par: bool,
+    ) -> (BinnedTree, LeafSpans) {
+        assert_eq!(bm.rows(), grad.len());
+        assert_eq!(grad.len(), hess.len());
+        counters::TREES_FITTED.inc();
+        let layout = HistLayout::new(bm);
+        let mut idx = indices.to_vec();
+        // Subsamples arrive shuffled; sorting makes the accumulation
+        // passes walk `bin_row` in storage order (sequential, prefetch-
+        // friendly) instead of jumping a cache line per row. The row
+        // *set* is unchanged and the order is fixed by the data alone,
+        // so results stay deterministic for any worker count.
+        idx.sort_unstable();
+        let mut part_scratch: Vec<usize> = Vec::with_capacity(idx.len());
+        let mut nodes = vec![BinnedNode::Leaf { value: 0.0 }];
+        let mut spans: Vec<(usize, usize, f32)> = Vec::new();
+
+        let root_hist = build_histograms(par, bm, grad, hess, &idx, &[(0, idx.len())], &layout)
+            .pop()
+            .expect("root histogram");
+        let (g0, h0) = node_sums(&root_hist, &layout, grad, hess, &idx);
+        let mut frontier = vec![LevelNode {
+            id: 0,
+            start: 0,
+            end: idx.len(),
+            hist: root_hist,
+            g_sum: g0,
+            h_sum: h0,
+        }];
+
+        let mut depth = 0;
+        while !frontier.is_empty() {
+            if depth >= cfg.max_depth {
+                for node in frontier.drain(..) {
+                    finalize_leaf(&mut nodes, &mut spans, &node, cfg);
+                }
+                break;
             }
-            for h in hist[..nb].iter_mut() {
-                *h = (0.0, 0.0);
-            }
-            for &i in idx.iter() {
-                let b = bm.bin(i, f);
-                hist[b].0 += grad[i];
-                hist[b].1 += hess[i];
-            }
-            let mut gl = 0.0f32;
-            let mut hl = 0.0f32;
-            for (b, &(hg, hh)) in hist[..nb - 1].iter().enumerate() {
-                gl += hg;
-                hl += hh;
-                let gr = g_sum - gl;
-                let hr = h_sum - hl;
-                if hl < cfg.min_child_weight || hr < cfg.min_child_weight {
+            let best = level_split_search(par, &frontier, bm, &layout, cfg);
+            // Children committed at the last level become leaves without
+            // ever being split-searched, so they only need gradient and
+            // hessian totals — skip their histogram build + subtraction
+            // (the deepest level is the widest, so this drops a large
+            // share of all histogram work per tree).
+            let children_are_leaves = depth + 1 >= cfg.max_depth;
+
+            // Commit splits in frontier order: partition rows, allocate
+            // child ids, and queue the smaller child for accumulation.
+            let mut pending: Vec<PendingSplit> = Vec::new();
+            for (node, best) in frontier.drain(..).zip(best) {
+                let Some((feature, bin)) = best else {
+                    finalize_leaf(&mut nodes, &mut spans, &node, cfg);
+                    continue;
+                };
+                let seg = &mut idx[node.start..node.end];
+                let mid = stable_partition(seg, &mut part_scratch, |i| bm.bin(i, feature) <= bin);
+                if mid == 0 || mid == seg.len() {
+                    finalize_leaf(&mut nodes, &mut spans, &node, cfg);
                     continue;
                 }
-                let gain = gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda) - parent_score;
-                if gain > cfg.gamma && best.is_none_or(|(bg, _, _)| gain > bg) {
-                    best = Some((gain, f, b));
+                let (left_id, right_id) = (nodes.len(), nodes.len() + 1);
+                nodes.push(BinnedNode::Leaf { value: 0.0 });
+                nodes.push(BinnedNode::Leaf { value: 0.0 });
+                nodes[node.id] = BinnedNode::Split {
+                    feature,
+                    threshold: bm.cut_value(feature, bin),
+                    left: left_id,
+                    right: right_id,
+                };
+                let left = (node.start, node.start + mid, left_id);
+                let right = (node.start + mid, node.end, right_id);
+                if children_are_leaves {
+                    // Direct serial row sums: a fixed scan order that is
+                    // identical for any worker count.
+                    let sums = |s: usize, e: usize| {
+                        let mut g = 0.0f32;
+                        let mut h = 0.0f32;
+                        for &i in &idx[s..e] {
+                            g += grad[i];
+                            h += hess[i];
+                        }
+                        (g, h)
+                    };
+                    for (s, e, id) in [left, right] {
+                        let (g, h) = sums(s, e);
+                        let value = -g / (h + cfg.lambda);
+                        nodes[id] = BinnedNode::Leaf { value };
+                        spans.push((s, e, value));
+                    }
+                    continue;
+                }
+                pending.push(PendingSplit {
+                    parent_hist: node.hist,
+                    left,
+                    right,
+                    build_left: mid <= (node.end - node.start) - mid,
+                });
+            }
+
+            // One batched parallel pass accumulates every smaller child.
+            let specs: Vec<(usize, usize)> = pending
+                .iter()
+                .map(|p| {
+                    let (s, e, _) = if p.build_left { p.left } else { p.right };
+                    (s, e)
+                })
+                .collect();
+            let built = build_histograms(par, bm, grad, hess, &idx, &specs, &layout);
+
+            // Derive the larger sibling as parent − built and refill the
+            // frontier (left child first, preserving a canonical order).
+            for (p, built_hist) in pending.into_iter().zip(built) {
+                let mut derived_hist = p.parent_hist;
+                for (d, b) in derived_hist.iter_mut().zip(&built_hist) {
+                    d.g -= b.g;
+                    d.h -= b.h;
+                }
+                counters::HIST_SUBTRACTIONS.inc();
+                let (built_node, derived_node) = if p.build_left {
+                    (p.left, p.right)
+                } else {
+                    (p.right, p.left)
+                };
+                let push = |(s, e, id): (usize, usize, usize), hist: Vec<Cell>| {
+                    let (g, h) = node_sums(&hist, &layout, grad, hess, &idx[s..e]);
+                    LevelNode {
+                        id,
+                        start: s,
+                        end: e,
+                        hist,
+                        g_sum: g,
+                        h_sum: h,
+                    }
+                };
+                let built_level = push(built_node, built_hist);
+                let derived_level = push(derived_node, derived_hist);
+                if p.build_left {
+                    frontier.push(built_level);
+                    frontier.push(derived_level);
+                } else {
+                    frontier.push(derived_level);
+                    frontier.push(built_level);
                 }
             }
+            depth += 1;
         }
-        let Some((_, feature, bin)) = best else {
-            self.nodes.push(BinnedNode::Leaf { value: leaf_val });
-            return self.nodes.len() - 1;
-        };
-        let mid = partition(idx, |&i| bm.bin(i, feature) <= bin);
-        if mid == 0 || mid == idx.len() {
-            self.nodes.push(BinnedNode::Leaf { value: leaf_val });
-            return self.nodes.len() - 1;
-        }
-        let node_id = self.nodes.len();
-        self.nodes.push(BinnedNode::Split {
-            feature,
-            threshold: bm.cut_value(feature, bin),
-            left: usize::MAX,
-            right: usize::MAX,
-        });
-        let (l_idx, r_idx) = idx.split_at_mut(mid);
-        let left = self.build(bm, grad, hess, l_idx, depth + 1, cfg, hist);
-        let right = self.build(bm, grad, hess, r_idx, depth + 1, cfg, hist);
-        if let BinnedNode::Split {
-            left: l, right: r, ..
-        } = &mut self.nodes[node_id]
-        {
-            *l = left;
-            *r = right;
-        }
-        node_id
+
+        (BinnedTree { nodes }, LeafSpans { rows: idx, spans })
     }
 
     /// Predict one raw-feature sample.
@@ -241,14 +523,201 @@ impl BinnedTree {
     }
 }
 
-fn partition<T, F: Fn(&T) -> bool>(slice: &mut [T], pred: F) -> usize {
-    let mut store = 0;
-    for i in 0..slice.len() {
-        if pred(&slice[i]) {
-            slice.swap(store, i);
-            store += 1;
+/// Turn a frontier node into a leaf, recording its row span.
+fn finalize_leaf(
+    nodes: &mut [BinnedNode],
+    spans: &mut Vec<(usize, usize, f32)>,
+    node: &LevelNode,
+    cfg: &TreeConfig,
+) {
+    let value = -node.g_sum / (node.h_sum + cfg.lambda);
+    nodes[node.id] = BinnedNode::Leaf { value };
+    spans.push((node.start, node.end, value));
+}
+
+/// Node gradient/hessian totals, read back from feature 0's bins (every
+/// row lands in exactly one bin per feature) or summed directly when the
+/// matrix has no columns. Deterministic: bin contents have a canonical
+/// reduction order and the bin scan order is fixed.
+fn node_sums(
+    hist: &[Cell],
+    layout: &HistLayout,
+    grad: &[f32],
+    hess: &[f32],
+    rows: &[usize],
+) -> (f32, f32) {
+    if layout.first_bins > 0 {
+        let mut g = 0.0f32;
+        let mut h = 0.0f32;
+        for c in &hist[..layout.first_bins] {
+            g += c.g;
+            h += c.h;
+        }
+        (g, h)
+    } else {
+        let mut g = 0.0f32;
+        let mut h = 0.0f32;
+        for &i in rows {
+            g += grad[i];
+            h += hess[i];
+        }
+        (g, h)
+    }
+}
+
+/// Accumulate one histogram per spec (a `start..end` range of `idx`) in
+/// a single batched pass: fixed-size row blocks are accumulated (in
+/// parallel when `par`), then reduced per spec in block order.
+fn build_histograms(
+    par: bool,
+    bm: &BinnedMatrix,
+    grad: &[f32],
+    hess: &[f32],
+    idx: &[usize],
+    specs: &[(usize, usize)],
+    layout: &HistLayout,
+) -> Vec<Vec<Cell>> {
+    // (spec, block start, block end); block boundaries depend only on
+    // the node's row count, never on the worker count.
+    let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
+    for (s, &(lo, hi)) in specs.iter().enumerate() {
+        let len = hi - lo;
+        if len == 0 {
+            tasks.push((s, lo, hi));
+            continue;
+        }
+        let block = ROW_BLOCK.max(len.div_ceil(MAX_BLOCKS_PER_NODE));
+        let mut b = lo;
+        while b < hi {
+            let e = (b + block).min(hi);
+            tasks.push((s, b, e));
+            b = e;
         }
     }
+    let work: usize = specs.iter().map(|&(lo, hi)| hi - lo).sum::<usize>() * bm.cols();
+    let par = par && work >= PAR_HIST_MIN_WORK;
+    let partials = par_map_if(par, &tasks, |&(_, lo, hi)| {
+        let mut hist = vec![Cell::default(); layout.total];
+        for &i in &idx[lo..hi] {
+            let (g, h) = (grad[i], hess[i]);
+            for (&off, &b) in layout.offsets.iter().zip(bm.bin_row(i)) {
+                let cell = &mut hist[off + b as usize];
+                cell.g += g;
+                cell.h += h;
+            }
+        }
+        hist
+    });
+    counters::HIST_BUILDS.add(specs.len() as u64);
+
+    let mut out: Vec<Vec<Cell>> = Vec::with_capacity(specs.len());
+    let mut cur: Option<(usize, Vec<Cell>)> = None;
+    for (&(s, _, _), partial) in tasks.iter().zip(partials) {
+        match &mut cur {
+            Some((cs, acc)) if *cs == s => {
+                for (a, b) in acc.iter_mut().zip(&partial) {
+                    a.g += b.g;
+                    a.h += b.h;
+                }
+            }
+            _ => {
+                if let Some((_, acc)) = cur.take() {
+                    out.push(acc);
+                }
+                cur = Some((s, partial));
+            }
+        }
+    }
+    if let Some((_, acc)) = cur {
+        out.push(acc);
+    }
+    out
+}
+
+/// Best split per frontier node: per-feature bin scans run as one flat
+/// `(node, feature)` task list across workers; the per-node reduction
+/// walks features in index order and only accepts a *strictly* greater
+/// gain, so the lowest feature index (then lowest bin) wins ties.
+fn level_split_search(
+    par: bool,
+    frontier: &[LevelNode],
+    bm: &BinnedMatrix,
+    layout: &HistLayout,
+    cfg: &TreeConfig,
+) -> Vec<Option<(usize, usize)>> {
+    let mut tasks: Vec<(usize, usize)> = Vec::new();
+    let mut cells = 0usize;
+    for (slot, node) in frontier.iter().enumerate() {
+        if node.end - node.start < 2 {
+            continue;
+        }
+        for f in 0..bm.cols() {
+            if bm.n_bins(f) >= 2 {
+                tasks.push((slot, f));
+                cells += bm.n_bins(f);
+            }
+        }
+    }
+    let par = par && cells >= PAR_SPLIT_MIN_CELLS;
+    let results = par_map_if(par, &tasks, |&(slot, f)| {
+        let node = &frontier[slot];
+        let parent_score = node.g_sum * node.g_sum / (node.h_sum + cfg.lambda);
+        let nb = bm.n_bins(f);
+        let off = layout.offsets[f];
+        let mut gl = 0.0f32;
+        let mut hl = 0.0f32;
+        let mut best: Option<(f32, usize)> = None;
+        for (b, cell) in node.hist[off..off + nb - 1].iter().enumerate() {
+            gl += cell.g;
+            hl += cell.h;
+            let gr = node.g_sum - gl;
+            let hr = node.h_sum - hl;
+            if hl < cfg.min_child_weight || hr < cfg.min_child_weight {
+                continue;
+            }
+            let gain = gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda) - parent_score;
+            if gain > cfg.gamma && best.is_none_or(|(bg, _)| gain > bg) {
+                best = Some((gain, b));
+            }
+        }
+        best
+    });
+    let mut out: Vec<Option<(f32, usize, usize)>> = vec![None; frontier.len()];
+    for (&(slot, f), result) in tasks.iter().zip(results) {
+        if let Some((gain, bin)) = result {
+            // Tasks are ordered by (slot, feature), so a strict `>` keeps
+            // the lowest feature index on equal gains.
+            if out[slot].is_none_or(|(bg, _, _)| gain > bg) {
+                out[slot] = Some((gain, f, bin));
+            }
+        }
+    }
+    out.into_iter()
+        .map(|b| b.map(|(_, f, bin)| (f, bin)))
+        .collect()
+}
+
+/// Order-preserving in-place partition (matching rows first), using a
+/// caller scratch buffer for the non-matching side. Keeping *both*
+/// children in ascending row order is what keeps every accumulation
+/// pass below the root walking `bin_row` sequentially.
+fn stable_partition(
+    seg: &mut [usize],
+    scratch: &mut Vec<usize>,
+    pred: impl Fn(usize) -> bool,
+) -> usize {
+    scratch.clear();
+    let mut store = 0;
+    for k in 0..seg.len() {
+        let i = seg[k];
+        if pred(i) {
+            seg[store] = i;
+            store += 1;
+        } else {
+            scratch.push(i);
+        }
+    }
+    seg[store..].copy_from_slice(scratch);
     store
 }
 
@@ -274,6 +743,7 @@ mod tests {
         let bm = BinnedMatrix::new(&x, 8);
         assert_eq!(bm.n_bins(0), 1);
         assert!(bm.n_bins(1) >= 2);
+        assert_eq!(bm.bin_row(2), &[0, bm.bin(2, 1) as u8]);
     }
 
     #[test]
@@ -324,6 +794,54 @@ mod tests {
                 "probe {probe}"
             );
         }
+    }
+
+    #[test]
+    fn leaf_spans_agree_with_traversal() {
+        let n = 60;
+        let xs: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let x = FeatureMatrix::new(n, 1, xs.clone());
+        let bm = BinnedMatrix::new(&x, 8);
+        let g: Vec<f32> = xs.iter().map(|v| v * 2.0 - 0.3).collect();
+        let h = vec![1.0; n];
+        let idx: Vec<usize> = (0..n).filter(|i| i % 3 != 0).collect();
+        let cfg = TreeConfig::default();
+        let (tree, spans) = BinnedTree::fit_tracked(&bm, &g, &h, &idx, &cfg, false);
+        // Every fitted row appears in exactly one span, and the span's
+        // leaf value is exactly what traversal produces.
+        let mut seen = vec![0usize; n];
+        for &(s, e, v) in &spans.spans {
+            for &i in &spans.rows[s..e] {
+                seen[i] += 1;
+                assert_eq!(tree.predict_row(x.row(i)).to_bits(), v.to_bits());
+            }
+        }
+        for &i in &idx {
+            assert_eq!(seen[i], 1, "row {i}");
+        }
+    }
+
+    #[test]
+    fn sibling_subtraction_is_counted() {
+        let _guard = crate::par::test_env_lock();
+        stencilmart_obs::set_enabled(true);
+        let n = 64;
+        let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let x = FeatureMatrix::new(n, 1, xs);
+        let bm = BinnedMatrix::new(&x, 16);
+        let g: Vec<f32> = (0..n).map(|i| if i < 20 { -1.0 } else { 1.0 }).collect();
+        let h = vec![1.0; n];
+        let idx: Vec<usize> = (0..n).collect();
+        let before = (
+            counters::HIST_BUILDS.get(),
+            counters::HIST_SUBTRACTIONS.get(),
+            counters::TREES_FITTED.get(),
+        );
+        let tree = BinnedTree::fit(&bm, &g, &h, &idx, &TreeConfig::default());
+        assert!(tree.node_count() > 1);
+        assert!(counters::HIST_BUILDS.get() > before.0, "root + children");
+        assert!(counters::HIST_SUBTRACTIONS.get() > before.1, "siblings");
+        assert_eq!(counters::TREES_FITTED.get(), before.2 + 1);
     }
 
     #[test]

@@ -1,18 +1,28 @@
 //! Gradient-boosted decision trees: the *GBDT* classifier and
 //! *GBRegressor* of the paper, built on second-order boosting in the style
 //! of XGBoost.
+//!
+//! Training runs on the deterministic parallel engine in [`binned`]:
+//! the classifier bins the feature matrix once, shares it across K
+//! independent one-vs-rest boosters, and trains the boosters across
+//! workers with per-class seed streams; within a booster (and in the
+//! regressor) each tree parallelizes histogram accumulation and split
+//! search. All parallelism is scheduling-only — fitted models are
+//! bit-identical for every `STENCILMART_THREADS` setting.
 
 pub mod binned;
+pub mod serial_ref;
 pub mod tree;
 
 use crate::data::FeatureMatrix;
+use crate::par::{par_map_if, par_map_indices, worker_count};
 use binned::{BinnedMatrix, BinnedTree};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use stencilmart_obs::{self as obs, counters};
-use tree::{RegressionTree, TreeConfig};
+use tree::{LeafSpans, RegressionTree, TreeConfig};
 
 /// Boosting hyperparameters shared by the regressor and classifier.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,6 +80,8 @@ impl AnyTree {
 }
 
 /// Shared fitting context: pre-binned features when the hist path is on.
+/// The classifier builds one context and shares it (read-only) across
+/// all class boosters, so the matrix is binned exactly once.
 struct FitContext<'a> {
     x: &'a FeatureMatrix,
     binned: Option<BinnedMatrix>,
@@ -81,16 +93,31 @@ impl<'a> FitContext<'a> {
         FitContext { x, binned }
     }
 
-    fn fit_tree(&self, grad: &[f32], hess: &[f32], idx: &[usize], cfg: &TreeConfig) -> AnyTree {
+    /// Fit one tree; `par` enables intra-tree parallelism (histogram
+    /// accumulation and split search) without affecting the result.
+    fn fit_tree(
+        &self,
+        grad: &[f32],
+        hess: &[f32],
+        idx: &[usize],
+        cfg: &TreeConfig,
+        par: bool,
+    ) -> (AnyTree, LeafSpans) {
         counters::GBDT_TREES_GROWN.inc();
         match &self.binned {
-            Some(bm) => AnyTree::Binned(BinnedTree::fit(bm, grad, hess, idx, cfg)),
-            None => AnyTree::Exact(RegressionTree::fit(self.x, grad, hess, idx, cfg)),
+            Some(bm) => {
+                let (t, spans) = BinnedTree::fit_tracked(bm, grad, hess, idx, cfg, par);
+                (AnyTree::Binned(t), spans)
+            }
+            None => {
+                let (t, spans) = RegressionTree::fit_tracked(self.x, grad, hess, idx, cfg);
+                (AnyTree::Exact(t), spans)
+            }
         }
     }
 }
 
-fn subsample_indices(n: usize, frac: f32, rng: &mut ChaCha8Rng) -> Vec<usize> {
+pub(crate) fn subsample_indices(n: usize, frac: f32, rng: &mut ChaCha8Rng) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..n).collect();
     if frac >= 1.0 {
         return idx;
@@ -99,6 +126,44 @@ fn subsample_indices(n: usize, frac: f32, rng: &mut ChaCha8Rng) -> Vec<usize> {
     let keep = ((n as f32 * frac).round() as usize).clamp(1, n);
     idx.truncate(keep);
     idx
+}
+
+/// Seed for class `k`'s one-vs-rest sampling stream: a golden-ratio hash
+/// step keeps the K streams decorrelated while class 0 retains the
+/// user's seed unchanged.
+fn class_seed(seed: u64, k: usize) -> u64 {
+    seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Add a fitted tree's shrunken predictions into the running scores.
+///
+/// Rows the tree was fitted on are updated straight from the tracked
+/// leaf spans, skipping re-traversal. This is bit-identical to
+/// traversing: the tree's in-place partitions route every fitted row to
+/// exactly the leaf traversal reaches (for binned trees because cuts
+/// are strictly increasing, `bin ≤ split_bin ⟺ value ≤ cut_value`).
+/// Rows left out by subsampling still traverse; `in_leaf` is caller
+/// scratch marking which rows the spans covered.
+fn apply_update(
+    tree: &AnyTree,
+    spans: &LeafSpans,
+    x: &FeatureMatrix,
+    scores: &mut [f32],
+    eta: f32,
+    in_leaf: &mut [bool],
+) {
+    in_leaf.fill(false);
+    for &(start, end, value) in &spans.spans {
+        for &i in &spans.rows[start..end] {
+            scores[i] += eta * value;
+            in_leaf[i] = true;
+        }
+    }
+    for (i, covered) in in_leaf.iter().enumerate() {
+        if !covered {
+            scores[i] += eta * tree.predict_row(x.row(i));
+        }
+    }
 }
 
 /// Gradient-boosted regressor (squared-error objective).
@@ -121,13 +186,16 @@ impl GbdtRegressor {
         let mut pred = vec![base; y.len()];
         let mut trees = Vec::with_capacity(cfg.rounds);
         let hess = vec![1.0f32; y.len()];
+        let mut grad = vec![0.0f32; y.len()];
+        let mut in_leaf = vec![false; y.len()];
+        let par = worker_count() > 1;
         for _ in 0..cfg.rounds {
-            let grad: Vec<f32> = pred.iter().zip(y).map(|(p, t)| p - t).collect();
-            let idx = subsample_indices(y.len(), cfg.subsample, &mut rng);
-            let tree = ctx.fit_tree(&grad, &hess, &idx, &cfg.tree);
-            for (i, p) in pred.iter_mut().enumerate() {
-                *p += cfg.eta * tree.predict_row(x.row(i));
+            for (g, (p, t)) in grad.iter_mut().zip(pred.iter().zip(y)) {
+                *g = p - t;
             }
+            let idx = subsample_indices(y.len(), cfg.subsample, &mut rng);
+            let (tree, spans) = ctx.fit_tree(&grad, &hess, &idx, &cfg.tree, par);
+            apply_update(&tree, &spans, x, &mut pred, cfg.eta, &mut in_leaf);
             trees.push(tree);
         }
         GbdtRegressor {
@@ -142,9 +210,10 @@ impl GbdtRegressor {
         self.base + self.eta * self.trees.iter().map(|t| t.predict_row(row)).sum::<f32>()
     }
 
-    /// Predict a batch.
+    /// Predict a batch (rows traverse across workers; output order and
+    /// values are scheduling-independent).
     pub fn predict(&self, x: &FeatureMatrix) -> Vec<f32> {
-        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+        par_map_indices(x.rows(), |i| self.predict_row(x.row(i)))
     }
 
     /// Number of fitted trees.
@@ -153,18 +222,25 @@ impl GbdtRegressor {
     }
 }
 
-/// Gradient-boosted multi-class classifier (softmax objective, one tree
-/// per class per round).
+/// Gradient-boosted multi-class classifier: K independent one-vs-rest
+/// binary logistic boosters (class k learns `P(label == k)`), trained
+/// across workers and combined by arg-max score.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GbdtClassifier {
     classes: usize,
     eta: f32,
-    /// `rounds × classes` trees.
+    /// `classes × rounds` trees: one independent booster per class.
     trees: Vec<Vec<AnyTree>>,
 }
 
 impl GbdtClassifier {
     /// Fit on a feature matrix and integer class labels in `0..classes`.
+    ///
+    /// The matrix is binned once and shared by every booster. Boosters
+    /// train across workers with per-class seed streams (`class_seed`);
+    /// when classes run in parallel, intra-tree parallelism is disabled
+    /// to avoid oversubscription — either way the fitted model is
+    /// bit-identical.
     pub fn fit(
         x: &FeatureMatrix,
         labels: &[usize],
@@ -174,62 +250,26 @@ impl GbdtClassifier {
         assert_eq!(x.rows(), labels.len(), "sample/label mismatch");
         assert!(labels.iter().all(|&l| l < classes), "label out of range");
         let _span = obs::span("gbdt_fit");
-        let n = labels.len();
         let ctx = FitContext::new(x, cfg);
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        let mut logits = vec![0.0f32; n * classes];
-        let mut rounds = Vec::with_capacity(cfg.rounds);
-        let mut grad = vec![0.0f32; n];
-        let mut hess = vec![0.0f32; n];
-        let mut probs = vec![0.0f32; classes];
-        for _ in 0..cfg.rounds {
-            let idx = subsample_indices(n, cfg.subsample, &mut rng);
-            let mut round_trees = Vec::with_capacity(classes);
-            // Snapshot probabilities for this round.
-            let mut all_probs = vec![0.0f32; n * classes];
-            for i in 0..n {
-                let row = &logits[i * classes..(i + 1) * classes];
-                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut sum = 0.0;
-                for (k, &v) in row.iter().enumerate() {
-                    probs[k] = (v - max).exp();
-                    sum += probs[k];
-                }
-                for (k, p) in probs.iter().enumerate() {
-                    all_probs[i * classes + k] = p / sum;
-                }
-            }
-            for k in 0..classes {
-                for i in 0..n {
-                    let p = all_probs[i * classes + k];
-                    let y = if labels[i] == k { 1.0 } else { 0.0 };
-                    grad[i] = p - y;
-                    hess[i] = (p * (1.0 - p)).max(1e-6);
-                }
-                let tree = ctx.fit_tree(&grad, &hess, &idx, &cfg.tree);
-                for i in 0..n {
-                    logits[i * classes + k] += cfg.eta * tree.predict_row(x.row(i));
-                }
-                round_trees.push(tree);
-            }
-            rounds.push(round_trees);
-        }
+        let class_par = worker_count() > 1 && classes > 1;
+        let tree_par = worker_count() > 1 && !class_par;
+        let ks: Vec<usize> = (0..classes).collect();
+        let boosters = par_map_if(class_par, &ks, |&k| {
+            fit_one_vs_rest(&ctx, x, labels, k, cfg, tree_par)
+        });
         GbdtClassifier {
             classes,
             eta: cfg.eta,
-            trees: rounds,
+            trees: boosters,
         }
     }
 
     /// Raw class scores for one sample.
     pub fn decision_row(&self, row: &[f32]) -> Vec<f32> {
-        let mut scores = vec![0.0f32; self.classes];
-        for round in &self.trees {
-            for (k, tree) in round.iter().enumerate() {
-                scores[k] += self.eta * tree.predict_row(row);
-            }
-        }
-        scores
+        self.trees
+            .iter()
+            .map(|booster| self.eta * booster.iter().map(|t| t.predict_row(row)).sum::<f32>())
+            .collect()
     }
 
     /// Predicted class for one sample.
@@ -242,15 +282,49 @@ impl GbdtClassifier {
             .unwrap_or(0)
     }
 
-    /// Predict a batch of class labels.
+    /// Predict a batch of class labels (rows score across workers;
+    /// output order and values are scheduling-independent).
     pub fn predict(&self, x: &FeatureMatrix) -> Vec<usize> {
-        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+        par_map_indices(x.rows(), |i| self.predict_row(x.row(i)))
     }
 
     /// Number of classes.
     pub fn classes(&self) -> usize {
         self.classes
     }
+}
+
+/// Train class `k`'s binary logistic booster: `y = 1` for rows of class
+/// `k`, scores start at 0, `grad = p − y`, `hess = p(1−p)` (floored for
+/// stability). Fully independent of the other classes.
+fn fit_one_vs_rest(
+    ctx: &FitContext,
+    x: &FeatureMatrix,
+    labels: &[usize],
+    k: usize,
+    cfg: &GbdtConfig,
+    tree_par: bool,
+) -> Vec<AnyTree> {
+    let n = labels.len();
+    let mut rng = ChaCha8Rng::seed_from_u64(class_seed(cfg.seed, k));
+    let mut score = vec![0.0f32; n];
+    let mut grad = vec![0.0f32; n];
+    let mut hess = vec![0.0f32; n];
+    let mut in_leaf = vec![false; n];
+    let mut trees = Vec::with_capacity(cfg.rounds);
+    for _ in 0..cfg.rounds {
+        for i in 0..n {
+            let p = 1.0 / (1.0 + (-score[i]).exp());
+            let y = if labels[i] == k { 1.0 } else { 0.0 };
+            grad[i] = p - y;
+            hess[i] = (p * (1.0 - p)).max(1e-6);
+        }
+        let idx = subsample_indices(n, cfg.subsample, &mut rng);
+        let (tree, spans) = ctx.fit_tree(&grad, &hess, &idx, &cfg.tree, tree_par);
+        apply_update(&tree, &spans, x, &mut score, cfg.eta, &mut in_leaf);
+        trees.push(tree);
+    }
+    trees
 }
 
 #[cfg(test)]
@@ -364,5 +438,45 @@ mod tests {
         let model = GbdtRegressor::fit(&x, &y, &cfg);
         assert!(model.predict_row(&[0.9]) > 0.8);
         assert!(model.predict_row(&[0.1]) < 0.2);
+    }
+
+    #[test]
+    fn class_seeds_are_distinct_and_stable() {
+        assert_eq!(class_seed(7, 0), 7, "class 0 keeps the user's seed");
+        let seeds: Vec<u64> = (0..8).map(|k| class_seed(7, k)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn exact_and_binned_paths_both_learn() {
+        // The leaf-span update path must work for both tree engines.
+        let n = 80;
+        let xs: Vec<f32> = (0..n).map(|i| i as f32 / (n - 1) as f32).collect();
+        let y: Vec<f32> = xs.iter().map(|&v| 2.0 * v - 0.5).collect();
+        let x = FeatureMatrix::new(n, 1, xs);
+        for cfg in [
+            GbdtConfig {
+                rounds: 30,
+                ..GbdtConfig::default()
+            },
+            GbdtConfig {
+                rounds: 30,
+                ..GbdtConfig::default()
+            }
+            .exact(),
+        ] {
+            let model = GbdtRegressor::fit(&x, &y, &cfg);
+            let mse: f32 = model
+                .predict(&x)
+                .iter()
+                .zip(&y)
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f32>()
+                / n as f32;
+            assert!(mse < 0.05, "bins = {}, mse = {mse}", cfg.bins);
+        }
     }
 }

@@ -1,0 +1,349 @@
+//! Legacy single-threaded GBDT reference, preserved verbatim-in-spirit
+//! from before the level-wise parallel engine landed.
+//!
+//! This module keeps the original algorithmic shape — per-cell
+//! row-major binning, depth-first node recursion, one histogram rebuild
+//! per (node, feature) pair with a full row scan each, per-row tree
+//! traversal for prediction updates, and a round-major softmax
+//! classifier — so the `gbdt_train` bench can
+//! measure the engine's algorithmic speedup (sibling subtraction,
+//! single-pass row-major accumulation, leaf-span updates) against a
+//! faithful baseline, the same way the naive GEMM/conv loops serve as
+//! the oracle for the blocked kernels. It is not wired into any
+//! production path.
+
+use crate::data::FeatureMatrix;
+use crate::gbdt::binned::BinnedMatrix;
+use crate::gbdt::subsample_indices;
+use crate::gbdt::tree::TreeConfig;
+use crate::gbdt::GbdtConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A binned regression tree grown depth-first, rebuilding every node's
+/// per-feature histogram from its rows (no sibling subtraction, no
+/// batching).
+pub struct SerialBinnedTree {
+    nodes: Vec<SerialNode>,
+}
+
+enum SerialNode {
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        value: f32,
+    },
+}
+
+impl SerialBinnedTree {
+    /// Fit on gradient/hessian targets over the given sample subset.
+    pub fn fit(
+        bm: &BinnedMatrix,
+        grad: &[f32],
+        hess: &[f32],
+        indices: &[usize],
+        cfg: &TreeConfig,
+    ) -> SerialBinnedTree {
+        assert_eq!(bm.rows(), grad.len());
+        assert_eq!(grad.len(), hess.len());
+        let mut tree = SerialBinnedTree { nodes: Vec::new() };
+        let mut idx = indices.to_vec();
+        let mut hist: Vec<(f32, f32)> = Vec::new();
+        tree.build(bm, grad, hess, &mut idx, 0, cfg, &mut hist);
+        tree
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        &mut self,
+        bm: &BinnedMatrix,
+        grad: &[f32],
+        hess: &[f32],
+        idx: &mut [usize],
+        depth: usize,
+        cfg: &TreeConfig,
+        hist: &mut Vec<(f32, f32)>,
+    ) -> usize {
+        let g_sum: f32 = idx.iter().map(|&i| grad[i]).sum();
+        let h_sum: f32 = idx.iter().map(|&i| hess[i]).sum();
+        let make_leaf = |nodes: &mut Vec<SerialNode>| {
+            nodes.push(SerialNode::Leaf {
+                value: -g_sum / (h_sum + cfg.lambda),
+            });
+            nodes.len() - 1
+        };
+        if depth >= cfg.max_depth || idx.len() < 2 {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let parent_score = g_sum * g_sum / (h_sum + cfg.lambda);
+        let mut best: Option<(f32, usize, usize)> = None; // (gain, feature, bin)
+        for f in 0..bm.cols() {
+            let nb = bm.n_bins(f);
+            if nb < 2 {
+                continue;
+            }
+            hist.clear();
+            hist.resize(nb, (0.0, 0.0));
+            for &i in idx.iter() {
+                let b = bm.bin(i, f);
+                hist[b].0 += grad[i];
+                hist[b].1 += hess[i];
+            }
+            let mut gl = 0.0f32;
+            let mut hl = 0.0f32;
+            for (b, &(g, h)) in hist.iter().enumerate().take(nb - 1) {
+                gl += g;
+                hl += h;
+                let gr = g_sum - gl;
+                let hr = h_sum - hl;
+                if hl < cfg.min_child_weight || hr < cfg.min_child_weight {
+                    continue;
+                }
+                let gain = gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda) - parent_score;
+                if gain > cfg.gamma && best.is_none_or(|(bg, _, _)| gain > bg) {
+                    best = Some((gain, f, b));
+                }
+            }
+        }
+
+        let Some((_, feature, bin)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+        let mid = partition(idx, |&i| bm.bin(i, feature) <= bin);
+        if mid == 0 || mid == idx.len() {
+            return make_leaf(&mut self.nodes);
+        }
+        let node_id = self.nodes.len();
+        self.nodes.push(SerialNode::Split {
+            feature,
+            threshold: bm.cut_value(feature, bin),
+            left: usize::MAX,
+            right: usize::MAX,
+        });
+        let (l_idx, r_idx) = idx.split_at_mut(mid);
+        let left = self.build(bm, grad, hess, l_idx, depth + 1, cfg, hist);
+        let right = self.build(bm, grad, hess, r_idx, depth + 1, cfg, hist);
+        if let SerialNode::Split {
+            left: l, right: r, ..
+        } = &mut self.nodes[node_id]
+        {
+            *l = left;
+            *r = right;
+        }
+        node_id
+    }
+
+    /// Predict one raw-feature sample.
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                SerialNode::Leaf { value } => return *value,
+                SerialNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+fn partition<T, F: Fn(&T) -> bool>(slice: &mut [T], pred: F) -> usize {
+    let mut store = 0;
+    for i in 0..slice.len() {
+        if pred(&slice[i]) {
+            slice.swap(store, i);
+            store += 1;
+        }
+    }
+    store
+}
+
+/// The pre-engine regressor loop: one tree per round, predictions
+/// refreshed by traversing the new tree for every training row.
+pub struct SerialGbdtRegressor {
+    base: f32,
+    eta: f32,
+    trees: Vec<SerialBinnedTree>,
+}
+
+impl SerialGbdtRegressor {
+    /// Fit on a feature matrix and scalar targets (binned path only:
+    /// `cfg.bins` must be 2..=255).
+    pub fn fit(x: &FeatureMatrix, y: &[f32], cfg: &GbdtConfig) -> SerialGbdtRegressor {
+        assert_eq!(x.rows(), y.len(), "sample/target mismatch");
+        assert!(x.rows() > 0, "empty training set");
+        assert!(cfg.bins >= 2, "serial reference is binned-only");
+        let bm = BinnedMatrix::new_row_major(x, cfg.bins);
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let base = y.iter().sum::<f32>() / y.len() as f32;
+        let mut pred = vec![base; y.len()];
+        let mut trees = Vec::with_capacity(cfg.rounds);
+        let hess = vec![1.0f32; y.len()];
+        for _ in 0..cfg.rounds {
+            let grad: Vec<f32> = pred.iter().zip(y).map(|(p, t)| p - t).collect();
+            let idx = subsample_indices(y.len(), cfg.subsample, &mut rng);
+            let tree = SerialBinnedTree::fit(&bm, &grad, &hess, &idx, &cfg.tree);
+            for (i, p) in pred.iter_mut().enumerate() {
+                *p += cfg.eta * tree.predict_row(x.row(i));
+            }
+            trees.push(tree);
+        }
+        SerialGbdtRegressor {
+            base,
+            eta: cfg.eta,
+            trees,
+        }
+    }
+
+    /// Predict one sample.
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        self.base + self.eta * self.trees.iter().map(|t| t.predict_row(row)).sum::<f32>()
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+/// The pre-engine classifier loop: round-major softmax, one tree per
+/// class per round, classes coupled through shared logits (so classes
+/// cannot train concurrently).
+pub struct SerialGbdtClassifier {
+    classes: usize,
+    eta: f32,
+    /// `rounds × classes` trees.
+    trees: Vec<Vec<SerialBinnedTree>>,
+}
+
+impl SerialGbdtClassifier {
+    /// Fit on a feature matrix and integer class labels in `0..classes`
+    /// (binned path only: `cfg.bins` must be 2..=255).
+    pub fn fit(
+        x: &FeatureMatrix,
+        labels: &[usize],
+        classes: usize,
+        cfg: &GbdtConfig,
+    ) -> SerialGbdtClassifier {
+        assert_eq!(x.rows(), labels.len(), "sample/label mismatch");
+        assert!(labels.iter().all(|&l| l < classes), "label out of range");
+        assert!(cfg.bins >= 2, "serial reference is binned-only");
+        let n = labels.len();
+        let bm = BinnedMatrix::new_row_major(x, cfg.bins);
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut logits = vec![0.0f32; n * classes];
+        let mut rounds = Vec::with_capacity(cfg.rounds);
+        let mut grad = vec![0.0f32; n];
+        let mut hess = vec![0.0f32; n];
+        let mut probs = vec![0.0f32; classes];
+        for _ in 0..cfg.rounds {
+            let idx = subsample_indices(n, cfg.subsample, &mut rng);
+            let mut round_trees = Vec::with_capacity(classes);
+            let mut all_probs = vec![0.0f32; n * classes];
+            for i in 0..n {
+                let row = &logits[i * classes..(i + 1) * classes];
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for (k, &v) in row.iter().enumerate() {
+                    probs[k] = (v - max).exp();
+                    sum += probs[k];
+                }
+                for (k, p) in probs.iter().enumerate() {
+                    all_probs[i * classes + k] = p / sum;
+                }
+            }
+            for k in 0..classes {
+                for i in 0..n {
+                    let p = all_probs[i * classes + k];
+                    let y = if labels[i] == k { 1.0 } else { 0.0 };
+                    grad[i] = p - y;
+                    hess[i] = (p * (1.0 - p)).max(1e-6);
+                }
+                let tree = SerialBinnedTree::fit(&bm, &grad, &hess, &idx, &cfg.tree);
+                for i in 0..n {
+                    logits[i * classes + k] += cfg.eta * tree.predict_row(x.row(i));
+                }
+                round_trees.push(tree);
+            }
+            rounds.push(round_trees);
+        }
+        SerialGbdtClassifier {
+            classes,
+            eta: cfg.eta,
+            trees: rounds,
+        }
+    }
+
+    /// Predicted class for one sample.
+    pub fn predict_row(&self, row: &[f32]) -> usize {
+        let mut scores = vec![0.0f32; self.classes];
+        for round in &self.trees {
+            for (k, tree) in round.iter().enumerate() {
+                scores[k] += self.eta * tree.predict_row(row);
+            }
+        }
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(k, _)| k)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_regressor_learns_step() {
+        let n = 120;
+        let xs: Vec<f32> = (0..n).map(|i| i as f32 / (n - 1) as f32).collect();
+        let y: Vec<f32> = xs
+            .iter()
+            .map(|&v| if v > 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        let x = FeatureMatrix::new(n, 1, xs);
+        let cfg = GbdtConfig {
+            rounds: 40,
+            ..GbdtConfig::default()
+        };
+        let model = SerialGbdtRegressor::fit(&x, &y, &cfg);
+        assert_eq!(model.tree_count(), 40);
+        assert!(model.predict_row(&[0.9]) > 0.8);
+        assert!(model.predict_row(&[0.1]) < 0.2);
+    }
+
+    #[test]
+    fn serial_classifier_learns_halves() {
+        let n = 100;
+        let xs: Vec<f32> = (0..n).map(|i| i as f32 / (n - 1) as f32).collect();
+        let labels: Vec<usize> = xs.iter().map(|&v| usize::from(v > 0.5)).collect();
+        let x = FeatureMatrix::new(n, 1, xs);
+        let cfg = GbdtConfig {
+            rounds: 20,
+            eta: 0.3,
+            ..GbdtConfig::default()
+        };
+        let model = SerialGbdtClassifier::fit(&x, &labels, 2, &cfg);
+        let acc = (0..n)
+            .filter(|&i| model.predict_row(x.row(i)) == labels[i])
+            .count() as f64
+            / n as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+}

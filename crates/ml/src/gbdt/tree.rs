@@ -3,6 +3,7 @@
 
 use crate::data::FeatureMatrix;
 use serde::{Deserialize, Serialize};
+use stencilmart_obs::counters;
 
 /// Tree growth hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -42,6 +43,18 @@ enum Node {
     },
 }
 
+/// Leaf membership of every fitted row: `rows` is the final in-place
+/// permutation of the fitted subset and `spans` holds
+/// `(start, end, leaf_value)` ranges into it — one per leaf that
+/// received rows. Boosting loops use this to update predictions for the
+/// fitted rows without re-traversing the tree; the values are exactly
+/// the leaf values traversal would find.
+#[derive(Debug, Clone)]
+pub(crate) struct LeafSpans {
+    pub(crate) rows: Vec<usize>,
+    pub(crate) spans: Vec<(usize, usize, f32)>,
+}
+
 /// A fitted regression tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RegressionTree {
@@ -61,43 +74,64 @@ impl RegressionTree {
         indices: &[usize],
         cfg: &TreeConfig,
     ) -> RegressionTree {
+        Self::fit_tracked(x, grad, hess, indices, cfg).0
+    }
+
+    /// [`RegressionTree::fit`] that also reports which leaf every fitted
+    /// row ended in (see [`LeafSpans`]).
+    pub(crate) fn fit_tracked(
+        x: &FeatureMatrix,
+        grad: &[f32],
+        hess: &[f32],
+        indices: &[usize],
+        cfg: &TreeConfig,
+    ) -> (RegressionTree, LeafSpans) {
         assert_eq!(x.rows(), grad.len());
         assert_eq!(grad.len(), hess.len());
+        counters::TREES_FITTED.inc();
         let mut tree = RegressionTree { nodes: Vec::new() };
         let mut idx = indices.to_vec();
-        tree.build(x, grad, hess, &mut idx, 0, cfg);
-        tree
+        // One sort scratch shared by every node of the tree.
+        let mut order: Vec<usize> = Vec::with_capacity(idx.len());
+        let mut spans: Vec<(usize, usize, f32)> = Vec::new();
+        tree.build(x, grad, hess, &mut idx, 0, 0, cfg, &mut order, &mut spans);
+        (tree, LeafSpans { rows: idx, spans })
     }
 
     fn leaf_value(grad_sum: f32, hess_sum: f32, lambda: f32) -> f32 {
         -grad_sum / (hess_sum + lambda)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         &mut self,
         x: &FeatureMatrix,
         grad: &[f32],
         hess: &[f32],
         idx: &mut [usize],
+        base: usize,
         depth: usize,
         cfg: &TreeConfig,
+        order: &mut Vec<usize>,
+        spans: &mut Vec<(usize, usize, f32)>,
     ) -> usize {
+        let len = idx.len();
         let g_sum: f32 = idx.iter().map(|&i| grad[i]).sum();
         let h_sum: f32 = idx.iter().map(|&i| hess[i]).sum();
-        let make_leaf = |nodes: &mut Vec<Node>| {
-            nodes.push(Node::Leaf {
-                value: Self::leaf_value(g_sum, h_sum, cfg.lambda),
-            });
+        let make_leaf = |nodes: &mut Vec<Node>, spans: &mut Vec<(usize, usize, f32)>| {
+            let value = Self::leaf_value(g_sum, h_sum, cfg.lambda);
+            nodes.push(Node::Leaf { value });
+            spans.push((base, base + len, value));
             nodes.len() - 1
         };
-        if depth >= cfg.max_depth || idx.len() < 2 {
-            return make_leaf(&mut self.nodes);
+        if depth >= cfg.max_depth || len < 2 {
+            return make_leaf(&mut self.nodes, spans);
         }
 
-        // Exact greedy split search over all features.
+        // Exact greedy split search over all features, reusing the
+        // caller's sort scratch across every node of the tree.
         let parent_score = g_sum * g_sum / (h_sum + cfg.lambda);
         let mut best: Option<(f32, usize, f32)> = None; // (gain, feature, threshold)
-        let mut order: Vec<usize> = Vec::with_capacity(idx.len());
         for f in 0..x.cols() {
             order.clear();
             order.extend_from_slice(idx);
@@ -126,12 +160,12 @@ impl RegressionTree {
         }
 
         let Some((_, feature, threshold)) = best else {
-            return make_leaf(&mut self.nodes);
+            return make_leaf(&mut self.nodes, spans);
         };
         // Partition in place.
         let mid = partition(idx, |&i| x.at(i, feature) <= threshold);
         if mid == 0 || mid == idx.len() {
-            return make_leaf(&mut self.nodes);
+            return make_leaf(&mut self.nodes, spans);
         }
         let node_id = self.nodes.len();
         self.nodes.push(Node::Split {
@@ -141,8 +175,18 @@ impl RegressionTree {
             right: usize::MAX,
         });
         let (l_idx, r_idx) = idx.split_at_mut(mid);
-        let left = self.build(x, grad, hess, l_idx, depth + 1, cfg);
-        let right = self.build(x, grad, hess, r_idx, depth + 1, cfg);
+        let left = self.build(x, grad, hess, l_idx, base, depth + 1, cfg, order, spans);
+        let right = self.build(
+            x,
+            grad,
+            hess,
+            r_idx,
+            base + mid,
+            depth + 1,
+            cfg,
+            order,
+            spans,
+        );
         if let Node::Split {
             left: l, right: r, ..
         } = &mut self.nodes[node_id]

@@ -48,6 +48,7 @@ pub fn train_classifier(
     let mut history = Vec::with_capacity(cfg.epochs);
     // Mini-batch scratch reused across every batch of every epoch.
     let mut xb = Tensor::zeros(&[0]);
+    let mut yb: Vec<usize> = Vec::with_capacity(cfg.batch_size);
     for _ in 0..cfg.epochs {
         let _epoch = obs::span("train_epoch");
         order.shuffle(&mut rng);
@@ -55,7 +56,8 @@ pub fn train_classifier(
         let mut batches = 0;
         for chunk in order.chunks(cfg.batch_size) {
             x.gather_rows_into(chunk, &mut xb);
-            let yb: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            yb.clear();
+            yb.extend(chunk.iter().map(|&i| labels[i]));
             let logits = net.forward(&xb, true);
             let (loss, grad) = softmax_cross_entropy(&logits, &yb);
             net.zero_grads();
@@ -85,6 +87,7 @@ pub fn train_regressor(
     let mut order: Vec<usize> = (0..x.batch()).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
     let mut xb = Tensor::zeros(&[0]);
+    let mut yb: Vec<f32> = Vec::with_capacity(cfg.batch_size);
     for _ in 0..cfg.epochs {
         let _epoch = obs::span("train_epoch");
         order.shuffle(&mut rng);
@@ -92,7 +95,8 @@ pub fn train_regressor(
         let mut batches = 0;
         for chunk in order.chunks(cfg.batch_size) {
             x.gather_rows_into(chunk, &mut xb);
-            let yb: Vec<f32> = chunk.iter().map(|&i| targets[i]).collect();
+            yb.clear();
+            yb.extend(chunk.iter().map(|&i| targets[i]));
             let out = net.forward(&xb, true);
             let (loss, grad) = mse(&out, &yb);
             net.zero_grads();

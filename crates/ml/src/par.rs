@@ -63,6 +63,27 @@ where
     out.into_iter().map(|r| r.expect("slot filled")).collect()
 }
 
+/// [`par_map`] when `par` is true, a plain sequential map on the calling
+/// thread when false.
+///
+/// The GBDT engine threads this flag through nested parallel stages
+/// (class-parallel boosters disable row-parallel histogram execution to
+/// avoid oversubscription): because every caller's reduction order is
+/// fixed independently of the execution strategy, both arms produce
+/// bit-identical results and the flag is purely a scheduling choice.
+pub fn par_map_if<T, R, F>(par: bool, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if par {
+        par_map(items, f)
+    } else {
+        items.iter().map(&f).collect()
+    }
+}
+
 /// Parallel map over an index range `0..n`.
 pub fn par_map_indices<R, F>(n: usize, f: F) -> Vec<R>
 where

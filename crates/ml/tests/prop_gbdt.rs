@@ -1,0 +1,178 @@
+//! Determinism property tests for the parallel GBDT engine: fitted
+//! models (tree structures, leaf values) and predictions must be
+//! bit-identical across `STENCILMART_THREADS` ∈ {1, 2, 4} on random
+//! datasets, for both the exact and binned tree paths, regressor and
+//! classifier alike. The observability counters (commutative sums) must
+//! agree exactly too.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use stencilmart_ml::data::FeatureMatrix;
+use stencilmart_ml::gbdt::tree::TreeConfig;
+use stencilmart_ml::gbdt::{GbdtClassifier, GbdtConfig, GbdtRegressor};
+use stencilmart_obs as obs;
+
+/// Serializes the whole binary on one mutex: every test both mutates the
+/// process-wide `STENCILMART_THREADS` variable and (in the counter test)
+/// resets process-global metric cells.
+fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("STENCILMART_THREADS", threads);
+    let out = f();
+    std::env::remove_var("STENCILMART_THREADS");
+    out
+}
+
+fn random_regression(seed: u64, n: usize, cols: usize) -> (FeatureMatrix, Vec<f32>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n * cols);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f32> = (0..cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let target = row
+            .iter()
+            .enumerate()
+            .map(|(j, v)| (j as f32 + 1.0) * v)
+            .sum::<f32>()
+            + rng.gen_range(-0.1f32..0.1);
+        data.extend_from_slice(&row);
+        y.push(target);
+    }
+    (FeatureMatrix::new(n, cols, data), y)
+}
+
+fn random_classification(
+    seed: u64,
+    n: usize,
+    cols: usize,
+    classes: usize,
+) -> (FeatureMatrix, Vec<usize>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n * cols);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f32> = (0..cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        // Label correlates with the first feature so trees have signal,
+        // with a random remainder so classes stay non-trivial.
+        let label = if row[0] > 0.0 && classes > 1 {
+            1 + rng.gen_range(0..classes - 1)
+        } else {
+            rng.gen_range(0..classes)
+        };
+        data.extend_from_slice(&row);
+        labels.push(label);
+    }
+    (FeatureMatrix::new(n, cols, data), labels)
+}
+
+fn gbdt_config(exact: bool, seed: u64) -> GbdtConfig {
+    let cfg = GbdtConfig {
+        rounds: 8,
+        eta: 0.2,
+        subsample: 0.7,
+        tree: TreeConfig {
+            max_depth: 4,
+            ..TreeConfig::default()
+        },
+        bins: 16,
+        seed,
+    };
+    if exact {
+        cfg.exact()
+    } else {
+        cfg
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn regressor_is_bit_identical_across_thread_counts(
+        seed in 0u64..1 << 20,
+        n in 40usize..120,
+        cols in 1usize..4,
+        exact in any::<bool>(),
+    ) {
+        let _guard = env_lock();
+        let (x, y) = random_regression(seed, n, cols);
+        let cfg = gbdt_config(exact, seed ^ 0xA5);
+        let runs: Vec<(String, Vec<u32>)> = ["1", "2", "4"]
+            .iter()
+            .map(|threads| {
+                with_threads(threads, || {
+                    let model = GbdtRegressor::fit(&x, &y, &cfg);
+                    let json = serde_json::to_string(&model).unwrap();
+                    let bits = model.predict(&x).iter().map(|p| p.to_bits()).collect();
+                    (json, bits)
+                })
+            })
+            .collect();
+        prop_assert_eq!(&runs[0], &runs[1]);
+        prop_assert_eq!(&runs[0], &runs[2]);
+    }
+
+    #[test]
+    fn classifier_is_bit_identical_across_thread_counts(
+        seed in 0u64..1 << 20,
+        n in 40usize..120,
+        cols in 1usize..4,
+        classes in 2usize..5,
+        exact in any::<bool>(),
+    ) {
+        let _guard = env_lock();
+        let (x, labels) = random_classification(seed, n, cols, classes);
+        let cfg = gbdt_config(exact, seed ^ 0x5A);
+        let runs: Vec<(String, Vec<usize>)> = ["1", "2", "4"]
+            .iter()
+            .map(|threads| {
+                with_threads(threads, || {
+                    let model = GbdtClassifier::fit(&x, &labels, classes, &cfg);
+                    let json = serde_json::to_string(&model).unwrap();
+                    (json, model.predict(&x))
+                })
+            })
+            .collect();
+        prop_assert_eq!(&runs[0], &runs[1]);
+        prop_assert_eq!(&runs[0], &runs[2]);
+    }
+
+    #[test]
+    fn gbdt_counters_match_across_thread_counts(
+        seed in 0u64..1 << 20,
+        classes in 2usize..4,
+    ) {
+        let _guard = env_lock();
+        let (x, labels) = random_classification(seed, 60, 2, classes);
+        let cfg = gbdt_config(false, seed);
+        let snapshots: Vec<Vec<(&'static str, u64)>> = ["1", "4"]
+            .iter()
+            .map(|threads| {
+                with_threads(threads, || {
+                    obs::set_enabled(true);
+                    obs::reset();
+                    let _ = GbdtClassifier::fit(&x, &labels, classes, &cfg);
+                    obs::counters::snapshot()
+                })
+            })
+            .collect();
+        prop_assert_eq!(&snapshots[0], &snapshots[1]);
+        let get = |name: &str| {
+            snapshots[0]
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let trees = (cfg.rounds * classes) as u64;
+        prop_assert_eq!(get("trees_fitted"), trees);
+        prop_assert_eq!(get("gbdt_trees_grown"), trees);
+        prop_assert!(get("hist_builds") >= trees, "every tree builds a root histogram");
+        prop_assert!(get("hist_subtractions") > 0, "depth-4 trees must split somewhere");
+    }
+}
