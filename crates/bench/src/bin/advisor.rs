@@ -1,0 +1,380 @@
+//! Train-and-save or load-and-serve StencilMART model bundles.
+//!
+//! ```text
+//! advisor train --out BUNDLE [--scale quick|default|paper] [--dim 2|3]
+//!               [--classifier convnet|fcnet|gbdt]
+//!               [--regressor mlp|convmlp|gbdt] [--metrics-out PATH]
+//! advisor serve --bundle BUNDLE [--requests PATH] [--metrics-out PATH]
+//! ```
+//!
+//! `serve` reads JSONL requests (from `--requests` or stdin) and writes
+//! one JSON response per line to stdout. Malformed lines, unknown GPUs,
+//! wrong-dimensionality stencils, and corrupt bundles all produce
+//! structured `{"ok":false,...}` responses — the process never panics on
+//! input.
+//!
+//! Request forms (one JSON object per line):
+//!
+//! ```text
+//! {"op":"best_oc","gpu":"V100","stencil":"star2d1r"}
+//! {"op":"best_oc","gpu":"P100","offsets":[[1,0],[-1,0],[0,1],[0,-1]]}
+//! {"op":"predict_time","gpu":"A100","stencil":"box2d1r","oc":"ST_BM"}
+//! {"op":"rank_gpus","criterion":"cost","stencil":"star2d2r","oc":"ST"}
+//! ```
+//!
+//! Stencils are named from the canonical suite or given as explicit
+//! offsets (the origin is implicit). `predict_time` uses the OC's
+//! default parameter setting. `rank_gpus` orders the criterion's GPUs by
+//! predicted score (ascending; `criterion` is `perf` or `cost`).
+
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+
+use serde::Value;
+use stencilmart::advisor::Criterion;
+use stencilmart::api::{Predictor, StencilMart};
+use stencilmart::error::MartError;
+use stencilmart::models::{ClassifierKind, RegressorKind};
+use stencilmart_bench::Scale;
+use stencilmart_gpusim::{GpuId, OptCombo, ParamSetting};
+use stencilmart_obs as obs;
+use stencilmart_stencil::canonical;
+use stencilmart_stencil::pattern::{Dim, Offset, StencilPattern};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let code = match args.next().as_deref() {
+        Some("train") => cmd_train(args.collect()),
+        Some("serve") => cmd_serve(args.collect()),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            if std::env::args().nth(1).is_none() {
+                2
+            } else {
+                0
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "usage:\n  \
+    advisor train --out BUNDLE [--scale quick|default|paper] [--dim 2|3]\n         \
+    [--classifier convnet|fcnet|gbdt] [--regressor mlp|convmlp|gbdt]\n         \
+    [--metrics-out PATH]\n  \
+    advisor serve --bundle BUNDLE [--requests PATH] [--metrics-out PATH]";
+
+/// Write the observability report + chrome trace next to it.
+fn emit_metrics(path: &Path, tool: &str, seed: u64, config_repr: &str) {
+    let manifest = obs::RunManifest::new(tool, seed, config_repr);
+    obs::report::write_metrics(path, &manifest).expect("write metrics report");
+    let trace = obs::report::trace_path_for(path);
+    obs::report::write_chrome_trace(&trace).expect("write chrome trace");
+    eprintln!("[metrics] wrote {} and {}", path.display(), trace.display());
+}
+
+fn cmd_train(args: Vec<String>) -> i32 {
+    let mut out: Option<PathBuf> = None;
+    let mut scale = Scale::Default;
+    let mut dim = Dim::D2;
+    let mut classifier = ClassifierKind::Gbdt;
+    let mut regressor = RegressorKind::GbRegressor;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--out" => out = Some(PathBuf::from(val("--out"))),
+            "--scale" => {
+                let v = val("--scale");
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?}; use quick|default|paper");
+                    std::process::exit(2);
+                });
+            }
+            "--dim" => {
+                dim = match val("--dim").as_str() {
+                    "2" => Dim::D2,
+                    "3" => Dim::D3,
+                    v => {
+                        eprintln!("unknown dim {v:?}; use 2|3");
+                        return 2;
+                    }
+                };
+            }
+            "--classifier" => {
+                classifier = match val("--classifier").as_str() {
+                    "convnet" => ClassifierKind::ConvNet,
+                    "fcnet" => ClassifierKind::FcNet,
+                    "gbdt" => ClassifierKind::Gbdt,
+                    v => {
+                        eprintln!("unknown classifier {v:?}; use convnet|fcnet|gbdt");
+                        return 2;
+                    }
+                };
+            }
+            "--regressor" => {
+                regressor = match val("--regressor").as_str() {
+                    "mlp" => RegressorKind::Mlp,
+                    "convmlp" => RegressorKind::ConvMlp,
+                    "gbdt" => RegressorKind::GbRegressor,
+                    v => {
+                        eprintln!("unknown regressor {v:?}; use mlp|convmlp|gbdt");
+                        return 2;
+                    }
+                };
+            }
+            "--metrics-out" => metrics_out = Some(PathBuf::from(val("--metrics-out"))),
+            other => {
+                eprintln!("unknown flag {other:?}\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("train requires --out\n{USAGE}");
+        return 2;
+    };
+    let cfg = scale.config();
+    let config_repr = serde_json::to_string(&cfg).expect("serialize config");
+    let seed = cfg.seed;
+    eprintln!(
+        "[train] {} stencils/dim on {} GPUs ({dim})...",
+        cfg.stencils_per_dim,
+        cfg.gpus.len()
+    );
+    let t0 = std::time::Instant::now();
+    let mut mart = StencilMart::train(cfg, dim, classifier, regressor);
+    eprintln!("[train] done in {:.1}s", t0.elapsed().as_secs_f64());
+    if let Err(e) = mart.save(&out, "advisor") {
+        eprintln!("error: failed to save bundle: {e}");
+        return 1;
+    }
+    eprintln!("[train] wrote {}", out.display());
+    if let Some(path) = metrics_out {
+        emit_metrics(&path, "advisor", seed, &config_repr);
+    }
+    0
+}
+
+fn cmd_serve(args: Vec<String>) -> i32 {
+    let mut bundle: Option<PathBuf> = None;
+    let mut requests: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--bundle" => bundle = Some(PathBuf::from(val("--bundle"))),
+            "--requests" => requests = Some(PathBuf::from(val("--requests"))),
+            "--metrics-out" => metrics_out = Some(PathBuf::from(val("--metrics-out"))),
+            other => {
+                eprintln!("unknown flag {other:?}\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let Some(bundle_path) = bundle else {
+        eprintln!("serve requires --bundle\n{USAGE}");
+        return 2;
+    };
+    let mut predictor = match Predictor::load(&bundle_path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot load bundle {}: {e}", bundle_path.display());
+            return 1;
+        }
+    };
+    let input: Box<dyn BufRead> = match &requests {
+        Some(p) => match std::fs::File::open(p) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => {
+                eprintln!("error: cannot open {}: {e}", p.display());
+                return 1;
+            }
+        },
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut served = 0usize;
+    let mut failed = 0usize;
+    for line in input.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: cannot read request stream: {e}");
+                return 1;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match handle_request(&mut predictor, &line) {
+            Ok(r) => {
+                served += 1;
+                r
+            }
+            Err(e) => {
+                failed += 1;
+                format!(
+                    "{{\"ok\":false,\"kind\":{},\"error\":{}}}",
+                    json_str(e.kind()),
+                    json_str(&e.to_string())
+                )
+            }
+        };
+        if writeln!(out, "{response}").is_err() {
+            return 1; // broken pipe
+        }
+    }
+    eprintln!("[serve] {served} ok, {failed} rejected");
+    if let Some(path) = metrics_out {
+        // Bundle-identified config: the serve side has no PipelineConfig
+        // of its own, so key the manifest on the bundle path.
+        emit_metrics(&path, "advisor", 0, &bundle_path.display().to_string());
+    }
+    0
+}
+
+/// Minimal JSON string escaping for response assembly.
+fn json_str(s: &str) -> String {
+    serde_json::to_string(&s).expect("string serializes")
+}
+
+fn bad(why: impl Into<String>) -> MartError {
+    MartError::BadRequest(why.into())
+}
+
+/// Resolve the request's stencil: `"stencil"` (canonical-suite name) or
+/// `"offsets"` (array of 2- or 3-element integer arrays; origin implicit).
+fn parse_pattern(req: &Value) -> Result<StencilPattern, MartError> {
+    if let Ok(name) = req.field("stencil").and_then(|v| v.as_str()) {
+        return canonical::by_name(name)
+            .map(|c| c.pattern)
+            .ok_or_else(|| bad(format!("unknown canonical stencil {name:?}")));
+    }
+    let offsets = req
+        .field("offsets")
+        .and_then(|v| v.as_array())
+        .map_err(|_| bad("request needs \"stencil\" (name) or \"offsets\" (array)"))?;
+    let mut parsed: Vec<Offset> = Vec::with_capacity(offsets.len());
+    let mut rank = 0usize;
+    for o in offsets {
+        let comps = o
+            .as_array()
+            .map_err(|e| bad(format!("offset must be an array: {e}")))?;
+        if comps.len() < 2 || comps.len() > 3 {
+            return Err(bad(format!(
+                "offset must have 2 or 3 components, got {}",
+                comps.len()
+            )));
+        }
+        rank = rank.max(comps.len());
+        let mut c = [0i32; 3];
+        for (i, v) in comps.iter().enumerate() {
+            let x = v
+                .as_i64()
+                .map_err(|e| bad(format!("offset component: {e}")))?;
+            c[i] =
+                i32::try_from(x).map_err(|_| bad(format!("offset component {x} out of range")))?;
+        }
+        parsed.push(Offset { c });
+    }
+    let dim = if rank == 3 { Dim::D3 } else { Dim::D2 };
+    StencilPattern::new(dim, parsed).map_err(|e| bad(format!("invalid pattern: {e:?}")))
+}
+
+fn parse_gpu(req: &Value) -> Result<GpuId, MartError> {
+    let name = req
+        .field("gpu")
+        .and_then(|v| v.as_str())
+        .map_err(|e| bad(format!("request needs \"gpu\": {e}")))?;
+    GpuId::ALL
+        .iter()
+        .copied()
+        .find(|g| g.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| MartError::UnknownGpu(name.to_string()))
+}
+
+fn parse_oc(req: &Value) -> Result<OptCombo, MartError> {
+    let name = req
+        .field("oc")
+        .and_then(|v| v.as_str())
+        .map_err(|e| bad(format!("request needs \"oc\": {e}")))?;
+    OptCombo::parse(name).ok_or_else(|| bad(format!("unknown OC {name:?}")))
+}
+
+/// Serve one JSONL request line. Every failure path is a [`MartError`].
+fn handle_request(predictor: &mut Predictor, line: &str) -> Result<String, MartError> {
+    let req = serde_json::parse_value(line)?;
+    let op = req
+        .field("op")
+        .and_then(|v| v.as_str())
+        .map_err(|e| bad(format!("request needs \"op\": {e}")))?;
+    match op {
+        "best_oc" => {
+            let pattern = parse_pattern(&req)?;
+            let gpu = parse_gpu(&req)?;
+            let oc = predictor.best_oc(&pattern, gpu)?;
+            Ok(format!(
+                "{{\"ok\":true,\"op\":\"best_oc\",\"oc\":{}}}",
+                json_str(&oc.name())
+            ))
+        }
+        "predict_time" => {
+            let pattern = parse_pattern(&req)?;
+            let gpu = parse_gpu(&req)?;
+            let oc = parse_oc(&req)?;
+            let params = ParamSetting::default_for_dim(&oc, predictor.dim());
+            let ms = predictor.predict_time_ms(&pattern, &oc, &params, gpu)?;
+            Ok(format!(
+                "{{\"ok\":true,\"op\":\"predict_time\",\"time_ms\":{ms}}}"
+            ))
+        }
+        "rank_gpus" => {
+            let pattern = parse_pattern(&req)?;
+            let oc = parse_oc(&req)?;
+            let params = ParamSetting::default_for_dim(&oc, predictor.dim());
+            let criterion = match req.field("criterion").and_then(|v| v.as_str()) {
+                Ok("perf") | Err(_) => Criterion::PurePerformance,
+                Ok("cost") => Criterion::CostEfficiency,
+                Ok(v) => return Err(bad(format!("unknown criterion {v:?}; use perf|cost"))),
+            };
+            let mut ranked: Vec<(GpuId, f64)> = Vec::new();
+            for gpu in criterion.gpus() {
+                let ms = predictor.predict_time_ms(&pattern, &oc, &params, gpu)?;
+                let score = criterion
+                    .score(gpu, ms)
+                    .ok_or(MartError::UnrankableGpu(gpu))?;
+                ranked.push((gpu, score));
+            }
+            ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let items: Vec<String> = ranked
+                .iter()
+                .map(|(g, s)| format!("{{\"gpu\":{},\"score\":{s}}}", json_str(g.name())))
+                .collect();
+            Ok(format!(
+                "{{\"ok\":true,\"op\":\"rank_gpus\",\"ranking\":[{}]}}",
+                items.join(",")
+            ))
+        }
+        other => Err(bad(format!(
+            "unknown op {other:?}; use best_oc|predict_time|rank_gpus"
+        ))),
+    }
+}

@@ -34,15 +34,17 @@ impl Criterion {
         }
     }
 
-    /// The score to minimize for a GPU given a time in ms.
-    pub fn score(self, gpu: GpuId, time_ms: f64) -> f64 {
+    /// The score to minimize for a GPU given a time in ms. `None` when
+    /// the GPU cannot be ranked under this criterion (cost efficiency
+    /// needs a rental price, and the 2080 Ti has none) — reachable from
+    /// user-supplied GPU names, so this must not panic. Every GPU from
+    /// [`Criterion::gpus`] is scorable.
+    pub fn score(self, gpu: GpuId, time_ms: f64) -> Option<f64> {
         match self {
-            Criterion::PurePerformance => time_ms,
+            Criterion::PurePerformance => Some(time_ms),
             Criterion::CostEfficiency => {
-                let price = GpuArch::preset(gpu)
-                    .rental_per_hr
-                    .expect("cost criterion only ranks rentable GPUs");
-                time_ms * price
+                let price = GpuArch::preset(gpu).rental_per_hr?;
+                Some(time_ms * price)
             }
         }
     }
@@ -140,13 +142,14 @@ pub fn evaluate_advisor(
         if !gpus.iter().all(|g| per_gpu.contains_key(g)) {
             continue; // crashed on some GPU: no fair ground truth
         }
+        // `gpus` comes from `criterion.gpus()`, so every entry scores.
         let best = gpus
             .iter()
             .copied()
             .min_by(|&a, &b| {
-                criterion
-                    .score(a, per_gpu[&a])
-                    .total_cmp(&criterion.score(b, per_gpu[&b]))
+                let sa = criterion.score(a, per_gpu[&a]).expect("scorable GPU");
+                let sb = criterion.score(b, per_gpu[&b]).expect("scorable GPU");
+                sa.total_cmp(&sb)
             })
             .expect("non-empty GPU list");
         eval_rows.push(r);
@@ -174,9 +177,9 @@ pub fn evaluate_advisor(
                 .min_by(|&a, &b| {
                     let ta = (preds[base + a] as f64).exp();
                     let tb = (preds[base + b] as f64).exp();
-                    criterion
-                        .score(gpus[a], ta)
-                        .total_cmp(&criterion.score(gpus[b], tb))
+                    let sa = criterion.score(gpus[a], ta).expect("scorable GPU");
+                    let sb = criterion.score(gpus[b], tb).expect("scorable GPU");
+                    sa.total_cmp(&sb)
                 })
                 .expect("non-empty");
             predicted_best.push(gpus[best]);
@@ -263,15 +266,18 @@ mod tests {
 
     #[test]
     fn cost_score_multiplies_price() {
-        let t = Criterion::CostEfficiency.score(GpuId::P100, 10.0);
+        let t = Criterion::CostEfficiency.score(GpuId::P100, 10.0).unwrap();
         assert!((t - 14.6).abs() < 1e-9);
-        assert_eq!(Criterion::PurePerformance.score(GpuId::A100, 5.0), 5.0);
+        assert_eq!(
+            Criterion::PurePerformance.score(GpuId::A100, 5.0),
+            Some(5.0)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "rentable")]
     fn cost_score_rejects_2080ti() {
-        Criterion::CostEfficiency.score(GpuId::Rtx2080Ti, 1.0);
+        // The 2080 Ti has no rental price: unrankable, but no panic.
+        assert_eq!(Criterion::CostEfficiency.score(GpuId::Rtx2080Ti, 1.0), None);
     }
 
     #[test]

@@ -1,13 +1,25 @@
 //! The user-facing StencilMART API: train once, then ask for the best
 //! optimization combination for a new stencil, or predict its execution
 //! time on a GPU you do not own.
+//!
+//! Two entry points: [`StencilMart`] is the training-side handle
+//! (panics on misuse, as training code controls its inputs), and
+//! [`Predictor`] is the serving-side handle — batched, memoized, and
+//! panic-free, intended to sit behind a long-lived service fed with
+//! untrusted requests and bundles loaded from disk.
 
+use crate::bundle::{BundleProvenance, ModelBundle};
 use crate::config::PipelineConfig;
 use crate::dataset::{ClassificationDataset, ProfiledCorpus, RegressionDataset};
+use crate::error::MartError;
 use crate::models::{ClassifierKind, MlpShape, RegressorKind, TrainedClassifier, TrainedRegressor};
 use crate::pcc::OcMerging;
+use std::collections::HashMap;
+use std::path::Path;
 use stencilmart_gpusim::{GpuArch, GpuId, OptCombo, ParamSetting};
 use stencilmart_ml::data::FeatureMatrix;
+use stencilmart_obs::counters::{BUNDLE_LOADS, PREDICTIONS_SERVED, PREDICT_CACHE_HITS};
+use stencilmart_stencil::canonical::canonical_key;
 use stencilmart_stencil::features::{extract, FeatureConfig};
 use stencilmart_stencil::pattern::{Dim, StencilPattern};
 use stencilmart_stencil::tensor::BinaryTensor;
@@ -105,7 +117,9 @@ impl StencilMart {
             .expect("GPU was part of training")
             .1;
         let class = model.predict(&features, &tensors, &[0])[0];
-        merging.representative(class)
+        merging
+            .representative(class)
+            .expect("trained merging covers every class")
     }
 
     /// Predict the execution time (ms) of a configured stencil kernel on
@@ -139,6 +153,320 @@ impl StencilMart {
         let tensors = FeatureMatrix::from_rows([tensor_row.as_slice()]);
         let ln = self.regressor.predict_ln_rows(&features, &tensors)[0];
         (ln as f64).exp()
+    }
+
+    /// Snapshot every trained artifact into a serializable
+    /// [`ModelBundle`].
+    pub fn to_bundle(&mut self, tool: &str) -> ModelBundle {
+        ModelBundle {
+            provenance: BundleProvenance::capture(tool, &self.cfg),
+            cfg: self.cfg.clone(),
+            dim: self.dim,
+            merging: self.merging.clone(),
+            classifiers: self
+                .classifiers
+                .iter_mut()
+                .map(|(g, c)| (*g, c.to_state()))
+                .collect(),
+            regressor: self.regressor.to_state(),
+            regression_cols: self.regression_cols,
+        }
+    }
+
+    /// Save the trained models as a versioned bundle (atomic write).
+    pub fn save(&mut self, path: &Path, tool: &str) -> Result<(), MartError> {
+        self.to_bundle(tool).save(path)
+    }
+
+    /// Rebuild a trained instance from a bundle. Validates the bundle's
+    /// invariants and every spec/weight agreement; never panics on
+    /// corrupt input.
+    pub fn from_bundle(bundle: ModelBundle) -> Result<StencilMart, MartError> {
+        bundle.validate()?;
+        let mut classifiers = Vec::with_capacity(bundle.classifiers.len());
+        for (gpu, cs) in bundle.classifiers {
+            let model = TrainedClassifier::from_state(cs).map_err(MartError::InvalidBundle)?;
+            classifiers.push((gpu, model));
+        }
+        let regressor =
+            TrainedRegressor::from_state(bundle.regressor).map_err(MartError::InvalidBundle)?;
+        Ok(StencilMart {
+            cfg: bundle.cfg,
+            dim: bundle.dim,
+            merging: bundle.merging,
+            classifiers,
+            regressor,
+            regression_cols: bundle.regression_cols,
+        })
+    }
+}
+
+/// Per-pattern memo: features extracted once per canonical key, plus
+/// the predicted class per GPU.
+struct PatternEntry {
+    table2: Vec<f32>,
+    extended: Vec<f32>,
+    tensor: Vec<f32>,
+    class_by_gpu: HashMap<GpuId, usize>,
+}
+
+impl PatternEntry {
+    fn compute(pattern: &StencilPattern) -> PatternEntry {
+        PatternEntry {
+            table2: extract(pattern, &FeatureConfig::table2()).as_f32(),
+            extended: extract(pattern, &FeatureConfig::extended()).as_f32(),
+            tensor: BinaryTensor::canvas(pattern).data().to_vec(),
+            class_by_gpu: HashMap::new(),
+        }
+    }
+}
+
+/// The serving-side prediction handle: batched APIs over slices of
+/// patterns, per-pattern canonical-key memoization, and structured
+/// errors instead of panics for every input-dependent failure mode.
+pub struct Predictor {
+    mart: StencilMart,
+    cache: HashMap<String, PatternEntry>,
+}
+
+impl Predictor {
+    /// Wrap a freshly trained instance.
+    pub fn from_mart(mart: StencilMart) -> Predictor {
+        Predictor {
+            mart,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Rebuild a predictor from a deserialized bundle.
+    pub fn from_bundle(bundle: ModelBundle) -> Result<Predictor, MartError> {
+        Ok(Predictor::from_mart(StencilMart::from_bundle(bundle)?))
+    }
+
+    /// Load, verify, and rebuild from a bundle file.
+    pub fn load(path: &Path) -> Result<Predictor, MartError> {
+        let bundle = ModelBundle::load(path)?;
+        let p = Predictor::from_bundle(bundle)?;
+        BUNDLE_LOADS.inc();
+        Ok(p)
+    }
+
+    /// Dimensionality this predictor serves.
+    pub fn dim(&self) -> Dim {
+        self.mart.dim
+    }
+
+    /// GPUs with a trained classifier, in training order.
+    pub fn gpus(&self) -> Vec<GpuId> {
+        self.mart.classifiers.iter().map(|(g, _)| *g).collect()
+    }
+
+    /// Predict the best OC for each pattern on one GPU, batching all
+    /// uncached patterns through a single model call. Per-pattern
+    /// failures (wrong dimensionality) are per-entry errors; an unknown
+    /// GPU fails every entry.
+    pub fn best_oc_batch(
+        &mut self,
+        patterns: &[StencilPattern],
+        gpu: GpuId,
+    ) -> Vec<Result<OptCombo, MartError>> {
+        let _span = stencilmart_obs::span("predict");
+        PREDICTIONS_SERVED.add(patterns.len() as u64);
+        let Some(model_pos) = self.mart.classifiers.iter().position(|(g, _)| *g == gpu) else {
+            return patterns
+                .iter()
+                .map(|_| Err(MartError::UnknownGpu(gpu.name().to_string())))
+                .collect();
+        };
+        // Phase 1: resolve cache entries, collecting the distinct
+        // uncached keys into one prediction batch.
+        let mut classes: Vec<Result<Option<usize>, MartError>> = Vec::with_capacity(patterns.len());
+        let mut pending_rows: Vec<(Vec<f32>, Vec<f32>)> = Vec::new(); // (table2, tensor)
+        let mut pending_index: HashMap<String, usize> = HashMap::new();
+        let mut pending_of: Vec<Option<(String, usize)>> = Vec::with_capacity(patterns.len());
+        for pattern in patterns {
+            if pattern.dim() != self.mart.dim {
+                classes.push(Err(MartError::DimMismatch {
+                    expected: self.mart.dim,
+                    found: pattern.dim(),
+                }));
+                pending_of.push(None);
+                continue;
+            }
+            let key = canonical_key(pattern);
+            let entry = self
+                .cache
+                .entry(key.clone())
+                .or_insert_with(|| PatternEntry::compute(pattern));
+            if let Some(&class) = entry.class_by_gpu.get(&gpu) {
+                PREDICT_CACHE_HITS.inc();
+                classes.push(Ok(Some(class)));
+                pending_of.push(None);
+            } else {
+                let next = pending_rows.len();
+                let slot = *pending_index.entry(key.clone()).or_insert_with(|| {
+                    pending_rows.push((entry.table2.clone(), entry.tensor.clone()));
+                    next
+                });
+                if slot != next {
+                    // Duplicate within this batch: model runs once.
+                    PREDICT_CACHE_HITS.inc();
+                }
+                classes.push(Ok(None));
+                pending_of.push(Some((key, slot)));
+            }
+        }
+        // Phase 2: one model call over the distinct uncached patterns.
+        let predicted: Vec<usize> = if pending_rows.is_empty() {
+            Vec::new()
+        } else {
+            let features = FeatureMatrix::from_rows(pending_rows.iter().map(|(f, _)| f.as_slice()));
+            let tensors = FeatureMatrix::from_rows(pending_rows.iter().map(|(_, t)| t.as_slice()));
+            let idx: Vec<usize> = (0..pending_rows.len()).collect();
+            self.mart.classifiers[model_pos]
+                .1
+                .predict(&features, &tensors, &idx)
+        };
+        // Phase 3: write back to the memo and map classes to OCs.
+        let merging = &self.mart.merging;
+        classes
+            .into_iter()
+            .zip(pending_of)
+            .map(|(resolved, pending)| {
+                let class = match (resolved?, pending) {
+                    (Some(class), _) => class,
+                    (None, Some((key, slot))) => {
+                        let class = predicted[slot];
+                        if let Some(entry) = self.cache.get_mut(&key) {
+                            entry.class_by_gpu.insert(gpu, class);
+                        }
+                        class
+                    }
+                    (None, None) => unreachable!("uncached entries carry a pending slot"),
+                };
+                merging
+                    .representative(class)
+                    .ok_or(MartError::UnknownClass(class))
+            })
+            .collect()
+    }
+
+    /// Predict execution times (ms) for each pattern under one
+    /// configured kernel `(oc, params)` on one GPU, batching the
+    /// regression over all valid patterns. The GPU need not be part of
+    /// training — the regressor swaps hardware features
+    /// (cross-architecture prediction).
+    pub fn predict_time_batch(
+        &mut self,
+        patterns: &[StencilPattern],
+        oc: &OptCombo,
+        params: &ParamSetting,
+        gpu: GpuId,
+    ) -> Vec<Result<f64, MartError>> {
+        let _span = stencilmart_obs::span("predict");
+        PREDICTIONS_SERVED.add(patterns.len() as u64);
+        if !oc.is_valid() {
+            return patterns
+                .iter()
+                .map(|_| {
+                    Err(MartError::BadRequest(format!(
+                        "invalid optimization combination {}",
+                        oc.name()
+                    )))
+                })
+                .collect();
+        }
+        if !params.is_valid_for(oc, self.mart.dim) {
+            return patterns
+                .iter()
+                .map(|_| {
+                    Err(MartError::BadRequest(
+                        "parameter setting is invalid for this OC and dimensionality".to_string(),
+                    ))
+                })
+                .collect();
+        }
+        let tail: Vec<f32> = {
+            let mut t: Vec<f32> = oc.feature_vector().iter().map(|&v| v as f32).collect();
+            t.extend(params.feature_vector(oc).iter().map(|&v| v as f32));
+            t.extend(
+                GpuArch::preset(gpu)
+                    .feature_vector()
+                    .iter()
+                    .map(|&v| v as f32),
+            );
+            if self.mart.cfg.include_grid_size {
+                t.push((self.mart.cfg.grid_for(self.mart.dim) as f32).log2());
+            }
+            t
+        };
+        let mut results: Vec<Result<Option<usize>, MartError>> = Vec::with_capacity(patterns.len());
+        let mut rows: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
+        for pattern in patterns {
+            if pattern.dim() != self.mart.dim {
+                results.push(Err(MartError::DimMismatch {
+                    expected: self.mart.dim,
+                    found: pattern.dim(),
+                }));
+                continue;
+            }
+            let key = canonical_key(pattern);
+            if self.cache.contains_key(&key) {
+                PREDICT_CACHE_HITS.inc();
+            }
+            let entry = self
+                .cache
+                .entry(key)
+                .or_insert_with(|| PatternEntry::compute(pattern));
+            let mut row = entry.extended.clone();
+            row.extend_from_slice(&tail);
+            if row.len() != self.mart.regression_cols {
+                results.push(Err(MartError::InvalidBundle(format!(
+                    "feature layout mismatch: built {} columns, model expects {}",
+                    row.len(),
+                    self.mart.regression_cols
+                ))));
+                continue;
+            }
+            results.push(Ok(Some(rows.len())));
+            rows.push((row, entry.tensor.clone()));
+        }
+        let times: Vec<f32> = if rows.is_empty() {
+            Vec::new()
+        } else {
+            let features = FeatureMatrix::from_rows(rows.iter().map(|(f, _)| f.as_slice()));
+            let tensors = FeatureMatrix::from_rows(rows.iter().map(|(_, t)| t.as_slice()));
+            self.mart.regressor.predict_ln_rows(&features, &tensors)
+        };
+        results
+            .into_iter()
+            .map(|r| {
+                r.map(|slot| {
+                    let ln = times[slot.expect("valid rows carry a slot")];
+                    (ln as f64).exp()
+                })
+            })
+            .collect()
+    }
+
+    /// Single-pattern convenience over [`Self::best_oc_batch`].
+    pub fn best_oc(&mut self, pattern: &StencilPattern, gpu: GpuId) -> Result<OptCombo, MartError> {
+        self.best_oc_batch(std::slice::from_ref(pattern), gpu)
+            .pop()
+            .expect("one request yields one response")
+    }
+
+    /// Single-pattern convenience over [`Self::predict_time_batch`].
+    pub fn predict_time_ms(
+        &mut self,
+        pattern: &StencilPattern,
+        oc: &OptCombo,
+        params: &ParamSetting,
+        gpu: GpuId,
+    ) -> Result<f64, MartError> {
+        self.predict_time_batch(std::slice::from_ref(pattern), oc, params, gpu)
+            .pop()
+            .expect("one request yields one response")
     }
 }
 
@@ -189,5 +517,65 @@ mod tests {
         let mut mart = tiny();
         let p = shapes::star(Dim::D3, 1);
         mart.predict_best_oc(&p, GpuId::V100);
+    }
+
+    #[test]
+    fn predictor_batch_matches_training_handle() {
+        let mut mart = tiny();
+        let a = shapes::star(Dim::D2, 2);
+        let b = shapes::box_(Dim::D2, 1);
+        let direct = [
+            mart.predict_best_oc(&a, GpuId::V100),
+            mart.predict_best_oc(&b, GpuId::V100),
+        ];
+        let mut pred = Predictor::from_mart(mart);
+        // Batch contains a duplicate: the memo must serve it without a
+        // second model call and still agree with the training handle.
+        let out = pred.best_oc_batch(&[a.clone(), b.clone(), a.clone()], GpuId::V100);
+        assert_eq!(out.len(), 3);
+        let got: Vec<&OptCombo> = out.iter().map(|r| r.as_ref().unwrap()).collect();
+        assert_eq!(*got[0], direct[0]);
+        assert_eq!(*got[1], direct[1]);
+        assert_eq!(*got[2], direct[0]);
+        // Second call over the same patterns is fully memoized.
+        let again = pred.best_oc_batch(&[a, b], GpuId::V100);
+        assert_eq!(*again[0].as_ref().unwrap(), direct[0]);
+        assert_eq!(*again[1].as_ref().unwrap(), direct[1]);
+    }
+
+    #[test]
+    fn predictor_reports_structured_errors() {
+        let mut pred = Predictor::from_mart(tiny());
+        let wrong_dim = shapes::star(Dim::D3, 1);
+        let ok = shapes::star(Dim::D2, 1);
+        let out = pred.best_oc_batch(&[wrong_dim.clone(), ok.clone()], GpuId::V100);
+        assert_eq!(out[0].as_ref().unwrap_err().kind(), "dim_mismatch");
+        assert!(out[1].is_ok());
+        // A100 was not part of the tiny training set.
+        let out = pred.best_oc_batch(std::slice::from_ref(&ok), GpuId::A100);
+        assert_eq!(out[0].as_ref().unwrap_err().kind(), "unknown_gpu");
+        // Invalid OC fails the whole time batch as a bad request.
+        let rt_only = OptCombo {
+            rt: true,
+            ..OptCombo::BASE
+        };
+        let params = ParamSetting::default_for(&OptCombo::BASE);
+        let out = pred.predict_time_batch(&[ok], &rt_only, &params, GpuId::V100);
+        assert_eq!(out[0].as_ref().unwrap_err().kind(), "bad_request");
+    }
+
+    #[test]
+    fn predictor_time_batch_matches_training_handle() {
+        let mut mart = tiny();
+        let p = shapes::box_(Dim::D2, 1);
+        let oc = OptCombo::parse("ST").unwrap();
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(1);
+        let params = ParamSpace::new(oc, Dim::D2).sample(&mut rng);
+        let direct = mart.predict_time_ms(&p, &oc, &params, GpuId::P100);
+        let mut pred = Predictor::from_mart(mart);
+        let wrong = shapes::star(Dim::D3, 1);
+        let out = pred.predict_time_batch(&[p, wrong], &oc, &params, GpuId::P100);
+        assert_eq!(out[0].as_ref().unwrap().to_bits(), direct.to_bits());
+        assert_eq!(out[1].as_ref().unwrap_err().kind(), "dim_mismatch");
     }
 }

@@ -153,7 +153,7 @@ fn an5d_time(profile: &StencilProfile, per_probe: usize) -> Option<f64> {
 /// time within the class when the representative crashed for this
 /// stencil.
 pub fn predicted_time(profile: &StencilProfile, merging: &OcMerging, class: usize) -> Option<f64> {
-    let rep = merging.representative(class);
+    let rep = merging.representative(class)?;
     // The whole sampling budget goes to the predicted OC.
     if let Some(t) = time_of(profile, &rep, usize::MAX) {
         return Some(t);
@@ -235,7 +235,7 @@ mod tests {
         let profiles = corpus.profiles_for(GpuId::V100);
         let truth: Vec<usize> = profiles
             .iter()
-            .map(|p| merging.class_of(p.best_oc().unwrap().oc.index()))
+            .map(|p| merging.class_of(p.best_oc().unwrap().oc.index()).unwrap())
             .collect();
         for policy in [BaselinePolicy::ArtemisLike, BaselinePolicy::An5dLike] {
             let sp = speedups_over_baseline(profiles, &truth, &merging, policy, 3);

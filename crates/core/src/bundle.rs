@@ -1,0 +1,269 @@
+//! Versioned model persistence: the [`ModelBundle`] packages every
+//! trained artifact of a [`crate::api::StencilMart`] — per-GPU
+//! classifiers, the cross-architecture regressor, the OC merging, the
+//! pipeline configuration, and provenance — behind an envelope carrying
+//! a format version and an FNV-1a payload checksum (the same hash the
+//! observability manifests use). Loading rejects version and checksum
+//! mismatches and validates structural invariants *before* any model is
+//! asked to predict, so corruption surfaces as a [`MartError`] instead
+//! of a panic deep inside a prediction call.
+
+use crate::config::PipelineConfig;
+use crate::error::MartError;
+use crate::models::{ClassifierState, ClassifierWeights, RegressorState, RegressorWeights};
+use crate::pcc::OcMerging;
+use crate::persist::write_atomic;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use stencilmart_gpusim::{GpuArch, GpuId, OptCombo, ParamSetting};
+use stencilmart_obs::manifest::fnv1a;
+use stencilmart_stencil::features::{extract, FeatureConfig};
+use stencilmart_stencil::pattern::Dim;
+use stencilmart_stencil::shapes;
+
+/// The bundle format this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Who produced a bundle, when, and from which configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BundleProvenance {
+    /// Emitting tool (e.g. `advisor`).
+    pub tool: String,
+    /// Git revision of the producing working tree, or `"unknown"`.
+    pub git_rev: String,
+    /// Wall-clock creation time, milliseconds since the Unix epoch.
+    pub created_unix_ms: u64,
+    /// FNV-1a hash (16 hex digits) of the serialized training
+    /// configuration — lets consumers detect config drift without
+    /// diffing the full config.
+    pub training_config_hash: String,
+}
+
+impl BundleProvenance {
+    /// Capture provenance for the current process and configuration.
+    pub fn capture(tool: &str, cfg: &PipelineConfig) -> BundleProvenance {
+        let created_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        BundleProvenance {
+            tool: tool.to_string(),
+            git_rev: stencilmart_obs::manifest::git_rev(),
+            created_unix_ms,
+            training_config_hash: config_hash(cfg),
+        }
+    }
+}
+
+/// FNV-1a hash of the serialized pipeline configuration, as 16 hex
+/// digits.
+pub fn config_hash(cfg: &PipelineConfig) -> String {
+    let repr = serde_json::to_string(cfg).expect("config serializes");
+    format!("{:016x}", fnv1a(repr.as_bytes()))
+}
+
+/// Every trained artifact of one StencilMART instance, in serializable
+/// form. This is the *payload* of the on-disk format; the envelope
+/// around it carries the version and checksum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// Who/when/what produced this bundle.
+    pub provenance: BundleProvenance,
+    /// The training configuration.
+    pub cfg: PipelineConfig,
+    /// Trained dimensionality.
+    pub dim: Dim,
+    /// PCC-derived OC merging.
+    pub merging: OcMerging,
+    /// One classifier per trained GPU.
+    pub classifiers: Vec<(GpuId, ClassifierState)>,
+    /// The cross-architecture regressor.
+    pub regressor: RegressorState,
+    /// Width of the regression feature rows.
+    pub regression_cols: usize,
+}
+
+/// The on-disk envelope: version + checksum + training-config hash
+/// around the payload JSON. The payload is embedded as a *string* so
+/// the checksum is computed over exactly the bytes that are parsed
+/// back.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Envelope {
+    format_version: u32,
+    checksum: String,
+    training_config_hash: String,
+    payload: String,
+}
+
+/// Width of the regression feature rows implied by a configuration and
+/// dimensionality — synthesized exactly the way the prediction path
+/// builds rows, so a loaded bundle's `regression_cols` can be checked
+/// against what queries will produce.
+pub fn expected_regression_cols(cfg: &PipelineConfig, dim: Dim) -> usize {
+    let pattern = shapes::star(dim, 1);
+    let oc = OptCombo::BASE;
+    let params = ParamSetting::default_for(&oc);
+    let mut n = extract(&pattern, &FeatureConfig::extended()).as_f32().len();
+    n += oc.feature_vector().len();
+    n += params.feature_vector(&oc).len();
+    n += GpuArch::preset(GpuId::V100).feature_vector().len();
+    if cfg.include_grid_size {
+        n += 1;
+    }
+    n
+}
+
+impl ModelBundle {
+    /// Serialize and write atomically (see
+    /// [`crate::persist::write_atomic`]).
+    pub fn save(&self, path: &Path) -> Result<(), MartError> {
+        let payload = serde_json::to_string(self)?;
+        let envelope = Envelope {
+            format_version: FORMAT_VERSION,
+            checksum: format!("{:016x}", fnv1a(payload.as_bytes())),
+            training_config_hash: self.provenance.training_config_hash.clone(),
+            payload,
+        };
+        let json = serde_json::to_string(&envelope)?;
+        write_atomic(path, &json)?;
+        Ok(())
+    }
+
+    /// Read, verify (version, checksum), parse, and structurally
+    /// validate a bundle. Every failure mode returns a [`MartError`];
+    /// nothing in this path panics on corrupt input.
+    pub fn load(path: &Path) -> Result<ModelBundle, MartError> {
+        let _span = stencilmart_obs::span("bundle_load");
+        let json = std::fs::read_to_string(path)?;
+        let envelope: Envelope = serde_json::from_str(&json)?;
+        if envelope.format_version != FORMAT_VERSION {
+            return Err(MartError::WrongVersion {
+                found: envelope.format_version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let computed = format!("{:016x}", fnv1a(envelope.payload.as_bytes()));
+        if computed != envelope.checksum {
+            return Err(MartError::ChecksumMismatch {
+                stored: envelope.checksum,
+                computed,
+            });
+        }
+        let bundle: ModelBundle = serde_json::from_str(&envelope.payload)?;
+        bundle.validate()?;
+        Ok(bundle)
+    }
+
+    /// Check the structural invariants a well-formed bundle satisfies:
+    /// the merging partitions the OC enumeration with in-group
+    /// representatives, every classifier agrees with the bundle's
+    /// dimensionality and the merging's class count, feature widths
+    /// agree with what the prediction path will build, and no boosted
+    /// tree reads past its feature row.
+    pub fn validate(&self) -> Result<(), MartError> {
+        let invalid = |why: String| Err(MartError::InvalidBundle(why));
+        if self.dim == Dim::D1 {
+            return invalid("1-D bundles are not supported".to_string());
+        }
+        let n_ocs = OptCombo::enumerate().len();
+        if let Err(why) = self.merging.validate(n_ocs) {
+            return invalid(format!("OC merging: {why}"));
+        }
+        if self.classifiers.is_empty() {
+            return invalid("bundle contains no classifiers".to_string());
+        }
+        let mut gpus: Vec<GpuId> = self.classifiers.iter().map(|(g, _)| *g).collect();
+        gpus.sort_unstable();
+        gpus.dedup();
+        if gpus.len() != self.classifiers.len() {
+            return invalid("duplicate GPU classifiers".to_string());
+        }
+        let class_cols = extract(&shapes::star(self.dim, 1), &FeatureConfig::table2())
+            .as_f32()
+            .len();
+        for (gpu, cs) in &self.classifiers {
+            if cs.dim != self.dim {
+                return invalid(format!(
+                    "classifier for {gpu} is {} but bundle is {}",
+                    cs.dim, self.dim
+                ));
+            }
+            if cs.classes != self.merging.classes() {
+                return invalid(format!(
+                    "classifier for {gpu} has {} classes but merging has {}",
+                    cs.classes,
+                    self.merging.classes()
+                ));
+            }
+            if let ClassifierWeights::Trees(m) = &cs.weights {
+                if let Some(max) = m.max_feature_index() {
+                    if max >= class_cols {
+                        return invalid(format!(
+                            "classifier for {gpu} reads feature {max} but rows have {class_cols}"
+                        ));
+                    }
+                }
+            }
+        }
+        if self.regressor.dim != self.dim {
+            return invalid(format!(
+                "regressor is {} but bundle is {}",
+                self.regressor.dim, self.dim
+            ));
+        }
+        let expected_cols = expected_regression_cols(&self.cfg, self.dim);
+        if self.regression_cols != expected_cols {
+            return invalid(format!(
+                "bundle declares {} regression columns but queries build {expected_cols}",
+                self.regression_cols
+            ));
+        }
+        if self.regressor.feat_cols != self.regression_cols {
+            return invalid(format!(
+                "regressor trained on {} columns but bundle declares {}",
+                self.regressor.feat_cols, self.regression_cols
+            ));
+        }
+        if let RegressorWeights::Trees(m) = &self.regressor.weights {
+            if let Some(max) = m.max_feature_index() {
+                if max >= self.regression_cols {
+                    return invalid(format!(
+                        "regressor reads feature {max} but rows have {}",
+                        self.regression_cols
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_hash_is_stable_and_sensitive() {
+        let a = PipelineConfig::default();
+        let mut b = PipelineConfig::default();
+        assert_eq!(config_hash(&a), config_hash(&b));
+        b.seed += 1;
+        assert_ne!(config_hash(&a), config_hash(&b));
+        assert_eq!(config_hash(&a).len(), 16);
+    }
+
+    #[test]
+    fn expected_regression_cols_tracks_grid_flag() {
+        let mut cfg = PipelineConfig {
+            include_grid_size: true,
+            ..PipelineConfig::default()
+        };
+        let with = expected_regression_cols(&cfg, Dim::D2);
+        cfg.include_grid_size = false;
+        assert_eq!(expected_regression_cols(&cfg, Dim::D2), with - 1);
+        // Same width in 3-D: the extended feature set is
+        // dimensionality-independent.
+        cfg.include_grid_size = true;
+        assert_eq!(expected_regression_cols(&cfg, Dim::D3), with);
+    }
+}

@@ -164,7 +164,11 @@ impl ClassificationDataset {
             let Some(best) = profile.best_oc() else {
                 continue; // every OC crashed (does not happen in practice)
             };
-            labels.push(merging.class_of(best.oc.index()));
+            labels.push(
+                merging
+                    .class_of(best.oc.index())
+                    .expect("derived merging covers every OC"),
+            );
             feat_rows.push(extract(pattern, &fc).as_f32());
             tensor_rows.push(BinaryTensor::canvas(pattern).data().to_vec());
             stencil_of_row.push(i);

@@ -1,0 +1,174 @@
+//! The structured error type for the persistence + prediction
+//! subsystem.
+//!
+//! Every failure mode that is reachable from *deserialized or
+//! user-supplied data* — corrupt bundles, wrong-dimensionality queries,
+//! unknown GPUs, unrankable criteria — maps to a [`MartError`] variant
+//! instead of a panic, so a long-lived prediction service can reject one
+//! bad request and keep serving.
+
+use std::fmt;
+use std::io;
+use stencilmart_gpusim::GpuId;
+use stencilmart_stencil::pattern::Dim;
+
+/// Errors from bundle persistence and the batched prediction API.
+#[derive(Debug)]
+pub enum MartError {
+    /// Underlying I/O failure (missing file, permission, rename…).
+    Io(io::Error),
+    /// JSON (de)serialization failure, including truncated files.
+    Parse(serde_json::Error),
+    /// The bundle's format version is not the one this build reads.
+    WrongVersion {
+        /// Version recorded in the envelope.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+    /// The payload bytes do not hash to the envelope's checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the envelope.
+        stored: String,
+        /// Checksum recomputed over the payload.
+        computed: String,
+    },
+    /// The bundle parsed but violates a structural invariant (merging
+    /// coverage, representative membership, feature widths…).
+    InvalidBundle(String),
+    /// A query's stencil dimensionality differs from the trained one.
+    DimMismatch {
+        /// Dimensionality the model was trained for.
+        expected: Dim,
+        /// Dimensionality of the query pattern.
+        found: Dim,
+    },
+    /// The requested GPU has no trained classifier (or the name did not
+    /// parse).
+    UnknownGpu(String),
+    /// The classifier produced a class with no representative — only
+    /// possible with a corrupt merging.
+    UnknownClass(usize),
+    /// The GPU cannot be ranked under the requested criterion (e.g.
+    /// cost efficiency without a rental price).
+    UnrankableGpu(GpuId),
+    /// A malformed request (bad pattern offsets, unknown OC name…).
+    BadRequest(String),
+}
+
+impl fmt::Display for MartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MartError::Io(e) => write!(f, "I/O error: {e}"),
+            MartError::Parse(e) => write!(f, "parse error: {e}"),
+            MartError::WrongVersion { found, expected } => {
+                write!(f, "bundle format version {found}, expected {expected}")
+            }
+            MartError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "payload checksum {computed} does not match stored {stored}"
+                )
+            }
+            MartError::InvalidBundle(why) => write!(f, "invalid bundle: {why}"),
+            MartError::DimMismatch { expected, found } => {
+                write!(
+                    f,
+                    "dimensionality mismatch: model is {expected}, query is {found}"
+                )
+            }
+            MartError::UnknownGpu(name) => write!(f, "unknown or untrained GPU: {name}"),
+            MartError::UnknownClass(c) => write!(f, "predicted class {c} has no representative"),
+            MartError::UnrankableGpu(g) => {
+                write!(f, "GPU {g} cannot be ranked under this criterion")
+            }
+            MartError::BadRequest(why) => write!(f, "bad request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MartError::Io(e) => Some(e),
+            MartError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for MartError {
+    fn from(e: io::Error) -> Self {
+        MartError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for MartError {
+    fn from(e: serde_json::Error) -> Self {
+        MartError::Parse(e)
+    }
+}
+
+impl MartError {
+    /// A short machine-readable tag for structured (JSONL) error
+    /// responses, stable across message-wording changes.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MartError::Io(_) => "io",
+            MartError::Parse(_) => "parse",
+            MartError::WrongVersion { .. } => "wrong_version",
+            MartError::ChecksumMismatch { .. } => "checksum_mismatch",
+            MartError::InvalidBundle(_) => "invalid_bundle",
+            MartError::DimMismatch { .. } => "dim_mismatch",
+            MartError::UnknownGpu(_) => "unknown_gpu",
+            MartError::UnknownClass(_) => "unknown_class",
+            MartError::UnrankableGpu(_) => "unrankable_gpu",
+            MartError::BadRequest(_) => "bad_request",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_every_variant() {
+        let cases: Vec<(MartError, &str)> = vec![
+            (
+                MartError::Io(io::Error::new(io::ErrorKind::NotFound, "gone")),
+                "I/O",
+            ),
+            (
+                MartError::WrongVersion {
+                    found: 7,
+                    expected: 1,
+                },
+                "version 7",
+            ),
+            (
+                MartError::ChecksumMismatch {
+                    stored: "aa".into(),
+                    computed: "bb".into(),
+                },
+                "checksum",
+            ),
+            (MartError::InvalidBundle("broken".into()), "broken"),
+            (
+                MartError::DimMismatch {
+                    expected: Dim::D2,
+                    found: Dim::D3,
+                },
+                "model is 2d",
+            ),
+            (MartError::UnknownGpu("H100".into()), "H100"),
+            (MartError::UnknownClass(9), "class 9"),
+            (MartError::UnrankableGpu(GpuId::Rtx2080Ti), "2080Ti"),
+            (MartError::BadRequest("no offsets".into()), "no offsets"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+            assert!(!err.kind().is_empty());
+        }
+    }
+}

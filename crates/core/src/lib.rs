@@ -49,9 +49,11 @@ pub mod ablations;
 pub mod advisor;
 pub mod api;
 pub mod baselines;
+pub mod bundle;
 pub mod classify;
 pub mod config;
 pub mod dataset;
+pub mod error;
 pub mod experiments;
 pub mod models;
 pub mod pcc;
@@ -59,8 +61,10 @@ pub mod persist;
 pub mod ranking;
 pub mod regress;
 
-pub use api::StencilMart;
+pub use api::{Predictor, StencilMart};
+pub use bundle::ModelBundle;
 pub use config::PipelineConfig;
 pub use dataset::{ClassificationDataset, ProfiledCorpus, RegressionDataset};
+pub use error::MartError;
 pub use models::{ClassifierKind, MlpShape, RegressorKind};
 pub use pcc::OcMerging;

@@ -16,8 +16,9 @@ use serde::{Deserialize, Serialize};
 use stencilmart_ml::data::{FeatureMatrix, MaxNormalizer};
 use stencilmart_ml::gbdt::tree::TreeConfig;
 use stencilmart_ml::nn::{
-    predict_classes, predict_scalars, train_classifier, train_regressor, Conv2d, Conv3d, Dense,
-    Flatten, Net, Relu, Reshape, Sequential, TrainConfig, TwoBranch,
+    export_params, import_params, predict_classes, predict_scalars, train_classifier,
+    train_regressor, Conv2d, Conv3d, Dense, Flatten, Net, Relu, Reshape, Sequential, TrainConfig,
+    TwoBranch,
 };
 use stencilmart_ml::tensor::Tensor;
 use stencilmart_ml::{GbdtClassifier, GbdtConfig, GbdtRegressor};
@@ -266,12 +267,50 @@ pub fn regressor_train_config(seed: u64) -> TrainConfig {
     }
 }
 
-/// A trained OC-selection classifier.
-pub enum TrainedClassifier {
+/// The model half of a trained classifier.
+enum ClassifierModel {
     /// Tensor-input network (ConvNet or FcNet).
     Network(Box<dyn Net>),
     /// Feature-input boosted trees.
     Trees(GbdtClassifier),
+}
+
+/// A trained OC-selection classifier, carrying the rebuild spec (kind,
+/// dimensionality, class count, seed) alongside the fitted model so it
+/// can be serialized as spec + weights and restored bit-identically.
+pub struct TrainedClassifier {
+    kind: ClassifierKind,
+    dim: Dim,
+    classes: usize,
+    seed: u64,
+    model: ClassifierModel,
+}
+
+/// Serializable weights of one [`TrainedClassifier`]. Networks store a
+/// flat parameter vector (the architecture is rebuilt from the spec);
+/// boosted trees serialize their full structure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ClassifierWeights {
+    /// Flat parameter vector in `visit_params` order.
+    Network(Vec<f32>),
+    /// Full boosted-tree model.
+    Trees(GbdtClassifier),
+}
+
+/// The serializable state of a [`TrainedClassifier`]: rebuild spec plus
+/// weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassifierState {
+    /// Classification mechanism.
+    pub kind: ClassifierKind,
+    /// Trained dimensionality.
+    pub dim: Dim,
+    /// Number of prediction classes.
+    pub classes: usize,
+    /// Architecture/initialization seed.
+    pub seed: u64,
+    /// Model weights.
+    pub weights: ClassifierWeights,
 }
 
 impl TrainedClassifier {
@@ -288,27 +327,34 @@ impl TrainedClassifier {
         seed: u64,
     ) -> TrainedClassifier {
         let train_labels: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
-        match kind {
+        let model = match kind {
             ClassifierKind::Gbdt => {
                 let x = features.select(train_idx);
-                let model =
-                    GbdtClassifier::fit(&x, &train_labels, classes, &gbdt_classifier_config(seed));
-                TrainedClassifier::Trees(model)
+                ClassifierModel::Trees(GbdtClassifier::fit(
+                    &x,
+                    &train_labels,
+                    classes,
+                    &gbdt_classifier_config(seed),
+                ))
             }
             ClassifierKind::ConvNet | ClassifierKind::FcNet => {
                 let x = matrix_to_tensor(&tensors.select(train_idx));
-                let mut net: Box<dyn Net> = match kind {
-                    ClassifierKind::ConvNet => Box::new(build_convnet(dim, classes, seed)),
-                    _ => Box::new(build_fcnet(dim, classes, seed)),
-                };
+                let mut net = build_classifier_net(kind, dim, classes, seed);
                 train_classifier(
                     net.as_mut(),
                     &x,
                     &train_labels,
                     &classifier_train_config(seed),
                 );
-                TrainedClassifier::Network(net)
+                ClassifierModel::Network(net)
             }
+        };
+        TrainedClassifier {
+            kind,
+            dim,
+            classes,
+            seed,
+            model,
         }
     }
 
@@ -319,18 +365,108 @@ impl TrainedClassifier {
         tensors: &FeatureMatrix,
         idx: &[usize],
     ) -> Vec<usize> {
-        match self {
-            TrainedClassifier::Trees(m) => m.predict(&features.select(idx)),
-            TrainedClassifier::Network(net) => {
+        match &mut self.model {
+            ClassifierModel::Trees(m) => m.predict(&features.select(idx)),
+            ClassifierModel::Network(net) => {
                 let x = matrix_to_tensor(&tensors.select(idx));
                 predict_classes(net.as_mut(), &x)
             }
         }
     }
+
+    /// Classification mechanism.
+    pub fn kind(&self) -> ClassifierKind {
+        self.kind
+    }
+
+    /// Number of prediction classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Highest feature index the boosted trees read (`None` for
+    /// networks and pure-leaf trees) — bundle loading validates this
+    /// against the feature width before any prediction.
+    pub fn max_feature_index(&self) -> Option<usize> {
+        match &self.model {
+            ClassifierModel::Trees(m) => m.max_feature_index(),
+            ClassifierModel::Network(_) => None,
+        }
+    }
+
+    /// Snapshot the serializable state (spec + weights).
+    pub fn to_state(&mut self) -> ClassifierState {
+        let weights = match &mut self.model {
+            ClassifierModel::Trees(m) => ClassifierWeights::Trees(m.clone()),
+            ClassifierModel::Network(net) => {
+                ClassifierWeights::Network(export_params(net.as_mut()))
+            }
+        };
+        ClassifierState {
+            kind: self.kind,
+            dim: self.dim,
+            classes: self.classes,
+            seed: self.seed,
+            weights,
+        }
+    }
+
+    /// Restore from a state snapshot: rebuild the architecture from the
+    /// spec, then overwrite the weights. Errors (never panics) when the
+    /// spec and weights disagree — the symptom of a corrupt or
+    /// hand-edited bundle.
+    pub fn from_state(state: ClassifierState) -> Result<TrainedClassifier, String> {
+        if state.classes == 0 {
+            return Err("classifier state declares zero classes".to_string());
+        }
+        let model = match (state.kind, state.weights) {
+            (ClassifierKind::Gbdt, ClassifierWeights::Trees(m)) => {
+                if m.classes() != state.classes {
+                    return Err(format!(
+                        "classifier state declares {} classes but trees have {}",
+                        state.classes,
+                        m.classes()
+                    ));
+                }
+                ClassifierModel::Trees(m)
+            }
+            (ClassifierKind::ConvNet | ClassifierKind::FcNet, ClassifierWeights::Network(flat)) => {
+                if state.dim == Dim::D1 {
+                    return Err("1-D classifiers are not supported".to_string());
+                }
+                let mut net =
+                    build_classifier_net(state.kind, state.dim, state.classes, state.seed);
+                import_params(net.as_mut(), &flat)?;
+                ClassifierModel::Network(net)
+            }
+            (kind, _) => {
+                return Err(format!(
+                    "classifier weights do not match mechanism {}",
+                    kind.name()
+                ));
+            }
+        };
+        Ok(TrainedClassifier {
+            kind: state.kind,
+            dim: state.dim,
+            classes: state.classes,
+            seed: state.seed,
+            model,
+        })
+    }
 }
 
-/// A trained performance regressor (predicts `ln(time_ms)`).
-pub enum TrainedRegressor {
+/// Build the (untrained) network for a network-based classifier kind.
+fn build_classifier_net(kind: ClassifierKind, dim: Dim, classes: usize, seed: u64) -> Box<dyn Net> {
+    match kind {
+        ClassifierKind::ConvNet => Box::new(build_convnet(dim, classes, seed)),
+        ClassifierKind::FcNet => Box::new(build_fcnet(dim, classes, seed)),
+        ClassifierKind::Gbdt => unreachable!("GBDT classifiers have no network"),
+    }
+}
+
+/// The model half of a trained regressor.
+enum RegressorModel {
     /// Feature-input MLP with its input normalizer.
     Mlp {
         /// The trained network.
@@ -349,6 +485,57 @@ pub enum TrainedRegressor {
     Trees(GbdtRegressor),
 }
 
+/// A trained performance regressor (predicts `ln(time_ms)`), carrying
+/// its rebuild spec (kind, dimensionality, MLP shape, feature width,
+/// seed) alongside the fitted model.
+pub struct TrainedRegressor {
+    kind: RegressorKind,
+    dim: Dim,
+    shape: MlpShape,
+    feat_cols: usize,
+    seed: u64,
+    model: RegressorModel,
+}
+
+/// Serializable weights of one [`TrainedRegressor`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum RegressorWeights {
+    /// MLP: flat parameter vector plus the fitted input normalizer.
+    Mlp {
+        /// Flat parameters in `visit_params` order.
+        params: Vec<f32>,
+        /// Fitted input normalizer.
+        norm: MaxNormalizer,
+    },
+    /// ConvMLP: flat parameter vector plus the fitted input normalizer.
+    ConvMlp {
+        /// Flat parameters in `visit_params` order.
+        params: Vec<f32>,
+        /// Fitted input normalizer.
+        norm: MaxNormalizer,
+    },
+    /// Full boosted-tree model.
+    Trees(GbdtRegressor),
+}
+
+/// The serializable state of a [`TrainedRegressor`]: rebuild spec plus
+/// weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressorState {
+    /// Regression mechanism.
+    pub kind: RegressorKind,
+    /// Trained dimensionality.
+    pub dim: Dim,
+    /// MLP topology.
+    pub shape: MlpShape,
+    /// Width of the regression feature rows.
+    pub feat_cols: usize,
+    /// Architecture/initialization seed.
+    pub seed: u64,
+    /// Model weights.
+    pub weights: RegressorWeights,
+}
+
 impl TrainedRegressor {
     /// Train the given mechanism on the selected rows.
     #[allow(clippy::too_many_arguments)]
@@ -363,10 +550,10 @@ impl TrainedRegressor {
         seed: u64,
     ) -> TrainedRegressor {
         let y: Vec<f32> = train_idx.iter().map(|&i| targets_ln[i]).collect();
-        match kind {
+        let model = match kind {
             RegressorKind::GbRegressor => {
                 let x = features.select(train_idx);
-                TrainedRegressor::Trees(GbdtRegressor::fit(&x, &y, &gbdt_regressor_config(seed)))
+                RegressorModel::Trees(GbdtRegressor::fit(&x, &y, &gbdt_regressor_config(seed)))
             }
             RegressorKind::Mlp => {
                 let x_raw = features.select(train_idx);
@@ -374,7 +561,7 @@ impl TrainedRegressor {
                 let x = matrix_to_tensor(&norm.transform(&x_raw));
                 let mut net = build_mlp(features.cols(), shape, seed);
                 train_regressor(&mut net, &x, &y, &regressor_train_config(seed));
-                TrainedRegressor::Mlp { net, norm }
+                RegressorModel::Mlp { net, norm }
             }
             RegressorKind::ConvMlp => {
                 let f_raw = features.select(train_idx);
@@ -384,8 +571,16 @@ impl TrainedRegressor {
                 let x = concat_tensor(&t, &f);
                 let mut net = build_convmlp(dim, features.cols(), seed);
                 train_regressor(&mut net, &x, &y, &regressor_train_config(seed));
-                TrainedRegressor::ConvMlp { net, norm }
+                RegressorModel::ConvMlp { net, norm }
             }
+        };
+        TrainedRegressor {
+            kind,
+            dim,
+            shape,
+            feat_cols: features.cols(),
+            seed,
+            model,
         }
     }
 
@@ -396,13 +591,13 @@ impl TrainedRegressor {
         tensors: &FeatureMatrix,
         idx: &[usize],
     ) -> Vec<f32> {
-        match self {
-            TrainedRegressor::Trees(m) => m.predict(&features.select(idx)),
-            TrainedRegressor::Mlp { net, norm } => {
+        match &mut self.model {
+            RegressorModel::Trees(m) => m.predict(&features.select(idx)),
+            RegressorModel::Mlp { net, norm } => {
                 let x = matrix_to_tensor(&norm.transform(&features.select(idx)));
                 predict_scalars(net, &x)
             }
-            TrainedRegressor::ConvMlp { net, norm } => {
+            RegressorModel::ConvMlp { net, norm } => {
                 let f = norm.transform(&features.select(idx));
                 let t = tensors.select(idx);
                 predict_scalars(net, &concat_tensor(&t, &f))
@@ -419,6 +614,93 @@ impl TrainedRegressor {
     ) -> Vec<f32> {
         let idx: Vec<usize> = (0..feature_rows.rows()).collect();
         self.predict_ln(feature_rows, tensor_rows, &idx)
+    }
+
+    /// Regression mechanism.
+    pub fn kind(&self) -> RegressorKind {
+        self.kind
+    }
+
+    /// Width of the regression feature rows the model was trained on.
+    pub fn feat_cols(&self) -> usize {
+        self.feat_cols
+    }
+
+    /// Highest feature index the boosted trees read (`None` for
+    /// networks and pure-leaf trees).
+    pub fn max_feature_index(&self) -> Option<usize> {
+        match &self.model {
+            RegressorModel::Trees(m) => m.max_feature_index(),
+            _ => None,
+        }
+    }
+
+    /// Snapshot the serializable state (spec + weights).
+    pub fn to_state(&mut self) -> RegressorState {
+        let weights = match &mut self.model {
+            RegressorModel::Trees(m) => RegressorWeights::Trees(m.clone()),
+            RegressorModel::Mlp { net, norm } => RegressorWeights::Mlp {
+                params: export_params(net),
+                norm: norm.clone(),
+            },
+            RegressorModel::ConvMlp { net, norm } => RegressorWeights::ConvMlp {
+                params: export_params(net),
+                norm: norm.clone(),
+            },
+        };
+        RegressorState {
+            kind: self.kind,
+            dim: self.dim,
+            shape: self.shape,
+            feat_cols: self.feat_cols,
+            seed: self.seed,
+            weights,
+        }
+    }
+
+    /// Restore from a state snapshot: rebuild the architecture from the
+    /// spec, then overwrite the weights. Errors (never panics) when the
+    /// spec and weights disagree.
+    pub fn from_state(state: RegressorState) -> Result<TrainedRegressor, String> {
+        let model = match (state.kind, state.weights) {
+            (RegressorKind::GbRegressor, RegressorWeights::Trees(m)) => RegressorModel::Trees(m),
+            (RegressorKind::Mlp, RegressorWeights::Mlp { params, norm }) => {
+                if state.shape.hidden_layers < 1 {
+                    return Err("MLP state declares zero hidden layers".to_string());
+                }
+                if state.feat_cols == 0 {
+                    return Err("MLP state declares zero feature columns".to_string());
+                }
+                let mut net = build_mlp(state.feat_cols, state.shape, state.seed);
+                import_params(&mut net, &params)?;
+                RegressorModel::Mlp { net, norm }
+            }
+            (RegressorKind::ConvMlp, RegressorWeights::ConvMlp { params, norm }) => {
+                if state.dim == Dim::D1 {
+                    return Err("1-D regressors are not supported".to_string());
+                }
+                if state.feat_cols == 0 {
+                    return Err("ConvMLP state declares zero feature columns".to_string());
+                }
+                let mut net = build_convmlp(state.dim, state.feat_cols, state.seed);
+                import_params(&mut net, &params)?;
+                RegressorModel::ConvMlp { net, norm }
+            }
+            (kind, _) => {
+                return Err(format!(
+                    "regressor weights do not match mechanism {}",
+                    kind.name()
+                ));
+            }
+        };
+        Ok(TrainedRegressor {
+            kind: state.kind,
+            dim: state.dim,
+            shape: state.shape,
+            feat_cols: state.feat_cols,
+            seed: state.seed,
+            model,
+        })
     }
 }
 
@@ -551,5 +833,126 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(ClassifierKind::ConvNet.name(), "ConvNet");
         assert_eq!(RegressorKind::GbRegressor.name(), "GBRegressor");
+    }
+
+    fn tiny_classification_data() -> (FeatureMatrix, FeatureMatrix, Vec<usize>) {
+        let n = 40;
+        let mut feat_rows = Vec::new();
+        let mut tensor_rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let v = i as f32 / n as f32;
+            feat_rows.push(vec![v; 11]);
+            let mut t = vec![0.0f32; 81];
+            t[..(v * 80.0) as usize].fill(1.0);
+            tensor_rows.push(t);
+            labels.push(usize::from(v > 0.5));
+        }
+        (
+            FeatureMatrix::from_rows(feat_rows.iter().map(Vec::as_slice)),
+            FeatureMatrix::from_rows(tensor_rows.iter().map(Vec::as_slice)),
+            labels,
+        )
+    }
+
+    #[test]
+    fn classifier_state_roundtrip_is_bit_identical() {
+        let (features, tensors, labels) = tiny_classification_data();
+        let idx: Vec<usize> = (0..labels.len()).collect();
+        for kind in ClassifierKind::ALL {
+            let mut model =
+                TrainedClassifier::train(kind, Dim::D2, 2, &features, &tensors, &labels, &idx, 1);
+            let state = model.to_state();
+            let json = serde_json::to_string(&state).unwrap();
+            let restored_state: ClassifierState = serde_json::from_str(&json).unwrap();
+            let mut restored = TrainedClassifier::from_state(restored_state).unwrap();
+            assert_eq!(
+                model.predict(&features, &tensors, &idx),
+                restored.predict(&features, &tensors, &idx),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn regressor_state_roundtrip_is_bit_identical() {
+        let n = 60;
+        let mut feat_rows = Vec::new();
+        let mut tensor_rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let v = i as f32 / n as f32;
+            feat_rows.push(vec![v, 1.0 - v, 0.5]);
+            tensor_rows.push(vec![v; 81]);
+            y.push(2.0 * v - 1.0);
+        }
+        let features = FeatureMatrix::from_rows(feat_rows.iter().map(Vec::as_slice));
+        let tensors = FeatureMatrix::from_rows(tensor_rows.iter().map(Vec::as_slice));
+        let idx: Vec<usize> = (0..n).collect();
+        let shape = MlpShape {
+            hidden_layers: 2,
+            width: 16,
+        };
+        for kind in RegressorKind::ALL {
+            let mut model =
+                TrainedRegressor::train(kind, Dim::D2, shape, &features, &tensors, &y, &idx, 2);
+            let state = model.to_state();
+            let json = serde_json::to_string(&state).unwrap();
+            let restored_state: RegressorState = serde_json::from_str(&json).unwrap();
+            let mut restored = TrainedRegressor::from_state(restored_state).unwrap();
+            let a = model.predict_ln(&features, &tensors, &idx);
+            let b = restored.predict_ln(&features, &tensors, &idx);
+            assert_eq!(a, b, "{} predictions must be bit-identical", kind.name());
+        }
+    }
+
+    #[test]
+    fn from_state_rejects_spec_weight_mismatches() {
+        let (features, tensors, labels) = tiny_classification_data();
+        let idx: Vec<usize> = (0..labels.len()).collect();
+        let mut gbdt = TrainedClassifier::train(
+            ClassifierKind::Gbdt,
+            Dim::D2,
+            2,
+            &features,
+            &tensors,
+            &labels,
+            &idx,
+            1,
+        );
+        // Tree weights declared as a network mechanism.
+        let mut state = gbdt.to_state();
+        state.kind = ClassifierKind::ConvNet;
+        assert!(TrainedClassifier::from_state(state)
+            .err()
+            .unwrap()
+            .contains("do not match"));
+        // Wrong class count.
+        let mut state = gbdt.to_state();
+        state.classes = 7;
+        assert!(TrainedClassifier::from_state(state)
+            .err()
+            .unwrap()
+            .contains("classes"));
+        // Truncated network parameters.
+        let mut fc = TrainedClassifier::train(
+            ClassifierKind::FcNet,
+            Dim::D2,
+            2,
+            &features,
+            &tensors,
+            &labels,
+            &idx,
+            1,
+        );
+        let mut state = fc.to_state();
+        if let ClassifierWeights::Network(p) = &mut state.weights {
+            p.truncate(10);
+        }
+        assert!(TrainedClassifier::from_state(state)
+            .err()
+            .unwrap()
+            .contains("parameter count mismatch"));
     }
 }

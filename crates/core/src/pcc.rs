@@ -31,13 +31,17 @@ pub fn oc_time_matrix(profiles: &[StencilProfile]) -> Vec<Vec<Option<f64>>> {
 /// of magnitude). Entries with fewer than 3 common stencils are 0.
 pub fn pairwise_pcc(matrix: &[Vec<Option<f64>>]) -> Vec<Vec<f64>> {
     let n_oc = matrix.first().map_or(0, Vec::len);
+    // Rows whose width disagrees with the first row (possible after
+    // deserializing a hand-edited corpus) cannot be indexed by OC —
+    // skip them instead of panicking on an out-of-bounds column.
+    let rows: Vec<&Vec<Option<f64>>> = matrix.iter().filter(|r| r.len() == n_oc).collect();
     let mut out = vec![vec![0.0; n_oc]; n_oc];
     for a in 0..n_oc {
         out[a][a] = 1.0;
         for b in (a + 1)..n_oc {
             let mut xs = Vec::new();
             let mut ys = Vec::new();
-            for row in matrix {
+            for row in &rows {
                 if let (Some(x), Some(y)) = (row[a], row[b]) {
                     xs.push(x.ln());
                     ys.push(y.ln());
@@ -60,6 +64,9 @@ pub fn pairwise_pcc(matrix: &[Vec<Option<f64>>]) -> Vec<Vec<f64>> {
 #[allow(clippy::needless_range_loop)] // symmetric-matrix upper-triangle walk
 pub fn top_pairs(pcc: &[Vec<f64>], k: usize) -> Vec<(usize, usize, f64)> {
     let n = pcc.len();
+    if n < 2 {
+        return Vec::new();
+    }
     let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
     for a in 0..n {
         for b in (a + 1)..n {
@@ -91,7 +98,12 @@ pub fn top_pair_intersection(per_gpu_pcc: &[Vec<Vec<f64>>], k: usize) -> f64 {
         .iter()
         .filter(|pair| sets.iter().all(|s| s.contains(pair)))
         .count();
-    inter as f64 / k as f64
+    // With fewer than k pairs in the matrix the lists are shorter than
+    // k; dividing by k would report identical lists as < 1.0.
+    if first.is_empty() {
+        return 0.0;
+    }
+    inter as f64 / first.len() as f64
 }
 
 /// The result of merging OCs into prediction classes.
@@ -110,17 +122,56 @@ impl OcMerging {
         self.groups.len()
     }
 
-    /// Group (class label) of an OC index.
-    pub fn class_of(&self, oc_index: usize) -> usize {
-        self.groups
-            .iter()
-            .position(|g| g.contains(&oc_index))
-            .expect("every OC belongs to a group")
+    /// Group (class label) of an OC index, or `None` when the OC is in
+    /// no group — reachable with a hand-edited or corrupted merging, so
+    /// this must not panic. Mergings produced by [`merge_ocs`] cover
+    /// every OC.
+    pub fn class_of(&self, oc_index: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&oc_index))
     }
 
-    /// The representative OC of a class.
-    pub fn representative(&self, class: usize) -> OptCombo {
-        OptCombo::enumerate()[self.representatives[class]]
+    /// The representative OC of a class, or `None` when the class index
+    /// or the stored representative OC index is out of range (both
+    /// reachable from deserialized data).
+    pub fn representative(&self, class: usize) -> Option<OptCombo> {
+        let oc_index = *self.representatives.get(class)?;
+        OptCombo::enumerate().get(oc_index).copied()
+    }
+
+    /// Structural validation for deserialized mergings: every OC index
+    /// in `0..n_ocs` appears in exactly one group, and each group's
+    /// representative is one of its own members. Returns a description
+    /// of the first violation.
+    pub fn validate(&self, n_ocs: usize) -> Result<(), String> {
+        if self.groups.len() != self.representatives.len() {
+            return Err(format!(
+                "{} groups but {} representatives",
+                self.groups.len(),
+                self.representatives.len()
+            ));
+        }
+        let mut seen = vec![0usize; n_ocs];
+        for (gi, group) in self.groups.iter().enumerate() {
+            for &oc in group {
+                if oc >= n_ocs {
+                    return Err(format!("group {gi} contains OC index {oc} >= {n_ocs}"));
+                }
+                seen[oc] += 1;
+            }
+            let rep = self.representatives[gi];
+            if !group.contains(&rep) {
+                return Err(format!(
+                    "representative {rep} is not a member of group {gi}"
+                ));
+            }
+        }
+        if let Some(oc) = seen.iter().position(|&c| c == 0) {
+            return Err(format!("OC index {oc} belongs to no group"));
+        }
+        if let Some(oc) = seen.iter().position(|&c| c > 1) {
+            return Err(format!("OC index {oc} belongs to {} groups", seen[oc]));
+        }
+        Ok(())
     }
 }
 
@@ -135,7 +186,9 @@ pub fn pairwise_log_gap(matrices: &[Vec<Vec<Option<f64>>>]) -> Vec<Vec<f64>> {
             let mut sum = 0.0;
             let mut cnt = 0usize;
             for matrix in matrices {
-                for row in matrix {
+                // Skip width-mismatched rows for the same reason as
+                // `pairwise_pcc`.
+                for row in matrix.iter().filter(|r| r.len() == n_oc) {
                     if let (Some(x), Some(y)) = (row[a], row[b]) {
                         sum += (x.ln() - y.ln()).abs();
                         cnt += 1;
@@ -321,9 +374,9 @@ mod tests {
         assert_eq!(merging.classes(), 2);
         // OCs 0, 1 (and 3, which tracks them) group together; OC 2 stands
         // apart as the anti-correlated one.
-        let class0 = merging.class_of(0);
-        assert_eq!(merging.class_of(1), class0);
-        assert_ne!(merging.class_of(2), class0);
+        let class0 = merging.class_of(0).unwrap();
+        assert_eq!(merging.class_of(1), Some(class0));
+        assert_ne!(merging.class_of(2), Some(class0));
         // Representative of OC 0's group is OC 0 (most wins).
         assert_eq!(merging.representatives[class0], 0);
     }
@@ -334,7 +387,7 @@ mod tests {
         let merging = merge_ocs(&[pcc], &[toy_matrix()], &[1, 1, 1, 1], 4);
         assert_eq!(merging.classes(), 4);
         for i in 0..4 {
-            assert_eq!(merging.class_of(i), i);
+            assert_eq!(merging.class_of(i), Some(i));
         }
     }
 
@@ -343,8 +396,83 @@ mod tests {
         let pcc = pairwise_pcc(&toy_matrix());
         let merging = merge_ocs(&[pcc], &[toy_matrix()], &[0, 0, 0, 0], 2);
         for i in 0..4 {
-            let c = merging.class_of(i);
+            let c = merging
+                .class_of(i)
+                .expect("derived merging covers every OC");
             assert!(c < 2);
         }
+        assert!(merging.validate(4).is_ok());
+    }
+
+    #[test]
+    fn intersection_with_k_beyond_pair_count_is_one() {
+        // 4 OCs → 6 pairs; k = 100 truncates to 6. Identical lists must
+        // still intersect fully.
+        let pcc = pairwise_pcc(&toy_matrix());
+        let frac = top_pair_intersection(&[pcc.clone(), pcc], 100);
+        assert_eq!(frac, 1.0);
+        assert_eq!(top_pair_intersection(&[], 10), 0.0);
+        assert_eq!(top_pair_intersection(&[vec![]], 10), 0.0);
+    }
+
+    #[test]
+    fn ragged_matrix_does_not_panic() {
+        let mut m = toy_matrix();
+        m[2].truncate(2); // hand-edited corpus: one short row
+        m.push(vec![Some(1.0); 7]); // and one over-wide row
+        let pcc = pairwise_pcc(&m);
+        assert_eq!(pcc.len(), 4);
+        assert!((pcc[0][1] - 1.0).abs() < 1e-9, "computed over intact rows");
+        let gap = pairwise_log_gap(&[m]);
+        assert_eq!(gap.len(), 4);
+        assert!(gap[0][1].is_finite());
+    }
+
+    #[test]
+    fn class_of_and_representative_handle_out_of_range() {
+        let merging = OcMerging {
+            groups: vec![vec![0, 1], vec![2, 3]],
+            representatives: vec![0, 2],
+        };
+        assert_eq!(merging.class_of(99), None);
+        assert_eq!(merging.representative(7), None);
+        assert!(merging.representative(0).is_some());
+        let broken = OcMerging {
+            groups: vec![vec![0, 1]],
+            representatives: vec![500],
+        };
+        assert_eq!(broken.representative(0), None);
+    }
+
+    #[test]
+    fn validate_flags_structural_violations() {
+        let good = OcMerging {
+            groups: vec![vec![0, 1], vec![2]],
+            representatives: vec![1, 2],
+        };
+        assert!(good.validate(3).is_ok());
+        let missing = OcMerging {
+            groups: vec![vec![0], vec![2]],
+            representatives: vec![0, 2],
+        };
+        assert!(missing.validate(3).unwrap_err().contains("no group"));
+        let doubled = OcMerging {
+            groups: vec![vec![0, 1], vec![1, 2]],
+            representatives: vec![0, 2],
+        };
+        assert!(doubled.validate(3).unwrap_err().contains("2 groups"));
+        let foreign_rep = OcMerging {
+            groups: vec![vec![0, 1], vec![2]],
+            representatives: vec![2, 2],
+        };
+        assert!(foreign_rep
+            .validate(3)
+            .unwrap_err()
+            .contains("not a member"));
+        let out_of_range = OcMerging {
+            groups: vec![vec![0, 7]],
+            representatives: vec![0],
+        };
+        assert!(out_of_range.validate(3).unwrap_err().contains(">="));
     }
 }

@@ -41,10 +41,42 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
-/// Save a profiled corpus as JSON.
+/// Write `contents` to `path` atomically: the bytes land in a temporary
+/// file in the *same directory* (staying on one filesystem so the final
+/// rename is atomic), then replace `path` in a single `rename`. A crash
+/// mid-write leaves either the old file or a stray temp file — never a
+/// torn JSON document.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp_name = format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let write_and_rename = (|| {
+        fs::write(&tmp, contents)?;
+        fs::rename(&tmp, path)
+    })();
+    if write_and_rename.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    write_and_rename
+}
+
+/// Save a profiled corpus as JSON (atomically — see [`write_atomic`]).
 pub fn save_corpus(corpus: &ProfiledCorpus, path: &Path) -> Result<(), PersistError> {
     let json = serde_json::to_string(corpus)?;
-    fs::write(path, json)?;
+    write_atomic(path, &json)?;
     Ok(())
 }
 
@@ -88,6 +120,33 @@ mod tests {
         assert_eq!(loaded.profiles.len(), corpus.profiles.len());
         // Derived artifacts agree.
         assert_eq!(loaded.derive_merging(5), corpus.derive_merging(5));
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let path = tmp_path("atomic");
+        write_atomic(&path, "first").unwrap();
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let dir = path.parent().unwrap();
+        let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .contains(&format!(".{stem}.tmp"))
+            })
+            .collect();
+        let _ = std::fs::remove_file(&path);
+        assert!(leftovers.is_empty(), "temp files must not survive");
+    }
+
+    #[test]
+    fn write_atomic_rejects_directory_target() {
+        let err = write_atomic(Path::new("/tmp/.."), "x").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]

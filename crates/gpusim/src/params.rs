@@ -53,6 +53,20 @@ impl ParamSetting {
         }
     }
 
+    /// A conservative default that is structurally valid for the given
+    /// dimensionality. [`Self::default_for`] picks `merge_dim = 1` for
+    /// streaming OCs, which on a 2-D grid *is* the streaming axis and
+    /// fails [`Self::is_valid_for`]; this variant repairs the merged
+    /// axis, so serving code can always build a usable setting.
+    pub fn default_for_dim(oc: &OptCombo, dim: Dim) -> ParamSetting {
+        let mut p = ParamSetting::default_for(oc);
+        let rank = dim.rank() as u8;
+        if p.merge_dim >= rank || (oc.st && rank >= 2 && p.merge_dim == rank - 1) {
+            p.merge_dim = 0;
+        }
+        p
+    }
+
     /// Total threads per block.
     #[inline]
     pub fn threads_per_block(&self) -> u32 {
@@ -230,6 +244,16 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dim_aware_defaults_are_valid_for_all_ocs() {
+        for oc in OptCombo::enumerate() {
+            for dim in [Dim::D2, Dim::D3] {
+                let s = ParamSetting::default_for_dim(&oc, dim);
+                assert!(s.is_valid_for(&oc, dim), "{s:?} invalid for {oc} {dim}");
+            }
+        }
+    }
 
     #[test]
     fn sampled_settings_are_valid_for_all_ocs() {

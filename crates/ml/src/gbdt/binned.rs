@@ -521,6 +521,18 @@ impl BinnedTree {
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Highest feature index any split reads, or `None` for a pure-leaf
+    /// tree (see [`crate::gbdt::tree::RegressionTree::max_feature`]).
+    pub fn max_feature(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                BinnedNode::Split { feature, .. } => Some(*feature),
+                BinnedNode::Leaf { .. } => None,
+            })
+            .max()
+    }
 }
 
 /// Turn a frontier node into a leaf, recording its row span.

@@ -77,6 +77,13 @@ impl AnyTree {
             AnyTree::Binned(t) => t.predict_row(row),
         }
     }
+
+    fn max_feature(&self) -> Option<usize> {
+        match self {
+            AnyTree::Exact(t) => t.max_feature(),
+            AnyTree::Binned(t) => t.max_feature(),
+        }
+    }
 }
 
 /// Shared fitting context: pre-binned features when the hist path is on.
@@ -220,6 +227,13 @@ impl GbdtRegressor {
     pub fn tree_count(&self) -> usize {
         self.trees.len()
     }
+
+    /// Highest feature index any tree reads, or `None` when every tree
+    /// is a single leaf. A deserialized model is safe to call on rows
+    /// wider than this.
+    pub fn max_feature_index(&self) -> Option<usize> {
+        self.trees.iter().filter_map(AnyTree::max_feature).max()
+    }
 }
 
 /// Gradient-boosted multi-class classifier: K independent one-vs-rest
@@ -291,6 +305,16 @@ impl GbdtClassifier {
     /// Number of classes.
     pub fn classes(&self) -> usize {
         self.classes
+    }
+
+    /// Highest feature index any tree of any booster reads, or `None`
+    /// when every tree is a single leaf.
+    pub fn max_feature_index(&self) -> Option<usize> {
+        self.trees
+            .iter()
+            .flatten()
+            .filter_map(AnyTree::max_feature)
+            .max()
     }
 }
 

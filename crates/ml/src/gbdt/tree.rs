@@ -224,6 +224,20 @@ impl RegressionTree {
         self.nodes.len()
     }
 
+    /// Highest feature index any split reads, or `None` for a pure-leaf
+    /// tree. `predict_row` indexes rows up to this, so a deserialized
+    /// model can be validated against the expected feature width before
+    /// it is ever asked to predict.
+    pub fn max_feature(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Split { feature, .. } => Some(*feature),
+                Node::Leaf { .. } => None,
+            })
+            .max()
+    }
+
     /// Depth of the deepest leaf.
     pub fn depth(&self) -> usize {
         fn walk(nodes: &[Node], id: usize) -> usize {

@@ -16,7 +16,7 @@ pub mod train;
 pub use conv::{Conv2d, Conv3d};
 pub use layer::{Dense, Layer, Relu};
 pub use loss::{argmax_rows, mse, softmax, softmax_cross_entropy};
-pub use net::{Net, Sequential, TwoBranch};
+pub use net::{export_params, import_params, param_count, Net, Sequential, TwoBranch};
 pub use optim::{Adam, Sgd};
 pub use shape::{Flatten, Reshape};
 pub use train::{predict_classes, predict_scalars, train_classifier, train_regressor, TrainConfig};

@@ -20,6 +20,44 @@ pub trait Net: Send {
     }
 }
 
+/// Count the trainable parameters of a network.
+pub fn param_count(net: &mut dyn Net) -> usize {
+    let mut n = 0usize;
+    net.visit_params(&mut |p, _| n += p.len());
+    n
+}
+
+/// Flatten every parameter buffer into one vector, in `visit_params`
+/// order. Together with [`import_params`] this gives any `Net` a stable
+/// serialization: the architecture is rebuilt from its spec and the
+/// weights are overwritten wholesale.
+pub fn export_params(net: &mut dyn Net) -> Vec<f32> {
+    let mut out = Vec::new();
+    net.visit_params(&mut |p, _| out.extend_from_slice(p));
+    out
+}
+
+/// Overwrite every parameter buffer from a flat vector produced by
+/// [`export_params`] on an identically shaped network. Errors (instead
+/// of panicking) when the vector length disagrees with the network's
+/// parameter count — the symptom of loading weights into the wrong
+/// architecture.
+pub fn import_params(net: &mut dyn Net, flat: &[f32]) -> Result<(), String> {
+    let expected = param_count(net);
+    if flat.len() != expected {
+        return Err(format!(
+            "parameter count mismatch: network has {expected} parameters, got {}",
+            flat.len()
+        ));
+    }
+    let mut pos = 0usize;
+    net.visit_params(&mut |p, _| {
+        p.copy_from_slice(&flat[pos..pos + p.len()]);
+        pos += p.len();
+    });
+    Ok(())
+}
+
 /// A linear stack of layers.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
@@ -220,6 +258,39 @@ mod tests {
         let mlp = Sequential::new();
         let head = Sequential::new();
         TwoBranch::new(80, vec![1, 9, 9], conv, mlp, head);
+    }
+
+    #[test]
+    fn param_export_import_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut a = Sequential::new()
+            .push(Dense::new(4, 8, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(8, 2, &mut rng));
+        let mut rng2 = ChaCha8Rng::seed_from_u64(99);
+        let mut b = Sequential::new()
+            .push(Dense::new(4, 8, &mut rng2))
+            .push(Relu::new())
+            .push(Dense::new(8, 2, &mut rng2));
+        let flat = export_params(&mut a);
+        assert_eq!(flat.len(), param_count(&mut a));
+        import_params(&mut b, &flat).expect("matching shapes");
+        let x = Tensor::from_vec(&[2, 4], vec![0.3; 8]);
+        let ya = a.forward(&x, false);
+        let yb = b.forward(&x, false);
+        assert_eq!(
+            ya.data(),
+            yb.data(),
+            "imported weights must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn import_params_rejects_wrong_length() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut net = Sequential::new().push(Dense::new(3, 2, &mut rng));
+        let err = import_params(&mut net, &[0.0; 5]).unwrap_err();
+        assert!(err.contains("parameter count mismatch"), "{err}");
     }
 
     #[test]

@@ -51,6 +51,20 @@ pub fn suite() -> Vec<CanonicalStencil> {
     out
 }
 
+/// A stable memoization key for a pattern: dimensionality plus the
+/// canonical (sorted, deduplicated) offset list. Two patterns compare
+/// equal iff their keys match, so per-pattern caches keyed by this
+/// string never alias distinct stencils.
+pub fn canonical_key(p: &StencilPattern) -> String {
+    use std::fmt::Write;
+    let mut key = String::with_capacity(8 + 9 * p.nnz());
+    let _ = write!(key, "{}:", p.dim());
+    for o in p.points() {
+        let _ = write!(key, "{},{},{};", o.c[0], o.c[1], o.c[2]);
+    }
+    key
+}
+
 /// Look up a canonical stencil by its benchmark name (e.g. `star2d1r`).
 pub fn by_name(name: &str) -> Option<CanonicalStencil> {
     suite().into_iter().find(|c| c.name == name)
@@ -80,6 +94,25 @@ mod tests {
     fn grids_match_paper() {
         assert_eq!(by_name("star2d1r").unwrap().grid, 8192);
         assert_eq!(by_name("star3d1r").unwrap().grid, 512);
+    }
+
+    #[test]
+    fn canonical_keys_separate_patterns() {
+        let s = suite();
+        let keys: std::collections::HashSet<_> =
+            s.iter().map(|c| canonical_key(&c.pattern)).collect();
+        // 23, not 24: cross2d1r and box2d1r are the same point set at
+        // radius 1 (axes + diagonals fill the 3×3 box), so they — and
+        // only they — correctly share a key.
+        assert_eq!(keys.len(), 23, "distinct patterns get distinct keys");
+        assert_eq!(
+            canonical_key(&by_name("cross2d1r").unwrap().pattern),
+            canonical_key(&by_name("box2d1r").unwrap().pattern)
+        );
+        // Equal patterns (built independently) share a key.
+        let a = shapes::star(Dim::D2, 2);
+        let b = shapes::star(Dim::D2, 2);
+        assert_eq!(canonical_key(&a), canonical_key(&b));
     }
 
     #[test]

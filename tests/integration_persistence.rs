@@ -1,0 +1,206 @@
+//! Bundle persistence integration tests: every classifier × regressor
+//! mechanism round-trips through a saved bundle with bit-identical
+//! predictions, and corrupt/truncated/hostile inputs surface as
+//! structured errors — never panics — through both `ModelBundle::load`
+//! and the batched `Predictor` APIs.
+
+use std::path::PathBuf;
+
+use stencilmart::api::{Predictor, StencilMart};
+use stencilmart::bundle::{ModelBundle, FORMAT_VERSION};
+use stencilmart::config::PipelineConfig;
+use stencilmart::models::{ClassifierKind, RegressorKind};
+use stencilmart_gpusim::{GpuId, OptCombo, ParamSetting};
+use stencilmart_obs::manifest::fnv1a;
+use stencilmart_stencil::pattern::Dim;
+use stencilmart_stencil::shapes;
+
+fn cfg() -> PipelineConfig {
+    PipelineConfig {
+        stencils_per_dim: 10,
+        samples_per_oc: 2,
+        max_regression_rows: 600,
+        gpus: vec![GpuId::V100, GpuId::P100],
+        ..PipelineConfig::default()
+    }
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("stencilmart-it-{}-{name}", std::process::id()))
+}
+
+/// Probe patterns the round-trip comparisons use.
+fn probes() -> Vec<stencilmart_stencil::pattern::StencilPattern> {
+    vec![
+        shapes::star(Dim::D2, 1),
+        shapes::star(Dim::D2, 2),
+        shapes::box_(Dim::D2, 1),
+    ]
+}
+
+#[test]
+fn bundle_roundtrip_is_bit_identical_for_every_mechanism() {
+    let probes = probes();
+    let oc = OptCombo::parse("ST").unwrap();
+    let params = ParamSetting::default_for_dim(&oc, Dim::D2);
+    for classifier in ClassifierKind::ALL {
+        for regressor in RegressorKind::ALL {
+            let mut mart = StencilMart::train(cfg(), Dim::D2, classifier, regressor);
+            let direct_ocs: Vec<OptCombo> = probes
+                .iter()
+                .map(|p| mart.predict_best_oc(p, GpuId::V100))
+                .collect();
+            let direct_times: Vec<u64> = probes
+                .iter()
+                .map(|p| mart.predict_time_ms(p, &oc, &params, GpuId::P100).to_bits())
+                .collect();
+
+            let path = tmp_path(&format!("rt-{classifier:?}-{regressor:?}.json"));
+            mart.save(&path, "integration-test").unwrap();
+            let mut served = Predictor::load(&path).unwrap();
+            std::fs::remove_file(&path).unwrap();
+
+            let loaded_ocs = served.best_oc_batch(&probes, GpuId::V100);
+            let loaded_times = served.predict_time_batch(&probes, &oc, &params, GpuId::P100);
+            for i in 0..probes.len() {
+                assert_eq!(
+                    *loaded_ocs[i].as_ref().unwrap(),
+                    direct_ocs[i],
+                    "{classifier:?}/{regressor:?} probe {i}: OC drifted through the bundle"
+                );
+                assert_eq!(
+                    loaded_times[i].as_ref().unwrap().to_bits(),
+                    direct_times[i],
+                    "{classifier:?}/{regressor:?} probe {i}: time drifted through the bundle"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_bundles_error_without_panicking() {
+    let mut mart = StencilMart::train(
+        cfg(),
+        Dim::D2,
+        ClassifierKind::Gbdt,
+        RegressorKind::GbRegressor,
+    );
+    let path = tmp_path("corrupt.json");
+    mart.save(&path, "integration-test").unwrap();
+    let good = std::fs::read_to_string(&path).unwrap();
+
+    // Flipped checksum.
+    let stored = good.split("\"checksum\":\"").nth(1).unwrap()[..16].to_string();
+    let flipped: String = stored
+        .chars()
+        .map(|c| if c == '0' { '1' } else { '0' })
+        .collect();
+    std::fs::write(&path, good.replace(&stored, &flipped)).unwrap();
+    let err = ModelBundle::load(&path).err().unwrap();
+    assert_eq!(err.kind(), "checksum_mismatch", "{err}");
+
+    // Wrong format version.
+    std::fs::write(
+        &path,
+        good.replace(
+            &format!("\"format_version\":{FORMAT_VERSION}"),
+            "\"format_version\":99",
+        ),
+    )
+    .unwrap();
+    let err = ModelBundle::load(&path).err().unwrap();
+    assert_eq!(err.kind(), "wrong_version", "{err}");
+
+    // Truncated file.
+    std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+    let err = ModelBundle::load(&path).err().unwrap();
+    assert_eq!(err.kind(), "parse", "{err}");
+
+    // Missing file.
+    std::fs::remove_file(&path).unwrap();
+    let err = ModelBundle::load(&path).err().unwrap();
+    assert_eq!(err.kind(), "io", "{err}");
+
+    // Structurally invalid: duplicating one group's members into
+    // another breaks the exactly-one-group partition invariant.
+    let mut bundle = mart.to_bundle("integration-test");
+    let dup = bundle.merging.groups[0].clone();
+    bundle.merging.groups[1].extend(dup);
+    bundle.save(&path).unwrap();
+    let err = ModelBundle::load(&path).err().unwrap();
+    assert_eq!(err.kind(), "invalid_bundle", "{err}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn hostile_files_and_requests_never_panic() {
+    let path = tmp_path("hostile.json");
+    // Payload that checksums correctly but is not a bundle, plus a pile
+    // of structurally broken envelopes.
+    let bogus_payload = "{\"definitely\":\"not a bundle\"}";
+    let checksummed = format!(
+        "{{\"format_version\":{FORMAT_VERSION},\"checksum\":\"{:016x}\",\
+         \"training_config_hash\":\"x\",\"payload\":{}}}",
+        fnv1a(bogus_payload.as_bytes()),
+        serde_json::to_string(&bogus_payload).unwrap()
+    );
+    let hostile: Vec<String> = vec![
+        String::new(),
+        "null".into(),
+        "{}".into(),
+        "[1,2".into(),
+        "{\"format_version\":\"one\"}".into(),
+        format!("{{\"format_version\":{FORMAT_VERSION}}}"),
+        checksummed,
+    ];
+    for (i, contents) in hostile.iter().enumerate() {
+        std::fs::write(&path, contents).unwrap();
+        let res = ModelBundle::load(&path);
+        assert!(res.is_err(), "hostile file {i} was accepted");
+    }
+    std::fs::remove_file(&path).unwrap();
+
+    // Hostile requests against a live predictor: wrong dimensionality,
+    // untrained GPU, structurally invalid OC, parameters that do not fit
+    // the OC — all per-entry errors, no panics, valid entries unharmed.
+    let mart = StencilMart::train(
+        cfg(),
+        Dim::D2,
+        ClassifierKind::Gbdt,
+        RegressorKind::GbRegressor,
+    );
+    let mut served = Predictor::from_mart(mart);
+    let mixed = vec![
+        shapes::star(Dim::D3, 1),
+        shapes::star(Dim::D2, 1),
+        shapes::box_(Dim::D3, 2),
+        shapes::star(Dim::D2, 1),
+    ];
+    let out = served.best_oc_batch(&mixed, GpuId::V100);
+    assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 2);
+    assert!(served
+        .best_oc_batch(&mixed, GpuId::A100)
+        .iter()
+        .all(|r| r.is_err()));
+    assert!(served.best_oc_batch(&[], GpuId::V100).is_empty());
+
+    let valid_oc = OptCombo::parse("ST_TB").unwrap();
+    let params = ParamSetting::default_for_dim(&valid_oc, Dim::D2);
+    let out = served.predict_time_batch(&mixed, &valid_oc, &params, GpuId::V100);
+    assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 2);
+
+    let invalid_oc = OptCombo {
+        rt: true,
+        ..OptCombo::BASE
+    };
+    let out = served.predict_time_batch(&mixed, &invalid_oc, &params, GpuId::V100);
+    assert!(out.iter().all(|r| r.is_err()));
+
+    let wrong_params = ParamSetting {
+        time_tile: 1, // TB requires >= 2
+        ..params
+    };
+    let out = served.predict_time_batch(&mixed, &valid_oc, &wrong_params, GpuId::V100);
+    assert!(out.iter().all(|r| r.is_err()));
+}
