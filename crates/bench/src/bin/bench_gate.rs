@@ -13,9 +13,13 @@
 //! entry regresses by more than the tolerance (default 25%, loose enough
 //! to absorb shared-runner jitter while catching real slowdowns). An
 //! entry present in the baseline but absent from the current run is a
-//! failure. With `--require-overhead-below` it also asserts the current
-//! run's measured observability overhead stays under the given fraction
-//! (the DESIGN.md budget is 2%).
+//! failure. When both reports carry a top-level `isa` field and the
+//! values differ, the gate refuses outright: a scalar-tier run is not
+//! comparable to an AVX2/AVX-512 baseline, so the comparison would
+//! produce a meaningless verdict either way (reports predating the field
+//! are compared as before). With `--require-overhead-below` it also
+//! asserts the current run's measured observability overhead stays under
+//! the given fraction (the DESIGN.md budget is 2%).
 
 use serde::Value;
 
@@ -92,6 +96,23 @@ fn main() {
     }
     let baseline = load(&paths[0]);
     let current = load(&paths[1]);
+    let isa_of = |doc: &Value| {
+        doc.field("isa")
+            .ok()
+            .and_then(|v| v.as_str().ok().map(str::to_string))
+    };
+    if let (Some(base_isa), Some(cur_isa)) = (isa_of(&baseline), isa_of(&current)) {
+        if base_isa != cur_isa {
+            fail(&format!(
+                "ISA mismatch: baseline {} was recorded on `{base_isa}` but the current \
+                 run {} used `{cur_isa}` — numbers from different SIMD tiers are not \
+                 comparable; regenerate the baseline on this tier (or unset \
+                 STENCILMART_NO_SIMD) instead of gating across tiers",
+                paths[0], paths[1]
+            ));
+        }
+        println!("isa: {base_isa} (both reports)");
+    }
     let base_entries = entries(&baseline, &paths[0]);
     let cur_entries = entries(&current, &paths[1]);
 

@@ -269,6 +269,10 @@ fn main() {
                     .into(),
             ),
         ),
+        (
+            "isa".into(),
+            Value::Str(obs::runtime::simd_isa().name().into()),
+        ),
         ("workers".into(), Value::Float(workers as f64)),
         ("quick".into(), Value::Bool(quick)),
         ("regressor_speedup".into(), Value::Float(reg_speedup)),

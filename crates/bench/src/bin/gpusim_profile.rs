@@ -147,6 +147,10 @@ fn main() {
             "description".into(),
             Value::Str("profiler throughput: corpus x 30 OCs x 4 GPU presets".into()),
         ),
+        (
+            "isa".into(),
+            Value::Str(obs::runtime::simd_isa().name().into()),
+        ),
         ("workers".into(), Value::Float(workers as f64)),
         ("quick".into(), Value::Bool(quick)),
         ("entries".into(), Value::Array(entries)),

@@ -277,6 +277,10 @@ fn main() {
                 "ML kernel microbenchmarks: blocked GEMM + im2col conv vs naive reference".into(),
             ),
         ),
+        (
+            "isa".into(),
+            Value::Str(obs::runtime::simd_isa().name().into()),
+        ),
         ("entries".into(), Value::Array(entries)),
         ("quick".into(), Value::Bool(quick)),
         (
@@ -297,8 +301,8 @@ fn main() {
         if overhead < 0.02 { "OK" } else { "EXCEEDED" }
     );
     for e in match &doc {
-        Value::Object(fields) => match &fields[1].1 {
-            Value::Array(items) => items.iter(),
+        Value::Object(fields) => match fields.iter().find(|(k, _)| k == "entries") {
+            Some((_, Value::Array(items))) => items.iter(),
             _ => unreachable!(),
         },
         _ => unreachable!(),

@@ -96,6 +96,65 @@ pub fn shifted_union(p: &StencilPattern, axis: usize, m: u32) -> usize {
 }
 
 fn shifted_union_of(pts: &[Offset], axis: usize, m: u32) -> usize {
+    match axis_rows(pts, axis, m) {
+        Some(rows) => union_count(&rows, m),
+        None => shifted_union_hash(pts, axis, m),
+    }
+}
+
+/// Row-mask decomposition for bitset shifted unions: points sharing the
+/// two non-`axis` coordinates form a *row*, and each row's set of
+/// `axis` coordinates becomes one `u128` bitmask (bit `c - min`).
+/// Unioning `m` shifted copies is then `mask | mask<<1 | …` per row —
+/// word operations instead of per-point hash inserts. Returns `None`
+/// when a shifted bit would overflow 128 bits (never for real stencils,
+/// whose offsets span a few dozen cells at most); callers fall back to
+/// the hash oracle.
+fn axis_rows(pts: &[Offset], axis: usize, max_m: u32) -> Option<Vec<u128>> {
+    let min = pts.iter().map(|o| o.c[axis]).min()?;
+    let max = pts.iter().map(|o| o.c[axis]).max()?;
+    if i64::from(max - min) + i64::from(max_m.max(1)) - 1 > 127 {
+        return None;
+    }
+    let (u, v) = ((axis + 1) % 3, (axis + 2) % 3);
+    let mut keyed: Vec<((i32, i32), u128)> = pts
+        .iter()
+        .map(|o| ((o.c[u], o.c[v]), 1u128 << (o.c[axis] - min) as u32))
+        .collect();
+    keyed.sort_unstable_by_key(|&(k, _)| k);
+    let mut rows: Vec<u128> = Vec::new();
+    let mut cur: Option<(i32, i32)> = None;
+    for (k, bit) in keyed {
+        match cur {
+            Some(ck) if ck == k => *rows.last_mut().unwrap() |= bit,
+            _ => {
+                cur = Some(k);
+                rows.push(bit);
+            }
+        }
+    }
+    Some(rows)
+}
+
+/// Count the union of `m` shifted copies from precomputed row masks:
+/// per row, OR together the `m` shifts and popcount. Exact integer
+/// arithmetic — bit-for-bit the same count as the hash oracle.
+fn union_count(rows: &[u128], m: u32) -> usize {
+    rows.iter()
+        .map(|&mask| {
+            let mut u = 0u128;
+            for s in 0..m {
+                u |= mask << s;
+            }
+            u.count_ones() as usize
+        })
+        .sum()
+}
+
+/// The original hash-set formulation, kept as the correctness oracle
+/// and as the fallback for coordinate ranges the 128-bit masks cannot
+/// represent.
+fn shifted_union_hash(pts: &[Offset], axis: usize, m: u32) -> usize {
     let mut set: std::collections::HashSet<[i32; 3]> =
         std::collections::HashSet::with_capacity(pts.len() * m as usize);
     for shift in 0..m as i32 {
@@ -150,9 +209,22 @@ impl PatternAnalysis {
         let rank = pattern.dim().rank();
         let points = pattern.points().to_vec();
         let mut shifted_unions = [[0usize; MERGE_FACTOR_SLOTS]; 3];
+        let max_m = 1 << (MERGE_FACTOR_SLOTS - 1);
         for (axis, row) in shifted_unions.iter_mut().enumerate() {
-            for (slot, entry) in row.iter_mut().enumerate() {
-                *entry = shifted_union_of(&points, axis, 1 << slot);
+            // One row-mask build per axis, reused across all four merge
+            // factors — the old path rebuilt the point set per (axis,
+            // factor) entry, 12 hash-set constructions per analysis.
+            match axis_rows(&points, axis, max_m) {
+                Some(rows) => {
+                    for (slot, entry) in row.iter_mut().enumerate() {
+                        *entry = union_count(&rows, 1 << slot);
+                    }
+                }
+                None => {
+                    for (slot, entry) in row.iter_mut().enumerate() {
+                        *entry = shifted_union_hash(&points, axis, 1 << slot);
+                    }
+                }
             }
         }
         let streaming_col_points = points.iter().filter(|o| o.c[rank - 1] != 0).count();
@@ -493,6 +565,62 @@ mod tests {
         let u = shifted_union(&p, 0, 2);
         assert_eq!(u, 8); // 10 - 2 overlapping
         assert_eq!(shifted_union(&p, 0, 1), 5);
+    }
+
+    #[test]
+    fn bitset_union_matches_hash_oracle() {
+        // Every (pattern, axis, m) the parameter space can produce, and
+        // then some: the bitset word path must agree exactly with the
+        // hash-set oracle, including non-power-of-two factors.
+        let patterns = [
+            shapes::star(Dim::D1, 1),
+            shapes::star(Dim::D2, 1),
+            shapes::star(Dim::D2, 4),
+            shapes::box_(Dim::D2, 2),
+            shapes::star(Dim::D3, 2),
+            shapes::box_(Dim::D3, 3),
+        ];
+        for p in &patterns {
+            for axis in 0..3 {
+                for m in 0..=9u32 {
+                    assert_eq!(
+                        shifted_union_of(p.points(), axis, m),
+                        shifted_union_hash(p.points(), axis, m),
+                        "pattern {:?} axis {axis} m {m}",
+                        p.dim(),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_coordinate_ranges_fall_back_to_hash() {
+        // A 200-cell span cannot be a 128-bit mask: axis_rows must
+        // refuse and the public function must still answer via the
+        // oracle path.
+        let pts = [Offset { c: [-100, 0, 0] }, Offset { c: [100, 0, 0] }];
+        assert!(axis_rows(&pts, 0, 8).is_none());
+        assert_eq!(shifted_union_of(&pts, 0, 2), 4);
+        assert_eq!(shifted_union_of(&pts, 1, 2), 4);
+        // Empty point sets short-circuit to zero either way.
+        assert_eq!(shifted_union_of(&[], 0, 4), 0);
+    }
+
+    #[test]
+    fn analysis_table_matches_fresh_computation() {
+        let p = shapes::box_(Dim::D3, 2);
+        let analysis = PatternAnalysis::new(&p);
+        for axis in 0..3 {
+            for slot in 0..MERGE_FACTOR_SLOTS {
+                let m = 1u32 << slot;
+                assert_eq!(
+                    analysis.shifted_union(axis, m),
+                    shifted_union_hash(p.points(), axis, m),
+                    "axis {axis} m {m}"
+                );
+            }
+        }
     }
 
     #[test]

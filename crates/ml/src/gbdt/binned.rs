@@ -20,6 +20,7 @@
 use crate::data::FeatureMatrix;
 use crate::gbdt::tree::{LeafSpans, TreeConfig};
 use crate::par::par_map_if;
+use crate::simd::{self, SimdIsa};
 use serde::{Deserialize, Serialize};
 use stencilmart_obs::counters;
 
@@ -76,6 +77,7 @@ impl BinnedMatrix {
         let mut col_vals: Vec<f32> = Vec::with_capacity(rows);
         let mut keys: Vec<u32> = Vec::with_capacity(rows);
         let mut key_tmp: Vec<u32> = Vec::with_capacity(rows);
+        let isa = simd::dispatch();
         for c in 0..cols {
             raw.clear();
             raw.extend((0..rows).map(|r| x.at(r, c)));
@@ -96,10 +98,7 @@ impl BinnedMatrix {
                     }
                 }
             }
-            for (r, &v) in raw.iter().enumerate() {
-                // partition_point: number of cuts <= v gives the bin.
-                bins[r * cols + c] = col_cuts.partition_point(|&cut| cut < v) as u8;
-            }
+            fill_column_bins(&raw, &col_cuts, c, cols, &mut bins, isa);
             cuts.push(col_cuts);
         }
         BinnedMatrix {
@@ -240,6 +239,39 @@ fn radix_sort_total(vals: &mut Vec<f32>, keys: &mut Vec<u32>, tmp: &mut Vec<u32>
             !k
         })
     }));
+}
+
+/// Write the bin index of every value in `raw` for column `c` of the
+/// row-major `bins` buffer: `bin = #cuts < v` (what `partition_point`
+/// computes over the sorted cut vector). The AVX2 path counts the same
+/// predicate branchlessly — compare eight cuts at a time against the
+/// broadcast value and popcount the sign mask — with the cut vector
+/// padded to a lane multiple with `+inf`, which can never satisfy
+/// `cut < v`. Both paths produce an integer count, so the binning is
+/// exactly identical across dispatch tiers.
+fn fill_column_bins(
+    raw: &[f32],
+    col_cuts: &[f32],
+    c: usize,
+    cols: usize,
+    bins: &mut [u8],
+    isa: SimdIsa,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if isa >= SimdIsa::Avx2 && !col_cuts.is_empty() {
+        let mut padded = col_cuts.to_vec();
+        padded.resize(col_cuts.len().div_ceil(8) * 8, f32::INFINITY);
+        // SAFETY: AVX2 was runtime-detected (isa ≥ Avx2); `padded` is a
+        // non-empty multiple of 8 lanes and `bins` spans `raw.len()`
+        // rows of `cols` columns.
+        unsafe { x86::fill_bins_avx2(raw, &padded, c, cols, bins) };
+        return;
+    }
+    let _ = isa;
+    for (r, &v) in raw.iter().enumerate() {
+        // partition_point: number of cuts < v gives the bin.
+        bins[r * cols + c] = col_cuts.partition_point(|&cut| cut < v) as u8;
+    }
 }
 
 /// One (grad, hess) histogram cell. Row counts are not stored: every
@@ -580,6 +612,108 @@ fn node_sums(
 /// Accumulate one histogram per spec (a `start..end` range of `idx`) in
 /// a single batched pass: fixed-size row blocks are accumulated (in
 /// parallel when `par`), then reduced per spec in block order.
+/// Accumulate `(grad, hess)` of the given rows into `hist` (one cell
+/// per `(feature, bin)`): the inner loop of the hist method. Vector
+/// tiers use the paired SSE2 cell update; the scalar path is the
+/// oracle. Updates hit each cell in row order either way, so the two
+/// are bit-identical.
+fn accumulate_rows(
+    hist: &mut [Cell],
+    bm: &BinnedMatrix,
+    grad: &[f32],
+    hess: &[f32],
+    rows: &[usize],
+    layout: &HistLayout,
+    isa: SimdIsa,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if isa > SimdIsa::Scalar {
+        // SAFETY: SSE2 is part of the x86_64 baseline; `hist` covers
+        // `layout.total` cells and every `offsets[f] + bin` stays below
+        // it by construction of the layout.
+        unsafe { x86::accumulate_rows_sse2(hist, bm, grad, hess, rows, layout) };
+        return;
+    }
+    let _ = isa;
+    for &i in rows {
+        let (g, h) = (grad[i], hess[i]);
+        for (&off, &b) in layout.offsets.iter().zip(bm.bin_row(i)) {
+            let cell = &mut hist[off + b as usize];
+            cell.g += g;
+            cell.h += h;
+        }
+    }
+}
+
+/// Explicit `core::arch` inner loops, selected by [`simd::dispatch`]
+/// (see DESIGN.md §14 for why these stay bit-identical to the scalar
+/// oracles).
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{BinnedMatrix, Cell, HistLayout};
+    use core::arch::x86_64::*;
+
+    /// Branchless bin search: `count = #cuts < v` via eight-wide
+    /// compare + sign-mask popcount.
+    ///
+    /// # Safety
+    /// Caller must have runtime-verified AVX2; `padded_cuts` must be a
+    /// non-empty multiple of 8 lanes; `bins` must cover `raw.len()`
+    /// rows of `cols` columns at column `c`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fill_bins_avx2(
+        raw: &[f32],
+        padded_cuts: &[f32],
+        c: usize,
+        cols: usize,
+        bins: &mut [u8],
+    ) {
+        debug_assert_eq!(padded_cuts.len() % 8, 0);
+        for (r, &v) in raw.iter().enumerate() {
+            let vv = _mm256_set1_ps(v);
+            let mut count = 0u32;
+            let mut i = 0;
+            while i < padded_cuts.len() {
+                let cuts = _mm256_loadu_ps(padded_cuts.as_ptr().add(i));
+                let lt = _mm256_cmp_ps::<_CMP_LT_OQ>(cuts, vv);
+                count += (_mm256_movemask_ps(lt) as u32).count_ones();
+                i += 8;
+            }
+            *bins.get_unchecked_mut(r * cols + c) = count as u8;
+        }
+    }
+
+    /// Paired `(g, h)` cell update: one 8-byte load, one lane-wise
+    /// `addps`, one 8-byte store per `(feature, bin)` cell — half the
+    /// memory operations of the two scalar `f32` adds, with the
+    /// identical IEEE additions in the two live lanes.
+    ///
+    /// # Safety
+    /// `hist` must cover `layout.total` cells, with every
+    /// `offsets[f] + bin` in bounds (guaranteed by the layout/binning
+    /// invariants); SSE2 is unconditionally available on x86_64.
+    pub unsafe fn accumulate_rows_sse2(
+        hist: &mut [Cell],
+        bm: &BinnedMatrix,
+        grad: &[f32],
+        hess: &[f32],
+        rows: &[usize],
+        layout: &HistLayout,
+    ) {
+        debug_assert!(hist.len() >= layout.total);
+        let base = hist.as_mut_ptr();
+        for &i in rows {
+            let gh = _mm_set_ps(0.0, 0.0, hess[i], grad[i]);
+            for (&off, &b) in layout.offsets.iter().zip(bm.bin_row(i)) {
+                let cell = base.add(off + b as usize) as *mut __m128i;
+                let cur = _mm_loadl_epi64(cell);
+                let sum = _mm_add_ps(_mm_castsi128_ps(cur), gh);
+                _mm_storel_epi64(cell, _mm_castps_si128(sum));
+            }
+        }
+    }
+}
+
 fn build_histograms(
     par: bool,
     bm: &BinnedMatrix,
@@ -608,16 +742,14 @@ fn build_histograms(
     }
     let work: usize = specs.iter().map(|&(lo, hi)| hi - lo).sum::<usize>() * bm.cols();
     let par = par && work >= PAR_HIST_MIN_WORK;
+    // One tier decision per batch, shared by every worker: a batch
+    // never mixes accumulation paths (they are bit-identical anyway —
+    // the SSE2 path adds the same (g, h) pair to the same cell with one
+    // paired lane-add instead of two scalar adds).
+    let isa = simd::dispatch();
     let partials = par_map_if(par, &tasks, |&(_, lo, hi)| {
         let mut hist = vec![Cell::default(); layout.total];
-        for &i in &idx[lo..hi] {
-            let (g, h) = (grad[i], hess[i]);
-            for (&off, &b) in layout.offsets.iter().zip(bm.bin_row(i)) {
-                let cell = &mut hist[off + b as usize];
-                cell.g += g;
-                cell.h += h;
-            }
-        }
+        accumulate_rows(&mut hist, bm, grad, hess, &idx[lo..hi], layout, isa);
         hist
     });
     counters::HIST_BUILDS.add(specs.len() as u64);

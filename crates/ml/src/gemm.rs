@@ -16,8 +16,19 @@
 //! [`crate::par::par_map_chunked`]; small ones stay sequential (see
 //! [`PAR_FLOP_THRESHOLD`]). The worker count honors the
 //! `STENCILMART_THREADS` environment variable.
+//!
+//! The micro-kernel is dispatched at runtime through [`crate::simd`]:
+//! an AVX-512F or AVX2+FMA `core::arch` kernel when the host supports
+//! it, the portable scalar kernel otherwise (or always, under
+//! `STENCILMART_NO_SIMD=1`). Every kernel keeps each output element's
+//! FMA chain in identical depth order, so results are bit-identical
+//! across tiers (DESIGN.md §14). Shapes below [`DIRECT_FLOP_THRESHOLD`]
+//! with a row-major right operand skip packing entirely and run the
+//! register tile over the operands in place — at those sizes the
+//! packing copies cost more than they save.
 
 use crate::par;
+use crate::simd::{self, SimdIsa};
 use stencilmart_obs::counters;
 
 /// Rows per register tile.
@@ -37,6 +48,14 @@ const NC: usize = 512;
 /// Minimum `2·m·k·n` flop count before threads are spawned. Below this the
 /// spawn/join overhead outweighs the work.
 pub const PAR_FLOP_THRESHOLD: usize = 1 << 23;
+
+/// Below this `2·m·k·n` flop count (and with a row-major right operand)
+/// the packed panel machinery is skipped: the operands fit in L1/L2, so
+/// the O(m·k + k·n) packing copies and their cache traffic dominate the
+/// multiply itself. The cut is a *shape-only* decision — it never
+/// depends on the active instruction set, so a given call always takes
+/// the same code path on every host (see DESIGN.md §14).
+pub const DIRECT_FLOP_THRESHOLD: usize = 1 << 22;
 
 /// How the left operand is stored.
 #[derive(Clone, Copy)]
@@ -120,6 +139,15 @@ fn gemm_dispatch(
     if !accumulate {
         c.fill(0.0);
     }
+    // One dispatch decision per entry-point call: a single multiply
+    // never mixes instruction-set tiers, even across worker threads.
+    let isa = simd::dispatch();
+    if 2 * m * k * n < DIRECT_FLOP_THRESHOLD {
+        if let Rhs::RowMajor(b) = rhs {
+            gemm_direct(m, k, n, lhs, b, c, isa);
+            return;
+        }
+    }
     let workers = par::worker_count();
     if workers > 1 && 2 * m * k * n >= PAR_FLOP_THRESHOLD && m >= 2 * MR {
         // Row-partition C: each worker owns a contiguous MR-aligned block
@@ -132,7 +160,7 @@ fn gemm_dispatch(
             .collect();
         let parts = par::par_map_chunked(&blocks, 1, |&(r0, rows)| {
             let mut part = vec![0.0f32; rows * n];
-            gemm_serial(r0, rows, k, n, lhs, rhs, &mut part);
+            gemm_serial(r0, rows, k, n, lhs, rhs, &mut part, isa);
             part
         });
         for ((r0, rows), part) in blocks.iter().zip(parts) {
@@ -145,13 +173,14 @@ fn gemm_dispatch(
             }
         }
     } else {
-        gemm_serial(0, m, k, n, lhs, rhs, c);
+        gemm_serial(0, m, k, n, lhs, rhs, c, isa);
     }
 }
 
 /// Serial blocked GEMM over logical rows `row0 .. row0+rows`, accumulating
 /// into a buffer whose first row corresponds to global row `row0` (the
 /// full `C` when `row0 == 0`, a worker's private block otherwise).
+#[allow(clippy::too_many_arguments)]
 fn gemm_serial(
     row0: usize,
     rows: usize,
@@ -160,8 +189,9 @@ fn gemm_serial(
     lhs: Lhs<'_>,
     rhs: Rhs<'_>,
     c: &mut [f32],
+    isa: SimdIsa,
 ) {
-    gemm_blocked(row0, rows, k, n, lhs, rhs, c, row0);
+    gemm_blocked(row0, rows, k, n, lhs, rhs, c, row0, isa);
 }
 
 /// The panel loop nest. `c` holds rows `c_row0 ..` of the output with
@@ -177,6 +207,7 @@ fn gemm_blocked(
     rhs: Rhs<'_>,
     c: &mut [f32],
     c_row0: usize,
+    isa: SimdIsa,
 ) {
     let mut apack = vec![0.0f32; MC.div_ceil(MR) * MR * KC];
     let mut bpack = vec![0.0f32; NC.div_ceil(NR) * NR * KC];
@@ -191,7 +222,18 @@ fn gemm_blocked(
             while ic < rows {
                 let mc = MC.min(rows - ic);
                 pack_a(lhs, k, row0 + ic, mc, pc, kc, &mut apack);
-                macro_tile(mc, kc, nc, &apack, &bpack, c, (row0 + ic) - c_row0, jc, n);
+                macro_tile(
+                    mc,
+                    kc,
+                    nc,
+                    &apack,
+                    &bpack,
+                    c,
+                    (row0 + ic) - c_row0,
+                    jc,
+                    n,
+                    isa,
+                );
                 ic += MC;
             }
             pc += KC;
@@ -284,6 +326,7 @@ fn macro_tile(
     ci0: usize,
     j0: usize,
     ldc: usize,
+    isa: SimdIsa,
 ) {
     let mstrips = mc.div_ceil(MR);
     let nstrips = nc.div_ceil(NR);
@@ -294,7 +337,7 @@ fn macro_tile(
             let ap = &apack[is * kc * MR..(is + 1) * kc * MR];
             let rows = MR.min(mc - is * MR);
             let mut acc = [[0.0f32; NR]; MR];
-            microkernel(kc, ap, bp, &mut acc);
+            run_microkernel(kc, ap, bp, &mut acc, isa);
             for (r, acc_row) in acc.iter().enumerate().take(rows) {
                 let crow = (ci0 + is * MR + r) * ldc + j0 + js * NR;
                 let dst = &mut c[crow..crow + cols];
@@ -350,6 +393,285 @@ fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
         row!(c7, 7);
     }
     *acc = [c0, c1, c2, c3, c4, c5, c6, c7];
+}
+
+/// Run the micro-kernel variant for `isa` over one packed tile.
+///
+/// All variants compute the identical fmadd chain per accumulator
+/// element (depth-ascending, one chain per element), so the choice is
+/// invisible in the output bits — only in throughput.
+#[inline(always)]
+fn run_microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR], isa: SimdIsa) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `isa` comes from `simd::dispatch()`, which only
+        // reports a tier after `is_x86_feature_detected!` confirmed it.
+        SimdIsa::Avx512 => unsafe { x86::microkernel_avx512(kc, ap, bp, acc) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — AVX2+FMA were runtime-detected.
+        SimdIsa::Avx2 => unsafe { x86::microkernel_avx2(kc, ap, bp, acc) },
+        _ => microkernel(kc, ap, bp, acc),
+    }
+}
+
+/// Left-operand element `(i, p)` regardless of storage layout (only used
+/// on the cold edges of the direct path; the hot loops read via layout-
+/// specific strides).
+#[inline(always)]
+fn lhs_at(lhs: Lhs<'_>, k: usize, m: usize, i: usize, p: usize) -> f32 {
+    match lhs {
+        Lhs::RowMajor(a) => a[i * k + p],
+        Lhs::Transposed(a) => a[p * m + i],
+    }
+}
+
+/// No-pack path for small shapes (`2·m·k·n <` [`DIRECT_FLOP_THRESHOLD`],
+/// row-major B): runs the `MR × NR` register tile directly over the
+/// operands — strided loads instead of packed panels — because at these
+/// sizes everything is cache-resident and packing is pure overhead.
+/// Accumulates onto whatever `c` holds (the caller zero-fills for the
+/// non-accumulating entry points), preserving the per-element
+/// depth-ascending fmadd chain of the packed path's kernels.
+fn gemm_direct(m: usize, k: usize, n: usize, lhs: Lhs<'_>, b: &[f32], c: &mut [f32], isa: SimdIsa) {
+    let mfull = m / MR * MR;
+    let nfull = n / NR * NR;
+    if isa >= SimdIsa::Avx2 {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // `(row stride, depth stride)` of the A storage, so one
+            // kernel serves both layouts via scalar broadcast loads.
+            let (abase, ars, aps): (&[f32], usize, usize) = match lhs {
+                Lhs::RowMajor(a) => (a, k, 1),
+                Lhs::Transposed(a) => (a, 1, m),
+            };
+            for i0 in (0..mfull).step_by(MR) {
+                for j0 in (0..nfull).step_by(NR) {
+                    let a0 = match lhs {
+                        Lhs::RowMajor(_) => i0 * k,
+                        Lhs::Transposed(_) => i0,
+                    };
+                    // SAFETY: AVX2+FMA runtime-detected (isa ≥ Avx2 and
+                    // every tier above Scalar implies them); all strided
+                    // accesses stay in bounds: rows i0..i0+MR ≤ m,
+                    // cols j0..j0+NR ≤ n, depth 0..k.
+                    unsafe {
+                        x86::direct_tile_avx2(
+                            k,
+                            abase.as_ptr().add(a0),
+                            ars,
+                            aps,
+                            b.as_ptr().add(j0),
+                            n,
+                            c.as_mut_ptr().add(i0 * n + j0),
+                            n,
+                        );
+                    }
+                }
+            }
+            direct_edges_scalar(m, k, n, lhs, b, c, mfull, nfull);
+            return;
+        }
+    }
+    // Scalar fallback: axpy form (depth-middle, column-inner) so the
+    // autovectorizer gets unit-stride rows of B and C while each output
+    // element still sees the same depth-ascending chain.
+    for i in 0..m {
+        let crow = &mut c[i * n..][..n];
+        for p in 0..k {
+            let a = lhs_at(lhs, k, m, i, p);
+            let brow = &b[p * n..][..n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv = fmadd(a, bv, *cv);
+            }
+        }
+    }
+}
+
+/// Finish the direct path's ragged edges (rows ≥ `mfull`, columns ≥
+/// `nfull`) one element at a time, with the same depth-ascending chain
+/// as the tiled interior.
+#[allow(clippy::too_many_arguments)]
+fn direct_edges_scalar(
+    m: usize,
+    k: usize,
+    n: usize,
+    lhs: Lhs<'_>,
+    b: &[f32],
+    c: &mut [f32],
+    mfull: usize,
+    nfull: usize,
+) {
+    let cell = |i: usize, j: usize, c: &mut [f32]| {
+        let mut acc = c[i * n + j];
+        for p in 0..k {
+            acc = fmadd(lhs_at(lhs, k, m, i, p), b[p * n + j], acc);
+        }
+        c[i * n + j] = acc;
+    };
+    for i in 0..mfull {
+        for j in nfull..n {
+            cell(i, j, c);
+        }
+    }
+    for i in mfull..m {
+        for j in 0..n {
+            cell(i, j, c);
+        }
+    }
+}
+
+/// Explicit `core::arch` kernels, selected at runtime by
+/// [`crate::simd::dispatch`]. Each mirrors the scalar [`microkernel`]'s
+/// reduction order exactly: one fmadd chain per output element,
+/// depth-ascending, so scalar and vector paths are bit-identical.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{MR, NR};
+    use core::arch::x86_64::*;
+
+    /// AVX2+FMA register tile: two 256-bit C vectors per row (8 × 16),
+    /// broadcast-A / load-B fmadd over the packed panels.
+    ///
+    /// # Safety
+    /// Caller must have runtime-verified AVX2 and FMA support, and
+    /// `ap`/`bp` must hold at least `kc·MR` / `kc·NR` elements.
+    #[allow(clippy::needless_range_loop)]
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn microkernel_avx2(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+        debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+        let mut c: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+        for r in 0..MR {
+            c[r][0] = _mm256_loadu_ps(acc[r].as_ptr());
+            c[r][1] = _mm256_loadu_ps(acc[r].as_ptr().add(8));
+        }
+        let mut apf = ap.as_ptr();
+        let mut bpf = bp.as_ptr();
+        for _ in 0..kc {
+            let b0 = _mm256_loadu_ps(bpf);
+            let b1 = _mm256_loadu_ps(bpf.add(8));
+            // Unrolled by macro: an `r` loop tempts LLVM into keeping
+            // the accumulator array in memory instead of registers.
+            macro_rules! row {
+                ($i:expr) => {{
+                    let a = _mm256_broadcast_ss(&*apf.add($i));
+                    c[$i][0] = _mm256_fmadd_ps(a, b0, c[$i][0]);
+                    c[$i][1] = _mm256_fmadd_ps(a, b1, c[$i][1]);
+                }};
+            }
+            row!(0);
+            row!(1);
+            row!(2);
+            row!(3);
+            row!(4);
+            row!(5);
+            row!(6);
+            row!(7);
+            apf = apf.add(MR);
+            bpf = bpf.add(NR);
+        }
+        for r in 0..MR {
+            _mm256_storeu_ps(acc[r].as_mut_ptr(), c[r][0]);
+            _mm256_storeu_ps(acc[r].as_mut_ptr().add(8), c[r][1]);
+        }
+    }
+
+    /// AVX-512F register tile: one 512-bit C vector per row (8 × 16).
+    /// Deliberately *not* depth-unrolled into split accumulators — that
+    /// gains ~4% on this kernel but reassociates the per-element chain
+    /// and breaks bit-identity with the scalar oracle (DESIGN.md §14).
+    ///
+    /// # Safety
+    /// Caller must have runtime-verified AVX-512F support, and
+    /// `ap`/`bp` must hold at least `kc·MR` / `kc·NR` elements.
+    #[allow(clippy::needless_range_loop)]
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn microkernel_avx512(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+        debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+        let mut c: [__m512; MR] = [_mm512_setzero_ps(); MR];
+        for r in 0..MR {
+            c[r] = _mm512_loadu_ps(acc[r].as_ptr());
+        }
+        let mut apf = ap.as_ptr();
+        let mut bpf = bp.as_ptr();
+        for _ in 0..kc {
+            let b = _mm512_loadu_ps(bpf);
+            macro_rules! row {
+                ($i:expr) => {{
+                    let a = _mm512_set1_ps(*apf.add($i));
+                    c[$i] = _mm512_fmadd_ps(a, b, c[$i]);
+                }};
+            }
+            row!(0);
+            row!(1);
+            row!(2);
+            row!(3);
+            row!(4);
+            row!(5);
+            row!(6);
+            row!(7);
+            apf = apf.add(MR);
+            bpf = bpf.add(NR);
+        }
+        for r in 0..MR {
+            _mm512_storeu_ps(acc[r].as_mut_ptr(), c[r]);
+        }
+    }
+
+    /// The no-pack tile: same 8 × 16 AVX2 register tile as
+    /// [`microkernel_avx2`], but reading A and B in place. A elements
+    /// are scalar broadcasts at `a + r·ars + p·aps` (serving both
+    /// storage layouts); B rows are loaded with leading dimension
+    /// `ldb`. C is loaded first and stored once, so the tile
+    /// *accumulates* like the packed path does.
+    ///
+    /// # Safety
+    /// Caller must have runtime-verified AVX2 and FMA support, and the
+    /// full tile must be in bounds: `a` addresses up to
+    /// `(MR-1)·ars + (kc-1)·aps`, `b` up to `(kc-1)·ldb + NR`, `c` up
+    /// to `(MR-1)·ldc + NR`.
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn direct_tile_avx2(
+        kc: usize,
+        a: *const f32,
+        ars: usize,
+        aps: usize,
+        b: *const f32,
+        ldb: usize,
+        c: *mut f32,
+        ldc: usize,
+    ) {
+        let mut acc: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+        for r in 0..MR {
+            acc[r][0] = _mm256_loadu_ps(c.add(r * ldc));
+            acc[r][1] = _mm256_loadu_ps(c.add(r * ldc + 8));
+        }
+        for p in 0..kc {
+            let bp = b.add(p * ldb);
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            let ap = a.add(p * aps);
+            macro_rules! row {
+                ($i:expr) => {{
+                    let av = _mm256_broadcast_ss(&*ap.add($i * ars));
+                    acc[$i][0] = _mm256_fmadd_ps(av, b0, acc[$i][0]);
+                    acc[$i][1] = _mm256_fmadd_ps(av, b1, acc[$i][1]);
+                }};
+            }
+            row!(0);
+            row!(1);
+            row!(2);
+            row!(3);
+            row!(4);
+            row!(5);
+            row!(6);
+            row!(7);
+        }
+        for r in 0..MR {
+            _mm256_storeu_ps(c.add(r * ldc), acc[r][0]);
+            _mm256_storeu_ps(c.add(r * ldc + 8), acc[r][1]);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,8 @@
 //! * [`metrics`] — accuracy, confusion, MAPE, Pearson, Kendall tau.
 //! * [`par`] — scoped-thread parallel map for fold-/model-level
 //!   parallelism.
+//! * [`simd`] — runtime instruction-set dispatch (`STENCILMART_NO_SIMD`
+//!   override, obs-reported) for the vectorized kernel paths.
 
 pub mod data;
 pub mod gbdt;
@@ -30,6 +32,7 @@ pub mod metrics;
 pub mod nn;
 pub mod par;
 pub mod reference;
+pub mod simd;
 pub mod tensor;
 
 pub use data::{FeatureMatrix, KFold, MaxNormalizer};

@@ -1,0 +1,84 @@
+//! Runtime SIMD dispatch for the hot kernels.
+//!
+//! The workspace compiles with `-C target-cpu=native`, so the scalar
+//! kernels already autovectorize on the build host — but the explicit
+//! `core::arch` paths in [`crate::gemm`] and [`crate::gbdt`] squeeze
+//! out the register tiling and instruction selection LLVM won't commit
+//! to on its own. Which path runs is a *runtime* decision made here,
+//! once per kernel invocation:
+//!
+//! * the hardware tier comes from a cached `cpuid` probe
+//!   ([`stencilmart_obs::runtime::simd_isa`]),
+//! * `STENCILMART_NO_SIMD=1` forces [`SimdIsa::Scalar`] everywhere so
+//!   tests and CI can exercise the fallback paths on wide hosts,
+//! * every decision is recorded in the obs layer: the `simd_isa_level`
+//!   gauge tracks the most recent tier, and the `simd_dispatches`
+//!   counter counts invocations that actually took a vectorized path.
+//!
+//! # Determinism contract
+//!
+//! Dispatch never changes results where the workspace promises
+//! bit-determinism (DESIGN.md §14): every vectorized kernel keeps each
+//! output element's floating-point reduction in the same order as its
+//! scalar oracle, so GEMM outputs and GBDT fits are bit-identical
+//! across [`SimdIsa`] tiers, `STENCILMART_NO_SIMD` settings, and
+//! `STENCILMART_THREADS` values. Vector width only changes how many
+//! *independent* elements advance per instruction, never the
+//! association order within one element's chain.
+
+use stencilmart_obs::counters;
+pub use stencilmart_obs::runtime::SimdIsa;
+
+/// Resolve the instruction-set tier for one kernel invocation and
+/// record the decision in the obs layer.
+///
+/// Call this once per kernel *entry point* (a GEMM call, a GBDT
+/// histogram batch), not per tile: the env-var re-read behind
+/// [`stencilmart_obs::runtime::simd_isa`] is cheap but not free, and a
+/// single decision per invocation also guarantees one invocation never
+/// mixes tiers mid-computation.
+#[inline]
+pub fn dispatch() -> SimdIsa {
+    let isa = stencilmart_obs::runtime::simd_isa();
+    counters::SIMD_ISA_LEVEL.set(isa.ordinal());
+    if isa > SimdIsa::Scalar {
+        counters::SIMD_DISPATCHES.inc();
+    }
+    isa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par;
+
+    #[test]
+    fn dispatch_matches_runtime_and_honors_override() {
+        let _guard = par::test_env_lock();
+        std::env::remove_var("STENCILMART_NO_SIMD");
+        let native = dispatch();
+        assert_eq!(native, stencilmart_obs::runtime::simd_isa());
+        std::env::set_var("STENCILMART_NO_SIMD", "1");
+        assert_eq!(dispatch(), SimdIsa::Scalar);
+        std::env::remove_var("STENCILMART_NO_SIMD");
+        assert_eq!(dispatch(), native);
+    }
+
+    #[test]
+    fn dispatch_counts_only_vectorized_paths() {
+        let _guard = par::test_env_lock();
+        stencilmart_obs::set_enabled(true);
+        counters::SIMD_DISPATCHES.reset();
+        std::env::set_var("STENCILMART_NO_SIMD", "1");
+        dispatch();
+        assert_eq!(counters::SIMD_DISPATCHES.get(), 0);
+        assert_eq!(counters::SIMD_ISA_LEVEL.get(), SimdIsa::Scalar.ordinal());
+        std::env::remove_var("STENCILMART_NO_SIMD");
+        let isa = dispatch();
+        assert_eq!(
+            counters::SIMD_DISPATCHES.get(),
+            u64::from(isa > SimdIsa::Scalar)
+        );
+        assert_eq!(counters::SIMD_ISA_LEVEL.get(), isa.ordinal());
+    }
+}

@@ -1,9 +1,9 @@
 //! Determinism property tests for the parallel GBDT engine: fitted
 //! models (tree structures, leaf values) and predictions must be
-//! bit-identical across `STENCILMART_THREADS` ∈ {1, 2, 4} on random
-//! datasets, for both the exact and binned tree paths, regressor and
-//! classifier alike. The observability counters (commutative sums) must
-//! agree exactly too.
+//! bit-identical across `STENCILMART_THREADS` ∈ {1, 2, 4} **and**
+//! across `STENCILMART_NO_SIMD` ∈ {0, 1} on random datasets, for both
+//! the exact and binned tree paths, regressor and classifier alike. The
+//! observability counters (commutative sums) must agree exactly too.
 
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -25,6 +25,17 @@ fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
     std::env::set_var("STENCILMART_THREADS", threads);
     let out = f();
     std::env::remove_var("STENCILMART_THREADS");
+    out
+}
+
+fn with_no_simd<T>(no_simd: bool, f: impl FnOnce() -> T) -> T {
+    if no_simd {
+        std::env::set_var("STENCILMART_NO_SIMD", "1");
+    } else {
+        std::env::remove_var("STENCILMART_NO_SIMD");
+    }
+    let out = f();
+    std::env::remove_var("STENCILMART_NO_SIMD");
     out
 }
 
@@ -140,6 +151,40 @@ proptest! {
             .collect();
         prop_assert_eq!(&runs[0], &runs[1]);
         prop_assert_eq!(&runs[0], &runs[2]);
+    }
+
+    // The SIMD histogram/binning paths must not change a single bit of
+    // the fitted model, in any combination with the thread partition
+    // (binned path only: the exact path never dispatches).
+    #[test]
+    fn binned_fit_is_bit_identical_across_simd_paths(
+        seed in 0u64..1 << 20,
+        n in 40usize..120,
+        cols in 1usize..4,
+        classes in 2usize..5,
+    ) {
+        let _guard = env_lock();
+        let (x, y) = random_regression(seed, n, cols);
+        let (cx, labels) = random_classification(seed ^ 0x33, n, cols, classes);
+        let cfg = gbdt_config(false, seed ^ 0xC3);
+        let runs: Vec<(String, Vec<u32>, String)> = [(false, "1"), (false, "4"), (true, "1"), (true, "4")]
+            .iter()
+            .map(|&(no_simd, threads)| {
+                with_no_simd(no_simd, || with_threads(threads, || {
+                    let reg = GbdtRegressor::fit(&x, &y, &cfg);
+                    let bits = reg.predict(&x).iter().map(|p| p.to_bits()).collect();
+                    let cls = GbdtClassifier::fit(&cx, &labels, classes, &cfg);
+                    (
+                        serde_json::to_string(&reg).unwrap(),
+                        bits,
+                        serde_json::to_string(&cls).unwrap(),
+                    )
+                }))
+            })
+            .collect();
+        for run in &runs[1..] {
+            prop_assert_eq!(&runs[0], run);
+        }
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Dispatch-path parity property tests: the vectorized kernels must be
+//! **bit-identical** to their scalar oracles (the documented ULP bound
+//! is zero — see DESIGN.md §14). Every test runs the same computation
+//! with the hardware's native tier and with `STENCILMART_NO_SIMD=1`
+//! and compares raw output bits, across the packed-panel path, the
+//! no-pack direct path, the transposed variants, and the threaded row
+//! partition. On hosts whose native tier is already scalar the
+//! comparisons are trivially equal — CI's AVX2/AVX-512 runners are
+//! where they bite.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use stencilmart_ml::gemm::{gemm, gemm_nt, gemm_tn, DIRECT_FLOP_THRESHOLD, PAR_FLOP_THRESHOLD};
+
+/// Serializes the binary on one mutex: every test mutates the
+/// process-wide `STENCILMART_NO_SIMD` / `STENCILMART_THREADS` variables.
+fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn with_no_simd<T>(no_simd: bool, f: impl FnOnce() -> T) -> T {
+    if no_simd {
+        std::env::set_var("STENCILMART_NO_SIMD", "1");
+    } else {
+        std::env::remove_var("STENCILMART_NO_SIMD");
+    }
+    let out = f();
+    std::env::remove_var("STENCILMART_NO_SIMD");
+    out
+}
+
+fn random_vec(rng: &mut ChaCha8Rng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+}
+
+/// Bits of `C` after one GEMM call of the requested variant.
+#[allow(clippy::too_many_arguments)]
+fn gemm_bits(
+    variant: u8,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c_init: &[f32],
+    accumulate: bool,
+) -> Vec<u32> {
+    let mut c = c_init.to_vec();
+    match variant {
+        0 => gemm(m, k, n, a, b, &mut c, accumulate),
+        1 => gemm_tn(m, k, n, a, b, &mut c, accumulate),
+        _ => gemm_nt(m, k, n, a, b, &mut c, accumulate),
+    }
+    c.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Small shapes: exercises the no-pack direct path (plain and Aᵀ
+    // layouts) and the packed path for Bᵀ, against the scalar tier.
+    #[test]
+    fn small_gemm_is_bit_identical_across_tiers(
+        seed in 0u64..1 << 20,
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        variant in 0u8..3,
+        accumulate in any::<bool>(),
+    ) {
+        let _guard = env_lock();
+        prop_assume!(2 * m * k * n < DIRECT_FLOP_THRESHOLD);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (a, b) = match variant {
+            0 => (random_vec(&mut rng, m * k), random_vec(&mut rng, k * n)),
+            1 => (random_vec(&mut rng, k * m), random_vec(&mut rng, k * n)),
+            _ => (random_vec(&mut rng, m * k), random_vec(&mut rng, n * k)),
+        };
+        let c_init = random_vec(&mut rng, m * n);
+        let native = with_no_simd(false, || gemm_bits(variant, m, k, n, &a, &b, &c_init, accumulate));
+        let scalar = with_no_simd(true, || gemm_bits(variant, m, k, n, &a, &b, &c_init, accumulate));
+        prop_assert_eq!(native, scalar);
+    }
+
+    // Large shapes: exercises the packed-panel micro-kernels, serial
+    // and threaded, against the scalar tier. Shapes straddle the MR/NR
+    // tile edges so zero-padded tails are covered.
+    #[test]
+    fn packed_gemm_is_bit_identical_across_tiers(
+        seed in 0u64..1 << 20,
+        m in 150usize..200,
+        k in 160usize..300,
+        n in 90usize..140,
+        variant in 0u8..3,
+        parallel in any::<bool>(),
+    ) {
+        let _guard = env_lock();
+        let threads = if parallel { "3" } else { "1" };
+        prop_assume!(2 * m * k * n >= DIRECT_FLOP_THRESHOLD);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (a, b) = match variant {
+            0 => (random_vec(&mut rng, m * k), random_vec(&mut rng, k * n)),
+            1 => (random_vec(&mut rng, k * m), random_vec(&mut rng, k * n)),
+            _ => (random_vec(&mut rng, m * k), random_vec(&mut rng, n * k)),
+        };
+        let c_init = vec![0.0f32; m * n];
+        std::env::set_var("STENCILMART_THREADS", threads);
+        let native = with_no_simd(false, || gemm_bits(variant, m, k, n, &a, &b, &c_init, false));
+        let scalar = with_no_simd(true, || gemm_bits(variant, m, k, n, &a, &b, &c_init, false));
+        std::env::remove_var("STENCILMART_THREADS");
+        prop_assert_eq!(native, scalar);
+    }
+}
+
+/// The parallel threshold really is reachable from the proptest shape
+/// ranges above (guards against silent `prop_assume` vacuity if the
+/// thresholds ever move).
+#[test]
+#[allow(clippy::assertions_on_constants)]
+fn packed_shapes_cross_the_parallel_threshold() {
+    assert!(2 * 199 * 299 * 139 >= PAR_FLOP_THRESHOLD);
+    assert!(2 * 150 * 160 * 90 >= DIRECT_FLOP_THRESHOLD);
+}

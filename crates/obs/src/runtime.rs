@@ -1,10 +1,13 @@
-//! Pipeline-wide worker-count resolution.
+//! Pipeline-wide runtime knobs: worker-count and SIMD-path resolution.
 //!
 //! Every thread pool in the workspace — the ML fold/model parallelism,
 //! the blocked GEMM row partitioning, and the profiler's per-stencil
 //! corpus partitioning — sizes itself through [`worker_count`], so the
 //! single `STENCILMART_THREADS` environment variable controls the whole
-//! pipeline.
+//! pipeline. Likewise every runtime-dispatched SIMD kernel resolves its
+//! instruction-set tier through [`simd_isa`], so the single
+//! `STENCILMART_NO_SIMD` variable forces the scalar fallback everywhere
+//! at once (and the run manifest records which tier actually ran).
 
 /// Number of worker threads to use: `STENCILMART_THREADS` when set to a
 /// parseable value ≥ 1, otherwise `available_parallelism()` (or 1 when
@@ -22,6 +25,77 @@ pub fn worker_count() -> usize {
         .unwrap_or(1)
 }
 
+/// Instruction-set tier a runtime-dispatched kernel may use. Ordered:
+/// every tier implies the ones below it, so kernels that only have an
+/// AVX2 variant run it on `Avx512` hosts too (`>=` comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdIsa {
+    /// Portable scalar fallback (also the correctness oracle).
+    Scalar,
+    /// 256-bit AVX2 + FMA.
+    Avx2,
+    /// 512-bit AVX-512F (implies AVX2 + FMA on every real part).
+    Avx512,
+}
+
+impl SimdIsa {
+    /// Stable lowercase name, used in manifests and bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdIsa::Scalar => "scalar",
+            SimdIsa::Avx2 => "avx2",
+            SimdIsa::Avx512 => "avx512",
+        }
+    }
+
+    /// Ordinal for gauge export (0 = scalar, 1 = avx2, 2 = avx512).
+    pub fn ordinal(self) -> u64 {
+        match self {
+            SimdIsa::Scalar => 0,
+            SimdIsa::Avx2 => 1,
+            SimdIsa::Avx512 => 2,
+        }
+    }
+}
+
+/// What the hardware supports, probed once per process (the probe
+/// itself is a handful of `cpuid` leaves, but caching it keeps the
+/// dispatch check on kernel entry points to one atomic load plus the
+/// env-var read below).
+fn probed_isa() -> SimdIsa {
+    static PROBE: std::sync::OnceLock<SimdIsa> = std::sync::OnceLock::new();
+    *PROBE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return SimdIsa::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return SimdIsa::Avx2;
+            }
+        }
+        SimdIsa::Scalar
+    })
+}
+
+/// The instruction-set tier runtime-dispatched kernels should use right
+/// now: the cached hardware probe, unless `STENCILMART_NO_SIMD` is set
+/// to anything other than `0`/empty, which forces [`SimdIsa::Scalar`]
+/// (the knob tests and CI use to keep the fallback paths green on wide
+/// hosts). The env var is re-read on every call — like
+/// [`worker_count`] — so tests can flip it at runtime.
+pub fn simd_isa() -> SimdIsa {
+    if let Ok(v) = std::env::var("STENCILMART_NO_SIMD") {
+        let v = v.trim();
+        if !v.is_empty() && v != "0" {
+            return SimdIsa::Scalar;
+        }
+    }
+    probed_isa()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,5 +111,36 @@ mod tests {
         assert!(worker_count() >= 1);
         std::env::remove_var("STENCILMART_THREADS");
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn simd_isa_honors_no_simd_override() {
+        let _guard = crate::test_guard();
+        std::env::remove_var("STENCILMART_NO_SIMD");
+        let probed = simd_isa();
+        std::env::set_var("STENCILMART_NO_SIMD", "1");
+        assert_eq!(simd_isa(), SimdIsa::Scalar);
+        // `0` and empty mean "not disabled".
+        std::env::set_var("STENCILMART_NO_SIMD", "0");
+        assert_eq!(simd_isa(), probed);
+        std::env::set_var("STENCILMART_NO_SIMD", "");
+        assert_eq!(simd_isa(), probed);
+        std::env::remove_var("STENCILMART_NO_SIMD");
+        assert_eq!(simd_isa(), probed);
+    }
+
+    #[test]
+    fn simd_isa_tiers_are_ordered() {
+        assert!(SimdIsa::Scalar < SimdIsa::Avx2);
+        assert!(SimdIsa::Avx2 < SimdIsa::Avx512);
+        assert_eq!(SimdIsa::Scalar.name(), "scalar");
+        assert_eq!(SimdIsa::Avx2.name(), "avx2");
+        assert_eq!(SimdIsa::Avx512.name(), "avx512");
+        for (i, isa) in [SimdIsa::Scalar, SimdIsa::Avx2, SimdIsa::Avx512]
+            .into_iter()
+            .enumerate()
+        {
+            assert_eq!(isa.ordinal(), i as u64);
+        }
     }
 }
