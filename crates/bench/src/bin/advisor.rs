@@ -27,19 +27,15 @@
 //! default parameter setting. `rank_gpus` orders the criterion's GPUs by
 //! predicted score (ascending; `criterion` is `perf` or `cost`).
 
-use std::io::{BufRead, Write};
+use std::io::BufRead;
 use std::path::{Path, PathBuf};
 
-use serde::Value;
-use stencilmart::advisor::Criterion;
 use stencilmart::api::{Predictor, StencilMart};
-use stencilmart::error::MartError;
 use stencilmart::models::{ClassifierKind, RegressorKind};
+use stencilmart::serve::jsonl;
 use stencilmart_bench::Scale;
-use stencilmart_gpusim::{GpuId, OptCombo, ParamSetting};
 use stencilmart_obs as obs;
-use stencilmart_stencil::canonical;
-use stencilmart_stencil::pattern::{Dim, Offset, StencilPattern};
+use stencilmart_stencil::pattern::Dim;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -211,170 +207,20 @@ fn cmd_serve(args: Vec<String>) -> i32 {
     };
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    let mut served = 0usize;
-    let mut failed = 0usize;
-    for line in input.lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(e) => {
-                eprintln!("error: cannot read request stream: {e}");
-                return 1;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
+    // The dispatch core is shared with the advisord daemon; this loop
+    // only owns the line framing, and it flushes per response line.
+    let stats = match jsonl::serve_lines(&mut predictor, input, &mut out) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: request stream failed: {e}");
+            return 1;
         }
-        let response = match handle_request(&mut predictor, &line) {
-            Ok(r) => {
-                served += 1;
-                r
-            }
-            Err(e) => {
-                failed += 1;
-                format!(
-                    "{{\"ok\":false,\"kind\":{},\"error\":{}}}",
-                    json_str(e.kind()),
-                    json_str(&e.to_string())
-                )
-            }
-        };
-        if writeln!(out, "{response}").is_err() {
-            return 1; // broken pipe
-        }
-    }
-    eprintln!("[serve] {served} ok, {failed} rejected");
+    };
+    eprintln!("[serve] {} ok, {} rejected", stats.served, stats.failed);
     if let Some(path) = metrics_out {
         // Bundle-identified config: the serve side has no PipelineConfig
         // of its own, so key the manifest on the bundle path.
         emit_metrics(&path, "advisor", 0, &bundle_path.display().to_string());
     }
     0
-}
-
-/// Minimal JSON string escaping for response assembly.
-fn json_str(s: &str) -> String {
-    serde_json::to_string(&s).expect("string serializes")
-}
-
-fn bad(why: impl Into<String>) -> MartError {
-    MartError::BadRequest(why.into())
-}
-
-/// Resolve the request's stencil: `"stencil"` (canonical-suite name) or
-/// `"offsets"` (array of 2- or 3-element integer arrays; origin implicit).
-fn parse_pattern(req: &Value) -> Result<StencilPattern, MartError> {
-    if let Ok(name) = req.field("stencil").and_then(|v| v.as_str()) {
-        return canonical::by_name(name)
-            .map(|c| c.pattern)
-            .ok_or_else(|| bad(format!("unknown canonical stencil {name:?}")));
-    }
-    let offsets = req
-        .field("offsets")
-        .and_then(|v| v.as_array())
-        .map_err(|_| bad("request needs \"stencil\" (name) or \"offsets\" (array)"))?;
-    let mut parsed: Vec<Offset> = Vec::with_capacity(offsets.len());
-    let mut rank = 0usize;
-    for o in offsets {
-        let comps = o
-            .as_array()
-            .map_err(|e| bad(format!("offset must be an array: {e}")))?;
-        if comps.len() < 2 || comps.len() > 3 {
-            return Err(bad(format!(
-                "offset must have 2 or 3 components, got {}",
-                comps.len()
-            )));
-        }
-        rank = rank.max(comps.len());
-        let mut c = [0i32; 3];
-        for (i, v) in comps.iter().enumerate() {
-            let x = v
-                .as_i64()
-                .map_err(|e| bad(format!("offset component: {e}")))?;
-            c[i] =
-                i32::try_from(x).map_err(|_| bad(format!("offset component {x} out of range")))?;
-        }
-        parsed.push(Offset { c });
-    }
-    let dim = if rank == 3 { Dim::D3 } else { Dim::D2 };
-    StencilPattern::new(dim, parsed).map_err(|e| bad(format!("invalid pattern: {e:?}")))
-}
-
-fn parse_gpu(req: &Value) -> Result<GpuId, MartError> {
-    let name = req
-        .field("gpu")
-        .and_then(|v| v.as_str())
-        .map_err(|e| bad(format!("request needs \"gpu\": {e}")))?;
-    GpuId::ALL
-        .iter()
-        .copied()
-        .find(|g| g.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| MartError::UnknownGpu(name.to_string()))
-}
-
-fn parse_oc(req: &Value) -> Result<OptCombo, MartError> {
-    let name = req
-        .field("oc")
-        .and_then(|v| v.as_str())
-        .map_err(|e| bad(format!("request needs \"oc\": {e}")))?;
-    OptCombo::parse(name).ok_or_else(|| bad(format!("unknown OC {name:?}")))
-}
-
-/// Serve one JSONL request line. Every failure path is a [`MartError`].
-fn handle_request(predictor: &mut Predictor, line: &str) -> Result<String, MartError> {
-    let req = serde_json::parse_value(line)?;
-    let op = req
-        .field("op")
-        .and_then(|v| v.as_str())
-        .map_err(|e| bad(format!("request needs \"op\": {e}")))?;
-    match op {
-        "best_oc" => {
-            let pattern = parse_pattern(&req)?;
-            let gpu = parse_gpu(&req)?;
-            let oc = predictor.best_oc(&pattern, gpu)?;
-            Ok(format!(
-                "{{\"ok\":true,\"op\":\"best_oc\",\"oc\":{}}}",
-                json_str(&oc.name())
-            ))
-        }
-        "predict_time" => {
-            let pattern = parse_pattern(&req)?;
-            let gpu = parse_gpu(&req)?;
-            let oc = parse_oc(&req)?;
-            let params = ParamSetting::default_for_dim(&oc, predictor.dim());
-            let ms = predictor.predict_time_ms(&pattern, &oc, &params, gpu)?;
-            Ok(format!(
-                "{{\"ok\":true,\"op\":\"predict_time\",\"time_ms\":{ms}}}"
-            ))
-        }
-        "rank_gpus" => {
-            let pattern = parse_pattern(&req)?;
-            let oc = parse_oc(&req)?;
-            let params = ParamSetting::default_for_dim(&oc, predictor.dim());
-            let criterion = match req.field("criterion").and_then(|v| v.as_str()) {
-                Ok("perf") | Err(_) => Criterion::PurePerformance,
-                Ok("cost") => Criterion::CostEfficiency,
-                Ok(v) => return Err(bad(format!("unknown criterion {v:?}; use perf|cost"))),
-            };
-            let mut ranked: Vec<(GpuId, f64)> = Vec::new();
-            for gpu in criterion.gpus() {
-                let ms = predictor.predict_time_ms(&pattern, &oc, &params, gpu)?;
-                let score = criterion
-                    .score(gpu, ms)
-                    .ok_or(MartError::UnrankableGpu(gpu))?;
-                ranked.push((gpu, score));
-            }
-            ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
-            let items: Vec<String> = ranked
-                .iter()
-                .map(|(g, s)| format!("{{\"gpu\":{},\"score\":{s}}}", json_str(g.name())))
-                .collect();
-            Ok(format!(
-                "{{\"ok\":true,\"op\":\"rank_gpus\",\"ranking\":[{}]}}",
-                items.join(",")
-            ))
-        }
-        other => Err(bad(format!(
-            "unknown op {other:?}; use best_oc|predict_time|rank_gpus"
-        ))),
-    }
 }

@@ -1,0 +1,204 @@
+//! `advisord` — the always-on advisor daemon.
+//!
+//! ```text
+//! advisord --bundle BUNDLE [--addr 127.0.0.1:0] [--max-conns N]
+//!          [--max-batch N] [--metrics-out PATH] [--port-file PATH]
+//! ```
+//!
+//! Speaks the versioned binary wire protocol (`stencilmart::wire`,
+//! protocol version 1) over TCP. Concurrent in-flight requests are
+//! micro-batched into the predictor's batched entry points by a single
+//! batcher thread. The model bundle hot-swaps without downtime on
+//! either a `SIGHUP` or a `Reload` control frame: the new bundle goes
+//! through the full load-time validation, and a failed load keeps the
+//! old model serving (counted in `bundle_swap_failures`).
+//!
+//! The daemon prints `advisord listening on ADDR` once ready (and
+//! writes the address to `--port-file` if given), serves until a
+//! `Shutdown` control frame arrives, then writes the observability
+//! report to `--metrics-out`.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use stencilmart::api::Predictor;
+use stencilmart::serve::engine::{Engine, EngineOptions};
+use stencilmart::serve::server::{serve, ServerOptions};
+use stencilmart_obs as obs;
+
+const USAGE: &str = "usage:\n  \
+    advisord --bundle BUNDLE [--addr 127.0.0.1:0] [--max-conns N]\n           \
+    [--max-batch N] [--metrics-out PATH] [--port-file PATH]";
+
+/// SIGHUP-triggered hot-swap without a libc dependency: a C-ABI
+/// handler sets a flag that a monitor thread polls.
+#[cfg(unix)]
+mod sighup {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static PENDING: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sighup(_sig: i32) {
+        PENDING.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGHUP: i32 = 1;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGHUP, on_sighup);
+        }
+    }
+
+    pub fn take() -> bool {
+        PENDING.swap(false, Ordering::SeqCst)
+    }
+}
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut bundle: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut max_conns = 8usize;
+    let mut max_batch = 256usize;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut port_file: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--bundle" => bundle = Some(PathBuf::from(val("--bundle"))),
+            "--addr" => addr = val("--addr"),
+            "--max-conns" => {
+                max_conns = match val("--max-conns").parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--max-conns needs an integer");
+                        return 2;
+                    }
+                };
+            }
+            "--max-batch" => {
+                max_batch = match val("--max-batch").parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--max-batch needs an integer");
+                        return 2;
+                    }
+                };
+            }
+            "--metrics-out" => metrics_out = Some(PathBuf::from(val("--metrics-out"))),
+            "--port-file" => port_file = Some(PathBuf::from(val("--port-file"))),
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return 0;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let Some(bundle_path) = bundle else {
+        eprintln!("advisord requires --bundle\n{USAGE}");
+        return 2;
+    };
+    obs::set_enabled(true);
+    let predictor = match Predictor::load(&bundle_path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot load bundle {}: {e}", bundle_path.display());
+            return 1;
+        }
+    };
+    let engine = Arc::new(Engine::new(
+        predictor,
+        EngineOptions {
+            max_batch,
+            bundle_path: Some(bundle_path.clone()),
+        },
+    ));
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    let local = listener.local_addr().expect("bound socket has an address");
+    if let Some(pf) = &port_file {
+        if let Err(e) = std::fs::write(pf, local.to_string()) {
+            eprintln!("error: cannot write port file {}: {e}", pf.display());
+            return 1;
+        }
+    }
+    println!("advisord listening on {local}");
+    let _ = std::io::stdout().flush();
+
+    #[cfg(unix)]
+    let sighup_monitor = {
+        sighup::install();
+        let engine = Arc::clone(&engine);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(std::sync::atomic::Ordering::SeqCst) {
+                if sighup::take() {
+                    match engine.reload() {
+                        Ok(v) => eprintln!("[advisord] SIGHUP reload -> generation {v}"),
+                        Err(e) => eprintln!("[advisord] SIGHUP reload failed: {e}"),
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        });
+        (stop, handle)
+    };
+
+    let result = serve(
+        listener,
+        Arc::clone(&engine),
+        ServerOptions {
+            max_conns,
+            read_timeout_ms: 50,
+        },
+    );
+
+    #[cfg(unix)]
+    {
+        let (stop, handle) = sighup_monitor;
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let _ = handle.join();
+    }
+    engine.stop();
+    if let Err(e) = result {
+        eprintln!("error: accept loop failed: {e}");
+        return 1;
+    }
+    eprintln!("[advisord] shutdown complete");
+    if let Some(path) = metrics_out {
+        let manifest = obs::RunManifest::new("advisord", 0, &bundle_path.display().to_string());
+        if let Err(e) = obs::report::write_metrics(&path, &manifest) {
+            eprintln!("error: cannot write metrics {}: {e}", path.display());
+            return 1;
+        }
+        let trace = obs::report::trace_path_for(&path);
+        let _ = obs::report::write_chrome_trace(&trace);
+        eprintln!("[metrics] wrote {}", path.display());
+    }
+    0
+}

@@ -1,17 +1,18 @@
 //! CI perf-regression gate over bench reports (`ml_kernels`,
-//! `gpusim_profile`, `gbdt_train`).
+//! `gpusim_profile`, `gbdt_train`, `serving_load`).
 //!
 //! ```text
 //! bench_gate BASELINE.json CURRENT.json [--max-regression 0.25]
 //!            [--require-overhead-below 0.02]
 //! ```
 //!
-//! Compares each entry's higher-is-better metric (GFLOP/s for
-//! `ml_kernels`; `throughput` — stencils/s or trees/s — for the
-//! `gpusim_profile` and `gbdt_train` reports) of a fresh run against the
-//! committed baseline, matched by entry name, and exits nonzero when any
-//! entry regresses by more than the tolerance (default 25%, loose enough
-//! to absorb shared-runner jitter while catching real slowdowns). An
+//! Compares each entry's metric — higher-is-better `gflops` (ml_kernels)
+//! and `throughput` (stencils/s, trees/s, or serving requests/s), or
+//! lower-is-better `p99_us` (serving tail latency) — of a fresh run
+//! against the committed baseline, matched by entry name, and exits
+//! nonzero when any entry regresses by more than the tolerance (default
+//! 25%, loose enough to absorb shared-runner jitter while catching real
+//! slowdowns). An
 //! entry present in the baseline but absent from the current run is a
 //! failure. When both reports carry a top-level `isa` field and the
 //! values differ, the gate refuses outright: a scalar-tier run is not
@@ -35,10 +36,11 @@ fn load(path: &str) -> Value {
         .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e:?}")))
 }
 
-/// Extract `(name, metric)` pairs from a report's `entries` array. The
-/// higher-is-better metric is `gflops` (ml_kernels reports) or
-/// `throughput` (gpusim_profile and gbdt_train reports).
-fn entries(doc: &Value, path: &str) -> Vec<(String, f64)> {
+/// Extract `(name, metric, lower_is_better)` triples from a report's
+/// `entries` array. Higher-is-better metrics are `gflops` (ml_kernels
+/// reports) and `throughput` (gpusim_profile, gbdt_train, and serving
+/// requests/s); `p99_us` (serving tail latency) is lower-is-better.
+fn entries(doc: &Value, path: &str) -> Vec<(String, f64, bool)> {
     doc.field("entries")
         .and_then(|v| v.as_array().map(<[Value]>::to_vec))
         .unwrap_or_else(|_| fail(&format!("{path} has no `entries` array")))
@@ -48,14 +50,25 @@ fn entries(doc: &Value, path: &str) -> Vec<(String, f64)> {
                 .field("name")
                 .and_then(|v| v.as_str().map(str::to_string))
                 .unwrap_or_else(|_| fail(&format!("{path}: entry without a name")));
-            let metric = e
+            let higher = e
                 .field("gflops")
                 .or_else(|_| e.field("throughput"))
-                .and_then(|v| v.as_f64())
-                .unwrap_or_else(|_| {
-                    fail(&format!("{path}: entry {name} has no gflops/throughput"))
-                });
-            (name, metric)
+                .and_then(|v| v.as_f64());
+            let (metric, lower_is_better) = match higher {
+                Ok(v) => (v, false),
+                Err(_) => {
+                    let v = e
+                        .field("p99_us")
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or_else(|_| {
+                            fail(&format!(
+                                "{path}: entry {name} has no gflops/throughput/p99_us"
+                            ))
+                        });
+                    (v, true)
+                }
+            };
+            (name, metric, lower_is_better)
         })
         .collect()
 }
@@ -121,16 +134,29 @@ fn main() {
         "{:<30} {:>12} {:>12} {:>8}",
         "entry", "baseline", "current", "ratio"
     );
-    for (name, base_gf) in &base_entries {
-        match cur_entries.iter().find(|(n, _)| n == name) {
+    for (name, base_gf, lower_is_better) in &base_entries {
+        match cur_entries.iter().find(|(n, _, _)| n == name) {
             None => failures.push(format!("entry {name} missing from current run")),
-            Some((_, cur_gf)) => {
+            Some((_, cur_gf, _)) => {
                 let ratio = cur_gf / base_gf;
-                let verdict = if ratio < 1.0 - max_regression {
+                // Higher-is-better fails when the ratio drops below
+                // 1 - tolerance; lower-is-better (p99_us) fails when it
+                // inflates above 1 + tolerance.
+                let regressed = if *lower_is_better {
+                    ratio > 1.0 + max_regression
+                } else {
+                    ratio < 1.0 - max_regression
+                };
+                let verdict = if regressed {
+                    let pct = if *lower_is_better {
+                        (ratio - 1.0) * 100.0
+                    } else {
+                        (1.0 - ratio) * 100.0
+                    };
+                    let dir = if *lower_is_better { "above" } else { "below" };
                     failures.push(format!(
                         "{name} regressed: {base_gf:.2} -> {cur_gf:.2} \
-                         ({:.1}% below baseline, tolerance {:.0}%)",
-                        (1.0 - ratio) * 100.0,
+                         ({pct:.1}% {dir} baseline, tolerance {:.0}%)",
                         max_regression * 100.0
                     ));
                     "FAIL"

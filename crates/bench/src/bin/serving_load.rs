@@ -1,0 +1,680 @@
+//! Load generator and CI smoke client for the `advisord` daemon.
+//!
+//! ```text
+//! serving_load --addr ADDR [--threads 4] [--window 64] [--duration-ms 2000]
+//!              [--mode closed|rate] [--rate REQS_PER_SEC]
+//!              [--out BENCH_serving.json] [--daemon-metrics PATH]
+//!              [--shutdown]
+//! serving_load --smoke --addr ADDR [--requests-per-thread N]
+//!              [--daemon-metrics PATH]
+//! ```
+//!
+//! Bench mode drives N client threads over persistent connections —
+//! closed-loop (a pipelined window of in-flight requests per thread) or
+//! open-loop fixed-rate — and writes a `BENCH_serving.json` report
+//! (requests/s as a higher-is-better `throughput` entry, tail latency
+//! as a lower-is-better `p99_us` entry, the serving SIMD tier as
+//! top-level `isa`) that `bench_gate` understands.
+//!
+//! Smoke mode is the CI end-to-end check: concurrent valid traffic plus
+//! a hostile connection firing malformed, truncated, and length-lying
+//! frames, one hot-swap `Reload` mid-traffic, then `Shutdown`. It exits
+//! nonzero if any valid request goes unanswered, if the decoder's error
+//! discipline is violated, or if the daemon's metrics report (when
+//! given) does not record the bundle swap.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stencilmart::wire::{
+    encode_request, Frame, FrameDecoder, PatternSpec, Reply, Request, Response,
+};
+use stencilmart_stencil::canonical;
+use stencilmart_stencil::pattern::Dim;
+
+const USAGE: &str = "usage:\n  \
+    serving_load --addr ADDR [--threads 4] [--window 64] [--duration-ms 2000]\n               \
+    [--mode closed|rate] [--rate N] [--out PATH] [--daemon-metrics PATH]\n               \
+    [--shutdown]\n  \
+    serving_load --smoke --addr ADDR [--requests-per-thread N] [--daemon-metrics PATH]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serving_load: {msg}");
+    std::process::exit(1);
+}
+
+#[derive(Clone)]
+struct Config {
+    addr: String,
+    threads: usize,
+    window: usize,
+    duration_ms: u64,
+    mode: Mode,
+    rate: u64,
+    out: Option<PathBuf>,
+    daemon_metrics: Option<PathBuf>,
+    shutdown: bool,
+    smoke: bool,
+    requests_per_thread: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Closed,
+    Rate,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        addr: String::new(),
+        threads: 4,
+        window: 64,
+        duration_ms: 2000,
+        mode: Mode::Closed,
+        rate: 20_000,
+        out: None,
+        daemon_metrics: None,
+        shutdown: false,
+        smoke: false,
+        requests_per_thread: 2000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = val("--addr"),
+            "--threads" => cfg.threads = num(&val("--threads")) as usize,
+            "--window" => cfg.window = num(&val("--window")) as usize,
+            "--duration-ms" => cfg.duration_ms = num(&val("--duration-ms")),
+            "--rate" => cfg.rate = num(&val("--rate")),
+            "--mode" => {
+                cfg.mode = match val("--mode").as_str() {
+                    "closed" => Mode::Closed,
+                    "rate" => Mode::Rate,
+                    other => fail(&format!("unknown mode {other:?}; use closed|rate")),
+                }
+            }
+            "--out" => cfg.out = Some(PathBuf::from(val("--out"))),
+            "--daemon-metrics" => cfg.daemon_metrics = Some(PathBuf::from(val("--daemon-metrics"))),
+            "--shutdown" => cfg.shutdown = true,
+            "--smoke" => cfg.smoke = true,
+            "--requests-per-thread" => cfg.requests_per_thread = num(&val("--requests-per-thread")),
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if cfg.addr.is_empty() {
+        fail(&format!("--addr is required\n{USAGE}"));
+    }
+    if cfg.threads == 0 || cfg.window == 0 {
+        fail("--threads and --window must be positive");
+    }
+    cfg
+}
+
+fn num(s: &str) -> u64 {
+    s.parse()
+        .unwrap_or_else(|_| fail(&format!("expected an integer, got {s:?}")))
+}
+
+/// 2-D canonical stencil names to cycle through (the CI bundle is
+/// trained at dim 2).
+fn request_names() -> Vec<String> {
+    canonical::suite()
+        .into_iter()
+        .filter(|c| c.pattern.dim() == Dim::D2)
+        .map(|c| c.name)
+        .collect()
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    let _ = stream.set_nodelay(true);
+    stream
+}
+
+/// Read frames until `want` responses have arrived, feeding latencies
+/// from the per-id send stamps. Returns the responses seen.
+fn read_responses(
+    stream: &mut TcpStream,
+    dec: &mut FrameDecoder,
+    want: usize,
+    sent_at: &HashMap<u64, Instant>,
+    latencies_us: &mut Vec<u64>,
+) -> Result<Vec<Response>, String> {
+    let mut rbuf = vec![0u8; 64 * 1024];
+    let mut got: Vec<Response> = Vec::with_capacity(want);
+    while got.len() < want {
+        let n = match stream.read(&mut rbuf) {
+            Ok(0) => return Err("server closed the connection mid-stream".to_string()),
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(format!("read failed: {e}")),
+        };
+        dec.push(&rbuf[..n]);
+        loop {
+            match dec.next_frame() {
+                Ok(None) => break,
+                Ok(Some(Frame::Response(resp))) => {
+                    if let Some(t0) = sent_at.get(&resp.id) {
+                        let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                        latencies_us.push(us);
+                    }
+                    got.push(resp);
+                }
+                Ok(Some(Frame::Request { .. })) => {
+                    return Err("server sent a request frame".to_string())
+                }
+                Err(e) => return Err(format!("response decode failed: {}", e.error)),
+            }
+        }
+    }
+    Ok(got)
+}
+
+#[derive(Default)]
+struct ClientStats {
+    sent: u64,
+    answered: u64,
+    ok: u64,
+    rejected: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Closed-loop worker: keep `window` requests pipelined on one
+/// connection until `deadline` (or `max_requests`, whichever first).
+fn closed_loop(
+    addr: &str,
+    names: &[String],
+    thread_idx: u64,
+    window: usize,
+    deadline: Instant,
+    max_requests: u64,
+    hostile_every: Option<u64>,
+) -> Result<ClientStats, String> {
+    let mut stream = connect(addr);
+    let mut dec = FrameDecoder::new();
+    let mut stats = ClientStats::default();
+    let mut seq: u64 = 0;
+    while Instant::now() < deadline && stats.sent < max_requests {
+        let burst = window.min((max_requests - stats.sent) as usize);
+        let mut wbuf: Vec<u8> = Vec::with_capacity(burst * 48);
+        let mut sent_at: HashMap<u64, Instant> = HashMap::with_capacity(burst);
+        for _ in 0..burst {
+            let id = (thread_idx << 32) | seq;
+            let gpu = match hostile_every {
+                // Every Nth request asks for a GPU that does not exist:
+                // the response must be a structured error, not a drop.
+                Some(k) if seq % k == k - 1 => "NoSuchGpu".to_string(),
+                _ => "V100".to_string(),
+            };
+            let req = Request::BestOc {
+                gpu,
+                pattern: PatternSpec::Name(names[(seq as usize) % names.len()].clone()),
+            };
+            sent_at.insert(id, Instant::now());
+            wbuf.extend_from_slice(&encode_request(id, &req));
+            seq += 1;
+        }
+        stream
+            .write_all(&wbuf)
+            .map_err(|e| format!("write failed: {e}"))?;
+        stats.sent += burst as u64;
+        let responses = read_responses(
+            &mut stream,
+            &mut dec,
+            burst,
+            &sent_at,
+            &mut stats.latencies_us,
+        )?;
+        for resp in &responses {
+            if !sent_at.contains_key(&resp.id) {
+                return Err(format!("response for unknown id {}", resp.id));
+            }
+            stats.answered += 1;
+            match &resp.result {
+                Ok(_) => stats.ok += 1,
+                Err(_) => stats.rejected += 1,
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Open-loop fixed-rate worker: send on a schedule, drain responses
+/// opportunistically, collect stragglers at the end.
+fn rate_loop(
+    addr: &str,
+    names: &[String],
+    thread_idx: u64,
+    rate_per_thread: u64,
+    deadline: Instant,
+) -> Result<ClientStats, String> {
+    let mut stream = connect(addr);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
+    let mut dec = FrameDecoder::new();
+    let mut stats = ClientStats::default();
+    let mut sent_at: HashMap<u64, Instant> = HashMap::new();
+    let interval = Duration::from_nanos(1_000_000_000 / rate_per_thread.max(1));
+    let start = Instant::now();
+    let mut seq: u64 = 0;
+    let mut rbuf = vec![0u8; 64 * 1024];
+    let mut drain = |dec: &mut FrameDecoder,
+                     stream: &mut TcpStream,
+                     sent_at: &HashMap<u64, Instant>,
+                     stats: &mut ClientStats|
+     -> Result<(), String> {
+        match stream.read(&mut rbuf) {
+            Ok(0) => return Err("server closed the connection".to_string()),
+            Ok(n) => dec.push(&rbuf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(format!("read failed: {e}")),
+        }
+        loop {
+            match dec.next_frame() {
+                Ok(None) => break,
+                Ok(Some(Frame::Response(resp))) => {
+                    if let Some(t0) = sent_at.get(&resp.id) {
+                        stats
+                            .latencies_us
+                            .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                    }
+                    stats.answered += 1;
+                    match &resp.result {
+                        Ok(_) => stats.ok += 1,
+                        Err(_) => stats.rejected += 1,
+                    }
+                }
+                Ok(Some(Frame::Request { .. })) => {
+                    return Err("server sent a request frame".to_string())
+                }
+                Err(e) => return Err(format!("response decode failed: {}", e.error)),
+            }
+        }
+        Ok(())
+    };
+    while Instant::now() < deadline {
+        let due =
+            start + interval * u32::try_from(seq.min(u64::from(u32::MAX))).unwrap_or(u32::MAX);
+        if Instant::now() >= due {
+            let id = (thread_idx << 32) | seq;
+            let req = Request::BestOc {
+                gpu: "V100".to_string(),
+                pattern: PatternSpec::Name(names[(seq as usize) % names.len()].clone()),
+            };
+            sent_at.insert(id, Instant::now());
+            stream
+                .write_all(&encode_request(id, &req))
+                .map_err(|e| format!("write failed: {e}"))?;
+            stats.sent += 1;
+            seq += 1;
+        }
+        drain(&mut dec, &mut stream, &sent_at, &mut stats)?;
+    }
+    // Collect stragglers for up to two seconds.
+    let grace = Instant::now() + Duration::from_secs(2);
+    while stats.answered < stats.sent && Instant::now() < grace {
+        drain(&mut dec, &mut stream, &sent_at, &mut stats)?;
+    }
+    Ok(stats)
+}
+
+/// Send one request on a fresh connection and return its response.
+fn roundtrip(addr: &str, id: u64, req: &Request) -> Result<Response, String> {
+    let mut stream = connect(addr);
+    stream
+        .write_all(&encode_request(id, req))
+        .map_err(|e| format!("write failed: {e}"))?;
+    let mut dec = FrameDecoder::new();
+    let empty = HashMap::new();
+    let mut lat = Vec::new();
+    let mut resp = read_responses(&mut stream, &mut dec, 1, &empty, &mut lat)?;
+    Ok(resp.pop().expect("one response"))
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+/// Pull a named numeric leaf out of the daemon's metrics JSON, waiting
+/// for the file to appear (the daemon writes it after its accept loop
+/// exits).
+fn daemon_metric(path: &Path, keys: &[&str]) -> Option<f64> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let text = loop {
+        match std::fs::read_to_string(path) {
+            Ok(t) => break t,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => {
+                eprintln!("serving_load: cannot read {}: {e}", path.display());
+                return None;
+            }
+        }
+    };
+    let mut v = serde_json::parse_value(&text).ok()?;
+    for key in keys {
+        v = v.field(key).ok()?.clone();
+    }
+    v.as_f64().ok()
+}
+
+fn run_bench(cfg: &Config) -> i32 {
+    let names = Arc::new(request_names());
+    let deadline = Instant::now() + Duration::from_millis(cfg.duration_ms);
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for thread_idx in 0..cfg.threads as u64 {
+        let cfg = cfg.clone();
+        let names = Arc::clone(&names);
+        handles.push(std::thread::spawn(move || match cfg.mode {
+            Mode::Closed => closed_loop(
+                &cfg.addr,
+                &names,
+                thread_idx,
+                cfg.window,
+                deadline,
+                u64::MAX,
+                None,
+            ),
+            Mode::Rate => rate_loop(
+                &cfg.addr,
+                &names,
+                thread_idx,
+                cfg.rate / cfg.threads as u64,
+                deadline,
+            ),
+        }));
+    }
+    let mut all = ClientStats::default();
+    for h in handles {
+        match h.join().expect("client thread panicked") {
+            Ok(s) => {
+                all.sent += s.sent;
+                all.answered += s.answered;
+                all.ok += s.ok;
+                all.rejected += s.rejected;
+                all.latencies_us.extend(s.latencies_us);
+            }
+            Err(e) => fail(&e),
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    if cfg.shutdown {
+        if let Err(e) = roundtrip(&cfg.addr, u64::MAX, &Request::Shutdown) {
+            fail(&format!("shutdown frame failed: {e}"));
+        }
+    }
+    let mean_batch = cfg
+        .daemon_metrics
+        .as_deref()
+        .and_then(|p| daemon_metric(p, &["histograms", "batch_size", "mean"]))
+        .unwrap_or(0.0);
+    all.latencies_us.sort_unstable();
+    let rps = all.answered as f64 / wall_s;
+    let p50 = quantile(&all.latencies_us, 0.50);
+    let p99 = quantile(&all.latencies_us, 0.99);
+    let mode = match cfg.mode {
+        Mode::Closed => "closed",
+        Mode::Rate => "rate",
+    };
+    let isa = stencilmart_obs::runtime::simd_isa().name();
+    println!(
+        "mode={mode} threads={} answered={} in {wall_s:.2}s -> {rps:.0} req/s, \
+         p50={p50}us p99={p99}us, mean batch {mean_batch:.1}, isa {isa}",
+        cfg.threads, all.answered
+    );
+    if all.answered < all.sent {
+        fail(&format!(
+            "dropped requests: sent {} answered {}",
+            all.sent, all.answered
+        ));
+    }
+    if all.rejected > 0 {
+        fail(&format!("{} valid requests were rejected", all.rejected));
+    }
+    if let Some(out) = &cfg.out {
+        let report = format!(
+            "{{\n  \"description\": \"advisord serving throughput and tail latency \
+             ({mode}-loop, {} client threads, window {})\",\n  \"isa\": \"{isa}\",\n  \
+             \"threads\": {},\n  \"window\": {},\n  \"mode\": \"{mode}\",\n  \
+             \"total_requests\": {},\n  \"mean_batch_size\": {mean_batch:.3},\n  \
+             \"entries\": [\n    {{\n      \"name\": \"{mode}_{}t\",\n      \
+             \"unit\": \"req/s\",\n      \"throughput\": {rps:.1}\n    }},\n    {{\n      \
+             \"name\": \"{mode}_{}t_p99\",\n      \"unit\": \"us\",\n      \
+             \"p50_us\": {p50},\n      \"p99_us\": {p99}\n    }}\n  ]\n}}\n",
+            cfg.threads,
+            cfg.window,
+            cfg.threads,
+            cfg.window,
+            all.answered,
+            cfg.threads,
+            cfg.threads,
+        );
+        if let Err(e) = std::fs::write(out, report) {
+            fail(&format!("cannot write {}: {e}", out.display()));
+        }
+        println!("wrote {}", out.display());
+    }
+    0
+}
+
+// ---------------------------------------------------------------------
+// Smoke mode
+// ---------------------------------------------------------------------
+
+/// Fire hostile bytes at the daemon and check the decoder's error
+/// discipline: structured error frames for recoverable corruption,
+/// connection close (without taking the daemon down) for framing lies.
+fn hostile_traffic(addr: &str) -> Result<u64, String> {
+    let mut rejected = 0u64;
+
+    // (a) Corrupt checksum: recoverable — expect an error frame, then a
+    // Ping on the SAME connection must still be answered.
+    {
+        let mut stream = connect(addr);
+        let mut frame = encode_request(1, &Request::Ping);
+        let last = frame.len() - 1;
+        frame[last] ^= 0xff;
+        frame.extend_from_slice(&encode_request(2, &Request::Ping));
+        stream
+            .write_all(&frame)
+            .map_err(|e| format!("hostile write failed: {e}"))?;
+        let mut dec = FrameDecoder::new();
+        let empty = HashMap::new();
+        let mut lat = Vec::new();
+        let got = read_responses(&mut stream, &mut dec, 2, &empty, &mut lat)?;
+        let errors = got.iter().filter(|r| r.result.is_err()).count();
+        let oks = got.iter().filter(|r| r.result.is_ok()).count();
+        if errors != 1 || oks != 1 {
+            return Err(format!(
+                "checksum corruption: expected 1 error + 1 pong, got {errors} errors, {oks} oks"
+            ));
+        }
+        rejected += 1;
+    }
+
+    // (b) Pure garbage that parses as an oversized length: fatal — the
+    // daemon replies with an error frame and/or closes this connection.
+    {
+        let mut stream = connect(addr);
+        let garbage = [0xffu8; 256];
+        stream
+            .write_all(&garbage)
+            .map_err(|e| format!("garbage write failed: {e}"))?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut buf = [0u8; 4096];
+        // Read until close; any bytes that arrive must decode as error
+        // responses, not valid replies.
+        let mut dec = FrameDecoder::new();
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    dec.push(&buf[..n]);
+                    while let Ok(Some(frame)) = dec.next_frame() {
+                        match frame {
+                            Frame::Response(r) if r.result.is_err() => rejected += 1,
+                            other => return Err(format!("garbage produced {other:?}")),
+                        }
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    // (c) Truncated frame then close: the daemon just waits for the
+    // rest, sees EOF, and moves on. Nothing to assert beyond "the next
+    // connection still works", which (d) covers.
+    {
+        let mut stream = connect(addr);
+        let frame = encode_request(3, &Request::Ping);
+        stream
+            .write_all(&frame[..frame.len() - 2])
+            .map_err(|e| format!("truncated write failed: {e}"))?;
+        drop(stream);
+    }
+
+    // (d) A fresh connection after all of the above must serve.
+    let resp = roundtrip(addr, 4, &Request::Ping)?;
+    if resp.result.is_err() {
+        return Err("ping after hostile traffic was rejected".to_string());
+    }
+    Ok(rejected)
+}
+
+fn run_smoke(cfg: &Config) -> i32 {
+    let names = Arc::new(request_names());
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut handles = Vec::new();
+    // Valid traffic: every 10th request uses an unknown GPU and must
+    // come back as a structured error (still "answered").
+    for thread_idx in 0..cfg.threads as u64 {
+        let cfg = cfg.clone();
+        let names = Arc::clone(&names);
+        handles.push(std::thread::spawn(move || {
+            closed_loop(
+                &cfg.addr,
+                &names,
+                thread_idx,
+                cfg.window.min(32),
+                deadline,
+                cfg.requests_per_thread,
+                Some(10),
+            )
+        }));
+    }
+    // Hostile traffic rides alongside on its own connections.
+    let hostile = {
+        let addr = cfg.addr.clone();
+        std::thread::spawn(move || hostile_traffic(&addr))
+    };
+    // Mid-traffic hot-swap.
+    std::thread::sleep(Duration::from_millis(100));
+    let reload_version = match roundtrip(&cfg.addr, 9_000_000, &Request::Reload) {
+        Ok(resp) => match resp.result {
+            Ok(Reply::Reloaded { version }) => version,
+            other => fail(&format!("reload answered {other:?}")),
+        },
+        Err(e) => fail(&format!("reload frame failed: {e}")),
+    };
+    if reload_version < 2 {
+        fail(&format!(
+            "reload produced version {reload_version}, expected >= 2"
+        ));
+    }
+    let mut all = ClientStats::default();
+    for h in handles {
+        match h.join().expect("smoke thread panicked") {
+            Ok(s) => {
+                all.sent += s.sent;
+                all.answered += s.answered;
+                all.ok += s.ok;
+                all.rejected += s.rejected;
+            }
+            Err(e) => fail(&format!("valid traffic failed: {e}")),
+        }
+    }
+    let hostile_rejected = match hostile.join().expect("hostile thread panicked") {
+        Ok(n) => n,
+        Err(e) => fail(&format!("hostile traffic check failed: {e}")),
+    };
+    if all.answered != all.sent {
+        fail(&format!(
+            "dropped valid requests: sent {} answered {}",
+            all.sent, all.answered
+        ));
+    }
+    let expected_rejected = all.sent / 10;
+    if all.rejected != expected_rejected {
+        fail(&format!(
+            "expected exactly {expected_rejected} structured rejections (1 in 10), got {}",
+            all.rejected
+        ));
+    }
+    // Clean shutdown.
+    if let Err(e) = roundtrip(&cfg.addr, u64::MAX, &Request::Shutdown) {
+        fail(&format!("shutdown frame failed: {e}"));
+    }
+    // The daemon's own report must record the swap and zero panics
+    // (a panicked batcher would have dropped requests above anyway).
+    if let Some(metrics) = &cfg.daemon_metrics {
+        let swaps = daemon_metric(metrics, &["counters", "bundle_swaps"]).unwrap_or(-1.0);
+        if swaps < 1.0 {
+            fail(&format!(
+                "daemon metrics report {} bundle_swaps, expected >= 1",
+                swaps
+            ));
+        }
+        let decode_errors =
+            daemon_metric(metrics, &["counters", "wire_decode_errors"]).unwrap_or(0.0);
+        if decode_errors < 1.0 {
+            fail("daemon metrics did not count the hostile frames");
+        }
+        println!("daemon metrics: bundle_swaps={swaps} wire_decode_errors={decode_errors}");
+    }
+    println!(
+        "smoke ok: sent={} answered={} ok={} rejected={} hostile_rejected={hostile_rejected} \
+         reload_version={reload_version}",
+        all.sent, all.answered, all.ok, all.rejected
+    );
+    0
+}
+
+fn main() {
+    let cfg = parse_args();
+    let code = if cfg.smoke {
+        run_smoke(&cfg)
+    } else {
+        run_bench(&cfg)
+    };
+    std::process::exit(code);
+}

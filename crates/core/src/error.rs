@@ -54,6 +54,9 @@ pub enum MartError {
     UnrankableGpu(GpuId),
     /// A malformed request (bad pattern offsets, unknown OC name…).
     BadRequest(String),
+    /// A wire-protocol frame failed to decode (truncated varint, bad
+    /// checksum framing, oversized length, malformed field payload…).
+    Decode(String),
 }
 
 impl fmt::Display for MartError {
@@ -83,6 +86,7 @@ impl fmt::Display for MartError {
                 write!(f, "GPU {g} cannot be ranked under this criterion")
             }
             MartError::BadRequest(why) => write!(f, "bad request: {why}"),
+            MartError::Decode(why) => write!(f, "wire decode error: {why}"),
         }
     }
 }
@@ -124,6 +128,7 @@ impl MartError {
             MartError::UnknownClass(_) => "unknown_class",
             MartError::UnrankableGpu(_) => "unrankable_gpu",
             MartError::BadRequest(_) => "bad_request",
+            MartError::Decode(_) => "decode",
         }
     }
 }
@@ -165,6 +170,7 @@ mod tests {
             (MartError::UnknownClass(9), "class 9"),
             (MartError::UnrankableGpu(GpuId::Rtx2080Ti), "2080Ti"),
             (MartError::BadRequest("no offsets".into()), "no offsets"),
+            (MartError::Decode("length lies".into()), "length lies"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

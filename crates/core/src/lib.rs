@@ -60,6 +60,8 @@ pub mod pcc;
 pub mod persist;
 pub mod ranking;
 pub mod regress;
+pub mod serve;
+pub mod wire;
 
 pub use api::{Predictor, StencilMart};
 pub use bundle::ModelBundle;

@@ -1,0 +1,321 @@
+//! The daemon's micro-batching execution engine.
+//!
+//! Connection threads call [`Engine::submit_batch`]; a single batcher
+//! thread drains everything in flight into one
+//! [`dispatch_batch`](super::dispatch_batch) call per wake-up, so N
+//! concurrent clients cost a handful of batched model invocations
+//! instead of N scalar ones.
+//!
+//! The model lives behind a *generation* slot: `RwLock<Arc<Generation>>`
+//! where a generation is an immutable version number plus the
+//! predictor. Hot-swap builds a fresh generation off to the side and
+//! replaces the `Arc` under a brief write lock; the batcher snapshots
+//! the `Arc` once per micro-batch, so every response in a batch is
+//! served by exactly one generation and echoes its version. A failed
+//! reload keeps the old generation serving and only bumps the
+//! `bundle_swap_failures` counter.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::api::Predictor;
+use crate::error::MartError;
+use crate::wire::{Reply, Request, Response};
+use stencilmart_obs::counters::{
+    BUNDLE_SWAPS, BUNDLE_SWAP_FAILURES, INFLIGHT_REQUESTS, QUEUE_DEPTH,
+};
+use stencilmart_obs::hist::{BATCH_SIZE, REQUEST_LATENCY_US};
+
+/// One immutable model generation: a version number and the predictor
+/// that serves it. The predictor's memo cache needs `&mut`, hence the
+/// inner mutex; only the batcher thread takes it, and only briefly.
+struct Generation {
+    version: u64,
+    predictor: Mutex<Predictor>,
+}
+
+struct Job {
+    id: u64,
+    req: Request,
+    bucket: Arc<ReplyBucket>,
+    slot: usize,
+    enqueued: Instant,
+}
+
+/// Completion rendezvous for one submitted batch.
+struct ReplyBucket {
+    state: Mutex<BucketState>,
+    cv: Condvar,
+}
+
+struct BucketState {
+    remaining: usize,
+    replies: Vec<Option<Response>>,
+}
+
+struct Shared {
+    slot: RwLock<Arc<Generation>>,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    next_version: AtomicU64,
+    max_batch: usize,
+    bundle_path: Option<PathBuf>,
+}
+
+/// Construction options for [`Engine::new`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Largest micro-batch the batcher drains per wake-up (0 → default
+    /// of 256).
+    pub max_batch: usize,
+    /// Bundle path that [`Request::Reload`] / [`Engine::reload`] loads
+    /// from; `None` makes reloads fail with `bad_request`.
+    pub bundle_path: Option<PathBuf>,
+}
+
+/// The micro-batching executor. Submissions are thread-safe (`&self`);
+/// wrap it in an `Arc` and share it across connection threads.
+pub struct Engine {
+    shared: Arc<Shared>,
+    batcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Spawn the batcher thread around an initial predictor
+    /// (generation 1).
+    pub fn new(predictor: Predictor, opts: EngineOptions) -> Engine {
+        let shared = Arc::new(Shared {
+            slot: RwLock::new(Arc::new(Generation {
+                version: 1,
+                predictor: Mutex::new(predictor),
+            })),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_version: AtomicU64::new(2),
+            max_batch: if opts.max_batch == 0 {
+                256
+            } else {
+                opts.max_batch
+            },
+            bundle_path: opts.bundle_path,
+        });
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("advisord-batcher".to_string())
+                .spawn(move || batcher_loop(&shared))
+                .expect("spawn batcher thread")
+        };
+        Engine {
+            shared,
+            batcher: Mutex::new(Some(batcher)),
+        }
+    }
+
+    /// The version of the generation currently serving.
+    pub fn current_version(&self) -> u64 {
+        self.shared
+            .slot
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .version
+    }
+
+    /// Submit one request and block until its response.
+    pub fn submit(&self, id: u64, req: Request) -> Response {
+        self.submit_batch(vec![(id, req)])
+            .pop()
+            .expect("one response per request")
+    }
+
+    /// Submit a batch of `(id, request)` pairs and block until all
+    /// responses are in; responses come back in submission order.
+    pub fn submit_batch(&self, reqs: Vec<(u64, Request)>) -> Vec<Response> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let n = reqs.len();
+        let bucket = Arc::new(ReplyBucket {
+            state: Mutex::new(BucketState {
+                remaining: n,
+                replies: {
+                    let mut v = Vec::with_capacity(n);
+                    v.resize_with(n, || None);
+                    v
+                },
+            }),
+            cv: Condvar::new(),
+        });
+        INFLIGHT_REQUESTS.add(n as u64);
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let now = Instant::now();
+            for (slot, (id, req)) in reqs.into_iter().enumerate() {
+                queue.push_back(Job {
+                    id,
+                    req,
+                    bucket: Arc::clone(&bucket),
+                    slot,
+                    enqueued: now,
+                });
+            }
+            QUEUE_DEPTH.set(queue.len() as u64);
+        }
+        self.shared.queue_cv.notify_one();
+        let mut state = bucket.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.remaining > 0 {
+            state = bucket.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        INFLIGHT_REQUESTS.sub(n as u64);
+        state
+            .replies
+            .iter_mut()
+            .map(|r| r.take().expect("batcher fills every reply slot"))
+            .collect()
+    }
+
+    /// Install `predictor` as a new generation and return its version.
+    /// In-flight batches keep the snapshot they started with.
+    pub fn swap_with(&self, predictor: Predictor) -> u64 {
+        swap_in(&self.shared, predictor)
+    }
+
+    /// Hot-swap by reloading the configured bundle path through the
+    /// full validation pipeline. On failure the old generation keeps
+    /// serving and `bundle_swap_failures` is incremented.
+    pub fn reload(&self) -> Result<u64, MartError> {
+        reload(&self.shared)
+    }
+
+    /// Drain the queue, stop the batcher thread, and join it. Called
+    /// automatically on drop; idempotent.
+    pub fn stop(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        let handle = self
+            .batcher
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn swap_in(shared: &Shared, predictor: Predictor) -> u64 {
+    let version = shared.next_version.fetch_add(1, Ordering::SeqCst);
+    let generation = Arc::new(Generation {
+        version,
+        predictor: Mutex::new(predictor),
+    });
+    *shared.slot.write().unwrap_or_else(|e| e.into_inner()) = generation;
+    BUNDLE_SWAPS.inc();
+    version
+}
+
+fn reload(shared: &Shared) -> Result<u64, MartError> {
+    let Some(path) = shared.bundle_path.as_deref() else {
+        BUNDLE_SWAP_FAILURES.inc();
+        return Err(MartError::BadRequest(
+            "no bundle path configured for reload".to_string(),
+        ));
+    };
+    match Predictor::load(path) {
+        Ok(predictor) => Ok(swap_in(shared, predictor)),
+        Err(e) => {
+            BUNDLE_SWAP_FAILURES.inc();
+            Err(e)
+        }
+    }
+}
+
+fn batcher_loop(shared: &Shared) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            while queue.is_empty() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            let take = queue.len().min(shared.max_batch);
+            let batch = queue.drain(..take).collect();
+            QUEUE_DEPTH.set(queue.len() as u64);
+            batch
+        };
+        serve_batch(shared, batch);
+        // A shutdown drains whatever is still queued before exiting, so
+        // no submitter is left waiting on an abandoned bucket.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let rest: Vec<Job> = {
+                let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                queue.drain(..).collect()
+            };
+            if !rest.is_empty() {
+                serve_batch(shared, rest);
+            }
+        }
+    }
+}
+
+fn serve_batch(shared: &Shared, mut batch: Vec<Job>) {
+    let _span = stencilmart_obs::span("serve_batch");
+    BATCH_SIZE.record(batch.len() as u64);
+    // Control frames first: a reload in this batch swaps before the
+    // snapshot below, so data requests alongside it see the new model.
+    let mut reload_results: Vec<(usize, Result<u64, MartError>)> = Vec::new();
+    for (i, job) in batch.iter().enumerate() {
+        if matches!(job.req, Request::Reload) {
+            reload_results.push((i, reload(shared)));
+        }
+    }
+    // One generation snapshot per micro-batch: every data response in
+    // this batch is served by exactly this generation.
+    let generation = Arc::clone(&shared.slot.read().unwrap_or_else(|e| e.into_inner()));
+    let reqs: Vec<Request> = batch.iter().map(|j| j.req.clone()).collect();
+    let results = {
+        let mut predictor = generation
+            .predictor
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        super::dispatch_batch(&mut predictor, &reqs)
+    };
+    let mut results: Vec<Option<Result<Reply, MartError>>> =
+        results.into_iter().map(Some).collect();
+    for (i, res) in reload_results {
+        results[i] = Some(res.map(|version| Reply::Reloaded { version }));
+    }
+    for (job, result) in batch.drain(..).zip(results) {
+        let result = result.expect("every batch slot resolved");
+        let response = Response {
+            id: job.id,
+            model_version: generation.version,
+            result: result.map_err(|e| (e.kind().to_string(), e.to_string())),
+        };
+        let elapsed_us = job.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        REQUEST_LATENCY_US.record(elapsed_us);
+        let mut state = job.bucket.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.replies[job.slot] = Some(response);
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            job.bucket.cv.notify_all();
+        }
+    }
+}

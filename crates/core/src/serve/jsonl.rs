@@ -1,0 +1,261 @@
+//! Line-oriented JSON serving: parse one request per line, answer one
+//! JSON object per line, flush after every line.
+//!
+//! This frontend shares [`dispatch_batch`](super::dispatch_batch) with
+//! the TCP daemon, so the two cannot drift semantically; only the
+//! framing differs. Responses are written and **flushed per line** so
+//! an interleaved reader (a pipe, a test harness, another process)
+//! observes them in request order as they are produced, never batched
+//! up in a buffer.
+
+use std::io::{BufRead, Write};
+
+use crate::error::MartError;
+use crate::wire::{PatternSpec, Reply, Request};
+use crate::Predictor;
+use serde::Value;
+
+fn bad(why: impl Into<String>) -> MartError {
+    MartError::BadRequest(why.into())
+}
+
+/// Minimal JSON string escaping for response assembly.
+fn json_str(s: &str) -> String {
+    serde_json::to_string(&s).expect("string serializes")
+}
+
+fn str_field(req: &Value, key: &str) -> Result<String, MartError> {
+    req.field(key)
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .map_err(|e| bad(format!("request needs \"{key}\": {e}")))
+}
+
+/// Resolve the request's stencil spec: `"stencil"` (canonical-suite
+/// name) or `"offsets"` (array of 2- or 3-element integer arrays; the
+/// origin is implicit). Name validity is checked at dispatch.
+fn parse_pattern_spec(req: &Value) -> Result<PatternSpec, MartError> {
+    if let Ok(name) = req.field("stencil").and_then(|v| v.as_str()) {
+        return Ok(PatternSpec::Name(name.to_string()));
+    }
+    let offsets = req
+        .field("offsets")
+        .and_then(|v| v.as_array())
+        .map_err(|_| bad("request needs \"stencil\" (name) or \"offsets\" (array)"))?;
+    let mut points: Vec<[i32; 3]> = Vec::with_capacity(offsets.len());
+    let mut rank = 0usize;
+    for o in offsets {
+        let comps = o
+            .as_array()
+            .map_err(|e| bad(format!("offset must be an array: {e}")))?;
+        if comps.len() < 2 || comps.len() > 3 {
+            return Err(bad(format!(
+                "offset must have 2 or 3 components, got {}",
+                comps.len()
+            )));
+        }
+        rank = rank.max(comps.len());
+        let mut c = [0i32; 3];
+        for (i, v) in comps.iter().enumerate() {
+            let x = v
+                .as_i64()
+                .map_err(|e| bad(format!("offset component: {e}")))?;
+            c[i] =
+                i32::try_from(x).map_err(|_| bad(format!("offset component {x} out of range")))?;
+        }
+        points.push(c);
+    }
+    Ok(PatternSpec::Offsets {
+        rank: rank as u8,
+        points,
+    })
+}
+
+/// Parse one JSONL request line into a wire-level [`Request`].
+pub fn parse_line(line: &str) -> Result<Request, MartError> {
+    let req = serde_json::parse_value(line)?;
+    let op = req
+        .field("op")
+        .and_then(|v| v.as_str())
+        .map_err(|e| bad(format!("request needs \"op\": {e}")))?
+        .to_string();
+    match op.as_str() {
+        "best_oc" => Ok(Request::BestOc {
+            gpu: str_field(&req, "gpu")?,
+            pattern: parse_pattern_spec(&req)?,
+        }),
+        "predict_time" => Ok(Request::PredictTime {
+            gpu: str_field(&req, "gpu")?,
+            pattern: parse_pattern_spec(&req)?,
+            oc: str_field(&req, "oc")?,
+        }),
+        "rank_gpus" => Ok(Request::RankGpus {
+            criterion: match req.field("criterion").and_then(|v| v.as_str()) {
+                Ok(v) => v.to_string(),
+                Err(_) => "perf".to_string(),
+            },
+            pattern: parse_pattern_spec(&req)?,
+            oc: str_field(&req, "oc")?,
+        }),
+        other => Err(bad(format!(
+            "unknown op {other:?}; use best_oc|predict_time|rank_gpus"
+        ))),
+    }
+}
+
+/// Render one outcome as its JSONL response line (without the trailing
+/// newline).
+pub fn format_result(result: &Result<Reply, MartError>) -> String {
+    match result {
+        Ok(Reply::BestOc { oc }) => {
+            format!("{{\"ok\":true,\"op\":\"best_oc\",\"oc\":{}}}", json_str(oc))
+        }
+        Ok(Reply::Time { ms }) => {
+            format!("{{\"ok\":true,\"op\":\"predict_time\",\"time_ms\":{ms}}}")
+        }
+        Ok(Reply::Ranking(items)) => {
+            let parts: Vec<String> = items
+                .iter()
+                .map(|(g, s)| format!("{{\"gpu\":{},\"score\":{s}}}", json_str(g)))
+                .collect();
+            format!(
+                "{{\"ok\":true,\"op\":\"rank_gpus\",\"ranking\":[{}]}}",
+                parts.join(",")
+            )
+        }
+        Ok(Reply::Pong) => "{\"ok\":true,\"op\":\"ping\"}".to_string(),
+        Ok(Reply::Reloaded { version }) => {
+            format!("{{\"ok\":true,\"op\":\"reload\",\"version\":{version}}}")
+        }
+        Err(e) => format!(
+            "{{\"ok\":false,\"kind\":{},\"error\":{}}}",
+            json_str(e.kind()),
+            json_str(&e.to_string())
+        ),
+    }
+}
+
+/// Totals from one [`serve_lines`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered `"ok":true`.
+    pub served: usize,
+    /// Requests rejected with a structured error.
+    pub failed: usize,
+}
+
+/// Serve JSONL requests from `input`, writing one response line per
+/// request to `out`, **flushed after every line**. Blank lines are
+/// skipped; malformed lines produce `{"ok":false,...}` responses and
+/// the loop keeps serving.
+pub fn serve_lines<R: BufRead, W: Write>(
+    predictor: &mut Predictor,
+    input: R,
+    out: &mut W,
+) -> std::io::Result<ServeStats> {
+    let mut stats = ServeStats {
+        served: 0,
+        failed: 0,
+    };
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let result = match parse_line(&line) {
+            Ok(req) => super::dispatch_batch(predictor, std::slice::from_ref(&req))
+                .pop()
+                .expect("one result per request"),
+            Err(e) => Err(e),
+        };
+        match &result {
+            Ok(_) => stats.served += 1,
+            Err(_) => stats.failed += 1,
+        }
+        writeln!(out, "{}", format_result(&result))?;
+        // One flush per line: responses must be observable in order as
+        // they are produced, even through a pipe.
+        out.flush()?;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_request_forms() {
+        assert_eq!(
+            parse_line(r#"{"op":"best_oc","gpu":"V100","stencil":"star2d1r"}"#).unwrap(),
+            Request::BestOc {
+                gpu: "V100".to_string(),
+                pattern: PatternSpec::Name("star2d1r".to_string()),
+            }
+        );
+        assert_eq!(
+            parse_line(r#"{"op":"best_oc","gpu":"P100","offsets":[[1,0],[-1,0]]}"#).unwrap(),
+            Request::BestOc {
+                gpu: "P100".to_string(),
+                pattern: PatternSpec::Offsets {
+                    rank: 2,
+                    points: vec![[1, 0, 0], [-1, 0, 0]],
+                },
+            }
+        );
+        assert_eq!(
+            parse_line(r#"{"op":"rank_gpus","stencil":"box2d1r","oc":"ST"}"#).unwrap(),
+            Request::RankGpus {
+                criterion: "perf".to_string(),
+                pattern: PatternSpec::Name("box2d1r".to_string()),
+                oc: "ST".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_map_to_structured_errors() {
+        assert_eq!(parse_line("not json").unwrap_err().kind(), "parse");
+        assert_eq!(
+            parse_line(r#"{"op":"fly"}"#).unwrap_err().kind(),
+            "bad_request"
+        );
+        assert_eq!(
+            parse_line(r#"{"op":"best_oc","stencil":"star2d1r"}"#)
+                .unwrap_err()
+                .kind(),
+            "bad_request"
+        );
+        assert_eq!(
+            parse_line(r#"{"op":"best_oc","gpu":"V100","offsets":[[1]]}"#)
+                .unwrap_err()
+                .kind(),
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn formats_match_the_documented_shapes() {
+        assert_eq!(
+            format_result(&Ok(Reply::BestOc {
+                oc: "ST_BM".to_string()
+            })),
+            r#"{"ok":true,"op":"best_oc","oc":"ST_BM"}"#
+        );
+        assert_eq!(
+            format_result(&Ok(Reply::Time { ms: 0.25 })),
+            r#"{"ok":true,"op":"predict_time","time_ms":0.25}"#
+        );
+        assert_eq!(
+            format_result(&Ok(Reply::Ranking(vec![("V100".to_string(), 1.5)]))),
+            r#"{"ok":true,"op":"rank_gpus","ranking":[{"gpu":"V100","score":1.5}]}"#
+        );
+        let err = format_result(&Err(MartError::UnknownGpu("H100".to_string())));
+        assert!(
+            err.starts_with(r#"{"ok":false,"kind":"unknown_gpu""#),
+            "{err}"
+        );
+        // Every response line is itself valid JSON.
+        assert!(serde_json::parse_value(&err).is_ok());
+    }
+}

@@ -1,0 +1,253 @@
+//! The advisor serving layer: one request-dispatch core shared by the
+//! JSONL CLI (`advisor serve`) and the TCP daemon (`advisord`), so the
+//! two frontends cannot drift.
+//!
+//! * [`dispatch_batch`] — the single dispatch core: resolves
+//!   [`crate::wire::Request`]s against a [`Predictor`] and answers a whole
+//!   micro-batch at once, grouping same-GPU `best_oc` requests and
+//!   same-kernel `predict_time` requests into the predictor's batched
+//!   entry points.
+//! * [`engine::Engine`] — the daemon's micro-batching executor: a
+//!   single batcher thread drains concurrently submitted requests into
+//!   `dispatch_batch` calls against an atomically hot-swappable model
+//!   generation.
+//! * [`jsonl`] — line-oriented JSON request parsing/formatting with
+//!   per-line flushing.
+//! * [`server`] — the TCP frame server speaking [`crate::wire`].
+
+pub mod engine;
+pub mod jsonl;
+pub mod server;
+
+use crate::advisor::Criterion;
+use crate::api::Predictor;
+use crate::error::MartError;
+use crate::wire::{PatternSpec, Reply, Request};
+use stencilmart_gpusim::{GpuId, OptCombo, ParamSetting};
+use stencilmart_stencil::canonical;
+use stencilmart_stencil::pattern::{Dim, Offset, StencilPattern};
+
+fn bad(why: impl Into<String>) -> MartError {
+    MartError::BadRequest(why.into())
+}
+
+/// Resolve a [`PatternSpec`] to a validated [`StencilPattern`].
+pub fn resolve_pattern(spec: &PatternSpec) -> Result<StencilPattern, MartError> {
+    match spec {
+        PatternSpec::Name(name) => canonical::by_name(name)
+            .map(|c| c.pattern)
+            .ok_or_else(|| bad(format!("unknown canonical stencil {name:?}"))),
+        PatternSpec::Offsets { rank, points } => {
+            let dim = if *rank == 3 { Dim::D3 } else { Dim::D2 };
+            let offsets: Vec<Offset> = points.iter().map(|&c| Offset { c }).collect();
+            StencilPattern::new(dim, offsets).map_err(|e| bad(format!("invalid pattern: {e:?}")))
+        }
+    }
+}
+
+/// Resolve a GPU name (case-insensitive) to a [`GpuId`].
+pub fn resolve_gpu(name: &str) -> Result<GpuId, MartError> {
+    GpuId::ALL
+        .iter()
+        .copied()
+        .find(|g| g.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| MartError::UnknownGpu(name.to_string()))
+}
+
+/// Resolve an optimization-combination name to a valid [`OptCombo`].
+pub fn resolve_oc(name: &str) -> Result<OptCombo, MartError> {
+    OptCombo::parse(name).ok_or_else(|| bad(format!("unknown OC {name:?}")))
+}
+
+/// Resolve a ranking criterion name (`perf` or `cost`).
+pub fn resolve_criterion(name: &str) -> Result<Criterion, MartError> {
+    match name {
+        "perf" => Ok(Criterion::PurePerformance),
+        "cost" => Ok(Criterion::CostEfficiency),
+        other => Err(bad(format!("unknown criterion {other:?}; use perf|cost"))),
+    }
+}
+
+/// A resolved data request, ready for the predictor.
+enum Resolved {
+    BestOc {
+        gpu: GpuId,
+        pattern: StencilPattern,
+    },
+    Time {
+        gpu: GpuId,
+        oc: OptCombo,
+        pattern: StencilPattern,
+    },
+    Rank {
+        criterion: Criterion,
+        oc: OptCombo,
+        pattern: StencilPattern,
+    },
+    Pong,
+}
+
+fn resolve(req: &Request) -> Result<Resolved, MartError> {
+    match req {
+        Request::BestOc { gpu, pattern } => Ok(Resolved::BestOc {
+            gpu: resolve_gpu(gpu)?,
+            pattern: resolve_pattern(pattern)?,
+        }),
+        Request::PredictTime { gpu, pattern, oc } => Ok(Resolved::Time {
+            gpu: resolve_gpu(gpu)?,
+            oc: resolve_oc(oc)?,
+            pattern: resolve_pattern(pattern)?,
+        }),
+        Request::RankGpus {
+            criterion,
+            pattern,
+            oc,
+        } => Ok(Resolved::Rank {
+            criterion: resolve_criterion(criterion)?,
+            oc: resolve_oc(oc)?,
+            pattern: resolve_pattern(pattern)?,
+        }),
+        Request::Ping => Ok(Resolved::Pong),
+        Request::Reload | Request::Shutdown => {
+            Err(bad("control frame outside the daemon control path"))
+        }
+    }
+}
+
+/// Answer a micro-batch of requests against one predictor.
+///
+/// This is the single dispatch core behind both serving frontends.
+/// Same-GPU `best_oc` requests are grouped into one
+/// [`Predictor::best_oc_batch`] call and same-`(gpu, oc)`
+/// `predict_time` requests into one [`Predictor::predict_time_batch`]
+/// call, so a large concurrent batch costs a handful of model
+/// invocations. Results come back in request order; every failure is a
+/// per-entry [`MartError`].
+pub fn dispatch_batch(
+    predictor: &mut Predictor,
+    reqs: &[Request],
+) -> Vec<Result<Reply, MartError>> {
+    let mut out: Vec<Option<Result<Reply, MartError>>> = Vec::with_capacity(reqs.len());
+    out.resize_with(reqs.len(), || None);
+    // Group keys are tiny (≤4 GPUs × few OCs), so linear scans beat
+    // hashing here.
+    let mut best_groups: Vec<(GpuId, Vec<usize>, Vec<StencilPattern>)> = Vec::new();
+    let mut time_groups: Vec<(GpuId, OptCombo, Vec<usize>, Vec<StencilPattern>)> = Vec::new();
+    let mut ranks: Vec<(usize, Criterion, OptCombo, StencilPattern)> = Vec::new();
+    for (i, req) in reqs.iter().enumerate() {
+        match resolve(req) {
+            Err(e) => out[i] = Some(Err(e)),
+            Ok(Resolved::Pong) => out[i] = Some(Ok(Reply::Pong)),
+            Ok(Resolved::BestOc { gpu, pattern }) => {
+                match best_groups.iter_mut().find(|(g, _, _)| *g == gpu) {
+                    Some((_, idx, pats)) => {
+                        idx.push(i);
+                        pats.push(pattern);
+                    }
+                    None => best_groups.push((gpu, vec![i], vec![pattern])),
+                }
+            }
+            Ok(Resolved::Time { gpu, oc, pattern }) => {
+                match time_groups
+                    .iter_mut()
+                    .find(|(g, o, _, _)| *g == gpu && *o == oc)
+                {
+                    Some((_, _, idx, pats)) => {
+                        idx.push(i);
+                        pats.push(pattern);
+                    }
+                    None => time_groups.push((gpu, oc, vec![i], vec![pattern])),
+                }
+            }
+            Ok(Resolved::Rank {
+                criterion,
+                oc,
+                pattern,
+            }) => ranks.push((i, criterion, oc, pattern)),
+        }
+    }
+    for (gpu, idx, pats) in best_groups {
+        for (i, res) in idx.into_iter().zip(predictor.best_oc_batch(&pats, gpu)) {
+            out[i] = Some(res.map(|oc| Reply::BestOc { oc: oc.name() }));
+        }
+    }
+    for (gpu, oc, idx, pats) in time_groups {
+        let params = ParamSetting::default_for_dim(&oc, predictor.dim());
+        for (i, res) in idx
+            .into_iter()
+            .zip(predictor.predict_time_batch(&pats, &oc, &params, gpu))
+        {
+            out[i] = Some(res.map(|ms| Reply::Time { ms }));
+        }
+    }
+    for (i, criterion, oc, pattern) in ranks {
+        out[i] = Some(rank_one(predictor, criterion, &oc, &pattern));
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every request slot is filled"))
+        .collect()
+}
+
+fn rank_one(
+    predictor: &mut Predictor,
+    criterion: Criterion,
+    oc: &OptCombo,
+    pattern: &StencilPattern,
+) -> Result<Reply, MartError> {
+    let params = ParamSetting::default_for_dim(oc, predictor.dim());
+    let mut ranked: Vec<(GpuId, f64)> = Vec::new();
+    for gpu in criterion.gpus() {
+        let ms = predictor.predict_time_ms(pattern, oc, &params, gpu)?;
+        let score = criterion
+            .score(gpu, ms)
+            .ok_or(MartError::UnrankableGpu(gpu))?;
+        ranked.push((gpu, score));
+    }
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+    Ok(Reply::Ranking(
+        ranked
+            .into_iter()
+            .map(|(g, s)| (g.name().to_string(), s))
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_gpu_is_case_insensitive() {
+        assert_eq!(resolve_gpu("v100").unwrap(), GpuId::V100);
+        assert_eq!(resolve_gpu("V100").unwrap(), GpuId::V100);
+        assert_eq!(resolve_gpu("H100").unwrap_err().kind(), "unknown_gpu");
+    }
+
+    #[test]
+    fn resolve_pattern_accepts_names_and_offsets() {
+        let named = resolve_pattern(&PatternSpec::Name("star2d1r".to_string())).unwrap();
+        assert_eq!(named.dim(), Dim::D2);
+        let explicit = resolve_pattern(&PatternSpec::Offsets {
+            rank: 2,
+            points: vec![[1, 0, 0], [-1, 0, 0], [0, 1, 0], [0, -1, 0]],
+        })
+        .unwrap();
+        assert_eq!(explicit, named);
+        assert_eq!(
+            resolve_pattern(&PatternSpec::Name("nope".to_string()))
+                .unwrap_err()
+                .kind(),
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn resolve_criterion_names() {
+        assert!(resolve_criterion("perf").is_ok());
+        assert!(resolve_criterion("cost").is_ok());
+        assert_eq!(
+            resolve_criterion("speed").unwrap_err().kind(),
+            "bad_request"
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! The TCP frame server behind `advisord`.
+//!
+//! Each accepted connection gets a handler thread that drains *all*
+//! complete frames out of every socket read into one
+//! [`Engine::submit_batch`] call and writes the response frames back in
+//! a single vectored flush — with pipelining clients this amortizes
+//! both syscalls and model invocations. Corrupt frames produce error
+//! response frames; only frames that destroy stream framing (length
+//! lies, oversize claims) close the connection, so hostile traffic on
+//! one connection never drops valid requests on another.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use super::engine::Engine;
+use crate::wire::{encode_response, Frame, FrameDecoder, Reply, Request, Response};
+
+/// Tuning knobs for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Cap on concurrently threaded connections; an accept beyond the
+    /// cap is served inline on the accept thread (backpressure), so the
+    /// daemon's thread count stays bounded. 0 → default of 8.
+    pub max_conns: usize,
+    /// Socket read timeout; the poll interval at which idle handlers
+    /// notice a daemon shutdown. 0 → default of 50 ms.
+    pub read_timeout_ms: u64,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            max_conns: 8,
+            read_timeout_ms: 50,
+        }
+    }
+}
+
+/// Serve wire-protocol connections on `listener` until a client sends a
+/// `Shutdown` control frame. Blocks; joins every handler thread before
+/// returning, so observability state is complete when it does.
+pub fn serve(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    opts: ServerOptions,
+) -> std::io::Result<()> {
+    let opts = ServerOptions {
+        max_conns: if opts.max_conns == 0 {
+            8
+        } else {
+            opts.max_conns
+        },
+        read_timeout_ms: if opts.read_timeout_ms == 0 {
+            50
+        } else {
+            opts.read_timeout_ms
+        },
+    };
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(e) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                return Err(e);
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        handles.retain(|h| !h.is_finished());
+        let ctx = ConnCtx {
+            engine: Arc::clone(&engine),
+            stop: Arc::clone(&stop),
+            local,
+            read_timeout: Duration::from_millis(opts.read_timeout_ms),
+        };
+        if active.load(Ordering::SeqCst) >= opts.max_conns {
+            // At the cap: serve inline so accept itself backpressures.
+            handle_conn(stream, &ctx);
+            continue;
+        }
+        active.fetch_add(1, Ordering::SeqCst);
+        let active = Arc::clone(&active);
+        handles.push(std::thread::spawn(move || {
+            handle_conn(stream, &ctx);
+            active.fetch_sub(1, Ordering::SeqCst);
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+struct ConnCtx {
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    local: SocketAddr,
+    read_timeout: Duration,
+}
+
+/// Signal the accept loop: set the stop flag and poke the listener with
+/// a throwaway connection so a blocked `accept()` wakes up.
+fn trigger_stop(ctx: &ConnCtx) {
+    ctx.stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(ctx.local);
+}
+
+fn decode_error_response(error: &crate::error::MartError) -> Response {
+    Response {
+        id: 0,
+        model_version: 0,
+        result: Err((error.kind().to_string(), error.to_string())),
+    }
+}
+
+fn handle_conn(stream: TcpStream, ctx: &ConnCtx) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
+    let mut stream = stream;
+    let mut decoder = FrameDecoder::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        if ctx.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        decoder.push(&buf[..n]);
+        // Drain every complete frame out of this read into one batch.
+        let mut batch: Vec<(u64, Request)> = Vec::new();
+        let mut out: Vec<u8> = Vec::new();
+        let mut fatal = false;
+        let mut shutdown_requested = false;
+        loop {
+            match decoder.next_frame() {
+                Ok(None) => break,
+                Ok(Some(Frame::Request { id, req })) => match req {
+                    Request::Shutdown => {
+                        out.extend_from_slice(&encode_response(&Response {
+                            id,
+                            model_version: 0,
+                            result: Ok(Reply::Pong),
+                        }));
+                        shutdown_requested = true;
+                    }
+                    req => batch.push((id, req)),
+                },
+                Ok(Some(Frame::Response(_))) => {
+                    out.extend_from_slice(&encode_response(&decode_error_response(
+                        &crate::error::MartError::BadRequest(
+                            "unexpected response frame from client".to_string(),
+                        ),
+                    )));
+                }
+                Err(we) => {
+                    out.extend_from_slice(&encode_response(&decode_error_response(&we.error)));
+                    if we.fatal {
+                        fatal = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !batch.is_empty() {
+            for resp in ctx.engine.submit_batch(batch) {
+                out.extend_from_slice(&encode_response(&resp));
+            }
+        }
+        if !out.is_empty() && stream.write_all(&out).is_err() {
+            break;
+        }
+        if shutdown_requested {
+            trigger_stop(ctx);
+            break;
+        }
+        if fatal {
+            let _ = stream.shutdown(Shutdown::Both);
+            break;
+        }
+    }
+}

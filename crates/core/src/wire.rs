@@ -1,0 +1,1046 @@
+//! The versioned binary wire protocol spoken by `advisord` and its
+//! clients.
+//!
+//! Byte layout of one frame on the stream:
+//!
+//! ```text
+//! frame := uvarint(body_len) body
+//! body  := version:u8  msg_type:u8  checksum:u64le  fields
+//! ```
+//!
+//! `checksum` is the FNV-1a hash (the same function the observability
+//! manifests and model bundles use) of exactly the `fields` bytes.
+//! `fields` is a sequence of TLV entries with protobuf-style keys
+//! `uvarint((tag << 3) | wire_type)` and three wire types: `0` varint,
+//! `1` fixed 8-byte little-endian, `2` length-delimited bytes. Unknown
+//! tags are skipped by wire type, so old decoders tolerate fields added
+//! by newer encoders (forward compatibility); bumping [`WIRE_VERSION`]
+//! is reserved for layout-breaking changes.
+//!
+//! [`FrameDecoder`] is a streaming decoder: push arbitrary byte chunks,
+//! pop complete frames. It never panics on truncated or hostile input —
+//! every failure is a structured [`MartError`] wrapped in a
+//! [`WireError`] that also says whether stream framing survives
+//! (`fatal == false`: the broken frame was consumed and the stream
+//! continues at the next frame boundary) or is lost (`fatal == true`:
+//! the connection must be closed).
+
+use crate::error::MartError;
+use stencilmart_obs::counters::{FRAMES_DECODED, WIRE_DECODE_ERRORS};
+use stencilmart_obs::manifest::fnv1a;
+
+/// The protocol version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+/// Hard cap on one frame's body length; a length prefix above this is a
+/// length-lie and kills the connection instead of stalling it.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+/// Fixed body header: version byte, msg-type byte, 8-byte checksum.
+const HEADER_LEN: usize = 10;
+/// Cap on offsets per pattern blob (largest canonical stencil is well
+/// under this; a hostile count cannot force a huge allocation).
+const MAX_PATTERN_POINTS: usize = 4096;
+/// Cap on entries in a ranking blob.
+const MAX_RANKING_ITEMS: usize = 64;
+
+const WT_VARINT: u8 = 0;
+const WT_FIXED64: u8 = 1;
+const WT_BYTES: u8 = 2;
+
+// Message types. Requests are < 0x80; responses have the high bit set.
+const MSG_BEST_OC: u8 = 1;
+const MSG_PREDICT_TIME: u8 = 2;
+const MSG_RANK_GPUS: u8 = 3;
+const MSG_PING: u8 = 4;
+const MSG_RELOAD: u8 = 5;
+const MSG_SHUTDOWN: u8 = 6;
+const MSG_RESPONSE: u8 = 0x80;
+
+/// How a request names its stencil: by canonical-suite name or by an
+/// explicit offset list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternSpec {
+    /// A canonical benchmark name such as `star2d1r`.
+    Name(String),
+    /// Explicit offsets (origin implicit) at the given rank (1–3).
+    Offsets {
+        /// Spatial rank of the pattern (number of meaningful
+        /// components per offset).
+        rank: u8,
+        /// Neighbor offsets; components beyond `rank` are zero.
+        points: Vec<[i32; 3]>,
+    },
+}
+
+/// A decoded advisor request. String-typed fields (`gpu`, `oc`,
+/// `criterion`) are validated by the dispatch layer, not the decoder,
+/// so an unknown GPU is an `unknown_gpu` response rather than a dead
+/// connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Predict the best optimization combination on one GPU.
+    BestOc {
+        /// Target GPU name.
+        gpu: String,
+        /// The stencil to advise on.
+        pattern: PatternSpec,
+    },
+    /// Predict execution time of a configured kernel on one GPU.
+    PredictTime {
+        /// Target GPU name.
+        gpu: String,
+        /// The stencil to advise on.
+        pattern: PatternSpec,
+        /// Optimization-combination name (e.g. `ST_BM`).
+        oc: String,
+    },
+    /// Rank all GPUs of a criterion by predicted score.
+    RankGpus {
+        /// Ranking criterion (`perf` or `cost`).
+        criterion: String,
+        /// The stencil to advise on.
+        pattern: PatternSpec,
+        /// Optimization-combination name.
+        oc: String,
+    },
+    /// Liveness probe; answered without touching the model.
+    Ping,
+    /// Control frame: hot-swap the model bundle from the daemon's
+    /// configured path.
+    Reload,
+    /// Control frame: stop accepting and shut the daemon down.
+    Shutdown,
+}
+
+/// A successful reply payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Best OC for the requested stencil/GPU.
+    BestOc {
+        /// Canonical OC name.
+        oc: String,
+    },
+    /// Predicted execution time.
+    Time {
+        /// Milliseconds.
+        ms: f64,
+    },
+    /// GPUs ordered by predicted score (ascending).
+    Ranking(Vec<(String, f64)>),
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Reload`]: the swap succeeded.
+    Reloaded {
+        /// Model generation now serving.
+        version: u64,
+    },
+}
+
+/// One response frame: the request id echoed back, the model generation
+/// that served it, and the outcome (errors travel as `(kind, message)`
+/// string pairs, mirroring the JSONL error shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echo of the request's id.
+    pub id: u64,
+    /// Generation counter of the model bundle that produced this
+    /// answer (0 for answers that never touched the model).
+    pub model_version: u64,
+    /// The outcome: a reply, or a stable error kind plus message.
+    pub result: Result<Reply, (String, String)>,
+}
+
+/// A decoded frame: a request (with its client-chosen id) or a
+/// response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A request frame.
+    Request {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// The request payload.
+        req: Request,
+    },
+    /// A response frame.
+    Response(Response),
+}
+
+/// A decode failure: the structured error plus whether stream framing
+/// is lost (`fatal`) or the decoder already resynchronized at the next
+/// frame boundary.
+#[derive(Debug)]
+pub struct WireError {
+    /// What went wrong.
+    pub error: MartError,
+    /// `true` when the byte stream can no longer be framed and the
+    /// connection must be closed.
+    pub fatal: bool,
+}
+
+impl WireError {
+    fn recoverable(error: MartError) -> WireError {
+        WireError {
+            error,
+            fatal: false,
+        }
+    }
+
+    fn fatal(error: MartError) -> WireError {
+        WireError { error, fatal: true }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Varint primitives
+// ---------------------------------------------------------------------
+
+/// Append an LEB128 unsigned varint.
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read an LEB128 unsigned varint from `buf` at `*pos`, advancing
+/// `*pos`. At most 10 bytes are consumed (the longest u64 encoding).
+pub fn get_uvarint(buf: &[u8], pos: &mut usize) -> Result<u64, MartError> {
+    let mut v: u64 = 0;
+    for i in 0..10 {
+        let Some(&byte) = buf.get(*pos + i) else {
+            return Err(MartError::Decode("truncated varint".to_string()));
+        };
+        let payload = u64::from(byte & 0x7f);
+        // The 10th byte may only contribute the final bit of a u64.
+        if i == 9 && byte > 1 {
+            return Err(MartError::Decode("varint overflows u64".to_string()));
+        }
+        v |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            *pos += i + 1;
+            return Ok(v);
+        }
+    }
+    Err(MartError::Decode("varint longer than 10 bytes".to_string()))
+}
+
+/// Zigzag-encode a signed value for varint transport.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Invert [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ---------------------------------------------------------------------
+// TLV field helpers
+// ---------------------------------------------------------------------
+
+fn put_key(buf: &mut Vec<u8>, tag: u32, wire_type: u8) {
+    put_uvarint(buf, (u64::from(tag) << 3) | u64::from(wire_type));
+}
+
+fn put_field_varint(buf: &mut Vec<u8>, tag: u32, v: u64) {
+    put_key(buf, tag, WT_VARINT);
+    put_uvarint(buf, v);
+}
+
+fn put_field_f64(buf: &mut Vec<u8>, tag: u32, v: f64) {
+    put_key(buf, tag, WT_FIXED64);
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_field_bytes(buf: &mut Vec<u8>, tag: u32, v: &[u8]) {
+    put_key(buf, tag, WT_BYTES);
+    put_uvarint(buf, v.len() as u64);
+    buf.extend_from_slice(v);
+}
+
+/// One decoded TLV value.
+enum FieldValue<'a> {
+    Varint(u64),
+    Fixed64(u64),
+    Bytes(&'a [u8]),
+}
+
+/// Iterate the TLV fields of a body, calling `f(tag, value)` per known
+/// wire type and silently skipping unknown tags (the *caller* decides
+/// which tags it understands; this layer only frames them).
+fn for_each_field(
+    fields: &[u8],
+    mut f: impl FnMut(u32, FieldValue<'_>) -> Result<(), MartError>,
+) -> Result<(), MartError> {
+    let mut pos = 0usize;
+    while pos < fields.len() {
+        let key = get_uvarint(fields, &mut pos)?;
+        let tag = u32::try_from(key >> 3)
+            .map_err(|_| MartError::Decode("field tag out of range".to_string()))?;
+        match (key & 7) as u8 {
+            WT_VARINT => {
+                let v = get_uvarint(fields, &mut pos)?;
+                f(tag, FieldValue::Varint(v))?;
+            }
+            WT_FIXED64 => {
+                let end = pos
+                    .checked_add(8)
+                    .filter(|&e| e <= fields.len())
+                    .ok_or_else(|| MartError::Decode("truncated fixed64 field".to_string()))?;
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&fields[pos..end]);
+                pos = end;
+                f(tag, FieldValue::Fixed64(u64::from_le_bytes(raw)))?;
+            }
+            WT_BYTES => {
+                let len = get_uvarint(fields, &mut pos)?;
+                let len = usize::try_from(len)
+                    .ok()
+                    .filter(|&l| l <= fields.len().saturating_sub(pos))
+                    .ok_or_else(|| {
+                        MartError::Decode("bytes field longer than the frame".to_string())
+                    })?;
+                let slice = &fields[pos..pos + len];
+                pos += len;
+                f(tag, FieldValue::Bytes(slice))?;
+            }
+            wt => {
+                return Err(MartError::Decode(format!(
+                    "unknown wire type {wt} cannot be skipped"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn utf8(bytes: &[u8], what: &str) -> Result<String, MartError> {
+    std::str::from_utf8(bytes)
+        .map(str::to_string)
+        .map_err(|_| MartError::Decode(format!("{what} is not valid UTF-8")))
+}
+
+// ---------------------------------------------------------------------
+// Pattern / ranking blobs
+// ---------------------------------------------------------------------
+
+fn encode_pattern_blob(rank: u8, points: &[[i32; 3]]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + points.len() * 3);
+    out.push(rank);
+    put_uvarint(&mut out, points.len() as u64);
+    for p in points {
+        for &c in p.iter().take(usize::from(rank)) {
+            put_uvarint(&mut out, zigzag(i64::from(c)));
+        }
+    }
+    out
+}
+
+fn decode_pattern_blob(blob: &[u8]) -> Result<PatternSpec, MartError> {
+    let Some(&rank) = blob.first() else {
+        return Err(MartError::Decode("empty pattern blob".to_string()));
+    };
+    if !(1..=3).contains(&rank) {
+        return Err(MartError::Decode(format!(
+            "pattern rank {rank} not in 1..=3"
+        )));
+    }
+    let mut pos = 1usize;
+    let count = get_uvarint(blob, &mut pos)?;
+    let count = usize::try_from(count)
+        .ok()
+        .filter(|&c| c <= MAX_PATTERN_POINTS)
+        .ok_or_else(|| MartError::Decode("pattern point count out of range".to_string()))?;
+    let mut points = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut p = [0i32; 3];
+        for axis in p.iter_mut().take(usize::from(rank)) {
+            let raw = unzigzag(get_uvarint(blob, &mut pos)?);
+            *axis = i32::try_from(raw)
+                .map_err(|_| MartError::Decode(format!("offset component {raw} exceeds i32")))?;
+        }
+        points.push(p);
+    }
+    if pos != blob.len() {
+        return Err(MartError::Decode(
+            "trailing garbage after pattern points".to_string(),
+        ));
+    }
+    Ok(PatternSpec::Offsets { rank, points })
+}
+
+fn encode_ranking_blob(items: &[(String, f64)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, items.len() as u64);
+    for (name, score) in items {
+        put_uvarint(&mut out, name.len() as u64);
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&score.to_le_bytes());
+    }
+    out
+}
+
+fn decode_ranking_blob(blob: &[u8]) -> Result<Vec<(String, f64)>, MartError> {
+    let mut pos = 0usize;
+    let count = get_uvarint(blob, &mut pos)?;
+    let count = usize::try_from(count)
+        .ok()
+        .filter(|&c| c <= MAX_RANKING_ITEMS)
+        .ok_or_else(|| MartError::Decode("ranking item count out of range".to_string()))?;
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = get_uvarint(blob, &mut pos)?;
+        let len = usize::try_from(len)
+            .ok()
+            .filter(|&l| l <= blob.len().saturating_sub(pos))
+            .ok_or_else(|| MartError::Decode("ranking name longer than the blob".to_string()))?;
+        let name = utf8(&blob[pos..pos + len], "ranking GPU name")?;
+        pos += len;
+        let end = pos
+            .checked_add(8)
+            .filter(|&e| e <= blob.len())
+            .ok_or_else(|| MartError::Decode("truncated ranking score".to_string()))?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&blob[pos..end]);
+        pos = end;
+        items.push((name, f64::from_le_bytes(raw)));
+    }
+    if pos != blob.len() {
+        return Err(MartError::Decode(
+            "trailing garbage after ranking items".to_string(),
+        ));
+    }
+    Ok(items)
+}
+
+// ---------------------------------------------------------------------
+// Frame encoding
+// ---------------------------------------------------------------------
+
+// Request field tags.
+const TAG_ID: u32 = 1;
+const TAG_GPU: u32 = 2;
+const TAG_STENCIL_NAME: u32 = 3;
+const TAG_OFFSETS: u32 = 4;
+const TAG_OC: u32 = 5;
+const TAG_CRITERION: u32 = 6;
+
+// Response field tags (TAG_ID shared).
+const TAG_MODEL_VERSION: u32 = 2;
+const TAG_STATUS: u32 = 3;
+const TAG_ERROR_KIND: u32 = 4;
+const TAG_ERROR_MSG: u32 = 5;
+const TAG_RESP_OC: u32 = 6;
+const TAG_TIME_MS: u32 = 7;
+const TAG_RANKING: u32 = 8;
+const TAG_RELOADED_VERSION: u32 = 9;
+
+fn put_pattern(fields: &mut Vec<u8>, pattern: &PatternSpec) {
+    match pattern {
+        PatternSpec::Name(name) => put_field_bytes(fields, TAG_STENCIL_NAME, name.as_bytes()),
+        PatternSpec::Offsets { rank, points } => {
+            put_field_bytes(fields, TAG_OFFSETS, &encode_pattern_blob(*rank, points));
+        }
+    }
+}
+
+/// Wrap encoded fields into a complete frame (length prefix, version,
+/// message type, checksum).
+fn encode_frame(msg_type: u8, fields: &[u8]) -> Vec<u8> {
+    let body_len = HEADER_LEN + fields.len();
+    let mut out = Vec::with_capacity(5 + body_len);
+    put_uvarint(&mut out, body_len as u64);
+    out.push(WIRE_VERSION);
+    out.push(msg_type);
+    out.extend_from_slice(&fnv1a(fields).to_le_bytes());
+    out.extend_from_slice(fields);
+    out
+}
+
+/// Encode one request frame with the given correlation id.
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut fields = Vec::with_capacity(64);
+    put_field_varint(&mut fields, TAG_ID, id);
+    let msg_type = match req {
+        Request::BestOc { gpu, pattern } => {
+            put_field_bytes(&mut fields, TAG_GPU, gpu.as_bytes());
+            put_pattern(&mut fields, pattern);
+            MSG_BEST_OC
+        }
+        Request::PredictTime { gpu, pattern, oc } => {
+            put_field_bytes(&mut fields, TAG_GPU, gpu.as_bytes());
+            put_pattern(&mut fields, pattern);
+            put_field_bytes(&mut fields, TAG_OC, oc.as_bytes());
+            MSG_PREDICT_TIME
+        }
+        Request::RankGpus {
+            criterion,
+            pattern,
+            oc,
+        } => {
+            put_field_bytes(&mut fields, TAG_CRITERION, criterion.as_bytes());
+            put_pattern(&mut fields, pattern);
+            put_field_bytes(&mut fields, TAG_OC, oc.as_bytes());
+            MSG_RANK_GPUS
+        }
+        Request::Ping => MSG_PING,
+        Request::Reload => MSG_RELOAD,
+        Request::Shutdown => MSG_SHUTDOWN,
+    };
+    encode_frame(msg_type, &fields)
+}
+
+/// Encode one response frame.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut fields = Vec::with_capacity(64);
+    put_field_varint(&mut fields, TAG_ID, resp.id);
+    put_field_varint(&mut fields, TAG_MODEL_VERSION, resp.model_version);
+    match &resp.result {
+        Ok(reply) => {
+            put_field_varint(&mut fields, TAG_STATUS, 0);
+            match reply {
+                Reply::BestOc { oc } => put_field_bytes(&mut fields, TAG_RESP_OC, oc.as_bytes()),
+                Reply::Time { ms } => put_field_f64(&mut fields, TAG_TIME_MS, *ms),
+                Reply::Ranking(items) => {
+                    put_field_bytes(&mut fields, TAG_RANKING, &encode_ranking_blob(items));
+                }
+                Reply::Pong => {}
+                Reply::Reloaded { version } => {
+                    put_field_varint(&mut fields, TAG_RELOADED_VERSION, *version);
+                }
+            }
+        }
+        Err((kind, msg)) => {
+            put_field_varint(&mut fields, TAG_STATUS, 1);
+            put_field_bytes(&mut fields, TAG_ERROR_KIND, kind.as_bytes());
+            put_field_bytes(&mut fields, TAG_ERROR_MSG, msg.as_bytes());
+        }
+    }
+    encode_frame(MSG_RESPONSE, &fields)
+}
+
+// ---------------------------------------------------------------------
+// Frame decoding
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct RequestFields {
+    id: u64,
+    gpu: Option<String>,
+    stencil_name: Option<String>,
+    offsets: Option<PatternSpec>,
+    oc: Option<String>,
+    criterion: Option<String>,
+}
+
+fn decode_request(msg_type: u8, fields: &[u8]) -> Result<Frame, MartError> {
+    let mut f = RequestFields::default();
+    for_each_field(fields, |tag, value| {
+        match (tag, value) {
+            (TAG_ID, FieldValue::Varint(v)) => f.id = v,
+            (TAG_GPU, FieldValue::Bytes(b)) => f.gpu = Some(utf8(b, "gpu name")?),
+            (TAG_STENCIL_NAME, FieldValue::Bytes(b)) => {
+                f.stencil_name = Some(utf8(b, "stencil name")?);
+            }
+            (TAG_OFFSETS, FieldValue::Bytes(b)) => f.offsets = Some(decode_pattern_blob(b)?),
+            (TAG_OC, FieldValue::Bytes(b)) => f.oc = Some(utf8(b, "oc name")?),
+            (TAG_CRITERION, FieldValue::Bytes(b)) => f.criterion = Some(utf8(b, "criterion")?),
+            // Unknown tags and unexpected wire types for known tags are
+            // skipped: forward compatibility over strictness.
+            _ => {}
+        }
+        Ok(())
+    })?;
+    let pattern = |f: &mut RequestFields| -> Result<PatternSpec, MartError> {
+        // An explicit offset list wins over a name when both appear.
+        if let Some(spec) = f.offsets.take() {
+            return Ok(spec);
+        }
+        if let Some(name) = f.stencil_name.take() {
+            return Ok(PatternSpec::Name(name));
+        }
+        Err(MartError::Decode(
+            "request carries neither stencil name nor offsets".to_string(),
+        ))
+    };
+    let gpu = |f: &mut RequestFields| {
+        f.gpu
+            .take()
+            .ok_or_else(|| MartError::Decode("request missing gpu field".to_string()))
+    };
+    let oc = |f: &mut RequestFields| {
+        f.oc.take()
+            .ok_or_else(|| MartError::Decode("request missing oc field".to_string()))
+    };
+    let req = match msg_type {
+        MSG_BEST_OC => Request::BestOc {
+            gpu: gpu(&mut f)?,
+            pattern: pattern(&mut f)?,
+        },
+        MSG_PREDICT_TIME => Request::PredictTime {
+            gpu: gpu(&mut f)?,
+            pattern: pattern(&mut f)?,
+            oc: oc(&mut f)?,
+        },
+        MSG_RANK_GPUS => Request::RankGpus {
+            criterion: f.criterion.take().unwrap_or_else(|| "perf".to_string()),
+            pattern: pattern(&mut f)?,
+            oc: oc(&mut f)?,
+        },
+        MSG_PING => Request::Ping,
+        MSG_RELOAD => Request::Reload,
+        MSG_SHUTDOWN => Request::Shutdown,
+        other => {
+            return Err(MartError::Decode(format!(
+                "unknown message type {other:#x}"
+            )));
+        }
+    };
+    Ok(Frame::Request { id: f.id, req })
+}
+
+fn decode_response(fields: &[u8]) -> Result<Frame, MartError> {
+    let mut id = 0u64;
+    let mut model_version = 0u64;
+    let mut status = 0u64;
+    let mut error_kind: Option<String> = None;
+    let mut error_msg: Option<String> = None;
+    let mut oc: Option<String> = None;
+    let mut time_ms: Option<f64> = None;
+    let mut ranking: Option<Vec<(String, f64)>> = None;
+    let mut reloaded_version: Option<u64> = None;
+    for_each_field(fields, |tag, value| {
+        match (tag, value) {
+            (TAG_ID, FieldValue::Varint(v)) => id = v,
+            (TAG_MODEL_VERSION, FieldValue::Varint(v)) => model_version = v,
+            (TAG_STATUS, FieldValue::Varint(v)) => status = v,
+            (TAG_ERROR_KIND, FieldValue::Bytes(b)) => error_kind = Some(utf8(b, "error kind")?),
+            (TAG_ERROR_MSG, FieldValue::Bytes(b)) => error_msg = Some(utf8(b, "error message")?),
+            (TAG_RESP_OC, FieldValue::Bytes(b)) => oc = Some(utf8(b, "oc name")?),
+            (TAG_TIME_MS, FieldValue::Fixed64(v)) => time_ms = Some(f64::from_bits(v)),
+            (TAG_RANKING, FieldValue::Bytes(b)) => ranking = Some(decode_ranking_blob(b)?),
+            (TAG_RELOADED_VERSION, FieldValue::Varint(v)) => reloaded_version = Some(v),
+            _ => {}
+        }
+        Ok(())
+    })?;
+    let result = if status != 0 {
+        Err((
+            error_kind.unwrap_or_else(|| "unknown".to_string()),
+            error_msg.unwrap_or_default(),
+        ))
+    } else if let Some(oc) = oc {
+        Ok(Reply::BestOc { oc })
+    } else if let Some(ms) = time_ms {
+        Ok(Reply::Time { ms })
+    } else if let Some(items) = ranking {
+        Ok(Reply::Ranking(items))
+    } else if let Some(version) = reloaded_version {
+        Ok(Reply::Reloaded { version })
+    } else {
+        Ok(Reply::Pong)
+    };
+    Ok(Frame::Response(Response {
+        id,
+        model_version,
+        result,
+    }))
+}
+
+fn decode_body(body: &[u8]) -> Result<Frame, MartError> {
+    debug_assert!(body.len() >= HEADER_LEN);
+    let version = body[0];
+    if version != WIRE_VERSION {
+        return Err(MartError::WrongVersion {
+            found: u32::from(version),
+            expected: u32::from(WIRE_VERSION),
+        });
+    }
+    let msg_type = body[1];
+    let mut stored = [0u8; 8];
+    stored.copy_from_slice(&body[2..HEADER_LEN]);
+    let stored = u64::from_le_bytes(stored);
+    let fields = &body[HEADER_LEN..];
+    let computed = fnv1a(fields);
+    if stored != computed {
+        return Err(MartError::ChecksumMismatch {
+            stored: format!("{stored:016x}"),
+            computed: format!("{computed:016x}"),
+        });
+    }
+    if msg_type == MSG_RESPONSE {
+        decode_response(fields)
+    } else {
+        decode_request(msg_type, fields)
+    }
+}
+
+/// Streaming frame decoder. Push byte chunks of any size; pop complete
+/// frames. Never panics on hostile input.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append newly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix before growing.
+        if self.pos > 0 && (self.pos >= 4096 || self.pos == self.buf.len()) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Try to decode the next complete frame.
+    ///
+    /// * `Ok(Some(frame))` — one frame decoded and consumed.
+    /// * `Ok(None)` — the buffer holds no complete frame yet.
+    /// * `Err(e)` with `e.fatal == false` — the current frame was
+    ///   corrupt; it has been consumed and the stream continues at the
+    ///   next frame boundary.
+    /// * `Err(e)` with `e.fatal == true` — framing is lost; the caller
+    ///   must drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.pos..];
+        if avail.is_empty() {
+            return Ok(None);
+        }
+        // Parse the length prefix. A 5-byte prefix already exceeds
+        // MAX_FRAME_LEN, so an unterminated varint of 5+ bytes is a
+        // length-lie, not a short read.
+        let mut cursor = 0usize;
+        let body_len = match get_uvarint(avail, &mut cursor) {
+            Ok(v) => v,
+            Err(_) if avail.len() < 5 => return Ok(None),
+            Err(e) => {
+                WIRE_DECODE_ERRORS.inc();
+                return Err(WireError::fatal(e));
+            }
+        };
+        let body_len = match usize::try_from(body_len) {
+            Ok(l) if (HEADER_LEN..=MAX_FRAME_LEN).contains(&l) => l,
+            _ => {
+                WIRE_DECODE_ERRORS.inc();
+                return Err(WireError::fatal(MartError::Decode(format!(
+                    "frame length {body_len} outside {HEADER_LEN}..={MAX_FRAME_LEN}"
+                ))));
+            }
+        };
+        let frame_end = cursor + body_len;
+        if avail.len() < frame_end {
+            return Ok(None);
+        }
+        // The whole frame is buffered: consume it regardless of what
+        // the body holds, so a corrupt body never wedges the stream.
+        let body_range = (self.pos + cursor)..(self.pos + frame_end);
+        self.pos += frame_end;
+        match decode_body(&self.buf[body_range]) {
+            Ok(frame) => {
+                FRAMES_DECODED.inc();
+                Ok(Some(frame))
+            }
+            Err(e) => {
+                WIRE_DECODE_ERRORS.inc();
+                Err(WireError::recoverable(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::BestOc {
+                gpu: "V100".to_string(),
+                pattern: PatternSpec::Name("star2d1r".to_string()),
+            },
+            Request::BestOc {
+                gpu: "P100".to_string(),
+                pattern: PatternSpec::Offsets {
+                    rank: 2,
+                    points: vec![[1, 0, 0], [-1, 0, 0], [0, 1, 0], [0, -1, 0]],
+                },
+            },
+            Request::PredictTime {
+                gpu: "A100".to_string(),
+                pattern: PatternSpec::Offsets {
+                    rank: 3,
+                    points: vec![[0, 0, 1], [0, 0, -1]],
+                },
+                oc: "ST_BM".to_string(),
+            },
+            Request::RankGpus {
+                criterion: "cost".to_string(),
+                pattern: PatternSpec::Name("box3d2r".to_string()),
+                oc: "ST".to_string(),
+            },
+            Request::Ping,
+            Request::Reload,
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response {
+                id: 7,
+                model_version: 3,
+                result: Ok(Reply::BestOc {
+                    oc: "ST_CM_TB".to_string(),
+                }),
+            },
+            Response {
+                id: u64::MAX,
+                model_version: 0,
+                result: Ok(Reply::Time { ms: 0.25 }),
+            },
+            Response {
+                id: 0,
+                model_version: 1,
+                result: Ok(Reply::Ranking(vec![
+                    ("V100".to_string(), 1.5),
+                    ("P100".to_string(), 2.25),
+                ])),
+            },
+            Response {
+                id: 2,
+                model_version: 9,
+                result: Ok(Reply::Pong),
+            },
+            Response {
+                id: 3,
+                model_version: 10,
+                result: Ok(Reply::Reloaded { version: 10 }),
+            },
+            Response {
+                id: 4,
+                model_version: 2,
+                result: Err(("unknown_gpu".to_string(), "no such GPU: H100".to_string())),
+            },
+        ]
+    }
+
+    #[test]
+    fn uvarint_round_trips() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_uvarint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn uvarint_rejects_overflow_and_truncation() {
+        // 11 continuation bytes: longer than any u64.
+        let long = [0x80u8; 11];
+        assert!(get_uvarint(&long, &mut 0).is_err());
+        // 10th byte contributing more than the final bit overflows.
+        let mut overflow = [0xffu8; 9].to_vec();
+        overflow.push(0x02);
+        assert!(get_uvarint(&overflow, &mut 0).is_err());
+        // Truncated: all continuation bits, buffer ends.
+        assert!(get_uvarint(&[0x80, 0x80], &mut 0).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            i64::from(i32::MAX),
+            i64::from(i32::MIN),
+        ] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for (i, req) in sample_requests().into_iter().enumerate() {
+            let id = i as u64 * 17;
+            let bytes = encode_request(id, &req);
+            let mut dec = FrameDecoder::new();
+            dec.push(&bytes);
+            let frame = dec.next_frame().unwrap().unwrap();
+            assert_eq!(frame, Frame::Request { id, req });
+            assert!(dec.next_frame().unwrap().is_none());
+            assert_eq!(dec.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in sample_responses() {
+            let bytes = encode_response(&resp);
+            let mut dec = FrameDecoder::new();
+            dec.push(&bytes);
+            let frame = dec.next_frame().unwrap().unwrap();
+            assert_eq!(frame, Frame::Response(resp));
+        }
+    }
+
+    #[test]
+    fn byte_by_byte_streaming_decodes_identically() {
+        let reqs = sample_requests();
+        let mut stream = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            stream.extend_from_slice(&encode_request(i as u64, req));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for &b in &stream {
+            dec.push(&[b]);
+            while let Some(frame) = dec.next_frame().unwrap() {
+                decoded.push(frame);
+            }
+        }
+        assert_eq!(decoded.len(), reqs.len());
+        for (i, (frame, req)) in decoded.into_iter().zip(reqs).enumerate() {
+            assert_eq!(frame, Frame::Request { id: i as u64, req });
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_skipped() {
+        // Hand-build a best_oc frame carrying three fields from "the
+        // future": an extra varint, bytes, and fixed64 tag.
+        let mut fields = Vec::new();
+        put_field_varint(&mut fields, TAG_ID, 9);
+        put_field_bytes(&mut fields, TAG_GPU, b"V100");
+        put_field_bytes(&mut fields, TAG_STENCIL_NAME, b"star2d1r");
+        put_field_varint(&mut fields, 100, 12345);
+        put_field_bytes(&mut fields, 101, b"future payload");
+        put_field_f64(&mut fields, 102, 2.75);
+        let bytes = encode_frame(MSG_BEST_OC, &fields);
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let frame = dec.next_frame().unwrap().unwrap();
+        assert_eq!(
+            frame,
+            Frame::Request {
+                id: 9,
+                req: Request::BestOc {
+                    gpu: "V100".to_string(),
+                    pattern: PatternSpec::Name("star2d1r".to_string()),
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_version_is_recoverable() {
+        let mut bytes = encode_request(1, &Request::Ping);
+        // The version byte sits right after the 1-byte length prefix
+        // for small frames.
+        bytes[1] = WIRE_VERSION + 1;
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        dec.push(&encode_request(2, &Request::Ping));
+        let err = dec.next_frame().unwrap_err();
+        assert!(!err.fatal);
+        assert_eq!(err.error.kind(), "wrong_version");
+        // The stream resynchronizes on the next frame.
+        let frame = dec.next_frame().unwrap().unwrap();
+        assert_eq!(
+            frame,
+            Frame::Request {
+                id: 2,
+                req: Request::Ping
+            }
+        );
+    }
+
+    #[test]
+    fn corrupt_checksum_is_recoverable() {
+        let mut bytes = encode_request(1, &Request::Ping);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // flip field bytes, not the stored checksum
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        dec.push(&encode_request(3, &Request::Ping));
+        let err = dec.next_frame().unwrap_err();
+        assert!(!err.fatal);
+        assert_eq!(err.error.kind(), "checksum_mismatch");
+        assert!(matches!(
+            dec.next_frame().unwrap(),
+            Some(Frame::Request { id: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_waits_for_more_bytes() {
+        let bytes = encode_request(5, &Request::Ping);
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes[..bytes.len() - 1]);
+        assert!(dec.next_frame().unwrap().is_none());
+        dec.push(&bytes[bytes.len() - 1..]);
+        assert!(dec.next_frame().unwrap().is_some());
+    }
+
+    #[test]
+    fn length_lie_is_fatal() {
+        // A length prefix claiming 100 MiB.
+        let mut bytes = Vec::new();
+        put_uvarint(&mut bytes, 100 << 20);
+        bytes.extend_from_slice(&[0u8; 16]);
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let err = dec.next_frame().unwrap_err();
+        assert!(err.fatal);
+        assert_eq!(err.error.kind(), "decode");
+    }
+
+    #[test]
+    fn undersized_body_is_fatal() {
+        // Length prefix below the fixed header size.
+        let mut bytes = Vec::new();
+        put_uvarint(&mut bytes, 4);
+        bytes.extend_from_slice(&[0u8; 4]);
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert!(dec.next_frame().unwrap_err().fatal);
+    }
+
+    #[test]
+    fn hostile_pattern_counts_do_not_allocate() {
+        // An offsets blob claiming u64::MAX points must error, not OOM.
+        let mut blob = vec![2u8];
+        put_uvarint(&mut blob, u64::MAX);
+        let mut fields = Vec::new();
+        put_field_bytes(&mut fields, TAG_GPU, b"V100");
+        put_field_bytes(&mut fields, TAG_OFFSETS, &blob);
+        let bytes = encode_frame(MSG_BEST_OC, &fields);
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let err = dec.next_frame().unwrap_err();
+        assert!(!err.fatal);
+        assert_eq!(err.error.kind(), "decode");
+    }
+}

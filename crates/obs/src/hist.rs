@@ -1,0 +1,232 @@
+//! Process-global latency/size histograms with power-of-two buckets.
+//!
+//! A [`Histogram`] is a fixed array of relaxed atomic bucket counters —
+//! bucket `i` holds samples whose value has bit length `i` (i.e. values
+//! in `[2^(i-1), 2^i)`), so recording is one `leading_zeros` plus two
+//! uncontended RMWs and never allocates. Like [`crate::counters`], all
+//! updates are gated on the single [`crate::enabled`] flag.
+//!
+//! Quantiles are resolved to the *upper bound* of the bucket containing
+//! the requested rank — a ≤2× overestimate by construction, which is
+//! the right fidelity for an always-on report (bench bins that need
+//! exact percentiles compute them from their own raw samples).
+
+use crate::span::enabled;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets: covers the full `u64` value range.
+pub const BUCKETS: usize = 65;
+
+/// A named process-global histogram over `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    help: &'static str,
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Create a histogram cell (const, for `static` registration).
+    pub const fn new(name: &'static str, help: &'static str) -> Histogram {
+        Histogram {
+            name,
+            help,
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Metric name as it appears in reports.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    /// Bucket index for a value: its bit length (0 for 0).
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Upper bound (inclusive) of a bucket.
+    fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one sample (no-op while collection is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if enabled() {
+            self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample value, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`), or 0 with no samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the requested sample, 1-based, clamped into range.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bound(i);
+            }
+        }
+        Self::bucket_bound(BUCKETS - 1)
+    }
+
+    /// Reset all buckets and the sum (always honored, even while
+    /// disabled).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// End-to-end request latency observed by the serving engine, in
+/// microseconds (submit to reply).
+pub static REQUEST_LATENCY_US: Histogram = Histogram::new(
+    "request_latency_us",
+    "serving request latency from submit to reply, microseconds",
+);
+/// Number of requests the serving engine dispatched per micro-batch.
+pub static BATCH_SIZE: Histogram =
+    Histogram::new("batch_size", "requests dispatched per serving micro-batch");
+
+static ALL_HISTOGRAMS: [&Histogram; 2] = [&REQUEST_LATENCY_US, &BATCH_SIZE];
+
+/// Every registered histogram, in report order.
+pub fn all_histograms() -> &'static [&'static Histogram] {
+    &ALL_HISTOGRAMS
+}
+
+/// Reset every registered histogram.
+pub fn reset_all() {
+    for h in all_histograms() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::set_enabled;
+    use crate::test_guard;
+
+    static TEST_HIST: Histogram = Histogram::new("test_hist", "test");
+
+    #[test]
+    fn records_count_sum_mean() {
+        let _guard = test_guard();
+        set_enabled(true);
+        TEST_HIST.reset();
+        for v in [1u64, 2, 3, 100] {
+            TEST_HIST.record(v);
+        }
+        assert_eq!(TEST_HIST.count(), 4);
+        assert_eq!(TEST_HIST.sum(), 106);
+        assert!((TEST_HIST.mean() - 26.5).abs() < 1e-9);
+        TEST_HIST.reset();
+        assert_eq!(TEST_HIST.count(), 0);
+        assert_eq!(TEST_HIST.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_bound_the_sample() {
+        let _guard = test_guard();
+        set_enabled(true);
+        static H: Histogram = Histogram::new("quantile_hist", "test");
+        H.reset();
+        // 99 fast samples at 10, one slow at 5000.
+        for _ in 0..99 {
+            H.record(10);
+        }
+        H.record(5000);
+        let p50 = H.quantile(0.50);
+        let p99 = H.quantile(0.99);
+        let p100 = H.quantile(1.0);
+        // p50/p99 land in the bucket of 10 ([8,16)); p100 in 5000's.
+        assert_eq!(p50, 15);
+        assert_eq!(p99, 15);
+        assert!((4096..=8191).contains(&p100), "p100 = {p100}");
+        assert!(p50 <= p99 && p99 <= p100);
+    }
+
+    #[test]
+    fn zero_and_huge_values_have_buckets() {
+        let _guard = test_guard();
+        set_enabled(true);
+        static H: Histogram = Histogram::new("edge_hist", "test");
+        H.reset();
+        H.record(0);
+        H.record(u64::MAX);
+        assert_eq!(H.count(), 2);
+        assert_eq!(H.quantile(0.0), 0);
+        assert_eq!(H.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn disabled_records_are_dropped() {
+        let _guard = test_guard();
+        static H: Histogram = Histogram::new("disabled_hist", "test");
+        set_enabled(false);
+        H.record(7);
+        set_enabled(true);
+        assert_eq!(H.count(), 0);
+    }
+
+    #[test]
+    fn registry_is_wired() {
+        assert!(all_histograms().len() >= 2);
+        let mut names: Vec<&str> = all_histograms().iter().map(|h| h.name()).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate histogram name registered");
+        assert!(!all_histograms()[0].help().is_empty());
+    }
+}

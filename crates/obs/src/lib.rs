@@ -36,23 +36,27 @@
 //! workspace.
 
 pub mod counters;
+pub mod hist;
 pub mod manifest;
 pub mod report;
 pub mod runtime;
 pub mod span;
 
 pub use counters::Counter;
+pub use hist::Histogram;
 pub use manifest::RunManifest;
 pub use span::{enabled, set_enabled, span, time, Span};
 
 /// Clear all collected observability state: span aggregates, trace
-/// events, the dropped-event count, and every counter and gauge.
+/// events, the dropped-event count, and every counter, gauge, and
+/// histogram.
 ///
 /// Intended for tests and for bench bins that measure several isolated
 /// workloads in one process.
 pub fn reset() {
     span::reset_spans();
     counters::reset_all();
+    hist::reset_all();
 }
 
 /// Serializes unit tests that touch the process-global collector or the

@@ -109,6 +109,24 @@ pub fn metrics_json(manifest: &RunManifest) -> String {
         esc(g.name(), &mut out);
         let _ = write!(out, ": {}", g.get());
     }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (i, h) in crate::hist::all_histograms().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        esc(h.name(), &mut out);
+        let _ = write!(
+            out,
+            ": {{\"count\": {}, \"mean\": {:?}, \"p50_le\": {}, \"p90_le\": {}, \"p99_le\": {}, \"max_le\": {}}}",
+            h.count(),
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99),
+            h.quantile(1.0),
+        );
+    }
     out.push_str("\n  },\n  \"derived\": {");
     let mut first = true;
     let mut rate = |out: &mut String, name: &str, total: u64, wall_ns: u128| {
@@ -251,6 +269,27 @@ mod tests {
         assert_eq!(*field(counters_obj, "samples_trained"), Value::Int(10));
         // Gauges live in their own section, not among the counters.
         assert!(matches!(field(&v, "gauges"), Value::Object(_)));
+    }
+
+    #[test]
+    fn histograms_are_reported_with_quantiles() {
+        let _guard = test_guard();
+        set_enabled(true);
+        crate::reset();
+        for _ in 0..9 {
+            crate::hist::REQUEST_LATENCY_US.record(100);
+        }
+        crate::hist::REQUEST_LATENCY_US.record(100_000);
+        let json = metrics_json(&demo_manifest());
+        let v = serde_json::parse_value(&json).expect("report is valid JSON");
+        let hists = field(&v, "histograms");
+        let lat = field(hists, "request_latency_us");
+        assert_eq!(*field(lat, "count"), Value::Int(10));
+        let p50 = field(lat, "p50_le").as_u64().unwrap();
+        let p99 = field(lat, "p99_le").as_u64().unwrap();
+        assert!((100..=127).contains(&p50), "p50_le = {p50}");
+        assert!(p99 >= 100_000, "p99_le = {p99}");
+        crate::reset();
     }
 
     #[test]

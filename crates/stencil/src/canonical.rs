@@ -40,15 +40,24 @@ pub fn canonical(shape: Shape, dim: Dim, order: u8) -> CanonicalStencil {
 /// 3-D; within a dimensionality, star, then box, then cross; ascending
 /// order).
 pub fn suite() -> Vec<CanonicalStencil> {
-    let mut out = Vec::with_capacity(24);
-    for dim in [Dim::D2, Dim::D3] {
-        for shape in [Shape::Star, Shape::Box, Shape::Cross] {
-            for order in 1..=4u8 {
-                out.push(canonical(shape, dim, order));
+    cached_suite().to_vec()
+}
+
+/// The suite, built once per process. Serving frontends resolve stencil
+/// names per request, so lookups must not rebuild 24 patterns each time.
+fn cached_suite() -> &'static [CanonicalStencil] {
+    static SUITE: std::sync::OnceLock<Vec<CanonicalStencil>> = std::sync::OnceLock::new();
+    SUITE.get_or_init(|| {
+        let mut out = Vec::with_capacity(24);
+        for dim in [Dim::D2, Dim::D3] {
+            for shape in [Shape::Star, Shape::Box, Shape::Cross] {
+                for order in 1..=4u8 {
+                    out.push(canonical(shape, dim, order));
+                }
             }
         }
-    }
-    out
+        out
+    })
 }
 
 /// A stable memoization key for a pattern: dimensionality plus the
@@ -67,7 +76,7 @@ pub fn canonical_key(p: &StencilPattern) -> String {
 
 /// Look up a canonical stencil by its benchmark name (e.g. `star2d1r`).
 pub fn by_name(name: &str) -> Option<CanonicalStencil> {
-    suite().into_iter().find(|c| c.name == name)
+    cached_suite().iter().find(|c| c.name == name).cloned()
 }
 
 #[cfg(test)]

@@ -1,0 +1,346 @@
+//! Serving-layer integration tests: hot-swap atomicity under
+//! multi-threaded load, JSONL ordering/flush discipline, and a full
+//! TCP round-trip through the wire protocol server.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use stencilmart::api::{Predictor, StencilMart};
+use stencilmart::config::PipelineConfig;
+use stencilmart::models::{ClassifierKind, RegressorKind};
+use stencilmart::serve::engine::{Engine, EngineOptions};
+use stencilmart::serve::jsonl;
+use stencilmart::serve::server::{serve, ServerOptions};
+use stencilmart::wire::{
+    encode_request, Frame, FrameDecoder, PatternSpec, Reply, Request, Response,
+};
+use stencilmart_gpusim::GpuId;
+use stencilmart_stencil::pattern::Dim;
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("stencilmart-serve-{}-{name}", std::process::id()))
+}
+
+/// Two tiny bundles, trained once and shared across tests:
+/// * bundle A covers `{V100, P100}` — `best_oc` on P100 succeeds;
+/// * bundle B covers `{V100}` only — `best_oc` on P100 is a structured
+///   `unknown_gpu` error.
+///
+/// The A/B difference is the consistency oracle for the hot-swap
+/// stress: which outcome a response carries must match the generation
+/// version it echoes.
+fn bundles() -> &'static (PathBuf, PathBuf) {
+    static BUNDLES: OnceLock<(PathBuf, PathBuf)> = OnceLock::new();
+    BUNDLES.get_or_init(|| {
+        let base = PipelineConfig {
+            stencils_per_dim: 10,
+            samples_per_oc: 2,
+            max_regression_rows: 600,
+            ..PipelineConfig::default()
+        };
+        let cfg_a = PipelineConfig {
+            gpus: vec![GpuId::V100, GpuId::P100],
+            ..base.clone()
+        };
+        let cfg_b = PipelineConfig {
+            gpus: vec![GpuId::V100],
+            ..base
+        };
+        let path_a = tmp_path("bundle-a.json");
+        let path_b = tmp_path("bundle-b.json");
+        StencilMart::train(
+            cfg_a,
+            Dim::D2,
+            ClassifierKind::Gbdt,
+            RegressorKind::GbRegressor,
+        )
+        .save(&path_a, "serving-test")
+        .expect("save bundle A");
+        StencilMart::train(
+            cfg_b,
+            Dim::D2,
+            ClassifierKind::Gbdt,
+            RegressorKind::GbRegressor,
+        )
+        .save(&path_b, "serving-test")
+        .expect("save bundle B");
+        (path_a, path_b)
+    })
+}
+
+fn probe() -> Request {
+    Request::BestOc {
+        gpu: "P100".to_string(),
+        pattern: PatternSpec::Name("star2d1r".to_string()),
+    }
+}
+
+/// 4 threads hammer `best_oc` on P100 while the main thread swaps
+/// between bundle A (serves P100) and bundle B (doesn't) in a loop.
+/// Generation versions alternate deterministically — 1=A, 2=B, 3=A… —
+/// so every response must be internally consistent: an `Ok` may only
+/// come from an odd (A) version and an `unknown_gpu` error only from an
+/// even (B) version. Any torn read (new version, old model, or vice
+/// versa) fails the assertion.
+#[test]
+fn hot_swap_is_atomic_under_concurrent_load() {
+    let (path_a, path_b) = bundles();
+    let engine = Arc::new(Engine::new(
+        Predictor::load(path_a).expect("load bundle A"),
+        EngineOptions::default(),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for t in 0..4u64 {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            let mut seen_ok = 0u64;
+            let mut seen_unknown = 0u64;
+            let mut seq = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                let resp = engine.submit((t << 32) | seq, probe());
+                seq += 1;
+                match &resp.result {
+                    Ok(Reply::BestOc { .. }) => {
+                        assert!(
+                            !resp.model_version.is_multiple_of(2),
+                            "Ok(best_oc) served by even (B) generation {}",
+                            resp.model_version
+                        );
+                        seen_ok += 1;
+                    }
+                    Err((kind, _)) if kind == "unknown_gpu" => {
+                        assert!(
+                            resp.model_version.is_multiple_of(2),
+                            "unknown_gpu served by odd (A) generation {}",
+                            resp.model_version
+                        );
+                        seen_unknown += 1;
+                    }
+                    other => panic!("unexpected response {other:?}"),
+                }
+            }
+            (seen_ok, seen_unknown)
+        }));
+    }
+    // 24 swaps, alternating B, A, B, A, … — versions 2, 3, 4, …
+    for i in 0..24 {
+        let path = if i % 2 == 0 { path_b } else { path_a };
+        let v = engine.swap_with(Predictor::load(path).expect("load swap bundle"));
+        assert_eq!(v, i as u64 + 2);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::SeqCst);
+    let mut total_ok = 0;
+    let mut total_unknown = 0;
+    for w in workers {
+        let (ok, unknown) = w.join().expect("worker panicked");
+        total_ok += ok;
+        total_unknown += unknown;
+    }
+    // The workers ran across many swaps: both generations must actually
+    // have been observed, or the oracle proved nothing.
+    assert!(total_ok > 0, "no responses from an A generation");
+    assert!(total_unknown > 0, "no responses from a B generation");
+}
+
+/// A writer that records flush positions, to pin the per-line flush
+/// discipline.
+#[derive(Default)]
+struct FlushTracker {
+    bytes: Vec<u8>,
+    flushed_lines: usize,
+    flushes: usize,
+}
+
+impl Write for FlushTracker {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.bytes.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.flushes += 1;
+        // Every flush must land exactly on a line boundary: the
+        // response for request N is fully visible before N+1 is served.
+        let text = String::from_utf8(self.bytes.clone()).expect("utf8 output");
+        assert!(
+            text.is_empty() || text.ends_with('\n'),
+            "flush mid-line: {text:?}"
+        );
+        self.flushed_lines = text.lines().count();
+        Ok(())
+    }
+}
+
+#[test]
+fn jsonl_serving_flushes_every_line_in_order() {
+    let (path_a, _) = bundles();
+    let mut predictor = Predictor::load(path_a).expect("load bundle A");
+    let input = concat!(
+        "{\"op\":\"best_oc\",\"gpu\":\"V100\",\"stencil\":\"star2d1r\"}\n",
+        "this is not json\n",
+        "{\"op\":\"best_oc\",\"gpu\":\"NoSuchGpu\",\"stencil\":\"star2d1r\"}\n",
+        "\n",
+        "{\"op\":\"predict_time\",\"gpu\":\"P100\",\"stencil\":\"box2d1r\",\"oc\":\"ST\"}\n",
+        "{\"op\":\"best_oc\",\"gpu\":\"V100\",\"offsets\":[[1,0],[-1,0],[0,1],[0,-1]]}\n",
+    );
+    let mut out = FlushTracker::default();
+    let stats = jsonl::serve_lines(&mut predictor, input.as_bytes(), &mut out)
+        .expect("serving in-memory input");
+    assert_eq!(stats.served, 3);
+    assert_eq!(stats.failed, 2);
+    // One flush per response line (blank input lines produce nothing).
+    assert_eq!(out.flushes, 5);
+    assert_eq!(out.flushed_lines, 5);
+    let text = String::from_utf8(out.bytes).expect("utf8 output");
+    let lines: Vec<&str> = text.lines().collect();
+    // Responses come back in request order: ok, parse error, unknown
+    // GPU, ok, ok.
+    assert!(
+        lines[0].starts_with("{\"ok\":true,\"op\":\"best_oc\""),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        lines[1].starts_with("{\"ok\":false,\"kind\":\"parse\""),
+        "{}",
+        lines[1]
+    );
+    assert!(
+        lines[2].starts_with("{\"ok\":false,\"kind\":\"unknown_gpu\""),
+        "{}",
+        lines[2]
+    );
+    assert!(
+        lines[3].starts_with("{\"ok\":true,\"op\":\"predict_time\""),
+        "{}",
+        lines[3]
+    );
+    assert!(
+        lines[4].starts_with("{\"ok\":true,\"op\":\"best_oc\""),
+        "{}",
+        lines[4]
+    );
+    // Every line parses as standalone JSON.
+    for line in &lines {
+        serde_json::parse_value(line).expect("response line is valid JSON");
+    }
+}
+
+fn read_n_responses(stream: &mut TcpStream, n: usize) -> Vec<Response> {
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    let mut got = Vec::with_capacity(n);
+    while got.len() < n {
+        let read = stream.read(&mut buf).expect("read from server");
+        assert!(
+            read > 0,
+            "server closed early with {} of {n} responses",
+            got.len()
+        );
+        dec.push(&buf[..read]);
+        loop {
+            match dec.next_frame() {
+                Ok(None) => break,
+                Ok(Some(Frame::Response(r))) => got.push(r),
+                Ok(Some(other)) => panic!("server sent {other:?}"),
+                Err(e) => panic!("client-side decode error: {}", e.error),
+            }
+        }
+    }
+    got
+}
+
+/// Full TCP round-trip: pipelined valid requests, one corrupt frame
+/// mid-stream, a hot-swap `Reload`, then `Shutdown` — zero dropped
+/// valid requests, the corrupt frame surfaces as a structured error
+/// response, and the accept loop exits cleanly.
+#[test]
+fn tcp_server_round_trip_with_corruption_and_reload() {
+    let (path_a, _) = bundles();
+    let engine = Arc::new(Engine::new(
+        Predictor::load(path_a).expect("load bundle A"),
+        EngineOptions {
+            max_batch: 64,
+            bundle_path: Some(path_a.clone()),
+        },
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let server = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || serve(listener, engine, ServerOptions::default()))
+    };
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // 20 pipelined valid requests with a corrupt frame in the middle.
+    let mut wire = Vec::new();
+    for i in 0..20u64 {
+        wire.extend_from_slice(&encode_request(i, &probe()));
+        if i == 9 {
+            let mut corrupt = encode_request(999, &Request::Ping);
+            let last = corrupt.len() - 1;
+            corrupt[last] ^= 0xff;
+            wire.extend_from_slice(&corrupt);
+        }
+    }
+    stream.write_all(&wire).expect("write pipelined requests");
+    let responses = read_n_responses(&mut stream, 21);
+    let errors: Vec<&Response> = responses.iter().filter(|r| r.result.is_err()).collect();
+    assert_eq!(errors.len(), 1, "exactly the corrupt frame errors");
+    assert_eq!(
+        errors[0].result.as_ref().unwrap_err().0,
+        "checksum_mismatch"
+    );
+    let ok_ids: Vec<u64> = responses
+        .iter()
+        .filter(|r| r.result.is_ok())
+        .map(|r| r.id)
+        .collect();
+    assert_eq!(ok_ids.len(), 20, "zero dropped valid requests");
+    for i in 0..20u64 {
+        assert!(ok_ids.contains(&i), "request {i} was dropped");
+    }
+
+    // Hot-swap over the wire, mid-connection.
+    stream
+        .write_all(&encode_request(100, &Request::Reload))
+        .expect("write reload");
+    let reload = read_n_responses(&mut stream, 1)
+        .pop()
+        .expect("reload response");
+    match reload.result {
+        Ok(Reply::Reloaded { version }) => assert!(version >= 2),
+        other => panic!("reload answered {other:?}"),
+    }
+    // Post-swap traffic on the same connection still serves.
+    stream
+        .write_all(&encode_request(101, &probe()))
+        .expect("write post-swap probe");
+    let post = read_n_responses(&mut stream, 1)
+        .pop()
+        .expect("post-swap response");
+    assert!(post.result.is_ok());
+    assert!(
+        post.model_version >= 2,
+        "post-swap response from old generation"
+    );
+
+    // Clean shutdown: the accept loop returns.
+    stream
+        .write_all(&encode_request(102, &Request::Shutdown))
+        .expect("write shutdown");
+    let bye = read_n_responses(&mut stream, 1)
+        .pop()
+        .expect("shutdown ack");
+    assert!(bye.result.is_ok());
+    server
+        .join()
+        .expect("server thread panicked")
+        .expect("accept loop failed");
+}
