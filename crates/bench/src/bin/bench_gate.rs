@@ -168,6 +168,29 @@ fn main() {
         }
     }
 
+    // A report that records both its measured peak RSS and the memory
+    // budget it ran under (the out-of-core bench) is machine-checked:
+    // "stays fast past RAM" is only meaningful if the cap actually held.
+    let rss = |doc: &Value, key: &str| doc.field(key).and_then(|v| v.as_f64()).ok();
+    if let (Some(peak), Some(budget)) = (
+        rss(&current, "peak_rss_bytes"),
+        rss(&current, "rss_budget_bytes"),
+    ) {
+        if peak > budget {
+            failures.push(format!(
+                "peak RSS {:.1} MiB exceeds the {:.1} MiB budget the run claims to hold",
+                peak / (1024.0 * 1024.0),
+                budget / (1024.0 * 1024.0)
+            ));
+        } else {
+            println!(
+                "peak RSS {:.1} MiB within {:.1} MiB budget: ok",
+                peak / (1024.0 * 1024.0),
+                budget / (1024.0 * 1024.0)
+            );
+        }
+    }
+
     if let Some(threshold) = overhead_below {
         let pct = current
             .field("obs_overhead")

@@ -1,0 +1,514 @@
+//! Out-of-core sharded-training benchmark + CI corruption smoke.
+//!
+//! ```text
+//! corpus_shard [--quick] [--workers N] [--dir PATH]
+//!              [--metrics-out PATH] [OUTPUT.json]
+//! corpus_shard --smoke --dir PATH
+//! ```
+//!
+//! **Bench mode** writes `BENCH_outofcore.json` (default) proving the
+//! out-of-core pipeline "stays fast past RAM": it streams a
+//! corpus-scale synthetic regression matrix through [`BinStoreWriter`]
+//! (never materializing it), then times
+//!
+//! * `gbdt_fit_resident_10k` — in-RAM [`GbdtRegressor::fit`] on a
+//!   10k-row slice of the same data (the rate an all-in-RAM pipeline
+//!   gets), in rows·trees/s,
+//! * `gbdt_fit_streamed` — [`GbdtRegressor::fit_streamed`] over the
+//!   full on-disk store with a bounded shard cache, same unit,
+//! * `nn_epoch_resident_10k` / `nn_epoch_streamed` — the in-RAM MLP
+//!   trainer vs the chunk-prefetching streamed trainer, in samples/s,
+//!
+//! and records `peak_rss_bytes` (VmHWM) next to `rss_budget_bytes` so
+//! `bench_gate` machine-checks that the memory cap actually held.
+//! Before any timing it asserts the streamed fit is byte-identical to
+//! the resident fit across shard counts and worker counts. The bench
+//! itself fails when streamed throughput drops below 75% of the
+//! resident rate or the RSS budget is exceeded. `--quick` keeps the
+//! same datasets with fewer timing repetitions (CI compares like for
+//! like against the committed baseline).
+//!
+//! **Smoke mode** (`--smoke --dir PATH`) is the CI corruption drill: it
+//! builds a small *real* sharded corpus (profiled, not synthetic),
+//! verifies the merge reproduces it, corrupts shard files (bit flip and
+//! truncation) and asserts every failure surfaces as a structured
+//! `MartError` kind — never a panic — then trains a GBDT from the
+//! surviving shards via `open_surviving`.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use stencilmart::binstore::{BinStore, BinStoreWriter};
+use stencilmart::config::PipelineConfig;
+use stencilmart::models::{build_mlp, train_gb_regressor_streamed, MlpShape};
+use stencilmart::shard::{
+    build_sharded_corpus, corpus_shard_file_name, merge_corpus_shards, write_regression_store,
+    CorpusPlan,
+};
+use stencilmart_gpusim::GpuId;
+use stencilmart_ml::data::FeatureMatrix;
+use stencilmart_ml::gbdt::tree::TreeConfig;
+use stencilmart_ml::gbdt::{GbdtConfig, GbdtRegressor};
+use stencilmart_ml::nn::{train_regressor, train_regressor_streamed, TrainConfig};
+use stencilmart_ml::tensor::Tensor;
+use stencilmart_obs::{self as obs, counters};
+use stencilmart_stencil::pattern::Dim;
+
+const COLS: usize = 36; // mirrors the regression layout: 18 + 6 + 8 + 4
+const ROWS: usize = 200_000;
+const ROWS_PER_SHARD: usize = 32_768;
+const BASELINE_ROWS: usize = 10_000;
+const BINS: usize = 32;
+/// Code-cache capacity for the timed GBDT runs. Histogram training
+/// re-scans every row each level, so the cache is sized to cover the
+/// store's u8 code sections (~¼ the raw footprint; ~8 MiB here) — the
+/// raw f32 corpus, targets, and labels stay on disk. Sub-covering
+/// caches trade throughput for an even smaller ceiling and are
+/// bit-identity-tested in `tests/prop_outofcore.rs` and the bench's
+/// own determinism preflight (capacity 2).
+const CACHE_SHARDS: usize = 8;
+const RSS_BUDGET_BYTES: u64 = 384 * 1024 * 1024;
+/// Streamed throughput must stay within 25% of the resident rate.
+const MIN_RATIO: f64 = 0.75;
+
+/// Stateless deterministic feature value for (row, col): the corpus
+/// matrix is a pure function, so the writer, the determinism preflight,
+/// and the resident baseline replay identical rows without ever holding
+/// the matrix.
+fn feat(i: u64, c: u64) -> f32 {
+    let mut z = i
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(c.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+}
+
+fn fill_row(i: usize, row: &mut Vec<f32>) -> f32 {
+    row.clear();
+    row.extend((0..COLS).map(|c| feat(i as u64, c as u64)));
+    row.iter()
+        .enumerate()
+        .map(|(j, v)| ((j % 7) as f32 - 3.0) * v)
+        .sum::<f32>()
+        + row[0] * row[1]
+}
+
+/// Stream `rows` synthetic rows into a fresh store under `dir`.
+fn build_store(dir: &Path, rows: usize, rows_per_shard: usize) -> BinStore {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut w = BinStoreWriter::create(dir, COLS, BINS, rows_per_shard).expect("create store");
+    let mut row = Vec::with_capacity(COLS);
+    for i in 0..rows {
+        let target = fill_row(i, &mut row);
+        w.push_row(&row, target, (i % 5) as u32).expect("push row");
+    }
+    w.finalize().expect("finalize store")
+}
+
+/// The first `rows` of the same synthetic matrix, resident.
+fn resident_slice(rows: usize) -> (FeatureMatrix, Vec<f32>) {
+    let mut data = Vec::with_capacity(rows * COLS);
+    let mut y = Vec::with_capacity(rows);
+    let mut row = Vec::with_capacity(COLS);
+    for i in 0..rows {
+        y.push(fill_row(i, &mut row));
+        data.extend_from_slice(&row);
+    }
+    (FeatureMatrix::new(rows, COLS, data), y)
+}
+
+fn gbdt_cfg() -> GbdtConfig {
+    GbdtConfig {
+        rounds: 12,
+        eta: 0.1,
+        subsample: 0.8,
+        tree: TreeConfig {
+            max_depth: 6,
+            min_child_weight: 2.0,
+            ..TreeConfig::default()
+        },
+        bins: BINS,
+        seed: 0x00C0,
+    }
+}
+
+fn nn_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 2,
+        batch_size: 256,
+        lr: 1e-3,
+        seed: 0x00C1,
+    }
+}
+
+fn small_mlp(seed: u64) -> stencilmart_ml::nn::Sequential {
+    let shape = MlpShape {
+        hidden_layers: 2,
+        width: 32,
+    };
+    build_mlp(COLS, shape, seed)
+}
+
+fn best_secs<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn entry(name: &str, shape: &str, unit: &str, throughput: f64, elapsed_s: f64) -> serde::Value {
+    use serde::Value;
+    Value::Object(vec![
+        ("name".into(), Value::Str(name.into())),
+        ("shape".into(), Value::Str(shape.into())),
+        ("unit".into(), Value::Str(unit.into())),
+        ("throughput".into(), Value::Float(throughput)),
+        ("seconds_per_run".into(), Value::Float(elapsed_s)),
+    ])
+}
+
+/// Byte-identity preflight: the streamed fit must equal the resident
+/// fit for 1 and 5 shards, at 1 worker and at `workers` workers.
+fn check_determinism(dir: &Path, workers: usize) {
+    let n = 4_000;
+    let (x, y) = resident_slice(n);
+    let cfg = GbdtConfig {
+        rounds: 3,
+        tree: TreeConfig {
+            max_depth: 5,
+            ..TreeConfig::default()
+        },
+        ..gbdt_cfg()
+    };
+    let one = build_store(&dir.join("det1"), n, n);
+    let five = build_store(&dir.join("det5"), n, n.div_ceil(5));
+    assert_eq!(five.shard_count(), 5, "preflight store must have 5 shards");
+    std::env::set_var("STENCILMART_THREADS", "1");
+    let resident = serde_json::to_string(&GbdtRegressor::fit(&x, &y, &cfg)).expect("serialize");
+    for (label, store) in [("1 shard", &one), ("5 shards", &five)] {
+        for threads in [1usize, workers] {
+            std::env::set_var("STENCILMART_THREADS", threads.to_string());
+            let bins = store.sharded_bins(2);
+            let streamed = GbdtRegressor::fit_streamed(&bins, &y, &cfg);
+            assert_eq!(
+                serde_json::to_string(&streamed).expect("serialize"),
+                resident,
+                "streamed fit diverged from resident fit ({label}, {threads} workers)"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir.join("det1"));
+    let _ = std::fs::remove_dir_all(dir.join("det5"));
+}
+
+/// CI corruption drill over a real (profiled) sharded corpus and a
+/// regression bin store. Leaves manifests in `dir` for artifact upload.
+fn smoke(dir: &Path) {
+    let cfg = PipelineConfig {
+        seed: 3,
+        stencils_per_dim: 6,
+        samples_per_oc: 2,
+        gpus: vec![GpuId::V100, GpuId::P100],
+        max_regression_rows: usize::MAX,
+        ..PipelineConfig::default()
+    };
+    let corpus_dir = dir.join("corpus");
+    let _ = std::fs::remove_dir_all(&corpus_dir);
+
+    eprintln!("[smoke] building 3-shard profiled corpus...");
+    build_sharded_corpus(&corpus_dir, &cfg, Dim::D2, 3).expect("build sharded corpus");
+    let merged = merge_corpus_shards(&corpus_dir).expect("merge intact corpus");
+
+    eprintln!("[smoke] bit-flipping corpus shard 1...");
+    let victim = corpus_dir.join(corpus_shard_file_name(1));
+    let text = std::fs::read_to_string(&victim).expect("read shard");
+    let tampered = text.replace("\\\"time_ms\\\"", "\\\"time_mz\\\"");
+    assert_ne!(tampered, text, "tamper pattern must hit the payload");
+    std::fs::write(&victim, tampered).expect("write tampered shard");
+    let err = merge_corpus_shards(&corpus_dir).expect_err("tampered merge must fail");
+    println!(
+        "[smoke] corpus bit flip -> MartError kind `{}`: {err}",
+        err.kind()
+    );
+    assert_eq!(err.kind(), "checksum_mismatch");
+
+    eprintln!("[smoke] regenerating shard 1 deterministically...");
+    let plan = CorpusPlan::new(&cfg, Dim::D2);
+    plan.write_shard(&corpus_dir, &plan.profile_shard(1, 3))
+        .expect("rewrite shard");
+    let remerged = merge_corpus_shards(&corpus_dir).expect("merge repaired corpus");
+    assert_eq!(
+        serde_json::to_string(&remerged).expect("serialize"),
+        serde_json::to_string(&merged).expect("serialize"),
+        "repaired corpus must be bit-identical"
+    );
+
+    eprintln!("[smoke] writing regression bin store...");
+    let store_dir = dir.join("store");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = write_regression_store(&store_dir, &merged, &cfg, 32, 128).expect("write store");
+    assert!(
+        store.shard_count() >= 4,
+        "smoke store must have several shards"
+    );
+    let full_rows = store.rows();
+
+    eprintln!("[smoke] corrupting two store shards (bit flip + truncation)...");
+    let flip = store_dir.join(&store.shard_entries()[1].file);
+    let mut bytes = std::fs::read(&flip).expect("read shard");
+    let k = bytes.len() - 9;
+    bytes[k] ^= 0x10;
+    std::fs::write(&flip, &bytes).expect("write flipped shard");
+    let trunc = store_dir.join(&store.shard_entries()[2].file);
+    let bytes = std::fs::read(&trunc).expect("read shard");
+    std::fs::write(&trunc, &bytes[..bytes.len() - 5]).expect("write truncated shard");
+
+    let err = BinStore::open(&store_dir).expect_err("strict open must fail");
+    println!(
+        "[smoke] strict open -> MartError kind `{}`: {err}",
+        err.kind()
+    );
+    assert!(["checksum_mismatch", "invalid_shard"].contains(&err.kind()));
+
+    let (survivors, dropped) = BinStore::open_surviving(&store_dir).expect("open survivors");
+    assert_eq!(dropped.len(), 2, "exactly the two corrupted shards drop");
+    for (id, e) in &dropped {
+        println!("[smoke] dropped shard {id}: kind `{}`: {e}", e.kind());
+        assert!(["checksum_mismatch", "invalid_shard"].contains(&e.kind()));
+    }
+    assert!(survivors.rows() < full_rows);
+
+    eprintln!(
+        "[smoke] training GBDT from {} surviving rows...",
+        survivors.rows()
+    );
+    let model = train_gb_regressor_streamed(&survivors, 7, 2).expect("train from survivors");
+    let (x, _) = resident_slice(4); // any matrix with enough columns
+    assert_eq!(x.cols(), COLS);
+    drop(model);
+
+    let manifest = obs::RunManifest::new("corpus_shard", cfg.seed, "smoke");
+    obs::report::write_metrics(&dir.join("smoke-metrics.json"), &manifest)
+        .expect("write metrics report");
+    println!(
+        "[smoke] OK: corruption is structured, survivors train, manifests in {}",
+        dir.display()
+    );
+}
+
+fn main() {
+    let mut out_path = "BENCH_outofcore.json".to_string();
+    let mut quick = false;
+    let mut workers = 4usize;
+    let mut dir: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut smoke_mode = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--smoke" => smoke_mode = true,
+            "--workers" => {
+                let v = it.next().unwrap_or_default();
+                workers = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --workers value {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--dir" => dir = Some(PathBuf::from(it.next().unwrap_or_default())),
+            "--metrics-out" => metrics_out = Some(PathBuf::from(it.next().unwrap_or_default())),
+            "--help" | "-h" => {
+                println!(
+                    "usage: corpus_shard [--quick] [--workers N] [--dir PATH] \
+                     [--metrics-out PATH] [OUTPUT.json]\n       corpus_shard --smoke --dir PATH"
+                );
+                return;
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    obs::set_enabled(true);
+    obs::reset();
+
+    let dir = dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("stencilmart_outofcore_{}", std::process::id()))
+    });
+    if smoke_mode {
+        smoke(&dir);
+        return;
+    }
+    let samples = if quick { 3 } else { 4 };
+
+    eprintln!("[corpus_shard] determinism preflight (1 vs 5 shards, 1 vs {workers} workers)...");
+    check_determinism(&dir, workers);
+    std::env::set_var("STENCILMART_THREADS", workers.to_string());
+
+    eprintln!("[corpus_shard] streaming {ROWS} x {COLS} rows to disk...");
+    let store_dir = dir.join("bench-store");
+    let t = Instant::now();
+    let store = build_store(&store_dir, ROWS, ROWS_PER_SHARD);
+    let write_secs = t.elapsed().as_secs_f64();
+    let mut entries = vec![entry(
+        "binstore_write",
+        &format!(
+            "{ROWS} x {COLS}, {} shards, {BINS} bins",
+            store.shard_count()
+        ),
+        "rows/s",
+        ROWS as f64 / write_secs,
+        write_secs,
+    )];
+
+    // Resident baseline FIRST: the in-RAM rate on a 10k corpus is the
+    // yardstick the streamed path must stay within 25% of.
+    let cfg = gbdt_cfg();
+    let gbdt_shape = |n: usize| {
+        format!(
+            "{n} x {COLS}, {} rounds, depth {}, {BINS} bins",
+            cfg.rounds, cfg.tree.max_depth
+        )
+    };
+    eprintln!("[corpus_shard] GBDT resident baseline ({BASELINE_ROWS} rows)...");
+    let (bx, by) = resident_slice(BASELINE_ROWS);
+    let resident_secs = best_secs(samples, || GbdtRegressor::fit(&bx, &by, &cfg));
+    let resident_rate = BASELINE_ROWS as f64 * cfg.rounds as f64 / resident_secs;
+    entries.push(entry(
+        "gbdt_fit_resident_10k",
+        &gbdt_shape(BASELINE_ROWS),
+        "rows_trees/s",
+        resident_rate,
+        resident_secs,
+    ));
+
+    eprintln!(
+        "[corpus_shard] GBDT streamed over {} shards (cache {CACHE_SHARDS})...",
+        store.shard_count()
+    );
+    let y = store.all_targets().expect("targets");
+    let streamed_secs = best_secs(samples, || {
+        let bins = store.sharded_bins(CACHE_SHARDS);
+        GbdtRegressor::fit_streamed(&bins, &y, &cfg)
+    });
+    let streamed_rate = ROWS as f64 * cfg.rounds as f64 / streamed_secs;
+    entries.push(entry(
+        "gbdt_fit_streamed",
+        &format!(
+            "{}, cache {CACHE_SHARDS}/{} shards",
+            gbdt_shape(ROWS),
+            store.shard_count()
+        ),
+        "rows_trees/s",
+        streamed_rate,
+        streamed_secs,
+    ));
+    let gbdt_ratio = streamed_rate / resident_rate;
+
+    let ncfg = nn_cfg();
+    let nn_shape = |n: usize| format!("{n} x {COLS}, mlp 36-32-32-1, {} epochs", ncfg.epochs);
+    eprintln!("[corpus_shard] NN resident baseline ({BASELINE_ROWS} rows)...");
+    let bx_tensor = Tensor::from_vec(&[BASELINE_ROWS, COLS], bx.data().to_vec());
+    let nn_resident_secs = best_secs(samples, || {
+        let mut net = small_mlp(9);
+        train_regressor(&mut net, &bx_tensor, &by, &ncfg)
+    });
+    let nn_resident_rate = (BASELINE_ROWS * ncfg.epochs) as f64 / nn_resident_secs;
+    entries.push(entry(
+        "nn_epoch_resident_10k",
+        &nn_shape(BASELINE_ROWS),
+        "samples/s",
+        nn_resident_rate,
+        nn_resident_secs,
+    ));
+
+    eprintln!("[corpus_shard] NN streamed with background prefetch...");
+    let nn_streamed_secs = best_secs(samples, || {
+        let mut net = small_mlp(9);
+        train_regressor_streamed(&mut net, &store, &ncfg).expect("streamed training")
+    });
+    let nn_streamed_rate = (ROWS * ncfg.epochs) as f64 / nn_streamed_secs;
+    entries.push(entry(
+        "nn_epoch_streamed",
+        &nn_shape(ROWS),
+        "samples/s",
+        nn_streamed_rate,
+        nn_streamed_secs,
+    ));
+    let nn_ratio = nn_streamed_rate / nn_resident_rate;
+
+    let peak = obs::runtime::refresh_peak_rss();
+    let shard_loads = counters::SHARD_LOADS.get();
+    let evictions = counters::SHARD_EVICTIONS.get();
+
+    use serde::Value;
+    let doc = Value::Object(vec![
+        (
+            "description".into(),
+            Value::Str(
+                "Out-of-core sharded training: streamed GBDT/NN throughput vs the in-RAM \
+                 10k-corpus rate, under a hard RSS budget"
+                    .into(),
+            ),
+        ),
+        (
+            "isa".into(),
+            Value::Str(obs::runtime::simd_isa().name().into()),
+        ),
+        ("workers".into(), Value::Float(workers as f64)),
+        ("quick".into(), Value::Bool(quick)),
+        ("rows".into(), Value::Float(ROWS as f64)),
+        ("peak_rss_bytes".into(), Value::Float(peak as f64)),
+        (
+            "rss_budget_bytes".into(),
+            Value::Float(RSS_BUDGET_BYTES as f64),
+        ),
+        ("gbdt_streamed_vs_resident".into(), Value::Float(gbdt_ratio)),
+        ("nn_streamed_vs_resident".into(), Value::Float(nn_ratio)),
+        ("shard_loads".into(), Value::Float(shard_loads as f64)),
+        ("shard_evictions".into(), Value::Float(evictions as f64)),
+        ("entries".into(), Value::Array(entries)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write output");
+    println!("wrote {out_path}");
+    println!("  gbdt streamed/resident: {gbdt_ratio:.2} (floor {MIN_RATIO})");
+    println!("  nn   streamed/resident: {nn_ratio:.2} (floor {MIN_RATIO})");
+    println!(
+        "  peak rss: {:.1} MiB (budget {:.0} MiB), {shard_loads} shard loads, {evictions} evictions",
+        peak as f64 / (1024.0 * 1024.0),
+        RSS_BUDGET_BYTES as f64 / (1024.0 * 1024.0)
+    );
+
+    if let Some(path) = metrics_out {
+        let manifest = obs::RunManifest::new("corpus_shard", 0x00C0, &format!("quick={quick}"));
+        obs::report::write_metrics(&path, &manifest).expect("write metrics report");
+        let trace = obs::report::trace_path_for(&path);
+        obs::report::write_chrome_trace(&trace).expect("write chrome trace");
+        eprintln!("[metrics] wrote {} and {}", path.display(), trace.display());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut failed = false;
+    if gbdt_ratio < MIN_RATIO {
+        eprintln!("[corpus_shard] FAIL: streamed GBDT at {gbdt_ratio:.2} of the resident rate");
+        failed = true;
+    }
+    if nn_ratio < MIN_RATIO {
+        eprintln!("[corpus_shard] FAIL: streamed NN at {nn_ratio:.2} of the resident rate");
+        failed = true;
+    }
+    if peak > RSS_BUDGET_BYTES {
+        eprintln!(
+            "[corpus_shard] FAIL: peak RSS {:.1} MiB exceeds the {:.0} MiB budget",
+            peak as f64 / (1024.0 * 1024.0),
+            RSS_BUDGET_BYTES as f64 / (1024.0 * 1024.0)
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

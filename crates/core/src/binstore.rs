@@ -1,0 +1,1055 @@
+//! On-disk columnar binned dataset: the out-of-core counterpart of an
+//! in-RAM `FeatureMatrix` + `BinnedMatrix` pair, written shard by shard
+//! so neither the writer nor a trainer ever holds the full corpus.
+//!
+//! # Layout
+//!
+//! A store is a directory holding one binary file per shard plus a
+//! checksummed JSON `manifest.json` in the same envelope style as
+//! [`crate::bundle::ModelBundle`] persistence (format version + FNV-1a
+//! payload checksum, structural validation on open). Each shard file:
+//!
+//! ```text
+//! offset size  field
+//!      0    4  magic  b"SMBS"
+//!      4    4  format version (u32 LE)
+//!      8    8  row count (u64 LE)
+//!     16    4  column count (u32 LE)
+//!     20    1  section flags (bit0 RAW, bit1 CODES, bit2 TARGETS, bit3 LABELS)
+//!     21    1  bin-code width in bytes (1; u16 codes are reserved)
+//!     22    2  reserved (0)
+//!     24    8  FNV-1a checksum of every byte after the header (u64 LE)
+//!     32    …  sections, in flag order:
+//!              RAW      rows×cols f32 LE, column-major
+//!              CODES    rows×cols u8, row-major
+//!              TARGETS  rows f32 LE
+//!              LABELS   rows u32 LE
+//! ```
+//!
+//! RAW is column-major so the finalize pass can stream one *global
+//! column* (shard-order concatenation = global row order) with one
+//! contiguous read per shard; CODES is row-major so the GBDT shard
+//! cache and the NN chunk loader consume it without a transpose.
+//!
+//! # Determinism
+//!
+//! Quantile cuts are derived per column from the shard-order
+//! concatenation of raw values — exactly the sequence the in-RAM
+//! binning sees — through the same shared helper
+//! ([`column_quantile_cuts`]), so cuts and bin codes are bit-identical
+//! to `BinnedMatrix::new` on the equivalent resident matrix for every
+//! shard size. Cut values round-trip through the manifest as `f32` bit
+//! patterns, never decimal text.
+
+use crate::error::MartError;
+use crate::persist::write_atomic;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use stencilmart_ml::gbdt::binned::{bin_column_into, column_quantile_cuts, MAX_BINS};
+use stencilmart_ml::gbdt::stream::ShardedBins;
+use stencilmart_ml::nn::stream::{Chunk, ChunkSource};
+use stencilmart_obs::counters;
+use stencilmart_obs::manifest::{fnv1a, Fnv1a};
+
+/// On-disk shard format version this build reads and writes.
+pub const SHARD_FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 4] = *b"SMBS";
+const HEADER_LEN: usize = 32;
+
+const FLAG_RAW: u8 = 1 << 0;
+const FLAG_CODES: u8 = 1 << 1;
+const FLAG_TARGETS: u8 = 1 << 2;
+const FLAG_LABELS: u8 = 1 << 3;
+
+/// Manifest file name inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Envelope {
+    format_version: u32,
+    checksum: String,
+    payload: String,
+}
+
+/// Atomically write `payload_json` wrapped in the shard-format envelope
+/// (version + FNV-1a payload checksum). Returns the checksum hex, which
+/// manifests record so a merge can tie each file to its listing.
+pub(crate) fn write_envelope_json(path: &Path, payload_json: &str) -> Result<String, MartError> {
+    let checksum = format!("{:016x}", fnv1a(payload_json.as_bytes()));
+    let envelope = Envelope {
+        format_version: SHARD_FORMAT_VERSION,
+        checksum: checksum.clone(),
+        payload: payload_json.to_string(),
+    };
+    write_atomic(path, serde_json::to_string_pretty(&envelope)?)?;
+    Ok(checksum)
+}
+
+/// Read an envelope file, verifying version and payload checksum.
+/// Returns `(payload_json, checksum_hex)`.
+pub(crate) fn read_envelope_json(path: &Path) -> Result<(String, String), MartError> {
+    let text = fs::read_to_string(path)?;
+    let envelope: Envelope = serde_json::from_str(&text)?;
+    if envelope.format_version != SHARD_FORMAT_VERSION {
+        return Err(MartError::WrongVersion {
+            found: envelope.format_version,
+            expected: SHARD_FORMAT_VERSION,
+        });
+    }
+    let computed = format!("{:016x}", fnv1a(envelope.payload.as_bytes()));
+    if computed != envelope.checksum {
+        return Err(MartError::ChecksumMismatch {
+            stored: envelope.checksum,
+            computed,
+        });
+    }
+    Ok((envelope.payload, envelope.checksum))
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ManifestPayload {
+    rows: u64,
+    cols: u32,
+    n_bins: u32,
+    /// Per-column cut values as `f32` bit patterns (exact round-trip).
+    cut_bits: Vec<Vec<u32>>,
+    shards: Vec<ShardEntry>,
+}
+
+/// One shard as listed in the store manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardEntry {
+    /// Shard index (contiguous from 0, global row order).
+    pub id: usize,
+    /// File name relative to the store directory.
+    pub file: String,
+    /// Rows in this shard.
+    pub rows: u64,
+    /// FNV-1a checksum of the shard file's post-header bytes
+    /// (lower-case hex, 16 digits) — must match the shard header.
+    pub checksum: String,
+}
+
+fn invalid(msg: impl Into<String>) -> MartError {
+    MartError::InvalidShard(msg.into())
+}
+
+/// Serialize one shard file and return `(bytes, checksum)`.
+fn encode_shard(
+    rows: usize,
+    cols: usize,
+    raw_col_major: Option<&[f32]>,
+    codes_row_major: Option<&[u8]>,
+    targets: Option<&[f32]>,
+    labels: Option<&[u32]>,
+) -> (Vec<u8>, u64) {
+    let mut flags = 0u8;
+    let mut payload_len = 0usize;
+    if let Some(r) = raw_col_major {
+        assert_eq!(r.len(), rows * cols);
+        flags |= FLAG_RAW;
+        payload_len += r.len() * 4;
+    }
+    if let Some(c) = codes_row_major {
+        assert_eq!(c.len(), rows * cols);
+        flags |= FLAG_CODES;
+        payload_len += c.len();
+    }
+    if let Some(t) = targets {
+        assert_eq!(t.len(), rows);
+        flags |= FLAG_TARGETS;
+        payload_len += t.len() * 4;
+    }
+    if let Some(l) = labels {
+        assert_eq!(l.len(), rows);
+        flags |= FLAG_LABELS;
+        payload_len += l.len() * 4;
+    }
+    let mut payload = Vec::with_capacity(payload_len);
+    if let Some(r) = raw_col_major {
+        for v in r {
+            payload.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    if let Some(c) = codes_row_major {
+        payload.extend_from_slice(c);
+    }
+    if let Some(t) = targets {
+        for v in t {
+            payload.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    if let Some(l) = labels {
+        for v in l {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let mut h = Fnv1a::new();
+    h.update(&payload);
+    let checksum = h.finish();
+
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&SHARD_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(rows as u64).to_le_bytes());
+    out.extend_from_slice(&(cols as u32).to_le_bytes());
+    out.push(flags);
+    out.push(1); // code width: u8
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out.extend_from_slice(&payload);
+    (out, checksum)
+}
+
+/// Parsed shard header.
+#[derive(Debug, Clone, Copy)]
+struct ShardHeader {
+    rows: u64,
+    cols: u32,
+    flags: u8,
+    checksum: u64,
+}
+
+impl ShardHeader {
+    fn parse(bytes: &[u8], what: &str) -> Result<ShardHeader, MartError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(invalid(format!(
+                "{what}: {} bytes is shorter than the {HEADER_LEN}-byte header",
+                bytes.len()
+            )));
+        }
+        if bytes[..4] != MAGIC {
+            return Err(invalid(format!("{what}: bad magic {:02x?}", &bytes[..4])));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != SHARD_FORMAT_VERSION {
+            return Err(MartError::WrongVersion {
+                found: version,
+                expected: SHARD_FORMAT_VERSION,
+            });
+        }
+        let rows = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let cols = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+        let flags = bytes[20];
+        let code_width = bytes[21];
+        if code_width != 1 {
+            return Err(invalid(format!(
+                "{what}: bin-code width {code_width} is not supported (only u8 codes)"
+            )));
+        }
+        let checksum = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+        Ok(ShardHeader {
+            rows,
+            cols,
+            flags,
+            checksum,
+        })
+    }
+
+    /// Byte length of the sections preceding `flag`, and of `flag`'s own
+    /// section, for this header's shape.
+    fn section_range(&self, flag: u8) -> Option<(usize, usize)> {
+        if self.flags & flag == 0 {
+            return None;
+        }
+        let rows = self.rows as usize;
+        let cols = self.cols as usize;
+        let mut off = HEADER_LEN;
+        for (f, len) in [
+            (FLAG_RAW, rows * cols * 4),
+            (FLAG_CODES, rows * cols),
+            (FLAG_TARGETS, rows * 4),
+            (FLAG_LABELS, rows * 4),
+        ] {
+            if f == flag {
+                return Some((off, len));
+            }
+            if self.flags & f != 0 {
+                off += len;
+            }
+        }
+        None
+    }
+
+    fn payload_len(&self) -> usize {
+        let rows = self.rows as usize;
+        let cols = self.cols as usize;
+        let mut len = 0usize;
+        for (f, l) in [
+            (FLAG_RAW, rows * cols * 4),
+            (FLAG_CODES, rows * cols),
+            (FLAG_TARGETS, rows * 4),
+            (FLAG_LABELS, rows * 4),
+        ] {
+            if self.flags & f != 0 {
+                len += l;
+            }
+        }
+        len
+    }
+}
+
+/// Streaming writer: rows are pushed in global order, spilled to
+/// temporary raw shards every `rows_per_shard` rows, then `finalize`
+/// derives global quantile cuts column by column, bins every shard
+/// against them, and atomically writes the final shards + manifest.
+/// Peak memory is one shard of rows plus one full raw column.
+pub struct BinStoreWriter {
+    dir: PathBuf,
+    cols: usize,
+    n_bins: usize,
+    rows_per_shard: usize,
+    /// Current shard accumulation, row-major.
+    cur_raw: Vec<f32>,
+    cur_targets: Vec<f32>,
+    cur_labels: Vec<u32>,
+    /// Rows per spilled temp shard, in shard order.
+    temp_rows: Vec<usize>,
+}
+
+impl BinStoreWriter {
+    /// Create a writer into `dir` (created if missing) for `cols`
+    /// features quantile-binned into at most `n_bins` bins, cutting a
+    /// shard every `rows_per_shard` rows.
+    pub fn create(
+        dir: &Path,
+        cols: usize,
+        n_bins: usize,
+        rows_per_shard: usize,
+    ) -> io::Result<BinStoreWriter> {
+        assert!(cols > 0, "need at least one feature column");
+        assert!((2..=MAX_BINS).contains(&n_bins), "n_bins must be 2..=255");
+        assert!(rows_per_shard > 0, "rows_per_shard must be positive");
+        fs::create_dir_all(dir)?;
+        Ok(BinStoreWriter {
+            dir: dir.to_path_buf(),
+            cols,
+            n_bins,
+            rows_per_shard,
+            cur_raw: Vec::with_capacity(rows_per_shard * cols),
+            cur_targets: Vec::with_capacity(rows_per_shard),
+            cur_labels: Vec::with_capacity(rows_per_shard),
+            temp_rows: Vec::new(),
+        })
+    }
+
+    fn temp_path(&self, id: usize) -> PathBuf {
+        self.dir.join(format!("shard-{id:05}.tmp.bin"))
+    }
+
+    fn shard_path(dir: &Path, id: usize) -> PathBuf {
+        dir.join(shard_file_name(id))
+    }
+
+    /// Append one sample (features in global row order, its regression
+    /// target, and its class label). Spills a temp shard when full.
+    pub fn push_row(&mut self, features: &[f32], target: f32, label: u32) -> io::Result<()> {
+        assert_eq!(features.len(), self.cols, "feature width mismatch");
+        self.cur_raw.extend_from_slice(features);
+        self.cur_targets.push(target);
+        self.cur_labels.push(label);
+        if self.cur_targets.len() >= self.rows_per_shard {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self) -> io::Result<()> {
+        let rows = self.cur_targets.len();
+        if rows == 0 {
+            return Ok(());
+        }
+        // Transpose the accumulated rows to the column-major RAW layout.
+        let mut col_major = vec![0.0f32; rows * self.cols];
+        for r in 0..rows {
+            for c in 0..self.cols {
+                col_major[c * rows + r] = self.cur_raw[r * self.cols + c];
+            }
+        }
+        let (bytes, _) = encode_shard(
+            rows,
+            self.cols,
+            Some(&col_major),
+            None,
+            Some(&self.cur_targets),
+            Some(&self.cur_labels),
+        );
+        let id = self.temp_rows.len();
+        write_atomic(&self.temp_path(id), &bytes)?;
+        self.temp_rows.push(rows);
+        self.cur_raw.clear();
+        self.cur_targets.clear();
+        self.cur_labels.clear();
+        Ok(())
+    }
+
+    /// Derive global cuts, bin every shard, write the final shards and
+    /// the checksummed manifest, and remove the temporaries. Consumes
+    /// the writer; returns the opened (validated) store.
+    pub fn finalize(mut self) -> Result<BinStore, MartError> {
+        self.spill()?;
+        if self.temp_rows.is_empty() {
+            return Err(invalid("cannot finalize an empty store"));
+        }
+        let total_rows: usize = self.temp_rows.iter().sum();
+        let _span = stencilmart_obs::span("binstore_finalize");
+
+        // Pass 1: per-column global quantile cuts from the shard-order
+        // concatenation of raw values (= global row order).
+        let mut cuts: Vec<Vec<f32>> = Vec::with_capacity(self.cols);
+        let mut col_vals: Vec<f32> = Vec::with_capacity(total_rows);
+        let mut keys: Vec<u32> = Vec::with_capacity(total_rows);
+        let mut key_tmp: Vec<u32> = Vec::with_capacity(total_rows);
+        let mut byte_buf: Vec<u8> = Vec::new();
+        for c in 0..self.cols {
+            col_vals.clear();
+            for (id, &rows) in self.temp_rows.iter().enumerate() {
+                read_raw_column(&self.temp_path(id), rows, self.cols, c, &mut byte_buf)?;
+                col_vals.extend(
+                    byte_buf
+                        .chunks_exact(4)
+                        .map(|b| f32::from_bits(u32::from_le_bytes(b.try_into().expect("4")))),
+                );
+            }
+            cuts.push(column_quantile_cuts(
+                &mut col_vals,
+                self.n_bins,
+                &mut keys,
+                &mut key_tmp,
+            ));
+        }
+
+        // Pass 2: bin each shard against the global cuts and write the
+        // final shard files.
+        let mut entries: Vec<ShardEntry> = Vec::with_capacity(self.temp_rows.len());
+        let mut pad: Vec<f32> = Vec::new();
+        for (id, &rows) in self.temp_rows.iter().enumerate() {
+            let tmp = fs::read(self.temp_path(id))?;
+            let header = ShardHeader::parse(&tmp, &format!("temp shard {id}"))?;
+            if header.rows as usize != rows || header.cols as usize != self.cols {
+                return Err(invalid(format!(
+                    "temp shard {id}: header shape {}x{} does not match writer state {rows}x{}",
+                    header.rows, header.cols, self.cols
+                )));
+            }
+            let (raw_off, raw_len) = header
+                .section_range(FLAG_RAW)
+                .ok_or_else(|| invalid(format!("temp shard {id}: missing RAW section")))?;
+            let raw: Vec<f32> = tmp[raw_off..raw_off + raw_len]
+                .chunks_exact(4)
+                .map(|b| f32::from_bits(u32::from_le_bytes(b.try_into().expect("4"))))
+                .collect();
+            let mut codes = vec![0u8; rows * self.cols];
+            for c in 0..self.cols {
+                // Column-major raw → row-major codes (start=c, stride=cols).
+                bin_column_into(
+                    &raw[c * rows..(c + 1) * rows],
+                    &cuts[c],
+                    c,
+                    self.cols,
+                    &mut codes,
+                    &mut pad,
+                );
+            }
+            let (t_off, t_len) = header
+                .section_range(FLAG_TARGETS)
+                .ok_or_else(|| invalid(format!("temp shard {id}: missing TARGETS section")))?;
+            let targets: Vec<f32> = tmp[t_off..t_off + t_len]
+                .chunks_exact(4)
+                .map(|b| f32::from_bits(u32::from_le_bytes(b.try_into().expect("4"))))
+                .collect();
+            let (l_off, l_len) = header
+                .section_range(FLAG_LABELS)
+                .ok_or_else(|| invalid(format!("temp shard {id}: missing LABELS section")))?;
+            let labels: Vec<u32> = tmp[l_off..l_off + l_len]
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4")))
+                .collect();
+            drop(tmp);
+            let (bytes, checksum) = encode_shard(
+                rows,
+                self.cols,
+                Some(&raw),
+                Some(&codes),
+                Some(&targets),
+                Some(&labels),
+            );
+            write_atomic(&Self::shard_path(&self.dir, id), &bytes)?;
+            counters::SHARDS_WRITTEN.inc();
+            entries.push(ShardEntry {
+                id,
+                file: shard_file_name(id),
+                rows: rows as u64,
+                checksum: format!("{checksum:016x}"),
+            });
+        }
+
+        let payload = ManifestPayload {
+            rows: total_rows as u64,
+            cols: self.cols as u32,
+            n_bins: self.n_bins as u32,
+            cut_bits: cuts
+                .iter()
+                .map(|col| col.iter().map(|v| v.to_bits()).collect())
+                .collect(),
+            shards: entries,
+        };
+        let payload_json = serde_json::to_string(&payload)?;
+        write_envelope_json(&self.dir.join(MANIFEST_FILE), &payload_json)?;
+        for id in 0..self.temp_rows.len() {
+            let _ = fs::remove_file(self.temp_path(id));
+        }
+        BinStore::open(&self.dir)
+    }
+}
+
+/// File name of final shard `id`.
+pub fn shard_file_name(id: usize) -> String {
+    format!("shard-{id:05}.bin")
+}
+
+/// Read column `c`'s raw section of one shard file into `buf` (raw LE
+/// bytes, `rows * 4` of them) with a single seek + contiguous read.
+fn read_raw_column(
+    path: &Path,
+    rows: usize,
+    cols: usize,
+    c: usize,
+    buf: &mut Vec<u8>,
+) -> io::Result<()> {
+    let mut f = fs::File::open(path)?;
+    let mut header = [0u8; HEADER_LEN];
+    f.read_exact(&mut header)?;
+    let h = ShardHeader::parse(&header, "shard")
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let (raw_off, _) = h
+        .section_range(FLAG_RAW)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "shard has no RAW section"))?;
+    debug_assert_eq!(h.rows as usize, rows);
+    debug_assert_eq!(h.cols as usize, cols);
+    f.seek(SeekFrom::Start((raw_off + c * rows * 4) as u64))?;
+    buf.clear();
+    buf.resize(rows * 4, 0);
+    f.read_exact(buf)?;
+    Ok(())
+}
+
+/// A validated on-disk binned dataset, ready to hand shards to the
+/// streaming GBDT and NN trainers.
+#[derive(Debug, Clone)]
+pub struct BinStore {
+    dir: PathBuf,
+    rows: usize,
+    cols: usize,
+    n_bins: usize,
+    cuts: Vec<Vec<f32>>,
+    shards: Vec<ShardEntry>,
+}
+
+impl BinStore {
+    /// Open a store strictly: the manifest envelope (version, payload
+    /// checksum) and *every* shard file (header, shape, checksum) are
+    /// verified before any training starts. Any defect is a structured
+    /// [`MartError`], never a panic.
+    pub fn open(dir: &Path) -> Result<BinStore, MartError> {
+        let store = Self::open_manifest(dir)?;
+        for entry in &store.shards {
+            store.verify_shard(entry)?;
+        }
+        Ok(store)
+    }
+
+    /// Open a store but tolerate corrupt shards: the manifest must be
+    /// intact, but shards that fail validation are dropped from the
+    /// store and returned alongside their errors, so training can
+    /// proceed on the survivors (row indices stay per-shard
+    /// contiguous). Errors if *no* shard survives.
+    pub fn open_surviving(dir: &Path) -> Result<(BinStore, Vec<(usize, MartError)>), MartError> {
+        let mut store = Self::open_manifest(dir)?;
+        let mut dropped = Vec::new();
+        let mut survivors = Vec::new();
+        for entry in store.shards.drain(..) {
+            let mut probe = BinStore {
+                dir: store.dir.clone(),
+                rows: entry.rows as usize,
+                cols: store.cols,
+                n_bins: store.n_bins,
+                cuts: Vec::new(),
+                shards: Vec::new(),
+            };
+            probe.cuts = store.cuts.clone();
+            match probe.verify_shard(&entry) {
+                Ok(()) => survivors.push(entry),
+                Err(e) => dropped.push((entry.id, e)),
+            }
+        }
+        store.shards = survivors;
+        store.rows = store.shards.iter().map(|s| s.rows as usize).sum();
+        if store.shards.is_empty() {
+            return Err(invalid("no shard survived validation"));
+        }
+        Ok((store, dropped))
+    }
+
+    fn open_manifest(dir: &Path) -> Result<BinStore, MartError> {
+        let (payload_json, _) = read_envelope_json(&dir.join(MANIFEST_FILE))?;
+        let payload: ManifestPayload = serde_json::from_str(&payload_json)?;
+        let cols = payload.cols as usize;
+        if cols == 0 {
+            return Err(invalid("manifest: zero columns"));
+        }
+        if payload.cut_bits.len() != cols {
+            return Err(invalid(format!(
+                "manifest: {} cut vectors for {cols} columns",
+                payload.cut_bits.len()
+            )));
+        }
+        let cuts: Vec<Vec<f32>> = payload
+            .cut_bits
+            .iter()
+            .map(|col| col.iter().map(|&b| f32::from_bits(b)).collect())
+            .collect();
+        for (c, col) in cuts.iter().enumerate() {
+            if col.len() + 1 > payload.n_bins.max(2) as usize {
+                return Err(invalid(format!(
+                    "manifest: column {c} has {} cuts for n_bins {}",
+                    col.len(),
+                    payload.n_bins
+                )));
+            }
+            // `partial_cmp != Less` also rejects NaN cuts, which a
+            // plain `>=` comparison would let through.
+            if col
+                .windows(2)
+                .any(|w| w[0].partial_cmp(&w[1]) != Some(std::cmp::Ordering::Less))
+            {
+                return Err(invalid(format!(
+                    "manifest: column {c} cuts are not strictly increasing"
+                )));
+            }
+        }
+        for (i, s) in payload.shards.iter().enumerate() {
+            if s.id != i {
+                return Err(invalid(format!(
+                    "manifest: shard ids not contiguous ({} at position {i})",
+                    s.id
+                )));
+            }
+        }
+        let rows: u64 = payload.shards.iter().map(|s| s.rows).sum();
+        if rows != payload.rows {
+            return Err(invalid(format!(
+                "manifest: shard rows sum to {rows}, header says {}",
+                payload.rows
+            )));
+        }
+        if payload.shards.is_empty() {
+            return Err(invalid("manifest: no shards"));
+        }
+        Ok(BinStore {
+            dir: dir.to_path_buf(),
+            rows: rows as usize,
+            cols,
+            n_bins: payload.n_bins as usize,
+            cuts,
+            shards: payload.shards,
+        })
+    }
+
+    /// Verify one shard file against the manifest: readable, parseable
+    /// header, matching shape and sections, and a payload that hashes
+    /// to both the header's and the manifest's checksum.
+    fn verify_shard(&self, entry: &ShardEntry) -> Result<(), MartError> {
+        let path = self.dir.join(&entry.file);
+        let what = format!("shard {}", entry.id);
+        let mut f = fs::File::open(&path)?;
+        let mut header = [0u8; HEADER_LEN];
+        f.read_exact(&mut header)
+            .map_err(|e| invalid(format!("{what}: header unreadable: {e}")))?;
+        let h = ShardHeader::parse(&header, &what)?;
+        if h.rows != entry.rows {
+            return Err(invalid(format!(
+                "{what}: header says {} rows, manifest says {}",
+                h.rows, entry.rows
+            )));
+        }
+        if h.cols as usize != self.cols {
+            return Err(invalid(format!(
+                "{what}: header says {} columns, manifest says {}",
+                h.cols, self.cols
+            )));
+        }
+        for (flag, name) in [
+            (FLAG_RAW, "RAW"),
+            (FLAG_CODES, "CODES"),
+            (FLAG_TARGETS, "TARGETS"),
+            (FLAG_LABELS, "LABELS"),
+        ] {
+            if h.flags & flag == 0 {
+                return Err(invalid(format!("{what}: missing {name} section")));
+            }
+        }
+        // Stream the payload through the checksum in bounded chunks.
+        let expect_len = h.payload_len();
+        let mut hasher = Fnv1a::new();
+        let mut remaining = expect_len;
+        let mut buf = vec![0u8; (1 << 20).min(expect_len.max(1))];
+        while remaining > 0 {
+            let n = buf.len().min(remaining);
+            f.read_exact(&mut buf[..n])
+                .map_err(|e| invalid(format!("{what}: truncated payload: {e}")))?;
+            hasher.update(&buf[..n]);
+            remaining -= n;
+        }
+        if f.read(&mut [0u8; 1])? != 0 {
+            return Err(invalid(format!("{what}: trailing bytes after payload")));
+        }
+        let computed = hasher.finish();
+        if computed != h.checksum {
+            return Err(MartError::ChecksumMismatch {
+                stored: format!("{:016x}", h.checksum),
+                computed: format!("{computed:016x}"),
+            });
+        }
+        let hex = format!("{computed:016x}");
+        if hex != entry.checksum {
+            return Err(MartError::ChecksumMismatch {
+                stored: entry.checksum.clone(),
+                computed: hex,
+            });
+        }
+        Ok(())
+    }
+
+    /// Total rows across the store's (surviving) shards.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Feature columns per row.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Maximum quantile bins per column the store was built with.
+    pub fn n_bins(&self) -> usize {
+        self.n_bins
+    }
+
+    /// Number of (surviving) shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-column quantile cut vectors.
+    pub fn cuts(&self) -> &[Vec<f32>] {
+        &self.cuts
+    }
+
+    /// The manifest's (surviving) shard entries.
+    pub fn shard_entries(&self) -> &[ShardEntry] {
+        &self.shards
+    }
+
+    fn read_section(&self, shard: usize, flag: u8, name: &str) -> io::Result<Vec<u8>> {
+        let entry = &self.shards[shard];
+        let mut f = fs::File::open(self.dir.join(&entry.file))?;
+        let mut header = [0u8; HEADER_LEN];
+        f.read_exact(&mut header)?;
+        let h = ShardHeader::parse(&header, "shard")
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let (off, len) = h.section_range(flag).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("missing {name} section"),
+            )
+        })?;
+        f.seek(SeekFrom::Start(off as u64))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Load one shard's row-major bin codes.
+    pub fn load_codes(&self, shard: usize) -> io::Result<Vec<u8>> {
+        self.read_section(shard, FLAG_CODES, "CODES")
+    }
+
+    /// Load one shard as a row-major NN training chunk (raw features
+    /// transposed from the columnar section, plus targets and labels).
+    pub fn load_chunk(&self, shard: usize) -> io::Result<Chunk> {
+        let rows = self.shards[shard].rows as usize;
+        let cols = self.cols;
+        let raw = self.read_section(shard, FLAG_RAW, "RAW")?;
+        let mut data = vec![0.0f32; rows * cols];
+        for c in 0..cols {
+            for r in 0..rows {
+                let b = &raw[(c * rows + r) * 4..(c * rows + r) * 4 + 4];
+                data[r * cols + c] = f32::from_bits(u32::from_le_bytes(b.try_into().expect("4")));
+            }
+        }
+        let targets = self
+            .read_section(shard, FLAG_TARGETS, "TARGETS")?
+            .chunks_exact(4)
+            .map(|b| f32::from_bits(u32::from_le_bytes(b.try_into().expect("4"))))
+            .collect();
+        let labels = self
+            .read_section(shard, FLAG_LABELS, "LABELS")?
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4")))
+            .collect();
+        Ok(Chunk {
+            rows,
+            cols,
+            data,
+            labels,
+            targets,
+        })
+    }
+
+    /// Load one shard's regression targets.
+    pub fn load_targets(&self, shard: usize) -> io::Result<Vec<f32>> {
+        Ok(self
+            .read_section(shard, FLAG_TARGETS, "TARGETS")?
+            .chunks_exact(4)
+            .map(|b| f32::from_bits(u32::from_le_bytes(b.try_into().expect("4"))))
+            .collect())
+    }
+
+    /// Load one shard's class labels.
+    pub fn load_labels(&self, shard: usize) -> io::Result<Vec<u32>> {
+        Ok(self
+            .read_section(shard, FLAG_LABELS, "LABELS")?
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4")))
+            .collect())
+    }
+
+    /// All targets in global row order (one shard resident at a time).
+    pub fn all_targets(&self) -> io::Result<Vec<f32>> {
+        let mut out = Vec::with_capacity(self.rows);
+        for s in 0..self.shards.len() {
+            out.extend(self.load_targets(s)?);
+        }
+        Ok(out)
+    }
+
+    /// All labels in global row order (one shard resident at a time).
+    pub fn all_labels(&self) -> io::Result<Vec<u32>> {
+        let mut out = Vec::with_capacity(self.rows);
+        for s in 0..self.shards.len() {
+            out.extend(self.load_labels(s)?);
+        }
+        Ok(out)
+    }
+
+    /// A [`ShardedBins`] view for streamed GBDT training, keeping at
+    /// most `cache_shards` shards of bin codes resident.
+    pub fn sharded_bins(&self, cache_shards: usize) -> ShardedBins {
+        let shard_rows: Vec<usize> = self.shards.iter().map(|s| s.rows as usize).collect();
+        let loader_store = self.clone();
+        ShardedBins::new(
+            &shard_rows,
+            self.cols,
+            self.cuts.clone(),
+            cache_shards,
+            Box::new(move |s| loader_store.load_codes(s).map(Arc::new)),
+        )
+    }
+}
+
+impl ChunkSource for BinStore {
+    fn n_chunks(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn load(&self, i: usize) -> io::Result<Chunk> {
+        self.load_chunk(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilmart_ml::data::FeatureMatrix;
+    use stencilmart_ml::gbdt::binned::BinnedMatrix;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("stencilmart_binstore_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn demo_rows(n: usize, cols: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| ((r * cols + c) as f32 * 0.37).sin() * 10.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn write_store(dir: &Path, rows: &[Vec<f32>], n_bins: usize, per_shard: usize) -> BinStore {
+        let cols = rows[0].len();
+        let mut w = BinStoreWriter::create(dir, cols, n_bins, per_shard).unwrap();
+        for (i, r) in rows.iter().enumerate() {
+            w.push_row(r, i as f32 * 0.5, (i % 3) as u32).unwrap();
+        }
+        w.finalize().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_matches_in_ram_binning_bitwise() {
+        let dir = tmp_dir("roundtrip");
+        let rows = demo_rows(23, 4);
+        let store = write_store(&dir, &rows, 8, 7);
+        assert_eq!(store.rows(), 23);
+        assert_eq!(store.cols(), 4);
+        assert_eq!(store.shard_count(), 4); // 7+7+7+2
+
+        // Cuts and codes must be bit-identical to the in-RAM binning.
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        let x = FeatureMatrix::new(23, 4, flat);
+        let bm = BinnedMatrix::new(&x, 8);
+        for c in 0..4 {
+            let expect: Vec<u32> = (0..bm.n_bins(c) - 1)
+                .map(|b| bm.cut_value(c, b).to_bits())
+                .collect();
+            let got: Vec<u32> = store.cuts()[c].iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, expect, "column {c} cuts");
+        }
+        let mut row = 0usize;
+        for s in 0..store.shard_count() {
+            let codes = store.load_codes(s).unwrap();
+            let shard_rows = store.shard_entries()[s].rows as usize;
+            for r in 0..shard_rows {
+                for c in 0..4 {
+                    assert_eq!(
+                        codes[r * 4 + c] as usize,
+                        bm.bin(row + r, c),
+                        "shard {s} row {r} col {c}"
+                    );
+                }
+            }
+            row += shard_rows;
+        }
+
+        // Targets/labels survive in order; the chunk view agrees with
+        // the pushed raw rows.
+        let targets = store.all_targets().unwrap();
+        assert_eq!(targets.len(), 23);
+        assert_eq!(targets[10], 5.0);
+        let labels = store.all_labels().unwrap();
+        assert_eq!(labels[10], 1);
+        let chunk = store.load_chunk(1).unwrap();
+        assert_eq!(chunk.rows, 7);
+        assert_eq!(chunk.data[0..4], rows[7][..]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_rejects_bit_flip_with_structured_error() {
+        let dir = tmp_dir("bitflip");
+        let store = write_store(&dir, &demo_rows(20, 3), 8, 6);
+        let victim = dir.join(&store.shard_entries()[1].file);
+        let mut bytes = fs::read(&victim).unwrap();
+        let k = bytes.len() - 5;
+        bytes[k] ^= 0x40;
+        fs::write(&victim, &bytes).unwrap();
+        let err = BinStore::open(&dir).expect_err("corrupt shard must fail strict open");
+        assert_eq!(err.kind(), "checksum_mismatch");
+        // Surviving open drops exactly the corrupt shard.
+        let (survivor, dropped) = BinStore::open_surviving(&dir).unwrap();
+        assert_eq!(survivor.shard_count(), store.shard_count() - 1);
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].0, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_rejects_truncation_and_bad_magic() {
+        let dir = tmp_dir("trunc");
+        let store = write_store(&dir, &demo_rows(18, 2), 8, 9);
+        let victim = dir.join(&store.shard_entries()[0].file);
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() - 7]).unwrap();
+        let err = BinStore::open(&dir).expect_err("truncated shard must fail");
+        assert_eq!(err.kind(), "invalid_shard");
+        assert!(err.to_string().contains("truncated"), "{err}");
+
+        fs::write(&victim, b"NOPE").unwrap();
+        let err = BinStore::open(&dir).expect_err("bad magic must fail");
+        assert_eq!(err.kind(), "invalid_shard");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_tamper_is_detected() {
+        let dir = tmp_dir("manifest");
+        let _ = write_store(&dir, &demo_rows(12, 2), 8, 4);
+        let path = dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&path).unwrap();
+        let tampered = text.replace("\\\"rows\\\":12", "\\\"rows\\\":13");
+        assert_ne!(tampered, text, "tamper pattern must hit the payload");
+        fs::write(&path, tampered).unwrap();
+        let err = BinStore::open(&dir).expect_err("tampered manifest must fail");
+        assert_eq!(err.kind(), "checksum_mismatch");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_is_io_error() {
+        let dir = tmp_dir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        let err = BinStore::open(&dir).expect_err("no manifest");
+        assert_eq!(err.kind(), "io");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_temp_files_survive_finalize() {
+        let dir = tmp_dir("cleanup");
+        let _ = write_store(&dir, &demo_rows(10, 2), 4, 3);
+        let leftovers: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_gbdt_over_store_matches_resident_fit() {
+        use stencilmart_ml::gbdt::{GbdtConfig, GbdtRegressor};
+        let dir = tmp_dir("gbdt");
+        let n = 64;
+        let rows = demo_rows(n, 3);
+        let store = write_store(&dir, &rows, 16, 13);
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        let x = FeatureMatrix::new(n, 3, flat);
+        let y: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+        let cfg = GbdtConfig {
+            rounds: 6,
+            bins: 16,
+            subsample: 0.8,
+            ..GbdtConfig::default()
+        };
+        let resident = GbdtRegressor::fit(&x, &y, &cfg);
+        let sb = store.sharded_bins(2);
+        let streamed = GbdtRegressor::fit_streamed(&sb, &store.all_targets().unwrap(), &cfg);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&resident).unwrap(),
+            "disk-backed streamed fit must be byte-equal to resident"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

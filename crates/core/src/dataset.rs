@@ -8,8 +8,6 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 use stencilmart_gpusim::{profile_corpus_tasks, GpuArch, GpuId, OptCombo, StencilProfile};
 use stencilmart_ml::data::FeatureMatrix;
 use stencilmart_obs::{self as obs, counters};
@@ -34,24 +32,9 @@ fn profile_deduped(
     archs: &[GpuArch],
     pc: &stencilmart_gpusim::ProfileConfig,
 ) -> Vec<Vec<StencilProfile>> {
-    let mut first_slot: HashMap<&StencilPattern, usize> = HashMap::new();
-    let mut unique: Vec<&StencilPattern> = Vec::new();
-    let mut seeds: Vec<u64> = Vec::new();
-    let mut slot_of: Vec<usize> = Vec::with_capacity(patterns.len());
-    for (i, p) in patterns.iter().enumerate() {
-        match first_slot.entry(p) {
-            Entry::Occupied(e) => {
-                counters::CORPUS_DUPLICATES.inc();
-                slot_of.push(*e.get());
-            }
-            Entry::Vacant(e) => {
-                e.insert(unique.len());
-                slot_of.push(unique.len());
-                unique.push(p);
-                seeds.push(i as u64);
-            }
-        }
-    }
+    let plan = crate::shard::dedup_plan(patterns);
+    let unique: Vec<&StencilPattern> = plan.unique.iter().map(|&i| &patterns[i]).collect();
+    let seeds: Vec<u64> = plan.unique.iter().map(|&i| i as u64).collect();
     let per_gpu = profile_corpus_tasks(&unique, &seeds, grid, archs, pc);
     per_gpu
         .into_iter()
@@ -59,7 +42,7 @@ fn profile_deduped(
             if unique.len() == patterns.len() {
                 prof // no duplicates: already corpus-aligned
             } else {
-                slot_of.iter().map(|&s| prof[s].clone()).collect()
+                plan.slot_of.iter().map(|&s| prof[s].clone()).collect()
             }
         })
         .collect()

@@ -57,6 +57,9 @@ pub enum MartError {
     /// A wire-protocol frame failed to decode (truncated varint, bad
     /// checksum framing, oversized length, malformed field payload…).
     Decode(String),
+    /// An on-disk binned dataset shard failed validation (bad magic,
+    /// truncated sections, checksum mismatch, manifest disagreement…).
+    InvalidShard(String),
 }
 
 impl fmt::Display for MartError {
@@ -87,6 +90,7 @@ impl fmt::Display for MartError {
             }
             MartError::BadRequest(why) => write!(f, "bad request: {why}"),
             MartError::Decode(why) => write!(f, "wire decode error: {why}"),
+            MartError::InvalidShard(why) => write!(f, "invalid shard: {why}"),
         }
     }
 }
@@ -129,6 +133,7 @@ impl MartError {
             MartError::UnrankableGpu(_) => "unrankable_gpu",
             MartError::BadRequest(_) => "bad_request",
             MartError::Decode(_) => "decode",
+            MartError::InvalidShard(_) => "invalid_shard",
         }
     }
 }
@@ -171,6 +176,7 @@ mod tests {
             (MartError::UnrankableGpu(GpuId::Rtx2080Ti), "2080Ti"),
             (MartError::BadRequest("no offsets".into()), "no offsets"),
             (MartError::Decode("length lies".into()), "length lies"),
+            (MartError::InvalidShard("bad magic".into()), "bad magic"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

@@ -49,6 +49,7 @@ pub mod ablations;
 pub mod advisor;
 pub mod api;
 pub mod baselines;
+pub mod binstore;
 pub mod bundle;
 pub mod classify;
 pub mod config;
@@ -61,6 +62,7 @@ pub mod persist;
 pub mod ranking;
 pub mod regress;
 pub mod serve;
+pub mod shard;
 pub mod wire;
 
 pub use api::{Predictor, StencilMart};

@@ -704,6 +704,61 @@ impl TrainedRegressor {
     }
 }
 
+/// Train the GBDT performance regressor from an on-disk
+/// [`BinStore`](crate::binstore::BinStore) without ever
+/// materializing the feature matrix: targets stream out
+/// shard by shard, and the level-wise engine pulls bin codes through
+/// the store's bounded shard cache. `cfg.bins` is taken from the store
+/// (binning happened at store-build time); with the store built at
+/// [`gbdt_regressor_config`]`(seed).bins` the fitted model is
+/// bit-identical to the resident [`GbdtRegressor::fit`].
+pub fn train_gb_regressor_streamed(
+    store: &crate::binstore::BinStore,
+    seed: u64,
+    cache_shards: usize,
+) -> Result<GbdtRegressor, crate::error::MartError> {
+    let mut cfg = gbdt_regressor_config(seed);
+    cfg.bins = store.n_bins();
+    let y = store.all_targets()?;
+    let bins = store.sharded_bins(cache_shards);
+    Ok(GbdtRegressor::fit_streamed(&bins, &y, &cfg))
+}
+
+/// Train the GBDT OC classifier from an on-disk
+/// [`BinStore`](crate::binstore::BinStore), using the
+/// store's per-row labels. Same streaming + bit-identity contract as
+/// [`train_gb_regressor_streamed`].
+pub fn train_gbdt_classifier_streamed(
+    store: &crate::binstore::BinStore,
+    classes: usize,
+    seed: u64,
+    cache_shards: usize,
+) -> Result<GbdtClassifier, crate::error::MartError> {
+    let mut cfg = gbdt_classifier_config(seed);
+    cfg.bins = store.n_bins();
+    let labels: Vec<usize> = store.all_labels()?.iter().map(|&l| l as usize).collect();
+    let bins = store.sharded_bins(cache_shards);
+    Ok(GbdtClassifier::fit_streamed(&bins, &labels, classes, &cfg))
+}
+
+/// Train the MLP performance regressor by streaming minibatches from
+/// the store's raw-feature chunks (one shard resident, the next
+/// prefetched on a background thread). Returns the trained network and
+/// the per-epoch loss history.
+pub fn train_mlp_regressor_streamed(
+    store: &crate::binstore::BinStore,
+    shape: MlpShape,
+    seed: u64,
+) -> Result<(Sequential, Vec<f32>), crate::error::MartError> {
+    let mut net = build_mlp(store.cols(), shape, seed);
+    let history = stencilmart_ml::nn::train_regressor_streamed(
+        &mut net,
+        store,
+        &regressor_train_config(seed),
+    )?;
+    Ok((net, history))
+}
+
 /// Convert a feature matrix into a 2-D training tensor.
 pub fn matrix_to_tensor(m: &FeatureMatrix) -> Tensor {
     Tensor::from_vec(&[m.rows(), m.cols()], m.data().to_vec())

@@ -41,12 +41,14 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
-/// Write `contents` to `path` atomically: the bytes land in a temporary
-/// file in the *same directory* (staying on one filesystem so the final
-/// rename is atomic), then replace `path` in a single `rename`. A crash
-/// mid-write leaves either the old file or a stray temp file — never a
-/// torn JSON document.
-pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+/// Write `contents` to `path` atomically and durably: the bytes land in
+/// a temporary file in the *same directory* (staying on one filesystem
+/// so the final rename is atomic), are fsynced, replace `path` in a
+/// single `rename`, and the parent directory is fsynced so the rename
+/// itself survives power loss. A crash mid-write leaves either the old
+/// file or a stray temp file — never a torn document.
+pub fn write_atomic(path: &Path, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    use std::io::Write as _;
     use std::sync::atomic::{AtomicU64, Ordering};
     static SEQ: AtomicU64 = AtomicU64::new(0);
     let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
@@ -64,8 +66,22 @@ pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
         None => std::path::PathBuf::from(&tmp_name),
     };
     let write_and_rename = (|| {
-        fs::write(&tmp, contents)?;
-        fs::rename(&tmp, path)
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_ref())?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        // Durability of the rename: fsync the directory entry. Skipped
+        // when the directory cannot be opened for reading (never the
+        // case on the platforms we test), not when the sync fails.
+        let dir_path = match dir {
+            Some(d) => d.to_path_buf(),
+            None => std::path::PathBuf::from("."),
+        };
+        if let Ok(d) = fs::File::open(&dir_path) {
+            d.sync_all()?;
+        }
+        Ok(())
     })();
     if write_and_rename.is_err() {
         let _ = fs::remove_file(&tmp);
@@ -141,6 +157,47 @@ mod tests {
             .collect();
         let _ = std::fs::remove_file(&path);
         assert!(leftovers.is_empty(), "temp files must not survive");
+    }
+
+    #[test]
+    fn write_atomic_accepts_bytes() {
+        let path = tmp_path("bytes");
+        write_atomic(&path, [0u8, 159, 146, 150].as_slice()).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![0u8, 159, 146, 150]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_atomic_cleans_up_temp_when_rename_fails() {
+        // Renaming a file onto an existing non-empty directory fails
+        // after the temp file has already been written; the cleanup
+        // path must remove it.
+        let target = tmp_path("rename_fails");
+        std::fs::create_dir_all(target.join("occupant")).unwrap();
+        let err = write_atomic(&target, "doomed").unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::AlreadyExists | std::io::ErrorKind::Other
+            ) || err.raw_os_error().is_some(),
+            "unexpected error {err:?}"
+        );
+        let dir = target.parent().unwrap();
+        let stem = target.file_name().unwrap().to_string_lossy().into_owned();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .contains(&format!(".{stem}.tmp"))
+            })
+            .collect();
+        let _ = std::fs::remove_dir_all(&target);
+        assert!(
+            leftovers.is_empty(),
+            "temp files must be cleaned up on rename failure: {leftovers:?}"
+        );
     }
 
     #[test]

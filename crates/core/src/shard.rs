@@ -1,0 +1,509 @@
+//! Sharded out-of-core corpus profiling: split the unique-stencil work
+//! queue into contiguous shards, profile each shard independently (in
+//! this process or several), persist each shard as a checksummed JSON
+//! envelope, and merge the shards back into a [`ProfiledCorpus`] that is
+//! **bit-for-bit identical** to the single-process
+//! [`ProfiledCorpus::build`] result.
+//!
+//! Determinism argument: profiling randomness flows only through
+//! per-(stencil, OC) seed streams keyed by each unique stencil's
+//! *global* first-occurrence index ([`CorpusPlan`] carries those
+//! indices into every shard), and shards are contiguous ranges of the
+//! unique list merged in shard-id order — so no partitioning, worker
+//! count, or scheduling decision can reach a single simulated number.
+//!
+//! The second half of the pipeline streams the corpus's regression rows
+//! straight into an on-disk [`BinStore`]
+//! ([`write_regression_store`]), emitting rows in exactly the
+//! [`RegressionDataset::build`](crate::dataset::RegressionDataset::build)
+//! order while holding only one shard of rows in memory.
+
+use crate::binstore::{read_envelope_json, write_envelope_json, BinStore, BinStoreWriter};
+use crate::config::PipelineConfig;
+use crate::dataset::ProfiledCorpus;
+use crate::error::MartError;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::path::Path;
+use stencilmart_gpusim::{
+    profile_corpus_tasks, shard_ranges, GpuArch, GpuId, OptCombo, StencilProfile,
+};
+use stencilmart_obs::manifest::fnv1a;
+use stencilmart_obs::{self as obs, counters};
+use stencilmart_stencil::features::{extract, FeatureConfig};
+use stencilmart_stencil::generator::StencilGenerator;
+use stencilmart_stencil::pattern::{Dim, StencilPattern};
+
+/// Manifest file name for a sharded corpus directory.
+pub const CORPUS_MANIFEST_FILE: &str = "corpus-manifest.json";
+
+/// Deduplication of a pattern corpus by canonical pattern equality.
+///
+/// `unique[u]` is the corpus index of unique stencil `u`'s *first*
+/// occurrence (which is also its profiling seed index), and
+/// `slot_of[i]` maps corpus slot `i` to its unique slot — the exact
+/// structure `ProfiledCorpus::build` uses, recomputable from the
+/// patterns alone so a merge never has to trust a stored copy.
+#[derive(Debug, Clone)]
+pub struct DedupPlan {
+    /// First-occurrence corpus index of each unique stencil.
+    pub unique: Vec<usize>,
+    /// Corpus slot → unique slot.
+    pub slot_of: Vec<usize>,
+}
+
+/// Compute the [`DedupPlan`] for a corpus (counts duplicates into the
+/// `corpus_duplicates` counter, like the resident profiling path).
+pub fn dedup_plan(patterns: &[StencilPattern]) -> DedupPlan {
+    let mut first_slot: HashMap<&StencilPattern, usize> = HashMap::new();
+    let mut unique: Vec<usize> = Vec::new();
+    let mut slot_of: Vec<usize> = Vec::with_capacity(patterns.len());
+    for (i, p) in patterns.iter().enumerate() {
+        match first_slot.entry(p) {
+            Entry::Occupied(e) => {
+                counters::CORPUS_DUPLICATES.inc();
+                slot_of.push(*e.get());
+            }
+            Entry::Vacant(e) => {
+                e.insert(unique.len());
+                slot_of.push(unique.len());
+                unique.push(i);
+            }
+        }
+    }
+    DedupPlan { unique, slot_of }
+}
+
+/// The deterministic prelude of a corpus build: generated patterns plus
+/// their dedup plan, GPU list, and profiling config — everything a
+/// shard worker needs to profile its slice identically to the
+/// single-process path. Cheap to recompute in every worker (generation
+/// is a seeded stream; profiling is the expensive part).
+#[derive(Debug, Clone)]
+pub struct CorpusPlan {
+    /// Stencil dimensionality.
+    pub dim: Dim,
+    /// Grid points per axis.
+    pub grid: usize,
+    /// The generated corpus, in generation order.
+    pub patterns: Vec<StencilPattern>,
+    /// Dedup structure over `patterns`.
+    pub plan: DedupPlan,
+    gpus: Vec<GpuId>,
+    pc: stencilmart_gpusim::ProfileConfig,
+}
+
+/// One profiled shard: per-GPU profiles for the contiguous unique-range
+/// `[lo, hi)` of the plan's unique-stencil list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusShardData {
+    /// Shard id.
+    pub shard: usize,
+    /// Total shard count the range was computed against.
+    pub of: usize,
+    /// First unique slot covered (inclusive).
+    pub lo: usize,
+    /// One past the last unique slot covered.
+    pub hi: usize,
+    /// `profiles[gpu][u - lo]` aligned with the plan's GPU order.
+    pub profiles: Vec<Vec<StencilProfile>>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct CorpusManifestPayload {
+    dim: Dim,
+    grid: usize,
+    gpus: Vec<GpuId>,
+    patterns: Vec<StencilPattern>,
+    shards: Vec<CorpusShardEntry>,
+}
+
+/// One shard file as recorded in the corpus manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusShardEntry {
+    /// Shard id (contiguous from 0).
+    pub id: usize,
+    /// File name relative to the corpus directory.
+    pub file: String,
+    /// First unique slot covered.
+    pub lo: usize,
+    /// One past the last unique slot covered.
+    pub hi: usize,
+    /// FNV-1a checksum of the shard's JSON payload (16 hex digits).
+    pub checksum: String,
+}
+
+fn invalid(msg: impl Into<String>) -> MartError {
+    MartError::InvalidShard(msg.into())
+}
+
+/// File name of corpus shard `id`.
+pub fn corpus_shard_file_name(id: usize) -> String {
+    format!("corpus-{id:05}.json")
+}
+
+impl CorpusPlan {
+    /// Generate the corpus and its dedup plan for `(cfg, dim)` — the
+    /// same seeded stream [`ProfiledCorpus::build`] runs, minus the
+    /// profiling.
+    pub fn new(cfg: &PipelineConfig, dim: Dim) -> CorpusPlan {
+        let patterns = obs::time("stencil_gen", || {
+            let mut gen = StencilGenerator::new(cfg.seed ^ dim.rank() as u64);
+            gen.generate_corpus(dim, cfg.max_order, cfg.stencils_per_dim)
+        });
+        counters::STENCILS_GENERATED.add(patterns.len() as u64);
+        let plan = dedup_plan(&patterns);
+        CorpusPlan {
+            dim,
+            grid: cfg.grid_for(dim),
+            plan,
+            patterns,
+            gpus: cfg.gpus.clone(),
+            pc: cfg.profile_config(),
+        }
+    }
+
+    /// Number of unique stencils (= total profiling work items).
+    pub fn unique_count(&self) -> usize {
+        self.plan.unique.len()
+    }
+
+    /// Profile shard `shard` of `of`: the contiguous unique-range
+    /// assigned by [`shard_ranges`], with every stencil keeping its
+    /// global first-occurrence seed index so the result is independent
+    /// of the partitioning.
+    pub fn profile_shard(&self, shard: usize, of: usize) -> CorpusShardData {
+        assert!(shard < of, "shard index out of range");
+        let (lo, hi) = shard_ranges(self.unique_count(), of)[shard];
+        let refs: Vec<&StencilPattern> = self.plan.unique[lo..hi]
+            .iter()
+            .map(|&i| &self.patterns[i])
+            .collect();
+        let seeds: Vec<u64> = self.plan.unique[lo..hi].iter().map(|&i| i as u64).collect();
+        let archs: Vec<GpuArch> = self.gpus.iter().map(|&g| GpuArch::preset(g)).collect();
+        let profiles = profile_corpus_tasks(&refs, &seeds, self.grid, &archs, &self.pc);
+        CorpusShardData {
+            shard,
+            of,
+            lo,
+            hi,
+            profiles,
+        }
+    }
+
+    /// Write one profiled shard into `dir` as a checksummed envelope.
+    /// Returns the manifest entry for it.
+    pub fn write_shard(
+        &self,
+        dir: &Path,
+        data: &CorpusShardData,
+    ) -> Result<CorpusShardEntry, MartError> {
+        std::fs::create_dir_all(dir).map_err(MartError::Io)?;
+        let file = corpus_shard_file_name(data.shard);
+        let payload = serde_json::to_string(data)?;
+        let checksum = write_envelope_json(&dir.join(&file), &payload)?;
+        counters::SHARDS_WRITTEN.inc();
+        Ok(CorpusShardEntry {
+            id: data.shard,
+            file,
+            lo: data.lo,
+            hi: data.hi,
+            checksum,
+        })
+    }
+
+    /// Write the corpus manifest after every shard entry is in hand.
+    pub fn write_manifest(
+        &self,
+        dir: &Path,
+        entries: Vec<CorpusShardEntry>,
+    ) -> Result<(), MartError> {
+        let payload = CorpusManifestPayload {
+            dim: self.dim,
+            grid: self.grid,
+            gpus: self.gpus.clone(),
+            patterns: self.patterns.clone(),
+            shards: entries,
+        };
+        write_envelope_json(
+            &dir.join(CORPUS_MANIFEST_FILE),
+            &serde_json::to_string(&payload)?,
+        )?;
+        Ok(())
+    }
+}
+
+/// Single-process driver: plan, profile every shard in id order, write
+/// the shard files and the manifest. Each `profile_shard` call is
+/// independent, so distributing them across processes and writing the
+/// same manifest yields the same directory.
+pub fn build_sharded_corpus(
+    dir: &Path,
+    cfg: &PipelineConfig,
+    dim: Dim,
+    shards: usize,
+) -> Result<(), MartError> {
+    let _span = obs::span("corpus_build");
+    let plan = CorpusPlan::new(cfg, dim);
+    let mut entries = Vec::with_capacity(shards);
+    for s in 0..shards {
+        let data = plan.profile_shard(s, shards);
+        entries.push(plan.write_shard(dir, &data)?);
+    }
+    plan.write_manifest(dir, entries)
+}
+
+/// Merge a sharded corpus directory back into a [`ProfiledCorpus`].
+///
+/// Verifies the manifest envelope and every shard's payload checksum
+/// against both its own envelope and the manifest entry, validates that
+/// the shard ranges tile the unique list exactly, concatenates the
+/// unique profiles in shard-id order, and fans them out to duplicate
+/// slots — reproducing [`ProfiledCorpus::build`] bit-for-bit.
+pub fn merge_corpus_shards(dir: &Path) -> Result<ProfiledCorpus, MartError> {
+    let (payload, _) = read_envelope_json(&dir.join(CORPUS_MANIFEST_FILE))?;
+    let m: CorpusManifestPayload = serde_json::from_str(&payload)?;
+    let plan = dedup_plan(&m.patterns);
+    let k = m.shards.len();
+    if k == 0 {
+        return Err(invalid("corpus manifest lists no shards"));
+    }
+    let expect_ranges = shard_ranges(plan.unique.len(), k);
+    let mut per_gpu: Vec<Vec<StencilProfile>> = (0..m.gpus.len())
+        .map(|_| Vec::with_capacity(plan.unique.len()))
+        .collect();
+    for (i, entry) in m.shards.iter().enumerate() {
+        if entry.id != i {
+            return Err(invalid(format!(
+                "corpus manifest: shard ids not contiguous ({} at position {i})",
+                entry.id
+            )));
+        }
+        if (entry.lo, entry.hi) != expect_ranges[i] {
+            return Err(invalid(format!(
+                "corpus shard {i}: range [{}, {}) does not match the canonical \
+                 decomposition {:?} of {} uniques into {k} shards",
+                entry.lo,
+                entry.hi,
+                expect_ranges[i],
+                plan.unique.len()
+            )));
+        }
+        let (shard_payload, checksum) = read_envelope_json(&dir.join(&entry.file))?;
+        if checksum != entry.checksum {
+            return Err(MartError::ChecksumMismatch {
+                stored: entry.checksum.clone(),
+                computed: checksum,
+            });
+        }
+        debug_assert_eq!(
+            checksum,
+            format!("{:016x}", fnv1a(shard_payload.as_bytes()))
+        );
+        let data: CorpusShardData = serde_json::from_str(&shard_payload)?;
+        if data.shard != i || data.of != k || (data.lo, data.hi) != (entry.lo, entry.hi) {
+            return Err(invalid(format!(
+                "corpus shard {i}: payload identity ({}, of {}, [{}, {})) disagrees with manifest",
+                data.shard, data.of, data.lo, data.hi
+            )));
+        }
+        if data.profiles.len() != m.gpus.len() {
+            return Err(invalid(format!(
+                "corpus shard {i}: {} GPU profile lists for {} GPUs",
+                data.profiles.len(),
+                m.gpus.len()
+            )));
+        }
+        for (g, profs) in data.profiles.into_iter().enumerate() {
+            if profs.len() != entry.hi - entry.lo {
+                return Err(invalid(format!(
+                    "corpus shard {i}: GPU {g} has {} profiles for {} stencils",
+                    profs.len(),
+                    entry.hi - entry.lo
+                )));
+            }
+            per_gpu[g].extend(profs);
+        }
+    }
+    let profiles = m
+        .gpus
+        .iter()
+        .copied()
+        .zip(per_gpu.into_iter().map(|uniq| {
+            if plan.unique.len() == m.patterns.len() {
+                uniq
+            } else {
+                plan.slot_of.iter().map(|&s| uniq[s].clone()).collect()
+            }
+        }))
+        .collect();
+    Ok(ProfiledCorpus {
+        dim: m.dim,
+        grid: m.grid,
+        patterns: m.patterns,
+        profiles,
+    })
+}
+
+/// Stream a profiled corpus's regression rows into an on-disk
+/// [`BinStore`], emitting rows in exactly the order
+/// [`RegressionDataset::build`](crate::dataset::RegressionDataset::build)
+/// materializes them (GPU → stencil → OC → instance), with the same
+/// feature layout (extended stencil features ++ OC flags ++ parameter
+/// features ++ hardware features ++ optional log2-grid column) and the
+/// same `ln(time_ms)` target. The row's OC index rides along as the
+/// chunk label. Subsampling is intentionally disabled: capping rows is
+/// the in-RAM workaround this store exists to remove.
+///
+/// Memory stays bounded by one shard of raw rows plus one raw column
+/// during cut derivation, however large the corpus.
+pub fn write_regression_store(
+    dir: &Path,
+    corpus: &ProfiledCorpus,
+    cfg: &PipelineConfig,
+    n_bins: usize,
+    rows_per_shard: usize,
+) -> Result<BinStore, MartError> {
+    let _span = obs::span("regression_store_write");
+    let fc = FeatureConfig::extended();
+    let ocs = OptCombo::enumerate();
+    let stencil_feats: Vec<Vec<f32>> = corpus
+        .patterns
+        .iter()
+        .map(|p| extract(p, &fc).as_f32())
+        .collect();
+    let mut writer: Option<BinStoreWriter> = None;
+    let mut row: Vec<f32> = Vec::new();
+    for (gpu, profiles) in &corpus.profiles {
+        let hw: Vec<f32> = GpuArch::preset(*gpu)
+            .feature_vector()
+            .iter()
+            .map(|&v| v as f32)
+            .collect();
+        for (si, profile) in profiles.iter().enumerate() {
+            for (oi, outcome) in profile.per_oc.iter().enumerate() {
+                let oc_feats: Vec<f32> =
+                    ocs[oi].feature_vector().iter().map(|&v| v as f32).collect();
+                for inst in &outcome.instances {
+                    let params = inst.params.feature_vector(&ocs[oi]);
+                    row.clear();
+                    row.extend_from_slice(&stencil_feats[si]);
+                    row.extend_from_slice(&oc_feats);
+                    row.extend(params.iter().map(|&v| v as f32));
+                    row.extend_from_slice(&hw);
+                    if cfg.include_grid_size {
+                        row.push((corpus.grid as f32).log2());
+                    }
+                    let w = match &mut writer {
+                        Some(w) => w,
+                        None => writer.insert(BinStoreWriter::create(
+                            dir,
+                            row.len(),
+                            n_bins,
+                            rows_per_shard,
+                        )?),
+                    };
+                    w.push_row(&row, inst.time_ms.ln() as f32, oi as u32)?;
+                }
+            }
+        }
+    }
+    writer
+        .ok_or_else(|| invalid("corpus produced no regression rows"))?
+        .finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::RegressionDataset;
+    use std::fs;
+    use std::path::PathBuf;
+    use stencilmart_ml::gbdt::binned::BinnedMatrix;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("stencilmart_shard_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_cfg() -> PipelineConfig {
+        PipelineConfig {
+            stencils_per_dim: 6,
+            samples_per_oc: 2,
+            gpus: vec![
+                stencilmart_gpusim::GpuId::V100,
+                stencilmart_gpusim::GpuId::P100,
+            ],
+            max_regression_rows: usize::MAX,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_corpus_merges_bit_identical_to_resident_build() {
+        let cfg = tiny_cfg();
+        let expect = ProfiledCorpus::build(&cfg, Dim::D2);
+        let expect_json = serde_json::to_string(&expect).unwrap();
+        for shards in [1usize, 3] {
+            let dir = tmp_dir(&format!("merge{shards}"));
+            build_sharded_corpus(&dir, &cfg, Dim::D2, shards).unwrap();
+            let merged = merge_corpus_shards(&dir).unwrap();
+            assert_eq!(
+                serde_json::to_string(&merged).unwrap(),
+                expect_json,
+                "{shards} shards must reproduce the resident corpus"
+            );
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn corrupt_corpus_shard_is_a_structured_error() {
+        let cfg = tiny_cfg();
+        let dir = tmp_dir("corrupt");
+        build_sharded_corpus(&dir, &cfg, Dim::D2, 2).unwrap();
+        let victim = dir.join(corpus_shard_file_name(1));
+        let text = fs::read_to_string(&victim).unwrap();
+        let tampered = text.replace("\\\"time_ms\\\"", "\\\"time_mz\\\"");
+        assert_ne!(tampered, text, "tamper pattern must hit the payload");
+        fs::write(&victim, tampered).unwrap();
+        let err = merge_corpus_shards(&dir).expect_err("tampered shard must fail");
+        assert_eq!(err.kind(), "checksum_mismatch");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn regression_store_matches_resident_dataset_binning() {
+        let cfg = tiny_cfg();
+        let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+        let ds = RegressionDataset::build(&corpus, &cfg); // uncapped
+        let dir = tmp_dir("regstore");
+        let store = write_regression_store(&dir, &corpus, &cfg, 16, 37).unwrap();
+        assert_eq!(store.rows(), ds.len());
+        assert_eq!(store.cols(), ds.features.cols());
+        // Targets stream out in the same order…
+        let targets = store.all_targets().unwrap();
+        for (a, b) in targets.iter().zip(&ds.target_ln_ms) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // …and the on-disk cuts are bit-identical to binning the
+        // resident dataset.
+        let bm = BinnedMatrix::new(&ds.features, 16);
+        for c in 0..store.cols() {
+            let expect: Vec<u32> = (0..bm.n_bins(c) - 1)
+                .map(|b| bm.cut_value(c, b).to_bits())
+                .collect();
+            let got: Vec<u32> = store.cuts()[c].iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, expect, "column {c}");
+        }
+        // Labels carry the OC index of each row.
+        let labels = store.all_labels().unwrap();
+        for (l, key) in labels.iter().zip(&ds.keys) {
+            assert_eq!(*l as usize, key.oc);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -41,6 +41,6 @@ pub use opts::{Merge, Opt, OptCombo};
 pub use params::{ParamSetting, ParamSpace};
 pub use profiler::{
     profile_corpus, profile_corpus_multi, profile_corpus_tasks, profile_stencil,
-    profile_stencil_with, InstanceRecord, OcOutcome, ProfileConfig, StencilProfile,
+    profile_stencil_with, shard_ranges, InstanceRecord, OcOutcome, ProfileConfig, StencilProfile,
 };
 pub use tuner::{tune_ga, tune_random, GaConfig, TuneResult};

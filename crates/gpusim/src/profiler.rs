@@ -336,6 +336,17 @@ pub fn profile_corpus(
         .expect("one arch in, one profile vector out")
 }
 
+/// Partition `n` items into `k` contiguous, near-equal ranges
+/// `[lo, hi)` covering `0..n` in order. The canonical shard
+/// decomposition for out-of-core profiling: every caller that agrees on
+/// `(n, k)` agrees on the ranges, so shards computed by independent
+/// workers (or processes) concatenate back to the original order.
+/// Ranges can be empty when `k > n`.
+pub fn shard_ranges(n: usize, k: usize) -> Vec<(usize, usize)> {
+    assert!(k > 0, "need at least one shard");
+    (0..k).map(|s| (s * n / k, (s + 1) * n / k)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +363,24 @@ mod tests {
             samples_per_oc: 4,
             noise: NoiseModel::none(),
             seed: 1,
+        }
+    }
+
+    #[test]
+    fn shard_ranges_tile_exactly() {
+        for n in [0usize, 1, 5, 8, 100, 101] {
+            for k in [1usize, 2, 3, 8, 13] {
+                let ranges = shard_ranges(n, k);
+                assert_eq!(ranges.len(), k);
+                assert_eq!(ranges[0].0, 0);
+                assert_eq!(ranges[k - 1].1, n);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "contiguous");
+                }
+                let sizes: Vec<usize> = ranges.iter().map(|(lo, hi)| hi - lo).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "near-equal: {sizes:?}");
+            }
         }
     }
 

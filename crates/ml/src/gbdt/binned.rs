@@ -47,6 +47,41 @@ const PAR_HIST_MIN_WORK: usize = 1 << 15;
 /// (per-feature scans are tiny, so this only trips on wide levels).
 const PAR_SPLIT_MIN_CELLS: usize = 1 << 17;
 
+/// Storage abstraction the level-wise grower traverses: bin codes may
+/// live in one resident row-major buffer ([`BinnedMatrix`]) or be
+/// resolved shard-by-shard from disk
+/// ([`crate::gbdt::stream::ShardedBins`]). Every method that touches
+/// rows receives them in **ascending** order (the grower sorts its
+/// subsample and stable partitions preserve order), and implementations
+/// must perform the identical sequence of reads and float additions for
+/// the same rows — that is what keeps streamed fits bit-identical to
+/// in-RAM fits.
+pub(crate) trait BinLike: Sync {
+    /// Number of rows.
+    fn rows(&self) -> usize;
+    /// Number of columns.
+    fn cols(&self) -> usize;
+    /// Number of bins in a column.
+    fn n_bins(&self, c: usize) -> usize;
+    /// The real-valued threshold separating bins `b` and `b+1` of
+    /// column `c`.
+    fn cut_value(&self, c: usize, b: usize) -> f32;
+    /// Accumulate `(grad, hess)` of the given ascending rows into
+    /// `hist` cells, one per `(feature, bin)`.
+    fn accumulate(
+        &self,
+        hist: &mut [Cell],
+        grad: &[f32],
+        hess: &[f32],
+        rows: &[usize],
+        layout: &HistLayout,
+        isa: SimdIsa,
+    );
+    /// Write the bin code of `feature` for each of the ascending `rows`
+    /// into `out` (cleared first), aligned with `rows`.
+    fn feature_bins(&self, rows: &[usize], feature: usize, out: &mut Vec<u8>);
+}
+
 /// A feature matrix quantile-binned per column.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BinnedMatrix {
@@ -77,28 +112,15 @@ impl BinnedMatrix {
         let mut col_vals: Vec<f32> = Vec::with_capacity(rows);
         let mut keys: Vec<u32> = Vec::with_capacity(rows);
         let mut key_tmp: Vec<u32> = Vec::with_capacity(rows);
+        let mut pad: Vec<f32> = Vec::new();
         let isa = simd::dispatch();
         for c in 0..cols {
             raw.clear();
             raw.extend((0..rows).map(|r| x.at(r, c)));
             col_vals.clear();
             col_vals.extend_from_slice(&raw);
-            radix_sort_total(&mut col_vals, &mut keys, &mut key_tmp);
-            col_vals.dedup();
-            let distinct = col_vals.len();
-            let mut col_cuts = Vec::new();
-            if distinct > 1 {
-                let buckets = distinct.min(n_bins);
-                for b in 1..buckets {
-                    let lo = col_vals[b * distinct / buckets - 1];
-                    let hi = col_vals[(b * distinct / buckets).min(distinct - 1)];
-                    let cut = 0.5 * (lo + hi);
-                    if col_cuts.last() != Some(&cut) {
-                        col_cuts.push(cut);
-                    }
-                }
-            }
-            fill_column_bins(&raw, &col_cuts, c, cols, &mut bins, isa);
+            let col_cuts = column_quantile_cuts(&mut col_vals, n_bins, &mut keys, &mut key_tmp);
+            fill_column_bins(&raw, &col_cuts, c, cols, &mut bins, isa, &mut pad);
             cuts.push(col_cuts);
         }
         BinnedMatrix {
@@ -189,6 +211,91 @@ impl BinnedMatrix {
     }
 }
 
+impl BinLike for BinnedMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn n_bins(&self, c: usize) -> usize {
+        self.cuts[c].len() + 1
+    }
+
+    fn cut_value(&self, c: usize, b: usize) -> f32 {
+        self.cuts[c][b]
+    }
+
+    fn accumulate(
+        &self,
+        hist: &mut [Cell],
+        grad: &[f32],
+        hess: &[f32],
+        rows: &[usize],
+        layout: &HistLayout,
+        isa: SimdIsa,
+    ) {
+        accumulate_codes(
+            hist, &self.bins, 0, self.cols, grad, hess, rows, layout, isa,
+        );
+    }
+
+    fn feature_bins(&self, rows: &[usize], feature: usize, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend(rows.iter().map(|&i| self.bins[i * self.cols + feature]));
+    }
+}
+
+/// Derive the quantile cut vector for one column from its raw values —
+/// exactly the cuts [`BinnedMatrix::new`] derives, factored out so the
+/// out-of-core dataset writer bins shards against bit-identical cuts.
+/// `values` is sorted (IEEE total order) and deduplicated in place;
+/// `keys`/`key_tmp` are reusable radix scratch.
+pub fn column_quantile_cuts(
+    values: &mut Vec<f32>,
+    n_bins: usize,
+    keys: &mut Vec<u32>,
+    key_tmp: &mut Vec<u32>,
+) -> Vec<f32> {
+    assert!((2..=MAX_BINS).contains(&n_bins), "n_bins must be 2..=255");
+    radix_sort_total(values, keys, key_tmp);
+    values.dedup();
+    let distinct = values.len();
+    let mut col_cuts = Vec::new();
+    if distinct > 1 {
+        let buckets = distinct.min(n_bins);
+        for b in 1..buckets {
+            let lo = values[b * distinct / buckets - 1];
+            let hi = values[(b * distinct / buckets).min(distinct - 1)];
+            let cut = 0.5 * (lo + hi);
+            if col_cuts.last() != Some(&cut) {
+                col_cuts.push(cut);
+            }
+        }
+    }
+    col_cuts
+}
+
+/// Write the bin code (`#cuts < v`, what `partition_point` computes) of
+/// every value in `raw` into `out[start + r * stride]` — the public
+/// strided entry the out-of-core writer uses to bin one column of a
+/// shard against global cuts (`stride == 1` for a contiguous columnar
+/// buffer). Runtime-dispatches the same AVX2 path as
+/// [`BinnedMatrix::new`]; both paths produce identical integer counts.
+/// `pad_scratch` is a reusable buffer for the SIMD cut padding.
+pub fn bin_column_into(
+    raw: &[f32],
+    cuts: &[f32],
+    start: usize,
+    stride: usize,
+    out: &mut [u8],
+    pad_scratch: &mut Vec<f32>,
+) {
+    fill_column_bins(raw, cuts, start, stride, out, simd::dispatch(), pad_scratch);
+}
+
 /// Sort `vals` ascending by IEEE total order via a 4-pass LSD radix sort
 /// on monotone-mapped `u32` keys. Produces the exact sequence
 /// `sort_unstable_by(f32::total_cmp)` would (values comparing equal
@@ -241,36 +348,40 @@ fn radix_sort_total(vals: &mut Vec<f32>, keys: &mut Vec<u32>, tmp: &mut Vec<u32>
     }));
 }
 
-/// Write the bin index of every value in `raw` for column `c` of the
-/// row-major `bins` buffer: `bin = #cuts < v` (what `partition_point`
+/// Write the bin index of every value in `raw` into
+/// `bins[start + r * stride]`: `bin = #cuts < v` (what `partition_point`
 /// computes over the sorted cut vector). The AVX2 path counts the same
 /// predicate branchlessly — compare eight cuts at a time against the
 /// broadcast value and popcount the sign mask — with the cut vector
 /// padded to a lane multiple with `+inf`, which can never satisfy
 /// `cut < v`. Both paths produce an integer count, so the binning is
-/// exactly identical across dispatch tiers.
+/// exactly identical across dispatch tiers. `pad` is caller scratch for
+/// the SIMD padding, reused across columns instead of reallocated per
+/// column.
 fn fill_column_bins(
     raw: &[f32],
     col_cuts: &[f32],
-    c: usize,
-    cols: usize,
+    start: usize,
+    stride: usize,
     bins: &mut [u8],
     isa: SimdIsa,
+    pad: &mut Vec<f32>,
 ) {
     #[cfg(target_arch = "x86_64")]
     if isa >= SimdIsa::Avx2 && !col_cuts.is_empty() {
-        let mut padded = col_cuts.to_vec();
-        padded.resize(col_cuts.len().div_ceil(8) * 8, f32::INFINITY);
-        // SAFETY: AVX2 was runtime-detected (isa ≥ Avx2); `padded` is a
-        // non-empty multiple of 8 lanes and `bins` spans `raw.len()`
-        // rows of `cols` columns.
-        unsafe { x86::fill_bins_avx2(raw, &padded, c, cols, bins) };
+        pad.clear();
+        pad.extend_from_slice(col_cuts);
+        pad.resize(col_cuts.len().div_ceil(8) * 8, f32::INFINITY);
+        // SAFETY: AVX2 was runtime-detected (isa ≥ Avx2); `pad` is a
+        // non-empty multiple of 8 lanes and `bins` covers
+        // `start + (raw.len() - 1) * stride`.
+        unsafe { x86::fill_bins_avx2(raw, pad, start, stride, bins) };
         return;
     }
-    let _ = isa;
+    let _ = (isa, pad);
     for (r, &v) in raw.iter().enumerate() {
         // partition_point: number of cuts < v gives the bin.
-        bins[r * cols + c] = col_cuts.partition_point(|&cut| cut < v) as u8;
+        bins[start + r * stride] = col_cuts.partition_point(|&cut| cut < v) as u8;
     }
 }
 
@@ -280,24 +391,24 @@ fn fill_column_bins(
 /// per-node cost of the hist method — at two thirds of the traffic a
 /// counted cell would pay.
 #[derive(Debug, Clone, Copy, Default)]
-struct Cell {
-    g: f32,
-    h: f32,
+pub(crate) struct Cell {
+    pub(crate) g: f32,
+    pub(crate) h: f32,
 }
 
 /// Flat per-node histogram layout: feature `f`'s bins live at
 /// `offsets[f] .. offsets[f] + n_bins(f)`.
-struct HistLayout {
-    offsets: Vec<usize>,
-    total: usize,
+pub(crate) struct HistLayout {
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) total: usize,
     /// Bin count of feature 0 (0 when there are no features): node
     /// gradient/hessian totals are read back from feature 0's bins,
     /// since every row lands in exactly one bin per feature.
-    first_bins: usize,
+    pub(crate) first_bins: usize,
 }
 
 impl HistLayout {
-    fn new(bm: &BinnedMatrix) -> HistLayout {
+    pub(crate) fn new<B: BinLike + ?Sized>(bm: &B) -> HistLayout {
         let mut offsets = Vec::with_capacity(bm.cols());
         let mut total = 0;
         for c in 0..bm.cols() {
@@ -338,16 +449,24 @@ pub struct BinnedTree {
     nodes: Vec<BinnedNode>,
 }
 
+/// One node of a [`BinnedTree`], exposed crate-internally so the
+/// streaming pipeline can traverse trees in bin space.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum BinnedNode {
+pub(crate) enum BinnedNode {
+    /// Internal split on a raw feature value.
     Split {
+        /// Feature index the split reads.
         feature: usize,
         /// Raw-value threshold (go left if `value <= threshold`).
         threshold: f32,
+        /// Left child node index.
         left: usize,
+        /// Right child node index.
         right: usize,
     },
+    /// Terminal node.
     Leaf {
+        /// Prediction contribution of the leaf.
         value: f32,
     },
 }
@@ -371,8 +490,8 @@ impl BinnedTree {
     /// `par` selects parallel execution of the histogram and split-search
     /// passes; the result is bit-identical either way because block
     /// boundaries and reduction order are fixed by the algorithm.
-    pub(crate) fn fit_tracked(
-        bm: &BinnedMatrix,
+    pub(crate) fn fit_tracked<B: BinLike + ?Sized>(
+        bm: &B,
         grad: &[f32],
         hess: &[f32],
         indices: &[usize],
@@ -391,6 +510,7 @@ impl BinnedTree {
         // so results stay deterministic for any worker count.
         idx.sort_unstable();
         let mut part_scratch: Vec<usize> = Vec::with_capacity(idx.len());
+        let mut bin_buf: Vec<u8> = Vec::new();
         let mut nodes = vec![BinnedNode::Leaf { value: 0.0 }];
         let mut spans: Vec<(usize, usize, f32)> = Vec::new();
 
@@ -432,7 +552,8 @@ impl BinnedTree {
                     continue;
                 };
                 let seg = &mut idx[node.start..node.end];
-                let mid = stable_partition(seg, &mut part_scratch, |i| bm.bin(i, feature) <= bin);
+                bm.feature_bins(seg, feature, &mut bin_buf);
+                let mid = stable_partition_by_bins(seg, &mut part_scratch, &bin_buf, bin as u8);
                 if mid == 0 || mid == seg.len() {
                     finalize_leaf(&mut nodes, &mut spans, &node, cfg);
                     continue;
@@ -554,6 +675,11 @@ impl BinnedTree {
         self.nodes.len()
     }
 
+    /// The node array (crate-internal: bin-space traversal).
+    pub(crate) fn nodes(&self) -> &[BinnedNode] {
+        &self.nodes
+    }
+
     /// Highest feature index any split reads, or `None` for a pure-leaf
     /// tree (see [`crate::gbdt::tree::RegressionTree::max_feature`]).
     pub fn max_feature(&self) -> Option<usize> {
@@ -609,17 +735,19 @@ fn node_sums(
     }
 }
 
-/// Accumulate one histogram per spec (a `start..end` range of `idx`) in
-/// a single batched pass: fixed-size row blocks are accumulated (in
-/// parallel when `par`), then reduced per spec in block order.
 /// Accumulate `(grad, hess)` of the given rows into `hist` (one cell
-/// per `(feature, bin)`): the inner loop of the hist method. Vector
-/// tiers use the paired SSE2 cell update; the scalar path is the
-/// oracle. Updates hit each cell in row order either way, so the two
-/// are bit-identical.
-fn accumulate_rows(
+/// per `(feature, bin)`): the inner loop of the hist method. `codes` is
+/// a row-major bin-code buffer whose row 0 corresponds to global row
+/// `row_base` — the whole matrix for [`BinnedMatrix`] (`row_base == 0`),
+/// or one resident shard for the streaming store. Vector tiers use the
+/// paired SSE2 cell update; the scalar path is the oracle. Updates hit
+/// each cell in row order either way, so the two are bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn accumulate_codes(
     hist: &mut [Cell],
-    bm: &BinnedMatrix,
+    codes: &[u8],
+    row_base: usize,
+    cols: usize,
     grad: &[f32],
     hess: &[f32],
     rows: &[usize],
@@ -631,13 +759,16 @@ fn accumulate_rows(
         // SAFETY: SSE2 is part of the x86_64 baseline; `hist` covers
         // `layout.total` cells and every `offsets[f] + bin` stays below
         // it by construction of the layout.
-        unsafe { x86::accumulate_rows_sse2(hist, bm, grad, hess, rows, layout) };
+        unsafe {
+            x86::accumulate_codes_sse2(hist, codes, row_base, cols, grad, hess, rows, layout)
+        };
         return;
     }
     let _ = isa;
     for &i in rows {
         let (g, h) = (grad[i], hess[i]);
-        for (&off, &b) in layout.offsets.iter().zip(bm.bin_row(i)) {
+        let base = (i - row_base) * cols;
+        for (&off, &b) in layout.offsets.iter().zip(&codes[base..base + cols]) {
             let cell = &mut hist[off + b as usize];
             cell.g += g;
             cell.h += h;
@@ -650,7 +781,7 @@ fn accumulate_rows(
 /// oracles).
 #[cfg(target_arch = "x86_64")]
 mod x86 {
-    use super::{BinnedMatrix, Cell, HistLayout};
+    use super::{Cell, HistLayout};
     use core::arch::x86_64::*;
 
     /// Branchless bin search: `count = #cuts < v` via eight-wide
@@ -658,14 +789,14 @@ mod x86 {
     ///
     /// # Safety
     /// Caller must have runtime-verified AVX2; `padded_cuts` must be a
-    /// non-empty multiple of 8 lanes; `bins` must cover `raw.len()`
-    /// rows of `cols` columns at column `c`.
+    /// non-empty multiple of 8 lanes; `bins` must cover
+    /// `start + (raw.len() - 1) * stride`.
     #[target_feature(enable = "avx2")]
     pub unsafe fn fill_bins_avx2(
         raw: &[f32],
         padded_cuts: &[f32],
-        c: usize,
-        cols: usize,
+        start: usize,
+        stride: usize,
         bins: &mut [u8],
     ) {
         debug_assert_eq!(padded_cuts.len() % 8, 0);
@@ -679,7 +810,7 @@ mod x86 {
                 count += (_mm256_movemask_ps(lt) as u32).count_ones();
                 i += 8;
             }
-            *bins.get_unchecked_mut(r * cols + c) = count as u8;
+            *bins.get_unchecked_mut(start + r * stride) = count as u8;
         }
     }
 
@@ -691,10 +822,15 @@ mod x86 {
     /// # Safety
     /// `hist` must cover `layout.total` cells, with every
     /// `offsets[f] + bin` in bounds (guaranteed by the layout/binning
-    /// invariants); SSE2 is unconditionally available on x86_64.
-    pub unsafe fn accumulate_rows_sse2(
+    /// invariants); `codes` must cover `cols` bin codes for every row
+    /// in `rows` relative to `row_base`; SSE2 is unconditionally
+    /// available on x86_64.
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn accumulate_codes_sse2(
         hist: &mut [Cell],
-        bm: &BinnedMatrix,
+        codes: &[u8],
+        row_base: usize,
+        cols: usize,
         grad: &[f32],
         hess: &[f32],
         rows: &[usize],
@@ -704,7 +840,8 @@ mod x86 {
         let base = hist.as_mut_ptr();
         for &i in rows {
             let gh = _mm_set_ps(0.0, 0.0, hess[i], grad[i]);
-            for (&off, &b) in layout.offsets.iter().zip(bm.bin_row(i)) {
+            let row = &codes[(i - row_base) * cols..(i - row_base) * cols + cols];
+            for (&off, &b) in layout.offsets.iter().zip(row) {
                 let cell = base.add(off + b as usize) as *mut __m128i;
                 let cur = _mm_loadl_epi64(cell);
                 let sum = _mm_add_ps(_mm_castsi128_ps(cur), gh);
@@ -714,9 +851,12 @@ mod x86 {
     }
 }
 
-fn build_histograms(
+/// Accumulate one histogram per spec (a `start..end` range of `idx`) in
+/// a single batched pass: fixed-size row blocks are accumulated (in
+/// parallel when `par`), then reduced per spec in block order.
+fn build_histograms<B: BinLike + ?Sized>(
     par: bool,
-    bm: &BinnedMatrix,
+    bm: &B,
     grad: &[f32],
     hess: &[f32],
     idx: &[usize],
@@ -749,7 +889,7 @@ fn build_histograms(
     let isa = simd::dispatch();
     let partials = par_map_if(par, &tasks, |&(_, lo, hi)| {
         let mut hist = vec![Cell::default(); layout.total];
-        accumulate_rows(&mut hist, bm, grad, hess, &idx[lo..hi], layout, isa);
+        bm.accumulate(&mut hist, grad, hess, &idx[lo..hi], layout, isa);
         hist
     });
     counters::HIST_BUILDS.add(specs.len() as u64);
@@ -782,10 +922,10 @@ fn build_histograms(
 /// `(node, feature)` task list across workers; the per-node reduction
 /// walks features in index order and only accepts a *strictly* greater
 /// gain, so the lowest feature index (then lowest bin) wins ties.
-fn level_split_search(
+fn level_split_search<B: BinLike + ?Sized>(
     par: bool,
     frontier: &[LevelNode],
-    bm: &BinnedMatrix,
+    bm: &B,
     layout: &HistLayout,
     cfg: &TreeConfig,
 ) -> Vec<Option<(usize, usize)>> {
@@ -841,20 +981,24 @@ fn level_split_search(
         .collect()
 }
 
-/// Order-preserving in-place partition (matching rows first), using a
-/// caller scratch buffer for the non-matching side. Keeping *both*
-/// children in ascending row order is what keeps every accumulation
-/// pass below the root walking `bin_row` sequentially.
-fn stable_partition(
+/// Order-preserving in-place partition (rows whose bin code is `<=
+/// thresh` first), using a caller scratch buffer for the non-matching
+/// side. `bins[k]` is the split feature's bin code of `seg[k]`
+/// (resolved up front by [`BinLike::feature_bins`], so the partition
+/// itself never touches the bin store). Keeping *both* children in
+/// ascending row order is what keeps every accumulation pass below the
+/// root walking the code rows sequentially.
+fn stable_partition_by_bins(
     seg: &mut [usize],
     scratch: &mut Vec<usize>,
-    pred: impl Fn(usize) -> bool,
+    bins: &[u8],
+    thresh: u8,
 ) -> usize {
     scratch.clear();
     let mut store = 0;
     for k in 0..seg.len() {
         let i = seg[k];
-        if pred(i) {
+        if bins[k] <= thresh {
             seg[store] = i;
             store += 1;
         } else {
@@ -986,6 +1130,31 @@ mod tests {
         assert!(counters::HIST_BUILDS.get() > before.0, "root + children");
         assert!(counters::HIST_SUBTRACTIONS.get() > before.1, "siblings");
         assert_eq!(counters::TREES_FITTED.get(), before.2 + 1);
+    }
+
+    #[test]
+    fn scratch_reuse_binning_matches_row_major_reference() {
+        // The column-at-a-time pass with hoisted radix/pad scratch must
+        // produce the identical cuts and bin codes as the legacy
+        // per-cell reference for awkward shapes (ties, negatives,
+        // constant columns, more bins than distinct values).
+        let data: Vec<f32> = (0..37 * 5)
+            .map(|i| match i % 5 {
+                0 => ((i / 5) % 4) as f32 - 2.0,
+                1 => -((i as f32) * 0.3).sin() * 100.0,
+                2 => 7.5,
+                3 => (i as f32).sqrt(),
+                _ => ((i % 11) as f32) * 0.25,
+            })
+            .collect();
+        let x = FeatureMatrix::new(37, 5, data);
+        for n_bins in [2, 3, 16, 255] {
+            assert_eq!(
+                BinnedMatrix::new(&x, n_bins),
+                BinnedMatrix::new_row_major(&x, n_bins),
+                "n_bins = {n_bins}"
+            );
+        }
     }
 
     #[test]

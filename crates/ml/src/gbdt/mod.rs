@@ -12,6 +12,7 @@
 
 pub mod binned;
 pub mod serial_ref;
+pub mod stream;
 pub mod tree;
 
 use crate::data::FeatureMatrix;
@@ -212,6 +213,43 @@ impl GbdtRegressor {
         }
     }
 
+    /// Fit from an out-of-core sharded bin store. Bit-identical to
+    /// [`GbdtRegressor::fit`] on the equivalent resident matrix for any
+    /// shard count: the grower receives the same ascending row lists
+    /// either way, and bin-space traversal routes subsample-skipped
+    /// rows to exactly the leaf a raw-feature traversal reaches.
+    /// Requires the hist path (`cfg.bins >= 2`) — the store *is* the
+    /// binning.
+    pub fn fit_streamed(bins: &stream::ShardedBins, y: &[f32], cfg: &GbdtConfig) -> GbdtRegressor {
+        assert!(cfg.bins >= 2, "streamed fit requires the hist path");
+        assert_eq!(bins.rows(), y.len(), "sample/target mismatch");
+        assert!(bins.rows() > 0, "empty training set");
+        let _span = obs::span("gbdt_fit");
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let base = y.iter().sum::<f32>() / y.len() as f32;
+        let mut pred = vec![base; y.len()];
+        let mut trees = Vec::with_capacity(cfg.rounds);
+        let hess = vec![1.0f32; y.len()];
+        let mut grad = vec![0.0f32; y.len()];
+        let mut in_leaf = vec![false; y.len()];
+        let par = worker_count() > 1;
+        for _ in 0..cfg.rounds {
+            for (g, (p, t)) in grad.iter_mut().zip(pred.iter().zip(y)) {
+                *g = p - t;
+            }
+            let idx = subsample_indices(y.len(), cfg.subsample, &mut rng);
+            counters::GBDT_TREES_GROWN.inc();
+            let (tree, spans) = BinnedTree::fit_tracked(bins, &grad, &hess, &idx, &cfg.tree, par);
+            stream::apply_update_streamed(&tree, &spans, bins, &mut pred, cfg.eta, &mut in_leaf);
+            trees.push(AnyTree::Binned(tree));
+        }
+        GbdtRegressor {
+            base,
+            eta: cfg.eta,
+            trees,
+        }
+    }
+
     /// Predict one sample.
     pub fn predict_row(&self, row: &[f32]) -> f32 {
         self.base + self.eta * self.trees.iter().map(|t| t.predict_row(row)).sum::<f32>()
@@ -270,6 +308,34 @@ impl GbdtClassifier {
         let ks: Vec<usize> = (0..classes).collect();
         let boosters = par_map_if(class_par, &ks, |&k| {
             fit_one_vs_rest(&ctx, x, labels, k, cfg, tree_par)
+        });
+        GbdtClassifier {
+            classes,
+            eta: cfg.eta,
+            trees: boosters,
+        }
+    }
+
+    /// Fit from an out-of-core sharded bin store: K independent
+    /// one-vs-rest boosters over the same store, with the same
+    /// class-vs-tree parallelism policy as [`GbdtClassifier::fit`] —
+    /// bit-identical to the resident fit for any shard count and any
+    /// worker count.
+    pub fn fit_streamed(
+        bins: &stream::ShardedBins,
+        labels: &[usize],
+        classes: usize,
+        cfg: &GbdtConfig,
+    ) -> GbdtClassifier {
+        assert!(cfg.bins >= 2, "streamed fit requires the hist path");
+        assert_eq!(bins.rows(), labels.len(), "sample/label mismatch");
+        assert!(labels.iter().all(|&l| l < classes), "label out of range");
+        let _span = obs::span("gbdt_fit");
+        let class_par = worker_count() > 1 && classes > 1;
+        let tree_par = worker_count() > 1 && !class_par;
+        let ks: Vec<usize> = (0..classes).collect();
+        let boosters = par_map_if(class_par, &ks, |&k| {
+            fit_one_vs_rest_streamed(bins, labels, k, cfg, tree_par)
         });
         GbdtClassifier {
             classes,
@@ -347,6 +413,38 @@ fn fit_one_vs_rest(
         let (tree, spans) = ctx.fit_tree(&grad, &hess, &idx, &cfg.tree, tree_par);
         apply_update(&tree, &spans, x, &mut score, cfg.eta, &mut in_leaf);
         trees.push(tree);
+    }
+    trees
+}
+
+/// Streamed counterpart of [`fit_one_vs_rest`]: same seed stream, same
+/// gradient/hessian arithmetic, storage resolved shard-by-shard.
+fn fit_one_vs_rest_streamed(
+    bins: &stream::ShardedBins,
+    labels: &[usize],
+    k: usize,
+    cfg: &GbdtConfig,
+    tree_par: bool,
+) -> Vec<AnyTree> {
+    let n = labels.len();
+    let mut rng = ChaCha8Rng::seed_from_u64(class_seed(cfg.seed, k));
+    let mut score = vec![0.0f32; n];
+    let mut grad = vec![0.0f32; n];
+    let mut hess = vec![0.0f32; n];
+    let mut in_leaf = vec![false; n];
+    let mut trees = Vec::with_capacity(cfg.rounds);
+    for _ in 0..cfg.rounds {
+        for i in 0..n {
+            let p = 1.0 / (1.0 + (-score[i]).exp());
+            let y = if labels[i] == k { 1.0 } else { 0.0 };
+            grad[i] = p - y;
+            hess[i] = (p * (1.0 - p)).max(1e-6);
+        }
+        let idx = subsample_indices(n, cfg.subsample, &mut rng);
+        counters::GBDT_TREES_GROWN.inc();
+        let (tree, spans) = BinnedTree::fit_tracked(bins, &grad, &hess, &idx, &cfg.tree, tree_par);
+        stream::apply_update_streamed(&tree, &spans, bins, &mut score, cfg.eta, &mut in_leaf);
+        trees.push(AnyTree::Binned(tree));
     }
     trees
 }
@@ -472,6 +570,71 @@ mod tests {
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn streamed_regressor_serializes_byte_equal_to_resident() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let n = 120;
+        let mut data = Vec::with_capacity(n * 3);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            let c: f32 = rng.gen_range(-1.0..1.0);
+            data.extend_from_slice(&[a, b, c]);
+            y.push(2.0 * a - b + 0.5 * c * c);
+        }
+        let x = FeatureMatrix::new(n, 3, data);
+        let cfg = GbdtConfig {
+            rounds: 12,
+            subsample: 0.8,
+            bins: 16,
+            ..GbdtConfig::default()
+        };
+        let resident = GbdtRegressor::fit(&x, &y, &cfg);
+        let expect = serde_json::to_string(&resident).unwrap();
+        for shard_rows in [vec![120], vec![50, 50, 20], vec![15; 8]] {
+            let sb = stream::sharded_from_matrix(&x, cfg.bins, &shard_rows);
+            let streamed = GbdtRegressor::fit_streamed(&sb, &y, &cfg);
+            assert_eq!(
+                serde_json::to_string(&streamed).unwrap(),
+                expect,
+                "shards {shard_rows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_classifier_serializes_byte_equal_to_resident() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let n = 90;
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            data.extend_from_slice(&[a, b]);
+            labels.push(usize::from(a > 0.0) + 2 * usize::from(b > 0.0));
+        }
+        let x = FeatureMatrix::new(n, 2, data);
+        let cfg = GbdtConfig {
+            rounds: 6,
+            subsample: 0.7,
+            bins: 12,
+            ..GbdtConfig::default()
+        };
+        let resident = GbdtClassifier::fit(&x, &labels, 4, &cfg);
+        let expect = serde_json::to_string(&resident).unwrap();
+        for shard_rows in [vec![90], vec![31, 31, 28]] {
+            let sb = stream::sharded_from_matrix(&x, cfg.bins, &shard_rows);
+            let streamed = GbdtClassifier::fit_streamed(&sb, &labels, 4, &cfg);
+            assert_eq!(
+                serde_json::to_string(&streamed).unwrap(),
+                expect,
+                "shards {shard_rows:?}"
+            );
+        }
     }
 
     #[test]

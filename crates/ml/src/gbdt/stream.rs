@@ -1,0 +1,429 @@
+//! Out-of-core bin storage for the GBDT engine: the same level-wise
+//! grower that runs over a resident [`BinnedMatrix`] also runs over
+//! [`ShardedBins`], which resolves bin codes shard-by-shard through a
+//! bounded cache backed by a caller-supplied loader (in practice the
+//! on-disk columnar shard store in the `stencilmart` crate).
+//!
+//! Bit-identity with the in-RAM path is structural, not approximate:
+//! the grower hands every storage backend the same ascending row lists,
+//! and a shard run of an ascending list performs the identical sequence
+//! of code reads and float additions the resident matrix would — shard
+//! boundaries only decide *when* a backing buffer is resolved, never
+//! the order of arithmetic. Score updates for rows the tree was not
+//! fitted on traverse in *bin space*: cuts are strictly increasing, so
+//! `value <= threshold ⟺ bin(value) <= bin(threshold)` and the bin-code
+//! traversal reaches exactly the leaf a raw-feature traversal reaches.
+//!
+//! [`BinnedMatrix`]: crate::gbdt::binned::BinnedMatrix
+
+use crate::gbdt::binned::{accumulate_codes, BinnedNode, BinnedTree, Cell, HistLayout};
+use crate::gbdt::tree::LeafSpans;
+use crate::simd::SimdIsa;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use stencilmart_obs::counters;
+
+/// Loader callback resolving one shard's row-major bin codes
+/// (`rows_in_shard * cols` bytes). Called outside the cache lock, so
+/// loads for different shards overlap across workers.
+pub type ShardLoader = Box<dyn Fn(usize) -> io::Result<Arc<Vec<u8>>> + Send + Sync>;
+
+/// A sharded bin-code store the GBDT grower can train from without the
+/// full code matrix ever being resident: shard `s` covers global rows
+/// `offsets[s] .. offsets[s+1]`, and at most `capacity` shards of codes
+/// are cached at once.
+pub struct ShardedBins {
+    /// Per-shard start row, plus the total row count as a sentinel
+    /// (`len == shards + 1`).
+    offsets: Vec<usize>,
+    cols: usize,
+    /// Global per-column quantile cuts (shared by every shard — shards
+    /// are binned against the corpus-wide cut vectors).
+    cuts: Vec<Vec<f32>>,
+    cache: ShardCache,
+}
+
+/// One cached shard: `(shard id, codes, last-use tick)`.
+type CacheEntry = (usize, Arc<Vec<u8>>, u64);
+
+struct ShardCache {
+    capacity: usize,
+    /// Linear scan is fine at the few-entry capacities this cache
+    /// runs at.
+    entries: Mutex<Vec<CacheEntry>>,
+    tick: AtomicU64,
+    loader: ShardLoader,
+}
+
+impl ShardCache {
+    fn get(&self, shard: usize) -> Arc<Vec<u8>> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(e) = entries.iter_mut().find(|e| e.0 == shard) {
+                e.2 = tick;
+                counters::SHARD_CACHE_HITS.inc();
+                return Arc::clone(&e.1);
+            }
+        }
+        // Load outside the lock so concurrent workers stream different
+        // shards in parallel; a rare duplicate load of the same shard
+        // costs I/O but never correctness.
+        counters::SHARD_LOADS.inc();
+        let codes = (self.loader)(shard)
+            .unwrap_or_else(|e| panic!("shard {shard} failed to load during training: {e}"));
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = entries.iter_mut().find(|e| e.0 == shard) {
+            e.2 = tick;
+            return Arc::clone(&e.1);
+        }
+        while entries.len() >= self.capacity.max(1) {
+            let oldest = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.2)
+                .map(|(i, _)| i)
+                .expect("non-empty cache");
+            entries.swap_remove(oldest);
+            counters::SHARD_EVICTIONS.inc();
+        }
+        entries.push((shard, Arc::clone(&codes), tick));
+        codes
+    }
+}
+
+impl ShardedBins {
+    /// Build a store over `shard_rows[s]` rows per shard, `cols`
+    /// features binned against the global `cuts`, keeping at most
+    /// `cache_shards` shards of codes resident.
+    pub fn new(
+        shard_rows: &[usize],
+        cols: usize,
+        cuts: Vec<Vec<f32>>,
+        cache_shards: usize,
+        loader: ShardLoader,
+    ) -> ShardedBins {
+        assert_eq!(cuts.len(), cols, "one cut vector per column");
+        let mut offsets = Vec::with_capacity(shard_rows.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for &r in shard_rows {
+            total += r;
+            offsets.push(total);
+        }
+        ShardedBins {
+            offsets,
+            cols,
+            cuts,
+            cache: ShardCache {
+                capacity: cache_shards.max(1),
+                entries: Mutex::new(Vec::new()),
+                tick: AtomicU64::new(0),
+                loader,
+            },
+        }
+    }
+
+    /// Total rows across all shards.
+    pub fn rows(&self) -> usize {
+        *self.offsets.last().expect("sentinel offset")
+    }
+
+    /// Number of feature columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The global per-column cut vectors.
+    pub fn cuts(&self) -> &[Vec<f32>] {
+        &self.cuts
+    }
+
+    fn shard_of(&self, row: usize) -> usize {
+        debug_assert!(row < self.rows());
+        self.offsets.partition_point(|&o| o <= row) - 1
+    }
+
+    /// Invoke `f(shard base row, shard codes, run)` for each maximal run
+    /// of `rows` (ascending) that falls inside a single shard.
+    fn for_shard_runs(&self, rows: &[usize], mut f: impl FnMut(usize, &[u8], &[usize])) {
+        let mut j = 0;
+        while j < rows.len() {
+            let s = self.shard_of(rows[j]);
+            let hi = self.offsets[s + 1];
+            let mut k = j + 1;
+            while k < rows.len() && rows[k] < hi {
+                k += 1;
+            }
+            let codes = self.cache.get(s);
+            f(self.offsets[s], &codes, &rows[j..k]);
+            j = k;
+        }
+    }
+}
+
+impl super::binned::BinLike for ShardedBins {
+    fn rows(&self) -> usize {
+        ShardedBins::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn n_bins(&self, c: usize) -> usize {
+        self.cuts[c].len() + 1
+    }
+
+    fn cut_value(&self, c: usize, b: usize) -> f32 {
+        self.cuts[c][b]
+    }
+
+    fn accumulate(
+        &self,
+        hist: &mut [Cell],
+        grad: &[f32],
+        hess: &[f32],
+        rows: &[usize],
+        layout: &HistLayout,
+        isa: SimdIsa,
+    ) {
+        self.for_shard_runs(rows, |base, codes, run| {
+            accumulate_codes(hist, codes, base, self.cols, grad, hess, run, layout, isa);
+        });
+    }
+
+    fn feature_bins(&self, rows: &[usize], feature: usize, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(rows.len());
+        self.for_shard_runs(rows, |base, codes, run| {
+            out.extend(run.iter().map(|&i| codes[(i - base) * self.cols + feature]));
+        });
+    }
+}
+
+/// Translate each split node's raw-value threshold back into bin space:
+/// `threshold` is by construction one of the column's cut values, and
+/// cuts are strictly increasing, so `partition_point` recovers the
+/// split bin exactly (`value <= cuts[b] ⟺ bin(value) <= b`).
+fn node_split_bins(tree: &BinnedTree, cuts: &[Vec<f32>]) -> Vec<u8> {
+    tree.nodes()
+        .iter()
+        .map(|n| match n {
+            BinnedNode::Split {
+                feature, threshold, ..
+            } => cuts[*feature].partition_point(|&c| c < *threshold) as u8,
+            BinnedNode::Leaf { .. } => 0,
+        })
+        .collect()
+}
+
+/// Traverse `tree` over one row of bin codes, using the precomputed
+/// per-node split bins. Reaches exactly the leaf a raw-feature
+/// traversal reaches (see [`node_split_bins`]).
+fn predict_codes(tree: &BinnedTree, split_bins: &[u8], code_row: &[u8]) -> f32 {
+    let nodes = tree.nodes();
+    let mut cur = 0usize;
+    loop {
+        match &nodes[cur] {
+            BinnedNode::Leaf { value } => return *value,
+            BinnedNode::Split {
+                feature,
+                left,
+                right,
+                ..
+            } => {
+                cur = if code_row[*feature] <= split_bins[cur] {
+                    *left
+                } else {
+                    *right
+                };
+            }
+        }
+    }
+}
+
+/// Streamed counterpart of the in-RAM score update: rows the tree was
+/// fitted on update straight from the tracked leaf spans; rows left out
+/// by subsampling traverse in bin space, shard run by shard run in
+/// ascending row order — the identical float additions in the identical
+/// order as the raw-feature traversal over a resident matrix.
+pub(crate) fn apply_update_streamed(
+    tree: &BinnedTree,
+    spans: &LeafSpans,
+    bins: &ShardedBins,
+    scores: &mut [f32],
+    eta: f32,
+    in_leaf: &mut [bool],
+) {
+    in_leaf.fill(false);
+    for &(start, end, value) in &spans.spans {
+        for &i in &spans.rows[start..end] {
+            scores[i] += eta * value;
+            in_leaf[i] = true;
+        }
+    }
+    let uncovered: Vec<usize> = in_leaf
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &covered)| (!covered).then_some(i))
+        .collect();
+    if uncovered.is_empty() {
+        return;
+    }
+    let split_bins = node_split_bins(tree, &bins.cuts);
+    bins.for_shard_runs(&uncovered, |base, codes, run| {
+        for &i in run {
+            let row = &codes[(i - base) * bins.cols..(i - base + 1) * bins.cols];
+            scores[i] += eta * predict_codes(tree, &split_bins, row);
+        }
+    });
+}
+
+/// Test helper: a [`ShardedBins`] over an in-RAM matrix — the codes of
+/// every shard are sliced out of a single row-major buffer, so the
+/// streamed store can be compared cell-for-cell (and fitted models
+/// byte-for-byte) against the resident one.
+#[cfg(test)]
+pub(crate) fn sharded_from_matrix(
+    x: &crate::data::FeatureMatrix,
+    n_bins: usize,
+    shard_rows: &[usize],
+) -> ShardedBins {
+    use crate::gbdt::binned::BinnedMatrix;
+    assert_eq!(shard_rows.iter().sum::<usize>(), x.rows());
+    let bm = BinnedMatrix::new(x, n_bins);
+    let cols = x.cols();
+    let cuts: Vec<Vec<f32>> = (0..cols)
+        .map(|c| (0..bm.n_bins(c) - 1).map(|b| bm.cut_value(c, b)).collect())
+        .collect();
+    let mut shards: Vec<Arc<Vec<u8>>> = Vec::new();
+    let mut row = 0usize;
+    for &r in shard_rows {
+        let mut codes = Vec::with_capacity(r * cols);
+        for i in row..row + r {
+            codes.extend((0..cols).map(|c| bm.bin(i, c) as u8));
+        }
+        shards.push(Arc::new(codes));
+        row += r;
+    }
+    ShardedBins::new(
+        shard_rows,
+        cols,
+        cuts,
+        2,
+        Box::new(move |s| Ok(Arc::clone(&shards[s]))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::FeatureMatrix;
+    use crate::gbdt::binned::{BinLike, BinnedMatrix};
+
+    fn demo_matrix(rows: usize, cols: usize) -> FeatureMatrix {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i as f32) * 0.73).sin() * 5.0)
+            .collect();
+        FeatureMatrix::new(rows, cols, data)
+    }
+
+    #[test]
+    fn sharded_feature_bins_match_resident() {
+        let x = demo_matrix(30, 3);
+        let bm = BinnedMatrix::new(&x, 8);
+        let sb = sharded_from_matrix(&x, 8, &[7, 12, 11]);
+        assert_eq!(ShardedBins::rows(&sb), 30);
+        assert_eq!(sb.shards(), 3);
+        let rows: Vec<usize> = (0..30).filter(|i| i % 2 == 0).collect();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for f in 0..3 {
+            BinLike::feature_bins(&bm, &rows, f, &mut a);
+            BinLike::feature_bins(&sb, &rows, f, &mut b);
+            assert_eq!(a, b, "feature {f}");
+        }
+    }
+
+    #[test]
+    fn sharded_accumulate_is_bit_identical_to_resident() {
+        let x = demo_matrix(40, 4);
+        let bm = BinnedMatrix::new(&x, 16);
+        let sb = sharded_from_matrix(&x, 16, &[13, 13, 14]);
+        let layout = HistLayout::new(&bm);
+        let grad: Vec<f32> = (0..40).map(|i| (i as f32 * 0.31).cos()).collect();
+        let hess: Vec<f32> = (0..40)
+            .map(|i| 1.0 + (i as f32 * 0.17).sin().abs())
+            .collect();
+        let rows: Vec<usize> = (0..40).collect();
+        for isa in [crate::simd::dispatch(), SimdIsa::Scalar] {
+            let mut ha = vec![Cell::default(); layout.total];
+            let mut hb = vec![Cell::default(); layout.total];
+            BinLike::accumulate(&bm, &mut ha, &grad, &hess, &rows, &layout, isa);
+            BinLike::accumulate(&sb, &mut hb, &grad, &hess, &rows, &layout, isa);
+            for (a, b) in ha.iter().zip(&hb) {
+                assert_eq!(a.g.to_bits(), b.g.to_bits());
+                assert_eq!(a.h.to_bits(), b.h.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_is_bounded_and_evicts() {
+        let _guard = crate::par::test_env_lock();
+        stencilmart_obs::set_enabled(true);
+        let x = demo_matrix(24, 2);
+        let sb = sharded_from_matrix(&x, 8, &[4, 4, 4, 4, 4, 4]);
+        let before = (
+            counters::SHARD_LOADS.get(),
+            counters::SHARD_EVICTIONS.get(),
+            counters::SHARD_CACHE_HITS.get(),
+        );
+        let rows: Vec<usize> = (0..24).collect();
+        let mut buf = Vec::new();
+        BinLike::feature_bins(&sb, &rows, 0, &mut buf);
+        BinLike::feature_bins(&sb, &rows, 1, &mut buf);
+        assert!(
+            counters::SHARD_LOADS.get() >= before.0 + 6,
+            "cold pass loads every shard"
+        );
+        assert!(
+            counters::SHARD_EVICTIONS.get() > before.1,
+            "capacity 2 of 6 must evict"
+        );
+        // Re-walking the last cached shard hits.
+        let tail: Vec<usize> = (20..24).collect();
+        BinLike::feature_bins(&sb, &tail, 0, &mut buf);
+        assert!(counters::SHARD_CACHE_HITS.get() > before.2);
+    }
+
+    #[test]
+    fn bin_space_traversal_matches_raw_traversal() {
+        let x = demo_matrix(60, 3);
+        let bm = BinnedMatrix::new(&x, 12);
+        let grad: Vec<f32> = (0..60).map(|i| (i as f32 * 0.41).sin()).collect();
+        let hess = vec![1.0f32; 60];
+        let idx: Vec<usize> = (0..60).collect();
+        let cfg = crate::gbdt::tree::TreeConfig::default();
+        let tree = BinnedTree::fit(&bm, &grad, &hess, &idx, &cfg);
+        let cuts: Vec<Vec<f32>> = (0..3)
+            .map(|c| (0..bm.n_bins(c) - 1).map(|b| bm.cut_value(c, b)).collect())
+            .collect();
+        let split_bins = node_split_bins(&tree, &cuts);
+        for r in 0..60 {
+            let codes: Vec<u8> = (0..3).map(|c| bm.bin(r, c) as u8).collect();
+            assert_eq!(
+                predict_codes(&tree, &split_bins, &codes).to_bits(),
+                tree.predict_row(x.row(r)).to_bits(),
+                "row {r}"
+            );
+        }
+    }
+}

@@ -11,6 +11,7 @@ pub mod loss;
 pub mod net;
 pub mod optim;
 pub mod shape;
+pub mod stream;
 pub mod train;
 
 pub use conv::{Conv2d, Conv3d};
@@ -19,4 +20,5 @@ pub use loss::{argmax_rows, mse, softmax, softmax_cross_entropy};
 pub use net::{export_params, import_params, param_count, Net, Sequential, TwoBranch};
 pub use optim::{Adam, Sgd};
 pub use shape::{Flatten, Reshape};
+pub use stream::{train_classifier_streamed, train_regressor_streamed, Chunk, ChunkSource};
 pub use train::{predict_classes, predict_scalars, train_classifier, train_regressor, TrainConfig};

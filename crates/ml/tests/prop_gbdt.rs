@@ -8,7 +8,10 @@
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 use stencilmart_ml::data::FeatureMatrix;
+use stencilmart_ml::gbdt::binned::BinnedMatrix;
+use stencilmart_ml::gbdt::stream::ShardedBins;
 use stencilmart_ml::gbdt::tree::TreeConfig;
 use stencilmart_ml::gbdt::{GbdtClassifier, GbdtConfig, GbdtRegressor};
 use stencilmart_obs as obs;
@@ -100,6 +103,37 @@ fn gbdt_config(exact: bool, seed: u64) -> GbdtConfig {
     }
 }
 
+/// A [`ShardedBins`] built from a resident matrix through the public
+/// API only: the matrix is binned once, its codes are sliced into
+/// `shards` near-equal contiguous row shards, and the loader serves
+/// those slices — exactly what the on-disk store does, minus the disk.
+fn sharded_bins(x: &FeatureMatrix, n_bins: usize, shards: usize) -> ShardedBins {
+    let bm = BinnedMatrix::new(x, n_bins);
+    let (rows, cols) = (x.rows(), x.cols());
+    let cuts: Vec<Vec<f32>> = (0..cols)
+        .map(|c| (0..bm.n_bins(c) - 1).map(|b| bm.cut_value(c, b)).collect())
+        .collect();
+    let mut shard_rows = Vec::with_capacity(shards);
+    let mut slices: Vec<Arc<Vec<u8>>> = Vec::with_capacity(shards);
+    for s in 0..shards {
+        let lo = s * rows / shards;
+        let hi = (s + 1) * rows / shards;
+        shard_rows.push(hi - lo);
+        let mut codes = Vec::with_capacity((hi - lo) * cols);
+        for r in lo..hi {
+            codes.extend((0..cols).map(|c| bm.bin(r, c) as u8));
+        }
+        slices.push(Arc::new(codes));
+    }
+    ShardedBins::new(
+        &shard_rows,
+        cols,
+        cuts,
+        2,
+        Box::new(move |s| Ok(Arc::clone(&slices[s]))),
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -184,6 +218,45 @@ proptest! {
             .collect();
         for run in &runs[1..] {
             prop_assert_eq!(&runs[0], run);
+        }
+    }
+
+    // The out-of-core path: a streamed fit must serialize byte-equal to
+    // the resident fit for every tested shard count × worker count, on
+    // random data. Scratch-buffer reuse in `BinnedMatrix::new` and the
+    // shard-run accumulation must not move a single bit.
+    #[test]
+    fn streamed_fit_is_bit_identical_for_any_sharding(
+        seed in 0u64..1 << 20,
+        n in 40usize..120,
+        cols in 1usize..4,
+        classes in 2usize..4,
+    ) {
+        let _guard = env_lock();
+        let (x, y) = random_regression(seed, n, cols);
+        let (cx, labels) = random_classification(seed ^ 0x77, n, cols, classes);
+        let cfg = gbdt_config(false, seed ^ 0xE1);
+        let (reg_expect, cls_expect) = with_threads("1", || {
+            (
+                serde_json::to_string(&GbdtRegressor::fit(&x, &y, &cfg)).unwrap(),
+                serde_json::to_string(&GbdtClassifier::fit(&cx, &labels, classes, &cfg)).unwrap(),
+            )
+        });
+        for shards in [1usize, 3, 8] {
+            for threads in ["1", "4"] {
+                let (reg_json, cls_json) = with_threads(threads, || {
+                    let sb = sharded_bins(&x, cfg.bins, shards);
+                    let reg = GbdtRegressor::fit_streamed(&sb, &y, &cfg);
+                    let csb = sharded_bins(&cx, cfg.bins, shards);
+                    let cls = GbdtClassifier::fit_streamed(&csb, &labels, classes, &cfg);
+                    (
+                        serde_json::to_string(&reg).unwrap(),
+                        serde_json::to_string(&cls).unwrap(),
+                    )
+                });
+                prop_assert!(reg_json == reg_expect, "reg shards={} threads={}", shards, threads);
+                prop_assert!(cls_json == cls_expect, "cls shards={} threads={}", shards, threads);
+            }
         }
     }
 

@@ -52,12 +52,44 @@ impl RunManifest {
 /// 64-bit FNV-1a hash (stable across platforms and runs, unlike
 /// `DefaultHasher`).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Streaming accumulator for the same 64-bit FNV-1a hash as [`fnv1a`]:
+/// feeding the input in any chunking produces the identical digest, so
+/// writers can checksum multi-megabyte shard payloads without buffering
+/// them whole.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Start a fresh hash (the FNV-1a offset basis).
+    pub fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
     }
-    h
+
+    /// Absorb a chunk of input.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    /// The digest over everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
 }
 
 /// Best-effort git revision of the enclosing repository: walks up from
@@ -111,6 +143,20 @@ mod tests {
         assert_eq!(fnv1a(b"hello"), 0xa430_d846_80aa_bd0b);
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a(b"seed=1"), fnv1a(b"seed=2"));
+    }
+
+    #[test]
+    fn streaming_hasher_matches_one_shot_for_any_chunking() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let whole = fnv1a(&data);
+        for chunk in [1usize, 3, 7, 64, 1000] {
+            let mut h = Fnv1a::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finish(), whole, "chunk size {chunk}");
+        }
+        assert_eq!(Fnv1a::default().finish(), fnv1a(b""));
     }
 
     #[test]

@@ -61,6 +61,10 @@ pub fn stage_total_ns(stats: &[SpanStat], stage: &str) -> u128 {
 /// times), counters, gauges, derived rates, and the dropped-event
 /// count.
 pub fn metrics_json(manifest: &RunManifest) -> String {
+    // The peak-RSS gauge is a point-in-time read; refresh it so every
+    // exported report carries the process high-water mark at export
+    // time rather than whenever a stage last touched it.
+    crate::runtime::refresh_peak_rss();
     let stats = span::span_stats();
     let mut out = String::with_capacity(4096);
     out.push_str("{\n  \"manifest\": {\n    \"tool\": ");

@@ -96,6 +96,40 @@ pub fn simd_isa() -> SimdIsa {
     probed_isa()
 }
 
+/// Peak resident-set size of this process in bytes, read from the
+/// `VmHWM` line of `/proc/self/status`. Returns 0 on platforms without
+/// that interface (or if the file is unreadable/ill-formed), so callers
+/// can always record it and consumers treat 0 as "unknown".
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse::<u64>()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+    }
+    0
+}
+
+/// Re-read [`peak_rss_bytes`] and store it in the
+/// [`crate::counters::PEAK_RSS_BYTES`] gauge, returning the fresh value.
+/// Report rendering calls this so every exported metrics document
+/// carries the true process high-water mark at export time.
+pub fn refresh_peak_rss() -> u64 {
+    let v = peak_rss_bytes();
+    crate::counters::PEAK_RSS_BYTES.set(v);
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +161,23 @@ mod tests {
         assert_eq!(simd_isa(), probed);
         std::env::remove_var("STENCILMART_NO_SIMD");
         assert_eq!(simd_isa(), probed);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux_and_monotonic() {
+        let _guard = crate::test_guard();
+        let first = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(first > 0, "VmHWM must be readable on Linux");
+        }
+        // Touch some memory; the high-water mark can only grow.
+        let ballast = vec![1u8; 1 << 20];
+        std::hint::black_box(&ballast);
+        let second = peak_rss_bytes();
+        assert!(second >= first, "peak RSS went backwards");
+        crate::span::set_enabled(true);
+        let refreshed = refresh_peak_rss();
+        assert_eq!(refreshed, crate::counters::PEAK_RSS_BYTES.get());
     }
 
     #[test]
