@@ -42,7 +42,7 @@ use stencilmart::config::PipelineConfig;
 use stencilmart::models::{build_mlp, train_gb_regressor_streamed, MlpShape};
 use stencilmart::shard::{
     build_sharded_corpus, corpus_shard_file_name, merge_corpus_shards, write_regression_store,
-    CorpusPlan,
+    write_regression_store_with, CorpusPlan, StoreOptions,
 };
 use stencilmart_gpusim::GpuId;
 use stencilmart_ml::data::FeatureMatrix;
@@ -66,6 +66,9 @@ const BINS: usize = 32;
 /// bit-identity-tested in `tests/prop_outofcore.rs` and the bench's
 /// own determinism preflight (capacity 2).
 const CACHE_SHARDS: usize = 8;
+/// Cache capacity for the sub-covering locality drill — deliberately
+/// smaller than the 7-shard store so every histogram level has to page.
+const SUB_CACHE_SHARDS: usize = 4;
 const RSS_BUDGET_BYTES: u64 = 384 * 1024 * 1024;
 /// Streamed throughput must stay within 25% of the resident rate.
 const MIN_RATIO: f64 = 0.75;
@@ -94,16 +97,25 @@ fn fill_row(i: usize, row: &mut Vec<f32>) -> f32 {
         + row[0] * row[1]
 }
 
-/// Stream `rows` synthetic rows into a fresh store under `dir`.
-fn build_store(dir: &Path, rows: usize, rows_per_shard: usize) -> BinStore {
+/// Stream `rows` synthetic rows into a fresh store under `dir`,
+/// optionally compressing CODES sections with the FOR codec.
+fn build_store_opts(dir: &Path, rows: usize, rows_per_shard: usize, compress: bool) -> BinStore {
     let _ = std::fs::remove_dir_all(dir);
     let mut w = BinStoreWriter::create(dir, COLS, BINS, rows_per_shard).expect("create store");
+    if compress {
+        w = w.with_codec();
+    }
     let mut row = Vec::with_capacity(COLS);
     for i in 0..rows {
         let target = fill_row(i, &mut row);
         w.push_row(&row, target, (i % 5) as u32).expect("push row");
     }
     w.finalize().expect("finalize store")
+}
+
+/// Stream `rows` synthetic rows into a fresh plain store under `dir`.
+fn build_store(dir: &Path, rows: usize, rows_per_shard: usize) -> BinStore {
+    build_store_opts(dir, rows, rows_per_shard, false)
 }
 
 /// The first `rows` of the same synthetic matrix, resident.
@@ -291,11 +303,40 @@ fn smoke(dir: &Path) {
     assert_eq!(x.cols(), COLS);
     drop(model);
 
+    eprintln!("[smoke] corruption drill against a compressed store...");
+    let packed_dir = dir.join("store-packed");
+    let _ = std::fs::remove_dir_all(&packed_dir);
+    let opts = StoreOptions {
+        wide_codes: false,
+        compress: true,
+    };
+    let packed = write_regression_store_with(&packed_dir, &merged, &cfg, 32, 128, opts)
+        .expect("write compressed store");
+    assert!(packed.shard_count() >= 4, "compressed store must shard");
+    let victim = packed_dir.join(&packed.shard_entries()[1].file);
+    let mut bytes = std::fs::read(&victim).expect("read shard");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    std::fs::write(&victim, &bytes).expect("write flipped shard");
+    let err = BinStore::open(&packed_dir).expect_err("flipped compressed shard must fail open");
+    println!(
+        "[smoke] compressed bit flip -> MartError kind `{}`: {err}",
+        err.kind()
+    );
+    assert!(["checksum_mismatch", "invalid_shard", "decode"].contains(&err.kind()));
+    let (packed_survivors, packed_dropped) =
+        BinStore::open_surviving(&packed_dir).expect("open compressed survivors");
+    assert_eq!(packed_dropped.len(), 1, "exactly the flipped shard drops");
+    let model =
+        train_gb_regressor_streamed(&packed_survivors, 5, 2).expect("train compressed survivors");
+    drop(model);
+
     let manifest = obs::RunManifest::new("corpus_shard", cfg.seed, "smoke");
     obs::report::write_metrics(&dir.join("smoke-metrics.json"), &manifest)
         .expect("write metrics report");
     println!(
-        "[smoke] OK: corruption is structured, survivors train, manifests in {}",
+        "[smoke] OK: corruption is structured, survivors train (plain + compressed), \
+         manifests in {}",
         dir.display()
     );
 }
@@ -407,6 +448,42 @@ fn main() {
     ));
     let gbdt_ratio = streamed_rate / resident_rate;
 
+    // Sub-covering cache drill: fewer cache slots than shards forces
+    // paging every level. Shard-major scheduling keeps that at ~one
+    // load per resident shard per level pass — the per-level figure is
+    // the locality metric the perf gate tracks (lower is better). The
+    // store is FOR-compressed, so the drill also exercises
+    // decode-on-miss and measures the codec's byte savings at write.
+    eprintln!(
+        "[corpus_shard] compressed store + sub-covering cache drill \
+         (cache {SUB_CACHE_SHARDS} < shards)..."
+    );
+    let saved0 = counters::CODEC_BYTES_SAVED.get();
+    let packed = build_store_opts(&dir.join("bench-store-packed"), ROWS, ROWS_PER_SHARD, true);
+    let codec_saved = counters::CODEC_BYTES_SAVED.get() - saved0;
+    let loads0 = counters::SHARD_LOADS.get();
+    let passes0 = counters::HIST_LEVEL_PASSES.get();
+    let sub_secs = best_secs(samples, || {
+        let bins = packed.sharded_bins(SUB_CACHE_SHARDS);
+        GbdtRegressor::fit_streamed(&bins, &y, &cfg)
+    });
+    let sub_rate = ROWS as f64 * cfg.rounds as f64 / sub_secs;
+    let sub_loads = counters::SHARD_LOADS.get() - loads0;
+    let sub_passes = (counters::HIST_LEVEL_PASSES.get() - passes0).max(1);
+    let shard_loads_per_level = sub_loads as f64 / sub_passes as f64;
+    let hit_rate_pm = counters::SHARD_CACHE_HIT_RATE_PM.get();
+    entries.push(entry(
+        "gbdt_fit_streamed_subcache",
+        &format!(
+            "{}, cache {SUB_CACHE_SHARDS}/{} shards, FOR codec",
+            gbdt_shape(ROWS),
+            packed.shard_count()
+        ),
+        "rows_trees/s",
+        sub_rate,
+        sub_secs,
+    ));
+
     let ncfg = nn_cfg();
     let nn_shape = |n: usize| format!("{n} x {COLS}, mlp 36-32-32-1, {} epochs", ncfg.epochs);
     eprintln!("[corpus_shard] NN resident baseline ({BASELINE_ROWS} rows)...");
@@ -469,6 +546,15 @@ fn main() {
         ("nn_streamed_vs_resident".into(), Value::Float(nn_ratio)),
         ("shard_loads".into(), Value::Float(shard_loads as f64)),
         ("shard_evictions".into(), Value::Float(evictions as f64)),
+        (
+            "shard_loads_per_level".into(),
+            Value::Float(shard_loads_per_level),
+        ),
+        ("codec_bytes_saved".into(), Value::Float(codec_saved as f64)),
+        (
+            "shard_cache_hit_rate_pm".into(),
+            Value::Float(hit_rate_pm as f64),
+        ),
         ("entries".into(), Value::Array(entries)),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serialize");
@@ -480,6 +566,12 @@ fn main() {
         "  peak rss: {:.1} MiB (budget {:.0} MiB), {shard_loads} shard loads, {evictions} evictions",
         peak as f64 / (1024.0 * 1024.0),
         RSS_BUDGET_BYTES as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "  sub-covering cache: {shard_loads_per_level:.2} shard loads/level, \
+         hit rate {:.1}%, codec saved {:.1} MiB",
+        hit_rate_pm as f64 / 10.0,
+        codec_saved as f64 / (1024.0 * 1024.0)
     );
 
     if let Some(path) = metrics_out {

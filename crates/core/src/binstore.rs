@@ -16,12 +16,13 @@
 //!      8    8  row count (u64 LE)
 //!     16    4  column count (u32 LE)
 //!     20    1  section flags (bit0 RAW, bit1 CODES, bit2 TARGETS, bit3 LABELS)
-//!     21    1  bin-code width in bytes (1; u16 codes are reserved)
-//!     22    2  reserved (0)
+//!     21    1  bin-code width in bytes (1 = u8, 2 = u16 LE)
+//!     22    1  CODES codec (0 = none, 1 = frame-of-reference bit-pack)
+//!     23    1  reserved (0)
 //!     24    8  FNV-1a checksum of every byte after the header (u64 LE)
 //!     32    …  sections, in flag order:
 //!              RAW      rows×cols f32 LE, column-major
-//!              CODES    rows×cols u8, row-major
+//!              CODES    rows×cols codes, row-major (see below)
 //!              TARGETS  rows f32 LE
 //!              LABELS   rows u32 LE
 //! ```
@@ -30,6 +31,13 @@
 //! column* (shard-order concatenation = global row order) with one
 //! contiguous read per shard; CODES is row-major so the GBDT shard
 //! cache and the NN chunk loader consume it without a transpose.
+//!
+//! With codec 0 the CODES section is `rows×cols` codes at the header's
+//! width. With codec 1 it is one [`crate::codec`] frame-of-reference
+//! frame over the whole (u16-widened) section; its byte length is not
+//! derivable from the shape, so the manifest records it per shard as
+//! `codes_bytes`. Stores with more than 255 bins use u16 codes
+//! automatically.
 //!
 //! # Determinism
 //!
@@ -48,17 +56,25 @@ use std::fs;
 use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use stencilmart_ml::gbdt::binned::{bin_column_into, column_quantile_cuts, MAX_BINS};
-use stencilmart_ml::gbdt::stream::ShardedBins;
+use stencilmart_ml::gbdt::binned::{
+    bin_column_into, bin_column_into_u16, column_quantile_cuts, MAX_BINS, MAX_BINS_U16,
+};
+use stencilmart_ml::gbdt::stream::{ShardCodes, ShardedBins};
 use stencilmart_ml::nn::stream::{Chunk, ChunkSource};
 use stencilmart_obs::counters;
 use stencilmart_obs::manifest::{fnv1a, Fnv1a};
 
 /// On-disk shard format version this build reads and writes.
-pub const SHARD_FORMAT_VERSION: u32 = 1;
+pub const SHARD_FORMAT_VERSION: u32 = 2;
 
 const MAGIC: [u8; 4] = *b"SMBS";
 const HEADER_LEN: usize = 32;
+
+/// CODES stored verbatim at the header's code width.
+pub const CODEC_NONE: u8 = 0;
+/// CODES stored as one frame-of-reference bit-packed [`crate::codec`]
+/// frame over the u16-widened section.
+pub const CODEC_FOR: u8 = 1;
 
 const FLAG_RAW: u8 = 1 << 0;
 const FLAG_CODES: u8 = 1 << 1;
@@ -115,6 +131,10 @@ struct ManifestPayload {
     rows: u64,
     cols: u32,
     n_bins: u32,
+    /// Bin-code width in bytes (1 = u8, 2 = u16).
+    code_width: u32,
+    /// CODES codec id ([`CODEC_NONE`] or [`CODEC_FOR`]).
+    codec: u32,
     /// Per-column cut values as `f32` bit patterns (exact round-trip).
     cut_bits: Vec<Vec<u32>>,
     shards: Vec<ShardEntry>,
@@ -132,21 +152,67 @@ pub struct ShardEntry {
     /// FNV-1a checksum of the shard file's post-header bytes
     /// (lower-case hex, 16 digits) — must match the shard header.
     pub checksum: String,
+    /// Encoded byte length of the CODES section. Zero means "derivable
+    /// from the shape" (codec 0: `rows × cols × code_width`).
+    pub codes_bytes: u64,
 }
 
 fn invalid(msg: impl Into<String>) -> MartError {
     MartError::InvalidShard(msg.into())
 }
 
-/// Serialize one shard file and return `(bytes, checksum)`.
+/// Logical bin codes handed to [`encode_shard`], at either code width.
+enum CodesSection<'a> {
+    U8(&'a [u8]),
+    U16(&'a [u16]),
+}
+
+impl CodesSection<'_> {
+    fn len(&self) -> usize {
+        match self {
+            CodesSection::U8(c) => c.len(),
+            CodesSection::U16(c) => c.len(),
+        }
+    }
+
+    /// Serialize under `codec`, appending to `payload`. Returns the
+    /// encoded byte length.
+    fn encode_into(&self, codec: u8, payload: &mut Vec<u8>) -> usize {
+        let before = payload.len();
+        match (codec, self) {
+            (CODEC_NONE, CodesSection::U8(c)) => payload.extend_from_slice(c),
+            (CODEC_NONE, CodesSection::U16(c)) => {
+                for v in *c {
+                    payload.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            (CODEC_FOR, CodesSection::U8(c)) => {
+                let wide: Vec<u16> = c.iter().map(|&b| u16::from(b)).collect();
+                payload.extend_from_slice(&crate::codec::encode_for_u16(&wide));
+            }
+            (CODEC_FOR, CodesSection::U16(c)) => {
+                payload.extend_from_slice(&crate::codec::encode_for_u16(c));
+            }
+            (other, _) => unreachable!("unknown codec id {other}"),
+        }
+        payload.len() - before
+    }
+}
+
+/// Serialize one shard file and return
+/// `(bytes, checksum, codes_bytes)` — `codes_bytes` is the encoded
+/// CODES section length (0 when the shard has no CODES section).
+#[allow(clippy::too_many_arguments)]
 fn encode_shard(
     rows: usize,
     cols: usize,
     raw_col_major: Option<&[f32]>,
-    codes_row_major: Option<&[u8]>,
+    codes_row_major: Option<CodesSection<'_>>,
     targets: Option<&[f32]>,
     labels: Option<&[u32]>,
-) -> (Vec<u8>, u64) {
+    code_width: u8,
+    codec: u8,
+) -> (Vec<u8>, u64, usize) {
     let mut flags = 0u8;
     let mut payload_len = 0usize;
     if let Some(r) = raw_col_major {
@@ -154,10 +220,10 @@ fn encode_shard(
         flags |= FLAG_RAW;
         payload_len += r.len() * 4;
     }
-    if let Some(c) = codes_row_major {
+    if let Some(c) = &codes_row_major {
         assert_eq!(c.len(), rows * cols);
         flags |= FLAG_CODES;
-        payload_len += c.len();
+        payload_len += c.len() * code_width as usize;
     }
     if let Some(t) = targets {
         assert_eq!(t.len(), rows);
@@ -175,8 +241,13 @@ fn encode_shard(
             payload.extend_from_slice(&v.to_bits().to_le_bytes());
         }
     }
-    if let Some(c) = codes_row_major {
-        payload.extend_from_slice(c);
+    let mut codes_bytes = 0usize;
+    if let Some(c) = &codes_row_major {
+        codes_bytes = c.encode_into(codec, &mut payload);
+        let plain = c.len() * code_width as usize;
+        if codes_bytes < plain {
+            counters::CODEC_BYTES_SAVED.add((plain - codes_bytes) as u64);
+        }
     }
     if let Some(t) = targets {
         for v in t {
@@ -198,11 +269,12 @@ fn encode_shard(
     out.extend_from_slice(&(rows as u64).to_le_bytes());
     out.extend_from_slice(&(cols as u32).to_le_bytes());
     out.push(flags);
-    out.push(1); // code width: u8
-    out.extend_from_slice(&0u16.to_le_bytes());
+    out.push(code_width);
+    out.push(codec);
+    out.push(0); // reserved
     out.extend_from_slice(&checksum.to_le_bytes());
     out.extend_from_slice(&payload);
-    (out, checksum)
+    (out, checksum, codes_bytes)
 }
 
 /// Parsed shard header.
@@ -211,6 +283,8 @@ struct ShardHeader {
     rows: u64,
     cols: u32,
     flags: u8,
+    code_width: u8,
+    codec: u8,
     checksum: u64,
 }
 
@@ -236,23 +310,30 @@ impl ShardHeader {
         let cols = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
         let flags = bytes[20];
         let code_width = bytes[21];
-        if code_width != 1 {
+        if !matches!(code_width, 1 | 2) {
             return Err(invalid(format!(
-                "{what}: bin-code width {code_width} is not supported (only u8 codes)"
+                "{what}: bin-code width {code_width} is not supported (1 or 2 bytes)"
             )));
+        }
+        let codec = bytes[22];
+        if !matches!(codec, CODEC_NONE | CODEC_FOR) {
+            return Err(invalid(format!("{what}: unknown CODES codec id {codec}")));
         }
         let checksum = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
         Ok(ShardHeader {
             rows,
             cols,
             flags,
+            code_width,
+            codec,
             checksum,
         })
     }
 
-    /// Byte length of the sections preceding `flag`, and of `flag`'s own
-    /// section, for this header's shape.
-    fn section_range(&self, flag: u8) -> Option<(usize, usize)> {
+    /// Byte offset and length of `flag`'s section. `codes_len` is the
+    /// encoded CODES section length (ignored when the shard has no
+    /// CODES section).
+    fn section_range(&self, flag: u8, codes_len: usize) -> Option<(usize, usize)> {
         if self.flags & flag == 0 {
             return None;
         }
@@ -261,7 +342,7 @@ impl ShardHeader {
         let mut off = HEADER_LEN;
         for (f, len) in [
             (FLAG_RAW, rows * cols * 4),
-            (FLAG_CODES, rows * cols),
+            (FLAG_CODES, codes_len),
             (FLAG_TARGETS, rows * 4),
             (FLAG_LABELS, rows * 4),
         ] {
@@ -275,13 +356,13 @@ impl ShardHeader {
         None
     }
 
-    fn payload_len(&self) -> usize {
+    fn payload_len(&self, codes_len: usize) -> usize {
         let rows = self.rows as usize;
         let cols = self.cols as usize;
         let mut len = 0usize;
         for (f, l) in [
             (FLAG_RAW, rows * cols * 4),
-            (FLAG_CODES, rows * cols),
+            (FLAG_CODES, codes_len),
             (FLAG_TARGETS, rows * 4),
             (FLAG_LABELS, rows * 4),
         ] {
@@ -303,6 +384,8 @@ pub struct BinStoreWriter {
     cols: usize,
     n_bins: usize,
     rows_per_shard: usize,
+    code_width: u8,
+    codec: u8,
     /// Current shard accumulation, row-major.
     cur_raw: Vec<f32>,
     cur_targets: Vec<f32>,
@@ -314,27 +397,50 @@ pub struct BinStoreWriter {
 impl BinStoreWriter {
     /// Create a writer into `dir` (created if missing) for `cols`
     /// features quantile-binned into at most `n_bins` bins, cutting a
-    /// shard every `rows_per_shard` rows.
+    /// shard every `rows_per_shard` rows. Stores with more than
+    /// [`MAX_BINS`] bins use u16 codes; more than [`MAX_BINS_U16`] is a
+    /// structured [`MartError::BadRequest`].
     pub fn create(
         dir: &Path,
         cols: usize,
         n_bins: usize,
         rows_per_shard: usize,
-    ) -> io::Result<BinStoreWriter> {
+    ) -> Result<BinStoreWriter, MartError> {
         assert!(cols > 0, "need at least one feature column");
-        assert!((2..=MAX_BINS).contains(&n_bins), "n_bins must be 2..=255");
         assert!(rows_per_shard > 0, "rows_per_shard must be positive");
+        if !(2..=MAX_BINS_U16).contains(&n_bins) {
+            return Err(MartError::BadRequest(format!(
+                "n_bins {n_bins} outside supported range 2..={MAX_BINS_U16}"
+            )));
+        }
         fs::create_dir_all(dir)?;
         Ok(BinStoreWriter {
             dir: dir.to_path_buf(),
             cols,
             n_bins,
             rows_per_shard,
+            code_width: if n_bins <= MAX_BINS { 1 } else { 2 },
+            codec: CODEC_NONE,
             cur_raw: Vec::with_capacity(rows_per_shard * cols),
             cur_targets: Vec::with_capacity(rows_per_shard),
             cur_labels: Vec::with_capacity(rows_per_shard),
             temp_rows: Vec::new(),
         })
+    }
+
+    /// Compress every final CODES section with the frame-of-reference
+    /// bit-packing codec ([`CODEC_FOR`]).
+    pub fn with_codec(mut self) -> Self {
+        self.codec = CODEC_FOR;
+        self
+    }
+
+    /// Force u16 bin codes even when `n_bins` fits in a byte — the
+    /// wide format must produce byte-identical training results, and
+    /// tests pin that equivalence.
+    pub fn with_wide_codes(mut self) -> Self {
+        self.code_width = 2;
+        self
     }
 
     fn temp_path(&self, id: usize) -> PathBuf {
@@ -370,13 +476,15 @@ impl BinStoreWriter {
                 col_major[c * rows + r] = self.cur_raw[r * self.cols + c];
             }
         }
-        let (bytes, _) = encode_shard(
+        let (bytes, _, _) = encode_shard(
             rows,
             self.cols,
             Some(&col_major),
             None,
             Some(&self.cur_targets),
             Some(&self.cur_labels),
+            self.code_width,
+            CODEC_NONE,
         );
         let id = self.temp_rows.len();
         write_atomic(&self.temp_path(id), &bytes)?;
@@ -437,46 +545,70 @@ impl BinStoreWriter {
                 )));
             }
             let (raw_off, raw_len) = header
-                .section_range(FLAG_RAW)
+                .section_range(FLAG_RAW, 0)
                 .ok_or_else(|| invalid(format!("temp shard {id}: missing RAW section")))?;
             let raw: Vec<f32> = tmp[raw_off..raw_off + raw_len]
                 .chunks_exact(4)
                 .map(|b| f32::from_bits(u32::from_le_bytes(b.try_into().expect("4"))))
                 .collect();
-            let mut codes = vec![0u8; rows * self.cols];
-            for c in 0..self.cols {
-                // Column-major raw → row-major codes (start=c, stride=cols).
-                bin_column_into(
-                    &raw[c * rows..(c + 1) * rows],
-                    &cuts[c],
-                    c,
-                    self.cols,
-                    &mut codes,
-                    &mut pad,
-                );
+            // Column-major raw → row-major codes (start=c, stride=cols)
+            // at the store's code width.
+            let mut codes8 = Vec::new();
+            let mut codes16 = Vec::new();
+            if self.code_width == 1 {
+                codes8.resize(rows * self.cols, 0u8);
+                for c in 0..self.cols {
+                    bin_column_into(
+                        &raw[c * rows..(c + 1) * rows],
+                        &cuts[c],
+                        c,
+                        self.cols,
+                        &mut codes8,
+                        &mut pad,
+                    );
+                }
+            } else {
+                codes16.resize(rows * self.cols, 0u16);
+                for c in 0..self.cols {
+                    bin_column_into_u16(
+                        &raw[c * rows..(c + 1) * rows],
+                        &cuts[c],
+                        c,
+                        self.cols,
+                        &mut codes16,
+                        &mut pad,
+                    );
+                }
             }
             let (t_off, t_len) = header
-                .section_range(FLAG_TARGETS)
+                .section_range(FLAG_TARGETS, 0)
                 .ok_or_else(|| invalid(format!("temp shard {id}: missing TARGETS section")))?;
             let targets: Vec<f32> = tmp[t_off..t_off + t_len]
                 .chunks_exact(4)
                 .map(|b| f32::from_bits(u32::from_le_bytes(b.try_into().expect("4"))))
                 .collect();
             let (l_off, l_len) = header
-                .section_range(FLAG_LABELS)
+                .section_range(FLAG_LABELS, 0)
                 .ok_or_else(|| invalid(format!("temp shard {id}: missing LABELS section")))?;
             let labels: Vec<u32> = tmp[l_off..l_off + l_len]
                 .chunks_exact(4)
                 .map(|b| u32::from_le_bytes(b.try_into().expect("4")))
                 .collect();
             drop(tmp);
-            let (bytes, checksum) = encode_shard(
+            let codes = if self.code_width == 1 {
+                CodesSection::U8(&codes8)
+            } else {
+                CodesSection::U16(&codes16)
+            };
+            let (bytes, checksum, codes_bytes) = encode_shard(
                 rows,
                 self.cols,
                 Some(&raw),
-                Some(&codes),
+                Some(codes),
                 Some(&targets),
                 Some(&labels),
+                self.code_width,
+                self.codec,
             );
             write_atomic(&Self::shard_path(&self.dir, id), &bytes)?;
             counters::SHARDS_WRITTEN.inc();
@@ -485,6 +617,11 @@ impl BinStoreWriter {
                 file: shard_file_name(id),
                 rows: rows as u64,
                 checksum: format!("{checksum:016x}"),
+                codes_bytes: if self.codec == CODEC_NONE {
+                    0
+                } else {
+                    codes_bytes as u64
+                },
             });
         }
 
@@ -492,6 +629,8 @@ impl BinStoreWriter {
             rows: total_rows as u64,
             cols: self.cols as u32,
             n_bins: self.n_bins as u32,
+            code_width: u32::from(self.code_width),
+            codec: u32::from(self.codec),
             cut_bits: cuts
                 .iter()
                 .map(|col| col.iter().map(|v| v.to_bits()).collect())
@@ -507,9 +646,60 @@ impl BinStoreWriter {
     }
 }
 
+impl Drop for BinStoreWriter {
+    /// Backstop cleanup: unlink any spilled temp shards so an abandoned
+    /// or failed write never leaves `.tmp.bin` litter in the store
+    /// directory. Runs after a successful `finalize` too (the explicit
+    /// removal loop has already emptied the list — removal errors are
+    /// ignored) and never touches final `.bin` shards.
+    fn drop(&mut self) {
+        for id in 0..self.temp_rows.len() {
+            let _ = fs::remove_file(self.temp_path(id));
+        }
+    }
+}
+
 /// File name of final shard `id`.
 pub fn shard_file_name(id: usize) -> String {
     format!("shard-{id:05}.bin")
+}
+
+/// Decode a stored CODES section (`expect` logical codes at
+/// `code_width`/`codec`) into u16 bin codes. Every defect is a
+/// structured [`MartError`], never a panic.
+fn decode_codes_bytes(
+    bytes: &[u8],
+    expect: usize,
+    code_width: u8,
+    codec: u8,
+) -> Result<Vec<u16>, MartError> {
+    if codec == CODEC_FOR {
+        return crate::codec::decode_for_u16(bytes, expect);
+    }
+    match code_width {
+        1 => {
+            if bytes.len() != expect {
+                return Err(invalid(format!(
+                    "CODES section holds {} bytes, expected {expect}",
+                    bytes.len()
+                )));
+            }
+            Ok(bytes.iter().map(|&b| u16::from(b)).collect())
+        }
+        _ => {
+            if bytes.len() != expect * 2 {
+                return Err(invalid(format!(
+                    "CODES section holds {} bytes, expected {} (u16 codes)",
+                    bytes.len(),
+                    expect * 2
+                )));
+            }
+            Ok(bytes
+                .chunks_exact(2)
+                .map(|b| u16::from_le_bytes([b[0], b[1]]))
+                .collect())
+        }
+    }
 }
 
 /// Read column `c`'s raw section of one shard file into `buf` (raw LE
@@ -527,7 +717,7 @@ fn read_raw_column(
     let h = ShardHeader::parse(&header, "shard")
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let (raw_off, _) = h
-        .section_range(FLAG_RAW)
+        .section_range(FLAG_RAW, 0)
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "shard has no RAW section"))?;
     debug_assert_eq!(h.rows as usize, rows);
     debug_assert_eq!(h.cols as usize, cols);
@@ -546,6 +736,8 @@ pub struct BinStore {
     rows: usize,
     cols: usize,
     n_bins: usize,
+    code_width: u8,
+    codec: u8,
     cuts: Vec<Vec<f32>>,
     shards: Vec<ShardEntry>,
 }
@@ -578,6 +770,8 @@ impl BinStore {
                 rows: entry.rows as usize,
                 cols: store.cols,
                 n_bins: store.n_bins,
+                code_width: store.code_width,
+                codec: store.codec,
                 cuts: Vec::new(),
                 shards: Vec::new(),
             };
@@ -601,6 +795,30 @@ impl BinStore {
         let cols = payload.cols as usize;
         if cols == 0 {
             return Err(invalid("manifest: zero columns"));
+        }
+        if !matches!(payload.code_width, 1 | 2) {
+            return Err(invalid(format!(
+                "manifest: bin-code width {} is not supported (1 or 2 bytes)",
+                payload.code_width
+            )));
+        }
+        if !matches!(payload.codec as u8, CODEC_NONE | CODEC_FOR) || payload.codec > 255 {
+            return Err(invalid(format!(
+                "manifest: unknown CODES codec id {}",
+                payload.codec
+            )));
+        }
+        if payload.code_width == 1 && payload.n_bins as usize > MAX_BINS {
+            return Err(invalid(format!(
+                "manifest: {} bins cannot be addressed by u8 codes",
+                payload.n_bins
+            )));
+        }
+        if payload.n_bins as usize > MAX_BINS_U16 {
+            return Err(invalid(format!(
+                "manifest: {} bins exceeds the u16 code space",
+                payload.n_bins
+            )));
         }
         if payload.cut_bits.len() != cols {
             return Err(invalid(format!(
@@ -655,6 +873,8 @@ impl BinStore {
             rows: rows as usize,
             cols,
             n_bins: payload.n_bins as usize,
+            code_width: payload.code_width as u8,
+            codec: payload.codec as u8,
             cuts,
             shards: payload.shards,
         })
@@ -683,6 +903,18 @@ impl BinStore {
                 h.cols, self.cols
             )));
         }
+        if h.code_width != self.code_width {
+            return Err(invalid(format!(
+                "{what}: header says {}-byte codes, manifest says {}",
+                h.code_width, self.code_width
+            )));
+        }
+        if h.codec != self.codec {
+            return Err(invalid(format!(
+                "{what}: header says codec {}, manifest says {}",
+                h.codec, self.codec
+            )));
+        }
         for (flag, name) in [
             (FLAG_RAW, "RAW"),
             (FLAG_CODES, "CODES"),
@@ -694,7 +926,8 @@ impl BinStore {
             }
         }
         // Stream the payload through the checksum in bounded chunks.
-        let expect_len = h.payload_len();
+        let codes_len = self.entry_codes_len(entry);
+        let expect_len = h.payload_len(codes_len);
         let mut hasher = Fnv1a::new();
         let mut remaining = expect_len;
         let mut buf = vec![0u8; (1 << 20).min(expect_len.max(1))];
@@ -721,6 +954,19 @@ impl BinStore {
                 stored: entry.checksum.clone(),
                 computed: hex,
             });
+        }
+        // Compressed CODES must actually decode — a checksum only
+        // proves the bytes are the ones written, not that the frame is
+        // well formed. Catch malformed frames at open, not mid-train.
+        if self.codec != CODEC_NONE {
+            let (off, len) = h
+                .section_range(FLAG_CODES, codes_len)
+                .ok_or_else(|| invalid(format!("{what}: missing CODES section")))?;
+            f.seek(SeekFrom::Start(off as u64))?;
+            let mut codes = vec![0u8; len];
+            f.read_exact(&mut codes)
+                .map_err(|e| invalid(format!("{what}: truncated CODES section: {e}")))?;
+            crate::codec::decode_for_u16(&codes, h.rows as usize * self.cols)?;
         }
         Ok(())
     }
@@ -755,14 +1001,34 @@ impl BinStore {
         &self.shards
     }
 
+    /// Bin-code width in bytes (1 = u8, 2 = u16).
+    pub fn code_width(&self) -> u8 {
+        self.code_width
+    }
+
+    /// CODES codec id ([`CODEC_NONE`] or [`CODEC_FOR`]).
+    pub fn codec(&self) -> u8 {
+        self.codec
+    }
+
+    /// Encoded byte length of `entry`'s CODES section.
+    fn entry_codes_len(&self, entry: &ShardEntry) -> usize {
+        if self.codec == CODEC_NONE {
+            entry.rows as usize * self.cols * self.code_width as usize
+        } else {
+            entry.codes_bytes as usize
+        }
+    }
+
     fn read_section(&self, shard: usize, flag: u8, name: &str) -> io::Result<Vec<u8>> {
         let entry = &self.shards[shard];
+        let codes_len = self.entry_codes_len(entry);
         let mut f = fs::File::open(self.dir.join(&entry.file))?;
         let mut header = [0u8; HEADER_LEN];
         f.read_exact(&mut header)?;
         let h = ShardHeader::parse(&header, "shard")
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let (off, len) = h.section_range(flag).ok_or_else(|| {
+        let (off, len) = h.section_range(flag, codes_len).ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("missing {name} section"),
@@ -774,9 +1040,20 @@ impl BinStore {
         Ok(buf)
     }
 
-    /// Load one shard's row-major bin codes.
+    /// Load one shard's CODES section bytes verbatim — still encoded
+    /// (LE u16 words for wide stores, a codec frame for compressed
+    /// stores). The shard cache holds exactly these bytes; decode
+    /// happens on cache miss via the store's [`ShardedBins`] decoder.
     pub fn load_codes(&self, shard: usize) -> io::Result<Vec<u8>> {
         self.read_section(shard, FLAG_CODES, "CODES")
+    }
+
+    /// Decode one shard's CODES section into logical bin codes,
+    /// undoing the store's codec and width.
+    pub fn decode_codes(&self, shard: usize) -> Result<Vec<u16>, MartError> {
+        let bytes = self.load_codes(shard)?;
+        let expect = self.shards[shard].rows as usize * self.cols;
+        decode_codes_bytes(&bytes, expect, self.code_width, self.codec)
     }
 
     /// Load one shard as a row-major NN training chunk (raw features
@@ -848,17 +1125,30 @@ impl BinStore {
     }
 
     /// A [`ShardedBins`] view for streamed GBDT training, keeping at
-    /// most `cache_shards` shards of bin codes resident.
+    /// most `cache_shards` shards of *stored* (still encoded) CODES
+    /// bytes resident — compressed stores stay compressed in cache and
+    /// decode on miss, so the cache budget buys more shards.
     pub fn sharded_bins(&self, cache_shards: usize) -> ShardedBins {
         let shard_rows: Vec<usize> = self.shards.iter().map(|s| s.rows as usize).collect();
         let loader_store = self.clone();
-        ShardedBins::new(
+        let sb = ShardedBins::new(
             &shard_rows,
             self.cols,
             self.cuts.clone(),
             cache_shards,
             Box::new(move |s| loader_store.load_codes(s).map(Arc::new)),
-        )
+        );
+        if self.codec == CODEC_NONE && self.code_width == 1 {
+            return sb; // cached bytes are the codes; no decode step
+        }
+        let cols = self.cols;
+        let code_width = self.code_width;
+        let codec = self.codec;
+        sb.with_decoder(Box::new(move |s, bytes| {
+            decode_codes_bytes(bytes, shard_rows[s] * cols, code_width, codec)
+                .map(ShardCodes::U16)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        }))
     }
 }
 
@@ -1016,6 +1306,201 @@ mod tests {
     fn no_temp_files_survive_finalize() {
         let dir = tmp_dir("cleanup");
         let _ = write_store(&dir, &demo_rows(10, 2), 4, 3);
+        let leftovers: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_rejects_oversized_bin_request() {
+        let dir = tmp_dir("badbins");
+        let err = BinStoreWriter::create(&dir, 3, MAX_BINS_U16 + 1, 8)
+            .err()
+            .expect("65537 bins must be rejected");
+        assert_eq!(err.kind(), "bad_request");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The u16-code and compressed layouts must decode to exactly the
+    /// codes the plain u8 store holds, and train to byte-identical
+    /// models — the on-disk representation is invisible to training.
+    #[test]
+    fn wide_and_compressed_stores_decode_and_train_identically() {
+        use stencilmart_ml::gbdt::{GbdtConfig, GbdtRegressor};
+        let rows = demo_rows(40, 3);
+        let mk = |tag: &str, f: &dyn Fn(BinStoreWriter) -> BinStoreWriter| {
+            let dir = tmp_dir(tag);
+            let mut w = f(BinStoreWriter::create(&dir, 3, 8, 9).unwrap());
+            for (i, r) in rows.iter().enumerate() {
+                w.push_row(r, i as f32 * 0.5, (i % 3) as u32).unwrap();
+            }
+            (dir, w.finalize().unwrap())
+        };
+        let (d0, plain) = mk("plain", &|w| w);
+        let (d1, wide) = mk("wide", &|w| w.with_wide_codes());
+        let (d2, packed) = mk("packed", &|w| w.with_codec());
+        let (d3, wide_packed) = mk("widepacked", &|w| w.with_wide_codes().with_codec());
+        assert_eq!(plain.code_width(), 1);
+        assert_eq!(wide.code_width(), 2);
+        assert_eq!(packed.codec(), CODEC_FOR);
+        for s in 0..plain.shard_count() {
+            let expect = plain.decode_codes(s).unwrap();
+            assert_eq!(
+                expect,
+                plain
+                    .load_codes(s)
+                    .unwrap()
+                    .iter()
+                    .map(|&b| u16::from(b))
+                    .collect::<Vec<u16>>()
+            );
+            for (store, what) in [(&wide, "wide"), (&packed, "packed"), (&wide_packed, "both")] {
+                assert_eq!(store.decode_codes(s).unwrap(), expect, "{what} shard {s}");
+            }
+        }
+        let cfg = GbdtConfig {
+            rounds: 5,
+            bins: 8,
+            subsample: 0.8,
+            ..GbdtConfig::default()
+        };
+        let y = plain.all_targets().unwrap();
+        let reference = serde_json::to_string(&GbdtRegressor::fit_streamed(
+            &plain.sharded_bins(2),
+            &y,
+            &cfg,
+        ))
+        .unwrap();
+        for (store, what) in [(&wide, "wide"), (&packed, "packed"), (&wide_packed, "both")] {
+            let model = GbdtRegressor::fit_streamed(&store.sharded_bins(2), &y, &cfg);
+            assert_eq!(
+                serde_json::to_string(&model).unwrap(),
+                reference,
+                "{what} store must train byte-identically"
+            );
+        }
+        for d in [d0, d1, d2, d3] {
+            let _ = fs::remove_dir_all(&d);
+        }
+    }
+
+    #[test]
+    fn compressed_store_saves_bytes_and_reports_it() {
+        let dir = tmp_dir("savings");
+        stencilmart_obs::set_enabled(true);
+        let before = counters::CODEC_BYTES_SAVED.get();
+        let store = {
+            let mut w = BinStoreWriter::create(&dir, 4, 8, 16).unwrap().with_codec();
+            for (i, r) in demo_rows(64, 4).iter().enumerate() {
+                w.push_row(r, i as f32, 0).unwrap();
+            }
+            w.finalize().unwrap()
+        };
+        let saved = counters::CODEC_BYTES_SAVED.get() - before;
+        assert!(saved > 0, "8-bin codes must bit-pack below 1 byte/code");
+        let plain_bytes: usize = store
+            .shard_entries()
+            .iter()
+            .map(|e| e.rows as usize * store.cols())
+            .sum();
+        let enc_bytes: usize = store
+            .shard_entries()
+            .iter()
+            .map(|e| e.codes_bytes as usize)
+            .sum();
+        assert!(enc_bytes < plain_bytes, "{enc_bytes} vs {plain_bytes}");
+        // `>=` not `==`: the counter is global and other tests may
+        // encode compressed shards concurrently.
+        assert!(saved >= (plain_bytes - enc_bytes) as u64);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A compressed shard whose checksum is intact but whose codec
+    /// frame is malformed must fail open with a decode error — the
+    /// checksum only proves the bytes are as written.
+    #[test]
+    fn malformed_codec_frame_with_valid_checksum_is_rejected_at_open() {
+        let dir = tmp_dir("badframe");
+        let rows = demo_rows(12, 2);
+        let store = {
+            let mut w = BinStoreWriter::create(&dir, 2, 8, 12).unwrap().with_codec();
+            for (i, r) in rows.iter().enumerate() {
+                w.push_row(r, i as f32, 0).unwrap();
+            }
+            w.finalize().unwrap()
+        };
+        // Rebuild shard 0 with a garbage CODES frame (claims more bits
+        // per value than the payload holds), re-checksummed so only the
+        // decode check can catch it.
+        let entry = store.shard_entries()[0].clone();
+        let n = entry.rows as usize * 2;
+        let raw = store.read_section(0, FLAG_RAW, "RAW").unwrap();
+        let raw: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|b| f32::from_bits(u32::from_le_bytes(b.try_into().unwrap())))
+            .collect();
+        let targets = store.load_targets(0).unwrap();
+        let labels = store.load_labels(0).unwrap();
+        let mut bad_frame = [0u8; 9];
+        bad_frame[..4].copy_from_slice(&(n as u32).to_le_bytes());
+        bad_frame[8] = 16; // 16 bits/value, but zero payload bytes follow
+        let (mut bytes, checksum, _) = encode_shard(
+            entry.rows as usize,
+            2,
+            Some(&raw),
+            None,
+            Some(&targets),
+            Some(&labels),
+            1,
+            CODEC_FOR,
+        );
+        // Splice the bad CODES frame in after RAW and re-checksum.
+        let codes_off = HEADER_LEN + raw.len() * 4;
+        bytes.splice(codes_off..codes_off, bad_frame.iter().copied());
+        bytes[20] |= FLAG_CODES;
+        let mut h = Fnv1a::new();
+        h.update(&bytes[HEADER_LEN..]);
+        let fixed = h.finish();
+        bytes[24..32].copy_from_slice(&fixed.to_le_bytes());
+        let _ = checksum;
+        fs::write(dir.join(&entry.file), &bytes).unwrap();
+        // Patch the manifest so checksums and codes_bytes agree with
+        // the tampered shard, leaving decode as the only tripwire.
+        let (payload_json, _) = read_envelope_json(&dir.join(MANIFEST_FILE)).unwrap();
+        let mut payload: ManifestPayload = serde_json::from_str(&payload_json).unwrap();
+        payload.shards[0].checksum = format!("{fixed:016x}");
+        payload.shards[0].codes_bytes = bad_frame.len() as u64;
+        write_envelope_json(
+            &dir.join(MANIFEST_FILE),
+            &serde_json::to_string(&payload).unwrap(),
+        )
+        .unwrap();
+        let err = BinStore::open(&dir).expect_err("malformed frame must fail open");
+        assert_eq!(err.kind(), "decode", "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Failure injection: if finalize errors partway (a temp shard went
+    /// unreadable), the writer's drop guard must still remove every
+    /// spilled temp file.
+    #[test]
+    fn failed_finalize_leaves_no_temp_files() {
+        let dir = tmp_dir("failtmp");
+        let mut w = BinStoreWriter::create(&dir, 2, 8, 4).unwrap();
+        for (i, r) in demo_rows(10, 2).iter().enumerate() {
+            w.push_row(r, i as f32, 0).unwrap();
+        }
+        // Two temps have spilled; corrupt the first so finalize fails.
+        let victim = dir.join("shard-00000.tmp.bin");
+        assert!(victim.exists(), "expected a spilled temp shard");
+        fs::write(&victim, b"SMBS garbage").unwrap();
+        let err = w.finalize().expect_err("corrupt temp must fail finalize");
+        assert_ne!(err.kind(), "", "structured error expected");
         let leftovers: Vec<String> = fs::read_dir(&dir)
             .unwrap()
             .filter_map(|e| e.ok())

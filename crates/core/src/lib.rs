@@ -52,6 +52,7 @@ pub mod baselines;
 pub mod binstore;
 pub mod bundle;
 pub mod classify;
+pub mod codec;
 pub mod config;
 pub mod dataset;
 pub mod error;

@@ -365,6 +365,37 @@ pub fn write_regression_store(
     n_bins: usize,
     rows_per_shard: usize,
 ) -> Result<BinStore, MartError> {
+    write_regression_store_with(
+        dir,
+        corpus,
+        cfg,
+        n_bins,
+        rows_per_shard,
+        StoreOptions::default(),
+    )
+}
+
+/// On-disk layout options for [`write_regression_store_with`]. The
+/// layout is invisible to training — every combination decodes to the
+/// same bin codes and trains to byte-identical models (pinned by the
+/// out-of-core property suite).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreOptions {
+    /// Force u16 bin codes even when the bin count fits in a byte.
+    pub wide_codes: bool,
+    /// Compress CODES sections with the frame-of-reference codec.
+    pub compress: bool,
+}
+
+/// [`write_regression_store`] with explicit [`StoreOptions`].
+pub fn write_regression_store_with(
+    dir: &Path,
+    corpus: &ProfiledCorpus,
+    cfg: &PipelineConfig,
+    n_bins: usize,
+    rows_per_shard: usize,
+    opts: StoreOptions,
+) -> Result<BinStore, MartError> {
     let _span = obs::span("regression_store_write");
     let fc = FeatureConfig::extended();
     let ocs = OptCombo::enumerate();
@@ -397,12 +428,17 @@ pub fn write_regression_store(
                     }
                     let w = match &mut writer {
                         Some(w) => w,
-                        None => writer.insert(BinStoreWriter::create(
-                            dir,
-                            row.len(),
-                            n_bins,
-                            rows_per_shard,
-                        )?),
+                        None => {
+                            let mut w =
+                                BinStoreWriter::create(dir, row.len(), n_bins, rows_per_shard)?;
+                            if opts.wide_codes {
+                                w = w.with_wide_codes();
+                            }
+                            if opts.compress {
+                                w = w.with_codec();
+                            }
+                            writer.insert(w)
+                        }
                     };
                     w.push_row(&row, inst.time_ms.ln() as f32, oi as u32)?;
                 }

@@ -24,8 +24,49 @@ use crate::simd::{self, SimdIsa};
 use serde::{Deserialize, Serialize};
 use stencilmart_obs::counters;
 
-/// Maximum number of bins per feature (fits in `u8`).
+/// Maximum number of bins per feature in the resident
+/// [`BinnedMatrix`] (codes fit in `u8`).
 pub const MAX_BINS: usize = 255;
+
+/// Maximum number of bins per feature any storage backend may carry:
+/// the widest supported code word is `u16`, whose 65536 values cover
+/// bin indices `0..=65535`. Out-of-core stores may go past [`MAX_BINS`]
+/// up to this limit by widening their code words.
+pub const MAX_BINS_U16: usize = 65536;
+
+/// Bin-code storage word: `u8` for ≤256-bin stores, `u16` for stores up
+/// to [`MAX_BINS_U16`] bins. The grower's inner loops are generic over
+/// this, so both widths run the identical accumulation sequence (the
+/// word width changes only how a code is loaded, never which cell it
+/// addresses or in what order).
+pub trait BinCode: Copy + Send + Sync + 'static {
+    /// Widen to a histogram cell / bin index.
+    fn idx(self) -> usize;
+    /// Narrow from a bin count (callers guarantee it fits the width).
+    fn from_count(v: u32) -> Self;
+}
+
+impl BinCode for u8 {
+    #[inline(always)]
+    fn idx(self) -> usize {
+        self as usize
+    }
+    #[inline(always)]
+    fn from_count(v: u32) -> Self {
+        v as u8
+    }
+}
+
+impl BinCode for u16 {
+    #[inline(always)]
+    fn idx(self) -> usize {
+        self as usize
+    }
+    #[inline(always)]
+    fn from_count(v: u32) -> Self {
+        v as u16
+    }
+}
 
 /// Fixed row-block size for parallel histogram accumulation. This is a
 /// property of the *algorithm*, not of the machine: block boundaries
@@ -78,8 +119,53 @@ pub(crate) trait BinLike: Sync {
         isa: SimdIsa,
     );
     /// Write the bin code of `feature` for each of the ascending `rows`
-    /// into `out` (cleared first), aligned with `rows`.
-    fn feature_bins(&self, rows: &[usize], feature: usize, out: &mut Vec<u8>);
+    /// into `out` (cleared first), aligned with `rows`. Codes are
+    /// widened to `u16` so one signature serves every storage width.
+    fn feature_bins(&self, rows: &[usize], feature: usize, out: &mut Vec<u16>);
+
+    /// Resolve bin codes for many `(start, end, feature)` requests over
+    /// disjoint ascending ranges of `idx` in one batch, filling
+    /// `out[k]` for request `k`. The writes are positional (no float
+    /// arithmetic), so implementations may serve requests in any order;
+    /// sharded backends use that freedom to resolve each backing shard
+    /// once per batch instead of once per request.
+    fn feature_bins_many(
+        &self,
+        idx: &[usize],
+        reqs: &[(usize, usize, usize)],
+        out: &mut [Vec<u16>],
+    ) {
+        for (&(start, end, feature), buf) in reqs.iter().zip(out.iter_mut()) {
+            self.feature_bins(&idx[start..end], feature, buf);
+        }
+    }
+
+    /// Accumulate one partial histogram per task — `tasks[t]` is a
+    /// `(spec, start, end)` row-block of `idx` — returning the partials
+    /// aligned with `tasks`. Every partial must receive exactly the
+    /// additions of its ascending rows, in row order, starting from a
+    /// zeroed buffer: that contract (not the execution schedule) is
+    /// what keeps fits bit-identical across backends, worker counts,
+    /// and cache sizes. The default maps over tasks; sharded backends
+    /// override it with shard-major scheduling so each backing shard is
+    /// resolved once per call.
+    #[allow(clippy::too_many_arguments)]
+    fn build_partials(
+        &self,
+        par: bool,
+        grad: &[f32],
+        hess: &[f32],
+        idx: &[usize],
+        tasks: &[(usize, usize, usize)],
+        layout: &HistLayout,
+        isa: SimdIsa,
+    ) -> Vec<Vec<Cell>> {
+        par_map_if(par, tasks, |&(_, lo, hi)| {
+            let mut hist = vec![Cell::default(); layout.total];
+            self.accumulate(&mut hist, grad, hess, &idx[lo..hi], layout, isa);
+            hist
+        })
+    }
 }
 
 /// A feature matrix quantile-binned per column.
@@ -242,9 +328,12 @@ impl BinLike for BinnedMatrix {
         );
     }
 
-    fn feature_bins(&self, rows: &[usize], feature: usize, out: &mut Vec<u8>) {
+    fn feature_bins(&self, rows: &[usize], feature: usize, out: &mut Vec<u16>) {
         out.clear();
-        out.extend(rows.iter().map(|&i| self.bins[i * self.cols + feature]));
+        out.extend(
+            rows.iter()
+                .map(|&i| u16::from(self.bins[i * self.cols + feature])),
+        );
     }
 }
 
@@ -259,7 +348,10 @@ pub fn column_quantile_cuts(
     keys: &mut Vec<u32>,
     key_tmp: &mut Vec<u32>,
 ) -> Vec<f32> {
-    assert!((2..=MAX_BINS).contains(&n_bins), "n_bins must be 2..=255");
+    assert!(
+        (2..=MAX_BINS_U16).contains(&n_bins),
+        "n_bins must be 2..=65536"
+    );
     radix_sort_total(values, keys, key_tmp);
     values.dedup();
     let distinct = values.len();
@@ -291,6 +383,21 @@ pub fn bin_column_into(
     start: usize,
     stride: usize,
     out: &mut [u8],
+    pad_scratch: &mut Vec<f32>,
+) {
+    fill_column_bins(raw, cuts, start, stride, out, simd::dispatch(), pad_scratch);
+}
+
+/// [`bin_column_into`] for `u16` code words — the same cuts, the same
+/// branchless count, written into a wide code buffer. Out-of-core
+/// stores built with more than 256 bins use this variant (a bin index
+/// past 255 cannot fit a `u8`).
+pub fn bin_column_into_u16(
+    raw: &[f32],
+    cuts: &[f32],
+    start: usize,
+    stride: usize,
+    out: &mut [u16],
     pad_scratch: &mut Vec<f32>,
 ) {
     fill_column_bins(raw, cuts, start, stride, out, simd::dispatch(), pad_scratch);
@@ -358,12 +465,12 @@ fn radix_sort_total(vals: &mut Vec<f32>, keys: &mut Vec<u32>, tmp: &mut Vec<u32>
 /// exactly identical across dispatch tiers. `pad` is caller scratch for
 /// the SIMD padding, reused across columns instead of reallocated per
 /// column.
-fn fill_column_bins(
+fn fill_column_bins<C: BinCode>(
     raw: &[f32],
     col_cuts: &[f32],
     start: usize,
     stride: usize,
-    bins: &mut [u8],
+    bins: &mut [C],
     isa: SimdIsa,
     pad: &mut Vec<f32>,
 ) {
@@ -381,7 +488,7 @@ fn fill_column_bins(
     let _ = (isa, pad);
     for (r, &v) in raw.iter().enumerate() {
         // partition_point: number of cuts < v gives the bin.
-        bins[start + r * stride] = col_cuts.partition_point(|&cut| cut < v) as u8;
+        bins[start + r * stride] = C::from_count(col_cuts.partition_point(|&cut| cut < v) as u32);
     }
 }
 
@@ -510,7 +617,6 @@ impl BinnedTree {
         // so results stay deterministic for any worker count.
         idx.sort_unstable();
         let mut part_scratch: Vec<usize> = Vec::with_capacity(idx.len());
-        let mut bin_buf: Vec<u8> = Vec::new();
         let mut nodes = vec![BinnedNode::Leaf { value: 0.0 }];
         let mut spans: Vec<(usize, usize, f32)> = Vec::new();
 
@@ -543,6 +649,20 @@ impl BinnedTree {
             // share of all histogram work per tree).
             let children_are_leaves = depth + 1 >= cfg.max_depth;
 
+            // Resolve every splitting node's split-feature bin codes in
+            // one batch *before* any partition mutates `idx`: frontier
+            // segments are disjoint, so the reads commute, and a sharded
+            // backend serves the whole level with one sweep over its
+            // shards instead of one load cycle per node.
+            let reqs: Vec<(usize, usize, usize)> = frontier
+                .iter()
+                .zip(&best)
+                .filter_map(|(node, b)| b.map(|(feature, _)| (node.start, node.end, feature)))
+                .collect();
+            let mut bin_bufs: Vec<Vec<u16>> = vec![Vec::new(); reqs.len()];
+            bm.feature_bins_many(&idx, &reqs, &mut bin_bufs);
+            let mut bin_bufs = bin_bufs.into_iter();
+
             // Commit splits in frontier order: partition rows, allocate
             // child ids, and queue the smaller child for accumulation.
             let mut pending: Vec<PendingSplit> = Vec::new();
@@ -551,9 +671,9 @@ impl BinnedTree {
                     finalize_leaf(&mut nodes, &mut spans, &node, cfg);
                     continue;
                 };
+                let bin_buf = bin_bufs.next().expect("one resolved buffer per split");
                 let seg = &mut idx[node.start..node.end];
-                bm.feature_bins(seg, feature, &mut bin_buf);
-                let mid = stable_partition_by_bins(seg, &mut part_scratch, &bin_buf, bin as u8);
+                let mid = stable_partition_by_bins(seg, &mut part_scratch, &bin_buf, bin as u16);
                 if mid == 0 || mid == seg.len() {
                     finalize_leaf(&mut nodes, &mut spans, &node, cfg);
                     continue;
@@ -743,9 +863,9 @@ fn node_sums(
 /// paired SSE2 cell update; the scalar path is the oracle. Updates hit
 /// each cell in row order either way, so the two are bit-identical.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn accumulate_codes(
+pub(crate) fn accumulate_codes<C: BinCode>(
     hist: &mut [Cell],
-    codes: &[u8],
+    codes: &[C],
     row_base: usize,
     cols: usize,
     grad: &[f32],
@@ -769,7 +889,7 @@ pub(crate) fn accumulate_codes(
         let (g, h) = (grad[i], hess[i]);
         let base = (i - row_base) * cols;
         for (&off, &b) in layout.offsets.iter().zip(&codes[base..base + cols]) {
-            let cell = &mut hist[off + b as usize];
+            let cell = &mut hist[off + b.idx()];
             cell.g += g;
             cell.h += h;
         }
@@ -781,7 +901,7 @@ pub(crate) fn accumulate_codes(
 /// oracles).
 #[cfg(target_arch = "x86_64")]
 mod x86 {
-    use super::{Cell, HistLayout};
+    use super::{BinCode, Cell, HistLayout};
     use core::arch::x86_64::*;
 
     /// Branchless bin search: `count = #cuts < v` via eight-wide
@@ -792,12 +912,12 @@ mod x86 {
     /// non-empty multiple of 8 lanes; `bins` must cover
     /// `start + (raw.len() - 1) * stride`.
     #[target_feature(enable = "avx2")]
-    pub unsafe fn fill_bins_avx2(
+    pub unsafe fn fill_bins_avx2<C: BinCode>(
         raw: &[f32],
         padded_cuts: &[f32],
         start: usize,
         stride: usize,
-        bins: &mut [u8],
+        bins: &mut [C],
     ) {
         debug_assert_eq!(padded_cuts.len() % 8, 0);
         for (r, &v) in raw.iter().enumerate() {
@@ -810,7 +930,7 @@ mod x86 {
                 count += (_mm256_movemask_ps(lt) as u32).count_ones();
                 i += 8;
             }
-            *bins.get_unchecked_mut(start + r * stride) = count as u8;
+            *bins.get_unchecked_mut(start + r * stride) = C::from_count(count);
         }
     }
 
@@ -826,9 +946,9 @@ mod x86 {
     /// in `rows` relative to `row_base`; SSE2 is unconditionally
     /// available on x86_64.
     #[allow(clippy::too_many_arguments)]
-    pub unsafe fn accumulate_codes_sse2(
+    pub unsafe fn accumulate_codes_sse2<C: BinCode>(
         hist: &mut [Cell],
-        codes: &[u8],
+        codes: &[C],
         row_base: usize,
         cols: usize,
         grad: &[f32],
@@ -842,7 +962,7 @@ mod x86 {
             let gh = _mm_set_ps(0.0, 0.0, hess[i], grad[i]);
             let row = &codes[(i - row_base) * cols..(i - row_base) * cols + cols];
             for (&off, &b) in layout.offsets.iter().zip(row) {
-                let cell = base.add(off + b as usize) as *mut __m128i;
+                let cell = base.add(off + b.idx()) as *mut __m128i;
                 let cur = _mm_loadl_epi64(cell);
                 let sum = _mm_add_ps(_mm_castsi128_ps(cur), gh);
                 _mm_storel_epi64(cell, _mm_castps_si128(sum));
@@ -885,13 +1005,11 @@ fn build_histograms<B: BinLike + ?Sized>(
     // One tier decision per batch, shared by every worker: a batch
     // never mixes accumulation paths (they are bit-identical anyway —
     // the SSE2 path adds the same (g, h) pair to the same cell with one
-    // paired lane-add instead of two scalar adds).
+    // paired lane-add instead of two scalar adds). The backend owns the
+    // execution schedule (sharded stores run tasks shard-major); the
+    // per-task contract in [`BinLike::build_partials`] pins the result.
     let isa = simd::dispatch();
-    let partials = par_map_if(par, &tasks, |&(_, lo, hi)| {
-        let mut hist = vec![Cell::default(); layout.total];
-        bm.accumulate(&mut hist, grad, hess, &idx[lo..hi], layout, isa);
-        hist
-    });
+    let partials = bm.build_partials(par, grad, hess, idx, &tasks, layout, isa);
     counters::HIST_BUILDS.add(specs.len() as u64);
 
     let mut out: Vec<Vec<Cell>> = Vec::with_capacity(specs.len());
@@ -991,8 +1109,8 @@ fn level_split_search<B: BinLike + ?Sized>(
 fn stable_partition_by_bins(
     seg: &mut [usize],
     scratch: &mut Vec<usize>,
-    bins: &[u8],
-    thresh: u8,
+    bins: &[u16],
+    thresh: u16,
 ) -> usize {
     scratch.clear();
     let mut store = 0;

@@ -233,6 +233,8 @@ impl GbdtRegressor {
         let mut grad = vec![0.0f32; y.len()];
         let mut in_leaf = vec![false; y.len()];
         let par = worker_count() > 1;
+        let loads0 = counters::SHARD_LOADS.get();
+        let passes0 = counters::HIST_LEVEL_PASSES.get();
         for _ in 0..cfg.rounds {
             for (g, (p, t)) in grad.iter_mut().zip(pred.iter().zip(y)) {
                 *g = p - t;
@@ -243,6 +245,7 @@ impl GbdtRegressor {
             stream::apply_update_streamed(&tree, &spans, bins, &mut pred, cfg.eta, &mut in_leaf);
             trees.push(AnyTree::Binned(tree));
         }
+        publish_loads_per_level(loads0, passes0);
         GbdtRegressor {
             base,
             eta: cfg.eta,
@@ -333,10 +336,13 @@ impl GbdtClassifier {
         let _span = obs::span("gbdt_fit");
         let class_par = worker_count() > 1 && classes > 1;
         let tree_par = worker_count() > 1 && !class_par;
+        let loads0 = counters::SHARD_LOADS.get();
+        let passes0 = counters::HIST_LEVEL_PASSES.get();
         let ks: Vec<usize> = (0..classes).collect();
         let boosters = par_map_if(class_par, &ks, |&k| {
             fit_one_vs_rest_streamed(bins, labels, k, cfg, tree_par)
         });
+        publish_loads_per_level(loads0, passes0);
         GbdtClassifier {
             classes,
             eta: cfg.eta,
@@ -447,6 +453,19 @@ fn fit_one_vs_rest_streamed(
         trees.push(AnyTree::Binned(tree));
     }
     trees
+}
+
+/// Publish the `shard_loads_per_level_milli` gauge from the counter
+/// deltas of one streamed fit: `1000 × shard loads / histogram level
+/// passes` since `(loads0, passes0)` were sampled. The figure the
+/// shard-major schedule optimizes — O(shards) per pass instead of
+/// O(shards × active nodes).
+fn publish_loads_per_level(loads0: u64, passes0: u64) {
+    let loads = counters::SHARD_LOADS.get().saturating_sub(loads0);
+    let passes = counters::HIST_LEVEL_PASSES.get().saturating_sub(passes0);
+    if let Some(milli) = (loads * 1000).checked_div(passes) {
+        counters::SHARD_LOADS_PER_LEVEL.set(milli);
+    }
 }
 
 #[cfg(test)]

@@ -14,25 +14,99 @@
 //! `value <= threshold ⟺ bin(value) <= bin(threshold)` and the bin-code
 //! traversal reaches exactly the leaf a raw-feature traversal reaches.
 //!
+//! Histogram batches run **shard-major** (see DESIGN.md §17): the
+//! `build_partials` override walks shards ascending in the outer loop
+//! and, per resident shard, accumulates that shard's run of every task
+//! into the task's persistent partial. Because the grower's row lists
+//! ascend, a task meets each shard in at most one contiguous run and
+//! its runs arrive in ascending shard order — so each partial receives
+//! exactly the additions of its rows, in row order, which is the
+//! `build_partials` contract. Each shard is resolved once per level
+//! instead of once per `(node, block)`, dropping loads per level from
+//! O(shards × active nodes) to O(shards).
+//!
 //! [`BinnedMatrix`]: crate::gbdt::binned::BinnedMatrix
 
 use crate::gbdt::binned::{accumulate_codes, BinnedNode, BinnedTree, Cell, HistLayout};
 use crate::gbdt::tree::LeafSpans;
+use crate::par::par_for_each_mut;
 use crate::simd::SimdIsa;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use stencilmart_obs::counters;
 
-/// Loader callback resolving one shard's row-major bin codes
-/// (`rows_in_shard * cols` bytes). Called outside the cache lock, so
+/// Loader callback resolving one shard's stored CODES section bytes —
+/// raw row-major `u8` codes for plain stores, or a codec frame /
+/// little-endian `u16` words for compressed / wide stores (the paired
+/// [`ShardDecoder`] interprets them). Called outside the cache lock, so
 /// loads for different shards overlap across workers.
 pub type ShardLoader = Box<dyn Fn(usize) -> io::Result<Arc<Vec<u8>>> + Send + Sync>;
 
+/// Decoder turning one shard's cached section bytes into usable bin
+/// codes. The cache stores the *encoded* bytes (so a compressed store
+/// fits more shards per byte of budget) and decoding happens once per
+/// shard resolution — amortized across a whole level by the shard-major
+/// schedule. Stores without a codec or wide codes need no decoder; the
+/// cached bytes are served as `u8` codes directly.
+pub type ShardDecoder = Box<dyn Fn(usize, &[u8]) -> io::Result<ShardCodes> + Send + Sync>;
+
+/// One shard's resolved bin codes, row-major, at whichever width the
+/// backing store uses. Which variant a store produces never changes the
+/// accumulation order — [`BinCode`](crate::gbdt::binned::BinCode) makes
+/// the inner loops width-generic — so `u8` and `u16` stores of the same
+/// data fit bit-identical trees.
+pub enum ShardCodes {
+    /// Raw `u8` codes shared with the cache entry (no decode step).
+    Shared(Arc<Vec<u8>>),
+    /// Decoded `u8` codes (codec stores at byte width).
+    OwnedU8(Vec<u8>),
+    /// Decoded `u16` codes (stores with more than 256 bins).
+    U16(Vec<u16>),
+}
+
+impl ShardCodes {
+    /// The code at flat row-major offset `at`, widened to `u16`.
+    #[inline]
+    pub fn bin(&self, at: usize) -> u16 {
+        match self {
+            ShardCodes::Shared(c) => u16::from(c[at]),
+            ShardCodes::OwnedU8(c) => u16::from(c[at]),
+            ShardCodes::U16(c) => c[at],
+        }
+    }
+
+    /// Accumulate one ascending run through the width-generic kernel.
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate(
+        &self,
+        hist: &mut [Cell],
+        row_base: usize,
+        cols: usize,
+        grad: &[f32],
+        hess: &[f32],
+        rows: &[usize],
+        layout: &HistLayout,
+        isa: SimdIsa,
+    ) {
+        match self {
+            ShardCodes::Shared(c) => {
+                accumulate_codes(hist, c, row_base, cols, grad, hess, rows, layout, isa)
+            }
+            ShardCodes::OwnedU8(c) => {
+                accumulate_codes(hist, c, row_base, cols, grad, hess, rows, layout, isa)
+            }
+            ShardCodes::U16(c) => {
+                accumulate_codes(hist, c, row_base, cols, grad, hess, rows, layout, isa)
+            }
+        }
+    }
+}
+
 /// A sharded bin-code store the GBDT grower can train from without the
 /// full code matrix ever being resident: shard `s` covers global rows
-/// `offsets[s] .. offsets[s+1]`, and at most `capacity` shards of codes
-/// are cached at once.
+/// `offsets[s] .. offsets[s+1]`, and at most `capacity` shards of
+/// (encoded) codes are cached at once.
 pub struct ShardedBins {
     /// Per-shard start row, plus the total row count as a sentinel
     /// (`len == shards + 1`).
@@ -42,9 +116,12 @@ pub struct ShardedBins {
     /// are binned against the corpus-wide cut vectors).
     cuts: Vec<Vec<f32>>,
     cache: ShardCache,
+    /// Interprets cached section bytes for codec / wide-code stores;
+    /// `None` serves cached bytes directly as `u8` codes.
+    decoder: Option<ShardDecoder>,
 }
 
-/// One cached shard: `(shard id, codes, last-use tick)`.
+/// One cached shard: `(shard id, encoded bytes, last-use tick)`.
 type CacheEntry = (usize, Arc<Vec<u8>>, u64);
 
 struct ShardCache {
@@ -53,10 +130,20 @@ struct ShardCache {
     /// runs at.
     entries: Mutex<Vec<CacheEntry>>,
     tick: AtomicU64,
+    hits: AtomicU64,
+    lookups: AtomicU64,
     loader: ShardLoader,
 }
 
 impl ShardCache {
+    /// Record one lookup and republish the cache's lifetime hit rate
+    /// (per-mille) to the `shard_cache_hit_rate_pm` gauge.
+    fn note_lookup(&self, hit: bool) {
+        let hits = self.hits.fetch_add(hit as u64, Ordering::Relaxed) + hit as u64;
+        let lookups = self.lookups.fetch_add(1, Ordering::Relaxed) + 1;
+        counters::SHARD_CACHE_HIT_RATE_PM.set(hits * 1000 / lookups);
+    }
+
     fn get(&self, shard: usize) -> Arc<Vec<u8>> {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         {
@@ -64,6 +151,7 @@ impl ShardCache {
             if let Some(e) = entries.iter_mut().find(|e| e.0 == shard) {
                 e.2 = tick;
                 counters::SHARD_CACHE_HITS.inc();
+                self.note_lookup(true);
                 return Arc::clone(&e.1);
             }
         }
@@ -71,6 +159,7 @@ impl ShardCache {
         // shards in parallel; a rare duplicate load of the same shard
         // costs I/O but never correctness.
         counters::SHARD_LOADS.inc();
+        self.note_lookup(false);
         let codes = (self.loader)(shard)
             .unwrap_or_else(|e| panic!("shard {shard} failed to load during training: {e}"));
         let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
@@ -96,7 +185,9 @@ impl ShardCache {
 impl ShardedBins {
     /// Build a store over `shard_rows[s]` rows per shard, `cols`
     /// features binned against the global `cuts`, keeping at most
-    /// `cache_shards` shards of codes resident.
+    /// `cache_shards` shards of codes resident. The loader's bytes are
+    /// served directly as `u8` codes; stores with a codec or wide code
+    /// words attach an interpreter with [`ShardedBins::with_decoder`].
     pub fn new(
         shard_rows: &[usize],
         cols: usize,
@@ -120,9 +211,19 @@ impl ShardedBins {
                 capacity: cache_shards.max(1),
                 entries: Mutex::new(Vec::new()),
                 tick: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                lookups: AtomicU64::new(0),
                 loader,
             },
+            decoder: None,
         }
+    }
+
+    /// Attach a decoder that interprets the loader's cached bytes
+    /// (codec frames, little-endian `u16` words, …) into [`ShardCodes`].
+    pub fn with_decoder(mut self, decoder: ShardDecoder) -> ShardedBins {
+        self.decoder = Some(decoder);
+        self
     }
 
     /// Total rows across all shards.
@@ -150,9 +251,20 @@ impl ShardedBins {
         self.offsets.partition_point(|&o| o <= row) - 1
     }
 
-    /// Invoke `f(shard base row, shard codes, run)` for each maximal run
-    /// of `rows` (ascending) that falls inside a single shard.
-    fn for_shard_runs(&self, rows: &[usize], mut f: impl FnMut(usize, &[u8], &[usize])) {
+    /// Fetch one shard through the cache and decode it for use.
+    fn resolve(&self, shard: usize) -> ShardCodes {
+        let bytes = self.cache.get(shard);
+        match &self.decoder {
+            None => ShardCodes::Shared(bytes),
+            Some(d) => d(shard, &bytes)
+                .unwrap_or_else(|e| panic!("shard {shard} failed to decode during training: {e}")),
+        }
+    }
+
+    /// Maximal single-shard runs of the ascending `rows`, as
+    /// `(shard, lo, hi)` index ranges into `rows`.
+    fn runs_in(&self, rows: &[usize]) -> Vec<(usize, usize, usize)> {
+        let mut runs = Vec::new();
         let mut j = 0;
         while j < rows.len() {
             let s = self.shard_of(rows[j]);
@@ -161,9 +273,18 @@ impl ShardedBins {
             while k < rows.len() && rows[k] < hi {
                 k += 1;
             }
-            let codes = self.cache.get(s);
-            f(self.offsets[s], &codes, &rows[j..k]);
+            runs.push((s, j, k));
             j = k;
+        }
+        runs
+    }
+
+    /// Invoke `f(shard base row, shard codes, run)` for each maximal run
+    /// of `rows` (ascending) that falls inside a single shard.
+    fn for_shard_runs(&self, rows: &[usize], mut f: impl FnMut(usize, &ShardCodes, &[usize])) {
+        for (s, lo, hi) in self.runs_in(rows) {
+            let codes = self.resolve(s);
+            f(self.offsets[s], &codes, &rows[lo..hi]);
         }
     }
 }
@@ -195,16 +316,115 @@ impl super::binned::BinLike for ShardedBins {
         isa: SimdIsa,
     ) {
         self.for_shard_runs(rows, |base, codes, run| {
-            accumulate_codes(hist, codes, base, self.cols, grad, hess, run, layout, isa);
+            codes.accumulate(hist, base, self.cols, grad, hess, run, layout, isa);
         });
     }
 
-    fn feature_bins(&self, rows: &[usize], feature: usize, out: &mut Vec<u8>) {
+    fn feature_bins(&self, rows: &[usize], feature: usize, out: &mut Vec<u16>) {
         out.clear();
         out.reserve(rows.len());
         self.for_shard_runs(rows, |base, codes, run| {
-            out.extend(run.iter().map(|&i| codes[(i - base) * self.cols + feature]));
+            out.extend(
+                run.iter()
+                    .map(|&i| codes.bin((i - base) * self.cols + feature)),
+            );
         });
+    }
+
+    /// Shard-major batch resolve: one descending sweep over the shards
+    /// serves every request. Code writes are positional (no float
+    /// arithmetic), so the sweep direction is free — walking shards
+    /// *descending* starts on the LRU tail the ascending histogram pass
+    /// just left resident and leaves the low shards cached for the next
+    /// level's ascending pass (boustrophedon reuse).
+    fn feature_bins_many(
+        &self,
+        idx: &[usize],
+        reqs: &[(usize, usize, usize)],
+        out: &mut [Vec<u16>],
+    ) {
+        let mut runs_by_shard: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); self.shards()];
+        for (k, &(start, end, _)) in reqs.iter().enumerate() {
+            out[k].clear();
+            out[k].resize(end - start, 0);
+            for (s, lo, hi) in self.runs_in(&idx[start..end]) {
+                runs_by_shard[s].push((k, lo, hi));
+            }
+        }
+        for s in (0..self.shards()).rev() {
+            if runs_by_shard[s].is_empty() {
+                continue;
+            }
+            let codes = self.resolve(s);
+            let base = self.offsets[s];
+            for &(k, lo, hi) in &runs_by_shard[s] {
+                let (start, _, feature) = reqs[k];
+                for r in lo..hi {
+                    out[k][r] = codes.bin((idx[start + r] - base) * self.cols + feature);
+                }
+            }
+        }
+    }
+
+    /// The tentpole schedule: shards ascending in the outer loop, tasks
+    /// in the inner. A task's rows ascend, so it meets each shard in at
+    /// most one maximal run and its runs arrive in ascending shard
+    /// order — accumulating each run into the task's *persistent*
+    /// partial (allocated zeroed once, never merged from fresh buffers)
+    /// therefore replays exactly the float-addition sequence of the
+    /// default row-major schedule, for any cache size or worker count.
+    /// Each shard is resolved once per call instead of once per task.
+    fn build_partials(
+        &self,
+        par: bool,
+        grad: &[f32],
+        hess: &[f32],
+        idx: &[usize],
+        tasks: &[(usize, usize, usize)],
+        layout: &HistLayout,
+        isa: SimdIsa,
+    ) -> Vec<Vec<Cell>> {
+        counters::HIST_LEVEL_PASSES.inc();
+        let mut runs_by_shard: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); self.shards()];
+        for (t, &(_, lo, hi)) in tasks.iter().enumerate() {
+            for (s, rlo, rhi) in self.runs_in(&idx[lo..hi]) {
+                runs_by_shard[s].push((t, lo + rlo, lo + rhi));
+            }
+        }
+        let mut partials: Vec<Vec<Cell>> = tasks
+            .iter()
+            .map(|_| vec![Cell::default(); layout.total])
+            .collect();
+        for (s, runs) in runs_by_shard.iter().enumerate() {
+            if runs.is_empty() {
+                continue;
+            }
+            let codes = self.resolve(s);
+            let base = self.offsets[s];
+            // Runs within one shard belong to distinct tasks, so their
+            // partials never alias: take them out, accumulate across
+            // workers, and put them back.
+            let mut work: Vec<(Vec<Cell>, usize, usize)> = runs
+                .iter()
+                .map(|&(t, lo, hi)| (std::mem::take(&mut partials[t]), lo, hi))
+                .collect();
+            par_for_each_mut(par, &mut work, |(hist, lo, hi)| {
+                codes.accumulate(
+                    hist,
+                    base,
+                    self.cols,
+                    grad,
+                    hess,
+                    &idx[*lo..*hi],
+                    layout,
+                    isa,
+                );
+            });
+            for (&(t, _, _), (hist, _, _)) in runs.iter().zip(work) {
+                partials[t] = hist;
+            }
+        }
+        partials
     }
 }
 
@@ -212,22 +432,23 @@ impl super::binned::BinLike for ShardedBins {
 /// `threshold` is by construction one of the column's cut values, and
 /// cuts are strictly increasing, so `partition_point` recovers the
 /// split bin exactly (`value <= cuts[b] ⟺ bin(value) <= b`).
-fn node_split_bins(tree: &BinnedTree, cuts: &[Vec<f32>]) -> Vec<u8> {
+fn node_split_bins(tree: &BinnedTree, cuts: &[Vec<f32>]) -> Vec<u16> {
     tree.nodes()
         .iter()
         .map(|n| match n {
             BinnedNode::Split {
                 feature, threshold, ..
-            } => cuts[*feature].partition_point(|&c| c < *threshold) as u8,
+            } => cuts[*feature].partition_point(|&c| c < *threshold) as u16,
             BinnedNode::Leaf { .. } => 0,
         })
         .collect()
 }
 
-/// Traverse `tree` over one row of bin codes, using the precomputed
-/// per-node split bins. Reaches exactly the leaf a raw-feature
-/// traversal reaches (see [`node_split_bins`]).
-fn predict_codes(tree: &BinnedTree, split_bins: &[u8], code_row: &[u8]) -> f32 {
+/// Traverse `tree` over one row of bin codes (`code_at(f)` resolves the
+/// row's code for feature `f`), using the precomputed per-node split
+/// bins. Reaches exactly the leaf a raw-feature traversal reaches (see
+/// [`node_split_bins`]).
+fn predict_codes(tree: &BinnedTree, split_bins: &[u16], code_at: impl Fn(usize) -> u16) -> f32 {
     let nodes = tree.nodes();
     let mut cur = 0usize;
     loop {
@@ -239,7 +460,7 @@ fn predict_codes(tree: &BinnedTree, split_bins: &[u8], code_row: &[u8]) -> f32 {
                 right,
                 ..
             } => {
-                cur = if code_row[*feature] <= split_bins[cur] {
+                cur = if code_at(*feature) <= split_bins[cur] {
                     *left
                 } else {
                     *right
@@ -280,8 +501,8 @@ pub(crate) fn apply_update_streamed(
     let split_bins = node_split_bins(tree, &bins.cuts);
     bins.for_shard_runs(&uncovered, |base, codes, run| {
         for &i in run {
-            let row = &codes[(i - base) * bins.cols..(i - base + 1) * bins.cols];
-            scores[i] += eta * predict_codes(tree, &split_bins, row);
+            let row = (i - base) * bins.cols;
+            scores[i] += eta * predict_codes(tree, &split_bins, |f| codes.bin(row + f));
         }
     });
 }
@@ -335,6 +556,45 @@ mod tests {
         FeatureMatrix::new(rows, cols, data)
     }
 
+    /// A sharded store whose decoder widens every cached `u8` code into
+    /// an owned `u16` buffer — the narrowest faithful model of a
+    /// wide-code store, sharing its loader bytes with a plain `u8`
+    /// store so the two can be compared bit-for-bit.
+    fn widened_from_matrix(
+        x: &FeatureMatrix,
+        n_bins: usize,
+        shard_rows: &[usize],
+        cache_shards: usize,
+    ) -> ShardedBins {
+        let bm = BinnedMatrix::new(x, n_bins);
+        let cols = x.cols();
+        let cuts: Vec<Vec<f32>> = (0..cols)
+            .map(|c| (0..bm.n_bins(c) - 1).map(|b| bm.cut_value(c, b)).collect())
+            .collect();
+        let mut shards: Vec<Arc<Vec<u8>>> = Vec::new();
+        let mut row = 0usize;
+        for &r in shard_rows {
+            let mut codes = Vec::with_capacity(r * cols);
+            for i in row..row + r {
+                codes.extend((0..cols).map(|c| bm.bin(i, c) as u8));
+            }
+            shards.push(Arc::new(codes));
+            row += r;
+        }
+        ShardedBins::new(
+            shard_rows,
+            cols,
+            cuts,
+            cache_shards,
+            Box::new(move |s| Ok(Arc::clone(&shards[s]))),
+        )
+        .with_decoder(Box::new(|_, bytes| {
+            Ok(ShardCodes::U16(
+                bytes.iter().map(|&b| u16::from(b)).collect(),
+            ))
+        }))
+    }
+
     #[test]
     fn sharded_feature_bins_match_resident() {
         let x = demo_matrix(30, 3);
@@ -357,6 +617,7 @@ mod tests {
         let x = demo_matrix(40, 4);
         let bm = BinnedMatrix::new(&x, 16);
         let sb = sharded_from_matrix(&x, 16, &[13, 13, 14]);
+        let wide = widened_from_matrix(&x, 16, &[13, 13, 14], 2);
         let layout = HistLayout::new(&bm);
         let grad: Vec<f32> = (0..40).map(|i| (i as f32 * 0.31).cos()).collect();
         let hess: Vec<f32> = (0..40)
@@ -366,12 +627,109 @@ mod tests {
         for isa in [crate::simd::dispatch(), SimdIsa::Scalar] {
             let mut ha = vec![Cell::default(); layout.total];
             let mut hb = vec![Cell::default(); layout.total];
+            let mut hw = vec![Cell::default(); layout.total];
             BinLike::accumulate(&bm, &mut ha, &grad, &hess, &rows, &layout, isa);
             BinLike::accumulate(&sb, &mut hb, &grad, &hess, &rows, &layout, isa);
-            for (a, b) in ha.iter().zip(&hb) {
+            BinLike::accumulate(&wide, &mut hw, &grad, &hess, &rows, &layout, isa);
+            for (a, (b, w)) in ha.iter().zip(hb.iter().zip(&hw)) {
                 assert_eq!(a.g.to_bits(), b.g.to_bits());
                 assert_eq!(a.h.to_bits(), b.h.to_bits());
+                assert_eq!(a.g.to_bits(), w.g.to_bits(), "u16 decode diverged");
+                assert_eq!(a.h.to_bits(), w.h.to_bits(), "u16 decode diverged");
             }
+        }
+    }
+
+    #[test]
+    fn shard_major_partials_match_default_schedule() {
+        // The override must reproduce the default (task-major) schedule
+        // bit-for-bit: same tasks, same partials, any cache size /
+        // parallelism — including tasks that straddle shard boundaries
+        // and an empty task.
+        let _guard = crate::par::test_env_lock();
+        let x = demo_matrix(50, 3);
+        let bm = BinnedMatrix::new(&x, 8);
+        let layout = HistLayout::new(&bm);
+        let grad: Vec<f32> = (0..50).map(|i| (i as f32 * 0.23).sin()).collect();
+        let hess: Vec<f32> = (0..50)
+            .map(|i| 1.0 + (i as f32 * 0.11).cos().abs())
+            .collect();
+        let idx: Vec<usize> = (0..50).collect();
+        let tasks = [
+            (0usize, 0usize, 9usize),
+            (0, 9, 18),
+            (1, 18, 18),
+            (2, 18, 41),
+            (3, 41, 50),
+        ];
+        let isa = crate::simd::dispatch();
+        let expect = BinLike::build_partials(&bm, false, &grad, &hess, &idx, &tasks, &layout, isa);
+        for cache in [1usize, 2, 5] {
+            for par in [false, true] {
+                let sb = widened_from_matrix(&x, 8, &[11, 13, 9, 17], cache);
+                let got =
+                    BinLike::build_partials(&sb, par, &grad, &hess, &idx, &tasks, &layout, isa);
+                assert_eq!(expect.len(), got.len());
+                for (e, g) in expect.iter().zip(&got) {
+                    for (a, b) in e.iter().zip(g) {
+                        assert_eq!(a.g.to_bits(), b.g.to_bits(), "cache {cache} par {par}");
+                        assert_eq!(a.h.to_bits(), b.h.to_bits(), "cache {cache} par {par}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_major_pass_resolves_each_shard_once() {
+        let _guard = crate::par::test_env_lock();
+        stencilmart_obs::set_enabled(true);
+        let x = demo_matrix(48, 2);
+        let shard_rows = [8usize; 6];
+        // Cache of 1: any schedule that revisits a shard must reload it.
+        let mut sb = sharded_from_matrix(&x, 8, &shard_rows);
+        sb.cache.capacity = 1;
+        let layout = HistLayout::new(&sb);
+        let grad = vec![1.0f32; 48];
+        let hess = vec![1.0f32; 48];
+        let idx: Vec<usize> = (0..48).collect();
+        // 8 tasks of 6 rows each: every task straddles shard boundaries
+        // under the old row-major schedule this costs ~2 loads per task.
+        let tasks: Vec<(usize, usize, usize)> = (0..8).map(|t| (t, t * 6, (t + 1) * 6)).collect();
+        let before = (
+            counters::SHARD_LOADS.get(),
+            counters::HIST_LEVEL_PASSES.get(),
+        );
+        let _ = BinLike::build_partials(
+            &sb,
+            false,
+            &grad,
+            &hess,
+            &idx,
+            &tasks,
+            &layout,
+            SimdIsa::Scalar,
+        );
+        assert_eq!(
+            counters::SHARD_LOADS.get() - before.0,
+            6,
+            "one load per shard per pass"
+        );
+        assert_eq!(counters::HIST_LEVEL_PASSES.get() - before.1, 1);
+    }
+
+    #[test]
+    fn batched_feature_bins_match_singles() {
+        let x = demo_matrix(40, 3);
+        let sb = sharded_from_matrix(&x, 8, &[15, 15, 10]);
+        let idx: Vec<usize> = (0..40).filter(|i| i % 3 != 1).collect();
+        let reqs = [(0usize, 10usize, 2usize), (10, 11, 0), (11, idx.len(), 1)];
+        let mut batched: Vec<Vec<u16>> = vec![Vec::new(); reqs.len()];
+        BinLike::feature_bins_many(&sb, &idx, &reqs, &mut batched);
+        for (&(start, end, feature), got) in reqs.iter().zip(&batched) {
+            let mut single = Vec::new();
+            BinLike::feature_bins(&sb, &idx[start..end], feature, &mut single);
+            assert_eq!(&single, got, "req ({start}, {end}, {feature})");
         }
     }
 
@@ -402,6 +760,8 @@ mod tests {
         let tail: Vec<usize> = (20..24).collect();
         BinLike::feature_bins(&sb, &tail, 0, &mut buf);
         assert!(counters::SHARD_CACHE_HITS.get() > before.2);
+        let rate = counters::SHARD_CACHE_HIT_RATE_PM.get();
+        assert!(rate > 0 && rate <= 1000, "hit-rate gauge in per-mille");
     }
 
     #[test]
@@ -418,9 +778,9 @@ mod tests {
             .collect();
         let split_bins = node_split_bins(&tree, &cuts);
         for r in 0..60 {
-            let codes: Vec<u8> = (0..3).map(|c| bm.bin(r, c) as u8).collect();
+            let codes: Vec<u16> = (0..3).map(|c| bm.bin(r, c) as u16).collect();
             assert_eq!(
-                predict_codes(&tree, &split_bins, &codes).to_bits(),
+                predict_codes(&tree, &split_bins, |f| codes[f]).to_bits(),
                 tree.predict_row(x.row(r)).to_bits(),
                 "row {r}"
             );

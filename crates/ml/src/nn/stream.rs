@@ -2,8 +2,10 @@
 //! from a [`ChunkSource`] (in practice the on-disk shard store in the
 //! `stencilmart` crate) instead of gathering from one resident tensor.
 //! While the optimizer consumes one chunk, a background thread
-//! prefetches the next through a bounded channel, so disk latency
-//! overlaps compute and peak memory stays at ~two chunks regardless of
+//! prefetches ahead through a bounded channel whose depth comes from
+//! `STENCILMART_PREFETCH` (default 2 — double buffering: one chunk
+//! decoding behind the one being consumed), so disk latency overlaps
+//! compute and peak memory stays at ~`depth + 1` chunks regardless of
 //! corpus size.
 //!
 //! Epoch order is seeded and data-dependent only: the chunk visit order
@@ -85,9 +87,13 @@ fn check_chunk(c: &Chunk, i: usize, objective: &Objective) -> io::Result<()> {
 }
 
 /// The streamed epoch loop shared by both objectives. Chunks arrive
-/// through a 1-deep bounded channel fed by a scoped prefetch thread; if
-/// the trainer bails early (a malformed chunk), dropping the receiver
-/// unblocks the producer's pending `send` so the scope always joins.
+/// through a bounded channel ([`obs::runtime::prefetch_depth`] deep)
+/// fed by a scoped prefetch thread; if the trainer bails early (a
+/// malformed chunk), dropping the receiver unblocks the producer's
+/// pending `send` so the scope always joins. Depth only changes how
+/// far the reader runs ahead, never which batch sees which rows —
+/// epoch order is drawn from the training RNG before the channel
+/// exists.
 fn train_streamed(
     net: &mut dyn Net,
     source: &dyn ChunkSource,
@@ -96,6 +102,7 @@ fn train_streamed(
 ) -> io::Result<Vec<f32>> {
     let n_chunks = source.n_chunks();
     assert!(n_chunks > 0, "empty chunk source");
+    let depth = obs::runtime::prefetch_depth();
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
     let mut history = Vec::with_capacity(cfg.epochs);
@@ -107,7 +114,7 @@ fn train_streamed(
         let _epoch = obs::span("train_epoch");
         let mut order: Vec<usize> = (0..n_chunks).collect();
         order.shuffle(&mut rng);
-        let (tx, rx) = std::sync::mpsc::sync_channel::<io::Result<Chunk>>(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<io::Result<Chunk>>(depth);
         let stats: io::Result<(f32, usize, u64)> = std::thread::scope(|s| {
             s.spawn(move || {
                 for &c in &order {
@@ -324,6 +331,38 @@ mod tests {
         assert_eq!(hist_a, hist_b);
         assert_eq!(preds_a, preds_b);
         assert!((preds_a[0] - -0.75).abs() < 0.2, "f(-0.5) ≈ {}", preds_a[0]);
+    }
+
+    /// Prefetch depth changes only how far the reader runs ahead —
+    /// the same seed must give the exact same loss history and
+    /// predictions at every channel depth.
+    #[test]
+    fn prefetch_depth_never_changes_results() {
+        let _guard = crate::par::test_env_lock();
+        let source = classification_source(24, 6, 5);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            lr: 5e-3,
+            seed: 2,
+        };
+        let fit = || {
+            let mut nrng = ChaCha8Rng::seed_from_u64(13);
+            let mut net = Sequential::new()
+                .push(Dense::new(2, 8, &mut nrng))
+                .push(Relu::new())
+                .push(Dense::new(8, 2, &mut nrng));
+            let hist = train_classifier_streamed(&mut net, &source, &cfg).unwrap();
+            let probe = Tensor::from_vec(&[2, 2], vec![-0.5, 0.75, 0.25, -1.0]);
+            (hist, predict_classes(&mut net, &probe))
+        };
+        std::env::remove_var("STENCILMART_PREFETCH");
+        let reference = fit();
+        for depth in ["1", "4", "8"] {
+            std::env::set_var("STENCILMART_PREFETCH", depth);
+            assert_eq!(fit(), reference, "depth {depth} diverged");
+        }
+        std::env::remove_var("STENCILMART_PREFETCH");
     }
 
     #[test]

@@ -84,6 +84,38 @@ where
     }
 }
 
+/// Parallel in-place mutation: apply `f` to every item of `items`,
+/// splitting the slice into one contiguous chunk per worker. Falls back
+/// to a sequential loop when `par` is false, only one worker is
+/// available, or there is at most one item. Each item is visited
+/// exactly once and items never alias, so callers that keep per-item
+/// work independent (e.g. disjoint histogram partials) get the same
+/// result for any worker count.
+pub fn par_for_each_mut<T, F>(par: bool, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let workers = worker_count().min(items.len().max(1));
+    if !par || workers <= 1 || items.len() <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        for chunk in items.chunks_mut(chunk) {
+            let f = &f;
+            s.spawn(move || {
+                for item in chunk {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
 /// Parallel map over an index range `0..n`.
 pub fn par_map_indices<R, F>(n: usize, f: F) -> Vec<R>
 where
@@ -130,6 +162,18 @@ mod tests {
     fn par_map_handles_edge_sizes() {
         assert!(par_map::<u32, u32, _>(&[], |&x| x).is_empty());
         assert_eq!(par_map(&[5u32], |&x| x * x), vec![25]);
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_every_item_once() {
+        for par in [false, true] {
+            let mut items: Vec<u64> = (0..53).collect();
+            par_for_each_mut(par, &mut items, |x| *x = *x * 2 + 1);
+            let expect: Vec<u64> = (0..53).map(|x| x * 2 + 1).collect();
+            assert_eq!(items, expect, "par = {par}");
+        }
+        let mut empty: Vec<u8> = Vec::new();
+        par_for_each_mut(true, &mut empty, |_| unreachable!());
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub struct RunManifest {
     pub config_hash: u64,
     /// Resolved worker count ([`crate::runtime::worker_count`]).
     pub workers: usize,
+    /// Resolved streamed-NN prefetch channel depth
+    /// ([`crate::runtime::prefetch_depth`]) — recorded so out-of-core
+    /// runs are reproducible down to their memory envelope.
+    pub prefetch: usize,
     /// Active SIMD instruction-set tier ([`crate::runtime::simd_isa`])
     /// at manifest-creation time — the path that produced the run's
     /// numbers, so reports from different tiers are never conflated.
@@ -39,6 +43,7 @@ impl RunManifest {
             seed,
             config_hash: fnv1a(config_repr.as_bytes()),
             workers: crate::runtime::worker_count(),
+            prefetch: crate::runtime::prefetch_depth(),
             isa: crate::runtime::simd_isa().name().to_string(),
             git_rev: git_rev(),
             created_unix_ms: SystemTime::now()
@@ -166,6 +171,7 @@ mod tests {
         assert_eq!(m.seed, 99);
         assert_eq!(m.config_hash, fnv1a(b"{\"cfg\":1}"));
         assert!(m.workers >= 1);
+        assert!((1..=64).contains(&m.prefetch));
         assert!(["scalar", "avx2", "avx512"].contains(&m.isa.as_str()));
         assert!(!m.git_rev.is_empty());
         assert!(m.created_unix_ms > 0);

@@ -78,8 +78,8 @@ pub fn metrics_json(manifest: &RunManifest) -> String {
     }
     let _ = write!(
         out,
-        "],\n    \"seed\": {},\n    \"config_hash\": \"{:016x}\",\n    \"workers\": {},\n    \"isa\": ",
-        manifest.seed, manifest.config_hash, manifest.workers
+        "],\n    \"seed\": {},\n    \"config_hash\": \"{:016x}\",\n    \"workers\": {},\n    \"prefetch\": {},\n    \"isa\": ",
+        manifest.seed, manifest.config_hash, manifest.workers, manifest.prefetch
     );
     esc(&manifest.isa, &mut out);
     out.push_str(",\n    \"git_rev\": ");
@@ -228,6 +228,7 @@ mod tests {
             seed: 7,
             config_hash: 0xABCD,
             workers: 2,
+            prefetch: 2,
             isa: "avx2".into(),
             git_rev: "deadbeef".into(),
             created_unix_ms: 1234,
@@ -262,6 +263,7 @@ mod tests {
         let manifest = field(&v, "manifest");
         assert_eq!(*field(manifest, "seed"), Value::Int(7));
         assert_eq!(*field(manifest, "workers"), Value::Int(2));
+        assert_eq!(*field(manifest, "prefetch"), Value::Int(2));
         assert_eq!(*field(manifest, "isa"), Value::Str("avx2".into()));
         let Value::Array(stages) = field(manifest, "stages") else {
             panic!("stages not an array");

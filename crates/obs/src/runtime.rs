@@ -25,6 +25,25 @@ pub fn worker_count() -> usize {
         .unwrap_or(1)
 }
 
+/// Depth of the streamed-NN prefetch channel (decoded chunks the
+/// background reader may run ahead of the trainer, each one shard of
+/// rows resident): `STENCILMART_PREFETCH` when set to a parseable value
+/// in `1..=64`, otherwise 2 — one chunk being consumed, one decoding
+/// behind it (double buffering). Values outside the range fall back to
+/// the default rather than erroring, matching [`worker_count`]; the cap
+/// keeps a typo like `6400` from silently buying a resident dataset.
+/// Re-read on every call so tests can flip it at runtime.
+pub fn prefetch_depth() -> usize {
+    if let Ok(v) = std::env::var("STENCILMART_PREFETCH") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if (1..=64).contains(&n) {
+                return n;
+            }
+        }
+    }
+    2
+}
+
 /// Instruction-set tier a runtime-dispatched kernel may use. Ordered:
 /// every tier implies the ones below it, so kernels that only have an
 /// AVX2 variant run it on `Avx512` hosts too (`>=` comparisons).
@@ -145,6 +164,20 @@ mod tests {
         assert!(worker_count() >= 1);
         std::env::remove_var("STENCILMART_THREADS");
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn prefetch_depth_is_validated_and_defaults_to_two() {
+        let _guard = crate::test_guard();
+        std::env::remove_var("STENCILMART_PREFETCH");
+        assert_eq!(prefetch_depth(), 2);
+        std::env::set_var("STENCILMART_PREFETCH", "5");
+        assert_eq!(prefetch_depth(), 5);
+        for bad in ["0", "65", "lots", "-1", ""] {
+            std::env::set_var("STENCILMART_PREFETCH", bad);
+            assert_eq!(prefetch_depth(), 2, "invalid value {bad:?} must fall back");
+        }
+        std::env::remove_var("STENCILMART_PREFETCH");
     }
 
     #[test]

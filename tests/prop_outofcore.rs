@@ -5,10 +5,14 @@
 //! serialize models byte-equal to the resident pipeline.
 
 use proptest::prelude::*;
+use stencilmart::binstore::BinStore;
 use stencilmart::config::PipelineConfig;
 use stencilmart::dataset::{ProfiledCorpus, RegressionDataset};
 use stencilmart::models::train_gb_regressor_streamed;
-use stencilmart::shard::{build_sharded_corpus, merge_corpus_shards, write_regression_store};
+use stencilmart::shard::{
+    build_sharded_corpus, merge_corpus_shards, write_regression_store, write_regression_store_with,
+    StoreOptions,
+};
 use stencilmart_gpusim::GpuId;
 use stencilmart_ml::gbdt::GbdtRegressor;
 use stencilmart_stencil::pattern::Dim;
@@ -111,5 +115,101 @@ fn disk_backed_gbdt_pipeline_matches_resident_pipeline() {
     // rounds are too slow here, so just check it runs and predicts).
     let model = train_gb_regressor_streamed(&store, 3, 2).unwrap();
     assert_eq!(model.predict(&ds.features).len(), ds.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The on-disk layout — u8 vs u16 bin codes, compressed vs plain CODES
+/// sections — and the shard-cache size must all be invisible to
+/// training: every combination serializes the streamed model byte-equal
+/// to the resident fit, including sub-covering caches (capacity 1 and
+/// shards/2) that force repeated evictions mid-tree.
+#[test]
+fn store_layout_and_cache_size_are_invisible_to_training() {
+    let _guard = env_lock();
+    let cfg = corpus_cfg(23, 5);
+    let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+    let ds = RegressionDataset::build(&corpus, &cfg);
+
+    let mut gb_cfg = stencilmart::models::gbdt_regressor_config(3);
+    gb_cfg.rounds = 6;
+    let expect =
+        serde_json::to_string(&GbdtRegressor::fit(&ds.features, &ds.target_ln_ms, &gb_cfg))
+            .unwrap();
+
+    for wide_codes in [false, true] {
+        for compress in [false, true] {
+            let dir = tmp_dir(&format!("layout_w{wide_codes}_c{compress}"));
+            let opts = StoreOptions {
+                wide_codes,
+                compress,
+            };
+            let store =
+                write_regression_store_with(&dir, &corpus, &cfg, gb_cfg.bins, 97, opts).unwrap();
+            let shards = store.shard_count();
+            assert!(shards > 1, "test must actually shard");
+            assert_eq!(store.code_width(), if wide_codes { 2 } else { 1 });
+            let mut streamed_cfg = gb_cfg;
+            streamed_cfg.bins = store.n_bins();
+            let targets = store.all_targets().unwrap();
+            for cache in [1, (shards / 2).max(1), shards + 1] {
+                let bins = store.sharded_bins(cache);
+                let streamed = GbdtRegressor::fit_streamed(&bins, &targets, &streamed_cfg);
+                assert_eq!(
+                    serde_json::to_string(&streamed).unwrap(),
+                    expect,
+                    "diverged at wide_codes={wide_codes} compress={compress} cache={cache}"
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Hostile input: truncations and bit flips anywhere in a *compressed*
+/// shard file must surface as structured `MartError`s from `open`,
+/// never a panic — the checksum catches silent flips and the codec
+/// decode check catches frames the checksum cannot vouch for.
+#[test]
+fn corrupted_compressed_store_fails_structurally_never_panics() {
+    let _guard = env_lock();
+    let cfg = corpus_cfg(31, 4);
+    let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+    let dir = tmp_dir("hostile");
+    let opts = StoreOptions {
+        wide_codes: false,
+        compress: true,
+    };
+    let store = write_regression_store_with(&dir, &corpus, &cfg, 16, 120, opts).unwrap();
+    let victim = dir.join(&store.shard_entries()[0].file);
+    let pristine = std::fs::read(&victim).unwrap();
+    let known = [
+        "io",
+        "parse",
+        "wrong_version",
+        "checksum_mismatch",
+        "invalid_shard",
+        "decode",
+    ];
+
+    // Truncate at a spread of lengths, including mid-header and
+    // mid-CODES-frame.
+    for keep in [0, 3, 17, 31, 32, pristine.len() / 2, pristine.len() - 1] {
+        std::fs::write(&victim, &pristine[..keep]).unwrap();
+        let err = BinStore::open(&dir).expect_err("truncated shard must fail open");
+        assert!(known.contains(&err.kind()), "keep={keep}: {err}");
+    }
+
+    // Flip one bit at a stride of positions across the whole file.
+    for pos in (0..pristine.len()).step_by(97) {
+        let mut bytes = pristine.clone();
+        bytes[pos] ^= 0x10;
+        std::fs::write(&victim, &bytes).unwrap();
+        match BinStore::open(&dir) {
+            // A flip in shard 0 must never produce a clean open: the
+            // header, checksum, or decode check has to object.
+            Ok(_) => panic!("bit flip at {pos} went unnoticed"),
+            Err(err) => assert!(known.contains(&err.kind()), "pos={pos}: {err}"),
+        }
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
