@@ -18,7 +18,11 @@
 //! values differ, the gate refuses outright: a scalar-tier run is not
 //! comparable to an AVX2/AVX-512 baseline, so the comparison would
 //! produce a meaningless verdict either way (reports predating the field
-//! are compared as before). Out-of-core reports get two extra checks:
+//! are compared as before). The same refusal applies to the top-level
+//! `gpu_matrix` field (gpusim_profile): per-vendor throughput over an
+//! 8-GPU matrix is not comparable to a 4-GPU baseline, so a differing
+//! matrix size means the baseline must be regenerated, not gated
+//! against. Out-of-core reports get two extra checks:
 //! the top-level lower-is-better `shard_loads_per_level` (disk loads per
 //! tree level under a sub-covering cache) is gated at the same tolerance
 //! when both reports carry it, and `gbdt_streamed_vs_resident` must stay
@@ -133,6 +137,19 @@ fn main() {
             ));
         }
         println!("isa: {base_isa} (both reports)");
+    }
+    let matrix_of = |doc: &Value| doc.field("gpu_matrix").ok().and_then(|v| v.as_f64().ok());
+    if let (Some(base_m), Some(cur_m)) = (matrix_of(&baseline), matrix_of(&current)) {
+        if base_m != cur_m {
+            fail(&format!(
+                "GPU-matrix mismatch: baseline {} was recorded over {base_m:.0} GPU \
+                 presets but the current run {} used {cur_m:.0} — per-vendor \
+                 throughput over different matrices is not comparable; regenerate \
+                 the baseline for this matrix instead of gating across it",
+                paths[0], paths[1]
+            ));
+        }
+        println!("gpu matrix: {base_m:.0} presets (both reports)");
     }
     let base_entries = entries(&baseline, &paths[0]);
     let cur_entries = entries(&current, &paths[1]);

@@ -5,7 +5,8 @@
 //! ```
 //!
 //! Targets: `table1 table2 table3 fig1 fig2 fig3 fig4 fig9 fig10 fig11
-//! fig12 fig13 fig14 fig15 all` (default: `all`).
+//! fig12 fig13 fig14 fig15 logo all` (default: `all`). `logo` is the
+//! multi-vendor leave-one-GPU-out transfer study (not a paper figure).
 //!
 //! With `--metrics-out PATH` the run additionally writes an observability
 //! report (run manifest + per-stage wall times + pipeline counters) to
@@ -45,7 +46,7 @@ fn main() {
                     "usage: experiments [--scale quick|default|paper] \
                      [--metrics-out PATH] [TARGET...]\n\
                      targets: table1 table2 table3 fig1 fig2 fig3 fig4 fig9 fig10 \
-                     fig11 fig12 fig13 fig14 fig15 all"
+                     fig11 fig12 fig13 fig14 fig15 logo all"
                 );
                 return;
             }
@@ -107,6 +108,7 @@ fn run(cfg: stencilmart::config::PipelineConfig, targets: &[String]) {
         "fig13",
         "fig14",
         "fig15",
+        "logo",
         "ablations",
     ];
     let needs_ctx = ctx_targets.iter().any(|t| want(t));
@@ -171,6 +173,13 @@ fn run(cfg: stencilmart::config::PipelineConfig, targets: &[String]) {
         eprintln!("[fig15] evaluating rental advisor (cost efficiency)...");
         let res = exp::fig14_15(&ctx, Criterion::CostEfficiency);
         println!("{}", exp::render_advisor(&res, 15));
+    }
+    if want("logo") {
+        eprintln!("[logo] leave-one-GPU-out transfer across the matrix...");
+        let t = std::time::Instant::now();
+        let suite = exp::logo_suite(&ctx);
+        eprintln!("[logo] trained in {:.1}s", t.elapsed().as_secs_f64());
+        println!("{}", suite.render());
     }
     if want("ablations") {
         use stencilmart::ablations;

@@ -5,24 +5,28 @@
 //! ```
 //!
 //! Times the corpus-profiling pipeline — every stencil × 30 OCs × sampled
-//! parameter settings × all four GPU presets, the dominant cost of
-//! StencilMART data collection — and writes `BENCH_gpusim.json` (default)
-//! with per-entry throughput figures:
+//! parameter settings × the full multi-vendor GPU matrix, the dominant
+//! cost of StencilMART data collection — and writes `BENCH_gpusim.json`
+//! (default) with per-vendor throughput entries:
 //!
-//! * `profile_corpus_{2d,3d}_4gpu` — profiled (stencil, GPU) tasks per
-//!   second over the full corpus,
-//! * `simulate_calls_{2d,3d}_4gpu` — simulator evaluations per second
-//!   (successful instances + crashes), counted by the obs layer.
+//! * `profile_corpus_{2d,3d}_{nvidia,amd}` — profiled (stencil, GPU)
+//!   tasks per second over that vendor's presets,
+//! * `simulate_calls_{2d,3d}_{nvidia,amd}` — simulator evaluations per
+//!   second (successful instances + crashes), counted by the obs layer.
 //!
-//! Entries carry a `throughput` field (higher is better) which the CI
-//! `bench_gate` compares against the committed baseline exactly like the
-//! `gflops` field of `BENCH_ml_kernels.json`. `--workers` pins the worker
-//! pool (default 4, matching the perf-gate runners); `--quick` shrinks
-//! the corpus for CI smoke runs.
+//! The report also records the top-level `gpu_matrix` size
+//! (`GpuId::ALL.len()`); `bench_gate` refuses to compare reports whose
+//! matrices differ, since per-vendor throughput over different preset
+//! sets is not the same measurement. Entries carry a `throughput` field
+//! (higher is better) which the CI `bench_gate` compares against the
+//! committed baseline exactly like the `gflops` field of
+//! `BENCH_ml_kernels.json`. `--workers` pins the worker pool (default 4,
+//! matching the perf-gate runners); `--quick` shrinks the corpus for CI
+//! smoke runs.
 
 use serde::Value;
 use std::time::Instant;
-use stencilmart_gpusim::{profile_corpus_multi, GpuArch, GpuId, NoiseModel, ProfileConfig};
+use stencilmart_gpusim::{profile_corpus_multi, GpuArch, GpuId, NoiseModel, ProfileConfig, Vendor};
 use stencilmart_obs::{self as obs, counters};
 use stencilmart_stencil::generator::StencilGenerator;
 use stencilmart_stencil::pattern::Dim;
@@ -57,54 +61,85 @@ fn entry(name: &str, shape: &str, unit: &str, throughput: f64, elapsed_s: f64) -
     ])
 }
 
-/// Profile one corpus on every GPU preset once; returns (seconds,
+/// Profile one corpus on the given presets once; returns (seconds,
 /// simulate calls made).
-fn run_once(patterns: &[stencilmart_stencil::pattern::StencilPattern], grid: usize) -> (f64, u64) {
+fn run_once(
+    patterns: &[stencilmart_stencil::pattern::StencilPattern],
+    grid: usize,
+    archs: &[GpuArch],
+) -> (f64, u64) {
     let cfg = ProfileConfig {
         samples_per_oc: 8,
         noise: NoiseModel::default(),
         seed: 0x5EED,
     };
     let before = counters::OC_INSTANCES_SIMULATED.get() + counters::CRASHES_OBSERVED.get();
-    let archs: Vec<GpuArch> = GpuId::ALL.into_iter().map(GpuArch::preset).collect();
     let t = Instant::now();
-    let out = profile_corpus_multi(patterns, grid, &archs, &cfg);
+    let out = profile_corpus_multi(patterns, grid, archs, &cfg);
     std::hint::black_box(&out);
     let secs = t.elapsed().as_secs_f64();
     let calls = counters::OC_INSTANCES_SIMULATED.get() + counters::CRASHES_OBSERVED.get() - before;
     (secs, calls)
 }
 
+/// The matrix's vendors, in `GpuId::ALL` order.
+fn vendors() -> Vec<Vendor> {
+    let mut vendors = Vec::new();
+    for g in GpuId::ALL {
+        if !vendors.contains(&g.vendor()) {
+            vendors.push(g.vendor());
+        }
+    }
+    vendors
+}
+
 fn bench_dim(budget: Budget, dim: Dim, entries: &mut Vec<Value>) {
     let grid = if dim == Dim::D2 { 8192 } else { 512 };
     let mut generator = StencilGenerator::new(0xBE7C ^ dim.rank() as u64);
     let patterns = generator.generate_corpus(dim, 4, budget.stencils);
-    let tasks = (patterns.len() * GpuId::ALL.len()) as f64;
-    eprintln!(
-        "[gpusim_profile] {dim}: {} stencils x {} GPUs...",
-        patterns.len(),
-        GpuId::ALL.len()
-    );
-    let (mut best_secs, mut calls) = (f64::INFINITY, 0u64);
-    for _ in 0..budget.samples {
-        let (secs, c) = run_once(&patterns, grid);
-        best_secs = best_secs.min(secs);
-        calls = c; // identical every run (deterministic pipeline)
+    // One entry pair per vendor: AMD presets exercise different
+    // occupancy/crash paths (wavefront granules, 64 KiB LDS rejections,
+    // Infinity-Cache boost) than NVIDIA ones, so a slowdown confined to
+    // one vendor's code path must not hide in a matrix-wide average.
+    for vendor in vendors() {
+        let archs: Vec<GpuArch> = GpuId::ALL
+            .into_iter()
+            .filter(|g| g.vendor() == vendor)
+            .map(GpuArch::preset)
+            .collect();
+        let tag = vendor.name().to_ascii_lowercase();
+        let tasks = (patterns.len() * archs.len()) as f64;
+        eprintln!(
+            "[gpusim_profile] {dim} {tag}: {} stencils x {} GPUs...",
+            patterns.len(),
+            archs.len()
+        );
+        let (mut best_secs, mut calls) = (f64::INFINITY, 0u64);
+        for _ in 0..budget.samples {
+            let (secs, c) = run_once(&patterns, grid, &archs);
+            best_secs = best_secs.min(secs);
+            calls = c; // identical every run (deterministic pipeline)
+        }
+        entries.push(entry(
+            &format!("profile_corpus_{dim}_{tag}"),
+            &format!(
+                "{} stencils x {} {} GPUs x 30 OCs x 8 samples",
+                patterns.len(),
+                archs.len(),
+                vendor.name()
+            ),
+            "stencil-GPU tasks/s",
+            tasks / best_secs,
+            best_secs,
+        ));
+        entries.push(entry(
+            &format!("simulate_calls_{dim}_{tag}"),
+            &format!("{calls} simulator evaluations"),
+            "simulate calls/s",
+            calls as f64 / best_secs,
+            best_secs,
+        ));
     }
-    entries.push(entry(
-        &format!("profile_corpus_{dim}_4gpu"),
-        &format!("{} stencils x 4 GPUs x 30 OCs x 8 samples", patterns.len()),
-        "stencil-GPU tasks/s",
-        tasks / best_secs,
-        best_secs,
-    ));
-    entries.push(entry(
-        &format!("simulate_calls_{dim}_4gpu"),
-        &format!("{calls} simulator evaluations"),
-        "simulate calls/s",
-        calls as f64 / best_secs,
-        best_secs,
-    ));
 }
 
 fn main() {
@@ -145,12 +180,13 @@ fn main() {
     let doc = Value::Object(vec![
         (
             "description".into(),
-            Value::Str("profiler throughput: corpus x 30 OCs x 4 GPU presets".into()),
+            Value::Str("profiler throughput: corpus x 30 OCs, per vendor of the GPU matrix".into()),
         ),
         (
             "isa".into(),
             Value::Str(obs::runtime::simd_isa().name().into()),
         ),
+        ("gpu_matrix".into(), Value::Float(GpuId::ALL.len() as f64)),
         ("workers".into(), Value::Float(workers as f64)),
         ("quick".into(), Value::Bool(quick)),
         ("entries".into(), Value::Array(entries)),

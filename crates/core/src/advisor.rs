@@ -258,10 +258,19 @@ mod tests {
 
     #[test]
     fn criterion_gpu_sets() {
-        assert_eq!(Criterion::PurePerformance.gpus().len(), 4);
+        assert_eq!(Criterion::PurePerformance.gpus().len(), GpuId::ALL.len());
         let cost = Criterion::CostEfficiency.gpus();
-        assert_eq!(cost.len(), 3);
+        // Every priced GPU and nothing else; the consumer cards (2080 Ti,
+        // 6900 XT) carry no rental price.
+        let priced = GpuId::ALL
+            .iter()
+            .filter(|&&g| GpuArch::preset(g).rental_per_hr.is_some())
+            .count();
+        assert_eq!(cost.len(), priced);
+        assert!(cost.len() >= 6, "AMD datacenter parts must be priced");
         assert!(!cost.contains(&GpuId::Rtx2080Ti));
+        assert!(!cost.contains(&GpuId::Rx6900Xt));
+        assert!(cost.contains(&GpuId::Mi100));
     }
 
     #[test]
@@ -331,7 +340,7 @@ mod tests {
             Criterion::CostEfficiency,
             0,
         );
-        assert_eq!(res.share.len(), 3);
+        assert_eq!(res.share.len(), Criterion::CostEfficiency.gpus().len());
         assert!(res.instances > 0);
     }
 }

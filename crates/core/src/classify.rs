@@ -1,10 +1,13 @@
 //! OC-selection evaluation: k-fold cross-validation of the classification
-//! mechanisms (paper §V-B, Fig. 9).
+//! mechanisms (paper §V-B, Fig. 9), plus leave-one-GPU-out transfer
+//! across the multi-vendor matrix.
 
-use crate::dataset::ClassificationDataset;
+use crate::dataset::{ClassificationDataset, ProfiledCorpus};
 use crate::models::{ClassifierKind, TrainedClassifier};
+use crate::pcc::OcMerging;
 use serde::{Deserialize, Serialize};
-use stencilmart_ml::data::KFold;
+use stencilmart_gpusim::{GpuArch, GpuId};
+use stencilmart_ml::data::{FeatureMatrix, KFold};
 use stencilmart_ml::metrics::accuracy;
 use stencilmart_ml::par::par_map_indices;
 
@@ -72,12 +75,85 @@ pub fn evaluate_classifier(
     }
 }
 
+/// Leave-one-GPU-out OC-selection transfer across the GPU matrix.
+///
+/// Pools every training GPU's classification rows, appends the
+/// hardware-characteristic feature vector ([`GpuArch::feature_vector`])
+/// to each row — the only signal distinguishing architectures — trains
+/// one classifier on the pool, and reports accuracy on the held-out GPU,
+/// which contributes zero training rows. With AMD presets in the matrix
+/// this includes genuine cross-vendor holdout: an NVIDIA-only training
+/// pool predicting OC selection for a wavefront-64 LDS-limited part.
+///
+/// Returns `None` when the corpus was not profiled on `held_out` or no
+/// other GPU remains to train on.
+pub fn leave_one_gpu_out(
+    kind: ClassifierKind,
+    corpus: &ProfiledCorpus,
+    merging: &OcMerging,
+    held_out: GpuId,
+    seed: u64,
+) -> Option<f64> {
+    let gpus: Vec<GpuId> = corpus.profiles.iter().map(|(g, _)| *g).collect();
+    if !gpus.contains(&held_out) || gpus.len() < 2 {
+        return None;
+    }
+    let mut feat_rows: Vec<Vec<f32>> = Vec::new();
+    let mut tensor_rows: Vec<Vec<f32>> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    let mut train_idx: Vec<usize> = Vec::new();
+    let mut test_idx: Vec<usize> = Vec::new();
+    let mut dim = None;
+    // Training GPUs first, the held-out GPU's rows after, so indices
+    // partition cleanly and follow the corpus's GPU order.
+    let ordered = gpus
+        .iter()
+        .copied()
+        .filter(|&g| g != held_out)
+        .chain(std::iter::once(held_out));
+    for gpu in ordered {
+        let ds = ClassificationDataset::build(corpus, merging, gpu);
+        dim = Some(ds.dim);
+        let hw: Vec<f32> = GpuArch::preset(gpu)
+            .feature_vector()
+            .iter()
+            .map(|&v| v as f32)
+            .collect();
+        for r in 0..ds.len() {
+            let mut row = ds.features.row(r).to_vec();
+            row.extend_from_slice(&hw);
+            let idx = feat_rows.len();
+            if gpu == held_out {
+                test_idx.push(idx);
+            } else {
+                train_idx.push(idx);
+            }
+            feat_rows.push(row);
+            tensor_rows.push(ds.tensors.row(r).to_vec());
+            labels.push(ds.labels[r]);
+        }
+    }
+    let features = FeatureMatrix::from_rows(feat_rows.iter().map(Vec::as_slice));
+    let tensors = FeatureMatrix::from_rows(tensor_rows.iter().map(Vec::as_slice));
+    let mut model = TrainedClassifier::train(
+        kind,
+        dim?,
+        merging.classes(),
+        &features,
+        &tensors,
+        &labels,
+        &train_idx,
+        seed,
+    );
+    let preds = model.predict(&features, &tensors, &test_idx);
+    let truth: Vec<usize> = test_idx.iter().map(|&i| labels[i]).collect();
+    Some(accuracy(&preds, &truth))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::PipelineConfig;
-    use crate::dataset::ProfiledCorpus;
-    use stencilmart_gpusim::GpuId;
     use stencilmart_stencil::pattern::Dim;
 
     fn tiny_dataset() -> ClassificationDataset {
@@ -116,5 +192,29 @@ mod tests {
         let a = evaluate_classifier(ClassifierKind::Gbdt, &ds, 3, 7);
         let b = evaluate_classifier(ClassifierKind::Gbdt, &ds, 3, 7);
         assert_eq!(a.predictions, b.predictions);
+    }
+
+    #[test]
+    fn classification_logo_crosses_the_vendor_boundary() {
+        // NVIDIA-only training pool, AMD holdout: the transfer must run
+        // end to end and produce a bounded accuracy, and be
+        // deterministic. A GPU the corpus never profiled returns None.
+        let cfg = PipelineConfig {
+            stencils_per_dim: 12,
+            samples_per_oc: 2,
+            gpus: vec![GpuId::V100, GpuId::A100, GpuId::Mi100],
+            ..PipelineConfig::default()
+        };
+        let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
+        let merging = corpus.derive_merging(5);
+        let acc = leave_one_gpu_out(ClassifierKind::Gbdt, &corpus, &merging, GpuId::Mi100, 0)
+            .expect("MI100 was profiled");
+        assert!((0.0..=1.0).contains(&acc), "accuracy {acc}");
+        let again =
+            leave_one_gpu_out(ClassifierKind::Gbdt, &corpus, &merging, GpuId::Mi100, 0).unwrap();
+        assert_eq!(acc, again);
+        assert!(
+            leave_one_gpu_out(ClassifierKind::Gbdt, &corpus, &merging, GpuId::P100, 0).is_none()
+        );
     }
 }

@@ -113,7 +113,7 @@ mod tests {
         assert_eq!(c.grid_3d, 512);
         assert_eq!(c.oc_classes, 5);
         assert_eq!(c.folds, 5);
-        assert_eq!(c.gpus.len(), 4);
+        assert_eq!(c.gpus.len(), GpuId::ALL.len());
     }
 
     #[test]

@@ -406,8 +406,11 @@ mod tests {
         let ds = RegressionDataset::build(&corpus, &cfg);
         assert!(ds.len() <= 300);
         assert!(ds.len() > 50);
-        // 18 extended stencil + 6 OC + 8 param + 4 hw columns.
-        assert_eq!(ds.features.cols(), 18 + 6 + 8 + 4);
+        // 18 extended stencil + 6 OC + 8 param + arch-feature columns.
+        assert_eq!(
+            ds.features.cols(),
+            18 + 6 + 8 + GpuArch::feature_names().len()
+        );
         assert_eq!(ds.tensors.rows(), ds.len());
         assert!(ds.target_ln_ms.iter().all(|t| t.is_finite()));
     }
@@ -418,7 +421,10 @@ mod tests {
         cfg.include_grid_size = true;
         let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
         let ds = RegressionDataset::build(&corpus, &cfg);
-        assert_eq!(ds.features.cols(), 18 + 6 + 8 + 4 + 1);
+        assert_eq!(
+            ds.features.cols(),
+            18 + 6 + 8 + GpuArch::feature_names().len() + 1
+        );
         assert_eq!(ds.features.at(0, ds.features.cols() - 1), 13.0); // log2(8192)
     }
 
@@ -429,7 +435,7 @@ mod tests {
         let ds = RegressionDataset::build(&corpus, &cfg);
         let swapped = ds.row_with_gpu(0, GpuId::A100, &cfg);
         let hw = GpuArch::preset(GpuId::A100).feature_vector();
-        let tail = &swapped[swapped.len() - 4..];
+        let tail = &swapped[swapped.len() - GpuArch::feature_names().len()..];
         for (a, b) in tail.iter().zip(&hw) {
             assert!((*a as f64 - b).abs() < 1e-6);
         }

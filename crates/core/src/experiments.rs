@@ -12,7 +12,9 @@ use crate::pcc;
 use crate::regress::{evaluate_regressor, RegressorEval};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
-use stencilmart_gpusim::{host_machines, profile_stencil, GpuArch, GpuId, OptCombo, ProfileConfig};
+use stencilmart_gpusim::{
+    host_machines, profile_stencil, GpuArch, GpuId, OptCombo, ProfileConfig, Vendor,
+};
 use stencilmart_obs as obs;
 use stencilmart_stencil::canonical::{suite, CanonicalStencil};
 use stencilmart_stencil::features::FeatureConfig;
@@ -405,7 +407,11 @@ impl Fig4Result {
         let header: Vec<String> = std::iter::once("stencil".to_string())
             .chain(self.gpus.iter().map(|g| g.name().to_string()))
             .collect();
-        let widths = vec![12, 8, 8, 8, 8];
+        // One width per column — `fmt_row` zips, so a short width list
+        // would silently drop the extra GPUs' columns.
+        let widths: Vec<usize> = std::iter::once(12)
+            .chain(self.gpus.iter().map(|_| 8))
+            .collect();
         let _ = writeln!(s, "  {}", fmt_row(&header, &widths));
         for (name, speedups) in &self.rows {
             let cells: Vec<String> = std::iter::once(name.clone())
@@ -810,6 +816,125 @@ pub fn render_advisor(results: &[(Dim, AdvisorResult)], fig_no: usize) -> String
     s
 }
 
+// ---------------------------------------------------------------------------
+// Multi-vendor leave-one-GPU-out transfer
+// ---------------------------------------------------------------------------
+
+/// One leave-one-GPU-out transfer measurement: the named GPU contributes
+/// zero training rows and both model families must extrapolate to it
+/// from the hardware-characteristic features alone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogoEntry {
+    /// Stencil dimensionality.
+    pub dim: Dim,
+    /// The held-out GPU.
+    pub gpu: GpuId,
+    /// The held-out GPU's vendor.
+    pub vendor: Vendor,
+    /// Whether the training pool contains at least one GPU of the
+    /// *other* vendor — a genuine cross-vendor transfer.
+    pub cross_vendor: bool,
+    /// OC-selection accuracy on the held-out GPU (GBDT), if it was
+    /// profiled.
+    pub class_accuracy: Option<f64>,
+    /// Execution-time MAPE (%) on the held-out GPU (GBRegressor), if it
+    /// was profiled.
+    pub regr_mape: Option<f64>,
+}
+
+/// Leave-one-GPU-out results across the full matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogoSuite {
+    /// One entry per `(dim, held-out GPU)`.
+    pub entries: Vec<LogoEntry>,
+}
+
+/// Hold out each GPU of the matrix in turn and measure how well
+/// OC-selection classification and execution-time regression transfer to
+/// it from the remaining GPUs. With AMD presets in the configured matrix
+/// every holdout is a cross-vendor transfer: the pool mixes warp-32 and
+/// wavefront-64 parts and the held-out architecture is represented only
+/// through [`GpuArch::feature_vector`].
+pub fn logo_suite(ctx: &ExperimentContext) -> LogoSuite {
+    let _span = obs::span("logo_suite");
+    let mut entries = Vec::new();
+    for dim in ctx.dims() {
+        let corpus = ctx.corpus(dim);
+        let merging = ctx.merging(dim);
+        let ds = RegressionDataset::build(corpus, &ctx.cfg);
+        for &gpu in &ctx.cfg.gpus {
+            let class_accuracy = crate::classify::leave_one_gpu_out(
+                ClassifierKind::Gbdt,
+                corpus,
+                merging,
+                gpu,
+                ctx.cfg.seed,
+            );
+            let regr_mape = crate::regress::leave_one_gpu_out(
+                RegressorKind::GbRegressor,
+                &ds,
+                gpu,
+                ctx.cfg.seed,
+            );
+            let cross_vendor = ctx
+                .cfg
+                .gpus
+                .iter()
+                .any(|&g| g != gpu && g.vendor() != gpu.vendor());
+            entries.push(LogoEntry {
+                dim,
+                gpu,
+                vendor: gpu.vendor(),
+                cross_vendor,
+                class_accuracy,
+                regr_mape,
+            });
+        }
+    }
+    LogoSuite { entries }
+}
+
+impl LogoSuite {
+    /// Render the leave-one-GPU-out transfer table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "Leave-one-GPU-out transfer across the multi-vendor matrix\n\
+             (held-out GPU contributes zero training rows; GBDT classifier,\n\
+             GBRegressor; cross-vendor = training pool spans the other vendor)\n",
+        );
+        let mut last_dim = None;
+        for e in &self.entries {
+            if last_dim != Some(e.dim) {
+                let _ = writeln!(s, "  {} stencils:", e.dim);
+                let _ = writeln!(
+                    s,
+                    "    {:<8} {:<7} {:>12} {:>10} {:>10}",
+                    "held-out", "vendor", "cross-vendor", "class acc", "MAPE %"
+                );
+                last_dim = Some(e.dim);
+            }
+            let acc = e
+                .class_accuracy
+                .map(|a| format!("{:.3}", a))
+                .unwrap_or_else(|| "-".to_string());
+            let mape = e
+                .regr_mape
+                .map(|m| format!("{:.1}", m))
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                s,
+                "    {:<8} {:<7} {:>12} {:>10} {:>10}",
+                e.gpu.name(),
+                e.vendor.name(),
+                if e.cross_vendor { "yes" } else { "no" },
+                acc,
+                mape
+            );
+        }
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -873,7 +998,15 @@ mod tests {
         for (_, speedups) in &r.rows {
             assert!((speedups[ti_col] - 1.0).abs() < 1e-9);
         }
-        assert!(r.render().contains("star2d1r"));
+        let table = r.render();
+        assert!(table.contains("star2d1r"));
+        // Every GPU of the matrix gets a rendered column — a fixed-width
+        // row format once silently truncated the table to four GPUs.
+        for gpu in GpuId::ALL {
+            assert!(table.contains(gpu.name()), "{} column missing", gpu.name());
+        }
+        let header_cols = table.lines().nth(1).unwrap().split_whitespace().count();
+        assert_eq!(header_cols, 1 + GpuId::ALL.len());
     }
 
     #[test]
@@ -890,5 +1023,32 @@ mod tests {
         for (_, _, _, v) in &sp.entries {
             assert!(*v > 0.3 && *v < 30.0, "speedup {v} out of plausible range");
         }
+    }
+
+    #[test]
+    fn logo_suite_reports_cross_vendor_holdouts() {
+        let cfg = PipelineConfig {
+            stencils_per_dim: 12,
+            samples_per_oc: 2,
+            folds: 2,
+            max_regression_rows: 600,
+            gpus: vec![GpuId::V100, GpuId::Mi100],
+            ..PipelineConfig::default()
+        };
+        let ctx = ExperimentContext::build(cfg);
+        let suite = logo_suite(&ctx);
+        // 2 GPUs × 2 dims.
+        assert_eq!(suite.entries.len(), 4);
+        for e in &suite.entries {
+            assert!(e.cross_vendor, "V100↔MI100 holdouts cross the vendor");
+            let acc = e.class_accuracy.expect("held-out GPU was profiled");
+            assert!((0.0..=1.0).contains(&acc));
+            let mape = e.regr_mape.expect("held-out GPU was profiled");
+            assert!(mape.is_finite() && mape >= 0.0);
+        }
+        let table = suite.render();
+        assert!(table.contains("cross-vendor"));
+        assert!(table.contains("MI100"));
+        assert!(table.contains("NVIDIA") && table.contains("AMD"));
     }
 }

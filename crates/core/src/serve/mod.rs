@@ -129,7 +129,7 @@ pub fn dispatch_batch(
 ) -> Vec<Result<Reply, MartError>> {
     let mut out: Vec<Option<Result<Reply, MartError>>> = Vec::with_capacity(reqs.len());
     out.resize_with(reqs.len(), || None);
-    // Group keys are tiny (≤4 GPUs × few OCs), so linear scans beat
+    // Group keys are tiny (≤8 GPUs × few OCs), so linear scans beat
     // hashing here.
     let mut best_groups: Vec<(GpuId, Vec<usize>, Vec<StencilPattern>)> = Vec::new();
     let mut time_groups: Vec<(GpuId, OptCombo, Vec<usize>, Vec<StencilPattern>)> = Vec::new();
@@ -221,6 +221,10 @@ mod tests {
         assert_eq!(resolve_gpu("v100").unwrap(), GpuId::V100);
         assert_eq!(resolve_gpu("V100").unwrap(), GpuId::V100);
         assert_eq!(resolve_gpu("H100").unwrap_err().kind(), "unknown_gpu");
+        // AMD names resolve because resolution scans GpuId::ALL.
+        assert_eq!(resolve_gpu("mi100").unwrap(), GpuId::Mi100);
+        assert_eq!(resolve_gpu("MI210").unwrap(), GpuId::Mi210);
+        assert_eq!(resolve_gpu("6900xt").unwrap(), GpuId::Rx6900Xt);
     }
 
     #[test]

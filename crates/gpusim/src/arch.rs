@@ -1,15 +1,53 @@
-//! GPU architecture specifications (paper Tables III and IV).
+//! GPU architecture specifications (paper Tables III and IV, extended to a
+//! multi-vendor matrix).
 //!
-//! The headline numbers (memory capacity/bandwidth, SM count, double-
-//! precision TFLOPS, rental price) come straight from Table III. The
-//! per-SM microarchitectural limits (registers, shared memory, resident
-//! threads/blocks) come from the corresponding NVIDIA whitepapers and feed
-//! the occupancy calculation in [`crate::exec`].
+//! The headline numbers for the NVIDIA parts (memory capacity/bandwidth, SM
+//! count, double-precision TFLOPS, rental price) come straight from Table
+//! III. The per-SM microarchitectural limits (registers, shared memory,
+//! resident threads/blocks) come from the corresponding NVIDIA whitepapers
+//! and feed the occupancy calculation in [`crate::exec`].
+//!
+//! The AMD-class presets extend the matrix along the axes Lappi et al.
+//! ("Stencil Computations on AMD and Nvidia Graphics Processors", PAPERS.md)
+//! identify as where AMD tuning diverges: wavefront width 64 (GCN/CDNA),
+//! a 64 KiB LDS ceiling per workgroup regardless of generation, 4-byte LDS
+//! banking, an optional Infinity-Cache-style L3 level (RDNA2), and heavier
+//! kernel-launch overheads under the HIP runtime. Values are datasheet-class
+//! figures for MI50/MI100/MI210-class and RX 6900 XT-class parts.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Identifier for one of the four evaluated GPUs.
+/// GPU vendor. Divergence between the two is exactly what the
+/// multi-vendor matrix stresses: wavefront width, LDS capacity/banking,
+/// cache hierarchy depth, and launch overhead all differ by vendor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Vendor {
+    /// NVIDIA (CUDA): warp width 32, generous per-block shared memory on
+    /// recent parts, two-level cache hierarchy.
+    Nvidia,
+    /// AMD (HIP/ROCm): wavefront width 64 on GCN/CDNA, 64 KiB LDS per
+    /// workgroup, optionally an Infinity-Cache L3 (RDNA2).
+    Amd,
+}
+
+impl Vendor {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vendor::Nvidia => "NVIDIA",
+            Vendor::Amd => "AMD",
+        }
+    }
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Identifier for one of the evaluated GPUs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum GpuId {
     /// NVIDIA Tesla P100 (Pascal).
@@ -20,19 +58,57 @@ pub enum GpuId {
     Rtx2080Ti,
     /// NVIDIA A100 (Ampere).
     A100,
+    /// AMD Radeon Instinct MI50 (Vega 20, GCN5).
+    Mi50,
+    /// AMD Instinct MI100 (CDNA 1).
+    Mi100,
+    /// AMD Instinct MI210 (CDNA 2).
+    Mi210,
+    /// AMD Radeon RX 6900 XT (RDNA 2, Infinity Cache).
+    Rx6900Xt,
 }
 
 impl GpuId {
-    /// All evaluated GPUs, in the paper's Table III order.
-    pub const ALL: [GpuId; 4] = [GpuId::P100, GpuId::V100, GpuId::Rtx2080Ti, GpuId::A100];
+    /// Every GPU in the evaluation matrix: the paper's four NVIDIA parts
+    /// in Table III order, then the AMD parts in generation order. This
+    /// array is the single source of truth for the matrix — presets,
+    /// feature widths, datasets, and serving all derive from it, so
+    /// adding a GPU is one preset here, not a fan-out of constants.
+    pub const ALL: [GpuId; 8] = [
+        GpuId::P100,
+        GpuId::V100,
+        GpuId::Rtx2080Ti,
+        GpuId::A100,
+        GpuId::Mi50,
+        GpuId::Mi100,
+        GpuId::Mi210,
+        GpuId::Rx6900Xt,
+    ];
 
-    /// Display name as used in the paper's figures.
+    /// The paper's original four NVIDIA GPUs (Table III), for experiments
+    /// that reproduce the paper's figures exactly.
+    pub const PAPER: [GpuId; 4] = [GpuId::P100, GpuId::V100, GpuId::Rtx2080Ti, GpuId::A100];
+
+    /// Display name as used in the paper's figures (and extended to the
+    /// AMD parts).
     pub fn name(self) -> &'static str {
         match self {
             GpuId::P100 => "P100",
             GpuId::V100 => "V100",
             GpuId::Rtx2080Ti => "2080Ti",
             GpuId::A100 => "A100",
+            GpuId::Mi50 => "MI50",
+            GpuId::Mi100 => "MI100",
+            GpuId::Mi210 => "MI210",
+            GpuId::Rx6900Xt => "6900XT",
+        }
+    }
+
+    /// The vendor of this GPU.
+    pub fn vendor(self) -> Vendor {
+        match self {
+            GpuId::P100 | GpuId::V100 | GpuId::Rtx2080Ti | GpuId::A100 => Vendor::Nvidia,
+            GpuId::Mi50 | GpuId::Mi100 | GpuId::Mi210 | GpuId::Rx6900Xt => Vendor::Amd,
         }
     }
 }
@@ -48,35 +124,53 @@ impl fmt::Display for GpuId {
 pub struct GpuArch {
     /// Which GPU this is.
     pub id: GpuId,
-    /// Marketing generation (Pascal, Volta, Turing, Ampere).
+    /// Vendor (determines wavefront width, LDS banking, launch runtime).
+    pub vendor: Vendor,
+    /// Marketing generation (Pascal, Volta, ..., CDNA 2, RDNA 2).
     pub generation: &'static str,
     /// Device memory capacity in GiB (Table III "Mem.").
     pub mem_gib: f64,
     /// Peak DRAM bandwidth in GB/s (Table III "Mem. BW").
     pub mem_bw_gbs: f64,
-    /// Number of streaming multiprocessors (Table III "SMs").
+    /// Number of streaming multiprocessors / compute units (Table III
+    /// "SMs"; CUs for the AMD parts).
     pub sms: u32,
     /// Peak double-precision throughput in TFLOPS (Table III "TFLOPS";
     /// the paper's stencils are double precision, hence 0.41 for the
-    /// consumer Turing part).
+    /// consumer Turing part and 1.44 for the consumer RDNA2 part).
     pub fp64_tflops: f64,
-    /// Google Cloud rental price in $/hr (Table III; `None` for the
-    /// 2080 Ti, which is not rentable).
+    /// Cloud rental price in $/hr (Table III for the NVIDIA parts;
+    /// `None` for consumer cards — 2080 Ti and 6900 XT — which are not
+    /// rentable).
     pub rental_per_hr: Option<f64>,
-    /// SM core clock in GHz (boost).
+    /// SM/CU core clock in GHz (boost).
     pub clock_ghz: f64,
-    /// 32-bit registers per SM.
+    /// SIMD execution granularity: warp width 32 on NVIDIA, wavefront
+    /// width 64 on GCN/CDNA AMD parts (RDNA runs wave32 natively).
+    /// Occupancy is allocated in these granules.
+    pub simd_width: u32,
+    /// 32-bit registers per SM/CU.
     pub regs_per_sm: u32,
-    /// Shared memory per SM in bytes.
+    /// Shared memory (LDS) per SM/CU in bytes.
     pub smem_per_sm: u32,
-    /// Maximum shared memory a single block may allocate, in bytes.
+    /// Maximum shared memory a single block/workgroup may allocate, in
+    /// bytes. 64 KiB on every AMD part — the per-vendor OC-validity
+    /// cliff: an OC whose footprint fits A100's 164 KiB crashes here.
     pub smem_per_block: u32,
-    /// Maximum resident threads per SM.
+    /// Number of shared-memory/LDS banks.
+    pub smem_banks: u32,
+    /// Bytes served per bank per clock (8 on NVIDIA with fp64-friendly
+    /// dual issue, 4 on AMD LDS).
+    pub smem_bank_bytes: u32,
+    /// Maximum resident threads per SM/CU.
     pub max_threads_per_sm: u32,
-    /// Maximum resident blocks per SM.
+    /// Maximum resident blocks/workgroups per SM/CU.
     pub max_blocks_per_sm: u32,
     /// L2 cache size in bytes.
     pub l2_bytes: u64,
+    /// Optional last-level cache behind L2 (RDNA2 Infinity Cache).
+    /// `None` on every part with a two-level hierarchy.
+    pub l3_bytes: Option<u64>,
     /// Fraction of peak DRAM bandwidth a well-tuned stencil sweep can
     /// achieve at full occupancy. Wider/faster memory systems are harder
     /// to saturate with halo-heavy access streams, which is one of the
@@ -89,9 +183,11 @@ pub struct GpuArch {
     /// datapath and sustains a lower fraction on scalar stencil code —
     /// one reason the paper observes V100 beating A100 on dense stencils.
     pub achievable_flop_frac: f64,
-    /// Latency of a block-wide `__syncthreads()` barrier in nanoseconds.
+    /// Latency of a block-wide barrier (`__syncthreads()` / `s_barrier`)
+    /// in nanoseconds.
     pub barrier_ns: f64,
-    /// Fixed kernel launch overhead in microseconds.
+    /// Fixed kernel launch overhead in microseconds (HIP launches cost
+    /// more than CUDA launches; Herten et al., PAPERS.md).
     pub launch_us: f64,
 }
 
@@ -101,6 +197,7 @@ impl GpuArch {
         match id {
             GpuId::P100 => GpuArch {
                 id,
+                vendor: Vendor::Nvidia,
                 generation: "Pascal",
                 mem_gib: 16.0,
                 mem_bw_gbs: 720.0,
@@ -108,12 +205,16 @@ impl GpuArch {
                 fp64_tflops: 5.3,
                 rental_per_hr: Some(1.46),
                 clock_ghz: 1.33,
+                simd_width: 32,
                 regs_per_sm: 65536,
                 smem_per_sm: 64 * 1024,
                 smem_per_block: 48 * 1024,
+                smem_banks: 32,
+                smem_bank_bytes: 8,
                 max_threads_per_sm: 2048,
                 max_blocks_per_sm: 32,
                 l2_bytes: 4 * 1024 * 1024,
+                l3_bytes: None,
                 achievable_bw_frac: 0.78,
                 achievable_flop_frac: 0.8,
                 barrier_ns: 280.0,
@@ -121,6 +222,7 @@ impl GpuArch {
             },
             GpuId::V100 => GpuArch {
                 id,
+                vendor: Vendor::Nvidia,
                 generation: "Volta",
                 mem_gib: 32.0,
                 mem_bw_gbs: 900.0,
@@ -128,12 +230,16 @@ impl GpuArch {
                 fp64_tflops: 7.8,
                 rental_per_hr: Some(2.48),
                 clock_ghz: 1.53,
+                simd_width: 32,
                 regs_per_sm: 65536,
                 smem_per_sm: 96 * 1024,
                 smem_per_block: 96 * 1024,
+                smem_banks: 32,
+                smem_bank_bytes: 8,
                 max_threads_per_sm: 2048,
                 max_blocks_per_sm: 32,
                 l2_bytes: 6 * 1024 * 1024,
+                l3_bytes: None,
                 achievable_bw_frac: 0.76,
                 achievable_flop_frac: 0.85,
                 barrier_ns: 220.0,
@@ -141,6 +247,7 @@ impl GpuArch {
             },
             GpuId::Rtx2080Ti => GpuArch {
                 id,
+                vendor: Vendor::Nvidia,
                 generation: "Turing",
                 mem_gib: 11.0,
                 mem_bw_gbs: 616.0,
@@ -148,12 +255,16 @@ impl GpuArch {
                 fp64_tflops: 0.41,
                 rental_per_hr: None,
                 clock_ghz: 1.55,
+                simd_width: 32,
                 regs_per_sm: 65536,
                 smem_per_sm: 64 * 1024,
                 smem_per_block: 64 * 1024,
+                smem_banks: 32,
+                smem_bank_bytes: 8,
                 max_threads_per_sm: 1024,
                 max_blocks_per_sm: 16,
                 l2_bytes: 5632 * 1024,
+                l3_bytes: None,
                 achievable_bw_frac: 0.84,
                 achievable_flop_frac: 0.95,
                 barrier_ns: 190.0,
@@ -161,6 +272,7 @@ impl GpuArch {
             },
             GpuId::A100 => GpuArch {
                 id,
+                vendor: Vendor::Nvidia,
                 generation: "Ampere",
                 mem_gib: 40.0,
                 mem_bw_gbs: 1555.0,
@@ -168,12 +280,16 @@ impl GpuArch {
                 fp64_tflops: 9.7,
                 rental_per_hr: Some(2.93),
                 clock_ghz: 1.41,
+                simd_width: 32,
                 regs_per_sm: 65536,
                 smem_per_sm: 164 * 1024,
                 smem_per_block: 164 * 1024,
+                smem_banks: 32,
+                smem_bank_bytes: 8,
                 max_threads_per_sm: 2048,
                 max_blocks_per_sm: 32,
                 l2_bytes: 40 * 1024 * 1024,
+                l3_bytes: None,
                 // Deliberately conservative: the paper's testbed ran CUDA
                 // 10, which predates sm_80 — its A100 numbers (Fig. 4)
                 // sit far below the card's datasheet potential, and these
@@ -183,10 +299,116 @@ impl GpuArch {
                 barrier_ns: 210.0,
                 launch_us: 5.0,
             },
+            GpuId::Mi50 => GpuArch {
+                id,
+                vendor: Vendor::Amd,
+                generation: "Vega 20",
+                mem_gib: 32.0,
+                mem_bw_gbs: 1024.0,
+                sms: 60,
+                fp64_tflops: 6.6,
+                rental_per_hr: Some(1.10),
+                clock_ghz: 1.725,
+                simd_width: 64,
+                // GCN: 4× SIMD16 with 64 KiB VGPR each = 256 KiB per CU.
+                regs_per_sm: 65536,
+                smem_per_sm: 64 * 1024,
+                smem_per_block: 64 * 1024,
+                smem_banks: 32,
+                smem_bank_bytes: 4,
+                // 40 wavefronts × 64 lanes per CU.
+                max_threads_per_sm: 2560,
+                max_blocks_per_sm: 16,
+                l2_bytes: 4 * 1024 * 1024,
+                l3_bytes: None,
+                achievable_bw_frac: 0.70,
+                achievable_flop_frac: 0.75,
+                barrier_ns: 260.0,
+                launch_us: 9.0,
+            },
+            GpuId::Mi100 => GpuArch {
+                id,
+                vendor: Vendor::Amd,
+                generation: "CDNA 1",
+                mem_gib: 32.0,
+                mem_bw_gbs: 1228.8,
+                sms: 120,
+                fp64_tflops: 11.5,
+                rental_per_hr: Some(2.09),
+                clock_ghz: 1.502,
+                simd_width: 64,
+                // CDNA doubles the GCN vector register file: 512 KiB/CU.
+                regs_per_sm: 131072,
+                smem_per_sm: 64 * 1024,
+                smem_per_block: 64 * 1024,
+                smem_banks: 32,
+                smem_bank_bytes: 4,
+                max_threads_per_sm: 2560,
+                max_blocks_per_sm: 16,
+                l2_bytes: 8 * 1024 * 1024,
+                l3_bytes: None,
+                achievable_bw_frac: 0.62,
+                achievable_flop_frac: 0.60,
+                barrier_ns: 240.0,
+                launch_us: 8.0,
+            },
+            GpuId::Mi210 => GpuArch {
+                id,
+                vendor: Vendor::Amd,
+                generation: "CDNA 2",
+                mem_gib: 64.0,
+                mem_bw_gbs: 1638.4,
+                sms: 104,
+                fp64_tflops: 22.6,
+                rental_per_hr: Some(2.89),
+                clock_ghz: 1.7,
+                simd_width: 64,
+                regs_per_sm: 131072,
+                smem_per_sm: 64 * 1024,
+                smem_per_block: 64 * 1024,
+                smem_banks: 32,
+                smem_bank_bytes: 4,
+                max_threads_per_sm: 2560,
+                max_blocks_per_sm: 16,
+                l2_bytes: 8 * 1024 * 1024,
+                l3_bytes: None,
+                achievable_bw_frac: 0.58,
+                achievable_flop_frac: 0.55,
+                barrier_ns: 230.0,
+                launch_us: 7.0,
+            },
+            GpuId::Rx6900Xt => GpuArch {
+                id,
+                vendor: Vendor::Amd,
+                generation: "RDNA 2",
+                mem_gib: 16.0,
+                mem_bw_gbs: 512.0,
+                sms: 80,
+                // Consumer RDNA2 runs FP64 at 1:16 of FP32 (23 TF).
+                fp64_tflops: 1.44,
+                rental_per_hr: None,
+                clock_ghz: 2.25,
+                // RDNA executes wave32 natively.
+                simd_width: 32,
+                regs_per_sm: 65536,
+                smem_per_sm: 64 * 1024,
+                smem_per_block: 64 * 1024,
+                smem_banks: 32,
+                smem_bank_bytes: 4,
+                max_threads_per_sm: 1024,
+                max_blocks_per_sm: 16,
+                l2_bytes: 4 * 1024 * 1024,
+                // 128 MiB Infinity Cache: the optional L3 level.
+                l3_bytes: Some(128 * 1024 * 1024),
+                achievable_bw_frac: 0.80,
+                achievable_flop_frac: 0.90,
+                barrier_ns: 200.0,
+                launch_us: 6.0,
+            },
         }
     }
 
-    /// All four presets in Table III order.
+    /// All presets in [`GpuId::ALL`] order.
     pub fn all() -> Vec<GpuArch> {
         GpuId::ALL.iter().map(|&id| GpuArch::preset(id)).collect()
     }
@@ -197,34 +419,55 @@ impl GpuArch {
         self.fp64_tflops * 1e12
     }
 
-    /// Aggregate shared-memory bandwidth in bytes/s: 32 banks × 8 bytes
-    /// per SM per clock.
+    /// Aggregate shared-memory/LDS bandwidth in bytes/s: `smem_banks` ×
+    /// `smem_bank_bytes` per SM/CU per clock (32 × 8 on NVIDIA, 32 × 4 on
+    /// AMD LDS).
     #[inline]
     pub fn smem_bw_bytes(&self) -> f64 {
-        self.sms as f64 * self.clock_ghz * 1e9 * 32.0 * 8.0
+        self.sms as f64
+            * self.clock_ghz
+            * 1e9
+            * self.smem_banks as f64
+            * self.smem_bank_bytes as f64
     }
 
     /// Hardware-characteristic feature vector fed to the cross-architecture
     /// regressor (paper §IV-E: memory capacity and bandwidth, SM count,
-    /// peak FLOPS).
+    /// peak FLOPS — extended with the vendor-divergence axes: SIMD width,
+    /// per-block shared-memory ceiling, L3 capacity, launch overhead).
     pub fn feature_vector(&self) -> Vec<f64> {
         vec![
             self.mem_gib,
             self.mem_bw_gbs,
             self.sms as f64,
             self.fp64_tflops,
+            self.simd_width as f64,
+            self.smem_per_block as f64 / 1024.0,
+            self.l3_bytes.unwrap_or(0) as f64 / (1024.0 * 1024.0),
+            self.launch_us,
         ]
     }
 
-    /// Names of [`Self::feature_vector`] entries.
-    pub fn feature_names() -> [&'static str; 4] {
-        ["hw_mem_gib", "hw_mem_bw_gbs", "hw_sms", "hw_fp64_tflops"]
+    /// Names of [`Self::feature_vector`] entries. The slice length is the
+    /// arch-feature width everywhere (datasets, bundles, serving) — never
+    /// hardcode it.
+    pub fn feature_names() -> &'static [&'static str] {
+        &[
+            "hw_mem_gib",
+            "hw_mem_bw_gbs",
+            "hw_sms",
+            "hw_fp64_tflops",
+            "hw_simd_width",
+            "hw_smem_block_kib",
+            "hw_l3_mib",
+            "hw_launch_us",
+        ]
     }
 }
 
-/// A host machine from Table IV. Purely descriptive: the simulator models
-/// device-side execution only, but the table is reproduced for
-/// completeness.
+/// A host machine from Table IV (extended with the AMD testbed host).
+/// Purely descriptive: the simulator models device-side execution only,
+/// but the table is reproduced for completeness.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HostMachine {
     /// CPU model string.
@@ -239,7 +482,7 @@ pub struct HostMachine {
     pub gpus: Vec<GpuId>,
 }
 
-/// The two host machines of Table IV.
+/// The host machines of Table IV plus the AMD testbed host.
 pub fn host_machines() -> Vec<HostMachine> {
     vec![
         HostMachine {
@@ -255,6 +498,13 @@ pub fn host_machines() -> Vec<HostMachine> {
             cores: 28,
             main_mem_gib: 252,
             gpus: vec![GpuId::P100, GpuId::V100, GpuId::A100],
+        },
+        HostMachine {
+            cpu: "EPYC 7742",
+            freq_ghz: 2.25,
+            cores: 64,
+            main_mem_gib: 512,
+            gpus: vec![GpuId::Mi50, GpuId::Mi100, GpuId::Mi210, GpuId::Rx6900Xt],
         },
     ]
 }
@@ -290,29 +540,93 @@ mod tests {
 
     #[test]
     fn feature_vector_has_documented_names() {
+        for arch in GpuArch::all() {
+            assert_eq!(
+                arch.feature_vector().len(),
+                GpuArch::feature_names().len(),
+                "{}",
+                arch.id
+            );
+        }
         let v100 = GpuArch::preset(GpuId::V100);
-        assert_eq!(v100.feature_vector().len(), GpuArch::feature_names().len());
         assert_eq!(v100.feature_vector()[2], 80.0);
     }
 
     #[test]
-    fn host_machines_match_table4() {
+    fn host_machines_cover_the_full_matrix() {
         let hosts = host_machines();
-        assert_eq!(hosts.len(), 2);
+        assert_eq!(hosts.len(), 3);
         assert_eq!(hosts[0].gpus, vec![GpuId::Rtx2080Ti]);
         assert_eq!(hosts[1].cores, 28);
+        // Every GPU in the matrix lives on exactly one host.
+        let mut hosted: Vec<GpuId> = hosts.iter().flat_map(|h| h.gpus.clone()).collect();
+        hosted.sort();
+        let mut all = GpuId::ALL.to_vec();
+        all.sort();
+        assert_eq!(hosted, all);
     }
 
     #[test]
     fn smem_bw_far_exceeds_dram_bw() {
         for arch in GpuArch::all() {
-            assert!(arch.smem_bw_bytes() > 10.0 * arch.mem_bw_gbs * 1e9);
+            assert!(
+                arch.smem_bw_bytes() > 10.0 * arch.mem_bw_gbs * 1e9,
+                "{}",
+                arch.id
+            );
         }
     }
 
     #[test]
     fn gpu_id_display_names() {
         assert_eq!(GpuId::Rtx2080Ti.to_string(), "2080Ti");
-        assert_eq!(GpuId::ALL.len(), 4);
+        assert_eq!(GpuId::Mi210.to_string(), "MI210");
+        assert_eq!(GpuId::ALL.len(), 8);
+        assert_eq!(GpuId::PAPER.len(), 4);
+    }
+
+    #[test]
+    fn matrix_spans_two_vendors() {
+        let nvidia = GpuId::ALL.iter().filter(|g| g.vendor() == Vendor::Nvidia);
+        let amd = GpuId::ALL.iter().filter(|g| g.vendor() == Vendor::Amd);
+        assert_eq!(nvidia.count(), 4);
+        assert_eq!(amd.count(), 4);
+        for id in GpuId::ALL {
+            assert_eq!(GpuArch::preset(id).vendor, id.vendor());
+        }
+    }
+
+    #[test]
+    fn amd_presets_model_vendor_divergence() {
+        for id in [GpuId::Mi50, GpuId::Mi100, GpuId::Mi210] {
+            let arch = GpuArch::preset(id);
+            assert_eq!(arch.simd_width, 64, "{id}: GCN/CDNA wavefront is 64");
+            assert_eq!(arch.smem_per_block, 64 * 1024, "{id}: LDS ceiling");
+            assert_eq!(arch.smem_bank_bytes, 4, "{id}: LDS banks are 4-byte");
+            assert!(
+                arch.rental_per_hr.is_some(),
+                "{id}: datacenter parts priced"
+            );
+        }
+        // The consumer RDNA2 part: wave32, unpriced, Infinity-Cache L3.
+        let rx = GpuArch::preset(GpuId::Rx6900Xt);
+        assert_eq!(rx.simd_width, 32);
+        assert_eq!(rx.rental_per_hr, None);
+        assert_eq!(rx.l3_bytes, Some(128 * 1024 * 1024));
+        // No NVIDIA part has an L3 level.
+        for id in GpuId::PAPER {
+            assert_eq!(GpuArch::preset(id).l3_bytes, None);
+        }
+    }
+
+    #[test]
+    fn nvidia_smem_bandwidth_formula_unchanged() {
+        // The banked formula must reproduce the pre-multi-vendor
+        // hardcoded 32 × 8 model bit-for-bit on NVIDIA parts.
+        for id in GpuId::PAPER {
+            let arch = GpuArch::preset(id);
+            let legacy = arch.sms as f64 * arch.clock_ghz * 1e9 * 32.0 * 8.0;
+            assert_eq!(arch.smem_bw_bytes(), legacy);
+        }
     }
 }

@@ -30,6 +30,17 @@ use stencilmart_stencil::pattern::{Dim, Offset, StencilPattern};
 /// Bytes per element (the paper's stencils are double precision).
 pub const ELEM_BYTES: f64 = 8.0;
 
+/// The per-SM resource a single block oversubscribes at launch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LaunchResource {
+    /// One block's register demand exceeds the SM's register file.
+    Registers,
+    /// One block's shared-memory allocation exceeds the SM's capacity
+    /// (distinct from [`Crash::SharedMemoryOverflow`], which is the
+    /// per-*block* allocation limit).
+    SharedMemory,
+}
+
 /// Why a kernel configuration cannot execute (paper §III-A observes that
 /// some OCs crash for some stencils).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -40,7 +51,11 @@ pub enum Crash {
     RegisterOverflow,
     /// More than 1024 threads per block.
     BlockTooLarge,
-    /// Zero resident blocks fit on an SM.
+    /// A single block oversubscribes a per-SM resource, so zero blocks
+    /// fit and the launch fails — a structured crash, never `Ok` with
+    /// zero occupancy.
+    LaunchOversubscribed(LaunchResource),
+    /// Zero resident blocks fit on an SM for any other reason.
     Unschedulable,
 }
 
@@ -50,6 +65,12 @@ impl std::fmt::Display for Crash {
             Crash::SharedMemoryOverflow => "shared memory allocation exceeds per-block limit",
             Crash::RegisterOverflow => "register demand exceeds spillable range",
             Crash::BlockTooLarge => "thread block exceeds 1024 threads",
+            Crash::LaunchOversubscribed(LaunchResource::Registers) => {
+                "launch failure: one block's registers oversubscribe the SM register file"
+            }
+            Crash::LaunchOversubscribed(LaunchResource::SharedMemory) => {
+                "launch failure: one block's shared memory oversubscribes the SM"
+            }
             Crash::Unschedulable => "no resident block fits on an SM",
         };
         f.write_str(s)
@@ -257,6 +278,14 @@ impl PatternAnalysis {
     #[inline]
     pub fn nnz(&self) -> usize {
         self.nnz
+    }
+
+    /// Distinct rows the pattern touches — each is one load stream, and
+    /// `distinct_rows × grid-row bytes` is the working set the cache
+    /// models (L2 reuse, Infinity-Cache L3) compare against capacity.
+    #[inline]
+    pub fn distinct_rows(&self) -> usize {
+        self.distinct_rows
     }
 
     /// Cached [`shifted_union`]: table lookup for the power-of-two merge

@@ -30,12 +30,14 @@ pub mod params;
 pub mod profiler;
 pub mod tuner;
 
-pub use arch::{host_machines, GpuArch, GpuId, HostMachine};
+pub use arch::{host_machines, GpuArch, GpuId, HostMachine, Vendor};
 pub use exec::{
     occupancy, simulate, simulate_breakdown, simulate_breakdown_with, simulate_with, BoundaryModel,
     Occupancy, TimeBreakdown,
 };
-pub use kernel::{characterize, characterize_with, Crash, KernelProfile, PatternAnalysis};
+pub use kernel::{
+    characterize, characterize_with, Crash, KernelProfile, LaunchResource, PatternAnalysis,
+};
 pub use noise::NoiseModel;
 pub use opts::{Merge, Opt, OptCombo};
 pub use params::{ParamSetting, ParamSpace};

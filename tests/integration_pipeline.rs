@@ -26,7 +26,7 @@ fn full_pipeline_2d() {
     let cfg = cfg();
     let corpus = ProfiledCorpus::build(&cfg, Dim::D2);
     assert_eq!(corpus.patterns.len(), 20);
-    assert_eq!(corpus.profiles.len(), 4);
+    assert_eq!(corpus.profiles.len(), cfg.gpus.len());
 
     let merging = corpus.derive_merging(cfg.oc_classes);
     assert_eq!(merging.classes(), 5);

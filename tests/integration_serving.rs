@@ -232,6 +232,85 @@ fn jsonl_serving_flushes_every_line_in_order() {
     }
 }
 
+/// A bundle trained on the full 8-GPU two-vendor matrix must round-trip
+/// through `ModelBundle` with no feature-width validation errors and
+/// serve unchanged: `rank_gpus` under pure performance ranks *every*
+/// GPU — including the unpriced consumer cards (2080 Ti, 6900 XT) —
+/// while cost efficiency ranks exactly the priced fleet, and `best_oc`
+/// answers for an AMD part.
+#[test]
+fn full_matrix_bundle_serves_mixed_priced_unpriced_fleet() {
+    use stencilmart::serve::dispatch_batch;
+
+    let cfg = PipelineConfig {
+        stencils_per_dim: 10,
+        samples_per_oc: 2,
+        max_regression_rows: 600,
+        ..PipelineConfig::default()
+    };
+    assert_eq!(
+        cfg.gpus.len(),
+        GpuId::ALL.len(),
+        "default covers the matrix"
+    );
+    let path = tmp_path("bundle-matrix.json");
+    StencilMart::train(
+        cfg,
+        Dim::D2,
+        ClassifierKind::Gbdt,
+        RegressorKind::GbRegressor,
+    )
+    .save(&path, "serving-test")
+    .expect("save full-matrix bundle");
+    let mut predictor = Predictor::load(&path).expect("full-matrix bundle round-trips");
+
+    let reqs = vec![
+        Request::RankGpus {
+            criterion: "perf".to_string(),
+            pattern: PatternSpec::Name("star2d1r".to_string()),
+            oc: "ST".to_string(),
+        },
+        Request::RankGpus {
+            criterion: "cost".to_string(),
+            pattern: PatternSpec::Name("star2d1r".to_string()),
+            oc: "ST".to_string(),
+        },
+        Request::BestOc {
+            gpu: "MI100".to_string(),
+            pattern: PatternSpec::Name("star2d1r".to_string()),
+        },
+    ];
+    let replies = dispatch_batch(&mut predictor, &reqs);
+
+    match replies[0].as_ref().expect("perf ranking succeeds") {
+        Reply::Ranking(items) => {
+            assert_eq!(items.len(), GpuId::ALL.len());
+            let names: Vec<&str> = items.iter().map(|(n, _)| n.as_str()).collect();
+            // Time-based rankings must never drop an unpriced GPU.
+            assert!(names.contains(&"2080Ti"), "{names:?}");
+            assert!(names.contains(&"6900XT"), "{names:?}");
+            assert!(names.contains(&"MI210"), "{names:?}");
+            assert!(items.iter().all(|(_, ms)| ms.is_finite() && *ms > 0.0));
+        }
+        other => panic!("perf rank_gpus answered {other:?}"),
+    }
+    match replies[1].as_ref().expect("cost ranking succeeds") {
+        Reply::Ranking(items) => {
+            // Exactly the priced fleet: consumer cards are unrentable.
+            assert_eq!(items.len(), 6, "{items:?}");
+            let names: Vec<&str> = items.iter().map(|(n, _)| n.as_str()).collect();
+            assert!(!names.contains(&"2080Ti"), "{names:?}");
+            assert!(!names.contains(&"6900XT"), "{names:?}");
+        }
+        other => panic!("cost rank_gpus answered {other:?}"),
+    }
+    assert!(
+        matches!(replies[2], Ok(Reply::BestOc { .. })),
+        "best_oc on an AMD part: {:?}",
+        replies[2]
+    );
+}
+
 fn read_n_responses(stream: &mut TcpStream, n: usize) -> Vec<Response> {
     let mut dec = FrameDecoder::new();
     let mut buf = [0u8; 16 * 1024];
